@@ -1,0 +1,132 @@
+(* Benchmark harness: regenerates every table and figure from the
+   paper's evaluation (see DESIGN.md's per-experiment index), plus
+   Bechamel micro-benchmarks of the simulator itself.
+
+   Usage:
+     dune exec bench/main.exe             # everything
+     dune exec bench/main.exe -- fig1 tab2 ...   # selected artifacts
+     dune exec bench/main.exe -- micro    # simulator micro-benchmarks
+*)
+
+module Platform = Msp430.Platform
+
+let seed = 1
+
+let run_fig1 () = print_string (Experiments.Fig1.render (Experiments.Fig1.compute ~seed ()))
+let run_tab1 () = print_string (Experiments.Tab1.render (Experiments.Tab1.compute ~seed ()))
+let run_fig7 () = print_string (Experiments.Fig7.render (Experiments.Fig7.compute ~seed ()))
+let run_tab2 () = print_string (Experiments.Tab2.render (Experiments.Tab2.compute ~seed ()))
+let run_fig8 () = print_string (Experiments.Fig8.render (Experiments.Fig8.compute ~seed ()))
+
+let run_fig9 () =
+  print_string
+    (Experiments.Fig9.render
+       (Experiments.Fig9.compute ~seed ~frequency:Platform.Mhz24 ()));
+  print_newline ();
+  print_string
+    (Experiments.Fig9.render
+       (Experiments.Fig9.compute ~seed ~frequency:Platform.Mhz8 ()))
+
+let run_fig10 () =
+  print_string
+    (Experiments.Fig10.render
+       (Experiments.Fig10.compute ~seed ~frequency:Platform.Mhz24 ()));
+  print_newline ();
+  print_string
+    (Experiments.Fig10.render
+       (Experiments.Fig10.compute ~seed ~frequency:Platform.Mhz8 ()))
+
+let run_ablation () =
+  print_string (Experiments.Ablation.render (Experiments.Ablation.compute ~seed ()))
+
+(* --- Bechamel micro-benchmarks of the simulator ---------------------- *)
+
+let micro_tests () =
+  let open Bechamel in
+  (* decode+execute throughput on a small hot loop *)
+  let make_system () =
+    let source =
+      "int main(void) { int s = 0; int i; for (i = 0; i < 100; i++) s += i; \
+       return s; }"
+    in
+    let program = Minic.Driver.program_of_source source in
+    let image = Masm.Assembler.assemble program in
+    fun () ->
+      let system = Platform.create Platform.Mhz24 in
+      Masm.Assembler.load image system.Platform.memory;
+      Msp430.Cpu.set_reg system.Platform.cpu Msp430.Isa.sp 0xC000;
+      Msp430.Cpu.set_reg system.Platform.cpu Msp430.Isa.pc
+        (Masm.Assembler.lookup image "_start");
+      ignore (Msp430.Cpu.run ~fuel:1_000_000 system.Platform.cpu)
+  in
+  let compile_bench () =
+    let b = Workloads.Suite.crc in
+    let src = b.Workloads.Bench_def.source 1 in
+    fun () -> ignore (Minic.Driver.program_of_source src)
+  in
+  let instrument_bench () =
+    let b = Workloads.Suite.crc in
+    let program = Minic.Driver.program_of_source (b.Workloads.Bench_def.source 1) in
+    fun () -> ignore (Swapram.Pipeline.build program)
+  in
+  [
+    Test.make ~name:"simulate: minic hot loop" (Staged.stage (make_system ()));
+    Test.make ~name:"compile: crc benchmark" (Staged.stage (compile_bench ()));
+    Test.make ~name:"instrument: swapram build (crc)"
+      (Staged.stage (instrument_bench ()));
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  let open Toolkit in
+  let benchmark test =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) () in
+    Benchmark.all cfg instances test
+  in
+  let analyze results =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Instance.monotonic_clock results
+  in
+  let tests = Test.make_grouped ~name:"simulator" (micro_tests ()) in
+  let results = analyze (benchmark tests) in
+  print_endline "Simulator micro-benchmarks (ns/run):";
+  Hashtbl.iter
+    (fun name result ->
+      match Bechamel.Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "  %-40s %12.0f ns\n" name est
+      | _ -> Printf.printf "  %-40s (no estimate)\n" name)
+    results
+
+let artifacts =
+  [
+    ("fig1", run_fig1);
+    ("tab1", run_tab1);
+    ("fig7", run_fig7);
+    ("tab2", run_tab2);
+    ("fig8", run_fig8);
+    ("fig9", run_fig9);
+    ("fig10", run_fig10);
+    ("ablation", run_ablation);
+    ("micro", run_micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst artifacts
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name artifacts with
+      | Some run ->
+          run ();
+          print_newline ()
+      | None ->
+          Printf.eprintf "unknown artifact %s (available: %s)\n" name
+            (String.concat ", " (List.map fst artifacts));
+          exit 1)
+    requested

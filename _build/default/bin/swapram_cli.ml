@@ -1,0 +1,278 @@
+(* Command-line driver: compile a mini-C program (a file or one of the
+   bundled benchmarks), build it for a chosen caching system and
+   memory placement, run it on the simulated MSP430FR2355 and report
+   execution statistics.
+
+   Examples:
+     swapram_cli run --benchmark crc
+     swapram_cli run --benchmark aes --system swapram --freq 8
+     swapram_cli run --file prog.c --system block --placement standard
+     swapram_cli asm --benchmark crc        # dump instrumented assembly
+*)
+
+module Platform = Msp430.Platform
+module Trace = Msp430.Trace
+
+open Cmdliner
+
+let benchmark_arg =
+  let doc = "Bundled benchmark name (stringsearch, dijkstra, crc, rc4, fft, aes, lzfx, bitcount, rsa, arith)." in
+  Arg.(value & opt (some string) None & info [ "benchmark"; "b" ] ~doc)
+
+let file_arg =
+  let doc = "mini-C source file to compile and run." in
+  Arg.(value & opt (some file) None & info [ "file"; "f" ] ~doc)
+
+let system_arg =
+  let doc = "Caching system: baseline, swapram or block." in
+  Arg.(value & opt string "swapram" & info [ "system"; "s" ] ~doc)
+
+let placement_arg =
+  let doc = "Memory placement: unified, standard, code-sram, all-sram or split." in
+  Arg.(value & opt string "unified" & info [ "placement"; "p" ] ~doc)
+
+let freq_arg =
+  let doc = "CPU frequency in MHz (8 or 24)." in
+  Arg.(value & opt int 24 & info [ "freq" ] ~doc)
+
+let seed_arg =
+  let doc = "Input generation seed." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc)
+
+let blacklist_arg =
+  let doc = "Function excluded from caching (repeatable)." in
+  Arg.(value & opt_all string [] & info [ "blacklist" ] ~doc)
+
+let parse_system blacklist = function
+  | "baseline" -> Ok Experiments.Toolchain.Baseline
+  | "swapram" ->
+      Ok
+        (Experiments.Toolchain.Swapram_cache
+           { Swapram.Config.default_options with Swapram.Config.blacklist })
+  | "block" ->
+      Ok (Experiments.Toolchain.Block_cache Blockcache.Config.default_options)
+  | s -> Error ("unknown system " ^ s)
+
+let parse_placement = function
+  | "unified" -> Ok Experiments.Toolchain.Unified
+  | "standard" -> Ok Experiments.Toolchain.Standard
+  | "code-sram" -> Ok Experiments.Toolchain.Code_sram
+  | "all-sram" -> Ok Experiments.Toolchain.All_sram
+  | "split" -> Ok Experiments.Toolchain.Split
+  | s -> Error ("unknown placement " ^ s)
+
+let parse_freq = function
+  | 8 -> Ok Platform.Mhz8
+  | 24 -> Ok Platform.Mhz24
+  | f -> Error (Printf.sprintf "unsupported frequency %d MHz" f)
+
+let load_benchmark ~benchmark ~file ~seed =
+  match (benchmark, file) with
+  | Some name, None -> (
+      match Workloads.Suite.find name with
+      | Some b -> Ok b
+      | None -> Error ("unknown benchmark " ^ name))
+  | None, Some path ->
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let source = really_input_string ic n in
+      close_in ic;
+      ignore seed;
+      Ok
+        {
+          Workloads.Bench_def.name = Filename.basename path;
+          short = "USR";
+          source = (fun _ -> source);
+          fits_data_in_sram = false;
+        }
+  | _ -> Error "pass exactly one of --benchmark or --file"
+
+let ( let* ) r f = match r with Ok v -> f v | Error e -> `Error (false, e)
+
+let run_cmd benchmark file system placement freq seed blacklist =
+  let* b = load_benchmark ~benchmark ~file ~seed in
+  let* caching = parse_system blacklist system in
+  let* placement = parse_placement placement in
+  let* frequency = parse_freq freq in
+  let config =
+    {
+      (Experiments.Toolchain.default_config b) with
+      Experiments.Toolchain.seed;
+      caching;
+      placement;
+      frequency;
+    }
+  in
+  match Experiments.Toolchain.run config with
+  | Experiments.Toolchain.Did_not_fit msg ->
+      `Error (false, "binary does not fit the platform: " ^ msg)
+  | Experiments.Toolchain.Completed r ->
+      let stats = r.Experiments.Toolchain.stats in
+      Printf.printf "benchmark    : %s (seed %d)\n" b.Workloads.Bench_def.name seed;
+      Printf.printf "system       : %s, %s, %s\n"
+        (Experiments.Toolchain.caching_name caching)
+        (Experiments.Toolchain.placement_name placement)
+        (Platform.frequency_name frequency);
+      Printf.printf "binary       : %d B code, %d B data\n"
+        r.Experiments.Toolchain.sizes.Experiments.Toolchain.code_bytes
+        r.Experiments.Toolchain.sizes.Experiments.Toolchain.data_bytes;
+      Printf.printf "cycles       : %d unstalled + %d stalls = %d\n"
+        stats.Trace.unstalled_cycles stats.Trace.stall_cycles
+        (Trace.total_cycles stats);
+      Printf.printf "time         : %.3f ms\n"
+        (r.Experiments.Toolchain.energy.Msp430.Energy.time_s *. 1000.0);
+      Printf.printf "energy       : %.1f uJ\n"
+        (r.Experiments.Toolchain.energy.Msp430.Energy.energy_nj /. 1000.0);
+      Printf.printf "FRAM accesses: %d (%d ifetch, %d data reads, %d writes)\n"
+        (Trace.fram_accesses stats) stats.Trace.fram_ifetch
+        stats.Trace.fram_data_reads stats.Trace.fram_writes;
+      Printf.printf "SRAM accesses: %d\n" (Trace.sram_accesses stats);
+      Printf.printf "instructions : %d (%.1f%% from SRAM)\n"
+        stats.Trace.instructions
+        (100.0 *. Trace.instr_fraction stats Trace.App_sram);
+      (match r.Experiments.Toolchain.swapram_stats with
+      | Some s ->
+          Printf.printf
+            "swapram      : %d misses, %d evictions, %d aborts, %d words copied\n"
+            s.Swapram.Runtime.misses s.Swapram.Runtime.evictions
+            (s.Swapram.Runtime.aborts + s.Swapram.Runtime.too_large)
+            s.Swapram.Runtime.words_copied
+      | None -> ());
+      (match r.Experiments.Toolchain.block_stats with
+      | Some s ->
+          Printf.printf
+            "block cache  : %d misses, %d loads, %d chains, %d flushes\n"
+            s.Blockcache.Runtime.misses s.Blockcache.Runtime.block_loads
+            s.Blockcache.Runtime.chains s.Blockcache.Runtime.flushes
+      | None -> ());
+      Printf.printf "uart         : %s\n"
+        (String.concat "\\n"
+           (String.split_on_char '\n' r.Experiments.Toolchain.uart));
+      `Ok ()
+
+let asm_cmd benchmark file seed instrumented =
+  let* b = load_benchmark ~benchmark ~file ~seed in
+  let program =
+    Minic.Driver.program_of_source (b.Workloads.Bench_def.source seed)
+  in
+  let program =
+    if not instrumented then program
+    else
+      let built = Swapram.Pipeline.build program in
+      built.Swapram.Pipeline.program
+  in
+  Format.printf "%a@." Masm.Ast.pp_program program;
+  `Ok ()
+
+(* objdump-style listing of the assembled image *)
+let disasm_cmd benchmark file seed instrumented =
+  let* b = load_benchmark ~benchmark ~file ~seed in
+  let program =
+    Minic.Driver.program_of_source (b.Workloads.Bench_def.source seed)
+  in
+  let image =
+    if instrumented then
+      (Swapram.Pipeline.build program).Swapram.Pipeline.image
+    else Masm.Assembler.assemble program
+  in
+  let reverse = Hashtbl.create 97 in
+  Hashtbl.iter
+    (fun name addr ->
+      if not (Hashtbl.mem reverse addr) then Hashtbl.replace reverse addr name)
+    image.Masm.Assembler.symbols;
+  List.iter
+    (fun (addr, instr) ->
+      (match Hashtbl.find_opt reverse addr with
+      | Some name -> Printf.printf "\n%04x <%s>:\n" addr name
+      | None -> ());
+      Printf.printf "  %04x:  %s\n" addr (Msp430.Isa.to_string instr))
+    image.Masm.Assembler.instructions;
+  `Ok ()
+
+(* Execution trace: run under a tracer and print the first N decoded
+   instructions with their addresses, mspdebug-style. *)
+let trace_cmd benchmark file system seed limit =
+  let* b = load_benchmark ~benchmark ~file ~seed in
+  let* caching = parse_system [] system in
+  let source = b.Workloads.Bench_def.source seed in
+  let program = Minic.Driver.program_of_source source in
+  let system_ = Platform.create Platform.Mhz24 in
+  let entry =
+    match caching with
+    | Experiments.Toolchain.Swapram_cache options ->
+        let built = Swapram.Pipeline.build ~options program in
+        ignore (Swapram.Pipeline.install built system_);
+        Masm.Assembler.lookup built.Swapram.Pipeline.image
+          Minic.Driver.entry_name
+    | _ ->
+        let image = Masm.Assembler.assemble program in
+        Masm.Assembler.load image system_.Platform.memory;
+        Masm.Assembler.lookup image Minic.Driver.entry_name
+  in
+  Msp430.Cpu.set_reg system_.Platform.cpu Msp430.Isa.sp
+    (Platform.fram_base + Platform.fram_size);
+  Msp430.Cpu.set_reg system_.Platform.cpu Msp430.Isa.pc entry;
+  let remaining = ref limit in
+  Msp430.Cpu.set_tracer system_.Platform.cpu
+    (Some
+       (fun ~pc instr ->
+         if !remaining > 0 then begin
+           decr remaining;
+           Printf.printf "%06d  %04x:  %s
+"
+             (limit - !remaining)
+             pc
+             (Msp430.Isa.to_string instr)
+         end));
+  let rec loop () =
+    if !remaining > 0 && not (Msp430.Cpu.halted system_.Platform.cpu) then begin
+      Msp430.Cpu.step system_.Platform.cpu;
+      loop ()
+    end
+  in
+  loop ();
+  `Ok ()
+
+let limit_arg =
+  let doc = "Number of instructions to trace." in
+  Arg.(value & opt int 100 & info [ "limit"; "n" ] ~doc)
+
+let run_term =
+  Term.(
+    ret
+      (const run_cmd $ benchmark_arg $ file_arg $ system_arg $ placement_arg
+     $ freq_arg $ seed_arg $ blacklist_arg))
+
+let instrumented_arg =
+  let doc = "Print the SwapRAM-instrumented program instead of plain output." in
+  Arg.(value & flag & info [ "instrumented"; "i" ] ~doc)
+
+let asm_term =
+  Term.(ret (const asm_cmd $ benchmark_arg $ file_arg $ seed_arg $ instrumented_arg))
+
+let disasm_term =
+  Term.(
+    ret (const disasm_cmd $ benchmark_arg $ file_arg $ seed_arg $ instrumented_arg))
+
+let cmds =
+  [
+    Cmd.v (Cmd.info "run" ~doc:"Build and simulate a program") run_term;
+    Cmd.v (Cmd.info "asm" ~doc:"Dump generated (optionally instrumented) assembly") asm_term;
+    Cmd.v
+      (Cmd.info "disasm"
+         ~doc:"Disassemble the assembled image (objdump-style listing)")
+      disasm_term;
+    Cmd.v
+      (Cmd.info "trace" ~doc:"Print an execution trace (mspdebug-style)")
+      Term.(
+        ret
+          (const trace_cmd $ benchmark_arg $ file_arg $ system_arg $ seed_arg
+         $ limit_arg));
+  ]
+
+let () =
+  let info =
+    Cmd.info "swapram_cli"
+      ~doc:"SwapRAM software instruction cache for NVRAM microcontrollers"
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

@@ -1,0 +1,1 @@
+examples/cache_explorer.ml: Array Experiments List Msp430 Option Printf Swapram Sys Workloads

@@ -1,0 +1,1 @@
+examples/cache_explorer.mli:

@@ -1,0 +1,1 @@
+examples/intermittent.ml: List Masm Minic Msp430 Printf Swapram Workloads

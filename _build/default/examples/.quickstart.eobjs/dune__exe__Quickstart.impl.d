@@ -1,0 +1,1 @@
+examples/quickstart.ml: Masm Minic Msp430 Printf Swapram

@@ -1,0 +1,1 @@
+examples/sensor_logger.ml: Blockcache Experiments Msp430 Printf Swapram Workloads

@@ -1,0 +1,1 @@
+examples/split_memory.ml: Experiments List Msp430 Printf Swapram Workloads

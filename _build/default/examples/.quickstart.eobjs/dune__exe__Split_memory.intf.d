@@ -1,0 +1,1 @@
+examples/split_memory.mli:

@@ -1,0 +1,61 @@
+(* Cache explorer: sweep SwapRAM's SRAM budget and replacement
+   structure on a chosen benchmark and watch hit behaviour, eviction
+   traffic and end-to-end speed change — the §3.4/§5.6 design space.
+
+   Run with: dune exec examples/cache_explorer.exe [-- benchmark] *)
+
+module T = Experiments.Toolchain
+module Trace = Msp430.Trace
+
+let run benchmark options =
+  match
+    T.run
+      {
+        (T.default_config benchmark) with
+        T.caching = T.Swapram_cache options;
+      }
+  with
+  | T.Completed r -> r
+  | T.Did_not_fit msg -> failwith msg
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "aes" in
+  let benchmark =
+    match Workloads.Suite.find name with
+    | Some b -> b
+    | None -> failwith ("unknown benchmark " ^ name)
+  in
+  let baseline =
+    match T.run (T.default_config benchmark) with
+    | T.Completed r -> r
+    | T.Did_not_fit msg -> failwith msg
+  in
+  let base_cycles = Trace.total_cycles baseline.T.stats in
+  Printf.printf "%s: unified baseline = %d cycles\n\n"
+    benchmark.Workloads.Bench_def.name base_cycles;
+  Printf.printf "%-14s %-9s %8s %8s %8s %8s %8s %9s\n" "cache" "policy"
+    "cycles" "speedup" "misses" "evicts" "aborts" "sram-frac";
+  List.iter
+    (fun policy ->
+      List.iter
+        (fun size ->
+          let r =
+            run benchmark
+              {
+                Swapram.Config.default_options with
+                Swapram.Config.cache_size = size;
+                policy;
+              }
+          in
+          let s = Option.get r.T.swapram_stats in
+          Printf.printf "%-14s %-9s %8d %7.2fx %8d %8d %8d %8.1f%%\n"
+            (Printf.sprintf "%d B" size)
+            (Swapram.Cache.policy_name policy)
+            (Trace.total_cycles r.T.stats)
+            (float_of_int base_cycles
+            /. float_of_int (Trace.total_cycles r.T.stats))
+            s.Swapram.Runtime.misses s.Swapram.Runtime.evictions
+            (s.Swapram.Runtime.aborts + s.Swapram.Runtime.too_large)
+            (100.0 *. Trace.instr_fraction r.T.stats Trace.App_sram))
+        [ 512; 1024; 2048; 3072; 4096 ])
+    [ Swapram.Cache.Circular_queue; Swapram.Cache.Stack ]

@@ -1,0 +1,82 @@
+(* Quickstart: compile a mini-C program, build it with SwapRAM, run it
+   on the simulated MSP430FR2355, and compare against plain
+   unified-memory execution.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Platform = Msp430.Platform
+module Cpu = Msp430.Cpu
+module Isa = Msp430.Isa
+module Trace = Msp430.Trace
+
+(* A small program: hash a table a few thousand times. *)
+let source =
+  {|
+int table[64] = {0};
+
+int hash_step(int h, int v) { return ((h << 5) + h) ^ v; }
+
+int main(void) {
+  int i;
+  for (i = 0; i < 64; i++) table[i] = i * 37;
+  unsigned h = 5381;
+  int round;
+  for (round = 0; round < 200; round++) {
+    for (i = 0; i < 64; i++) h = hash_step(h, table[i]);
+  }
+  return h & 0x7FFF;
+}
+|}
+
+(* Assemble + load + run a program image; returns (result, stats). *)
+let execute image =
+  let system = Platform.create Platform.Mhz24 in
+  Masm.Assembler.load image system.Platform.memory;
+  Cpu.set_reg system.Platform.cpu Isa.sp
+    (Platform.fram_base + Platform.fram_size);
+  Cpu.set_reg system.Platform.cpu Isa.pc
+    (Masm.Assembler.lookup image Minic.Driver.entry_name);
+  (match Cpu.run ~fuel:100_000_000 system.Platform.cpu with
+  | Cpu.Halted -> ()
+  | Cpu.Fuel_exhausted -> failwith "did not halt");
+  (Cpu.reg system.Platform.cpu 12, system)
+
+let () =
+  (* 1. compile mini-C to MSP430 assembly (with the support library) *)
+  let program = Minic.Driver.program_of_source source in
+
+  (* 2. baseline: assemble and run from FRAM through the hardware cache *)
+  let baseline_image = Masm.Assembler.assemble program in
+  let base_result, base_sys = execute baseline_image in
+
+  (* 3. SwapRAM: instrument, assemble, install the runtime, run *)
+  let built = Swapram.Pipeline.build program in
+  let system = Platform.create Platform.Mhz24 in
+  let runtime = Swapram.Pipeline.install built system in
+  Cpu.set_reg system.Platform.cpu Isa.sp
+    (Platform.fram_base + Platform.fram_size);
+  Cpu.set_reg system.Platform.cpu Isa.pc
+    (Masm.Assembler.lookup built.Swapram.Pipeline.image Minic.Driver.entry_name);
+  (match Cpu.run ~fuel:100_000_000 system.Platform.cpu with
+  | Cpu.Halted -> ()
+  | Cpu.Fuel_exhausted -> failwith "did not halt");
+  let sr_result = Cpu.reg system.Platform.cpu 12 in
+
+  (* 4. compare *)
+  let base_stats = Cpu.stats base_sys.Platform.cpu in
+  let sr_stats = Cpu.stats system.Platform.cpu in
+  Printf.printf "baseline: result=%d, %d cycles, %d FRAM accesses\n" base_result
+    (Trace.total_cycles base_stats)
+    (Trace.fram_accesses base_stats);
+  Printf.printf "swapram : result=%d, %d cycles, %d FRAM accesses\n" sr_result
+    (Trace.total_cycles sr_stats)
+    (Trace.fram_accesses sr_stats);
+  assert (base_result = sr_result);
+  let s = Swapram.Runtime.stats runtime in
+  Printf.printf
+    "swapram runtime: %d misses, %d evictions; %.0f%% of instructions ran from SRAM\n"
+    s.Swapram.Runtime.misses s.Swapram.Runtime.evictions
+    (100.0 *. Trace.instr_fraction sr_stats Trace.App_sram);
+  Printf.printf "speedup: %.2fx\n"
+    (float_of_int (Trace.total_cycles base_stats)
+    /. float_of_int (Trace.total_cycles sr_stats))

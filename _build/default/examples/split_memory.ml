@@ -1,0 +1,39 @@
+(* Split-SRAM demo (§5.5): when an application's data fits in SRAM,
+   SwapRAM can still use the *leftover* SRAM as a code cache and beat
+   the conventional code-FRAM/data-SRAM arrangement.
+
+   Run with: dune exec examples/split_memory.exe *)
+
+module T = Experiments.Toolchain
+module Trace = Msp430.Trace
+
+let describe benchmark tag outcome =
+  match outcome with
+  | T.Did_not_fit msg ->
+      Printf.printf "  %-28s does not fit (%s)\n" tag msg
+  | T.Completed r ->
+      Printf.printf "  %-28s %9d cycles  %7.2f ms  %8.1f uJ\n" tag
+        (Trace.total_cycles r.T.stats)
+        (r.T.energy.Msp430.Energy.time_s *. 1000.0)
+        (r.T.energy.Msp430.Energy.energy_nj /. 1000.0);
+      ignore benchmark
+
+let () =
+  List.iter
+    (fun benchmark ->
+      Printf.printf "%s:\n" benchmark.Workloads.Bench_def.name;
+      let base = T.default_config benchmark in
+      describe benchmark "unified (code+data FRAM)" (T.run base);
+      describe benchmark "standard (data in SRAM)"
+        (T.run { base with T.placement = T.Standard });
+      describe benchmark "split SRAM + SwapRAM"
+        (T.run
+           {
+             base with
+             T.placement = T.Split;
+             caching = T.Swapram_cache Swapram.Config.default_options;
+           });
+      print_newline ())
+    Workloads.Suite.split_memory_subset;
+  print_endline
+    "split SRAM = data + stack in low SRAM, the rest is SwapRAM's code cache."

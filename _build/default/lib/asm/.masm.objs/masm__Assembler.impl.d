@@ -1,0 +1,1 @@
+lib/asm/assembler.ml: Ast Bytes Char Format Hashtbl List Msp430 Printf String

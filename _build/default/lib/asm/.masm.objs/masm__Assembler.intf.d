@@ -1,0 +1,1 @@
+lib/asm/assembler.mli: Ast Bytes Hashtbl Msp430

@@ -1,0 +1,1 @@
+lib/asm/ast.ml: Format List Msp430

@@ -1,0 +1,1 @@
+lib/asm/build.ml: Ast Msp430

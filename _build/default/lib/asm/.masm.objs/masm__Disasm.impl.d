@@ -1,0 +1,1 @@
+lib/asm/disasm.ml: Assembler Ast Bytes Char Hashtbl List Msp430 Printf

@@ -1,0 +1,1 @@
+lib/asm/disasm.mli: Assembler Ast

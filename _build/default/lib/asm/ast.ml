@@ -1,0 +1,119 @@
+module Isa = Msp430.Isa
+
+(* Symbolic MSP430 assembly: the representation produced by the minic
+   compiler and consumed by the SwapRAM / block-cache instrumentation
+   passes and the assembler.
+
+   A program is an ordered list of items (functions and data blobs).
+   Operands may reference labels; the assembler resolves them. Jump
+   statements name labels and are relaxed by the assembler: targets
+   within the ±(511/512)-word PC-relative range stay short jumps,
+   everything else becomes an absolute branch (conditional jumps get
+   the inverted-condition skip of the paper's Figure 6), exactly like
+   the msp430-gcc linker behaviour the paper describes in §4. *)
+
+type expr =
+  | Num of int
+  | Lab of string
+  | Lab_off of string * int (* label + byte offset *)
+  | Diff of string * string (* label_a - label_b, e.g. function sizes *)
+
+type src =
+  | Sreg of Isa.reg
+  | Sidx of expr * Isa.reg
+  | Sind of Isa.reg
+  | Sinc of Isa.reg
+  | Simm of expr
+  | Sabs of expr
+  | Ssym of expr
+
+type dst = Dreg of Isa.reg | Didx of expr * Isa.reg | Dabs of expr | Dsym of expr
+
+type instr =
+  | I1 of Isa.op1 * Isa.size * src * dst
+  | I2 of Isa.op2 * Isa.size * src
+  | J of Isa.cond * string (* jump to label; subject to relaxation *)
+  | Br of expr (* absolute branch: MOV #target, PC *)
+  | Br_ind of expr (* branch through memory: MOV &slot, PC *)
+  | Call of expr (* CALL #target *)
+  | Call_ind of expr (* CALL &slot — indirect via a memory word *)
+  | Ret (* MOV @SP+, PC *)
+
+type stmt =
+  | Label of string
+  | Instr of instr
+  | Word of expr (* .word *)
+  | Byte of int (* .byte *)
+  | Ascii of string (* .ascii, no terminator *)
+  | Space of int (* .space, zero-filled *)
+  | Align of int
+  | Comment of string
+
+type section = Text | Data
+
+type item = { name : string; section : section; stmts : stmt list }
+
+type program = item list
+
+let item ?(section = Text) name stmts = { name; section; stmts }
+
+let text_items program = List.filter (fun i -> i.section = Text) program
+let data_items program = List.filter (fun i -> i.section = Data) program
+
+(* Rough upper bound on an instruction's encoded size in bytes,
+   assuming jumps stay short; the assembler computes exact sizes. *)
+
+let pp_expr fmt = function
+  | Num n -> Format.fprintf fmt "%d" n
+  | Lab l -> Format.pp_print_string fmt l
+  | Lab_off (l, k) -> Format.fprintf fmt "%s%+d" l k
+  | Diff (a, b) -> Format.fprintf fmt "%s-%s" a b
+
+let pp_src fmt = function
+  | Sreg r -> Isa.pp_reg fmt r
+  | Sidx (e, r) -> Format.fprintf fmt "%a(%a)" pp_expr e Isa.pp_reg r
+  | Sind r -> Format.fprintf fmt "@%a" Isa.pp_reg r
+  | Sinc r -> Format.fprintf fmt "@%a+" Isa.pp_reg r
+  | Simm e -> Format.fprintf fmt "#%a" pp_expr e
+  | Sabs e -> Format.fprintf fmt "&%a" pp_expr e
+  | Ssym e -> pp_expr fmt e
+
+let pp_dst fmt = function
+  | Dreg r -> Isa.pp_reg fmt r
+  | Didx (e, r) -> Format.fprintf fmt "%a(%a)" pp_expr e Isa.pp_reg r
+  | Dabs e -> Format.fprintf fmt "&%a" pp_expr e
+  | Dsym e -> pp_expr fmt e
+
+let pp_instr fmt = function
+  | I1 (op, sz, s, d) ->
+      Format.fprintf fmt "%a%a %a, %a" Isa.pp_op1 op Isa.pp_size sz pp_src s
+        pp_dst d
+  | I2 (op, sz, s) ->
+      Format.fprintf fmt "%a%a %a" Isa.pp_op2 op Isa.pp_size sz pp_src s
+  | J (c, l) -> Format.fprintf fmt "%a %s" Isa.pp_cond c l
+  | Br e -> Format.fprintf fmt "BR #%a" pp_expr e
+  | Br_ind e -> Format.fprintf fmt "BR &%a" pp_expr e
+  | Call e -> Format.fprintf fmt "CALL #%a" pp_expr e
+  | Call_ind e -> Format.fprintf fmt "CALL &%a" pp_expr e
+  | Ret -> Format.pp_print_string fmt "RET"
+
+let pp_stmt fmt = function
+  | Label l -> Format.fprintf fmt "%s:" l
+  | Instr i -> Format.fprintf fmt "    %a" pp_instr i
+  | Word e -> Format.fprintf fmt "    .word %a" pp_expr e
+  | Byte b -> Format.fprintf fmt "    .byte %d" b
+  | Ascii s -> Format.fprintf fmt "    .ascii %S" s
+  | Space n -> Format.fprintf fmt "    .space %d" n
+  | Align n -> Format.fprintf fmt "    .align %d" n
+  | Comment c -> Format.fprintf fmt "    ; %s" c
+
+let pp_item fmt it =
+  Format.fprintf fmt "; %s %s@,"
+    (match it.section with Text -> ".text" | Data -> ".data")
+    it.name;
+  List.iter (fun s -> Format.fprintf fmt "%a@," pp_stmt s) it.stmts
+
+let pp_program fmt prog =
+  Format.fprintf fmt "@[<v>";
+  List.iter (pp_item fmt) prog;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,88 @@
+module Isa = Msp430.Isa
+
+(* Convenience eDSL for writing assembly in OCaml: used by the
+   hand-written runtime library routines, startup code and tests. *)
+
+let r4 = 4
+let r5 = 5
+let r6 = 6
+let r7 = 7
+let r8 = 8
+let r9 = 9
+let r10 = 10
+let r11 = 11
+let r12 = 12
+let r13 = 13
+let r14 = 14
+let r15 = 15
+
+(* Operands *)
+let reg r = Ast.Sreg r
+let imm n = Ast.Simm (Ast.Num n)
+let imml l = Ast.Simm (Ast.Lab l)
+let idx k r = Ast.Sidx (Ast.Num k, r)
+let ind r = Ast.Sind r
+let inc r = Ast.Sinc r
+let abs l = Ast.Sabs (Ast.Lab l)
+let absn a = Ast.Sabs (Ast.Num a)
+let dreg r = Ast.Dreg r
+let didx k r = Ast.Didx (Ast.Num k, r)
+let dabs l = Ast.Dabs (Ast.Lab l)
+let dabsn a = Ast.Dabs (Ast.Num a)
+
+(* Instructions (word-sized unless suffixed _b) *)
+let i1 op s d = Ast.Instr (Ast.I1 (op, Isa.W, s, d))
+let i1b op s d = Ast.Instr (Ast.I1 (op, Isa.B, s, d))
+let mov s d = i1 Isa.MOV s d
+let mov_b s d = i1b Isa.MOV s d
+let add s d = i1 Isa.ADD s d
+let add_b s d = i1b Isa.ADD s d
+let addc s d = i1 Isa.ADDC s d
+let sub s d = i1 Isa.SUB s d
+let subc s d = i1 Isa.SUBC s d
+let cmp s d = i1 Isa.CMP s d
+let cmp_b s d = i1b Isa.CMP s d
+let bit s d = i1 Isa.BIT s d
+let bic s d = i1 Isa.BIC s d
+let bis s d = i1 Isa.BIS s d
+let xor s d = i1 Isa.XOR s d
+let and_ s d = i1 Isa.AND s d
+let and_b s d = i1b Isa.AND s d
+
+let i2 op s = Ast.Instr (Ast.I2 (op, Isa.W, s))
+let rrc s = i2 Isa.RRC s
+let rra s = i2 Isa.RRA s
+let swpb s = i2 Isa.SWPB s
+let sxt s = i2 Isa.SXT s
+let push s = i2 Isa.PUSH s
+let pop r = mov (inc 1) (dreg r)
+
+let jmp l = Ast.Instr (Ast.J (Isa.JMP, l))
+let jeq l = Ast.Instr (Ast.J (Isa.JEQ, l))
+let jne l = Ast.Instr (Ast.J (Isa.JNE, l))
+let jc l = Ast.Instr (Ast.J (Isa.JC, l))
+let jnc l = Ast.Instr (Ast.J (Isa.JNC, l))
+let jn l = Ast.Instr (Ast.J (Isa.JN, l))
+let jge l = Ast.Instr (Ast.J (Isa.JGE, l))
+let jl l = Ast.Instr (Ast.J (Isa.JL, l))
+
+let call l = Ast.Instr (Ast.Call (Ast.Lab l))
+let ret = Ast.Instr Ast.Ret
+let br l = Ast.Instr (Ast.Br (Ast.Lab l))
+
+(* Common idioms *)
+let clr d = mov (imm 0) d
+let inc_ d = add (imm 1) d
+let dec d = sub (imm 1) d
+let tst s = cmp (imm 0) (match s with
+  | Ast.Sreg r -> Ast.Dreg r
+  | _ -> invalid_arg "tst: register operand expected")
+let rla d_as_src d = add d_as_src d (* shift left = add to itself *)
+
+let label l = Ast.Label l
+let word_ e = Ast.Word e
+let wordn n = Ast.Word (Ast.Num n)
+let wordl l = Ast.Word (Ast.Lab l)
+let space n = Ast.Space n
+let align2 = Ast.Align 2
+let comment c = Ast.Comment c

@@ -1,0 +1,133 @@
+module Isa = Msp430.Isa
+module Word = Msp430.Word
+module Encoding = Msp430.Encoding
+
+(* Disassembler: reconstruct a symbolic AST item from assembled bytes.
+
+   This implements the paper's "library instrumentation" workflow (§4):
+   precompiled library binaries cannot be instrumented at the source
+   level, so they are disassembled, their intra-function branch targets
+   and call destinations recovered programmatically, and the result fed
+   through the normal instrumentation pass like ordinary assembly. *)
+
+exception Error of string
+
+(* Decode all instructions in [bytes] (function bodies are pure code;
+   returns the (offset, instr, size) list). [base] is the address the
+   code was assembled at, needed for PC-relative operands. *)
+let decode_all ~base bytes =
+  let len = Bytes.length bytes in
+  let fetch addr =
+    let off = addr - base in
+    if off < 0 || off + 1 >= len then
+      raise (Error (Printf.sprintf "decode runs past item end at 0x%04X" addr));
+    Word.make_word
+      ~high:(Char.code (Bytes.get bytes (off + 1)))
+      ~low:(Char.code (Bytes.get bytes off))
+  in
+  let rec loop addr acc =
+    if addr - base >= len then List.rev acc
+    else
+      let instr, size = Encoding.decode ~fetch ~addr in
+      loop (addr + size) ((addr, instr, size) :: acc)
+  in
+  loop base []
+
+let local_label name off = Printf.sprintf "%s$L%d" name off
+
+(* Map a concrete instruction back to symbolic AST. [in_range a] tells
+   whether [a] is inside the function being disassembled; [sym_of a]
+   resolves known global symbols (function entry points). *)
+let lift ~name ~in_range ~sym_of ~addr instr =
+  let expr_of a =
+    if in_range a then Ast.Lab (local_label name a)
+    else match sym_of a with Some s -> Ast.Lab s | None -> Ast.Num a
+  in
+  (* Absolute data references are rebound to their defining symbol when
+     one exists, so relinking at a different layout stays correct —
+     the programmatic recovery of semantic information the paper's §4
+     describes. *)
+  let data_expr a =
+    match sym_of a with Some s -> Ast.Lab s | None -> Ast.Num a
+  in
+  let lift_src = function
+    | Isa.Sreg r -> Ast.Sreg r
+    | Isa.Sidx (x, r) -> Ast.Sidx (Ast.Num x, r)
+    | Isa.Sind r -> Ast.Sind r
+    | Isa.Sinc r -> Ast.Sinc r
+    | Isa.Simm v | Isa.SimmX v -> Ast.Simm (Ast.Num v)
+    | Isa.Sabs a -> Ast.Sabs (data_expr a)
+    | Isa.Ssym a -> Ast.Ssym (Ast.Num a)
+  in
+  let lift_dst = function
+    | Isa.Dreg r -> Ast.Dreg r
+    | Isa.Didx (x, r) -> Ast.Didx (Ast.Num x, r)
+    | Isa.Dabs a -> Ast.Dabs (data_expr a)
+    | Isa.Dsym a -> Ast.Dsym (Ast.Num a)
+  in
+  match instr with
+  | Isa.I1 (Isa.MOV, Isa.W, Isa.Sinc 1, Isa.Dreg 0) -> Ast.Ret
+  | Isa.I1 (Isa.MOV, Isa.W, (Isa.Simm v | Isa.SimmX v), Isa.Dreg 0) ->
+      Ast.Br (expr_of v)
+  | Isa.I1 (Isa.MOV, Isa.W, Isa.Sabs a, Isa.Dreg 0) -> Ast.Br_ind (Ast.Num a)
+  | Isa.I2 (Isa.CALL, _, (Isa.Simm v | Isa.SimmX v)) -> Ast.Call (expr_of v)
+  | Isa.I2 (Isa.CALL, _, Isa.Sabs a) -> Ast.Call_ind (Ast.Num a)
+  | Isa.I1 (op, sz, s, d) -> Ast.I1 (op, sz, lift_src s, lift_dst d)
+  | Isa.I2 (op, sz, s) -> Ast.I2 (op, sz, lift_src s)
+  | Isa.Jcc (c, off) ->
+      let target = addr + 2 + (2 * off) in
+      if not (in_range target) then
+        raise (Error (Printf.sprintf "jump escapes function at 0x%04X" addr));
+      Ast.J (c, local_label name target)
+  | Isa.RETI -> raise (Error "RETI in library code is unsupported")
+
+(* Branch targets referenced by the decoded instruction. *)
+let targets ~addr instr =
+  match instr with
+  | Isa.Jcc (_, off) -> [ addr + 2 + (2 * off) ]
+  | Isa.I1 (Isa.MOV, Isa.W, (Isa.Simm v | Isa.SimmX v), Isa.Dreg 0) -> [ v ]
+  | _ -> []
+
+(* Disassemble the function [name] out of [image] into a symbolic item
+   ready for re-instrumentation. *)
+let item_of_image (image : Assembler.t) ~name =
+  let addr = Assembler.lookup image name in
+  let size = Assembler.item_size image name in
+  let seg =
+    match
+      List.find_opt
+        (fun s ->
+          addr >= s.Assembler.base
+          && addr + size <= s.Assembler.base + Bytes.length s.Assembler.contents)
+        image.Assembler.segments
+    with
+    | Some s -> s
+    | None -> raise (Error (Printf.sprintf "no segment holds %s" name))
+  in
+  let bytes = Bytes.sub seg.Assembler.contents (addr - seg.Assembler.base) size in
+  let decoded = decode_all ~base:addr bytes in
+  let in_range a = a >= addr && a < addr + size in
+  let reverse = Hashtbl.create 17 in
+  List.iter
+    (fun info ->
+      Hashtbl.replace reverse info.Assembler.info_addr info.Assembler.info_name)
+    image.Assembler.items;
+  let sym_of a = Hashtbl.find_opt reverse a in
+  let label_set = Hashtbl.create 17 in
+  List.iter
+    (fun (a, i, _) ->
+      List.iter
+        (fun t -> if in_range t then Hashtbl.replace label_set t ())
+        (targets ~addr:a i))
+    decoded;
+  let stmts =
+    List.concat_map
+      (fun (a, i, _) ->
+        let lbl =
+          if Hashtbl.mem label_set a then [ Ast.Label (local_label name a) ]
+          else []
+        in
+        lbl @ [ Ast.Instr (lift ~name ~in_range ~sym_of ~addr:a i) ])
+      decoded
+  in
+  Ast.item name stmts

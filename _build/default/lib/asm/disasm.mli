@@ -1,0 +1,15 @@
+(** Disassembler: reconstruct a symbolic AST item from assembled
+    bytes — the paper's §4 "library instrumentation" workflow.
+    Intra-function branch targets become local labels, call
+    destinations and absolute data references are rebound to their
+    defining symbols, and the result can be re-instrumented and
+    re-linked like ordinary assembly. *)
+
+exception Error of string
+
+val local_label : string -> int -> string
+(** Label generated for an intra-function target (name + address). *)
+
+val item_of_image : Assembler.t -> name:string -> Ast.item
+(** Lift the function [name] out of an assembled image. Raises
+    {!Error} if decoding runs past the item or a jump escapes it. *)

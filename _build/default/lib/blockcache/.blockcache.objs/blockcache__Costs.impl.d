@@ -1,0 +1,1 @@
+lib/blockcache/costs.ml:

@@ -1,0 +1,1 @@
+lib/blockcache/pipeline.ml: Config List Masm Msp430 Printf Runtime Transform

@@ -1,0 +1,1 @@
+lib/blockcache/pipeline.mli: Config Masm Msp430 Runtime Transform

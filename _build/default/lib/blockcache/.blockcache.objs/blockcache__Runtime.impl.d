@@ -1,0 +1,1 @@
+lib/blockcache/runtime.ml: Array Config Costs Hashtbl Masm Msp430 Printf Transform

@@ -1,0 +1,1 @@
+lib/blockcache/runtime.mli: Config Masm Msp430 Transform

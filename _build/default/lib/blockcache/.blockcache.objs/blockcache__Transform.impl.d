@@ -1,0 +1,1 @@
+lib/blockcache/transform.ml: Array Config Format List Masm Msp430 Printf

@@ -1,0 +1,1 @@
+lib/blockcache/transform.mli: Config Masm

@@ -1,0 +1,37 @@
+(* Block-cache build options and well-known addresses/symbols.
+
+   This is the best-effort MSP430 port of Miller & Agarwal's software
+   instruction cache that the paper compares against (§4): basic-block
+   granularity, fixed-size SRAM slots, a djb2 hash table at 0.5 load
+   factor kept in FRAM (the paper found FRAM placement fastest),
+   block chaining by rewriting cached CFIs, and a full cache flush
+   when the slots run out. *)
+
+(* Trap vectors. *)
+let miss_trap = 0xFF10 (* CFI stubs branch here *)
+let return_trap = 0xFF12 (* transformed RETs branch here *)
+
+(* Metadata symbols. *)
+let sym_cfi = "__bb_cfi" (* current CFI id, written by the stubs *)
+let sym_cfitab = "__bb_cfitab" (* per-CFI: target, owner block, BR offset *)
+let sym_blocktab = "__bb_blocktab" (* per-block: address, size *)
+let sym_hash = "__bb_hash" (* open-addressing table in FRAM *)
+let sym_runtime = "__bb_runtime" (* reserved FRAM region for runtime code *)
+let sym_memcpy = "__bb_memcpy"
+
+type options = {
+  cache_base : int;
+  cache_size : int;
+  (* Basic blocks are split so their transformed size never exceeds
+     this; the slot size is the largest transformed block. *)
+  max_block_bytes : int;
+  debug_checks : bool;
+}
+
+let default_options =
+  {
+    cache_base = Msp430.Platform.sram_base;
+    cache_size = Msp430.Platform.sram_size;
+    max_block_bytes = 64;
+    debug_checks = false;
+  }

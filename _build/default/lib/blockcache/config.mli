@@ -1,0 +1,28 @@
+(** Block-cache build options and well-known addresses/symbols for the
+    best-effort MSP430 port of Miller & Agarwal's software instruction
+    cache the paper compares against (§4). *)
+
+val miss_trap : int
+(** CFI stubs branch here. *)
+
+val return_trap : int
+(** Transformed RETs branch here; the runtime pops the NVM return
+    address and resumes through the cache. *)
+
+val sym_cfi : string
+val sym_cfitab : string
+val sym_blocktab : string
+val sym_hash : string
+val sym_runtime : string
+val sym_memcpy : string
+
+type options = {
+  cache_base : int;
+  cache_size : int;
+  max_block_bytes : int;
+      (** blocks are split so their transformed size never exceeds
+          this; the slot size is the largest transformed block *)
+  debug_checks : bool;
+}
+
+val default_options : options

@@ -1,0 +1,249 @@
+module Cpu = Msp430.Cpu
+module Memory = Msp430.Memory
+module Trace = Msp430.Trace
+module Isa = Msp430.Isa
+
+(* Runtime for the block-cache baseline: fixed-size SRAM slots, a
+   djb2 open-addressing hash table in FRAM mapping NVM block address
+   to cached copy, block chaining by rewriting the branch extension
+   word inside the cached source block, and a full flush when the
+   slots are exhausted (the highest-performance configuration of the
+   original design, per the paper §4). *)
+
+type table_addrs = {
+  a_cfi : int;
+  a_cfitab : int;
+  a_blocktab : int;
+  a_hash : int;
+  a_runtime : int;
+  runtime_size : int;
+  a_memcpy : int;
+  memcpy_size : int;
+}
+
+type stats = {
+  mutable misses : int; (* runtime entries via CFI stubs *)
+  mutable block_loads : int; (* blocks copied into slots *)
+  mutable chains : int;
+  mutable flushes : int;
+  mutable returns : int;
+  mutable hash_probes : int;
+  mutable words_copied : int;
+}
+
+type t = {
+  mem : Memory.t;
+  cpu : Cpu.t;
+  options : Config.options;
+  manifest : Transform.manifest;
+  addrs : table_addrs;
+  block_index : (int, int * int) Hashtbl.t; (* nvm addr -> (index, size) *)
+  mutable next_slot : int;
+  stats : stats;
+  mutable handler_cursor : int;
+  mutable memcpy_cursor : int;
+}
+
+let stats t = t.stats
+
+let charge t source n =
+  let base, size, get, set =
+    match source with
+    | Trace.Memcpy ->
+        ( t.addrs.a_memcpy,
+          t.addrs.memcpy_size,
+          (fun () -> t.memcpy_cursor),
+          fun c -> t.memcpy_cursor <- c )
+    | _ ->
+        ( t.addrs.a_runtime,
+          t.addrs.runtime_size,
+          (fun () -> t.handler_cursor),
+          fun c -> t.handler_cursor <- c )
+  in
+  for _ = 1 to n do
+    let cur = get () in
+    Memory.begin_instruction t.mem;
+    ignore (Memory.read_word t.mem ~purpose:Memory.Ifetch (base + cur));
+    Trace.count_instr (Memory.stats t.mem) source;
+    (Memory.stats t.mem).Trace.unstalled_cycles <-
+      (Memory.stats t.mem).Trace.unstalled_cycles + Costs.cycles_per_instr;
+    set ((cur + 2) mod size)
+  done
+
+let read_word t addr = Memory.read_word t.mem ~purpose:Memory.Data addr
+let write_word t addr v = Memory.write_word t.mem addr v
+
+(* --- Hash table in simulated FRAM ------------------------------------ *)
+
+let djb2 key =
+  let h = 5381 in
+  let h = ((h * 33) + (key land 0xFF)) land 0xFFFF in
+  ((h * 33) + ((key lsr 8) land 0xFF)) land 0xFFFF
+
+let bucket_addr t i = t.addrs.a_hash + (4 * i)
+
+let hash_lookup t key =
+  let mask = t.manifest.Transform.hash_buckets - 1 in
+  let rec probe i steps =
+    if steps > t.manifest.Transform.hash_buckets then None
+    else begin
+      charge t Trace.Handler Costs.hash_probe_instrs;
+      t.stats.hash_probes <- t.stats.hash_probes + 1;
+      let k = read_word t (bucket_addr t i) in
+      if k = 0 then None
+      else if k = key then Some (read_word t (bucket_addr t i + 2))
+      else probe ((i + 1) land mask) (steps + 1)
+    end
+  in
+  probe (djb2 key land mask) 0
+
+let hash_insert t key value =
+  let mask = t.manifest.Transform.hash_buckets - 1 in
+  let rec probe i =
+    charge t Trace.Handler Costs.hash_insert_instrs;
+    let k = read_word t (bucket_addr t i) in
+    if k = 0 || k = key then begin
+      write_word t (bucket_addr t i) key;
+      write_word t (bucket_addr t i + 2) value
+    end
+    else probe ((i + 1) land mask)
+  in
+  probe (djb2 key land mask)
+
+let flush t =
+  t.stats.flushes <- t.stats.flushes + 1;
+  charge t Trace.Handler Costs.flush_base_instrs;
+  for i = 0 to t.manifest.Transform.hash_buckets - 1 do
+    charge t Trace.Handler Costs.flush_per_bucket_instrs;
+    write_word t (bucket_addr t i) 0
+  done;
+  t.next_slot <- 0
+
+(* --- Block loading ---------------------------------------------------- *)
+
+let load_block t ~nvm =
+  let index, size =
+    match Hashtbl.find_opt t.block_index nvm with
+    | Some p -> p
+    | None ->
+        failwith
+          (Printf.sprintf "block cache: 0x%04X is not a block leader" nvm)
+  in
+  (* read the blocktab entry (address check + size) *)
+  charge t Trace.Handler 2;
+  ignore (read_word t (t.addrs.a_blocktab + (4 * index)));
+  ignore (read_word t (t.addrs.a_blocktab + (4 * index) + 2));
+  if t.next_slot >= t.manifest.Transform.num_slots then flush t;
+  let slot = t.options.Config.cache_base
+             + (t.next_slot * t.manifest.Transform.slot_size)
+  in
+  t.next_slot <- t.next_slot + 1;
+  let words = (size + 1) / 2 in
+  for i = 0 to words - 1 do
+    charge t Trace.Memcpy Costs.memcpy_per_word_instrs;
+    let w = read_word t (nvm + (2 * i)) in
+    write_word t (slot + (2 * i)) w;
+    t.stats.words_copied <- t.stats.words_copied + 1
+  done;
+  hash_insert t nvm slot;
+  t.stats.block_loads <- t.stats.block_loads + 1;
+  slot
+
+let lookup_or_load t ~nvm =
+  match hash_lookup t nvm with
+  | Some slot -> slot
+  | None -> load_block t ~nvm
+
+(* --- Trap entries ------------------------------------------------------ *)
+
+(* CFI stub entry: cache the target block and chain the source CFI. *)
+let on_miss t _cpu =
+  t.stats.misses <- t.stats.misses + 1;
+  charge t Trace.Handler Costs.runtime_entry_instrs;
+  let cfi_id = read_word t t.addrs.a_cfi in
+  charge t Trace.Handler Costs.cfitab_instrs;
+  let entry = t.addrs.a_cfitab + (6 * cfi_id) in
+  let target = read_word t entry in
+  let owner = read_word t (entry + 2) in
+  let br_off = read_word t (entry + 4) in
+  let slot = lookup_or_load t ~nvm:target in
+  (* chain: if the source block is cached, point its BR at the copy *)
+  (match hash_lookup t owner with
+  | Some owner_slot ->
+      charge t Trace.Handler Costs.chain_instrs;
+      (* the BR's extension word sits 2 bytes after the opcode *)
+      write_word t (owner_slot + br_off + 2) slot;
+      t.stats.chains <- t.stats.chains + 1
+  | None -> ());
+  charge t Trace.Handler Costs.runtime_exit_instrs;
+  Cpu.Goto slot
+
+(* Return entry: resume at the (NVM) return address through the cache. *)
+let on_return t cpu =
+  t.stats.returns <- t.stats.returns + 1;
+  charge t Trace.Handler Costs.return_entry_instrs;
+  let sp = Cpu.reg cpu Isa.sp in
+  let nvm = read_word t sp in
+  Cpu.set_reg cpu Isa.sp (sp + 2);
+  let slot = lookup_or_load t ~nvm in
+  charge t Trace.Handler Costs.runtime_exit_instrs;
+  Cpu.Goto slot
+
+let table_addrs_of_image image (manifest : Transform.manifest) =
+  let look = Masm.Assembler.lookup image in
+  {
+    a_cfi = look Config.sym_cfi;
+    a_cfitab = look Config.sym_cfitab;
+    a_blocktab = look Config.sym_blocktab;
+    a_hash = look Config.sym_hash;
+    a_runtime = look Config.sym_runtime;
+    runtime_size = manifest.Transform.runtime_bytes;
+    a_memcpy = look Config.sym_memcpy;
+    memcpy_size = manifest.Transform.memcpy_bytes;
+  }
+
+let install ~options ~manifest ~image (system : Msp430.Platform.system) =
+  let addrs = table_addrs_of_image image manifest in
+  let block_index = Hashtbl.create 256 in
+  Array.iteri
+    (fun i (leader, size) ->
+      let addr = Masm.Assembler.lookup image leader in
+      Hashtbl.replace block_index addr (i, size))
+    manifest.Transform.blocks;
+  let t =
+    {
+      mem = system.Msp430.Platform.memory;
+      cpu = system.Msp430.Platform.cpu;
+      options;
+      manifest;
+      addrs;
+      block_index;
+      next_slot = 0;
+      stats =
+        {
+          misses = 0;
+          block_loads = 0;
+          chains = 0;
+          flushes = 0;
+          returns = 0;
+          hash_probes = 0;
+          words_copied = 0;
+        };
+      handler_cursor = 0;
+      memcpy_cursor = 0;
+    }
+  in
+  Cpu.register_trap system.Msp430.Platform.cpu Config.miss_trap (on_miss t);
+  Cpu.register_trap system.Msp430.Platform.cpu Config.return_trap (on_return t);
+  let rt_lo = addrs.a_runtime and rt_hi = addrs.a_runtime + addrs.runtime_size in
+  let mc_lo = addrs.a_memcpy and mc_hi = addrs.a_memcpy + addrs.memcpy_size in
+  Cpu.set_classifier system.Msp430.Platform.cpu (fun addr ->
+      if addr >= rt_lo && addr < rt_hi then Trace.Handler
+      else if addr >= mc_lo && addr < mc_hi then Trace.Memcpy
+      else
+        match
+          Memory.region_of (Memory.map system.Msp430.Platform.memory) addr
+        with
+        | Memory.Sram -> Trace.App_sram
+        | Memory.Fram | Memory.Peripheral | Memory.Unmapped -> Trace.App_fram);
+  t

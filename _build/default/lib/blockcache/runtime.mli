@@ -1,0 +1,27 @@
+(** Runtime for the block-cache baseline: fixed-size SRAM slots, a
+    djb2 open-addressing hash table in FRAM mapping NVM block address
+    to cached copy, block chaining by rewriting the branch extension
+    word inside the cached source block, and a full flush when the
+    slots are exhausted (the highest-performance configuration of the
+    original design, per the paper §4). *)
+
+type stats = {
+  mutable misses : int;  (** runtime entries via CFI stubs *)
+  mutable block_loads : int;  (** blocks copied into slots *)
+  mutable chains : int;
+  mutable flushes : int;
+  mutable returns : int;  (** runtime entries via the return trap *)
+  mutable hash_probes : int;
+  mutable words_copied : int;
+}
+
+type t
+
+val stats : t -> stats
+
+val install :
+  options:Config.options ->
+  manifest:Transform.manifest ->
+  image:Masm.Assembler.t ->
+  Msp430.Platform.system ->
+  t

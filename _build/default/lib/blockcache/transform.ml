@@ -1,0 +1,290 @@
+module A = Masm.Ast
+module Isa = Msp430.Isa
+
+(* Basic-block transformation for the block-cache baseline (paper §4,
+   Fig. 6).
+
+   Every text item is split into basic blocks whose transformed size
+   never exceeds the slot budget. Control-flow instructions become
+   absolute branches to per-CFI stubs that enter the runtime (this is
+   the "jump table" whose size dominates the block cache's memory
+   consumption in §5.2):
+
+   - conditional jumps get the inverted-condition skip of Fig. 6;
+   - unconditional jumps and fall-through block boundaries become
+     plain absolute branches to stubs;
+   - CALL pushes its return address explicitly (an NVM address, so
+     the call stack survives cache flushes) and branches to the
+     callee's stub; the instruction after the call leads a new block;
+   - RET branches straight into the runtime's return entry, which
+     pops the NVM return address and resumes through the cache.
+
+   A label placed on each rewritten branch lets the runtime chain
+   blocks by overwriting the branch's extension word inside the
+   cached SRAM copy. *)
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type cfi = { cfi_target : string; cfi_owner : string; cfi_marker : string }
+
+type manifest = {
+  cfis : cfi array;
+  blocks : (string * int) array; (* leader label, exact size in bytes *)
+  slot_size : int;
+  num_slots : int;
+  hash_buckets : int;
+  runtime_bytes : int;
+  memcpy_bytes : int;
+}
+
+let inverse_cond = Masm.Assembler.inverse_cond
+
+type state = {
+  mutable cfis_acc : cfi list; (* reversed *)
+  mutable next_cfi : int;
+  mutable next_label : int;
+  mutable blocks_acc : (string * int) list; (* reversed *)
+}
+
+let fresh st prefix =
+  st.next_label <- st.next_label + 1;
+  Printf.sprintf "$bb_%s%d" prefix st.next_label
+
+(* Size of the CFI tail appended when a block ends: marker + BR #stub. *)
+let cfi_tail_bytes = 4
+
+let stub_label k = Printf.sprintf "$bb_stub%d" k
+
+let transform_item options st (it : A.item) =
+  let out = ref [] in
+  let emit s = out := s :: !out in
+  (* current block: leader label, accumulated size, and whether the
+     block has already been terminated (control cannot fall past a
+     terminator, so no continuation CFI is needed there) *)
+  let leader = ref it.A.name in
+  let block_size = ref 0 in
+  let terminated = ref false in
+  let close_block () =
+    st.blocks_acc <- (!leader, !block_size) :: st.blocks_acc
+  in
+  let start_block l =
+    leader := l;
+    block_size := 0;
+    terminated := false
+  in
+  let add_size n = block_size := !block_size + n in
+  (* Emit a runtime-entering CFI: marker label + absolute branch to a
+     fresh stub whose id records the jump target. *)
+  let emit_cfi target =
+    let k = st.next_cfi in
+    st.next_cfi <- k + 1;
+    let marker = fresh st "m" in
+    st.cfis_acc <-
+      { cfi_target = target; cfi_owner = !leader; cfi_marker = marker }
+      :: st.cfis_acc;
+    emit (A.Label marker);
+    emit (A.Instr (A.Br (A.Lab (stub_label k))));
+    add_size 4
+  in
+  (* If the dead code after a terminator is actually reachable code
+     (it should not be, but lifted items may surprise), give it a
+     fresh leader. *)
+  let ensure_open () =
+    if !terminated then begin
+      let lead = fresh st "ld" in
+      emit (A.Label lead);
+      start_block lead
+    end
+  in
+  let split_if_needed next_bytes =
+    if !block_size + next_bytes + cfi_tail_bytes > options.Config.max_block_bytes
+    then begin
+      let cont = fresh st "sp" in
+      emit_cfi cont;
+      close_block ();
+      emit (A.Label cont);
+      start_block cont
+    end
+  in
+  let handle_stmt stmt =
+    match stmt with
+    | A.Label l ->
+        if !terminated then begin
+          emit (A.Label l);
+          start_block l
+        end
+        else begin
+          (* fall-through boundary: branch explicitly to the next
+             block, as cached copies are not contiguous *)
+          emit_cfi l;
+          close_block ();
+          emit (A.Label l);
+          start_block l
+        end
+    | A.Comment _ -> emit stmt
+    | A.Instr (A.J (c, l)) -> (
+        ensure_open ();
+        match c with
+        | Isa.JMP ->
+            emit_cfi l;
+            close_block ();
+            terminated := true
+        | _ -> (
+            match inverse_cond c with
+            | Some inv ->
+                (* both outcomes leave the block through a CFI; the
+                   short inverted jump stays inside the block copy *)
+                split_if_needed (2 + (2 * cfi_tail_bytes));
+                let skip = fresh st "sk" in
+                let cont = fresh st "ct" in
+                emit (A.Instr (A.J (inv, skip)));
+                add_size 2;
+                emit_cfi l (* taken path *);
+                emit (A.Label skip) (* intra-block label *);
+                emit_cfi cont (* fall-through path *);
+                close_block ();
+                emit (A.Label cont);
+                start_block cont
+            | None ->
+                (* JN has no complement: short jump over the
+                   fall-through CFI to the taken CFI *)
+                split_if_needed (2 + (2 * cfi_tail_bytes));
+                let take = fresh st "tk" in
+                let cont = fresh st "ct" in
+                emit (A.Instr (A.J (c, take)));
+                add_size 2;
+                emit_cfi cont (* fall-through path *);
+                emit (A.Label take) (* intra-block label *);
+                emit_cfi l (* taken path *);
+                close_block ();
+                emit (A.Label cont);
+                start_block cont))
+    | A.Instr (A.Call (A.Lab f)) ->
+        ensure_open ();
+        (* PUSH #return-NVM-address (4 bytes) + CFI to the callee; the
+           pushed address survives cache flushes because it names the
+           FRAM original, resolved back through the return trap *)
+        split_if_needed (4 + cfi_tail_bytes);
+        let ret = fresh st "rt" in
+        emit (A.Instr (A.I2 (Isa.PUSH, Isa.W, A.Simm (A.Lab ret))));
+        add_size 4;
+        emit_cfi f;
+        close_block ();
+        emit (A.Label ret);
+        start_block ret
+    | A.Instr (A.Call (A.Num a)) ->
+        error "%s: call to raw address 0x%04X unsupported" it.A.name a
+    | A.Instr (A.Call (A.Lab_off _ | A.Diff _)) ->
+        error "%s: computed call target unsupported" it.A.name
+    | A.Instr A.Ret ->
+        ensure_open ();
+        emit (A.Instr (A.Br (A.Num Config.return_trap)));
+        add_size 4;
+        close_block ();
+        terminated := true
+    | A.Instr (A.Br (A.Lab l)) ->
+        ensure_open ();
+        emit_cfi l;
+        close_block ();
+        terminated := true
+    | A.Instr (A.Br _ | A.Br_ind _ | A.Call_ind _) ->
+        error "%s: indirect control flow unsupported by the block cache"
+          it.A.name
+    | A.Instr i ->
+        ensure_open ();
+        let size = Masm.Assembler.instr_size i in
+        split_if_needed size;
+        emit (A.Instr i);
+        add_size size
+    | A.Word _ | A.Byte _ | A.Ascii _ | A.Space _ | A.Align _ ->
+        error "%s: data inside a code item unsupported by the block cache"
+          it.A.name
+  in
+  List.iter handle_stmt it.A.stmts;
+  if not !terminated then close_block ();
+  { it with A.stmts = List.rev !out }
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (2 * p) in
+  go 1
+
+let stub_items num_cfis =
+  A.item "$bb_stubs"
+    (List.concat
+       (List.init num_cfis (fun k ->
+            [
+              A.Label (stub_label k);
+              A.Instr
+                (A.I1
+                   ( Isa.MOV,
+                     Isa.W,
+                     A.Simm (A.Num k),
+                     A.Dabs (A.Lab Config.sym_cfi) ));
+              A.Instr (A.Br (A.Num Config.miss_trap));
+            ])))
+
+(* Metadata stays in FRAM with the code (Text placement) — the
+   configuration the paper found fastest for this baseline (§4). *)
+let metadata_items manifest =
+  [
+    A.item Config.sym_cfi [ A.Word (A.Num 0) ];
+    A.item Config.sym_cfitab
+      (List.concat_map
+         (fun c ->
+           [
+             A.Word (A.Lab c.cfi_target);
+             A.Word (A.Lab c.cfi_owner);
+             A.Word (A.Diff (c.cfi_marker, c.cfi_owner));
+           ])
+         (Array.to_list manifest.cfis));
+    A.item Config.sym_blocktab
+      (List.concat_map
+         (fun (leader, size) -> [ A.Word (A.Lab leader); A.Word (A.Num size) ])
+         (Array.to_list manifest.blocks));
+    A.item Config.sym_hash [ A.Space (4 * manifest.hash_buckets) ];
+  ]
+
+let runtime_region_items manifest =
+  [
+    A.item Config.sym_runtime [ A.Space manifest.runtime_bytes ];
+    A.item Config.sym_memcpy [ A.Space manifest.memcpy_bytes ];
+  ]
+
+let transform ?(options = Config.default_options) program =
+  let st = { cfis_acc = []; next_cfi = 0; next_label = 0; blocks_acc = [] } in
+  let items =
+    List.map
+      (fun (it : A.item) ->
+        if it.A.section = A.Text then transform_item options st it else it)
+      program
+  in
+  let blocks =
+    Array.of_list
+      (List.filter (fun (_, size) -> size > 0) (List.rev st.blocks_acc))
+  in
+  let cfis = Array.of_list (List.rev st.cfis_acc) in
+  let slot_size =
+    Array.fold_left (fun acc (_, s) -> max acc s) 2 blocks
+  in
+  let num_slots = max 1 (options.Config.cache_size / slot_size) in
+  let hash_buckets = next_pow2 (2 * num_slots) in
+  let manifest =
+    {
+      cfis;
+      blocks;
+      slot_size;
+      num_slots;
+      hash_buckets;
+      runtime_bytes = 620;
+      memcpy_bytes = 64;
+    }
+  in
+  let final =
+    items
+    @ [ stub_items (Array.length cfis) ]
+    @ runtime_region_items manifest
+    @ metadata_items manifest
+  in
+  (final, manifest)

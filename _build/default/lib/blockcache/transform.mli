@@ -1,0 +1,28 @@
+(** Basic-block transformation for the block-cache baseline (paper §4,
+    Fig. 6): split text items into slot-sized basic blocks, rewrite
+    every control-flow instruction into an absolute branch through a
+    per-CFI stub (the "jump table" that dominates this system's memory
+    cost), push explicit NVM return addresses at calls, and emit the
+    runtime metadata (CFI table, block table, hash region). *)
+
+exception Error of string
+
+type cfi = {
+  cfi_target : string;  (** jump destination (a block leader label) *)
+  cfi_owner : string;  (** leader of the block containing the CFI *)
+  cfi_marker : string;  (** label on the rewritten branch, for chaining *)
+}
+
+type manifest = {
+  cfis : cfi array;
+  blocks : (string * int) array;  (** leader label, exact size in bytes *)
+  slot_size : int;
+  num_slots : int;
+  hash_buckets : int;
+  runtime_bytes : int;
+  memcpy_bytes : int;
+}
+
+val stub_label : int -> string
+val transform :
+  ?options:Config.options -> Masm.Ast.program -> Masm.Ast.program * manifest

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: List Msp430 Option Report Swapram Toolchain Workloads

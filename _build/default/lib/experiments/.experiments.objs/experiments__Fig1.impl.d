@@ -1,0 +1,1 @@
+lib/experiments/fig1.ml: List Msp430 Printf Report Toolchain Workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig10.ml: Blockcache List Msp430 Printf Report Swapram Toolchain Workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Blockcache List Masm Minic Msp430 Printf Report String Swapram Workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: Array List Msp430 Printf Report Sweep Toolchain Workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: List Msp430 Printf Report Sweep Toolchain Workloads

@@ -1,0 +1,1 @@
+lib/experiments/sweep.ml: Blockcache Hashtbl List Msp430 Swapram Toolchain Workloads

@@ -1,0 +1,1 @@
+lib/experiments/sweep.mli: Msp430 Toolchain Workloads

@@ -1,0 +1,1 @@
+lib/experiments/tab1.ml: List Msp430 Printf Report Toolchain Workloads

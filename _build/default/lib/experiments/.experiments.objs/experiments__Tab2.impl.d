@@ -1,0 +1,1 @@
+lib/experiments/tab2.ml: List Msp430 Printf Report Sweep Toolchain Workloads

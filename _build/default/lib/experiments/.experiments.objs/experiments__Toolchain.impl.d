@@ -1,0 +1,1 @@
+lib/experiments/toolchain.ml: Blockcache Masm Minic Msp430 Option Printf Swapram Workloads

@@ -1,0 +1,1 @@
+lib/experiments/toolchain.mli: Blockcache Msp430 Swapram Workloads

@@ -1,0 +1,208 @@
+module Platform = Msp430.Platform
+module Trace = Msp430.Trace
+
+(* Ablations over the design choices DESIGN.md calls out:
+   - replacement structure: circular queue (the paper's choice) vs a
+     stack ("most-recently-cached" — the structure §3.4 argues
+     against);
+   - the anti-thrashing freeze extension sketched in §5.4, on the AES
+     pathology;
+   - SRAM cache size sensitivity;
+   - the §4 library-instrumentation path (disassembled library vs
+     source-level), which must be performance-neutral. *)
+
+type run_cells = {
+  cycles : int;
+  fram : int;
+  misses : int;
+  aborts : int;
+  evictions : int;
+}
+
+let cells_of = function
+  | Toolchain.Did_not_fit m -> failwith m
+  | Toolchain.Completed r ->
+      let s = Option.get r.Toolchain.swapram_stats in
+      {
+        cycles = Trace.total_cycles r.Toolchain.stats;
+        fram = Trace.fram_accesses r.Toolchain.stats;
+        misses = s.Swapram.Runtime.misses;
+        aborts = s.Swapram.Runtime.aborts + s.Swapram.Runtime.too_large;
+        evictions = s.Swapram.Runtime.evictions;
+      }
+
+let run_sr ?(seed = 1) benchmark options =
+  cells_of
+    (Toolchain.run
+       {
+         (Toolchain.default_config benchmark) with
+         Toolchain.seed;
+         caching = Toolchain.Swapram_cache options;
+       })
+
+type t = {
+  policy_rows : (string * run_cells * run_cells) list; (* queue, stack *)
+  cost_rows : (string * run_cells * run_cells) list; (* queue, cost-aware *)
+  prefetch_rows : (string * run_cells * run_cells * int) list;
+      (* off, on, prefetch count *)
+  freeze_rows : (string * run_cells * run_cells) list; (* off, on *)
+  size_rows : (string * int * run_cells) list; (* bench, cache size, cells *)
+  disasm_neutral : (string * int * int) list; (* bench, direct, via disasm *)
+}
+
+let ablation_benchmarks =
+  Workloads.Suite.[ crc; rc4; aes; bitcount; rsa ]
+
+let compute ?(seed = 1) () =
+  let default = Swapram.Config.default_options in
+  let policy_rows =
+    List.map
+      (fun b ->
+        ( b.Workloads.Bench_def.name,
+          run_sr ~seed b default,
+          run_sr ~seed b { default with Swapram.Config.policy = Swapram.Cache.Stack } ))
+      ablation_benchmarks
+  in
+  let cost_rows =
+    List.map
+      (fun b ->
+        ( b.Workloads.Bench_def.name,
+          run_sr ~seed b default,
+          run_sr ~seed b
+            { default with Swapram.Config.policy = Swapram.Cache.Cost_aware } ))
+      ablation_benchmarks
+  in
+  let prefetch_rows =
+    List.map
+      (fun b ->
+        let off = run_sr ~seed b default in
+        let on_result =
+          Toolchain.run
+            {
+              (Toolchain.default_config b) with
+              Toolchain.seed;
+              caching =
+                Toolchain.Swapram_cache
+                  { default with Swapram.Config.prefetch = 2 };
+            }
+        in
+        let on = cells_of on_result in
+        let prefetches =
+          match on_result with
+          | Toolchain.Completed r ->
+              (Option.get r.Toolchain.swapram_stats).Swapram.Runtime.prefetches
+          | Toolchain.Did_not_fit _ -> 0
+        in
+        (b.Workloads.Bench_def.name, off, on, prefetches))
+      [ Workloads.Suite.aes; Workloads.Suite.crc; Workloads.Suite.rsa ]
+  in
+  let freeze_rows =
+    List.map
+      (fun b ->
+        ( b.Workloads.Bench_def.name,
+          run_sr ~seed b default,
+          run_sr ~seed b { default with Swapram.Config.freeze = Some (3, 64) } ))
+      [ Workloads.Suite.aes ]
+  in
+  let size_rows =
+    List.concat_map
+      (fun b ->
+        List.map
+          (fun size ->
+            ( b.Workloads.Bench_def.name,
+              size,
+              run_sr ~seed b { default with Swapram.Config.cache_size = size } ))
+          [ 1024; 2048; 3072; 4096 ])
+      [ Workloads.Suite.aes; Workloads.Suite.crc ]
+  in
+  let disasm_neutral =
+    List.map
+      (fun b ->
+        let run through_disasm =
+          match
+            Toolchain.run
+              {
+                (Toolchain.default_config b) with
+                Toolchain.seed;
+                caching = Toolchain.Swapram_cache default;
+                through_disasm;
+              }
+          with
+          | Toolchain.Completed r -> Trace.total_cycles r.Toolchain.stats
+          | Toolchain.Did_not_fit m -> failwith m
+        in
+        (b.Workloads.Bench_def.name, run false, run true))
+      [ Workloads.Suite.crc; Workloads.Suite.rsa ]
+  in
+  { policy_rows; cost_rows; prefetch_rows; freeze_rows; size_rows; disasm_neutral }
+
+let render t =
+  let pair_table title a_name b_name rows =
+    Report.heading title
+    ^ Report.table ~aligns:[ Report.Left ]
+        ([ "benchmark";
+           a_name ^ " cyc (M)"; a_name ^ " aborts"; a_name ^ " evic";
+           b_name ^ " cyc (M)"; b_name ^ " aborts"; b_name ^ " evic"; "delta" ]
+        :: List.map
+             (fun (name, a, b) ->
+               [
+                 name;
+                 Report.millions a.cycles;
+                 string_of_int a.aborts;
+                 string_of_int a.evictions;
+                 Report.millions b.cycles;
+                 string_of_int b.aborts;
+                 string_of_int b.evictions;
+                 Report.pct ~vs:a.cycles b.cycles;
+               ])
+             rows)
+    ^ "\n\n"
+  in
+  pair_table "Ablation: circular queue vs stack replacement" "queue" "stack"
+    t.policy_rows
+  ^ pair_table "Ablation: circular queue vs cost-aware placement (SS3.4 future work)"
+      "queue" "cost" t.cost_rows
+  ^ Report.heading "Ablation: call-graph prefetch extension"
+  ^ Report.table ~aligns:[ Report.Left ]
+      ([ "benchmark"; "off cyc (M)"; "on cyc (M)"; "prefetches"; "delta" ]
+      :: List.map
+           (fun (name, off, on, prefetches) ->
+             [
+               name;
+               Report.millions off.cycles;
+               Report.millions on.cycles;
+               string_of_int prefetches;
+               Report.pct ~vs:off.cycles on.cycles;
+             ])
+           t.prefetch_rows)
+  ^ "\n\n"
+  ^ pair_table "Ablation: freeze-on-thrash extension (AES)" "off" "freeze"
+      t.freeze_rows
+  ^ Report.heading "Ablation: SRAM cache size"
+  ^ Report.table ~aligns:[ Report.Left ]
+      ([ "benchmark"; "cache (B)"; "cycles (M)"; "FRAM (M)"; "misses"; "aborts" ]
+      :: List.map
+           (fun (name, size, c) ->
+             [
+               name;
+               string_of_int size;
+               Report.millions c.cycles;
+               Report.millions c.fram;
+               string_of_int c.misses;
+               string_of_int c.aborts;
+             ])
+           t.size_rows)
+  ^ "\n\n"
+  ^ Report.heading "Ablation: library instrumentation via disassembler (§4)"
+  ^ Report.table ~aligns:[ Report.Left ]
+      ([ "benchmark"; "source-level cyc"; "disassembled cyc"; "delta" ]
+      :: List.map
+           (fun (name, direct, lifted) ->
+             [
+               name;
+               string_of_int direct;
+               string_of_int lifted;
+               Report.pct ~vs:direct lifted;
+             ])
+           t.disasm_neutral)
+  ^ "\n"

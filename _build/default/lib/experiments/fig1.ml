@@ -1,0 +1,75 @@
+module Platform = Msp430.Platform
+module Trace = Msp430.Trace
+
+(* Figure 1 — memory placement study: the arith microbenchmark with
+   {code, data} x {FRAM, SRAM} at 8 and 24 MHz. The paper's takeaways
+   this reproduces: unified FRAM operation is the slowest and most
+   energy-hungry configuration even at 8 MHz (hardware-cache
+   contention); when code and data must be separated, code belongs in
+   SRAM because instruction fetches dominate. *)
+
+type row = {
+  placement : Toolchain.placement;
+  frequency : Platform.frequency;
+  cycles : int;
+  time_ms : float;
+  energy_uj : float;
+}
+
+type t = row list
+
+let placements =
+  Toolchain.[ Unified; Standard; Code_sram; All_sram ]
+
+let compute ?(seed = 1) () =
+  List.concat_map
+    (fun frequency ->
+      List.map
+        (fun placement ->
+          let config =
+            {
+              (Toolchain.default_config Workloads.Suite.arith) with
+              Toolchain.seed;
+              frequency;
+              placement;
+            }
+          in
+          match Toolchain.run config with
+          | Toolchain.Completed r ->
+              {
+                placement;
+                frequency;
+                cycles = Trace.total_cycles r.Toolchain.stats;
+                time_ms = r.Toolchain.energy.Msp430.Energy.time_s *. 1000.0;
+                energy_uj = r.Toolchain.energy.Msp430.Energy.energy_nj /. 1000.0;
+              }
+          | Toolchain.Did_not_fit msg ->
+              failwith ("fig1: arith does not fit: " ^ msg))
+        placements)
+    [ Platform.Mhz8; Platform.Mhz24 ]
+
+let render t =
+  let rows =
+    [ "placement"; "freq"; "cycles"; "time (ms)"; "energy (uJ)"; "vs unified" ]
+    :: List.map
+         (fun r ->
+           let unified =
+             List.find
+               (fun u ->
+                 u.placement = Toolchain.Unified && u.frequency = r.frequency)
+               t
+           in
+           [
+             Toolchain.placement_name r.placement;
+             Platform.frequency_name r.frequency;
+             string_of_int r.cycles;
+             Printf.sprintf "%.3f" r.time_ms;
+             Printf.sprintf "%.1f" r.energy_uj;
+             Report.pctf ~vs:unified.time_ms r.time_ms;
+           ])
+         t
+  in
+  Report.heading
+    "Figure 1: memory placement study (arith microbenchmark)"
+  ^ Report.table ~aligns:[ Report.Left; Report.Left ] rows
+  ^ "\n"

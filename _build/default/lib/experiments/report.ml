@@ -1,0 +1,61 @@
+(* Plain-text table rendering for the experiment reports. *)
+
+type align = Left | Right
+
+(* Render rows as aligned columns; the first row is the header. *)
+let table ?(aligns = []) rows =
+  match rows with
+  | [] -> ""
+  | header :: _ ->
+      let ncols = List.length header in
+      let widths = Array.make ncols 0 in
+      List.iter
+        (List.iteri (fun i cell ->
+             if i < ncols then widths.(i) <- max widths.(i) (String.length cell)))
+        rows;
+      let align_of i =
+        match List.nth_opt aligns i with Some a -> a | None -> Right
+      in
+      let pad i cell =
+        let w = widths.(i) in
+        let n = w - String.length cell in
+        if n <= 0 then cell
+        else
+          match align_of i with
+          | Left -> cell ^ String.make n ' '
+          | Right -> String.make n ' ' ^ cell
+      in
+      let render_row row =
+        String.concat "  " (List.mapi pad row)
+      in
+      let sep =
+        String.concat "  "
+          (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+      in
+      (match rows with
+      | h :: rest ->
+          String.concat "\n" ((render_row h :: sep :: List.map render_row rest))
+      | [] -> "")
+
+let pct ~vs value =
+  if vs = 0 then "n/a"
+  else Printf.sprintf "%+.0f%%" (100.0 *. (float_of_int value /. float_of_int vs -. 1.0))
+
+let pctf ~vs value =
+  if vs = 0.0 then "n/a"
+  else Printf.sprintf "%+.0f%%" (100.0 *. ((value /. vs) -. 1.0))
+
+let ratio ~vs value =
+  if vs = 0 then 0.0 else float_of_int value /. float_of_int vs
+
+let millions v = Printf.sprintf "%.2f" (float_of_int v /. 1.0e6)
+
+(* Geometric mean of ratios. *)
+let geo_mean = function
+  | [] -> 1.0
+  | rs ->
+      exp (List.fold_left (fun acc r -> acc +. log r) 0.0 rs /. float_of_int (List.length rs))
+
+let heading title =
+  let bar = String.make (String.length title) '=' in
+  Printf.sprintf "%s\n%s\n" title bar

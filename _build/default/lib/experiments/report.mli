@@ -1,0 +1,16 @@
+(** Plain-text table rendering for the experiment reports. *)
+
+type align = Left | Right
+
+val table : ?aligns:align list -> string list list -> string
+(** Aligned columns; the first row is the header (default alignment is
+    [Right], [aligns] overrides per column). *)
+
+val pct : vs:int -> int -> string
+(** "+12%"-style delta of a value against a baseline. *)
+
+val pctf : vs:float -> float -> string
+val ratio : vs:int -> int -> float
+val millions : int -> string
+val geo_mean : float list -> float
+val heading : string -> string

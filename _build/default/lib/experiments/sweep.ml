@@ -1,0 +1,69 @@
+module Platform = Msp430.Platform
+
+(* Shared evaluation sweep: every benchmark under the three systems
+   (unified baseline, SwapRAM, block cache) at a given frequency.
+   Table 2, Figures 8 and 9 all read from this matrix; results are
+   memoized per (seed, frequency) so one bench run computes it once. *)
+
+type entry = {
+  benchmark : Workloads.Bench_def.t;
+  baseline : Toolchain.result;
+  swapram : Toolchain.outcome;
+  block : Toolchain.outcome;
+}
+
+type t = entry list
+
+let cache : (int * Platform.frequency, t) Hashtbl.t = Hashtbl.create 4
+
+let compute_uncached ~seed ~frequency =
+  List.map
+    (fun benchmark ->
+      let base_config =
+        {
+          (Toolchain.default_config benchmark) with
+          Toolchain.seed;
+          frequency;
+        }
+      in
+      let baseline =
+        match Toolchain.run base_config with
+        | Toolchain.Completed r -> r
+        | Toolchain.Did_not_fit msg ->
+            failwith (benchmark.Workloads.Bench_def.name ^ " baseline: " ^ msg)
+      in
+      let swapram =
+        Toolchain.run
+          {
+            base_config with
+            Toolchain.caching =
+              Toolchain.Swapram_cache Swapram.Config.default_options;
+          }
+      in
+      let block =
+        Toolchain.run
+          {
+            base_config with
+            Toolchain.caching =
+              Toolchain.Block_cache Blockcache.Config.default_options;
+          }
+      in
+      (* §5.1 validation is implicit in every sweep: outputs must match *)
+      (match swapram with
+      | Toolchain.Completed r when r.Toolchain.uart <> baseline.Toolchain.uart ->
+          failwith (benchmark.Workloads.Bench_def.name ^ ": SwapRAM output differs")
+      | _ -> ());
+      (match block with
+      | Toolchain.Completed r when r.Toolchain.uart <> baseline.Toolchain.uart ->
+          failwith (benchmark.Workloads.Bench_def.name ^ ": block-cache output differs")
+      | _ -> ());
+      { benchmark; baseline; swapram; block })
+    Workloads.Suite.all
+
+let compute ?(seed = 1) ~frequency () =
+  match Hashtbl.find_opt cache (seed, frequency) with
+  | Some t -> t
+  | None ->
+      let t = compute_uncached ~seed ~frequency in
+      Hashtbl.replace cache (seed, frequency) t;
+      t

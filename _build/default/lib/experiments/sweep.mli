@@ -1,0 +1,16 @@
+(** Shared evaluation sweep: every benchmark under the three systems
+    at a given frequency, memoized per (seed, frequency) — Table 2 and
+    Figures 8/9 all read from this matrix. Each sweep cross-checks the
+    cached systems' outputs against the baseline (the §5.1 validation)
+    and fails loudly on a mismatch. *)
+
+type entry = {
+  benchmark : Workloads.Bench_def.t;
+  baseline : Toolchain.result;
+  swapram : Toolchain.outcome;
+  block : Toolchain.outcome;
+}
+
+type t = entry list
+
+val compute : ?seed:int -> frequency:Msp430.Platform.frequency -> unit -> t

@@ -1,0 +1,62 @@
+module Trace = Msp430.Trace
+
+(* Table 1 — per-benchmark binary size, RAM usage and the ratio of
+   code-space to data-space accesses on the unified-memory baseline.
+   The paper's central observation: instruction fetches dominate the
+   memory traffic of embedded software (average ratio ~3x). *)
+
+type row = {
+  benchmark : Workloads.Bench_def.t;
+  binary_bytes : int;
+  ram_bytes : int;
+  code_data_ratio : float;
+}
+
+type t = { rows : row list; average_ratio : float }
+
+let compute ?(seed = 1) () =
+  let rows =
+    List.map
+      (fun benchmark ->
+        let config =
+          { (Toolchain.default_config benchmark) with Toolchain.seed }
+        in
+        match Toolchain.run config with
+        | Toolchain.Completed r ->
+            let stats = r.Toolchain.stats in
+            {
+              benchmark;
+              binary_bytes = r.Toolchain.sizes.Toolchain.code_bytes;
+              ram_bytes = r.Toolchain.sizes.Toolchain.data_bytes;
+              code_data_ratio =
+                Report.ratio
+                  ~vs:(Trace.data_accesses stats)
+                  (Trace.code_accesses stats);
+            }
+        | Toolchain.Did_not_fit msg ->
+            failwith (benchmark.Workloads.Bench_def.name ^ ": " ^ msg))
+      Workloads.Suite.all
+  in
+  let average_ratio =
+    List.fold_left (fun acc r -> acc +. r.code_data_ratio) 0.0 rows
+    /. float_of_int (List.length rows)
+  in
+  { rows; average_ratio }
+
+let render t =
+  let rows =
+    [ "benchmark"; "binary (B)"; "RAM (B)"; "code/data ratio" ]
+    :: List.map
+         (fun r ->
+           [
+             r.benchmark.Workloads.Bench_def.name;
+             string_of_int r.binary_bytes;
+             string_of_int r.ram_bytes;
+             Printf.sprintf "%.3f" r.code_data_ratio;
+           ])
+         t.rows
+    @ [ [ "average"; ""; ""; Printf.sprintf "%.3f" t.average_ratio ] ]
+  in
+  Report.heading "Table 1: benchmark footprint and code/data access ratio"
+  ^ Report.table ~aligns:[ Report.Left ] rows
+  ^ "\n"

@@ -1,0 +1,242 @@
+module Platform = Msp430.Platform
+module Cpu = Msp430.Cpu
+module Memory = Msp430.Memory
+module Trace = Msp430.Trace
+module Energy = Msp430.Energy
+
+(* Build-and-run harness covering every configuration in the paper's
+   evaluation: memory placement (Fig. 1), caching system (baseline
+   hardware cache / SwapRAM / block cache), clock frequency, and the
+   split-SRAM arrangement of §5.5. Data is packed directly after code
+   when both live in the same memory (two-phase assembly), the stack
+   sits at the top of whichever memory holds program data, and
+   binaries that exceed the FR2355's memories are reported DNF as in
+   the paper's Fig. 7. *)
+
+type caching =
+  | Baseline
+  | Swapram_cache of Swapram.Config.options
+  | Block_cache of Blockcache.Config.options
+
+let caching_name = function
+  | Baseline -> "baseline"
+  | Swapram_cache _ -> "swapram"
+  | Block_cache _ -> "block"
+
+type placement =
+  | Unified (* code + data in FRAM; SRAM free (for the cache) *)
+  | Standard (* code in FRAM, data in SRAM — the conventional setup *)
+  | Code_sram (* code in SRAM, data in FRAM (Fig. 1 study) *)
+  | All_sram (* both in SRAM (Fig. 1 study) *)
+  | Split (* §5.5: data + stack in low SRAM, rest of SRAM is cache *)
+
+let placement_name = function
+  | Unified -> "code+data FRAM"
+  | Standard -> "code FRAM, data SRAM"
+  | Code_sram -> "code SRAM, data FRAM"
+  | All_sram -> "code+data SRAM"
+  | Split -> "split SRAM"
+
+type config = {
+  benchmark : Workloads.Bench_def.t;
+  seed : int;
+  frequency : Platform.frequency;
+  placement : placement;
+  caching : caching;
+  fuel : int;
+  through_disasm : bool; (* route the support library through the
+                            disassembler workflow of §4 *)
+}
+
+let default_config benchmark =
+  {
+    benchmark;
+    seed = 1;
+    frequency = Platform.Mhz24;
+    placement = Unified;
+    caching = Baseline;
+    fuel = 2_000_000_000;
+    through_disasm = false;
+  }
+
+let stack_reserve = 384
+
+type sizes = { code_bytes : int; data_bytes : int }
+
+type result = {
+  stats : Trace.t;
+  energy : Energy.report;
+  uart : string;
+  return_value : int;
+  sizes : sizes;
+  swapram_stats : Swapram.Runtime.stats option;
+  swapram_manifest : Swapram.Instrument.manifest option;
+  swapram_usage : Swapram.Pipeline.nvm_usage option;
+  block_stats : Blockcache.Runtime.stats option;
+  block_usage : Blockcache.Pipeline.nvm_usage option;
+}
+
+type outcome = Completed of result | Did_not_fit of string
+
+exception Fit_error of string
+
+let fram_end = Platform.fram_base + Platform.fram_size
+let sram_end = Platform.sram_base + Platform.sram_size
+let code_base_fram = Platform.fram_base + 0x400
+
+(* (code_base, code_limit, data_base option [None = packed after code],
+   data_limit, stack_top) *)
+let region_plan placement =
+  match placement with
+  | Unified ->
+      (code_base_fram, fram_end, None, fram_end - stack_reserve, fram_end)
+  | Standard ->
+      ( code_base_fram,
+        fram_end,
+        Some Platform.sram_base,
+        sram_end - stack_reserve,
+        sram_end )
+  | Code_sram ->
+      ( Platform.sram_base,
+        sram_end,
+        Some code_base_fram,
+        fram_end - stack_reserve,
+        fram_end )
+  | All_sram ->
+      (Platform.sram_base, sram_end, None, sram_end - stack_reserve, sram_end)
+  | Split ->
+      (* stack_top recomputed once the data size is known *)
+      (code_base_fram, fram_end, Some Platform.sram_base, sram_end, 0)
+
+let probe_layout code_base = { Masm.Assembler.code_base; data_base = 0xE000 }
+
+let check_fit ~what ~code_limit ~data_limit image =
+  if image.Masm.Assembler.code_end > code_limit then
+    raise
+      (Fit_error
+         (Printf.sprintf "%s: code ends at 0x%04X (limit 0x%04X)" what
+            image.Masm.Assembler.code_end code_limit));
+  if image.Masm.Assembler.data_end > data_limit then
+    raise
+      (Fit_error
+         (Printf.sprintf "%s: data ends at 0x%04X (limit 0x%04X)" what
+            image.Masm.Assembler.data_end data_limit))
+
+let run config =
+  let code_base, code_limit, data_base_opt, data_limit, stack_top =
+    region_plan config.placement
+  in
+  let source = config.benchmark.Workloads.Bench_def.source config.seed in
+  let program =
+    Minic.Driver.program_of_source ~through_disasm:config.through_disasm source
+  in
+  (* data size is layout-independent; probe it with a plain assembly *)
+  let plain_probe = Masm.Assembler.assemble ~layout:(probe_layout code_base) program in
+  let data_size = Masm.Assembler.data_size plain_probe in
+  (* Split: SRAM = [data][stack][code cache]; SP sits between *)
+  let stack_top, cache_region =
+    match config.placement with
+    | Split ->
+        let top = (Platform.sram_base + data_size + stack_reserve + 1) land lnot 1 in
+        (top, Some (top, sram_end - top))
+    | Unified | Standard | Code_sram | All_sram -> (stack_top, None)
+  in
+  let caching =
+    match (config.caching, cache_region) with
+    | Swapram_cache o, Some (base, size) ->
+        Swapram_cache { o with Swapram.Config.cache_base = base; cache_size = size }
+    | Block_cache o, Some (base, size) ->
+        Block_cache { o with Blockcache.Config.cache_base = base; cache_size = size }
+    | c, _ -> c
+  in
+  let layout_for code_end =
+    let data_base =
+      match data_base_opt with
+      | Some b -> b
+      | None -> (code_end + 3) land lnot 1
+    in
+    { Masm.Assembler.code_base; data_base }
+  in
+  let build () =
+    match caching with
+    | Baseline ->
+        let probe = Masm.Assembler.assemble ~layout:(probe_layout code_base) program in
+        let image =
+          Masm.Assembler.assemble ~layout:(layout_for probe.Masm.Assembler.code_end)
+            program
+        in
+        check_fit ~what:"baseline" ~code_limit ~data_limit image;
+        ( image,
+          (fun system ->
+            Masm.Assembler.load image system.Platform.memory;
+            (None, None)),
+          None,
+          None,
+          None )
+    | Swapram_cache options ->
+        let probe =
+          Swapram.Pipeline.build ~options ~layout:(probe_layout code_base) program
+        in
+        let built =
+          Swapram.Pipeline.build ~options
+            ~layout:
+              (layout_for probe.Swapram.Pipeline.image.Masm.Assembler.code_end)
+            program
+        in
+        let image = built.Swapram.Pipeline.image in
+        check_fit ~what:"swapram" ~code_limit ~data_limit image;
+        ( image,
+          (fun system -> (Some (Swapram.Pipeline.install built system), None)),
+          Some built.Swapram.Pipeline.manifest,
+          Some (Swapram.Pipeline.nvm_usage built),
+          None )
+    | Block_cache options ->
+        let probe =
+          Blockcache.Pipeline.build ~options ~layout:(probe_layout code_base)
+            program
+        in
+        let built =
+          Blockcache.Pipeline.build ~options
+            ~layout:
+              (layout_for probe.Blockcache.Pipeline.image.Masm.Assembler.code_end)
+            program
+        in
+        let image = built.Blockcache.Pipeline.image in
+        check_fit ~what:"block cache" ~code_limit ~data_limit image;
+        ( image,
+          (fun system -> (None, Some (Blockcache.Pipeline.install built system))),
+          None,
+          None,
+          Some (Blockcache.Pipeline.nvm_usage built) )
+  in
+  match build () with
+  | exception Fit_error msg -> Did_not_fit msg
+  | image, install, sr_manifest, sr_usage, bb_usage ->
+      let system = Platform.create config.frequency in
+      let sr_rt, bb_rt = install system in
+      Cpu.set_reg system.Platform.cpu Msp430.Isa.sp stack_top;
+      Cpu.set_reg system.Platform.cpu Msp430.Isa.pc
+        (Masm.Assembler.lookup image Minic.Driver.entry_name);
+      (match Cpu.run ~fuel:config.fuel system.Platform.cpu with
+      | Cpu.Halted -> ()
+      | Cpu.Fuel_exhausted ->
+          failwith
+            (Printf.sprintf "%s: out of fuel"
+               config.benchmark.Workloads.Bench_def.name));
+      Completed
+        {
+          stats = Cpu.stats system.Platform.cpu;
+          energy = Platform.report system;
+          uart = Memory.uart_output system.Platform.memory;
+          return_value = Cpu.reg system.Platform.cpu 12;
+          sizes =
+            {
+              code_bytes = Masm.Assembler.code_size image;
+              data_bytes = data_size;
+            };
+          swapram_stats = Option.map Swapram.Runtime.stats sr_rt;
+          swapram_manifest = sr_manifest;
+          swapram_usage = sr_usage;
+          block_stats = Option.map Blockcache.Runtime.stats bb_rt;
+          block_usage = bb_usage;
+        }

@@ -1,0 +1,57 @@
+(** Build-and-run harness covering every configuration in the paper's
+    evaluation: memory placement (Fig. 1), caching system, clock
+    frequency, and the split-SRAM arrangement of §5.5. Data is packed
+    directly after code when both share a memory, the stack sits at
+    the top of whichever memory holds program data, and binaries that
+    exceed the FR2355's memories come back as [Did_not_fit] (the
+    paper's DNF marks). *)
+
+type caching =
+  | Baseline  (** execute from FRAM through the hardware read cache *)
+  | Swapram_cache of Swapram.Config.options
+  | Block_cache of Blockcache.Config.options
+
+val caching_name : caching -> string
+
+type placement =
+  | Unified  (** code + data in FRAM; SRAM free for the cache *)
+  | Standard  (** code in FRAM, data in SRAM — the conventional setup *)
+  | Code_sram  (** code in SRAM, data in FRAM (Fig. 1 study) *)
+  | All_sram  (** both in SRAM (Fig. 1 study) *)
+  | Split  (** §5.5: data + stack in low SRAM, rest of SRAM is cache *)
+
+val placement_name : placement -> string
+
+type config = {
+  benchmark : Workloads.Bench_def.t;
+  seed : int;
+  frequency : Msp430.Platform.frequency;
+  placement : placement;
+  caching : caching;
+  fuel : int;
+  through_disasm : bool;
+      (** route the support library through the §4 disassembler
+          workflow *)
+}
+
+val default_config : Workloads.Bench_def.t -> config
+(** Unified placement, baseline caching, 24 MHz, seed 1. *)
+
+type sizes = { code_bytes : int; data_bytes : int }
+
+type result = {
+  stats : Msp430.Trace.t;
+  energy : Msp430.Energy.report;
+  uart : string;
+  return_value : int;
+  sizes : sizes;
+  swapram_stats : Swapram.Runtime.stats option;
+  swapram_manifest : Swapram.Instrument.manifest option;
+  swapram_usage : Swapram.Pipeline.nvm_usage option;
+  block_stats : Blockcache.Runtime.stats option;
+  block_usage : Blockcache.Pipeline.nvm_usage option;
+}
+
+type outcome = Completed of result | Did_not_fit of string
+
+val run : config -> outcome

@@ -1,0 +1,1 @@
+lib/minic/codegen.ml: Ast Char Format Hashtbl List Masm Msp430 Option Parser Printf String

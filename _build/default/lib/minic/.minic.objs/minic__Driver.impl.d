@@ -1,0 +1,1 @@
+lib/minic/driver.ml: Codegen Libmc List Masm Msp430

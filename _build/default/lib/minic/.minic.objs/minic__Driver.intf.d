@@ -1,0 +1,1 @@
+lib/minic/driver.mli: Masm

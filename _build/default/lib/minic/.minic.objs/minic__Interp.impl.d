@@ -1,0 +1,1 @@
+lib/minic/interp.ml: Ast Buffer Bytes Char Format Hashtbl List Option Parser String

@@ -1,0 +1,1 @@
+lib/minic/interp.mli: Ast

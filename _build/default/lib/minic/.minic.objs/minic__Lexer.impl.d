@@ -1,0 +1,1 @@
+lib/minic/lexer.ml: Array Buffer Format List Printf String

@@ -1,0 +1,1 @@
+lib/minic/libmc.ml: Hashtbl List Masm Msp430

@@ -1,0 +1,1 @@
+lib/minic/libmc.mli: Masm

@@ -1,0 +1,1 @@
+lib/minic/parser.ml: Ast Char Format Lexer List Printf String

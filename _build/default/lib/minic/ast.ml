@@ -1,0 +1,104 @@
+(* Abstract syntax for mini-C, the C subset the benchmarks are written
+   in. The language covers what MCU-scale embedded C needs: 16-bit
+   signed/unsigned ints, 8-bit chars, pointers, one-dimensional arrays,
+   functions (up to four register arguments, matching the MSP430 ABI),
+   and the full statement repertoire including switch (the paper's
+   bitcount benchmark replaces its jump table with a switch, §4). *)
+
+type ty =
+  | Tint (* 16-bit signed *)
+  | Tuint (* 16-bit unsigned *)
+  | Tchar (* 8-bit unsigned *)
+  | Tvoid
+  | Tptr of ty
+
+let rec pp_ty fmt = function
+  | Tint -> Format.pp_print_string fmt "int"
+  | Tuint -> Format.pp_print_string fmt "unsigned"
+  | Tchar -> Format.pp_print_string fmt "char"
+  | Tvoid -> Format.pp_print_string fmt "void"
+  | Tptr t -> Format.fprintf fmt "%a*" pp_ty t
+
+let size_of = function
+  | Tchar -> 1
+  | Tint | Tuint | Tptr _ -> 2
+  | Tvoid -> invalid_arg "size_of void"
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Band
+  | Bor
+  | Bxor
+  | Shl
+  | Shr
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Land
+  | Lor
+
+type unop = Neg | Bnot | Lnot
+
+type expr =
+  | Enum of int
+  | Echr of char
+  | Estr of string (* string literal: pointer to static data *)
+  | Evar of string
+  | Ebin of binop * expr * expr
+  | Eun of unop * expr
+  | Eassign of binop option * expr * expr (* lvalue op= expr *)
+  | Ecall of string * expr list
+  | Eindex of expr * expr (* a[i] *)
+  | Ederef of expr
+  | Eaddr of expr
+  | Eincdec of bool * int * expr (* is_pre, +1/-1, lvalue *)
+  | Econd of expr * expr * expr (* c ? a : b *)
+  | Ecast of ty * expr
+
+type stmt =
+  | Sexpr of expr
+  | Sdecl of ty * string * int option * expr option
+    (* type, name, array length, initializer *)
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sdowhile of stmt list * expr
+  | Sfor of stmt option * expr option * expr option * stmt list
+  | Sswitch of expr * (int list * stmt list) list * stmt list option
+    (* cases (values, body with fallthrough), default *)
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sblock of stmt list
+
+type func = {
+  fname : string;
+  freturn : ty;
+  fparams : (ty * string) list;
+  fbody : stmt list;
+}
+
+type init = Ival of int | Iarr of int list | Istr of string
+
+type global = {
+  gname : string;
+  gty : ty;
+  glen : int option; (* array length *)
+  ginit : init option;
+}
+
+type decl = Dfun of func | Dglobal of global
+
+type program = decl list
+
+let functions program =
+  List.filter_map (function Dfun f -> Some f | Dglobal _ -> None) program
+
+let globals program =
+  List.filter_map (function Dglobal g -> Some g | Dfun _ -> None) program

@@ -1,0 +1,989 @@
+module Isa = Msp430.Isa
+module A = Masm.Ast
+
+(* Code generation from mini-C to MSP430 assembly.
+
+   ABI (matching msp430-gcc as the paper describes in §4):
+   - arguments in R12..R15, return value in R12;
+   - R4 is the frame pointer, R11.. caller temporaries;
+   - R12..R15 are caller-saved (the library routines clobber R13..R15).
+
+   Expressions evaluate into R12; binary operators stash the left
+   operand on the stack, evaluate the right operand, then pop the left
+   operand into R13. Multiplication, division, modulo and
+   variable-distance shifts compile to calls into the hand-written
+   assembly support library (Libmc), mirroring gcc's __mspabi helpers —
+   these are exactly the "precompiled library functions" the paper's
+   library-instrumentation workflow targets. *)
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+(* --- Environments --------------------------------------------------- *)
+
+type global_info = { g_ty : Ast.ty; g_is_array : bool }
+
+type local_info = { l_ty : Ast.ty; l_is_array : bool; l_offset : int }
+(* offset is relative to the frame pointer R4, always negative *)
+
+type fenv = {
+  globals : (string, global_info) Hashtbl.t;
+  funcs : (string, Ast.ty * Ast.ty list) Hashtbl.t;
+  strings : (string, string) Hashtbl.t; (* literal -> label *)
+  mutable string_count : int;
+}
+
+type env = {
+  fenv : fenv;
+  mutable scopes : (string, local_info) Hashtbl.t list;
+  mutable next_offset : int; (* next free slot, negative *)
+  mutable label_count : int;
+  fname : string;
+  mutable out : A.stmt list; (* reversed *)
+  mutable break_labels : string list;
+  mutable continue_labels : string list;
+  epilogue : string;
+}
+
+let emit env stmt = env.out <- stmt :: env.out
+
+let fresh_label env hint =
+  env.label_count <- env.label_count + 1;
+  Printf.sprintf "%s$%s%d" env.fname hint env.label_count
+
+let push_scope env = env.scopes <- Hashtbl.create 8 :: env.scopes
+let pop_scope env =
+  match env.scopes with
+  | _ :: rest -> env.scopes <- rest
+  | [] -> assert false
+
+let find_local env name =
+  let rec loop = function
+    | [] -> None
+    | scope :: rest -> (
+        match Hashtbl.find_opt scope name with
+        | Some i -> Some i
+        | None -> loop rest)
+  in
+  loop env.scopes
+
+let declare_local env ty name ~is_array ~bytes =
+  let scope = match env.scopes with s :: _ -> s | [] -> assert false in
+  if Hashtbl.mem scope name then error "%s: duplicate local %s" env.fname name;
+  let aligned = (bytes + 1) land lnot 1 in
+  env.next_offset <- env.next_offset - aligned;
+  let info = { l_ty = ty; l_is_array = is_array; l_offset = env.next_offset } in
+  Hashtbl.replace scope name info;
+  info
+
+let intern_string fenv s =
+  match Hashtbl.find_opt fenv.strings s with
+  | Some label -> label
+  | None ->
+      fenv.string_count <- fenv.string_count + 1;
+      let label = Printf.sprintf "str$%d" fenv.string_count in
+      Hashtbl.replace fenv.strings s label;
+      label
+
+(* --- Types ----------------------------------------------------------- *)
+
+let is_unsigned = function
+  | Ast.Tuint | Ast.Tchar | Ast.Tptr _ -> true
+  | Ast.Tint | Ast.Tvoid -> false
+
+let pointee = function
+  | Ast.Tptr t -> t
+  | ty -> error "dereference of non-pointer %s" (Format.asprintf "%a" Ast.pp_ty ty)
+
+let elem_size ty = Ast.size_of (pointee ty)
+
+(* usual arithmetic result type *)
+let join_ty a b =
+  match (a, b) with
+  | Ast.Tptr _, _ -> a
+  | _, Ast.Tptr _ -> b
+  | Ast.Tuint, _ | _, Ast.Tuint -> Ast.Tuint
+  | _ -> Ast.Tint
+
+let access_size = function Ast.Tchar -> Isa.B | _ -> Isa.W
+
+(* --- Emission helpers ------------------------------------------------ *)
+
+let r12 = 12
+let r13 = 13
+let r14 = 14
+let r15 = 15
+
+let i1 env op ?(sz = Isa.W) src dst = emit env (A.Instr (A.I1 (op, sz, src, dst)))
+let mov env ?sz src dst = i1 env Isa.MOV ?sz src dst
+let imm n = A.Simm (A.Num (n land 0xFFFF))
+let reg r = A.Sreg r
+let dreg r = A.Dreg r
+let push env r = emit env (A.Instr (A.I2 (Isa.PUSH, Isa.W, reg r)))
+let pop env r = mov env (A.Sinc 1) (dreg r)
+let jump env c l = emit env (A.Instr (A.J (c, l)))
+let label env l = emit env (A.Label l)
+let call env f = emit env (A.Instr (A.Call (A.Lab f)))
+
+(* shift R12 left once: add to itself *)
+let shl1 env = i1 env Isa.ADD (reg r12) (dreg r12)
+
+(* --- Expression code generation -------------------------------------- *)
+
+(* Emit code leaving the value of [e] in R12; returns its type. *)
+let rec gen_expr env e : Ast.ty =
+  match e with
+  | Ast.Enum n ->
+      mov env (imm n) (dreg r12);
+      Ast.Tint
+  | Ast.Echr c ->
+      mov env (imm (Char.code c)) (dreg r12);
+      Ast.Tint
+  | Ast.Estr s ->
+      let lbl = intern_string env.fenv s in
+      mov env (A.Simm (A.Lab lbl)) (dreg r12);
+      Ast.Tptr Ast.Tchar
+  | Ast.Evar name -> gen_var env name
+  | Ast.Ederef e ->
+      let ty = gen_expr env e in
+      let pt = pointee ty in
+      mov env ~sz:(access_size pt) (A.Sind r12) (dreg r12);
+      pt
+  | Ast.Eindex (arr, idx) ->
+      let pt = gen_index_addr env arr idx in
+      mov env ~sz:(access_size pt) (A.Sind r12) (dreg r12);
+      pt
+  | Ast.Eaddr lv ->
+      let ty, _ = gen_lvalue_addr env lv in
+      Ast.Tptr ty
+  | Ast.Eun (op, e) -> gen_unop env op e
+  | Ast.Ebin ((Ast.Land | Ast.Lor), _, _) -> gen_bool env e
+  | Ast.Ebin (op, a, b) -> gen_binop env op a b
+  | Ast.Eassign (op, lv, rhs) -> gen_assign env op lv rhs
+  | Ast.Eincdec (is_pre, delta, lv) -> gen_incdec env is_pre delta lv
+  | Ast.Econd (c, a, b) ->
+      let else_l = fresh_label env "celse" and end_l = fresh_label env "cend" in
+      gen_branch env c ~jump_if:false ~target:else_l;
+      let ta = gen_expr env a in
+      jump env Isa.JMP end_l;
+      label env else_l;
+      let tb = gen_expr env b in
+      label env end_l;
+      join_ty ta tb
+  | Ast.Ecall (f, args) -> gen_call env f args
+  | Ast.Ecast (ty, e) ->
+      let _ = gen_expr env e in
+      (match ty with
+      | Ast.Tchar -> i1 env Isa.AND (imm 0xFF) (dreg r12)
+      | _ -> ());
+      ty
+
+and gen_var env name =
+  match find_local env name with
+  | Some { l_ty; l_is_array = false; l_offset } ->
+      mov env ~sz:(access_size l_ty) (A.Sidx (A.Num (l_offset land 0xFFFF), 4)) (dreg r12);
+      l_ty
+  | Some { l_ty; l_is_array = true; l_offset } ->
+      mov env (reg 4) (dreg r12);
+      i1 env Isa.ADD (imm l_offset) (dreg r12);
+      Ast.Tptr l_ty
+  | None -> (
+      match Hashtbl.find_opt env.fenv.globals name with
+      | Some { g_ty; g_is_array = false } ->
+          mov env ~sz:(access_size g_ty) (A.Sabs (A.Lab name)) (dreg r12);
+          g_ty
+      | Some { g_ty; g_is_array = true } ->
+          mov env (A.Simm (A.Lab name)) (dreg r12);
+          Ast.Tptr g_ty
+      | None -> error "%s: unknown variable %s" env.fname name)
+
+(* Address of a[i] into R12; returns the element type. *)
+and gen_index_addr env arr idx =
+  let aty = infer_pointer env arr in
+  let pt = pointee aty in
+  let esize = Ast.size_of pt in
+  (match idx with
+  | Ast.Enum n ->
+      (* constant index: base + n*esize in one add *)
+      let _ = gen_expr env arr in
+      if n <> 0 then i1 env Isa.ADD (imm (n * esize)) (dreg r12)
+  | _ ->
+      let _ = gen_expr env arr in
+      push env r12;
+      let _ = gen_expr env idx in
+      if esize = 2 then shl1 env;
+      pop env r13;
+      i1 env Isa.ADD (reg r13) (dreg r12));
+  pt
+
+(* Type of an expression used in pointer position, without emitting
+   code (used to know scaling before generation). *)
+and infer_pointer env e =
+  match infer_ty env e with
+  | Ast.Tptr _ as t -> t
+  | ty -> error "%s: indexing non-pointer of type %s" env.fname
+            (Format.asprintf "%a" Ast.pp_ty ty)
+
+and infer_ty env e : Ast.ty =
+  match e with
+  | Ast.Enum _ | Ast.Echr _ -> Ast.Tint
+  | Ast.Estr _ -> Ast.Tptr Ast.Tchar
+  | Ast.Evar name -> (
+      match find_local env name with
+      | Some { l_ty; l_is_array = true; _ } -> Ast.Tptr l_ty
+      | Some { l_ty; _ } -> l_ty
+      | None -> (
+          match Hashtbl.find_opt env.fenv.globals name with
+          | Some { g_ty; g_is_array = true } -> Ast.Tptr g_ty
+          | Some { g_ty; _ } -> g_ty
+          | None -> error "%s: unknown variable %s" env.fname name))
+  | Ast.Ederef e -> pointee (infer_ty env e)
+  | Ast.Eindex (a, _) -> pointee (infer_ty env a)
+  | Ast.Eaddr lv -> Ast.Tptr (infer_ty env lv)
+  | Ast.Eun (_, _) -> Ast.Tint
+  | Ast.Ebin ((Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Land | Ast.Lor), _, _)
+    ->
+      Ast.Tint
+  | Ast.Ebin (_, a, b) -> join_ty (infer_ty env a) (infer_ty env b)
+  | Ast.Eassign (_, lv, _) -> infer_ty env lv
+  | Ast.Eincdec (_, _, lv) -> infer_ty env lv
+  | Ast.Econd (_, a, b) -> join_ty (infer_ty env a) (infer_ty env b)
+  | Ast.Ecall (f, _) -> (
+      match Hashtbl.find_opt env.fenv.funcs f with
+      | Some (ret, _) -> ret
+      | None -> error "%s: unknown function %s" env.fname f)
+  | Ast.Ecast (ty, _) -> ty
+
+and gen_unop env op e =
+  match op with
+  | Ast.Neg ->
+      let _ = gen_expr env e in
+      i1 env Isa.XOR (imm 0xFFFF) (dreg r12);
+      i1 env Isa.ADD (imm 1) (dreg r12);
+      Ast.Tint
+  | Ast.Bnot ->
+      let ty = gen_expr env e in
+      i1 env Isa.XOR (imm 0xFFFF) (dreg r12);
+      ty
+  | Ast.Lnot -> gen_bool env (Ast.Eun (Ast.Lnot, e))
+
+(* Materialize a boolean (0/1) for logical expressions. *)
+and gen_bool env e =
+  let true_l = fresh_label env "bt" and end_l = fresh_label env "be" in
+  gen_branch env e ~jump_if:true ~target:true_l;
+  mov env (imm 0) (dreg r12);
+  jump env Isa.JMP end_l;
+  label env true_l;
+  mov env (imm 1) (dreg r12);
+  label env end_l;
+  Ast.Tint
+
+and gen_binop env op a b =
+  match op with
+  | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+      gen_bool env (Ast.Ebin (op, a, b))
+  | Ast.Land | Ast.Lor -> gen_bool env (Ast.Ebin (op, a, b))
+  | Ast.Mul -> gen_mul env a b
+  | Ast.Div | Ast.Mod -> gen_divmod env op a b
+  | Ast.Shl | Ast.Shr -> gen_shift env op a b
+  | Ast.Add | Ast.Sub -> gen_addsub env op a b
+  | Ast.Band | Ast.Bor | Ast.Bxor ->
+      let isa_op =
+        match op with
+        | Ast.Band -> Isa.AND
+        | Ast.Bor -> Isa.BIS
+        | Ast.Bxor -> Isa.XOR
+        | _ -> assert false
+      in
+      let ta = gen_expr env a in
+      push env r12;
+      let tb = gen_expr env b in
+      pop env r13;
+      i1 env isa_op (reg r13) (dreg r12);
+      join_ty ta tb
+
+and gen_addsub env op a b =
+  let scale_for ty other_r =
+    match ty with
+    | Ast.Tptr _ ->
+        let es = elem_size ty in
+        if es = 2 then i1 env Isa.ADD (reg other_r) (dreg other_r)
+    | _ -> ()
+  in
+  match (op, b) with
+  | Ast.Add, _ ->
+      let ta = gen_expr env a in
+      push env r12;
+      let tb = gen_expr env b in
+      pop env r13;
+      (* scale the integer side when adding to a pointer *)
+      (match (ta, tb) with
+      | Ast.Tptr _, _ -> scale_for ta r12
+      | _, Ast.Tptr _ -> scale_for tb r13
+      | _ -> ());
+      i1 env Isa.ADD (reg r13) (dreg r12);
+      join_ty ta tb
+  | Ast.Sub, _ ->
+      let ta = gen_expr env a in
+      push env r12;
+      let tb = gen_expr env b in
+      pop env r13;
+      (match (ta, tb) with
+      | Ast.Tptr _, Ast.Tptr _ ->
+          (* pointer difference: subtract then divide by element size *)
+          i1 env Isa.SUB (reg r12) (dreg r13);
+          mov env (reg r13) (dreg r12);
+          if elem_size ta = 2 then emit env (A.Instr (A.I2 (Isa.RRA, Isa.W, reg r12)))
+      | Ast.Tptr _, _ ->
+          scale_for ta r12;
+          i1 env Isa.SUB (reg r12) (dreg r13);
+          mov env (reg r13) (dreg r12)
+      | _ ->
+          i1 env Isa.SUB (reg r12) (dreg r13);
+          mov env (reg r13) (dreg r12));
+      (match (ta, tb) with
+      | Ast.Tptr _, Ast.Tptr _ -> Ast.Tint
+      | Ast.Tptr _, _ -> ta
+      | _ -> join_ty ta tb)
+  | _ -> assert false
+
+(* Multiplication always calls the software routine, as msp430-gcc
+   does on multiplierless parts at the optimization level MiBench2
+   builds with; shift operators are the explicit strength-reduced
+   form when the program wants one. *)
+and gen_mul env a b =
+  let ta = gen_expr env a in
+  push env r12;
+  let tb = gen_expr env b in
+  pop env r13;
+  call env "__mulhi";
+  join_ty ta tb
+
+and gen_divmod env op a b =
+  let ta = infer_ty env a in
+  let _ = gen_expr env a in
+  push env r12;
+  let tb = gen_expr env b in
+  pop env r13;
+  (* dividend must be in R12: it is currently in R13 *)
+  mov env (reg r12) (dreg r14);
+  mov env (reg r13) (dreg r12);
+  mov env (reg r14) (dreg r13);
+  let u = is_unsigned ta || is_unsigned tb in
+  let fn =
+    match (op, u) with
+    | Ast.Div, false -> "__divhi"
+    | Ast.Div, true -> "__udivhi"
+    | Ast.Mod, false -> "__modhi"
+    | Ast.Mod, true -> "__umodhi"
+    | _ -> assert false
+  in
+  call env fn;
+  join_ty ta tb
+
+and gen_shift env op a b =
+  let ta = infer_ty env a in
+  let logical = is_unsigned ta in
+  match b with
+  | Ast.Enum n when n >= 0 && n <= 15 ->
+      let ty = gen_expr env a in
+      (match op with
+      | Ast.Shl ->
+          for _ = 1 to n do
+            shl1 env
+          done
+      | Ast.Shr ->
+          for _ = 1 to n do
+            if logical then begin
+              i1 env Isa.BIC (imm 1) (A.Dreg Isa.sr);
+              emit env (A.Instr (A.I2 (Isa.RRC, Isa.W, reg r12)))
+            end
+            else emit env (A.Instr (A.I2 (Isa.RRA, Isa.W, reg r12)))
+          done
+      | _ -> assert false);
+      ty
+  | _ ->
+      let _ = gen_expr env a in
+      push env r12;
+      let _ = gen_expr env b in
+      pop env r13;
+      (* value in R13, count in R12: swap *)
+      mov env (reg r12) (dreg r14);
+      mov env (reg r13) (dreg r12);
+      mov env (reg r14) (dreg r13);
+      let fn =
+        match op with
+        | Ast.Shl -> "__ashlhi"
+        | Ast.Shr -> if logical then "__lshrhi" else "__ashrhi"
+        | _ -> assert false
+      in
+      call env fn;
+      ta
+
+(* Address of an lvalue into R12; returns (type at that address, simple
+   direct-operand when available for peephole use). *)
+and gen_lvalue_addr env lv : Ast.ty * unit =
+  match lv with
+  | Ast.Evar name -> (
+      match find_local env name with
+      | Some { l_ty; l_is_array = false; l_offset } ->
+          mov env (reg 4) (dreg r12);
+          i1 env Isa.ADD (imm l_offset) (dreg r12);
+          (l_ty, ())
+      | Some { l_is_array = true; _ } ->
+          error "%s: array %s is not assignable" env.fname name
+      | None -> (
+          match Hashtbl.find_opt env.fenv.globals name with
+          | Some { g_ty; g_is_array = false } ->
+              mov env (A.Simm (A.Lab name)) (dreg r12);
+              (g_ty, ())
+          | Some { g_is_array = true; _ } ->
+              error "%s: array %s is not assignable" env.fname name
+          | None -> error "%s: unknown variable %s" env.fname name))
+  | Ast.Ederef e ->
+      let ty = gen_expr env e in
+      (pointee ty, ())
+  | Ast.Eindex (arr, idx) ->
+      let pt = gen_index_addr env arr idx in
+      (pt, ())
+  | _ -> error "%s: expression is not an lvalue" env.fname
+
+(* Direct destination operand for simple variables; avoids going
+   through an address register for the common cases. *)
+and simple_lvalue env lv =
+  match lv with
+  | Ast.Evar name -> (
+      match find_local env name with
+      | Some { l_ty; l_is_array = false; l_offset } ->
+          Some (l_ty, A.Didx (A.Num (l_offset land 0xFFFF), 4),
+                A.Sidx (A.Num (l_offset land 0xFFFF), 4))
+      | Some _ -> None
+      | None -> (
+          match Hashtbl.find_opt env.fenv.globals name with
+          | Some { g_ty; g_is_array = false } ->
+              Some (g_ty, A.Dabs (A.Lab name), A.Sabs (A.Lab name))
+          | Some _ -> None
+          | None -> error "%s: unknown variable %s" env.fname name))
+  | _ -> None
+
+and gen_assign env op lv rhs =
+  match simple_lvalue env lv with
+  | Some (ty, dst_op, src_op) -> (
+      match op with
+      | None ->
+          let _ = gen_expr env rhs in
+          mov env ~sz:(access_size ty) (reg r12) dst_op;
+          ty
+      | Some bop ->
+          (* x op= rhs  ==>  x = x op rhs, evaluated via R12 *)
+          let _ = gen_expr env (Ast.Ebin (bop, lv, rhs)) in
+          mov env ~sz:(access_size ty) (reg r12) dst_op;
+          ignore src_op;
+          ty)
+  | None -> (
+      match op with
+      | None ->
+          let ty, () = gen_lvalue_addr env lv in
+          push env r12;
+          let _ = gen_expr env rhs in
+          pop env r13;
+          mov env ~sz:(access_size ty) (reg r12) (A.Didx (A.Num 0, r13));
+          ty
+      | Some bop ->
+          let ty, () = gen_lvalue_addr env lv in
+          push env r12;
+          let _ = gen_expr env rhs in
+          pop env r15;
+          (* old value -> R13, keep address safe across helper calls *)
+          mov env ~sz:(access_size ty) (A.Sind r15) (dreg r13);
+          push env r15;
+          gen_binop_in_regs env bop ~ty;
+          pop env r13;
+          mov env ~sz:(access_size ty) (reg r12) (A.Didx (A.Num 0, r13));
+          ty)
+
+(* lhs in R13, rhs in R12 -> result in R12 (used by compound assign) *)
+and gen_binop_in_regs env bop ~ty =
+  match bop with
+  | Ast.Add -> i1 env Isa.ADD (reg r13) (dreg r12)
+  | Ast.Band -> i1 env Isa.AND (reg r13) (dreg r12)
+  | Ast.Bor -> i1 env Isa.BIS (reg r13) (dreg r12)
+  | Ast.Bxor -> i1 env Isa.XOR (reg r13) (dreg r12)
+  | Ast.Sub ->
+      i1 env Isa.SUB (reg r12) (dreg r13);
+      mov env (reg r13) (dreg r12)
+  | Ast.Mul -> call env "__mulhi"
+  | Ast.Div | Ast.Mod ->
+      mov env (reg r12) (dreg r14);
+      mov env (reg r13) (dreg r12);
+      mov env (reg r14) (dreg r13);
+      let u = is_unsigned ty in
+      call env
+        (match (bop, u) with
+        | Ast.Div, false -> "__divhi"
+        | Ast.Div, true -> "__udivhi"
+        | Ast.Mod, false -> "__modhi"
+        | Ast.Mod, true -> "__umodhi"
+        | _ -> assert false)
+  | Ast.Shl | Ast.Shr ->
+      mov env (reg r12) (dreg r14);
+      mov env (reg r13) (dreg r12);
+      mov env (reg r14) (dreg r13);
+      call env
+        (match bop with
+        | Ast.Shl -> "__ashlhi"
+        | Ast.Shr -> if is_unsigned ty then "__lshrhi" else "__ashrhi"
+        | _ -> assert false)
+  | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Land | Ast.Lor ->
+      error "%s: comparison in compound assignment" env.fname
+
+and gen_incdec env is_pre delta lv =
+  match simple_lvalue env lv with
+  | Some (ty, dst_op, src_op) ->
+      let sz = access_size ty in
+      let step =
+        match ty with Ast.Tptr t -> delta * Ast.size_of t | _ -> delta
+      in
+      if is_pre then begin
+        i1 env Isa.ADD ~sz (imm step) dst_op;
+        mov env ~sz src_op (dreg r12)
+      end
+      else begin
+        mov env ~sz src_op (dreg r12);
+        i1 env Isa.ADD ~sz (imm step) dst_op
+      end;
+      ty
+  | None ->
+      let ty, () = gen_lvalue_addr env lv in
+      let sz = access_size ty in
+      let step =
+        match ty with Ast.Tptr t -> delta * Ast.size_of t | _ -> delta
+      in
+      mov env (reg r12) (dreg r13);
+      if is_pre then begin
+        i1 env Isa.ADD ~sz (imm step) (A.Didx (A.Num 0, r13));
+        mov env ~sz (A.Sind r13) (dreg r12)
+      end
+      else begin
+        mov env ~sz (A.Sind r13) (dreg r12);
+        i1 env Isa.ADD ~sz (imm step) (A.Didx (A.Num 0, r13))
+      end;
+      ty
+
+and gen_call env f args =
+  let ret, param_tys =
+    match Hashtbl.find_opt env.fenv.funcs f with
+    | Some info -> info
+    | None -> error "%s: call to unknown function %s" env.fname f
+  in
+  let nargs = List.length args in
+  if nargs <> List.length param_tys then
+    error "%s: %s expects %d arguments, got %d" env.fname f
+      (List.length param_tys) nargs;
+  if nargs > 4 then error "%s: %s: more than 4 arguments unsupported" env.fname f;
+  (match args with
+  | [] -> ()
+  | [ single ] -> ignore (gen_expr env single)
+  | several ->
+      List.iter
+        (fun arg ->
+          let _ = gen_expr env arg in
+          push env r12)
+        several;
+      (* pop into R12+n-1 .. R12 *)
+      for i = nargs - 1 downto 0 do
+        pop env (r12 + i)
+      done);
+  call env f;
+  ret
+
+(* Branch to [target] when the truth value of [e] equals [jump_if]. *)
+and gen_branch env e ~jump_if ~target =
+  match e with
+  | Ast.Enum 0 -> if not jump_if then jump env Isa.JMP target
+  | Ast.Enum _ -> if jump_if then jump env Isa.JMP target
+  | Ast.Eun (Ast.Lnot, inner) ->
+      gen_branch env inner ~jump_if:(not jump_if) ~target
+  | Ast.Ebin (Ast.Land, a, b) ->
+      if not jump_if then begin
+        gen_branch env a ~jump_if:false ~target;
+        gen_branch env b ~jump_if:false ~target
+      end
+      else begin
+        let skip = fresh_label env "and" in
+        gen_branch env a ~jump_if:false ~target:skip;
+        gen_branch env b ~jump_if:true ~target;
+        label env skip
+      end
+  | Ast.Ebin (Ast.Lor, a, b) ->
+      if jump_if then begin
+        gen_branch env a ~jump_if:true ~target;
+        gen_branch env b ~jump_if:true ~target
+      end
+      else begin
+        let skip = fresh_label env "or" in
+        gen_branch env a ~jump_if:true ~target:skip;
+        gen_branch env b ~jump_if:false ~target;
+        label env skip
+      end
+  | Ast.Ebin ((Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op, a, b)
+    ->
+      gen_compare_branch env op a b ~jump_if ~target
+  | _ ->
+      let _ = gen_expr env e in
+      i1 env Isa.CMP (imm 0) (dreg r12);
+      jump env (if jump_if then Isa.JNE else Isa.JEQ) target
+
+(* Compile a comparison directly into CMP + conditional jump. *)
+and gen_compare_branch env op a b ~jump_if ~target =
+  let ta = infer_ty env a and tb = infer_ty env b in
+  let unsigned = is_unsigned ta || is_unsigned tb in
+  (* After CMP src, dst the flags reflect dst - src. We arrange
+     dst = lhs, src = rhs ("normal") or the reverse for Gt/Le. *)
+  let emit_cmp_normal () =
+    let _ = gen_expr env a in
+    push env r12;
+    let _ = gen_expr env b in
+    pop env r13;
+    i1 env Isa.CMP (reg r12) (dreg r13)
+  in
+  let emit_cmp_reversed () =
+    let _ = gen_expr env a in
+    push env r12;
+    let _ = gen_expr env b in
+    pop env r13;
+    i1 env Isa.CMP (reg r13) (dreg r12)
+  in
+  let jcc_normal cond = (* flags = lhs - rhs *)
+    match (cond, unsigned) with
+    | `Eq, _ -> Isa.JEQ
+    | `Ne, _ -> Isa.JNE
+    | `Lt, false -> Isa.JL
+    | `Lt, true -> Isa.JNC
+    | `Ge, false -> Isa.JGE
+    | `Ge, true -> Isa.JC
+  in
+  match op with
+  | Ast.Eq ->
+      emit_cmp_normal ();
+      jump env (if jump_if then Isa.JEQ else Isa.JNE) target
+  | Ast.Ne ->
+      emit_cmp_normal ();
+      jump env (if jump_if then Isa.JNE else Isa.JEQ) target
+  | Ast.Lt ->
+      emit_cmp_normal ();
+      jump env (jcc_normal (if jump_if then `Lt else `Ge)) target
+  | Ast.Ge ->
+      emit_cmp_normal ();
+      jump env (jcc_normal (if jump_if then `Ge else `Lt)) target
+  | Ast.Gt ->
+      (* lhs > rhs  <=>  rhs < lhs: reverse operands *)
+      emit_cmp_reversed ();
+      jump env (jcc_normal (if jump_if then `Lt else `Ge)) target
+  | Ast.Le ->
+      emit_cmp_reversed ();
+      jump env (jcc_normal (if jump_if then `Ge else `Lt)) target
+  | _ -> assert false
+
+(* --- Statements ------------------------------------------------------ *)
+
+let rec gen_stmt env s =
+  match s with
+  | Ast.Sexpr e -> ignore (gen_expr env e)
+  | Ast.Sblock ss ->
+      push_scope env;
+      List.iter (gen_stmt env) ss;
+      pop_scope env
+  | Ast.Sdecl (ty, name, len, init) -> (
+      match len with
+      | None ->
+          let info = declare_local env ty name ~is_array:false ~bytes:(Ast.size_of ty) in
+          (match init with
+          | Some e ->
+              let _ = gen_expr env e in
+              mov env ~sz:(access_size ty) (reg r12)
+                (A.Didx (A.Num (info.l_offset land 0xFFFF), 4))
+          | None -> ())
+      | Some n ->
+          if init <> None then
+            error "%s: local array initializers unsupported" env.fname;
+          ignore (declare_local env ty name ~is_array:true ~bytes:(n * Ast.size_of ty)))
+  | Ast.Sif (c, then_, else_) ->
+      let else_l = fresh_label env "else" and end_l = fresh_label env "fi" in
+      if else_ = [] then begin
+        gen_branch env c ~jump_if:false ~target:end_l;
+        push_scope env;
+        List.iter (gen_stmt env) then_;
+        pop_scope env;
+        label env end_l
+      end
+      else begin
+        gen_branch env c ~jump_if:false ~target:else_l;
+        push_scope env;
+        List.iter (gen_stmt env) then_;
+        pop_scope env;
+        jump env Isa.JMP end_l;
+        label env else_l;
+        push_scope env;
+        List.iter (gen_stmt env) else_;
+        pop_scope env;
+        label env end_l
+      end
+  | Ast.Swhile (c, body) ->
+      let top = fresh_label env "wtop" and end_l = fresh_label env "wend" in
+      label env top;
+      gen_branch env c ~jump_if:false ~target:end_l;
+      env.break_labels <- end_l :: env.break_labels;
+      env.continue_labels <- top :: env.continue_labels;
+      push_scope env;
+      List.iter (gen_stmt env) body;
+      pop_scope env;
+      env.break_labels <- List.tl env.break_labels;
+      env.continue_labels <- List.tl env.continue_labels;
+      jump env Isa.JMP top;
+      label env end_l
+  | Ast.Sdowhile (body, c) ->
+      let top = fresh_label env "dtop"
+      and check = fresh_label env "dchk"
+      and end_l = fresh_label env "dend" in
+      label env top;
+      env.break_labels <- end_l :: env.break_labels;
+      env.continue_labels <- check :: env.continue_labels;
+      push_scope env;
+      List.iter (gen_stmt env) body;
+      pop_scope env;
+      env.break_labels <- List.tl env.break_labels;
+      env.continue_labels <- List.tl env.continue_labels;
+      label env check;
+      gen_branch env c ~jump_if:true ~target:top;
+      label env end_l
+  | Ast.Sfor (init, cond, step, body) ->
+      push_scope env;
+      Option.iter (gen_stmt env) init;
+      let top = fresh_label env "ftop"
+      and cont = fresh_label env "fstep"
+      and end_l = fresh_label env "fend" in
+      label env top;
+      (match cond with
+      | Some c -> gen_branch env c ~jump_if:false ~target:end_l
+      | None -> ());
+      env.break_labels <- end_l :: env.break_labels;
+      env.continue_labels <- cont :: env.continue_labels;
+      push_scope env;
+      List.iter (gen_stmt env) body;
+      pop_scope env;
+      env.break_labels <- List.tl env.break_labels;
+      env.continue_labels <- List.tl env.continue_labels;
+      label env cont;
+      (match step with Some e -> ignore (gen_expr env e) | None -> ());
+      jump env Isa.JMP top;
+      label env end_l;
+      pop_scope env
+  | Ast.Sswitch (scrutinee, cases, default) ->
+      let end_l = fresh_label env "swend" in
+      let _ = gen_expr env scrutinee in
+      let case_labels =
+        List.mapi (fun i _ -> fresh_label env (Printf.sprintf "case%d_" i)) cases
+      in
+      List.iteri
+        (fun i (values, _) ->
+          List.iter
+            (fun v ->
+              i1 env Isa.CMP (imm v) (dreg r12);
+              jump env Isa.JEQ (List.nth case_labels i))
+            values)
+        cases;
+      let default_l =
+        match default with Some _ -> fresh_label env "swdef" | None -> end_l
+      in
+      jump env Isa.JMP default_l;
+      env.break_labels <- end_l :: env.break_labels;
+      List.iteri
+        (fun i (_, body) ->
+          label env (List.nth case_labels i);
+          push_scope env;
+          List.iter (gen_stmt env) body;
+          pop_scope env)
+        cases;
+      (match default with
+      | Some body ->
+          label env default_l;
+          push_scope env;
+          List.iter (gen_stmt env) body;
+          pop_scope env
+      | None -> ());
+      env.break_labels <- List.tl env.break_labels;
+      label env end_l
+  | Ast.Sreturn e ->
+      (match e with Some e -> ignore (gen_expr env e) | None -> ());
+      jump env Isa.JMP env.epilogue
+  | Ast.Sbreak -> (
+      match env.break_labels with
+      | l :: _ -> jump env Isa.JMP l
+      | [] -> error "%s: break outside loop/switch" env.fname)
+  | Ast.Scontinue -> (
+      match env.continue_labels with
+      | l :: _ -> jump env Isa.JMP l
+      | [] -> error "%s: continue outside loop" env.fname)
+
+(* --- Frame size pre-scan ---------------------------------------------- *)
+
+let rec frame_bytes_of_stmts stmts =
+  List.fold_left (fun acc s -> acc + frame_bytes_of_stmt s) 0 stmts
+
+and frame_bytes_of_stmt = function
+  | Ast.Sdecl (ty, _, None, _) -> (Ast.size_of ty + 1) land lnot 1
+  | Ast.Sdecl (ty, _, Some n, _) -> ((n * Ast.size_of ty) + 1) land lnot 1
+  | Ast.Sblock ss | Ast.Swhile (_, ss) | Ast.Sdowhile (ss, _) ->
+      frame_bytes_of_stmts ss
+  | Ast.Sif (_, a, b) -> frame_bytes_of_stmts a + frame_bytes_of_stmts b
+  | Ast.Sfor (init, _, _, body) ->
+      (match init with Some s -> frame_bytes_of_stmt s | None -> 0)
+      + frame_bytes_of_stmts body
+  | Ast.Sswitch (_, cases, default) ->
+      List.fold_left (fun acc (_, ss) -> acc + frame_bytes_of_stmts ss) 0 cases
+      + (match default with Some ss -> frame_bytes_of_stmts ss | None -> 0)
+  | Ast.Sexpr _ | Ast.Sreturn _ | Ast.Sbreak | Ast.Scontinue -> 0
+
+(* --- Functions and globals -------------------------------------------- *)
+
+let gen_function fenv (f : Ast.func) =
+  if List.length f.Ast.fparams > 4 then
+    error "%s: more than 4 parameters unsupported" f.Ast.fname;
+  let param_bytes =
+    List.fold_left (fun acc (ty, _) -> acc + ((Ast.size_of ty + 1) land lnot 1)) 0
+      f.Ast.fparams
+  in
+  let frame = frame_bytes_of_stmts f.Ast.fbody + param_bytes in
+  let env =
+    {
+      fenv;
+      scopes = [];
+      next_offset = 0;
+      label_count = 0;
+      fname = f.Ast.fname;
+      out = [];
+      break_labels = [];
+      continue_labels = [];
+      epilogue = f.Ast.fname ^ "$ret";
+    }
+  in
+  push_scope env;
+  (* prologue *)
+  push env 4;
+  mov env (reg Isa.sp) (A.Dreg 4);
+  if frame > 0 then i1 env Isa.SUB (imm frame) (A.Dreg Isa.sp);
+  (* spill parameters into their slots *)
+  List.iteri
+    (fun i (ty, name) ->
+      let info = declare_local env ty name ~is_array:false ~bytes:(Ast.size_of ty) in
+      mov env ~sz:(access_size ty) (reg (r12 + i))
+        (A.Didx (A.Num (info.l_offset land 0xFFFF), 4)))
+    f.Ast.fparams;
+  List.iter (gen_stmt env) f.Ast.fbody;
+  (* epilogue *)
+  label env env.epilogue;
+  mov env (reg 4) (A.Dreg Isa.sp);
+  pop env 4;
+  emit env (A.Instr A.Ret);
+  pop_scope env;
+  A.item f.Ast.fname (List.rev env.out)
+
+let gen_global (g : Ast.global) extra_items =
+  let stmts =
+    match (g.Ast.gty, g.Ast.glen, g.Ast.ginit) with
+    | ty, None, init ->
+        let v = match init with Some (Ast.Ival v) -> v | _ -> 0 in
+        if Ast.size_of ty = 1 then [ A.Byte (v land 0xFF); A.Align 2 ]
+        else [ A.Word (A.Num (v land 0xFFFF)) ]
+    | ty, Some n, init -> (
+        let esize = Ast.size_of ty in
+        match init with
+        | None -> [ A.Space (((n * esize) + 1) land lnot 1) ]
+        | Some (Ast.Iarr values) ->
+            let padded =
+              values @ List.init (max 0 (n - List.length values)) (fun _ -> 0)
+            in
+            if esize = 1 then
+              List.map (fun v -> A.Byte (v land 0xFF)) padded @ [ A.Align 2 ]
+            else List.map (fun v -> A.Word (A.Num (v land 0xFFFF))) padded
+        | Some (Ast.Istr s) ->
+            let bytes = List.init n (fun i ->
+                if i < String.length s then Char.code s.[i] else 0)
+            in
+            List.map (fun v -> A.Byte v) bytes @ [ A.Align 2 ]
+        | Some (Ast.Ival _) -> error "scalar initializer for array %s" g.Ast.gname)
+  in
+  (* pointer globals initialized with a string: point at interned data *)
+  match (g.Ast.gty, g.Ast.ginit) with
+  | Ast.Tptr Ast.Tchar, Some (Ast.Istr s) when g.Ast.glen = None ->
+      let data_label = g.Ast.gname ^ "$lit" in
+      extra_items :=
+        A.item ~section:A.Data data_label
+          [ A.Ascii s; A.Byte 0; A.Align 2 ]
+        :: !extra_items;
+      A.item ~section:A.Data g.Ast.gname [ A.Word (A.Lab data_label) ]
+  | _ -> A.item ~section:A.Data g.Ast.gname stmts
+
+(* Functions provided by the assembly support library. *)
+let library_signatures =
+  [
+    ("__mulhi", (Ast.Tint, [ Ast.Tint; Ast.Tint ]));
+    ("__divhi", (Ast.Tint, [ Ast.Tint; Ast.Tint ]));
+    ("__modhi", (Ast.Tint, [ Ast.Tint; Ast.Tint ]));
+    ("__udivhi", (Ast.Tuint, [ Ast.Tuint; Ast.Tuint ]));
+    ("__umodhi", (Ast.Tuint, [ Ast.Tuint; Ast.Tuint ]));
+    ("__ashlhi", (Ast.Tint, [ Ast.Tint; Ast.Tint ]));
+    ("__ashrhi", (Ast.Tint, [ Ast.Tint; Ast.Tint ]));
+    ("__lshrhi", (Ast.Tuint, [ Ast.Tuint; Ast.Tuint ]));
+    (* software binary32 helpers (hi/lo word pairs); the low result
+       word is fetched with f_lo *)
+    ("f_mul2", (Ast.Tint, [ Ast.Tint; Ast.Tint; Ast.Tint; Ast.Tint ]));
+    ("f_add2", (Ast.Tint, [ Ast.Tint; Ast.Tint; Ast.Tint; Ast.Tint ]));
+    ("f_sub2", (Ast.Tint, [ Ast.Tint; Ast.Tint; Ast.Tint; Ast.Tint ]));
+    ("f_lo", (Ast.Tint, []));
+    (* pseudo-functions provided by the platform support code *)
+    ("putchar", (Ast.Tvoid, [ Ast.Tint ]));
+    ("halt", (Ast.Tvoid, []));
+  ]
+
+let compile (program : Ast.program) : A.program =
+  let fenv =
+    {
+      globals = Hashtbl.create 32;
+      funcs = Hashtbl.create 32;
+      strings = Hashtbl.create 16;
+      string_count = 0;
+    }
+  in
+  List.iter
+    (fun (name, sg) -> Hashtbl.replace fenv.funcs name sg)
+    library_signatures;
+  List.iter
+    (function
+      | Ast.Dfun f ->
+          if Hashtbl.mem fenv.funcs f.Ast.fname then
+            error "duplicate function %s" f.Ast.fname;
+          Hashtbl.replace fenv.funcs f.Ast.fname
+            (f.Ast.freturn, List.map fst f.Ast.fparams)
+      | Ast.Dglobal g ->
+          if Hashtbl.mem fenv.globals g.Ast.gname then
+            error "duplicate global %s" g.Ast.gname;
+          Hashtbl.replace fenv.globals g.Ast.gname
+            { g_ty = g.Ast.gty; g_is_array = g.Ast.glen <> None })
+    program;
+  let extra_items = ref [] in
+  let func_items = List.map (gen_function fenv) (Ast.functions program) in
+  let global_items =
+    List.map (fun g -> gen_global g extra_items) (Ast.globals program)
+  in
+  let string_items =
+    Hashtbl.fold
+      (fun s lbl acc ->
+        A.item ~section:A.Data lbl [ A.Ascii s; A.Byte 0; A.Align 2 ] :: acc)
+      fenv.strings []
+  in
+  func_items @ global_items @ !extra_items @ string_items
+
+let compile_source source = compile (Parser.parse source)

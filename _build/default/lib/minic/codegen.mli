@@ -1,0 +1,19 @@
+(** Code generation from mini-C to MSP430 assembly.
+
+    ABI (matching msp430-gcc, as the paper's §4 describes): arguments
+    in R12..R15, return value in R12, R4 as frame pointer, R12..R15
+    caller-saved. Every binary operator evaluates through the generic
+    stack discipline and multiply/divide/modulo/variable shifts call
+    the support library — the unoptimized build style of the MiBench2
+    ports (see DESIGN.md), and exactly the "precompiled library
+    function" pattern the paper's library-instrumentation workflow
+    targets. *)
+
+exception Error of string
+
+val library_signatures : (string * (Ast.ty * Ast.ty list)) list
+(** Functions provided by the assembly support library (Libmc) and
+    the platform, pre-registered for call checking. *)
+
+val compile : Ast.program -> Masm.Ast.program
+val compile_source : string -> Masm.Ast.program

@@ -1,0 +1,33 @@
+module A = Masm.Ast
+open Masm.Build
+
+(* Front-end driver: compile mini-C source into a complete assembly
+   program — application items, the needed support-library routines,
+   and the startup stub. The stack pointer is initialised by the
+   loader (it depends on the memory configuration), so the startup
+   stub only calls main and halts. *)
+
+let start_item =
+  A.item "_start"
+    [ call "main"; mov (imm 1) (dabsn Msp430.Memory.halt_addr) ]
+
+let entry_name = "_start"
+
+(* Compile source text to a full program. When [through_disasm] is set
+   the library routines take the paper's §4 workflow: they are
+   assembled separately, disassembled, and the recovered assembly is
+   reintegrated — exercising the objdump-based library path. *)
+let program_of_source ?(through_disasm = false) source =
+  let app = Codegen.compile_source source in
+  let libs = Libmc.needed_by app in
+  let libs =
+    if not through_disasm then libs
+    else begin
+      (* assemble the library alone, then lift each routine back *)
+      let image = Masm.Assembler.assemble Libmc.items in
+      List.map
+        (fun it -> Masm.Disasm.item_of_image image ~name:it.A.name)
+        libs
+    end
+  in
+  (start_item :: app) @ libs

@@ -1,0 +1,16 @@
+(** Front-end driver: compile mini-C source text into a complete
+    assembly program — application items, the needed support-library
+    routines, and the startup stub. *)
+
+val entry_name : string
+(** Symbol to start execution at ("_start"). The loader initialises
+    SP (it depends on the memory configuration); the stub calls main
+    and halts. *)
+
+val start_item : Masm.Ast.item
+
+val program_of_source : ?through_disasm:bool -> string -> Masm.Ast.program
+(** Compile [source]. With [through_disasm] the support-library
+    routines take the paper's §4 workflow: assembled separately,
+    disassembled, and the recovered assembly reintegrated — exercising
+    the objdump-based library-instrumentation path. *)

@@ -1,0 +1,531 @@
+(* Reference interpreter for mini-C, used as a differential-testing
+   oracle against the full pipeline (compiler → assembler → simulator
+   → caching runtimes).
+
+   The interpreter defines the same semantics the code generator
+   implements: 16-bit wrapping arithmetic, zero-extended chars,
+   unsigned comparison when either operand is unsigned/char/pointer,
+   the support library's shift masking (count & 31) and
+   division-by-zero result (0xFFFF), and a flat memory model where
+   pointers are plain 16-bit addresses. *)
+
+exception Error of string
+exception Unsupported of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let mask v = v land 0xFFFF
+let signed v = if v land 0x8000 <> 0 then v - 0x10000 else v
+
+(* --- Flat memory ------------------------------------------------------ *)
+
+type mem = { bytes : Bytes.t; mutable brk : int; mutable sp : int }
+
+let mem_create () =
+  { bytes = Bytes.make 0x10000 '\000'; brk = 0x1000; sp = 0xF000 }
+
+let load8 m a = Char.code (Bytes.get m.bytes (mask a))
+let store8 m a v = Bytes.set m.bytes (mask a) (Char.chr (v land 0xFF))
+let load16 m a = load8 m a lor (load8 m (a + 1) lsl 8)
+
+let store16 m a v =
+  store8 m a (v land 0xFF);
+  store8 m (a + 1) ((v lsr 8) land 0xFF)
+
+let alloc m bytes =
+  let a = m.brk in
+  m.brk <- m.brk + ((bytes + 1) land lnot 1);
+  a
+
+(* --- Environments ------------------------------------------------------ *)
+
+type binding = { b_ty : Ast.ty; b_is_array : bool; b_addr : int }
+
+type env = {
+  mem : mem;
+  globals : (string, binding) Hashtbl.t;
+  funcs : (string, Ast.func) Hashtbl.t;
+  output : Buffer.t;
+  mutable scopes : (string, binding) Hashtbl.t list;
+  mutable steps : int;
+  fuel : int;
+}
+
+exception Return_exc of int
+exception Break_exc
+exception Continue_exc
+exception Halted_exc
+
+let tick env =
+  env.steps <- env.steps + 1;
+  if env.steps > env.fuel then raise (Error "interpreter out of fuel")
+
+let push_scope env = env.scopes <- Hashtbl.create 8 :: env.scopes
+let pop_scope env =
+  match env.scopes with _ :: r -> env.scopes <- r | [] -> assert false
+
+let find_var env name =
+  let rec search = function
+    | [] -> Hashtbl.find_opt env.globals name
+    | s :: rest -> (
+        match Hashtbl.find_opt s name with Some b -> Some b | None -> search rest)
+  in
+  search env.scopes
+
+let declare_local env ty name ~is_array ~bytes =
+  let scope = match env.scopes with s :: _ -> s | [] -> assert false in
+  env.mem.sp <- env.mem.sp - ((bytes + 1) land lnot 1);
+  Hashtbl.replace scope name { b_ty = ty; b_is_array = is_array; b_addr = env.mem.sp }
+
+(* --- Types (mirrors Codegen's rules) ----------------------------------- *)
+
+let is_unsigned = function
+  | Ast.Tuint | Ast.Tchar | Ast.Tptr _ -> true
+  | Ast.Tint | Ast.Tvoid -> false
+
+let pointee = function Ast.Tptr t -> t | _ -> error "dereference of non-pointer"
+
+let join_ty a b =
+  match (a, b) with
+  | Ast.Tptr _, _ -> a
+  | _, Ast.Tptr _ -> b
+  | Ast.Tuint, _ | _, Ast.Tuint -> Ast.Tuint
+  | _ -> Ast.Tint
+
+(* --- Support library semantics ----------------------------------------- *)
+
+let lib_udivmod a b = if b = 0 then (0xFFFF, 0) else (a / b, a mod b)
+
+let lib_div_signed a b =
+  let sa = signed a and sb = signed b in
+  let q, _ = lib_udivmod (abs sa) (abs sb) in
+  if sa < 0 <> (sb < 0) then mask (-q) else mask q
+
+let lib_mod_signed a b =
+  let sa = signed a and sb = signed b in
+  let _, r = lib_udivmod (abs sa) (abs sb) in
+  if sa < 0 then mask (-r) else mask r
+
+let lib_shift ~op a count =
+  let count = count land 31 in
+  let rec go v n =
+    if n = 0 then v
+    else
+      go
+        (match op with
+        | `Shl -> mask (v lsl 1)
+        | `Lshr -> v lsr 1
+        | `Ashr -> (v lsr 1) lor (v land 0x8000))
+        (n - 1)
+  in
+  go a count
+
+(* --- Expression evaluation --------------------------------------------- *)
+
+let access_bytes = function Ast.Tchar -> 1 | _ -> 2
+
+let load env ty addr =
+  if access_bytes ty = 1 then load8 env.mem addr else load16 env.mem addr
+
+let store env ty addr v =
+  if access_bytes ty = 1 then store8 env.mem addr v else store16 env.mem addr v
+
+let string_table : (string, int) Hashtbl.t = Hashtbl.create 16
+
+let rec eval env (e : Ast.expr) : int * Ast.ty =
+  tick env;
+  match e with
+  | Ast.Enum n -> (mask n, Ast.Tint)
+  | Ast.Echr c -> (Char.code c, Ast.Tint)
+  | Ast.Estr s -> (
+      match Hashtbl.find_opt string_table s with
+      | Some a -> (a, Ast.Tptr Ast.Tchar)
+      | None ->
+          let a = alloc env.mem (String.length s + 1) in
+          String.iteri (fun i c -> store8 env.mem (a + i) (Char.code c)) s;
+          store8 env.mem (a + String.length s) 0;
+          Hashtbl.replace string_table s a;
+          (a, Ast.Tptr Ast.Tchar))
+  | Ast.Evar name -> (
+      match find_var env name with
+      | Some { b_ty; b_is_array = true; b_addr } -> (b_addr, Ast.Tptr b_ty)
+      | Some { b_ty; b_is_array = false; b_addr } -> (load env b_ty b_addr, b_ty)
+      | None -> error "unknown variable %s" name)
+  | Ast.Ederef p ->
+      let a, ty = eval env p in
+      let pt = pointee ty in
+      (load env pt a, pt)
+  | Ast.Eindex (arr, idx) ->
+      let addr, pt = index_addr env arr idx in
+      (load env pt addr, pt)
+  | Ast.Eaddr lv ->
+      let addr, ty = lvalue_addr env lv in
+      (addr, Ast.Tptr ty)
+  | Ast.Eun (Ast.Neg, e) ->
+      let v, _ = eval env e in
+      (mask (-v), Ast.Tint)
+  | Ast.Eun (Ast.Bnot, e) ->
+      let v, ty = eval env e in
+      (mask (lnot v), ty)
+  | Ast.Eun (Ast.Lnot, e) ->
+      let v, _ = eval env e in
+      ((if v = 0 then 1 else 0), Ast.Tint)
+  | Ast.Ebin (Ast.Land, a, b) ->
+      let va, _ = eval env a in
+      if va = 0 then (0, Ast.Tint)
+      else
+        let vb, _ = eval env b in
+        ((if vb <> 0 then 1 else 0), Ast.Tint)
+  | Ast.Ebin (Ast.Lor, a, b) ->
+      let va, _ = eval env a in
+      if va <> 0 then (1, Ast.Tint)
+      else
+        let vb, _ = eval env b in
+        ((if vb <> 0 then 1 else 0), Ast.Tint)
+  | Ast.Ebin (op, a, b) -> eval_binop env op a b
+  | Ast.Eassign (None, lv, rhs) -> (
+      (* mirror the code generator: simple lvalues evaluate the RHS
+         first, complex lvalues compute the address first; in both
+         cases the expression's value is the raw RHS (it stays in R12
+         un-truncated even for byte stores) *)
+      match simple_target env lv with
+      | Some (ty, addr) ->
+          let v, _ = eval env rhs in
+          store env ty addr v;
+          (v, ty)
+      | None ->
+          let addr, ty = lvalue_addr env lv in
+          let v, _ = eval env rhs in
+          store env ty addr v;
+          (v, ty))
+  | Ast.Eassign (Some op, lv, rhs) -> (
+      match simple_target env lv with
+      | Some (ty, addr) ->
+          let v, _ = eval_binop env op lv rhs in
+          store env ty addr v;
+          (v, ty)
+      | None ->
+          let addr, ty = lvalue_addr env lv in
+          let rv, rty = eval env rhs in
+          let old = load env ty addr in
+          let v, _ = apply_binop env op (old, ty) (rv, rty) in
+          store env ty addr v;
+          (v, ty))
+  | Ast.Eincdec (is_pre, delta, lv) ->
+      let addr, ty = lvalue_addr env lv in
+      let step =
+        match ty with Ast.Tptr t -> delta * Ast.size_of t | _ -> delta
+      in
+      let old = load env ty addr in
+      store env ty addr (old + step);
+      ((if is_pre then load env ty addr else old), ty)
+  | Ast.Econd (c, a, b) ->
+      let vc, _ = eval env c in
+      if vc <> 0 then eval env a else eval env b
+  | Ast.Ecall (f, args) -> eval_call env f args
+  | Ast.Ecast (ty, e) ->
+      let v, _ = eval env e in
+      ((match ty with Ast.Tchar -> v land 0xFF | _ -> v), ty)
+
+and index_addr env arr idx =
+  let base, aty = eval env arr in
+  let pt = pointee aty in
+  let i, _ = eval env idx in
+  (mask (base + (signed i * Ast.size_of pt)), pt)
+
+and lvalue_addr env = function
+  | Ast.Evar name -> (
+      match find_var env name with
+      | Some { b_is_array = true; _ } -> error "array %s is not assignable" name
+      | Some { b_ty; b_addr; _ } -> (b_addr, b_ty)
+      | None -> error "unknown variable %s" name)
+  | Ast.Ederef p ->
+      let a, ty = eval env p in
+      (a, pointee ty)
+  | Ast.Eindex (arr, idx) -> index_addr env arr idx
+  | _ -> error "not an lvalue"
+
+and simple_target env = function
+  | Ast.Evar name -> (
+      match find_var env name with
+      | Some { b_is_array = false; b_ty; b_addr } -> Some (b_ty, b_addr)
+      | _ -> None)
+  | _ -> None
+
+and eval_binop env op a b =
+  let va = eval env a in
+  let vb = eval env b in
+  apply_binop env op va vb
+
+and apply_binop _env op (va, ta) (vb, tb) =
+  let u = is_unsigned ta || is_unsigned tb in
+  let cmp_result c = ((if c then 1 else 0), Ast.Tint) in
+  let as_val v = (mask v, join_ty ta tb) in
+  let scale ty v =
+    match ty with Ast.Tptr t -> signed v * Ast.size_of t | _ -> signed v
+  in
+  match op with
+  | Ast.Add -> (
+      match (ta, tb) with
+      | Ast.Tptr _, _ -> (mask (va + scale ta vb), ta)
+      | _, Ast.Tptr _ -> (mask (scale tb va + vb), tb)
+      | _ -> as_val (va + vb))
+  | Ast.Sub -> (
+      match (ta, tb) with
+      | Ast.Tptr _, Ast.Tptr _ ->
+          let d = mask (va - vb) in
+          ( (if Ast.size_of (pointee ta) = 2 then
+               mask ((d lsr 1) lor (d land 0x8000))
+             else d),
+            Ast.Tint )
+      | Ast.Tptr _, _ -> (mask (va - scale ta vb), ta)
+      | _ -> as_val (va - vb))
+  | Ast.Mul -> as_val (va * vb)
+  | Ast.Div ->
+      if u then (fst (lib_udivmod va vb), join_ty ta tb)
+      else (lib_div_signed va vb, join_ty ta tb)
+  | Ast.Mod ->
+      if u then (snd (lib_udivmod va vb), join_ty ta tb)
+      else (lib_mod_signed va vb, join_ty ta tb)
+  | Ast.Band -> as_val (va land vb)
+  | Ast.Bor -> as_val (va lor vb)
+  | Ast.Bxor -> as_val (va lxor vb)
+  | Ast.Shl -> (lib_shift ~op:`Shl va vb, ta)
+  | Ast.Shr ->
+      ((if is_unsigned ta then lib_shift ~op:`Lshr va vb
+        else lib_shift ~op:`Ashr va vb),
+       ta)
+  | Ast.Eq -> cmp_result (va = vb)
+  | Ast.Ne -> cmp_result (va <> vb)
+  | Ast.Lt -> cmp_result (if u then va < vb else signed va < signed vb)
+  | Ast.Le -> cmp_result (if u then va <= vb else signed va <= signed vb)
+  | Ast.Gt -> cmp_result (if u then va > vb else signed va > signed vb)
+  | Ast.Ge -> cmp_result (if u then va >= vb else signed va >= signed vb)
+  | Ast.Land | Ast.Lor -> assert false (* handled in eval *)
+
+and eval_call env f args =
+  let values = List.map (fun a -> fst (eval env a)) args in
+  match (f, values) with
+  | "putchar", [ v ] ->
+      Buffer.add_char env.output (Char.chr (v land 0xFF));
+      (0, Ast.Tvoid)
+  | "halt", [] -> raise Halted_exc
+  | "__mulhi", [ a; b ] -> (mask (a * b), Ast.Tint)
+  | "__divhi", [ a; b ] -> (lib_div_signed a b, Ast.Tint)
+  | "__modhi", [ a; b ] -> (lib_mod_signed a b, Ast.Tint)
+  | "__udivhi", [ a; b ] -> (fst (lib_udivmod a b), Ast.Tuint)
+  | "__umodhi", [ a; b ] -> (snd (lib_udivmod a b), Ast.Tuint)
+  | "__ashlhi", [ a; b ] -> (lib_shift ~op:`Shl a b, Ast.Tint)
+  | "__ashrhi", [ a; b ] -> (lib_shift ~op:`Ashr a b, Ast.Tint)
+  | "__lshrhi", [ a; b ] -> (lib_shift ~op:`Lshr a b, Ast.Tuint)
+  | ("f_mul2" | "f_add2" | "f_sub2" | "f_lo"), _ ->
+      raise (Unsupported ("software float helper " ^ f))
+  | _ -> (
+      match Hashtbl.find_opt env.funcs f with
+      | None -> error "unknown function %s" f
+      | Some fn ->
+          if List.length fn.Ast.fparams <> List.length values then
+            error "%s: arity mismatch" f;
+          let saved_scopes = env.scopes in
+          let saved_sp = env.mem.sp in
+          env.scopes <- [];
+          push_scope env;
+          List.iter2
+            (fun (ty, name) v ->
+              declare_local env ty name ~is_array:false ~bytes:(Ast.size_of ty);
+              match find_var env name with
+              | Some b -> store env ty b.b_addr v
+              | None -> assert false)
+            fn.Ast.fparams values;
+          let result =
+            try
+              exec_stmts env fn.Ast.fbody;
+              0
+            with Return_exc v -> v
+          in
+          env.scopes <- saved_scopes;
+          env.mem.sp <- saved_sp;
+          (result, fn.Ast.freturn))
+
+(* --- Statements --------------------------------------------------------- *)
+
+and exec_stmts env stmts = List.iter (exec_stmt env) stmts
+
+and exec_stmt env s =
+  tick env;
+  match s with
+  | Ast.Sexpr e -> ignore (eval env e)
+  | Ast.Sblock ss ->
+      push_scope env;
+      exec_stmts env ss;
+      pop_scope env
+  | Ast.Sdecl (ty, name, len, init) -> (
+      match len with
+      | None ->
+          declare_local env ty name ~is_array:false ~bytes:(Ast.size_of ty);
+          (match init with
+          | Some e -> (
+              let v, _ = eval env e in
+              match find_var env name with
+              | Some b -> store env ty b.b_addr v
+              | None -> assert false)
+          | None -> ())
+      | Some n ->
+          declare_local env ty name ~is_array:true ~bytes:(n * Ast.size_of ty))
+  | Ast.Sif (c, then_, else_) ->
+      let v, _ = eval env c in
+      push_scope env;
+      exec_stmts env (if v <> 0 then then_ else else_);
+      pop_scope env
+  | Ast.Swhile (c, body) ->
+      let rec loop () =
+        let v, _ = eval env c in
+        if v <> 0 then begin
+          (try
+             push_scope env;
+             exec_stmts env body;
+             pop_scope env
+           with
+          | Continue_exc -> pop_scope env
+          | Break_exc ->
+              pop_scope env;
+              raise Break_exc);
+          loop ()
+        end
+      in
+      (try loop () with Break_exc -> ())
+  | Ast.Sdowhile (body, c) ->
+      let rec loop () =
+        (try
+           push_scope env;
+           exec_stmts env body;
+           pop_scope env
+         with
+        | Continue_exc -> pop_scope env
+        | Break_exc ->
+            pop_scope env;
+            raise Break_exc);
+        let v, _ = eval env c in
+        if v <> 0 then loop ()
+      in
+      (try loop () with Break_exc -> ())
+  | Ast.Sfor (init, cond, step, body) ->
+      push_scope env;
+      Option.iter (exec_stmt env) init;
+      let rec loop () =
+        let continue_ =
+          match cond with Some c -> fst (eval env c) <> 0 | None -> true
+        in
+        if continue_ then begin
+          (try
+             push_scope env;
+             exec_stmts env body;
+             pop_scope env
+           with
+          | Continue_exc -> pop_scope env
+          | Break_exc ->
+              pop_scope env;
+              raise Break_exc);
+          (match step with Some e -> ignore (eval env e) | None -> ());
+          loop ()
+        end
+      in
+      (try loop () with Break_exc -> ());
+      pop_scope env
+  | Ast.Sswitch (scrutinee, cases, default) -> (
+      let v, _ = eval env scrutinee in
+      let v = signed v in
+      (* find the first matching case, then fall through *)
+      let rec find i = function
+        | [] -> None
+        | (values, _) :: rest ->
+            if List.exists (fun k -> k = v) values then Some i
+            else find (i + 1) rest
+      in
+      let bodies = List.map snd cases @ Option.to_list default in
+      let start =
+        match find 0 cases with
+        | Some i -> Some i
+        | None -> if default <> None then Some (List.length cases) else None
+      in
+      match start with
+      | None -> ()
+      | Some i -> (
+          try
+            List.iteri
+              (fun j body ->
+                if j >= i then begin
+                  push_scope env;
+                  (try exec_stmts env body
+                   with e ->
+                     pop_scope env;
+                     raise e);
+                  pop_scope env
+                end)
+              bodies
+          with Break_exc -> ()))
+  | Ast.Sreturn e ->
+      let v = match e with Some e -> fst (eval env e) | None -> 0 in
+      raise (Return_exc v)
+  | Ast.Sbreak -> raise Break_exc
+  | Ast.Scontinue -> raise Continue_exc
+
+(* --- Program setup ------------------------------------------------------- *)
+
+let setup_global env (g : Ast.global) =
+  let esize = Ast.size_of g.Ast.gty in
+  match g.Ast.glen with
+  | None ->
+      let addr = alloc env.mem esize in
+      Hashtbl.replace env.globals g.Ast.gname
+        { b_ty = g.Ast.gty; b_is_array = false; b_addr = addr };
+      let v = match g.Ast.ginit with Some (Ast.Ival v) -> v | _ -> 0 in
+      (match (g.Ast.gty, g.Ast.ginit) with
+      | Ast.Tptr Ast.Tchar, Some (Ast.Istr s) ->
+          let sa = alloc env.mem (String.length s + 1) in
+          String.iteri (fun i c -> store8 env.mem (sa + i) (Char.code c)) s;
+          store8 env.mem (sa + String.length s) 0;
+          store16 env.mem addr sa
+      | _ -> store env g.Ast.gty addr v)
+  | Some n ->
+      let addr = alloc env.mem (n * esize) in
+      Hashtbl.replace env.globals g.Ast.gname
+        { b_ty = g.Ast.gty; b_is_array = true; b_addr = addr };
+      (match g.Ast.ginit with
+      | Some (Ast.Iarr values) ->
+          List.iteri
+            (fun i v ->
+              if i < n then store env g.Ast.gty (addr + (i * esize)) v)
+            values
+      | Some (Ast.Istr s) ->
+          String.iteri
+            (fun i c -> if i < n then store8 env.mem (addr + i) (Char.code c))
+            s
+      | Some (Ast.Ival _) -> error "scalar initializer for array %s" g.Ast.gname
+      | None -> ())
+
+type result = { return_value : int; output : string }
+
+let run ?(fuel = 50_000_000) (program : Ast.program) =
+  Hashtbl.reset string_table;
+  let env =
+    {
+      mem = mem_create ();
+      globals = Hashtbl.create 32;
+      funcs = Hashtbl.create 32;
+      output = Buffer.create 64;
+      scopes = [];
+      steps = 0;
+      fuel;
+    }
+  in
+  List.iter
+    (fun f -> Hashtbl.replace env.funcs f.Ast.fname f)
+    (Ast.functions program);
+  List.iter (setup_global env) (Ast.globals program);
+  let result =
+    try fst (eval_call env "main" []) with Halted_exc -> 0
+  in
+  { return_value = result; output = Buffer.contents env.output }
+
+let run_source ?fuel source = run ?fuel (Parser.parse source)

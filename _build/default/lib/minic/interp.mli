@@ -1,0 +1,18 @@
+(** Reference interpreter for mini-C, the differential-testing oracle
+    for the full pipeline. Defines exactly the semantics the code
+    generator implements: 16-bit wrapping arithmetic, zero-extended
+    chars, unsigned comparison when either side is unsigned/char/
+    pointer, the support library's shift masking and division-by-zero
+    convention, and a flat memory model with 16-bit pointers. *)
+
+exception Error of string
+
+exception Unsupported of string
+(** Raised for programs using the software-float helpers, which have
+    no interpreter model (the FFT benchmark is validated end-to-end
+    instead). *)
+
+type result = { return_value : int; output : string }
+
+val run : ?fuel:int -> Ast.program -> result
+val run_source : ?fuel:int -> string -> result

@@ -1,0 +1,204 @@
+(* Hand-written lexer for mini-C. *)
+
+type token =
+  | Tnum of int
+  | Tchar_lit of char
+  | Tstring of string
+  | Tident of string
+  | Tkw of string (* int unsigned char void if else while for do return
+                     break continue switch case default *)
+  | Tpunct of string (* operators and delimiters *)
+  | Teof
+
+type t = { tokens : (token * int) array; mutable pos : int }
+(* each token carries its source line for error messages *)
+
+exception Error of string
+
+let error line fmt =
+  Format.kasprintf (fun s -> raise (Error (Printf.sprintf "line %d: %s" line s))) fmt
+
+let keywords =
+  [
+    "int"; "unsigned"; "char"; "void"; "if"; "else"; "while"; "for"; "do";
+    "return"; "break"; "continue"; "switch"; "case"; "default";
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+(* Multi-character operators, longest first. *)
+let puncts =
+  [
+    "<<="; ">>="; "=="; "!="; "<="; ">="; "&&"; "||"; "<<"; ">>"; "+="; "-=";
+    "*="; "/="; "%="; "&="; "|="; "^="; "++"; "--"; "+"; "-"; "*"; "/"; "%";
+    "&"; "|"; "^"; "~"; "!"; "<"; ">"; "="; "("; ")"; "{"; "}"; "["; "]"; ";";
+    ","; "?"; ":";
+  ]
+
+let unescape line = function
+  | 'n' -> '\n'
+  | 't' -> '\t'
+  | 'r' -> '\r'
+  | '0' -> '\000'
+  | '\\' -> '\\'
+  | '\'' -> '\''
+  | '"' -> '"'
+  | c -> error line "unknown escape \\%c" c
+
+let tokenize source =
+  let n = String.length source in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let pos = ref 0 in
+  let peek k = if !pos + k < n then Some source.[!pos + k] else None in
+  let emit tok = tokens := (tok, !line) :: !tokens in
+  while !pos < n do
+    let c = source.[!pos] in
+    if c = '\n' then begin
+      incr line;
+      incr pos
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr pos
+    else if c = '/' && peek 1 = Some '/' then begin
+      while !pos < n && source.[!pos] <> '\n' do
+        incr pos
+      done
+    end
+    else if c = '/' && peek 1 = Some '*' then begin
+      pos := !pos + 2;
+      let rec skip () =
+        if !pos + 1 >= n then error !line "unterminated comment"
+        else if source.[!pos] = '*' && source.[!pos + 1] = '/' then pos := !pos + 2
+        else begin
+          if source.[!pos] = '\n' then incr line;
+          incr pos;
+          skip ()
+        end
+      in
+      skip ()
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      if c = '0' && (peek 1 = Some 'x' || peek 1 = Some 'X') then begin
+        pos := !pos + 2;
+        while !pos < n && is_hex source.[!pos] do
+          incr pos
+        done;
+        let text = String.sub source start (!pos - start) in
+        emit (Tnum (int_of_string text))
+      end
+      else begin
+        while !pos < n && is_digit source.[!pos] do
+          incr pos
+        done;
+        emit (Tnum (int_of_string (String.sub source start (!pos - start))))
+      end
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident_char source.[!pos] do
+        incr pos
+      done;
+      let text = String.sub source start (!pos - start) in
+      if List.mem text keywords then emit (Tkw text) else emit (Tident text)
+    end
+    else if c = '\'' then begin
+      incr pos;
+      let ch =
+        match peek 0 with
+        | Some '\\' ->
+            incr pos;
+            let e = match peek 0 with Some e -> e | None -> error !line "bad char" in
+            incr pos;
+            unescape !line e
+        | Some ch ->
+            incr pos;
+            ch
+        | None -> error !line "unterminated char literal"
+      in
+      if peek 0 <> Some '\'' then error !line "unterminated char literal";
+      incr pos;
+      emit (Tchar_lit ch)
+    end
+    else if c = '"' then begin
+      incr pos;
+      let buf = Buffer.create 16 in
+      let rec scan () =
+        match peek 0 with
+        | None -> error !line "unterminated string"
+        | Some '"' -> incr pos
+        | Some '\\' ->
+            incr pos;
+            (match peek 0 with
+            | Some e ->
+                Buffer.add_char buf (unescape !line e);
+                incr pos
+            | None -> error !line "unterminated string");
+            scan ()
+        | Some ch ->
+            Buffer.add_char buf ch;
+            incr pos;
+            scan ()
+      in
+      scan ();
+      emit (Tstring (Buffer.contents buf))
+    end
+    else begin
+      match
+        List.find_opt
+          (fun p ->
+            let lp = String.length p in
+            !pos + lp <= n && String.sub source !pos lp = p)
+          puncts
+      with
+      | Some p ->
+          pos := !pos + String.length p;
+          emit (Tpunct p)
+      | None -> error !line "unexpected character %C" c
+    end
+  done;
+  emit Teof;
+  { tokens = Array.of_list (List.rev !tokens); pos = 0 }
+
+let peek lx = fst lx.tokens.(lx.pos)
+let peek2 lx =
+  if lx.pos + 1 < Array.length lx.tokens then fst lx.tokens.(lx.pos + 1) else Teof
+let line lx = snd lx.tokens.(lx.pos)
+let advance lx = lx.pos <- lx.pos + 1
+
+let next lx =
+  let t = peek lx in
+  advance lx;
+  t
+
+let describe = function
+  | Tnum n -> string_of_int n
+  | Tchar_lit c -> Printf.sprintf "%C" c
+  | Tstring s -> Printf.sprintf "%S" s
+  | Tident s -> s
+  | Tkw s -> s
+  | Tpunct s -> Printf.sprintf "%S" s
+  | Teof -> "<eof>"
+
+let expect lx tok =
+  let t = next lx in
+  if t <> tok then
+    error (snd lx.tokens.(lx.pos - 1)) "expected %s, found %s" (describe tok)
+      (describe t)
+
+let expect_punct lx p = expect lx (Tpunct p)
+
+let expect_ident lx =
+  match next lx with
+  | Tident s -> s
+  | t -> error (snd lx.tokens.(lx.pos - 1)) "expected identifier, found %s" (describe t)
+
+let accept_punct lx p =
+  if peek lx = Tpunct p then begin
+    advance lx;
+    true
+  end
+  else false

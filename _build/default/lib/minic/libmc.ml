@@ -1,0 +1,447 @@
+module Isa = Msp430.Isa
+module A = Masm.Ast
+open Masm.Build
+
+(* Hand-written assembly support library: software multiply, divide,
+   modulo and variable-distance shifts (the MSP430 has no such
+   instructions; msp430-gcc emits calls to __mspabi helpers). These
+   routines stand in for the "precompiled library functions" of the
+   paper's library-instrumentation workflow (§4): the toolchain can
+   disassemble and re-instrument them like application code.
+
+   Calling convention: operands in R12/R13, result in R12; R13..R15
+   are clobbered, R4..R11 preserved. *)
+
+let negate r = [ xor (imm 0xFFFF) (dreg r); add (imm 1) (dreg r) ]
+
+(* R12 * R13 -> R12 (low 16 bits; same for signed and unsigned). *)
+let mulhi =
+  A.item "__mulhi"
+    ([
+       mov (reg r12) (dreg r14);
+       (* multiplicand *)
+       mov (imm 0) (dreg r12);
+       (* accumulator *)
+       label "__mulhi$loop";
+       cmp (imm 0) (dreg r13);
+       jeq "__mulhi$done";
+       bit (imm 1) (dreg r13);
+       jeq "__mulhi$skip";
+       add (reg r14) (dreg r12);
+       label "__mulhi$skip";
+       add (reg r14) (dreg r14);
+       (* multiplier >>= 1 (logical) *)
+       bic (imm 1) (A.Dreg Isa.sr);
+       rrc (reg r13);
+       jmp "__mulhi$loop";
+       label "__mulhi$done";
+       ret;
+     ]
+    |> List.map (fun s -> s))
+
+(* Unsigned R12 / R13 -> quotient R12, remainder R14 (restoring
+   division, 16 iterations; quotient bits shift into the vacated low
+   bits of the dividend register). Division by zero returns 0xFFFF. *)
+let udivhi =
+  A.item "__udivhi"
+    [
+      cmp (imm 0) (dreg r13);
+      jne "__udivhi$ok";
+      mov (imm 0xFFFF) (dreg r12);
+      mov (imm 0) (dreg r14);
+      ret;
+      label "__udivhi$ok";
+      mov (imm 0) (dreg r14);
+      (* remainder *)
+      mov (imm 16) (dreg r15);
+      (* counter *)
+      label "__udivhi$loop";
+      add (reg r12) (dreg r12);
+      (* C = old msb *)
+      addc (reg r14) (dreg r14);
+      (* remainder = remainder<<1 | C *)
+      cmp (reg r13) (dreg r14);
+      jnc "__udivhi$skip";
+      sub (reg r13) (dreg r14);
+      bis (imm 1) (dreg r12);
+      (* quotient bit *)
+      label "__udivhi$skip";
+      sub (imm 1) (dreg r15);
+      jne "__udivhi$loop";
+      ret;
+    ]
+
+(* Unsigned remainder. *)
+let umodhi =
+  A.item "__umodhi"
+    [ call "__udivhi"; mov (reg r14) (dreg r12); ret ]
+
+(* Signed division: C semantics (truncation toward zero). *)
+let divhi =
+  A.item "__divhi"
+    ([
+       mov (imm 0) (dreg r14);
+       cmp (imm 0) (dreg r12);
+       jge "__divhi$p1";
+     ]
+    @ negate r12
+    @ [ mov (imm 1) (dreg r14); label "__divhi$p1"; cmp (imm 0) (dreg r13); jge "__divhi$p2" ]
+    @ negate r13
+    @ [
+        xor (imm 1) (dreg r14);
+        label "__divhi$p2";
+        push (reg r14);
+        call "__udivhi";
+        pop r14;
+        cmp (imm 0) (dreg r14);
+        jeq "__divhi$done";
+      ]
+    @ negate r12
+    @ [ label "__divhi$done"; ret ])
+
+(* Signed modulo: result takes the sign of the dividend. *)
+let modhi =
+  A.item "__modhi"
+    ([
+       mov (imm 0) (dreg r14);
+       cmp (imm 0) (dreg r12);
+       jge "__modhi$p1";
+     ]
+    @ negate r12
+    @ [ mov (imm 1) (dreg r14); label "__modhi$p1"; cmp (imm 0) (dreg r13); jge "__modhi$p2" ]
+    @ negate r13
+    @ [
+        label "__modhi$p2";
+        push (reg r14);
+        call "__umodhi";
+        pop r14;
+        cmp (imm 0) (dreg r14);
+        jeq "__modhi$done";
+      ]
+    @ negate r12
+    @ [ label "__modhi$done"; ret ])
+
+let shift_loop name body =
+  A.item name
+    ([
+       and_ (imm 31) (dreg r13);
+       (* bound the loop; shifts >= 16 drain to 0/sign *)
+       cmp (imm 0) (dreg r13);
+       jeq (name ^ "$done");
+       label (name ^ "$loop");
+     ]
+    @ body
+    @ [
+        sub (imm 1) (dreg r13);
+        jne (name ^ "$loop");
+        label (name ^ "$done");
+        ret;
+      ])
+
+let ashlhi = shift_loop "__ashlhi" [ add (reg r12) (dreg r12) ]
+let ashrhi = shift_loop "__ashrhi" [ rra (reg r12) ]
+
+let lshrhi =
+  shift_loop "__lshrhi" [ bic (imm 1) (A.Dreg Isa.sr); rrc (reg r12) ]
+
+(* Platform pseudo-functions. *)
+let putchar =
+  A.item "putchar"
+    [ mov_b (reg r12) (dabsn Msp430.Memory.uart_tx_addr); ret ]
+
+let halt_fn =
+  A.item "halt" [ mov (imm 1) (dabsn Msp430.Memory.halt_addr); ret ]
+
+
+(* --- Software floating point (binary32 on two 16-bit words) --------
+
+   Hand-written equivalents of msp430-gcc's __mulsf3/__addsf3 helper
+   routines. Format: hi = [s:1][exp:8][mant:7], lo = mant low 16.
+   Denormals flush to zero; truncating rounding; extreme exponent
+   overflow saturates. Calling convention: a_hi/a_lo/b_hi/b_lo in
+   R12..R15; the result's high word returns in R12 and the low word
+   is left in the __f_result_lo library word, fetched with f_lo().
+
+   f_mul2 drops each operand's low 8 mantissa bits and computes a full
+   16x16 shift-add product (relative error < 2^-14) — the classic
+   embedded speed/size trade, and it keeps the routine the size of
+   the real library helpers. *)
+
+let f_result_lo = A.item ~section:A.Data "__f_result_lo" [ A.Word (A.Num 0) ]
+
+let f_lo = A.item "f_lo" [ mov (abs "__f_result_lo") (dreg r12); ret ]
+
+let f_mul2 =
+  A.item "f_mul2"
+    [
+      push (reg r9);
+      push (reg r10);
+      push (reg r11);
+      (* sign of result -> R10 *)
+      mov (reg r12) (dreg r10);
+      xor (reg r14) (dreg r10);
+      and_ (imm 0x8000) (dreg r10);
+      (* exponents (kept shifted left by 7) *)
+      mov (reg r12) (dreg r11);
+      and_ (imm 0x7F80) (dreg r11);
+      jeq "f_mul2$zero";
+      mov (reg r14) (dreg r9);
+      and_ (imm 0x7F80) (dreg r9);
+      jeq "f_mul2$zero";
+      add (reg r9) (dreg r11);
+      sub (imm 0x3F80) (dreg r11);
+      (* m_a: top 16 bits of A's 24-bit mantissa -> R12 *)
+      and_ (imm 0x007F) (dreg r12);
+      bis (imm 0x0080) (dreg r12);
+      swpb (reg r12);
+      swpb (reg r13);
+      and_ (imm 0x00FF) (dreg r13);
+      bis (reg r13) (dreg r12);
+      (* m_b -> R15 *)
+      and_ (imm 0x007F) (dreg r14);
+      bis (imm 0x0080) (dreg r14);
+      swpb (reg r14);
+      swpb (reg r15);
+      and_ (imm 0x00FF) (dreg r15);
+      bis (reg r14) (dreg r15);
+      (* 16x16 -> 32 shift-add multiply: product in R13:R14 *)
+      mov (imm 0) (dreg r13);
+      mov (imm 0) (dreg r14);
+      mov (imm 16) (dreg r9);
+      label "f_mul2$loop";
+      add (reg r14) (dreg r14);
+      addc (reg r13) (dreg r13);
+      add (reg r15) (dreg r15);
+      jnc "f_mul2$skip";
+      add (reg r12) (dreg r14);
+      addc (imm 0) (dreg r13);
+      label "f_mul2$skip";
+      sub (imm 1) (dreg r9);
+      jne "f_mul2$loop";
+      (* normalize [2^30, 2^32) down to 24 bits: 7 shifts + maybe 1 *)
+      mov (imm 7) (dreg r9);
+      label "f_mul2$shift7";
+      bic (imm 1) (A.Dreg Isa.sr);
+      rrc (reg r13);
+      rrc (reg r14);
+      sub (imm 1) (dreg r9);
+      jne "f_mul2$shift7";
+      cmp (imm 0x0100) (dreg r13);
+      jnc "f_mul2$packed";
+      bic (imm 1) (A.Dreg Isa.sr);
+      rrc (reg r13);
+      rrc (reg r14);
+      add (imm 0x0080) (dreg r11);
+      label "f_mul2$packed";
+      (* exponent range: underflow -> zero, overflow -> saturate *)
+      cmp (imm 1) (dreg r11);
+      jl "f_mul2$zero";
+      cmp (imm 0x7F80) (dreg r11);
+      jl "f_mul2$pack";
+      mov (imm 0x7F00) (dreg r11);
+      mov (imm 0xFF) (dreg r13);
+      mov (imm 0xFFFF) (dreg r14);
+      label "f_mul2$pack";
+      and_ (imm 0x007F) (dreg r13);
+      bis (reg r11) (dreg r13);
+      bis (reg r10) (dreg r13);
+      mov (reg r14) (dabs "__f_result_lo");
+      mov (reg r13) (dreg r12);
+      pop r11;
+      pop r10;
+      pop r9;
+      ret;
+      label "f_mul2$zero";
+      mov (imm 0) (dabs "__f_result_lo");
+      mov (reg r10) (dreg r12);
+      pop r11;
+      pop r10;
+      pop r9;
+      ret;
+    ]
+
+let f_add2 =
+  A.item "f_add2"
+    [
+      push (reg r8);
+      push (reg r9);
+      push (reg r10);
+      push (reg r11);
+      (* B == 0 -> result is A *)
+      mov (reg r14) (dreg r9);
+      and_ (imm 0x7FFF) (dreg r9);
+      bis (reg r15) (dreg r9);
+      jeq "f_add2$return_a";
+      (* A == 0 -> result is B *)
+      mov (reg r12) (dreg r9);
+      and_ (imm 0x7FFF) (dreg r9);
+      bis (reg r13) (dreg r9);
+      jeq "f_add2$return_b";
+      (* ensure |A| >= |B| (packed magnitude compare), else swap *)
+      mov (reg r12) (dreg r9);
+      and_ (imm 0x7FFF) (dreg r9);
+      mov (reg r14) (dreg r10);
+      and_ (imm 0x7FFF) (dreg r10);
+      cmp (reg r10) (dreg r9);
+      jnc "f_add2$swap";
+      jne "f_add2$ordered";
+      cmp (reg r15) (dreg r13);
+      jc "f_add2$ordered";
+      label "f_add2$swap";
+      mov (reg r12) (dreg r9);
+      mov (reg r14) (dreg r12);
+      mov (reg r9) (dreg r14);
+      mov (reg r13) (dreg r9);
+      mov (reg r15) (dreg r13);
+      mov (reg r9) (dreg r15);
+      label "f_add2$ordered";
+      (* result sign (R10) and exponent<<7 (R11) come from A *)
+      mov (reg r12) (dreg r10);
+      and_ (imm 0x8000) (dreg r10);
+      mov (reg r12) (dreg r11);
+      and_ (imm 0x7F80) (dreg r11);
+      (* B sign bit -> R7? avoid: compare signs via XOR into R8 *)
+      mov (reg r12) (dreg r8);
+      xor (reg r14) (dreg r8);
+      and_ (imm 0x8000) (dreg r8);
+      (* mantissas: A -> R12:R13, B -> R14:R15, implicit bits on *)
+      and_ (imm 0x007F) (dreg r12);
+      bis (imm 0x0080) (dreg r12);
+      mov (reg r14) (dreg r9);
+      and_ (imm 0x7F80) (dreg r9);
+      and_ (imm 0x007F) (dreg r14);
+      bis (imm 0x0080) (dreg r14);
+      (* diff = (ea - eb) << 7 -> R9 *)
+      xor (imm 0xFFFF) (dreg r9);
+      add (imm 1) (dreg r9);
+      add (reg r11) (dreg r9);
+      (* diff > 24<<7: B vanishes *)
+      cmp (imm 0x0C01) (dreg r9);
+      jc "f_add2$pack";
+      label "f_add2$align";
+      cmp (imm 0) (dreg r9);
+      jeq "f_add2$aligned";
+      bic (imm 1) (A.Dreg Isa.sr);
+      rrc (reg r14);
+      rrc (reg r15);
+      sub (imm 0x80) (dreg r9);
+      jmp "f_add2$align";
+      label "f_add2$aligned";
+      cmp (imm 0) (dreg r8);
+      jne "f_add2$subtract";
+      (* same signs: add mantissas *)
+      add (reg r15) (dreg r13);
+      addc (reg r14) (dreg r12);
+      bit (imm 0x0100) (dreg r12);
+      jeq "f_add2$pack";
+      bic (imm 1) (A.Dreg Isa.sr);
+      rrc (reg r12);
+      rrc (reg r13);
+      add (imm 0x80) (dreg r11);
+      jmp "f_add2$pack";
+      label "f_add2$subtract";
+      sub (reg r15) (dreg r13);
+      subc (reg r14) (dreg r12);
+      mov (reg r12) (dreg r9);
+      bis (reg r13) (dreg r9);
+      jeq "f_add2$zero";
+      label "f_add2$norm";
+      bit (imm 0x0080) (dreg r12);
+      jne "f_add2$pack";
+      add (reg r13) (dreg r13);
+      addc (reg r12) (dreg r12);
+      sub (imm 0x80) (dreg r11);
+      cmp (imm 1) (dreg r11);
+      jl "f_add2$zero";
+      jmp "f_add2$norm";
+      label "f_add2$pack";
+      and_ (imm 0x007F) (dreg r12);
+      bis (reg r11) (dreg r12);
+      bis (reg r10) (dreg r12);
+      mov (reg r13) (dabs "__f_result_lo");
+      jmp "f_add2$out";
+      label "f_add2$zero";
+      mov (imm 0) (dreg r12);
+      mov (imm 0) (dabs "__f_result_lo");
+      jmp "f_add2$out";
+      label "f_add2$return_a";
+      mov (reg r13) (dabs "__f_result_lo");
+      jmp "f_add2$out";
+      label "f_add2$return_b";
+      mov (reg r14) (dreg r12);
+      mov (reg r15) (dabs "__f_result_lo");
+      label "f_add2$out";
+      pop r11;
+      pop r10;
+      pop r9;
+      pop r8;
+      ret;
+    ]
+
+let f_sub2 =
+  A.item "f_sub2"
+    [
+      xor (imm 0x8000) (dreg r14);
+      call "f_add2";
+      ret;
+    ]
+
+let items =
+  [
+    mulhi; udivhi; umodhi; divhi; modhi; ashlhi; ashrhi; lshrhi;
+    f_result_lo; f_lo; f_mul2; f_add2; f_sub2; putchar; halt_fn;
+  ]
+
+let names = List.map (fun it -> it.A.name) items
+
+(* Only the routines the program actually references, to keep binaries
+   lean (the blacklist/metadata cost scales with function count, §5.2). *)
+let needed_by (program : A.program) =
+  let referenced = Hashtbl.create 16 in
+  let scan_expr = function
+    | A.Num _ -> ()
+    | A.Lab l | A.Lab_off (l, _) -> Hashtbl.replace referenced l ()
+    | A.Diff (a, b) ->
+        Hashtbl.replace referenced a ();
+        Hashtbl.replace referenced b ()
+  in
+  let scan_instr = function
+    | A.Call e | A.Call_ind e | A.Br e | A.Br_ind e -> scan_expr e
+    | A.I1 (_, _, s, d) ->
+        (match s with
+        | A.Sidx (e, _) | A.Simm e | A.Sabs e | A.Ssym e -> scan_expr e
+        | A.Sreg _ | A.Sind _ | A.Sinc _ -> ());
+        (match d with
+        | A.Didx (e, _) | A.Dabs e | A.Dsym e -> scan_expr e
+        | A.Dreg _ -> ())
+    | A.I2 (_, _, s) -> (
+        match s with
+        | A.Sidx (e, _) | A.Simm e | A.Sabs e | A.Ssym e -> scan_expr e
+        | A.Sreg _ | A.Sind _ | A.Sinc _ -> ())
+    | A.J _ | A.Ret -> ()
+  in
+  let scan_item it =
+    List.iter
+      (function
+        | A.Instr i -> scan_instr i
+        | A.Word e -> scan_expr e
+        | A.Label _ | A.Byte _ | A.Ascii _ | A.Space _ | A.Align _
+        | A.Comment _ -> ())
+      it.A.stmts
+  in
+  List.iter scan_item program;
+  (* transitive closure over library-internal calls *)
+  let rec fix () =
+    let added = ref false in
+    List.iter
+      (fun it ->
+        if Hashtbl.mem referenced it.A.name then begin
+          let before = Hashtbl.length referenced in
+          scan_item it;
+          if Hashtbl.length referenced > before then added := true
+        end)
+      items;
+    if !added then fix ()
+  in
+  fix ();
+  List.filter (fun it -> Hashtbl.mem referenced it.A.name) items

@@ -1,0 +1,19 @@
+(** Hand-written assembly support library: software multiply, divide,
+    modulo, variable-distance shifts, binary32 float add/sub/mul
+    (gcc's __mspabi/__mulsf3 analogues), and the platform
+    pseudo-functions putchar/halt. These are the "precompiled library
+    functions" of the paper's §4: the toolchain can disassemble and
+    re-instrument them like application code.
+
+    Calling convention: operands in R12/R13 (float operands in
+    R12..R15 as hi/lo pairs), result in R12; R13..R15 clobbered,
+    R4..R11 preserved. The float routines leave the result's low word
+    in the [__f_result_lo] library word, fetched with [f_lo]. *)
+
+val items : Masm.Ast.item list
+val names : string list
+
+val needed_by : Masm.Ast.program -> Masm.Ast.item list
+(** The routines the program references, with library-internal calls
+    closed over — keeps binaries lean, since cache metadata cost
+    scales with function count (§5.2). *)

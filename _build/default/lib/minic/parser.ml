@@ -1,0 +1,455 @@
+(* Recursive-descent parser for mini-C with precedence climbing. *)
+
+exception Error of string
+
+let error lx fmt =
+  Format.kasprintf
+    (fun s -> raise (Error (Printf.sprintf "line %d: %s" (Lexer.line lx) s)))
+    fmt
+
+(* --- Types ---------------------------------------------------------- *)
+
+let is_type_start = function
+  | Lexer.Tkw ("int" | "unsigned" | "char" | "void") -> true
+  | _ -> false
+
+let parse_base_type lx =
+  match Lexer.next lx with
+  | Lexer.Tkw "int" -> Ast.Tint
+  | Lexer.Tkw "unsigned" ->
+      (* allow "unsigned int" and "unsigned char" *)
+      (match Lexer.peek lx with
+      | Lexer.Tkw "int" ->
+          Lexer.advance lx;
+          Ast.Tuint
+      | Lexer.Tkw "char" ->
+          Lexer.advance lx;
+          Ast.Tchar
+      | _ -> Ast.Tuint)
+  | Lexer.Tkw "char" -> Ast.Tchar
+  | Lexer.Tkw "void" -> Ast.Tvoid
+  | t -> error lx "expected type, found %s" (Lexer.describe t)
+
+let parse_type lx =
+  let base = parse_base_type lx in
+  let rec stars ty = if Lexer.accept_punct lx "*" then stars (Ast.Tptr ty) else ty in
+  stars base
+
+(* --- Expressions ---------------------------------------------------- *)
+
+let assign_ops =
+  [
+    ("=", None);
+    ("+=", Some Ast.Add);
+    ("-=", Some Ast.Sub);
+    ("*=", Some Ast.Mul);
+    ("/=", Some Ast.Div);
+    ("%=", Some Ast.Mod);
+    ("&=", Some Ast.Band);
+    ("|=", Some Ast.Bor);
+    ("^=", Some Ast.Bxor);
+    ("<<=", Some Ast.Shl);
+    (">>=", Some Ast.Shr);
+  ]
+
+(* binary operators by precedence level, low to high *)
+let binop_levels =
+  [
+    [ ("||", Ast.Lor) ];
+    [ ("&&", Ast.Land) ];
+    [ ("|", Ast.Bor) ];
+    [ ("^", Ast.Bxor) ];
+    [ ("&", Ast.Band) ];
+    [ ("==", Ast.Eq); ("!=", Ast.Ne) ];
+    [ ("<=", Ast.Le); (">=", Ast.Ge); ("<", Ast.Lt); (">", Ast.Gt) ];
+    [ ("<<", Ast.Shl); (">>", Ast.Shr) ];
+    [ ("+", Ast.Add); ("-", Ast.Sub) ];
+    [ ("*", Ast.Mul); ("/", Ast.Div); ("%", Ast.Mod) ];
+  ]
+
+let rec parse_expr lx = parse_assign lx
+
+and parse_assign lx =
+  let lhs = parse_ternary lx in
+  let rec find = function
+    | [] -> None
+    | (p, op) :: rest ->
+        if Lexer.peek lx = Lexer.Tpunct p then Some (p, op) else find rest
+  in
+  match find assign_ops with
+  | Some (_, op) ->
+      Lexer.advance lx;
+      let rhs = parse_assign lx in
+      Ast.Eassign (op, lhs, rhs)
+  | None -> lhs
+
+and parse_ternary lx =
+  let c = parse_binary lx 0 in
+  if Lexer.accept_punct lx "?" then begin
+    let a = parse_expr lx in
+    Lexer.expect_punct lx ":";
+    let b = parse_ternary lx in
+    Ast.Econd (c, a, b)
+  end
+  else c
+
+and parse_binary lx level =
+  if level >= List.length binop_levels then parse_unary lx
+  else begin
+    let ops = List.nth binop_levels level in
+    let lhs = ref (parse_binary lx (level + 1)) in
+    let rec loop () =
+      match
+        List.find_opt (fun (p, _) -> Lexer.peek lx = Lexer.Tpunct p) ops
+      with
+      | Some (p, op) ->
+          Lexer.advance lx;
+          ignore p;
+          let rhs = parse_binary lx (level + 1) in
+          lhs := Ast.Ebin (op, !lhs, rhs);
+          loop ()
+      | None -> ()
+    in
+    loop ();
+    !lhs
+  end
+
+and parse_unary lx =
+  match Lexer.peek lx with
+  | Lexer.Tpunct "-" ->
+      Lexer.advance lx;
+      Ast.Eun (Ast.Neg, parse_unary lx)
+  | Lexer.Tpunct "~" ->
+      Lexer.advance lx;
+      Ast.Eun (Ast.Bnot, parse_unary lx)
+  | Lexer.Tpunct "!" ->
+      Lexer.advance lx;
+      Ast.Eun (Ast.Lnot, parse_unary lx)
+  | Lexer.Tpunct "*" ->
+      Lexer.advance lx;
+      Ast.Ederef (parse_unary lx)
+  | Lexer.Tpunct "&" ->
+      Lexer.advance lx;
+      Ast.Eaddr (parse_unary lx)
+  | Lexer.Tpunct "++" ->
+      Lexer.advance lx;
+      Ast.Eincdec (true, 1, parse_unary lx)
+  | Lexer.Tpunct "--" ->
+      Lexer.advance lx;
+      Ast.Eincdec (true, -1, parse_unary lx)
+  | Lexer.Tpunct "(" when is_type_start (Lexer.peek2 lx) ->
+      Lexer.advance lx;
+      let ty = parse_type lx in
+      Lexer.expect_punct lx ")";
+      Ast.Ecast (ty, parse_unary lx)
+  | _ -> parse_postfix lx
+
+and parse_postfix lx =
+  let e = ref (parse_primary lx) in
+  let rec loop () =
+    match Lexer.peek lx with
+    | Lexer.Tpunct "[" ->
+        Lexer.advance lx;
+        let i = parse_expr lx in
+        Lexer.expect_punct lx "]";
+        e := Ast.Eindex (!e, i);
+        loop ()
+    | Lexer.Tpunct "++" ->
+        Lexer.advance lx;
+        e := Ast.Eincdec (false, 1, !e);
+        loop ()
+    | Lexer.Tpunct "--" ->
+        Lexer.advance lx;
+        e := Ast.Eincdec (false, -1, !e);
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  !e
+
+and parse_primary lx =
+  match Lexer.next lx with
+  | Lexer.Tnum n -> Ast.Enum n
+  | Lexer.Tchar_lit c -> Ast.Echr c
+  | Lexer.Tstring s -> Ast.Estr s
+  | Lexer.Tident name ->
+      if Lexer.accept_punct lx "(" then begin
+        let args = ref [] in
+        if not (Lexer.accept_punct lx ")") then begin
+          let rec more () =
+            args := parse_expr lx :: !args;
+            if Lexer.accept_punct lx "," then more ()
+            else Lexer.expect_punct lx ")"
+          in
+          more ()
+        end;
+        Ast.Ecall (name, List.rev !args)
+      end
+      else Ast.Evar name
+  | Lexer.Tpunct "(" ->
+      let e = parse_expr lx in
+      Lexer.expect_punct lx ")";
+      e
+  | t -> error lx "unexpected token %s in expression" (Lexer.describe t)
+
+(* --- Constant expressions ------------------------------------------- *)
+
+let rec const_eval = function
+  | Ast.Enum n -> n
+  | Ast.Echr c -> Char.code c
+  | Ast.Eun (Ast.Neg, e) -> -const_eval e
+  | Ast.Eun (Ast.Bnot, e) -> lnot (const_eval e) land 0xFFFF
+  | Ast.Ebin (op, a, b) -> (
+      let a = const_eval a and b = const_eval b in
+      match op with
+      | Ast.Add -> a + b
+      | Ast.Sub -> a - b
+      | Ast.Mul -> a * b
+      | Ast.Div -> a / b
+      | Ast.Mod -> a mod b
+      | Ast.Band -> a land b
+      | Ast.Bor -> a lor b
+      | Ast.Bxor -> a lxor b
+      | Ast.Shl -> a lsl b
+      | Ast.Shr -> a lsr b
+      | _ -> raise (Error "non-arithmetic operator in constant expression"))
+  | _ -> raise (Error "expected constant expression")
+
+(* --- Statements ----------------------------------------------------- *)
+
+let rec parse_stmt lx =
+  match Lexer.peek lx with
+  | Lexer.Tpunct "{" -> Ast.Sblock (parse_block lx)
+  | Lexer.Tkw "if" ->
+      Lexer.advance lx;
+      Lexer.expect_punct lx "(";
+      let c = parse_expr lx in
+      Lexer.expect_punct lx ")";
+      let then_ = parse_stmt_as_block lx in
+      let else_ =
+        if Lexer.peek lx = Lexer.Tkw "else" then begin
+          Lexer.advance lx;
+          parse_stmt_as_block lx
+        end
+        else []
+      in
+      Ast.Sif (c, then_, else_)
+  | Lexer.Tkw "while" ->
+      Lexer.advance lx;
+      Lexer.expect_punct lx "(";
+      let c = parse_expr lx in
+      Lexer.expect_punct lx ")";
+      Ast.Swhile (c, parse_stmt_as_block lx)
+  | Lexer.Tkw "do" ->
+      Lexer.advance lx;
+      let body = parse_stmt_as_block lx in
+      Lexer.expect lx (Lexer.Tkw "while");
+      Lexer.expect_punct lx "(";
+      let c = parse_expr lx in
+      Lexer.expect_punct lx ")";
+      Lexer.expect_punct lx ";";
+      Ast.Sdowhile (body, c)
+  | Lexer.Tkw "for" ->
+      Lexer.advance lx;
+      Lexer.expect_punct lx "(";
+      let init =
+        if Lexer.accept_punct lx ";" then None
+        else begin
+          let s =
+            if is_type_start (Lexer.peek lx) then parse_local_decl lx
+            else Ast.Sexpr (parse_expr lx)
+          in
+          Lexer.expect_punct lx ";";
+          Some s
+        end
+      in
+      let cond =
+        if Lexer.peek lx = Lexer.Tpunct ";" then None else Some (parse_expr lx)
+      in
+      Lexer.expect_punct lx ";";
+      let step =
+        if Lexer.peek lx = Lexer.Tpunct ")" then None else Some (parse_expr lx)
+      in
+      Lexer.expect_punct lx ")";
+      Ast.Sfor (init, cond, step, parse_stmt_as_block lx)
+  | Lexer.Tkw "switch" -> parse_switch lx
+  | Lexer.Tkw "return" ->
+      Lexer.advance lx;
+      if Lexer.accept_punct lx ";" then Ast.Sreturn None
+      else begin
+        let e = parse_expr lx in
+        Lexer.expect_punct lx ";";
+        Ast.Sreturn (Some e)
+      end
+  | Lexer.Tkw "break" ->
+      Lexer.advance lx;
+      Lexer.expect_punct lx ";";
+      Ast.Sbreak
+  | Lexer.Tkw "continue" ->
+      Lexer.advance lx;
+      Lexer.expect_punct lx ";";
+      Ast.Scontinue
+  | t when is_type_start t ->
+      let s = parse_local_decl lx in
+      Lexer.expect_punct lx ";";
+      s
+  | _ ->
+      let e = parse_expr lx in
+      Lexer.expect_punct lx ";";
+      Ast.Sexpr e
+
+and parse_stmt_as_block lx =
+  match parse_stmt lx with Ast.Sblock ss -> ss | s -> [ s ]
+
+and parse_block lx =
+  Lexer.expect_punct lx "{";
+  let rec loop acc =
+    if Lexer.accept_punct lx "}" then List.rev acc
+    else loop (parse_stmt lx :: acc)
+  in
+  loop []
+
+and parse_local_decl lx =
+  let ty = parse_type lx in
+  let name = Lexer.expect_ident lx in
+  let len =
+    if Lexer.accept_punct lx "[" then begin
+      let n = const_eval (parse_expr lx) in
+      Lexer.expect_punct lx "]";
+      Some n
+    end
+    else None
+  in
+  let init =
+    if Lexer.accept_punct lx "=" then Some (parse_expr lx) else None
+  in
+  Ast.Sdecl (ty, name, len, init)
+
+and parse_switch lx =
+  Lexer.advance lx;
+  Lexer.expect_punct lx "(";
+  let scrutinee = parse_expr lx in
+  Lexer.expect_punct lx ")";
+  Lexer.expect_punct lx "{";
+  let cases = ref [] and default = ref None in
+  let rec parse_entries () =
+    match Lexer.peek lx with
+    | Lexer.Tpunct "}" -> Lexer.advance lx
+    | Lexer.Tkw "case" ->
+        let values = ref [] in
+        let rec labels () =
+          match Lexer.peek lx with
+          | Lexer.Tkw "case" ->
+              Lexer.advance lx;
+              let v = const_eval (parse_expr lx) in
+              Lexer.expect_punct lx ":";
+              values := v :: !values;
+              labels ()
+          | _ -> ()
+        in
+        labels ();
+        let body = parse_case_body lx in
+        cases := (List.rev !values, body) :: !cases;
+        parse_entries ()
+    | Lexer.Tkw "default" ->
+        Lexer.advance lx;
+        Lexer.expect_punct lx ":";
+        if !default <> None then error lx "duplicate default";
+        default := Some (parse_case_body lx);
+        parse_entries ()
+    | t -> error lx "expected case/default/}, found %s" (Lexer.describe t)
+  and parse_case_body lx =
+    let rec loop acc =
+      match Lexer.peek lx with
+      | Lexer.Tkw "case" | Lexer.Tkw "default" | Lexer.Tpunct "}" -> List.rev acc
+      | _ -> loop (parse_stmt lx :: acc)
+    in
+    loop []
+  in
+  parse_entries ();
+  Ast.Sswitch (scrutinee, List.rev !cases, !default)
+
+(* --- Top level ------------------------------------------------------ *)
+
+let parse_global_init lx ty len =
+  if not (Lexer.accept_punct lx "=") then None
+  else
+    match (Lexer.peek lx, len) with
+    | Lexer.Tstring s, Some _ | Lexer.Tstring s, None ->
+        Lexer.advance lx;
+        ignore ty;
+        Some (Ast.Istr s)
+    | Lexer.Tpunct "{", _ ->
+        Lexer.advance lx;
+        let values = ref [] in
+        if not (Lexer.accept_punct lx "}") then begin
+          let rec more () =
+            values := const_eval (parse_expr lx) :: !values;
+            if Lexer.accept_punct lx "," then
+              (if not (Lexer.accept_punct lx "}") then more ())
+            else Lexer.expect_punct lx "}"
+          in
+          more ()
+        end;
+        Some (Ast.Iarr (List.rev !values))
+    | _, _ -> Some (Ast.Ival (const_eval (parse_expr lx)))
+
+let parse_decl lx =
+  let ty = parse_type lx in
+  let name = Lexer.expect_ident lx in
+  if Lexer.accept_punct lx "(" then begin
+    let params = ref [] in
+    if not (Lexer.accept_punct lx ")") then begin
+      if Lexer.peek lx = Lexer.Tkw "void" && Lexer.peek2 lx = Lexer.Tpunct ")"
+      then begin
+        Lexer.advance lx;
+        Lexer.expect_punct lx ")"
+      end
+      else
+        let rec more () =
+          let pty = parse_type lx in
+          let pname = Lexer.expect_ident lx in
+          params := (pty, pname) :: !params;
+          if Lexer.accept_punct lx "," then more ()
+          else Lexer.expect_punct lx ")"
+        in
+        more ()
+    end;
+    let body = parse_block lx in
+    Ast.Dfun
+      { Ast.fname = name; freturn = ty; fparams = List.rev !params; fbody = body }
+  end
+  else begin
+    let has_bracket, len =
+      if Lexer.accept_punct lx "[" then
+        match Lexer.peek lx with
+        | Lexer.Tpunct "]" ->
+            Lexer.advance lx;
+            (true, None) (* length inferred from initializer *)
+        | _ ->
+            let n = const_eval (parse_expr lx) in
+            Lexer.expect_punct lx "]";
+            (true, Some n)
+      else (false, None)
+    in
+    let init = parse_global_init lx ty len in
+    Lexer.expect_punct lx ";";
+    (* infer array length from initializer when [] was written *)
+    let len =
+      match (has_bracket, len, init) with
+      | _, Some n, _ -> Some n
+      | true, None, Some (Ast.Iarr vs) -> Some (List.length vs)
+      | true, None, Some (Ast.Istr s) -> Some (String.length s + 1)
+      | true, None, _ -> raise (Error (name ^ ": array size required"))
+      | false, None, _ -> None
+    in
+    Ast.Dglobal { Ast.gname = name; gty = ty; glen = len; ginit = init }
+  end
+
+let parse source =
+  let lx = Lexer.tokenize source in
+  let rec loop acc =
+    if Lexer.peek lx = Lexer.Teof then List.rev acc
+    else loop (parse_decl lx :: acc)
+  in
+  loop []

@@ -1,0 +1,1 @@
+lib/msp430/cpu.ml: Array Cycles Encoding Hashtbl Isa Memory Trace Word

@@ -1,0 +1,1 @@
+lib/msp430/cpu.mli: Isa Memory Trace

@@ -1,0 +1,1 @@
+lib/msp430/encoding.ml: Format Isa Option Word

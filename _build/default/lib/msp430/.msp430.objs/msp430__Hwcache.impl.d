@@ -1,0 +1,1 @@
+lib/msp430/hwcache.ml: Array

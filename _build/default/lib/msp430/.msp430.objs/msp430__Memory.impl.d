@@ -1,0 +1,1 @@
+lib/msp430/memory.ml: Buffer Bytes Char Format Hwcache Trace Word

@@ -1,0 +1,1 @@
+lib/msp430/memory.mli: Bytes Format Trace

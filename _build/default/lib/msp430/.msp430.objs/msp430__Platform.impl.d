@@ -1,0 +1,1 @@
+lib/msp430/platform.ml: Cpu Energy Memory Trace

@@ -1,0 +1,1 @@
+lib/msp430/trace.ml: Array Format List Printf String

@@ -1,0 +1,1 @@
+lib/msp430/word.ml:

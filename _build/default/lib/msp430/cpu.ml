@@ -1,0 +1,320 @@
+(* MSP430 CPU: fetch/decode/execute loop with cycle accounting, flag
+   semantics per SLAU144, and trap vectors used by the software caching
+   runtimes to interpose on execution (the simulated analogue of
+   branching into runtime code that lives in FRAM). *)
+
+let trap_base = 0xFF00
+
+type trap_action = Goto of int | Halt_machine
+
+type t = {
+  regs : int array;
+  mem : Memory.t;
+  stats : Trace.t;
+  traps : (int, t -> trap_action) Hashtbl.t;
+  mutable classify : int -> Trace.source;
+  mutable halted : bool;
+  mutable tracer : (pc:int -> Isa.t -> unit) option;
+}
+
+(* Flag bit positions in SR. *)
+let flag_c = 0
+let flag_z = 1
+let flag_n = 2
+let flag_v = 8
+
+let default_classifier mem addr =
+  match Memory.region_of (Memory.map mem) addr with
+  | Memory.Sram -> Trace.App_sram
+  | Memory.Fram | Memory.Peripheral | Memory.Unmapped -> Trace.App_fram
+
+let create mem =
+  let stats = Memory.stats mem in
+  {
+    regs = Array.make 16 0;
+    mem;
+    stats;
+    traps = Hashtbl.create 8;
+    classify = default_classifier mem;
+    halted = false;
+    tracer = None;
+  }
+
+let mem t = t.mem
+let stats t = t.stats
+let halted t = t.halted
+let reg t r = t.regs.(r)
+let set_reg t r v = t.regs.(r) <- Word.of_int v
+let set_classifier t f = t.classify <- f
+
+(* Optional per-instruction observer (mspdebug-style tracing); set to
+   None to disable. Fires after decode, before execution. *)
+let set_tracer t f = t.tracer <- f
+let register_trap t addr handler = Hashtbl.replace t.traps addr handler
+
+let get_flag t bit = Word.bit t.regs.(Isa.sr) bit = 1
+
+let set_flag t bit v =
+  let sr = t.regs.(Isa.sr) in
+  t.regs.(Isa.sr) <- (if v then sr lor (1 lsl bit) else sr land lnot (1 lsl bit)) land 0xFFFF
+
+(* Charge the cost of one modeled runtime instruction: an instruction
+   fetch from [fetch_addr] (normally in the reserved FRAM runtime
+   region, so the read cache and wait states apply) plus [cycles]
+   unstalled cycles, attributed to [source] in the Fig. 8 breakdown. *)
+let charge_runtime_instr t ~source ~fetch_addr ~cycles =
+  Memory.begin_instruction t.mem;
+  ignore (Memory.read_word t.mem ~purpose:Memory.Ifetch fetch_addr);
+  Trace.count_instr t.stats source;
+  t.stats.Trace.unstalled_cycles <- t.stats.Trace.unstalled_cycles + cycles
+
+let width_of = function Isa.W -> 2 | Isa.B -> 1
+let val_mask = function Isa.W -> 0xFFFF | Isa.B -> 0xFF
+let msb_mask = function Isa.W -> 0x8000 | Isa.B -> 0x80
+
+(* Evaluate a source operand; performs counted data reads. *)
+let eval_src t sz src =
+  let rd addr = Memory.read t.mem ~purpose:Memory.Data ~width:(width_of sz) addr in
+  match src with
+  | Isa.Sreg r -> t.regs.(r) land val_mask sz
+  | Isa.Sidx (x, r) -> rd (Word.add t.regs.(r) x)
+  | Isa.Sind r -> rd t.regs.(r)
+  | Isa.Sinc r ->
+      let addr = t.regs.(r) in
+      let v = rd addr in
+      let step = if sz = Isa.B && r >= 4 then 1 else 2 in
+      t.regs.(r) <- Word.add addr step;
+      v
+  | Isa.Simm v | Isa.SimmX v -> v land val_mask sz
+  | Isa.Sabs a -> rd a
+  | Isa.Ssym a -> rd a
+
+type location = Loc_reg of int | Loc_mem of int
+
+let dst_location t dst =
+  match dst with
+  | Isa.Dreg r -> Loc_reg r
+  | Isa.Didx (x, r) -> Loc_mem (Word.add t.regs.(r) x)
+  | Isa.Dabs a -> Loc_mem a
+  | Isa.Dsym a -> Loc_mem a
+
+let read_loc t sz = function
+  | Loc_reg r -> t.regs.(r) land val_mask sz
+  | Loc_mem a -> Memory.read t.mem ~purpose:Memory.Data ~width:(width_of sz) a
+
+(* Byte writes to a register clear the upper byte (MSP430 semantics). *)
+let write_loc t sz loc v =
+  match loc with
+  | Loc_reg r -> t.regs.(r) <- v land val_mask sz
+  | Loc_mem a -> Memory.write t.mem ~width:(width_of sz) a v
+
+let set_nz t sz r =
+  set_flag t flag_z (r = 0);
+  set_flag t flag_n (r land msb_mask sz <> 0)
+
+(* a + b + carry_in with full flag semantics; returns the result.
+   SUB/SUBC/CMP reuse this with b = lnot src (one's complement). *)
+let add_with_flags t sz a b carry_in =
+  let m = val_mask sz in
+  let a = a land m and b = b land m in
+  let full = a + b + carry_in in
+  let r = full land m in
+  set_flag t flag_c (full > m);
+  set_flag t flag_v
+    (lnot (a lxor b) land (a lxor r) land msb_mask sz <> 0);
+  set_nz t sz r;
+  r
+
+(* Decimal (BCD) addition with carry, digit by digit. *)
+let dadd_with_flags t sz a b carry_in =
+  let digits = match sz with Isa.W -> 4 | Isa.B -> 2 in
+  let r = ref 0 and carry = ref carry_in in
+  for i = 0 to digits - 1 do
+    let da = (a lsr (4 * i)) land 0xF and db = (b lsr (4 * i)) land 0xF in
+    let d = da + db + !carry in
+    let d, c = if d > 9 then (d - 10, 1) else (d, 0) in
+    carry := c;
+    r := !r lor (d lsl (4 * i))
+  done;
+  set_flag t flag_c (!carry = 1);
+  set_nz t sz !r;
+  !r
+
+let exec_format1 t op sz src dst =
+  let sval = eval_src t sz src in
+  let loc = dst_location t dst in
+  let carry () = if get_flag t flag_c then 1 else 0 in
+  match op with
+  | Isa.MOV -> write_loc t sz loc sval
+  | Isa.ADD ->
+      let d = read_loc t sz loc in
+      write_loc t sz loc (add_with_flags t sz d sval 0)
+  | Isa.ADDC ->
+      let d = read_loc t sz loc in
+      write_loc t sz loc (add_with_flags t sz d sval (carry ()))
+  | Isa.SUB ->
+      let d = read_loc t sz loc in
+      write_loc t sz loc (add_with_flags t sz d (lnot sval) 1)
+  | Isa.SUBC ->
+      let d = read_loc t sz loc in
+      write_loc t sz loc (add_with_flags t sz d (lnot sval) (carry ()))
+  | Isa.CMP ->
+      let d = read_loc t sz loc in
+      ignore (add_with_flags t sz d (lnot sval) 1)
+  | Isa.DADD ->
+      let d = read_loc t sz loc in
+      write_loc t sz loc (dadd_with_flags t sz d sval (carry ()))
+  | Isa.BIT ->
+      let d = read_loc t sz loc in
+      let r = d land sval in
+      set_nz t sz r;
+      set_flag t flag_c (r <> 0);
+      set_flag t flag_v false
+  | Isa.BIC ->
+      let d = read_loc t sz loc in
+      write_loc t sz loc (d land lnot sval land val_mask sz)
+  | Isa.BIS ->
+      let d = read_loc t sz loc in
+      write_loc t sz loc (d lor sval)
+  | Isa.XOR ->
+      let d = read_loc t sz loc in
+      let r = (d lxor sval) land val_mask sz in
+      set_nz t sz r;
+      set_flag t flag_c (r <> 0);
+      set_flag t flag_v (d land msb_mask sz <> 0 && sval land msb_mask sz <> 0);
+      write_loc t sz loc r
+  | Isa.AND ->
+      let d = read_loc t sz loc in
+      let r = d land sval in
+      set_nz t sz r;
+      set_flag t flag_c (r <> 0);
+      set_flag t flag_v false;
+      write_loc t sz loc r
+
+let push_word t v =
+  let sp' = Word.sub t.regs.(Isa.sp) 2 in
+  t.regs.(Isa.sp) <- sp';
+  Memory.write_word t.mem sp' v
+
+let pop_word t =
+  let sp = t.regs.(Isa.sp) in
+  let v = Memory.read_word t.mem ~purpose:Memory.Data sp in
+  t.regs.(Isa.sp) <- Word.add sp 2;
+  v
+
+(* Location a format-II operand writes back to, mirroring eval_src's
+   address computation (auto-increment already applied by eval_src, so
+   we recompute the pre-increment address). *)
+let src_writeback_loc t sz src =
+  match src with
+  | Isa.Sreg r -> Some (Loc_reg r)
+  | Isa.Sidx (x, r) -> Some (Loc_mem (Word.add t.regs.(r) x))
+  | Isa.Sind r -> Some (Loc_mem t.regs.(r))
+  | Isa.Sinc r ->
+      let step = if sz = Isa.B && r >= 4 then 1 else 2 in
+      Some (Loc_mem (Word.sub t.regs.(r) step))
+  | Isa.Sabs a | Isa.Ssym a -> Some (Loc_mem a)
+  | Isa.Simm _ | Isa.SimmX _ -> None
+
+let exec_format2 t op sz src =
+  match op with
+  | Isa.PUSH ->
+      let v = eval_src t sz src in
+      let sp' = Word.sub t.regs.(Isa.sp) 2 in
+      t.regs.(Isa.sp) <- sp';
+      Memory.write t.mem ~width:(width_of sz) sp' v
+  | Isa.CALL ->
+      let target = eval_src t Isa.W src in
+      push_word t t.regs.(Isa.pc);
+      t.regs.(Isa.pc) <- target
+  | Isa.RRC | Isa.RRA | Isa.SWPB | Isa.SXT -> (
+      let v = eval_src t sz src in
+      let r =
+        match op with
+        | Isa.RRC ->
+            let c_in = if get_flag t flag_c then msb_mask sz else 0 in
+            let r = (v lsr 1) lor c_in in
+            set_flag t flag_c (v land 1 = 1);
+            set_nz t sz r;
+            set_flag t flag_v false;
+            r
+        | Isa.RRA ->
+            let r = (v lsr 1) lor (v land msb_mask sz) in
+            set_flag t flag_c (v land 1 = 1);
+            set_nz t sz r;
+            set_flag t flag_v false;
+            r
+        | Isa.SWPB -> Word.make_word ~high:(Word.low_byte v) ~low:(Word.high_byte v)
+        | Isa.SXT ->
+            let r = Word.of_int (Word.byte_to_signed (v land 0xFF)) in
+            set_nz t Isa.W r;
+            set_flag t flag_c (r <> 0);
+            set_flag t flag_v false;
+            r
+        | Isa.PUSH | Isa.CALL -> assert false
+      in
+      match src_writeback_loc t sz src with
+      | Some loc -> write_loc t sz loc r
+      | None -> Memory.fault "format-II write-back to immediate")
+
+let cond_holds t = function
+  | Isa.JNE -> not (get_flag t flag_z)
+  | Isa.JEQ -> get_flag t flag_z
+  | Isa.JNC -> not (get_flag t flag_c)
+  | Isa.JC -> get_flag t flag_c
+  | Isa.JN -> get_flag t flag_n
+  | Isa.JGE -> get_flag t flag_n = get_flag t flag_v
+  | Isa.JL -> get_flag t flag_n <> get_flag t flag_v
+  | Isa.JMP -> true
+
+exception Trap_missing of int
+
+let run_trap t pc =
+  match Hashtbl.find_opt t.traps pc with
+  | None -> raise (Trap_missing pc)
+  | Some handler -> (
+      match handler t with
+      | Goto pc' -> t.regs.(Isa.pc) <- Word.of_int pc'
+      | Halt_machine -> t.halted <- true)
+
+(* Execute one instruction (or one trap handler invocation). *)
+let step t =
+  if t.halted then ()
+  else begin
+    let pc0 = t.regs.(Isa.pc) in
+    if pc0 >= trap_base then run_trap t pc0
+    else begin
+      Memory.begin_instruction t.mem;
+      let fetch addr = Memory.read_word t.mem ~purpose:Memory.Ifetch addr in
+      let instr, size = Encoding.decode ~fetch ~addr:pc0 in
+      (match t.tracer with
+      | Some observe -> observe ~pc:pc0 instr
+      | None -> ());
+      Trace.count_instr t.stats (t.classify pc0);
+      t.regs.(Isa.pc) <- Word.add pc0 size;
+      (match instr with
+      | Isa.I1 (op, sz, src, dst) -> exec_format1 t op sz src dst
+      | Isa.I2 (op, sz, src) -> exec_format2 t op sz src
+      | Isa.Jcc (c, off) ->
+          if cond_holds t c then t.regs.(Isa.pc) <- Word.add pc0 (2 + (2 * off))
+      | Isa.RETI ->
+          t.regs.(Isa.sr) <- pop_word t;
+          t.regs.(Isa.pc) <- pop_word t);
+      t.stats.Trace.unstalled_cycles <-
+        t.stats.Trace.unstalled_cycles + Cycles.of_instr instr;
+      if Memory.halt_requested t.mem then t.halted <- true
+    end
+  end
+
+type run_status = Halted | Fuel_exhausted
+
+let run ?(fuel = max_int) t =
+  let rec loop fuel =
+    if t.halted then Halted
+    else if fuel <= 0 then Fuel_exhausted
+    else begin
+      step t;
+      loop (fuel - 1)
+    end
+  in
+  loop fuel

@@ -1,0 +1,53 @@
+(** MSP430 CPU: fetch/decode/execute loop with cycle accounting, flag
+    semantics per SLAU144, and trap vectors used by the software
+    caching runtimes to interpose on execution. *)
+
+val trap_base : int
+(** PC values at or above this invoke a registered trap handler
+    instead of fetching from memory. *)
+
+type trap_action = Goto of int | Halt_machine
+
+type t
+
+(** Flag bit positions in SR. *)
+
+val flag_c : int
+val flag_z : int
+val flag_n : int
+val flag_v : int
+
+val create : Memory.t -> t
+val mem : t -> Memory.t
+val stats : t -> Trace.t
+val halted : t -> bool
+val reg : t -> Isa.reg -> int
+val set_reg : t -> Isa.reg -> int -> unit
+
+val set_classifier : t -> (int -> Trace.source) -> unit
+(** Classify instruction fetch addresses for the Figure-8 breakdown.
+    The default classifies by memory region. *)
+
+val set_tracer : t -> (pc:int -> Isa.t -> unit) option -> unit
+(** Optional per-instruction observer (mspdebug-style execution
+    tracing); fires after decode, before execution. *)
+
+val register_trap : t -> int -> (t -> trap_action) -> unit
+
+val get_flag : t -> int -> bool
+val set_flag : t -> int -> bool -> unit
+
+val charge_runtime_instr :
+  t -> source:Trace.source -> fetch_addr:int -> cycles:int -> unit
+(** Charge one modeled runtime instruction: a counted fetch at
+    [fetch_addr] (so the read cache and wait states apply) plus
+    [cycles] unstalled cycles, attributed to [source]. *)
+
+exception Trap_missing of int
+
+val step : t -> unit
+(** Execute one instruction or one trap-handler invocation. *)
+
+type run_status = Halted | Fuel_exhausted
+
+val run : ?fuel:int -> t -> run_status

@@ -1,0 +1,34 @@
+(* Instruction cycle counts (unstalled, i.e. before FRAM wait states).
+
+   The model matches the MSP430x2xx family tables (SLAU144) to within
+   one cycle: format-I costs decompose as base + source-mode cost +
+   destination-mode cost, with a pipeline-flush surcharge when the
+   destination is the PC. Wait states for slow memory are accounted
+   separately by the memory system, mirroring the paper's distinction
+   between "unstalled cycles" (Table 2) and end-to-end time (Fig. 9). *)
+
+let src_cost = function
+  | Isa.Sreg _ -> 0
+  | Isa.Simm v -> ( match Isa.cg_encoding v with Some _ -> 0 | None -> 1)
+  | Isa.Sind _ | Isa.Sinc _ | Isa.SimmX _ -> 1
+  | Isa.Sidx _ | Isa.Sabs _ | Isa.Ssym _ -> 2
+
+let dst_cost = function
+  | Isa.Dreg _ -> 0
+  | Isa.Didx _ | Isa.Dabs _ | Isa.Dsym _ -> 3
+
+let writes_pc = function Isa.Dreg 0 -> true | _ -> false
+
+let of_instr = function
+  | Isa.I1 (_, _, src, dst) ->
+      let flush = if writes_pc dst then 2 else 0 in
+      1 + src_cost src + dst_cost dst + flush
+  | Isa.I2 (op, _, src) -> (
+      match op with
+      | Isa.RRC | Isa.RRA | Isa.SWPB | Isa.SXT -> (
+          1 + match src with Isa.Sreg _ -> 0 | Isa.Sind _ | Isa.Sinc _ -> 2 | _ -> 3)
+      | Isa.PUSH -> 3 + min 2 (src_cost src)
+      | Isa.CALL -> (
+          4 + match src with Isa.Sreg _ | Isa.Sind _ -> 0 | _ -> 1))
+  | Isa.Jcc _ -> 2
+  | Isa.RETI -> 5

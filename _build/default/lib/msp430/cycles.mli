@@ -1,0 +1,7 @@
+(** Instruction cycle counts (unstalled, before FRAM wait states),
+    matching the MSP430x2xx family tables (SLAU144) to within one
+    cycle. Wait states are accounted separately by the memory system,
+    mirroring the paper's distinction between unstalled cycles
+    (Table 2) and end-to-end time (Fig. 9). *)
+
+val of_instr : Isa.t -> int

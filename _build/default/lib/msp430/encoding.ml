@@ -1,0 +1,176 @@
+(* Binary encoding and decoding of MSP430 instructions.
+
+   Encoding follows SLAU445:
+   - format I : [op:4][srcreg:4][Ad:1][B/W:1][As:2][dstreg:4]
+   - format II: [000100][op:3][B/W:1][As:2][reg:4]
+   - jumps    : [001][cond:3][offset:10]
+   Extension words (src first, then dst) follow the opcode word.
+
+   Symbolic (PC-relative data) operands store [target - addr_of_ext_word];
+   the CPU reconstructs the target by adding the extension word's own
+   address. Immediates in the constant-generator set {0,1,2,4,8,-1} encode
+   without an extension word, except for CALL which always takes one. *)
+
+exception Encode_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Encode_error s)) fmt
+
+(* (As bits, register, extension word option). [ext_addr] is the address
+   the extension word will occupy, needed for symbolic mode. *)
+let encode_src ~allow_cg ~ext_addr src =
+  match src with
+  | Isa.Sreg r ->
+      if r = Isa.cg then err "R3 cannot be used as a register source";
+      (0, r, None)
+  | Isa.Sidx (x, r) ->
+      if r = Isa.pc || r = Isa.sr || r = Isa.cg then
+        err "indexed mode requires a general register";
+      (1, r, Some (Word.of_int x))
+  | Isa.Sind r ->
+      if r = Isa.pc || r = Isa.sr || r = Isa.cg then
+        err "indirect mode requires a general register";
+      (2, r, None)
+  | Isa.Sinc r ->
+      if r = Isa.pc || r = Isa.sr || r = Isa.cg then
+        err "indirect-autoincrement mode requires a general register";
+      (3, r, None)
+  | Isa.Simm v -> (
+      match if allow_cg then Isa.cg_encoding v else None with
+      | Some (as_bits, reg) -> (as_bits, reg, None)
+      | None -> (3, Isa.pc, Some (Word.of_int v)))
+  | Isa.SimmX v -> (3, Isa.pc, Some (Word.of_int v))
+  | Isa.Sabs a -> (1, Isa.sr, Some (Word.of_int a))
+  | Isa.Ssym a -> (1, Isa.pc, Some (Word.sub (Word.of_int a) ext_addr))
+
+(* (Ad bit, register, extension word option). *)
+let encode_dst ~ext_addr dst =
+  match dst with
+  | Isa.Dreg r ->
+      if r = Isa.cg then err "R3 cannot be a destination";
+      (0, r, None)
+  | Isa.Didx (x, r) ->
+      if r = Isa.pc || r = Isa.sr || r = Isa.cg then
+        err "indexed destination requires a general register";
+      (1, r, Some (Word.of_int x))
+  | Isa.Dabs a -> (1, Isa.sr, Some (Word.of_int a))
+  | Isa.Dsym a -> (1, Isa.pc, Some (Word.sub (Word.of_int a) ext_addr))
+
+let bw_bit = function Isa.W -> 0 | Isa.B -> 1
+
+(* Encode an instruction located at [addr]; returns the list of words. *)
+let encode ~addr instr =
+  match instr with
+  | Isa.I1 (op, sz, src, dst) ->
+      let src_ext_addr = Word.add addr 2 in
+      let as_bits, src_reg, src_ext =
+        encode_src ~allow_cg:true ~ext_addr:src_ext_addr src
+      in
+      let dst_ext_addr =
+        Word.add addr (2 + match src_ext with Some _ -> 2 | None -> 0)
+      in
+      let ad_bit, dst_reg, dst_ext = encode_dst ~ext_addr:dst_ext_addr dst in
+      let w =
+        (Isa.op1_code op lsl 12)
+        lor (src_reg lsl 8)
+        lor (ad_bit lsl 7)
+        lor (bw_bit sz lsl 6)
+        lor (as_bits lsl 4)
+        lor dst_reg
+      in
+      (w :: Option.to_list src_ext) @ Option.to_list dst_ext
+  | Isa.I2 (op, sz, src) ->
+      let allow_cg = op <> Isa.CALL in
+      let as_bits, src_reg, src_ext =
+        encode_src ~allow_cg ~ext_addr:(Word.add addr 2) src
+      in
+      let w =
+        (0b000100 lsl 10)
+        lor (Isa.op2_code op lsl 7)
+        lor (bw_bit sz lsl 6)
+        lor (as_bits lsl 4)
+        lor src_reg
+      in
+      w :: Option.to_list src_ext
+  | Isa.Jcc (c, off) ->
+      if off < -512 || off > 511 then err "jump offset %d out of range" off;
+      let w = (0b001 lsl 13) lor (Isa.cond_code c lsl 10) lor (off land 0x3FF) in
+      [ w ]
+  | Isa.RETI -> [ 0x1300 ]
+
+exception Decode_error of int (* opcode word *)
+
+(* Reconstruct a source operand. [fetch_ext] pulls the next extension
+   word and returns (value, its address). *)
+let decode_src ~allow_cg ~as_bits ~reg ~fetch_ext =
+  match Isa.constant_generator_value ~as_bits ~reg with
+  | Some v -> Isa.Simm v
+  | None -> (
+      match as_bits with
+      | 0 -> Isa.Sreg reg
+      | 1 ->
+          let v, ext_addr = fetch_ext () in
+          if reg = Isa.sr then Isa.Sabs v
+          else if reg = Isa.pc then Isa.Ssym (Word.add v ext_addr)
+          else Isa.Sidx (v, reg)
+      | 2 -> Isa.Sind reg
+      | _ ->
+          if reg = Isa.pc then
+            let v, _ = fetch_ext () in
+            (* A CG-expressible value arriving via an extension word must
+               have been a forced-extension immediate — keep encode/decode
+               a bijection. CALL never uses the constant generator. *)
+            if allow_cg && Isa.cg_encoding v <> None then Isa.SimmX v
+            else Isa.Simm v
+          else Isa.Sinc reg)
+
+let decode_dst ~ad_bit ~reg ~fetch_ext =
+  if ad_bit = 0 then Isa.Dreg reg
+  else
+    let v, ext_addr = fetch_ext () in
+    if reg = Isa.sr then Isa.Dabs v
+    else if reg = Isa.pc then Isa.Dsym (Word.add v ext_addr)
+    else Isa.Didx (v, reg)
+
+(* Decode the instruction at [addr]. [fetch] reads the word at a given
+   address; it is called once per instruction word in order, so callers
+   can count fetches. Returns the instruction and its size in bytes. *)
+let decode ~fetch ~addr =
+  let next = ref (Word.add addr 2) in
+  let w0 = fetch addr in
+  let fetch_ext () =
+    let a = !next in
+    let v = fetch a in
+    next := Word.add a 2;
+    (v, a)
+  in
+  let instr =
+    if w0 lsr 13 = 0b001 then
+      let c = Isa.cond_of_code ((w0 lsr 10) land 0x7) in
+      Isa.Jcc (c, Word.sign_extend ~bits:10 (w0 land 0x3FF))
+    else if w0 lsr 10 = 0b000100 then begin
+      if w0 = 0x1300 then Isa.RETI
+      else
+        let opc = (w0 lsr 7) land 0x7 in
+        match Isa.op2_of_code opc with
+        | None -> raise (Decode_error w0)
+        | Some op ->
+            let sz = if (w0 lsr 6) land 1 = 1 then Isa.B else Isa.W in
+            let as_bits = (w0 lsr 4) land 0x3 in
+            let reg = w0 land 0xF in
+            let allow_cg = op <> Isa.CALL in
+            Isa.I2 (op, sz, decode_src ~allow_cg ~as_bits ~reg ~fetch_ext)
+    end
+    else
+      match Isa.op1_of_code (w0 lsr 12) with
+      | None -> raise (Decode_error w0)
+      | Some op ->
+          let src_reg = (w0 lsr 8) land 0xF in
+          let ad_bit = (w0 lsr 7) land 1 in
+          let sz = if (w0 lsr 6) land 1 = 1 then Isa.B else Isa.W in
+          let as_bits = (w0 lsr 4) land 0x3 in
+          let dst_reg = w0 land 0xF in
+          let src = decode_src ~allow_cg:true ~as_bits ~reg:src_reg ~fetch_ext in
+          let dst = decode_dst ~ad_bit ~reg:dst_reg ~fetch_ext in
+          Isa.I1 (op, sz, src, dst)
+  in
+  (instr, Word.sub !next addr)

@@ -1,0 +1,18 @@
+(** Binary encoding and decoding of MSP430 instructions, following
+    SLAU445. Extension words (source first, then destination) follow
+    the opcode word; symbolic operands store target-minus-location;
+    immediates in the constant-generator set encode without an
+    extension word, except for CALL and the forced-extension
+    {!Isa.src.SimmX} form. [decode] is a left inverse of [encode]. *)
+
+exception Encode_error of string
+
+val encode : addr:int -> Isa.t -> int list
+(** Words for an instruction located at [addr]. *)
+
+exception Decode_error of int
+
+val decode : fetch:(int -> int) -> addr:int -> Isa.t * int
+(** Decode the instruction at [addr]; [fetch] is called once per
+    instruction word in order (so callers can count fetches). Returns
+    the instruction and its size in bytes. *)

@@ -1,0 +1,22 @@
+(** Analytical energy model: a per-cycle digital-core term plus
+    per-access memory terms. Constants are scaled from MSP430FR2355
+    datasheet active-mode currents so the relative costs the paper
+    depends on hold (FRAM accesses cost several times an SRAM access;
+    read-cache hits are cheap; 24 MHz is the most efficient operating
+    point per cycle). Ratios are meaningful, absolute joules are not. *)
+
+type params = {
+  frequency_hz : float;
+  core_nj_per_cycle : float;
+  fram_read_miss_nj : float;
+  fram_read_hit_nj : float;
+  fram_write_nj : float;
+  sram_access_nj : float;
+}
+
+val point_8mhz : params
+val point_24mhz : params
+
+type report = { time_s : float; energy_nj : float }
+
+val evaluate : params -> Trace.t -> report

@@ -1,0 +1,59 @@
+(* Model of the FRAM controller's hardware read cache.
+
+   The MSP430FR2355 ships a small 2-way set-associative read cache of
+   four 8-byte lines in front of the FRAM array (SLASEC4). Reads that
+   hit avoid the FRAM wait states; misses fill a line. Writes bypass
+   the cache (it is a read cache) but invalidate a matching line so
+   that self-modifying code — which the software caching runtimes rely
+   on — stays coherent. LRU replacement within each set. *)
+
+type t = {
+  ways : int;
+  sets : int;
+  line_bytes : int;
+  tags : int array array; (* [set].(way) = tag, -1 when invalid *)
+  lru : int array; (* [set] = way that is least recently used *)
+}
+
+let create ?(ways = 2) ?(lines = 4) ?(line_bytes = 8) () =
+  let sets = lines / ways in
+  {
+    ways;
+    sets;
+    line_bytes;
+    tags = Array.init sets (fun _ -> Array.make ways (-1));
+    lru = Array.make sets 0;
+  }
+
+let set_and_tag t addr =
+  let line = addr / t.line_bytes in
+  (line mod t.sets, line / t.sets)
+
+let find t set tag =
+  let ways = t.tags.(set) in
+  let rec loop way = if way >= t.ways then None else if ways.(way) = tag then Some way else loop (way + 1) in
+  loop 0
+
+(* Read access; returns true on hit. A miss fills the line. *)
+let read t addr =
+  let set, tag = set_and_tag t addr in
+  match find t set tag with
+  | Some way ->
+      t.lru.(set) <- 1 - way;
+      true
+  | None ->
+      let victim = t.lru.(set) in
+      t.tags.(set).(victim) <- tag;
+      t.lru.(set) <- 1 - victim;
+      false
+
+(* Write access: invalidate any matching line. *)
+let write t addr =
+  let set, tag = set_and_tag t addr in
+  match find t set tag with
+  | Some way -> t.tags.(set).(way) <- -1
+  | None -> ()
+
+let flush t =
+  Array.iter (fun ways -> Array.fill ways 0 t.ways (-1)) t.tags;
+  Array.fill t.lru 0 t.sets 0

@@ -1,0 +1,17 @@
+(** Model of the FRAM controller's hardware read cache: 2-way
+    set-associative, four 8-byte lines by default (the MSP430FR2355's
+    configuration). Reads that hit avoid the FRAM wait states; writes
+    bypass the cache but invalidate a matching line so that the
+    self-modifying software caches stay coherent. LRU within a set. *)
+
+type t
+
+val create : ?ways:int -> ?lines:int -> ?line_bytes:int -> unit -> t
+
+val read : t -> int -> bool
+(** Read access at an address; [true] on hit. A miss fills the line. *)
+
+val write : t -> int -> unit
+(** Write access: invalidate any matching line. *)
+
+val flush : t -> unit

@@ -1,0 +1,252 @@
+(* MSP430 instruction set: registers, addressing modes, opcodes.
+
+   The MSP430 is a 16-bit von Neumann architecture with 16 registers.
+   R0 = PC, R1 = SP, R2 = SR / constant generator 1, R3 = constant
+   generator 2, R4-R15 general purpose. Instructions come in three
+   formats: double-operand (format I), single-operand (format II) and
+   relative jumps. See SLAU445 for the authoritative description. *)
+
+type reg = int
+(* Registers are 0..15; the named ones below are the architectural roles. *)
+
+let pc = 0
+let sp = 1
+let sr = 2
+let cg = 3
+
+let reg_is_valid r = r >= 0 && r <= 15
+
+let pp_reg fmt r =
+  match r with
+  | 0 -> Format.pp_print_string fmt "PC"
+  | 1 -> Format.pp_print_string fmt "SP"
+  | 2 -> Format.pp_print_string fmt "SR"
+  | _ -> Format.fprintf fmt "R%d" r
+
+(* Source addressing modes. Immediate, absolute and symbolic are
+   encodings of indexed/indirect modes on PC/SR but are kept distinct
+   here because they assemble, print and cost differently. *)
+type src =
+  | Sreg of reg (* Rn *)
+  | Sidx of int * reg (* X(Rn) *)
+  | Sind of reg (* @Rn *)
+  | Sinc of reg (* @Rn+ *)
+  | Simm of int (* #imm, i.e. @PC+; constant generator used when possible *)
+  | SimmX of int (* #imm forced to an extension word; only meaningful for
+                    values the constant generator could otherwise encode *)
+  | Sabs of int (* &addr, i.e. X(SR) *)
+  | Ssym of int (* addr, i.e. X(PC), PC-relative data access *)
+
+type dst =
+  | Dreg of reg (* Rn *)
+  | Didx of int * reg (* X(Rn) *)
+  | Dabs of int (* &addr *)
+  | Dsym of int (* addr, PC-relative *)
+
+(* Format I: double operand. *)
+type op1 =
+  | MOV
+  | ADD
+  | ADDC
+  | SUBC
+  | SUB
+  | CMP
+  | DADD
+  | BIT
+  | BIC
+  | BIS
+  | XOR
+  | AND
+
+(* Format II: single operand. RETI takes no operand but shares the
+   format. *)
+type op2 = RRC | SWPB | RRA | SXT | PUSH | CALL
+
+type cond = JNE | JEQ | JNC | JC | JN | JGE | JL | JMP
+
+type size = W | B
+
+type t =
+  | I1 of op1 * size * src * dst
+  | I2 of op2 * size * src
+  | Jcc of cond * int (* signed word offset, -511..512; PC' = PC + 2 + 2*off *)
+  | RETI
+
+let op1_code = function
+  | MOV -> 0x4
+  | ADD -> 0x5
+  | ADDC -> 0x6
+  | SUBC -> 0x7
+  | SUB -> 0x8
+  | CMP -> 0x9
+  | DADD -> 0xA
+  | BIT -> 0xB
+  | BIC -> 0xC
+  | BIS -> 0xD
+  | XOR -> 0xE
+  | AND -> 0xF
+
+let op1_of_code = function
+  | 0x4 -> Some MOV
+  | 0x5 -> Some ADD
+  | 0x6 -> Some ADDC
+  | 0x7 -> Some SUBC
+  | 0x8 -> Some SUB
+  | 0x9 -> Some CMP
+  | 0xA -> Some DADD
+  | 0xB -> Some BIT
+  | 0xC -> Some BIC
+  | 0xD -> Some BIS
+  | 0xE -> Some XOR
+  | 0xF -> Some AND
+  | _ -> None
+
+let op2_code = function
+  | RRC -> 0
+  | SWPB -> 1
+  | RRA -> 2
+  | SXT -> 3
+  | PUSH -> 4
+  | CALL -> 5
+
+let op2_of_code = function
+  | 0 -> Some RRC
+  | 1 -> Some SWPB
+  | 2 -> Some RRA
+  | 3 -> Some SXT
+  | 4 -> Some PUSH
+  | 5 -> Some CALL
+  | _ -> None
+
+let cond_code = function
+  | JNE -> 0
+  | JEQ -> 1
+  | JNC -> 2
+  | JC -> 3
+  | JN -> 4
+  | JGE -> 5
+  | JL -> 6
+  | JMP -> 7
+
+let cond_of_code = function
+  | 0 -> JNE
+  | 1 -> JEQ
+  | 2 -> JNC
+  | 3 -> JC
+  | 4 -> JN
+  | 5 -> JGE
+  | 6 -> JL
+  | _ -> JMP
+
+let pp_op1 fmt op =
+  let s =
+    match op with
+    | MOV -> "MOV"
+    | ADD -> "ADD"
+    | ADDC -> "ADDC"
+    | SUBC -> "SUBC"
+    | SUB -> "SUB"
+    | CMP -> "CMP"
+    | DADD -> "DADD"
+    | BIT -> "BIT"
+    | BIC -> "BIC"
+    | BIS -> "BIS"
+    | XOR -> "XOR"
+    | AND -> "AND"
+  in
+  Format.pp_print_string fmt s
+
+let pp_op2 fmt op =
+  let s =
+    match op with
+    | RRC -> "RRC"
+    | SWPB -> "SWPB"
+    | RRA -> "RRA"
+    | SXT -> "SXT"
+    | PUSH -> "PUSH"
+    | CALL -> "CALL"
+  in
+  Format.pp_print_string fmt s
+
+let pp_cond fmt c =
+  let s =
+    match c with
+    | JNE -> "JNE"
+    | JEQ -> "JEQ"
+    | JNC -> "JNC"
+    | JC -> "JC"
+    | JN -> "JN"
+    | JGE -> "JGE"
+    | JL -> "JL"
+    | JMP -> "JMP"
+  in
+  Format.pp_print_string fmt s
+
+let pp_src fmt = function
+  | Sreg r -> pp_reg fmt r
+  | Sidx (x, r) -> Format.fprintf fmt "%d(%a)" (Word.to_signed x) pp_reg r
+  | Sind r -> Format.fprintf fmt "@%a" pp_reg r
+  | Sinc r -> Format.fprintf fmt "@%a+" pp_reg r
+  | Simm v | SimmX v -> Format.fprintf fmt "#0x%04X" (Word.of_int v)
+  | Sabs a -> Format.fprintf fmt "&0x%04X" (Word.of_int a)
+  | Ssym a -> Format.fprintf fmt "0x%04X" (Word.of_int a)
+
+let pp_dst fmt = function
+  | Dreg r -> pp_reg fmt r
+  | Didx (x, r) -> Format.fprintf fmt "%d(%a)" (Word.to_signed x) pp_reg r
+  | Dabs a -> Format.fprintf fmt "&0x%04X" (Word.of_int a)
+  | Dsym a -> Format.fprintf fmt "0x%04X" (Word.of_int a)
+
+let pp_size fmt = function
+  | W -> ()
+  | B -> Format.pp_print_string fmt ".B"
+
+let pp fmt = function
+  | I1 (op, sz, s, d) ->
+      Format.fprintf fmt "%a%a %a, %a" pp_op1 op pp_size sz pp_src s pp_dst d
+  | I2 (op, sz, s) -> Format.fprintf fmt "%a%a %a" pp_op2 op pp_size sz pp_src s
+  | Jcc (c, off) -> Format.fprintf fmt "%a %+d" pp_cond c off
+  | RETI -> Format.pp_print_string fmt "RETI"
+
+let to_string i = Format.asprintf "%a" pp i
+
+(* Constant-generator values: (As, reg) encodings that produce a
+   constant without an extension word. *)
+let constant_generator_value ~as_bits ~reg =
+  match (reg, as_bits) with
+  | 2, 2 -> Some 4
+  | 2, 3 -> Some 8
+  | 3, 0 -> Some 0
+  | 3, 1 -> Some 1
+  | 3, 2 -> Some 2
+  | 3, 3 -> Some 0xFFFF
+  | _ -> None
+
+(* The immediates that the constant generator can produce. *)
+let cg_encoding imm =
+  match Word.of_int imm with
+  | 0 -> Some (0, 3)
+  | 1 -> Some (1, 3)
+  | 2 -> Some (2, 3)
+  | 4 -> Some (2, 2)
+  | 8 -> Some (3, 2)
+  | 0xFFFF -> Some (3, 3)
+  | _ -> None
+
+(* Number of 16-bit extension words an operand contributes. *)
+let src_ext_words = function
+  | Sreg _ | Sind _ | Sinc _ -> 0
+  | Sidx _ | Sabs _ | Ssym _ | SimmX _ -> 1
+  | Simm v -> ( match cg_encoding v with Some _ -> 0 | None -> 1)
+
+let dst_ext_words = function Dreg _ -> 0 | Didx _ | Dabs _ | Dsym _ -> 1
+
+(* Encoded size in bytes. *)
+let size_bytes = function
+  | I1 (_, _, s, d) -> 2 + (2 * src_ext_words s) + (2 * dst_ext_words d)
+  | I2 (CALL, _, Simm _) -> 4 (* CALL #imm never uses the constant generator *)
+  | I2 (_, _, s) -> 2 + (2 * src_ext_words s)
+  | Jcc _ -> 2
+  | RETI -> 2
+
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,157 @@
+(* Simulated memory system: 64 KiB address space with an SRAM region, an
+   FRAM region behind the hardware read cache and wait-state model, and
+   a few peripherals. Every CPU-issued access is counted into a
+   {!Trace.t}; wait states accrue as stall cycles.
+
+   Timing model (documented in DESIGN.md):
+   - an FRAM read that misses the read cache costs [wait_states] stall
+     cycles (3 at 24 MHz on the FR2355, 0 at/below 8 MHz);
+   - FRAM writes always pay [wait_states] (the cache is read-only);
+   - the second and subsequent FRAM accesses issued by a single
+     instruction cost one extra stall cycle each, independent of clock
+     frequency — modelling the access-contention bottleneck at the
+     FRAM controller that makes unified-memory execution slow even at
+     8 MHz (paper §2.2, Fig. 1). *)
+
+type region = Sram | Fram | Peripheral | Unmapped
+
+exception Fault of string
+
+let fault fmt = Format.kasprintf (fun s -> raise (Fault s)) fmt
+
+type map = {
+  sram_lo : int;
+  sram_hi : int; (* inclusive *)
+  fram_lo : int;
+  fram_hi : int;
+}
+
+let uart_tx_addr = 0x0100
+let gpio_out_addr = 0x0102
+let halt_addr = 0x0104
+let fault_addr = 0x0106
+
+let region_of map addr =
+  if addr >= map.sram_lo && addr <= map.sram_hi then Sram
+  else if addr >= map.fram_lo && addr <= map.fram_hi then Fram
+  else if addr >= 0x0100 && addr <= 0x01FF then Peripheral
+  else Unmapped
+
+type purpose = Ifetch | Data
+
+type t = {
+  map : map;
+  bytes : Bytes.t;
+  cache : Hwcache.t;
+  wait_states : int;
+  contention_penalty : int;
+  stats : Trace.t;
+  mutable fram_accesses_this_instr : int;
+  mutable halt_requested : bool;
+  uart : Buffer.t;
+  mutable gpio : int;
+}
+
+let create ?(wait_states = 3) ?(contention_penalty = 1) ~map ~stats () =
+  {
+    map;
+    bytes = Bytes.make 0x10000 '\000';
+    cache = Hwcache.create ();
+    wait_states;
+    contention_penalty;
+    stats;
+    fram_accesses_this_instr = 0;
+    halt_requested = false;
+    uart = Buffer.create 256;
+    gpio = 0;
+  }
+
+let stats t = t.stats
+let map t = t.map
+let halt_requested t = t.halt_requested
+let uart_output t = Buffer.contents t.uart
+let begin_instruction t = t.fram_accesses_this_instr <- 0
+
+(* Uncounted accessors for loading images and inspecting results. *)
+let peek_byte t addr = Char.code (Bytes.get t.bytes (addr land 0xFFFF))
+let poke_byte t addr v = Bytes.set t.bytes (addr land 0xFFFF) (Char.chr (v land 0xFF))
+
+let peek_word t addr =
+  Word.make_word ~high:(peek_byte t (addr + 1)) ~low:(peek_byte t addr)
+
+let poke_word t addr v =
+  poke_byte t addr (Word.low_byte v);
+  poke_byte t (addr + 1) (Word.high_byte v)
+
+let load_image t ~addr bytes =
+  Bytes.blit bytes 0 t.bytes addr (Bytes.length bytes)
+
+let charge_fram_timing t ~is_read_hit =
+  t.fram_accesses_this_instr <- t.fram_accesses_this_instr + 1;
+  let waits = if is_read_hit then 0 else t.wait_states in
+  let contention =
+    if t.fram_accesses_this_instr > 1 then t.contention_penalty else 0
+  in
+  t.stats.Trace.stall_cycles <- t.stats.Trace.stall_cycles + waits + contention
+
+let check_alignment addr width =
+  if width = 2 && addr land 1 <> 0 then fault "unaligned word access at 0x%04X" addr
+
+let periph_read t addr =
+  ignore t;
+  ignore addr;
+  0
+
+let periph_write t addr v =
+  if addr land 0xFFFE = uart_tx_addr then Buffer.add_char t.uart (Char.chr (v land 0xFF))
+  else if addr land 0xFFFE = gpio_out_addr then t.gpio <- v
+  else if addr land 0xFFFE = halt_addr then t.halt_requested <- true
+  else if addr land 0xFFFE = fault_addr then fault "software fault, code 0x%04X" v
+
+(* Counted read of [width] (1 or 2) bytes. *)
+let read t ~purpose ~width addr =
+  let addr = addr land 0xFFFF in
+  check_alignment addr width;
+  let value =
+    if width = 2 then peek_word t addr else peek_byte t addr
+  in
+  (match region_of t.map addr with
+  | Sram -> (
+      match purpose with
+      | Ifetch -> t.stats.Trace.sram_ifetch <- t.stats.Trace.sram_ifetch + 1
+      | Data -> t.stats.Trace.sram_data_reads <- t.stats.Trace.sram_data_reads + 1)
+  | Fram ->
+      let hit = Hwcache.read t.cache addr in
+      if hit then t.stats.Trace.fram_read_hits <- t.stats.Trace.fram_read_hits + 1;
+      (match purpose with
+      | Ifetch -> t.stats.Trace.fram_ifetch <- t.stats.Trace.fram_ifetch + 1
+      | Data -> t.stats.Trace.fram_data_reads <- t.stats.Trace.fram_data_reads + 1);
+      charge_fram_timing t ~is_read_hit:hit
+  | Peripheral ->
+      t.stats.Trace.periph_accesses <- t.stats.Trace.periph_accesses + 1;
+      ignore (periph_read t addr)
+  | Unmapped -> fault "read from unmapped address 0x%04X" addr);
+  value
+
+let write t ~width addr value =
+  let addr = addr land 0xFFFF in
+  check_alignment addr width;
+  (match region_of t.map addr with
+  | Sram ->
+      t.stats.Trace.sram_writes <- t.stats.Trace.sram_writes + 1;
+      if width = 2 then poke_word t addr value else poke_byte t addr value
+  | Fram ->
+      t.stats.Trace.fram_writes <- t.stats.Trace.fram_writes + 1;
+      Hwcache.write t.cache addr;
+      if width = 2 then Hwcache.write t.cache (addr + 1);
+      charge_fram_timing t ~is_read_hit:false;
+      if width = 2 then poke_word t addr value else poke_byte t addr value
+  | Peripheral ->
+      t.stats.Trace.periph_accesses <- t.stats.Trace.periph_accesses + 1;
+      periph_write t addr value
+  | Unmapped -> fault "write to unmapped address 0x%04X" addr)
+
+let read_word t ~purpose addr = read t ~purpose ~width:2 addr
+let read_byte t ~purpose addr = read t ~purpose ~width:1 addr
+let write_word t addr v = write t ~width:2 addr v
+let write_byte t addr v = write t ~width:1 addr v

@@ -1,0 +1,68 @@
+(** Simulated memory system: 64 KiB address space with an SRAM region,
+    an FRAM region behind the hardware read cache and wait-state
+    model, and a few peripherals.
+
+    Every CPU-issued access is counted into a {!Trace.t}; wait states
+    accrue as stall cycles. The timing model (DESIGN.md): FRAM reads
+    that miss the read cache cost [wait_states] stall cycles, FRAM
+    writes always pay them, and the second and subsequent FRAM
+    accesses issued by one instruction cost one extra cycle each
+    (the access-contention bottleneck of paper §2.2 / Fig. 1). *)
+
+type region = Sram | Fram | Peripheral | Unmapped
+
+exception Fault of string
+(** Unmapped or misaligned access, or a software-triggered fault. *)
+
+val fault : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+type map = { sram_lo : int; sram_hi : int; fram_lo : int; fram_hi : int }
+
+(** Peripheral registers. *)
+
+val uart_tx_addr : int
+(** Byte writes accumulate as console output. *)
+
+val gpio_out_addr : int
+
+val halt_addr : int
+(** Any write requests a halt. *)
+
+val fault_addr : int
+(** Any write raises {!Fault}. *)
+
+val region_of : map -> int -> region
+
+type purpose = Ifetch | Data
+
+type t
+
+val create :
+  ?wait_states:int -> ?contention_penalty:int -> map:map -> stats:Trace.t ->
+  unit -> t
+
+val stats : t -> Trace.t
+val map : t -> map
+val halt_requested : t -> bool
+val uart_output : t -> string
+
+val begin_instruction : t -> unit
+(** Reset the per-instruction FRAM access count (contention model);
+    the CPU calls this before each instruction. *)
+
+(** Uncounted accessors for loading images and inspecting results. *)
+
+val peek_byte : t -> int -> int
+val poke_byte : t -> int -> int -> unit
+val peek_word : t -> int -> int
+val poke_word : t -> int -> int -> unit
+val load_image : t -> addr:int -> Bytes.t -> unit
+
+(** Counted accesses (these drive the statistics and timing model). *)
+
+val read : t -> purpose:purpose -> width:int -> int -> int
+val write : t -> width:int -> int -> int -> unit
+val read_word : t -> purpose:purpose -> int -> int
+val read_byte : t -> purpose:purpose -> int -> int
+val write_word : t -> int -> int -> unit
+val write_byte : t -> int -> int -> unit

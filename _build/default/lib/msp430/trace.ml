@@ -1,0 +1,89 @@
+(* Execution statistics: memory access accounting by region and purpose,
+   wait-state/stall accounting, and the dynamic-instruction source
+   breakdown used for the paper's Figure 8. *)
+
+(* Where an executed instruction was fetched from. [Handler] covers the
+   caching runtimes (SwapRAM miss handler / block-cache runtime) and
+   [Memcpy] their code-copy loops, both of which execute from FRAM. *)
+type source = App_fram | App_sram | Handler | Memcpy
+
+let source_index = function
+  | App_fram -> 0
+  | App_sram -> 1
+  | Handler -> 2
+  | Memcpy -> 3
+
+let source_count = 4
+
+let source_name = function
+  | App_fram -> "app-FRAM"
+  | App_sram -> "app-SRAM"
+  | Handler -> "handler"
+  | Memcpy -> "memcpy"
+
+type t = {
+  mutable unstalled_cycles : int;
+  mutable stall_cycles : int;
+  mutable instructions : int;
+  instr_by_source : int array;
+  (* FRAM accesses, split by purpose and hit/miss in the hardware read
+     cache. Every CPU access to the FRAM region counts, as in the
+     paper's modified mspdebug. *)
+  mutable fram_ifetch : int;
+  mutable fram_data_reads : int;
+  mutable fram_writes : int;
+  mutable fram_read_hits : int;
+  mutable sram_ifetch : int;
+  mutable sram_data_reads : int;
+  mutable sram_writes : int;
+  mutable periph_accesses : int;
+}
+
+let create () =
+  {
+    unstalled_cycles = 0;
+    stall_cycles = 0;
+    instructions = 0;
+    instr_by_source = Array.make source_count 0;
+    fram_ifetch = 0;
+    fram_data_reads = 0;
+    fram_writes = 0;
+    fram_read_hits = 0;
+    sram_ifetch = 0;
+    sram_data_reads = 0;
+    sram_writes = 0;
+    periph_accesses = 0;
+  }
+
+let count_instr t source =
+  t.instructions <- t.instructions + 1;
+  let i = source_index source in
+  t.instr_by_source.(i) <- t.instr_by_source.(i) + 1
+
+let fram_accesses t = t.fram_ifetch + t.fram_data_reads + t.fram_writes
+let sram_accesses t = t.sram_ifetch + t.sram_data_reads + t.sram_writes
+let total_cycles t = t.unstalled_cycles + t.stall_cycles
+let code_accesses t = t.fram_ifetch + t.sram_ifetch
+let data_accesses t = t.fram_data_reads + t.fram_writes + t.sram_data_reads + t.sram_writes
+
+let instr_fraction t source =
+  if t.instructions = 0 then 0.0
+  else
+    float_of_int t.instr_by_source.(source_index source)
+    /. float_of_int t.instructions
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>cycles: %d unstalled + %d stalls = %d@,\
+     instructions: %d (%s)@,\
+     FRAM: %d ifetch, %d data reads (%d cache hits), %d writes@,\
+     SRAM: %d ifetch, %d data reads, %d writes@]"
+    t.unstalled_cycles t.stall_cycles (total_cycles t) t.instructions
+    (String.concat ", "
+       (List.map
+          (fun s ->
+            Printf.sprintf "%s %d" (source_name s)
+              t.instr_by_source.(source_index s))
+          [ App_fram; App_sram; Handler; Memcpy ]))
+    t.fram_ifetch t.fram_data_reads t.fram_read_hits t.fram_writes t.sram_ifetch
+    t.sram_data_reads t.sram_writes

@@ -1,0 +1,41 @@
+(** Execution statistics: memory-access accounting by region and
+    purpose, wait-state/stall accounting, and the dynamic-instruction
+    source breakdown used for the paper's Figure 8. *)
+
+(** Where an executed instruction was fetched from. [Handler] covers
+    the caching runtimes and [Memcpy] their code-copy loops, both of
+    which execute from FRAM. *)
+type source = App_fram | App_sram | Handler | Memcpy
+
+val source_index : source -> int
+val source_count : int
+val source_name : source -> string
+
+type t = {
+  mutable unstalled_cycles : int;
+  mutable stall_cycles : int;
+  mutable instructions : int;
+  instr_by_source : int array;
+  mutable fram_ifetch : int;
+  mutable fram_data_reads : int;
+  mutable fram_writes : int;
+  mutable fram_read_hits : int;  (** hardware read-cache hits *)
+  mutable sram_ifetch : int;
+  mutable sram_data_reads : int;
+  mutable sram_writes : int;
+  mutable periph_accesses : int;
+}
+
+val create : unit -> t
+val count_instr : t -> source -> unit
+
+val fram_accesses : t -> int
+(** Every CPU access to the FRAM region, hit or miss — the quantity
+    the paper's Table 2 counts. *)
+
+val sram_accesses : t -> int
+val total_cycles : t -> int
+val code_accesses : t -> int
+val data_accesses : t -> int
+val instr_fraction : t -> source -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/swapram/config.ml: Cache Msp430

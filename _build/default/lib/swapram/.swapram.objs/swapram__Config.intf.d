@@ -1,0 +1,1 @@
+lib/swapram/config.mli: Cache

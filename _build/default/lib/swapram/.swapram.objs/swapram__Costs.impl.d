@@ -1,0 +1,1 @@
+lib/swapram/costs.ml:

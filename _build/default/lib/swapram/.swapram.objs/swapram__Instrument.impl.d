@@ -1,0 +1,1 @@
+lib/swapram/instrument.ml: Array Config Format Hashtbl List Masm Msp430 Option

@@ -1,0 +1,1 @@
+lib/swapram/instrument.mli: Config Hashtbl Masm

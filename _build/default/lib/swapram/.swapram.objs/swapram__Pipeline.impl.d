@@ -1,0 +1,1 @@
+lib/swapram/pipeline.ml: Config Instrument List Masm Msp430 Runtime

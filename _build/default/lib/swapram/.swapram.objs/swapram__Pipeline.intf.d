@@ -1,0 +1,1 @@
+lib/swapram/pipeline.mli: Config Instrument Masm Msp430 Runtime

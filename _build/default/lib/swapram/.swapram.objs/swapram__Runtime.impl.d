@@ -1,0 +1,1 @@
+lib/swapram/runtime.ml: Array Bytes Cache Char Config Costs Instrument List Masm Msp430

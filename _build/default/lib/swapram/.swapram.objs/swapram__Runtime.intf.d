@@ -1,0 +1,1 @@
+lib/swapram/runtime.mli: Cache Config Instrument Masm Msp430

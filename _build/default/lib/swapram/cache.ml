@@ -1,0 +1,156 @@
+(* SRAM cache memory structure (paper §3.4).
+
+   Cached function copies live in a contiguous SRAM region. The data
+   structure that organises them *is* the replacement policy:
+
+   - [Circular_queue] (the paper's proof-of-concept design, Fig. 5):
+     new functions are placed after the most recently cached one,
+     wrapping to the region base when the end is reached; functions
+     overlapping the allocation are flagged for eviction. First-in
+     first-out gives a "least-recently-cached" policy that matches
+     code temporal locality and rarely tries to evict ancestors on
+     the call stack.
+
+   - [Stack]: maximal density — always allocate at the top of a stack
+     of cached functions and evict the most recently cached entries
+     to make room ("most-recently-cached" replacement). The paper
+     calls this out as counterproductive; we keep it for the ablation
+     bench.
+
+   The structure only *plans* placements; the runtime commits them
+   after the call-stack-integrity check (active counters) passes. *)
+
+type policy = Circular_queue | Stack | Cost_aware
+
+let policy_name = function
+  | Circular_queue -> "circular-queue"
+  | Stack -> "stack"
+  | Cost_aware -> "cost-aware"
+
+type entry = { fid : int; addr : int; size : int }
+
+type t = {
+  base : int;
+  capacity : int;
+  policy : policy;
+  mutable entries : entry list; (* insertion order: oldest first *)
+  mutable next_free : int; (* queue policy: next allocation address *)
+}
+
+let create ~base ~capacity ~policy =
+  { base; capacity; policy; entries = []; next_free = base }
+
+let limit t = t.base + t.capacity
+
+let overlaps a_lo a_hi e = a_lo < e.addr + e.size && e.addr < a_hi
+
+type placement = Too_large | Place of { addr : int; evict : entry list }
+
+let plan t ~size =
+  let size = (size + 1) land lnot 1 in
+  if size > t.capacity then Too_large
+  else
+    match t.policy with
+    | Circular_queue ->
+        let addr =
+          if t.next_free + size > limit t then t.base else t.next_free
+        in
+        let evict = List.filter (overlaps addr (addr + size)) t.entries in
+        Place { addr; evict }
+    | Cost_aware ->
+        (* §3.4's future-work direction: scan the candidate placement
+           points (the region base and the end of each cached entry)
+           and pick the one whose eviction set costs the least to
+           recopy (total evicted bytes), breaking ties toward the
+           FIFO allocation point. *)
+        let candidates =
+          t.base :: t.next_free
+          :: List.map (fun e -> e.addr + e.size) t.entries
+        in
+        let viable =
+          List.filter (fun c -> c >= t.base && c + size <= limit t) candidates
+        in
+        let cost_of c =
+          List.fold_left
+            (fun acc e -> if overlaps c (c + size) e then acc + e.size else acc)
+            0 t.entries
+        in
+        let best =
+          List.fold_left
+            (fun acc c ->
+              let cost = cost_of c in
+              match acc with
+              | None -> Some (c, cost)
+              | Some (_, best_cost) when cost < best_cost -> Some (c, cost)
+              | Some (best_c, best_cost)
+                when cost = best_cost && c = t.next_free && best_c <> t.next_free
+                ->
+                  Some (c, cost)
+              | acc -> acc)
+            None viable
+        in
+        (match best with
+        | None -> Too_large
+        | Some (addr, _) ->
+            let evict = List.filter (overlaps addr (addr + size)) t.entries in
+            Place { addr; evict })
+    | Stack ->
+        let top =
+          List.fold_left (fun acc e -> max acc (e.addr + e.size)) t.base
+            t.entries
+        in
+        if top + size <= limit t then Place { addr = top; evict = [] }
+        else begin
+          (* pop most-recent entries until the new function fits *)
+          let rec pop evicted = function
+            | [] -> (t.base, evicted)
+            | rest ->
+                let all_but_last = List.filteri (fun i _ -> i < List.length rest - 1) rest in
+                let last = List.nth rest (List.length rest - 1) in
+                let top' =
+                  List.fold_left (fun acc e -> max acc (e.addr + e.size)) t.base
+                    all_but_last
+                in
+                if top' + size <= limit t then (top', last :: evicted)
+                else pop (last :: evicted) all_but_last
+          in
+          let addr, evict = pop [] t.entries in
+          Place { addr; evict }
+        end
+
+let commit t ~fid ~addr ~size ~evicted =
+  let size = (size + 1) land lnot 1 in
+  let gone = List.map (fun e -> e.fid) evicted in
+  t.entries <-
+    List.filter (fun e -> not (List.mem e.fid gone)) t.entries
+    @ [ { fid; addr; size } ];
+  (match t.policy with
+  | Circular_queue | Cost_aware -> t.next_free <- addr + size
+  | Stack -> ());
+  ()
+
+let evict_only t fids =
+  t.entries <- List.filter (fun e -> not (List.mem e.fid fids)) t.entries
+
+
+let find t fid = List.find_opt (fun e -> e.fid = fid) t.entries
+let entries t = t.entries
+let used_bytes t = List.fold_left (fun acc e -> acc + e.size) 0 t.entries
+
+(* Structural invariants, used by tests and enabled in the runtime's
+   debug mode: entries pairwise disjoint and inside the region. *)
+let check_invariants t =
+  let rec pairwise = function
+    | [] -> true
+    | e :: rest ->
+        List.for_all (fun e' -> not (overlaps e.addr (e.addr + e.size) e')) rest
+        && pairwise rest
+  in
+  List.for_all
+    (fun e -> e.addr >= t.base && e.addr + e.size <= limit t && e.size > 0)
+    t.entries
+  && pairwise t.entries
+
+let reset t =
+  t.entries <- [];
+  t.next_free <- t.base

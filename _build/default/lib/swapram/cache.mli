@@ -1,0 +1,57 @@
+(** SRAM cache memory structure (paper §3.4).
+
+    Cached function copies live in a contiguous SRAM region; the data
+    structure that organises them defines the replacement policy. The
+    structure only {e plans} placements — the runtime commits them
+    after the call-stack-integrity check passes. *)
+
+(** How cached functions are organised, which is the replacement
+    policy: the paper's circular queue ("least-recently-cached",
+    Fig. 5); a stack ("most-recently-cached", kept for ablation); or
+    the cost-aware priority placement the paper's §3.4 sketches as
+    future work, which scans candidate allocation points and evicts
+    the cheapest-to-recopy set of functions. *)
+type policy = Circular_queue | Stack | Cost_aware
+
+val policy_name : policy -> string
+
+type entry = { fid : int; addr : int; size : int }
+(** One cached function: its id, SRAM address and rounded size. *)
+
+type t = {
+  base : int;
+  capacity : int;
+  policy : policy;
+  mutable entries : entry list;  (** insertion order, oldest first *)
+  mutable next_free : int;
+      (** queue policy: next allocation address; the runtime may move
+          it past an un-evictable function before replanning *)
+}
+
+val create : base:int -> capacity:int -> policy:policy -> t
+
+type placement =
+  | Too_large  (** the function can never fit the region *)
+  | Place of { addr : int; evict : entry list }
+      (** place at [addr] after evicting [evict] (possibly empty) *)
+
+val plan : t -> size:int -> placement
+(** Plan a placement for a function of [size] bytes. Does not mutate
+    the structure. *)
+
+val commit : t -> fid:int -> addr:int -> size:int -> evicted:entry list -> unit
+(** Apply a planned placement: remove [evicted], record the new entry,
+    and advance the allocation point. *)
+
+val evict_only : t -> int list -> unit
+(** Remove entries by fid without inserting anything. *)
+
+val find : t -> int -> entry option
+val entries : t -> entry list
+val used_bytes : t -> int
+
+val check_invariants : t -> bool
+(** Entries are pairwise disjoint, within the region, and non-empty.
+    Checked by the property tests and by the runtime in debug mode. *)
+
+val reset : t -> unit

@@ -1,0 +1,44 @@
+(* SwapRAM build-time options and well-known addresses/symbols. *)
+
+(* Trap vector the CPU recognises as the SwapRAM miss handler; the
+   per-function redirection entries initially hold this address. *)
+let miss_handler_trap = 0xFF00
+
+(* Metadata symbols emitted by the static pass. *)
+let sym_funcid = "__sr_funcid"
+let sym_redirect = "__sr_redirect"
+let sym_active = "__sr_active"
+let sym_functab = "__sr_functab"
+let sym_reloc = "__sr_reloc"
+let sym_relofs = "__sr_relofs"
+let sym_handler = "__sr_handler"
+let sym_memcpy = "__sr_memcpy"
+
+type options = {
+  blacklist : string list; (* functions excluded from caching (§3.1) *)
+  policy : Cache.policy;
+  cache_base : int; (* SRAM region used as the code cache *)
+  cache_size : int;
+  debug_checks : bool; (* verify cache invariants on every miss *)
+  freeze : (int * int) option;
+      (* anti-thrashing extension sketched in §5.4: after
+         [threshold] consecutive aborted caching operations, pause
+         eviction for the next [window] misses ("freeze" the cache). *)
+  prefetch : int;
+      (* call-graph prefetch extension (§3's "predict memory accesses
+         and accurately pre-fetch code"): after a successful caching
+         operation, also cache up to this many of the callee
+         functions the static pass saw in the new function's body —
+         but only into free space (prefetches never evict). 0 = off. *)
+}
+
+let default_options =
+  {
+    blacklist = [];
+    policy = Cache.Circular_queue;
+    cache_base = Msp430.Platform.sram_base;
+    cache_size = Msp430.Platform.sram_size;
+    debug_checks = false;
+    freeze = None;
+    prefetch = 0;
+  }

@@ -1,0 +1,37 @@
+(** SwapRAM build-time options and well-known addresses/symbols. *)
+
+val miss_handler_trap : int
+(** Trap vector recognised by the CPU as the miss handler; the
+    per-function redirection entries initially hold this address. *)
+
+(** Metadata symbols emitted by the static pass. *)
+
+val sym_funcid : string
+val sym_redirect : string
+val sym_active : string
+val sym_functab : string
+val sym_reloc : string
+val sym_relofs : string
+val sym_handler : string
+val sym_memcpy : string
+
+type options = {
+  blacklist : string list;
+      (** functions excluded from caching (paper §3.1) *)
+  policy : Cache.policy;
+  cache_base : int;  (** SRAM region used as the code cache *)
+  cache_size : int;
+  debug_checks : bool;  (** verify cache invariants on every miss *)
+  freeze : (int * int) option;
+      (** anti-thrashing extension sketched in §5.4: after
+          [threshold] consecutive aborted caching operations, pause
+          eviction for the next [window] misses *)
+  prefetch : int;
+      (** call-graph prefetch extension (§3's observation 2): after a
+          successful caching operation, also cache up to this many of
+          the new function's statically-known callees, into free
+          space only. 0 disables. *)
+}
+
+val default_options : options
+(** Circular queue over the whole 4 KiB SRAM, nothing blacklisted. *)

@@ -1,0 +1,282 @@
+module A = Masm.Ast
+module Isa = Msp430.Isa
+
+(* SwapRAM's compile-time pass (paper §3.2, Fig. 2/3).
+
+   Two-phase, as in the paper's implementation (§4):
+
+   Phase 1 rewrites every call to a cacheable function into the
+   dynamic-redirection protocol:
+
+       ADD  #1,   &__sr_active+2*fid   ; active counter (call-stack integrity)
+       MOV  #fid, &__sr_funcid         ; tell the handler who is called
+       CALL &__sr_redirect+2*fid       ; indirect call through redirection entry
+       SUB  #1,   &__sr_active+2*fid
+
+   and assembles an intermediate binary, which fixes the layout and
+   lets the linker-style relaxation turn out-of-range jumps into
+   absolute branches.
+
+   Phase 2 scans the relaxed program for absolute branches inside
+   cacheable functions and replaces each with a branch through a
+   relocation entry (MOV &__sr_reloc+2k, PC), then emits the runtime
+   metadata: redirection table, active counters, function table
+   (NVM address, size, reloc range), relocation slot and offset
+   tables, and the reserved FRAM region for the handler + memcpy
+   code whose size scales with the number of relocatable branches
+   (as the paper measures in §5.2). *)
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type func_meta = {
+  fid : int;
+  fm_name : string;
+  mutable reloc_start : int;
+  mutable reloc_count : int;
+}
+
+type manifest = {
+  funcs : func_meta array;
+  fid_of_name : (string, int) Hashtbl.t;
+  num_relocs : int;
+  handler_bytes : int;
+  memcpy_bytes : int;
+  metadata_bytes : int;
+  callees : int list array;
+      (* static call graph between cacheable functions, used by the
+         optional prefetch extension *)
+}
+
+let fid_of manifest name = Hashtbl.find_opt manifest.fid_of_name name
+
+(* Functions eligible for caching: all text items except the entry
+   stub, the runtime's own reserved items and the blacklist. *)
+let cacheable_names ~blacklist program =
+  List.filter_map
+    (fun (it : A.item) ->
+      if it.A.section <> A.Text then None
+      else if it.A.name = "_start" then None
+      else if List.mem it.A.name blacklist then None
+      else Some it.A.name)
+    program
+
+let end_label name = name ^ "$end"
+
+(* --- Phase 1: call-site rewriting ---------------------------------- *)
+
+let rewrite_call fid =
+  [
+    A.Instr
+      (A.I1
+         ( Isa.ADD,
+           Isa.W,
+           A.Simm (A.Num 1),
+           A.Dabs (A.Lab_off (Config.sym_active, 2 * fid)) ));
+    A.Instr
+      (A.I1
+         ( Isa.MOV,
+           Isa.W,
+           A.Simm (A.Num fid),
+           A.Dabs (A.Lab Config.sym_funcid) ));
+    A.Instr (A.Call_ind (A.Lab_off (Config.sym_redirect, 2 * fid)));
+    A.Instr
+      (A.I1
+         ( Isa.SUB,
+           Isa.W,
+           A.Simm (A.Num 1),
+           A.Dabs (A.Lab_off (Config.sym_active, 2 * fid)) ));
+  ]
+
+let rewrite_calls fid_of_name ?record_callee (it : A.item) =
+  let stmts =
+    List.concat_map
+      (fun stmt ->
+        match stmt with
+        | A.Instr (A.Call (A.Lab f)) -> (
+            match Hashtbl.find_opt fid_of_name f with
+            | Some fid ->
+                Option.iter (fun record -> record fid) record_callee;
+                rewrite_call fid
+            | None -> [ stmt ])
+        | A.Instr (A.Call (A.Num a)) ->
+            error "%s: call to raw address 0x%04X cannot be instrumented"
+              it.A.name a
+        | s -> [ s ])
+      it.A.stmts
+  in
+  { it with A.stmts }
+
+(* --- Phase 2: branch relocation ------------------------------------ *)
+
+let labels_of_item (it : A.item) =
+  let tbl = Hashtbl.create 16 in
+  Hashtbl.replace tbl it.A.name ();
+  List.iter
+    (function A.Label l -> Hashtbl.replace tbl l () | _ -> ())
+    it.A.stmts;
+  tbl
+
+(* Replace intra-function absolute branches with relocation-entry
+   branches; returns the rewritten item and the targets in order. *)
+let relocate_branches (it : A.item) ~next_reloc =
+  let local = labels_of_item it in
+  let targets = ref [] in
+  let stmts =
+    List.map
+      (fun stmt ->
+        match stmt with
+        | A.Instr (A.Br (A.Lab l)) when Hashtbl.mem local l ->
+            let k = next_reloc + List.length !targets in
+            targets := l :: !targets;
+            A.Instr (A.Br_ind (A.Lab_off (Config.sym_reloc, 2 * k)))
+        | A.Instr (A.Br (A.Lab l)) ->
+            error "%s: absolute branch to foreign label %s" it.A.name l
+        | s -> s)
+      it.A.stmts
+  in
+  ({ it with A.stmts }, List.rev !targets)
+
+(* --- Metadata generation -------------------------------------------- *)
+
+(* Metadata lives in FRAM alongside the code (Text placement): the
+   paper keeps runtime metadata in FRAM, and in the split-SRAM
+   configuration (§5.5) SRAM holds only program data + the cache. *)
+let metadata_items manifest ~reloc_targets =
+  let n = Array.length manifest.funcs in
+  let words_item name words = A.item ~section:A.Text name words in
+  let funcid = words_item Config.sym_funcid [ A.Word (A.Num 0) ] in
+  let redirect =
+    words_item Config.sym_redirect
+      (List.init n (fun _ -> A.Word (A.Num Config.miss_handler_trap)))
+  in
+  let active =
+    words_item Config.sym_active (List.init n (fun _ -> A.Word (A.Num 0)))
+  in
+  let functab =
+    words_item Config.sym_functab
+      (List.concat_map
+         (fun fm ->
+           [
+             A.Word (A.Lab fm.fm_name);
+             A.Word (A.Diff (end_label fm.fm_name, fm.fm_name));
+             A.Word (A.Num fm.reloc_start);
+             A.Word (A.Num fm.reloc_count);
+           ])
+         (Array.to_list manifest.funcs))
+  in
+  let reloc =
+    words_item Config.sym_reloc
+      (List.map (fun target -> A.Word (A.Lab target)) reloc_targets)
+  in
+  let relofs =
+    words_item Config.sym_relofs
+      (List.map2
+         (fun target owner -> A.Word (A.Diff (target, owner)))
+         reloc_targets
+         (List.concat_map
+            (fun fm -> List.init fm.reloc_count (fun _ -> fm.fm_name))
+            (Array.to_list manifest.funcs)))
+  in
+  [ funcid; redirect; active; functab; reloc; relofs ]
+
+let runtime_items manifest =
+  [
+    A.item Config.sym_handler [ A.Space manifest.handler_bytes ];
+    A.item Config.sym_memcpy [ A.Space manifest.memcpy_bytes ];
+  ]
+
+(* --- Driver ---------------------------------------------------------- *)
+
+let instrument ?(options = Config.default_options) ~layout program =
+  let names = cacheable_names ~blacklist:options.Config.blacklist program in
+  let fid_of_name = Hashtbl.create 64 in
+  List.iteri (fun i name -> Hashtbl.replace fid_of_name name i) names;
+  let funcs =
+    Array.of_list
+      (List.mapi
+         (fun i name -> { fid = i; fm_name = name; reloc_start = 0; reloc_count = 0 })
+         names)
+  in
+  let n = Array.length funcs in
+  (* phase 1: rewrite call sites; append end labels to cacheable
+     items; record the static call graph for the prefetch extension *)
+  let callees = Array.make n [] in
+  let phase1 =
+    List.map
+      (fun (it : A.item) ->
+        let record_callee =
+          match Hashtbl.find_opt fid_of_name it.A.name with
+          | Some caller ->
+              Some
+                (fun callee ->
+                  if callee <> caller && not (List.mem callee callees.(caller))
+                  then callees.(caller) <- callees.(caller) @ [ callee ])
+          | None -> None
+        in
+        let it =
+          if it.A.section = A.Text then
+            rewrite_calls fid_of_name ?record_callee it
+          else it
+        in
+        if Hashtbl.mem fid_of_name it.A.name then
+          { it with A.stmts = it.A.stmts @ [ A.Label (end_label it.A.name) ] }
+        else it)
+      program
+  in
+  (* minimal metadata so the intermediate assembly resolves symbols *)
+  let meta_stub =
+    [
+      A.item Config.sym_funcid [ A.Word (A.Num 0) ];
+      A.item Config.sym_redirect
+        (List.init n (fun _ -> A.Word (A.Num Config.miss_handler_trap)));
+      A.item Config.sym_active
+        (List.init n (fun _ -> A.Word (A.Num 0)));
+    ]
+  in
+  let intermediate = Masm.Assembler.assemble ~layout (phase1 @ meta_stub) in
+  let resolved = intermediate.Masm.Assembler.resolved in
+  (* phase 2: relocate absolute branches in cacheable functions *)
+  let next_reloc = ref 0 in
+  let all_targets = ref [] in
+  let phase2 =
+    List.filter_map
+      (fun (it : A.item) ->
+        if List.exists (fun n -> n = it.A.name)
+             [ Config.sym_funcid; Config.sym_redirect; Config.sym_active ]
+        then None (* drop stubs; re-emitted in full metadata *)
+        else if Hashtbl.mem fid_of_name it.A.name then begin
+          let it', targets = relocate_branches it ~next_reloc:!next_reloc in
+          let fm = funcs.(Hashtbl.find fid_of_name it.A.name) in
+          fm.reloc_start <- !next_reloc;
+          fm.reloc_count <- List.length targets;
+          next_reloc := !next_reloc + List.length targets;
+          all_targets := !all_targets @ targets;
+          Some it'
+        end
+        else Some it)
+      resolved
+  in
+  let num_relocs = !next_reloc in
+  (* handler size model, calibrated against the paper's §5.2 range
+     (972-1844 bytes, growing with the number of relocatable branches) *)
+  let handler_bytes = (940 + (6 * num_relocs) + (4 * n) + 1) land lnot 1 in
+  let memcpy_bytes = 64 in
+  let metadata_bytes = 2 + (2 * n) + (2 * n) + (8 * n) + (4 * num_relocs) in
+  let manifest =
+    {
+      funcs;
+      fid_of_name;
+      num_relocs;
+      handler_bytes;
+      memcpy_bytes;
+      metadata_bytes;
+      callees;
+    }
+  in
+  let final_program =
+    phase2 @ runtime_items manifest
+    @ metadata_items manifest ~reloc_targets:!all_targets
+  in
+  (final_program, manifest)

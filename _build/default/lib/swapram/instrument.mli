@@ -1,0 +1,52 @@
+(** SwapRAM's compile-time pass (paper §3.2, Fig. 2/3).
+
+    Rewrites every call to a cacheable function into the dynamic
+    redirection protocol (active-counter increment, funcId store,
+    indirect call through the redirection entry), converts absolute
+    intra-function branches into relocation-entry branches after an
+    intermediate assembly fixes the layout, and emits the runtime
+    metadata tables and the reserved FRAM runtime regions. *)
+
+exception Error of string
+
+type func_meta = {
+  fid : int;  (** index into the redirection/active/function tables *)
+  fm_name : string;
+  mutable reloc_start : int;  (** first relocation entry owned *)
+  mutable reloc_count : int;
+}
+
+type manifest = {
+  funcs : func_meta array;
+  fid_of_name : (string, int) Hashtbl.t;
+  num_relocs : int;
+  handler_bytes : int;
+      (** reserved FRAM size of the modeled miss handler; scales with
+          the number of relocatable branches as measured in §5.2 *)
+  memcpy_bytes : int;
+  metadata_bytes : int;  (** total size of the metadata tables *)
+  callees : int list array;
+      (** static call graph between cacheable functions (caller fid ->
+          callee fids, call-site order), used by the prefetch
+          extension *)
+}
+
+val fid_of : manifest -> string -> int option
+(** [None] when the function is blacklisted or unknown. *)
+
+val end_label : string -> string
+(** Label the pass appends at the end of each cacheable function so
+    function sizes assemble as label differences. *)
+
+val cacheable_names :
+  blacklist:string list -> Masm.Ast.program -> string list
+(** Text items eligible for caching: everything except the entry stub
+    and the blacklist (§3.1). *)
+
+val instrument :
+  ?options:Config.options ->
+  layout:Masm.Assembler.layout ->
+  Masm.Ast.program ->
+  Masm.Ast.program * manifest
+(** Run both phases and return the final program (application items,
+    reserved runtime regions, metadata tables) plus its manifest. *)

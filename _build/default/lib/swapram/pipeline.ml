@@ -1,0 +1,68 @@
+module A = Masm.Ast
+
+(* End-to-end SwapRAM build pipeline: instrument an assembly program,
+   assemble the final binary, and install it (image + runtime trap)
+   on a simulated platform. This is the top-level API a user of the
+   library drives; see examples/quickstart.ml. *)
+
+type built = {
+  program : A.program; (* final instrumented program *)
+  image : Masm.Assembler.t;
+  manifest : Instrument.manifest;
+  options : Config.options;
+}
+
+let build ?(options = Config.default_options)
+    ?(layout = Masm.Assembler.default_layout) program =
+  let instrumented, manifest = Instrument.instrument ~options ~layout program in
+  let image = Masm.Assembler.assemble ~layout instrumented in
+  { program = instrumented; image; manifest; options }
+
+(* Load the image and arm the miss handler; returns the runtime for
+   stats inspection. *)
+let install built (system : Msp430.Platform.system) =
+  Masm.Assembler.load built.image system.Msp430.Platform.memory;
+  Runtime.install ~options:built.options ~manifest:built.manifest
+    ~image:built.image system
+
+(* --- Size accounting (paper §5.2, Fig. 7) --------------------------- *)
+
+type nvm_usage = {
+  application_bytes : int; (* transformed app code + its static data *)
+  runtime_bytes : int; (* miss handler + memcpy *)
+  metadata_bytes : int; (* redirection/active/function/reloc tables *)
+}
+
+let total_bytes u = u.application_bytes + u.runtime_bytes + u.metadata_bytes
+
+let nvm_usage built =
+  let metadata_names =
+    [
+      Config.sym_funcid;
+      Config.sym_redirect;
+      Config.sym_active;
+      Config.sym_functab;
+      Config.sym_reloc;
+      Config.sym_relofs;
+    ]
+  in
+  let runtime_names = [ Config.sym_handler; Config.sym_memcpy ] in
+  let app = ref 0 and runtime = ref 0 and metadata = ref 0 in
+  (* The application's own data area is excluded, as in the paper's
+     Figure 7; SwapRAM metadata counts as Metadata even though it is
+     placed in the data segment. *)
+  List.iter
+    (fun info ->
+      let n = info.Masm.Assembler.info_name in
+      if List.mem n metadata_names then
+        metadata := !metadata + info.Masm.Assembler.info_size
+      else if List.mem n runtime_names then
+        runtime := !runtime + info.Masm.Assembler.info_size
+      else if info.Masm.Assembler.info_section = A.Text then
+        app := !app + info.Masm.Assembler.info_size)
+    built.image.Masm.Assembler.items;
+  {
+    application_bytes = !app;
+    runtime_bytes = !runtime;
+    metadata_bytes = !metadata;
+  }

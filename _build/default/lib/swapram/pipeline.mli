@@ -1,0 +1,32 @@
+(** End-to-end SwapRAM build pipeline: instrument an assembly program,
+    assemble the final binary, and install it (image + runtime trap)
+    on a simulated platform. This is the top-level API a library user
+    drives; see examples/quickstart.ml. *)
+
+type built = {
+  program : Masm.Ast.program;  (** final instrumented program *)
+  image : Masm.Assembler.t;
+  manifest : Instrument.manifest;
+  options : Config.options;
+}
+
+val build :
+  ?options:Config.options ->
+  ?layout:Masm.Assembler.layout ->
+  Masm.Ast.program ->
+  built
+
+val install : built -> Msp430.Platform.system -> Runtime.t
+(** Load the image into simulated memory and arm the miss handler;
+    returns the runtime for statistics inspection. *)
+
+(** NVM usage accounting for the paper's §5.2 / Figure 7. The
+    application's own data area is excluded, as in the paper. *)
+type nvm_usage = {
+  application_bytes : int;  (** transformed application code *)
+  runtime_bytes : int;  (** miss handler + memcpy regions *)
+  metadata_bytes : int;  (** redirection/active/function/reloc tables *)
+}
+
+val total_bytes : nvm_usage -> int
+val nvm_usage : built -> nvm_usage

@@ -1,0 +1,332 @@
+module Cpu = Msp430.Cpu
+module Memory = Msp430.Memory
+module Trace = Msp430.Trace
+
+(* SwapRAM's runtime component: the cache miss handler (paper §3.3,
+   Fig. 4). Installed as a trap handler on the simulated CPU; every
+   piece of state it touches (funcId, function table, redirection
+   entries, active counters, relocation tables, the copied code) moves
+   through counted simulated-memory accesses, and its own execution is
+   charged as instruction fetches from the reserved FRAM runtime
+   region per the cost model in {!Costs}. *)
+
+type table_addrs = {
+  a_funcid : int;
+  a_redirect : int;
+  a_active : int;
+  a_functab : int;
+  a_reloc : int;
+  a_relofs : int;
+  a_handler : int;
+  handler_size : int;
+  a_memcpy : int;
+  memcpy_size : int;
+}
+
+type stats = {
+  mutable misses : int;
+  mutable aborts : int; (* active-function conflicts -> NVM execution *)
+  mutable too_large : int;
+  mutable frozen_misses : int;
+  mutable evictions : int;
+  mutable words_copied : int;
+  mutable placement_retries : int; (* allocations skipped past active code *)
+  mutable prefetches : int; (* callees cached ahead of their first call *)
+}
+
+type t = {
+  cache : Cache.t;
+  mem : Memory.t;
+  addrs : table_addrs;
+  options : Config.options;
+  callees : int list array; (* static call graph, for prefetching *)
+  stats : stats;
+  mutable handler_cursor : int;
+  mutable memcpy_cursor : int;
+  mutable consecutive_aborts : int;
+  mutable freeze_left : int;
+}
+
+let stats t = t.stats
+
+(* --- Charged micro-operations --------------------------------------- *)
+
+(* Fetch-and-charge [n] modeled handler instructions. *)
+let charge t source n =
+  let region_base, region_size, cursor_get, cursor_set =
+    match source with
+    | Trace.Memcpy ->
+        ( t.addrs.a_memcpy,
+          t.addrs.memcpy_size,
+          (fun () -> t.memcpy_cursor),
+          fun c -> t.memcpy_cursor <- c )
+    | _ ->
+        ( t.addrs.a_handler,
+          t.addrs.handler_size,
+          (fun () -> t.handler_cursor),
+          fun c -> t.handler_cursor <- c )
+  in
+  for _ = 1 to n do
+    let cur = cursor_get () in
+    Memory.begin_instruction t.mem;
+    ignore (Memory.read_word t.mem ~purpose:Memory.Ifetch (region_base + cur));
+    Trace.count_instr (Memory.stats t.mem) source;
+    (Memory.stats t.mem).Trace.unstalled_cycles <-
+      (Memory.stats t.mem).Trace.unstalled_cycles + Costs.cycles_per_instr;
+    cursor_set ((cur + 2) mod region_size)
+  done
+
+let read_word t addr = Memory.read_word t.mem ~purpose:Memory.Data addr
+let write_word t addr v = Memory.write_word t.mem addr v
+
+(* Function-table entry fields for [fid]. *)
+let functab_nvm t fid = read_word t (t.addrs.a_functab + (8 * fid))
+let functab_size t fid = read_word t (t.addrs.a_functab + (8 * fid) + 2)
+let functab_rstart t fid = read_word t (t.addrs.a_functab + (8 * fid) + 4)
+let functab_rcount t fid = read_word t (t.addrs.a_functab + (8 * fid) + 6)
+
+(* Point all of [fid]'s relocation entries at [base] (SRAM copy when
+   cached, NVM original after eviction). *)
+let retarget_relocs t fid ~base =
+  let rstart = functab_rstart t fid and rcount = functab_rcount t fid in
+  for k = rstart to rstart + rcount - 1 do
+    charge t Trace.Handler Costs.reloc_instrs;
+    let ofs = read_word t (t.addrs.a_relofs + (2 * k)) in
+    write_word t (t.addrs.a_reloc + (2 * k)) ((base + ofs) land 0xFFFF)
+  done
+
+let evict_function t (entry : Cache.entry) =
+  charge t Trace.Handler Costs.evict_instrs;
+  t.stats.evictions <- t.stats.evictions + 1;
+  write_word t (t.addrs.a_redirect + (2 * entry.Cache.fid)) Config.miss_handler_trap;
+  let nvm = functab_nvm t entry.Cache.fid in
+  retarget_relocs t entry.Cache.fid ~base:nvm
+
+let copy_function t ~nvm ~sram ~size =
+  let words = (size + 1) / 2 in
+  for i = 0 to words - 1 do
+    charge t Trace.Memcpy Costs.memcpy_per_word_instrs;
+    let w = read_word t (nvm + (2 * i)) in
+    write_word t (sram + (2 * i)) w;
+    t.stats.words_copied <- t.stats.words_copied + 1
+  done
+
+(* Call-graph prefetch (extension; §3's observation 2): after caching
+   [fid], optionally pull its statically-known callees into *free*
+   cache space — prefetches never evict, so mispredictions cost only
+   the copy. *)
+let rec prefetch_callees t fid budget =
+  if budget > 0 then
+    let candidates =
+      if fid < Array.length t.callees then t.callees.(fid) else []
+    in
+    let rec go budget = function
+      | [] -> ()
+      | callee :: rest when budget > 0 ->
+          let cached =
+            read_word t (t.addrs.a_redirect + (2 * callee))
+            <> Config.miss_handler_trap
+          in
+          if cached then go budget rest
+          else begin
+            let size = functab_size t callee in
+            charge t Trace.Handler Costs.scan_entry_instrs;
+            match Cache.plan t.cache ~size with
+            | Cache.Place { addr; evict = [] } ->
+                let nvm = functab_nvm t callee in
+                Cache.commit t.cache ~fid:callee ~addr ~size ~evicted:[];
+                copy_function t ~nvm ~sram:addr ~size;
+                retarget_relocs t callee ~base:addr;
+                write_word t (t.addrs.a_redirect + (2 * callee)) addr;
+                t.stats.prefetches <- t.stats.prefetches + 1;
+                prefetch_callees t callee (budget - 1);
+                go (budget - 1) rest
+            | Cache.Place _ | Cache.Too_large -> go budget rest
+          end
+      | _ -> ()
+    in
+    go budget candidates
+
+(* Abort the caching operation and run the callee from NVRAM
+   (§3.3.3). The redirection entry keeps pointing at the handler, so
+   the next call misses again — the paper's pathological case. *)
+let abort_to_nvm t ~nvm =
+  charge t Trace.Handler Costs.abort_instrs;
+  t.consecutive_aborts <- t.consecutive_aborts + 1;
+  (match t.options.Config.freeze with
+  | Some (threshold, window)
+    when t.freeze_left = 0 && t.consecutive_aborts >= threshold ->
+      t.freeze_left <- window
+  | _ -> ());
+  Cpu.Goto nvm
+
+let on_miss t cpu =
+  ignore cpu;
+  t.stats.misses <- t.stats.misses + 1;
+  charge t Trace.Handler Costs.handler_entry_instrs;
+  let fid = read_word t t.addrs.a_funcid in
+  let nvm = functab_nvm t fid in
+  let size = functab_size t fid in
+  if t.freeze_left > 0 then begin
+    (* freeze mode: execute from NVM without touching the cache *)
+    t.freeze_left <- t.freeze_left - 1;
+    t.stats.frozen_misses <- t.stats.frozen_misses + 1;
+    charge t Trace.Handler Costs.abort_instrs;
+    Cpu.Goto nvm
+  end
+  else begin
+    charge t Trace.Handler
+      (Costs.scan_entry_instrs * max 1 (List.length (Cache.entries t.cache)));
+    (* Placement loop: a planned spot whose eviction set contains an
+       active function is skipped (allocation moves past the blocker
+       and retries) rather than aborted outright — otherwise the
+       entry function, cached first at the region base and active for
+       the whole run, would block every wrapped allocation. Abort to
+       NVM execution only when no spot works (§3.3.3). *)
+    let saved_next_free = (t.cache : Cache.t).Cache.next_free in
+    let rec try_place attempts =
+      match Cache.plan t.cache ~size with
+      | Cache.Too_large ->
+          t.stats.too_large <- t.stats.too_large + 1;
+          charge t Trace.Handler Costs.abort_instrs;
+          Cpu.Goto nvm
+      | Cache.Place { addr; evict } -> (
+          (* call-stack integrity: never evict an active function *)
+          charge t Trace.Handler
+            (Costs.active_check_instrs * List.length evict);
+          let actives =
+            List.filter
+              (fun (e : Cache.entry) ->
+                read_word t (t.addrs.a_active + (2 * e.Cache.fid)) <> 0)
+              evict
+          in
+          match actives with
+          | [] ->
+              t.consecutive_aborts <- 0;
+              List.iter (evict_function t) evict;
+              Cache.commit t.cache ~fid ~addr ~size ~evicted:evict;
+              copy_function t ~nvm ~sram:addr ~size;
+              retarget_relocs t fid ~base:addr;
+              write_word t (t.addrs.a_redirect + (2 * fid)) addr;
+              prefetch_callees t fid t.options.Config.prefetch;
+              charge t Trace.Handler Costs.handler_exit_instrs;
+              if
+                t.options.Config.debug_checks
+                && not (Cache.check_invariants t.cache)
+              then failwith "SwapRAM cache invariant violated";
+              Cpu.Goto addr
+          | _ :: _ when attempts > 0 && t.options.Config.policy = Cache.Circular_queue
+            ->
+              t.stats.placement_retries <- t.stats.placement_retries + 1;
+              charge t Trace.Handler Costs.scan_entry_instrs;
+              let blocker_end =
+                List.fold_left
+                  (fun acc (e : Cache.entry) -> max acc (e.Cache.addr + e.Cache.size))
+                  0 actives
+              in
+              (t.cache : Cache.t).Cache.next_free <- blocker_end;
+              try_place (attempts - 1)
+          | _ :: _ ->
+              t.cache.Cache.next_free <- saved_next_free;
+              t.stats.aborts <- t.stats.aborts + 1;
+              abort_to_nvm t ~nvm)
+    in
+    try_place 8
+  end
+
+(* Power-loss recovery for intermittent systems (the deployments of
+   paper §1/§2.2): SRAM contents — including every cached function —
+   are lost, but the FRAM-resident metadata survives and still points
+   at the vanished copies. A boot-time routine must reset the cache
+   structure and restore the metadata words (redirection entries back
+   to the miss handler, relocation slots back to their NVM targets,
+   active counters and funcId to zero) from their initial post-link
+   values in the image. *)
+let reboot t ~image =
+  Cache.reset t.cache;
+  t.handler_cursor <- 0;
+  t.memcpy_cursor <- 0;
+  t.consecutive_aborts <- 0;
+  t.freeze_left <- 0;
+  let restore_item name =
+    let addr = Masm.Assembler.lookup image name in
+    let size = Masm.Assembler.item_size image name in
+    let seg =
+      List.find
+        (fun s ->
+          addr >= s.Masm.Assembler.base
+          && addr + size
+             <= s.Masm.Assembler.base + Bytes.length s.Masm.Assembler.contents)
+        image.Masm.Assembler.segments
+    in
+    for i = 0 to size - 1 do
+      Memory.poke_byte t.mem (addr + i)
+        (Char.code
+           (Bytes.get seg.Masm.Assembler.contents (addr - seg.Masm.Assembler.base + i)))
+    done
+  in
+  List.iter restore_item
+    [ Config.sym_funcid; Config.sym_redirect; Config.sym_active; Config.sym_reloc ]
+
+let table_addrs_of_image image manifest =
+  let look = Masm.Assembler.lookup image in
+  {
+    a_funcid = look Config.sym_funcid;
+    a_redirect = look Config.sym_redirect;
+    a_active = look Config.sym_active;
+    a_functab = look Config.sym_functab;
+    a_reloc = look Config.sym_reloc;
+    a_relofs = look Config.sym_relofs;
+    a_handler = look Config.sym_handler;
+    handler_size = manifest.Instrument.handler_bytes;
+    a_memcpy = look Config.sym_memcpy;
+    memcpy_size = manifest.Instrument.memcpy_bytes;
+  }
+
+let install ~options ~manifest ~image (system : Msp430.Platform.system) =
+  let addrs = table_addrs_of_image image manifest in
+  let callees = manifest.Instrument.callees in
+  let cache =
+    Cache.create ~base:options.Config.cache_base
+      ~capacity:options.Config.cache_size ~policy:options.Config.policy
+  in
+  let t =
+    {
+      cache;
+      mem = system.Msp430.Platform.memory;
+      addrs;
+      options;
+      callees;
+      stats =
+        {
+          misses = 0;
+          aborts = 0;
+          too_large = 0;
+          frozen_misses = 0;
+          evictions = 0;
+          words_copied = 0;
+          placement_retries = 0;
+          prefetches = 0;
+        };
+      handler_cursor = 0;
+      memcpy_cursor = 0;
+      consecutive_aborts = 0;
+      freeze_left = 0;
+    }
+  in
+  Cpu.register_trap system.Msp430.Platform.cpu Config.miss_handler_trap
+    (fun cpu -> on_miss t cpu);
+  (* Fig. 8 classification: handler and memcpy regions are runtime
+     code; everything else classifies by memory region. *)
+  let handler_lo = addrs.a_handler
+  and handler_hi = addrs.a_handler + addrs.handler_size in
+  let memcpy_lo = addrs.a_memcpy
+  and memcpy_hi = addrs.a_memcpy + addrs.memcpy_size in
+  Cpu.set_classifier system.Msp430.Platform.cpu (fun addr ->
+      if addr >= handler_lo && addr < handler_hi then Trace.Handler
+      else if addr >= memcpy_lo && addr < memcpy_hi then Trace.Memcpy
+      else
+        match Memory.region_of (Memory.map system.Msp430.Platform.memory) addr with
+        | Memory.Sram -> Trace.App_sram
+        | Memory.Fram | Memory.Peripheral | Memory.Unmapped -> Trace.App_fram);
+  t

@@ -1,0 +1,73 @@
+(** SwapRAM's runtime component: the cache miss handler (paper §3.3,
+    Fig. 4), installed as a trap handler on the simulated CPU.
+
+    All state the handler touches — funcId, function table,
+    redirection entries, active counters, relocation tables, the
+    copied code itself — moves through counted simulated-memory
+    accesses, and the handler's own execution is charged as
+    instruction fetches from the reserved FRAM runtime region per the
+    cost model in {!Costs}, so Figure 8's source breakdown and Table
+    2's cycle counts stay faithful. *)
+
+type table_addrs = {
+  a_funcid : int;
+  a_redirect : int;
+  a_active : int;
+  a_functab : int;
+  a_reloc : int;
+  a_relofs : int;
+  a_handler : int;
+  handler_size : int;
+  a_memcpy : int;
+  memcpy_size : int;
+}
+
+type stats = {
+  mutable misses : int;
+  mutable aborts : int;
+      (** caching operations abandoned because every viable placement
+          would evict an active function — the callee then runs from
+          NVRAM (§3.3.3) *)
+  mutable too_large : int;  (** functions that can never fit the cache *)
+  mutable frozen_misses : int;  (** misses served from NVM in freeze mode *)
+  mutable evictions : int;
+  mutable words_copied : int;
+  mutable placement_retries : int;
+      (** allocations moved past an active (un-evictable) function *)
+  mutable prefetches : int;
+      (** callees cached ahead of their first call (prefetch extension) *)
+}
+
+type t = {
+  cache : Cache.t;
+  mem : Msp430.Memory.t;
+  addrs : table_addrs;
+  options : Config.options;
+  callees : int list array;
+  stats : stats;
+  mutable handler_cursor : int;
+  mutable memcpy_cursor : int;
+  mutable consecutive_aborts : int;
+  mutable freeze_left : int;
+}
+
+val stats : t -> stats
+
+val reboot : t -> image:Masm.Assembler.t -> unit
+(** Power-loss recovery for intermittent deployments (paper §1/§2.2):
+    the SRAM cache contents are gone, so reset the cache structure and
+    restore the FRAM metadata words (redirection entries, relocation
+    slots, active counters, funcId) to their initial post-link values.
+    Application data in FRAM is untouched — that persistence is the
+    point of NVRAM systems. The caller clears/loses SRAM and resets
+    the CPU itself. *)
+
+val install :
+  options:Config.options ->
+  manifest:Instrument.manifest ->
+  image:Masm.Assembler.t ->
+  Msp430.Platform.system ->
+  t
+(** Arm the miss-handler trap and the Figure-8 instruction-source
+    classifier on [system]. The image must already be built from the
+    instrumented program; {!Pipeline.install} loads it too. *)

@@ -1,0 +1,1 @@
+lib/workloads/aes.ml: Array Bench_def Gen List Printf String

@@ -1,0 +1,1 @@
+lib/workloads/arith.ml: Bench_def Gen Printf

@@ -1,0 +1,1 @@
+lib/workloads/bench_def.ml:

@@ -1,0 +1,1 @@
+lib/workloads/bitcount.ml: Bench_def Gen List Printf

@@ -1,0 +1,1 @@
+lib/workloads/crc.ml: Bench_def Gen Printf

@@ -1,0 +1,1 @@
+lib/workloads/dijkstra.ml: Bench_def Clib Gen List Printf

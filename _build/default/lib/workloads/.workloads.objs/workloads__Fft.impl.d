@@ -1,0 +1,1 @@
+lib/workloads/fft.ml: Bench_def Clib Float Gen Int32 List Printf

@@ -1,0 +1,1 @@
+lib/workloads/lzfx.ml: Array Bench_def Buffer Clib Gen Printf String

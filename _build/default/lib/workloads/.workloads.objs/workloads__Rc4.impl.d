@@ -1,0 +1,1 @@
+lib/workloads/rc4.ml: Bench_def Gen Printf

@@ -1,0 +1,1 @@
+lib/workloads/rsa.ml: Bench_def Gen List Printf

@@ -1,0 +1,1 @@
+lib/workloads/stringsearch.ml: Bench_def Clib Gen List Printf String

@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Aes Arith Bench_def Bitcount Crc Dijkstra Fft List Lzfx Rc4 Rsa String Stringsearch

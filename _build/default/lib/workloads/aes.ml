@@ -1,0 +1,283 @@
+(* AES — AES-128 encryption of a handful of blocks with the real
+   S-box and key schedule, decomposed into the textbook per-round
+   functions. The dense call graph over a shared state is what makes
+   AES the paper's pathological thrashing case (§5.4). *)
+
+let sbox =
+  [
+    0x63; 0x7c; 0x77; 0x7b; 0xf2; 0x6b; 0x6f; 0xc5; 0x30; 0x01; 0x67; 0x2b;
+    0xfe; 0xd7; 0xab; 0x76; 0xca; 0x82; 0xc9; 0x7d; 0xfa; 0x59; 0x47; 0xf0;
+    0xad; 0xd4; 0xa2; 0xaf; 0x9c; 0xa4; 0x72; 0xc0; 0xb7; 0xfd; 0x93; 0x26;
+    0x36; 0x3f; 0xf7; 0xcc; 0x34; 0xa5; 0xe5; 0xf1; 0x71; 0xd8; 0x31; 0x15;
+    0x04; 0xc7; 0x23; 0xc3; 0x18; 0x96; 0x05; 0x9a; 0x07; 0x12; 0x80; 0xe2;
+    0xeb; 0x27; 0xb2; 0x75; 0x09; 0x83; 0x2c; 0x1a; 0x1b; 0x6e; 0x5a; 0xa0;
+    0x52; 0x3b; 0xd6; 0xb3; 0x29; 0xe3; 0x2f; 0x84; 0x53; 0xd1; 0x00; 0xed;
+    0x20; 0xfc; 0xb1; 0x5b; 0x6a; 0xcb; 0xbe; 0x39; 0x4a; 0x4c; 0x58; 0xcf;
+    0xd0; 0xef; 0xaa; 0xfb; 0x43; 0x4d; 0x33; 0x85; 0x45; 0xf9; 0x02; 0x7f;
+    0x50; 0x3c; 0x9f; 0xa8; 0x51; 0xa3; 0x40; 0x8f; 0x92; 0x9d; 0x38; 0xf5;
+    0xbc; 0xb6; 0xda; 0x21; 0x10; 0xff; 0xf3; 0xd2; 0xcd; 0x0c; 0x13; 0xec;
+    0x5f; 0x97; 0x44; 0x17; 0xc4; 0xa7; 0x7e; 0x3d; 0x64; 0x5d; 0x19; 0x73;
+    0x60; 0x81; 0x4f; 0xdc; 0x22; 0x2a; 0x90; 0x88; 0x46; 0xee; 0xb8; 0x14;
+    0xde; 0x5e; 0x0b; 0xdb; 0xe0; 0x32; 0x3a; 0x0a; 0x49; 0x06; 0x24; 0x5c;
+    0xc2; 0xd3; 0xac; 0x62; 0x91; 0x95; 0xe4; 0x79; 0xe7; 0xc8; 0x37; 0x6d;
+    0x8d; 0xd5; 0x4e; 0xa9; 0x6c; 0x56; 0xf4; 0xea; 0x65; 0x7a; 0xae; 0x08;
+    0xba; 0x78; 0x25; 0x2e; 0x1c; 0xa6; 0xb4; 0xc6; 0xe8; 0xdd; 0x74; 0x1f;
+    0x4b; 0xbd; 0x8b; 0x8a; 0x70; 0x3e; 0xb5; 0x66; 0x48; 0x03; 0xf6; 0x0e;
+    0x61; 0x35; 0x57; 0xb9; 0x86; 0xc1; 0x1d; 0x9e; 0xe1; 0xf8; 0x98; 0x11;
+    0x69; 0xd9; 0x8e; 0x94; 0x9b; 0x1e; 0x87; 0xe9; 0xce; 0x55; 0x28; 0xdf;
+    0x8c; 0xa1; 0x89; 0x0d; 0xbf; 0xe6; 0x42; 0x68; 0x41; 0x99; 0x2d; 0x0f;
+    0xb0; 0x54; 0xbb; 0x16;
+  ]
+
+let rcon = [ 0x00; 0x01; 0x02; 0x04; 0x08; 0x10; 0x20; 0x40; 0x80; 0x1b; 0x36 ]
+
+(* inverse S-box, computed from the forward table *)
+let inv_sbox =
+  let inv = Array.make 256 0 in
+  List.iteri (fun i v -> inv.(v) <- i) sbox;
+  Array.to_list inv
+
+let nblocks = 8
+
+let source seed =
+  let g = Gen.create (seed + 606) in
+  let key = Gen.int_list g 16 256 in
+  let iv = Gen.int_list g 16 256 in
+  let plaintext = Gen.int_list g (16 * nblocks) 256 in
+  let body =
+    Printf.sprintf
+      {|
+char sbox[256] = %s;
+char inv_sbox[256] = %s;
+char rcon[11] = %s;
+char key[16] = %s;
+char iv[16] = %s;
+char data[NBYTES] = %s;
+char saved[NBYTES];
+char rk[176];
+char state[16];
+char chain[16];
+
+int xtime(int b) {
+  b = b << 1;
+  if (b & 0x100) b = b ^ 0x1b;
+  return b & 0xff;
+}
+
+/* GF(2^8) multiplications used by the inverse MixColumns */
+int mul9(int b) { return xtime(xtime(xtime(b))) ^ b; }
+int mul11(int b) { return xtime(xtime(xtime(b)) ^ b) ^ b; }
+int mul13(int b) { return xtime(xtime(xtime(b) ^ b)) ^ b; }
+int mul14(int b) { return xtime(xtime(xtime(b) ^ b) ^ b); }
+
+void expand_key(void) {
+  int i;
+  for (i = 0; i < 16; i++) rk[i] = key[i];
+  for (i = 4; i < 44; i++) {
+    int base = i << 2;
+    int prev = (i - 1) << 2;
+    int t0 = rk[prev]; int t1 = rk[prev + 1];
+    int t2 = rk[prev + 2]; int t3 = rk[prev + 3];
+    if ((i & 3) == 0) {
+      int tmp = t0;
+      t0 = sbox[t1] ^ rcon[i >> 2];
+      t1 = sbox[t2]; t2 = sbox[t3]; t3 = sbox[tmp];
+    }
+    int back = (i - 4) << 2;
+    rk[base] = rk[back] ^ t0;
+    rk[base + 1] = rk[back + 1] ^ t1;
+    rk[base + 2] = rk[back + 2] ^ t2;
+    rk[base + 3] = rk[back + 3] ^ t3;
+  }
+}
+
+/* round primitives fully unrolled, as in the rijndael reference code
+   MiBench ships */
+void add_round_key(int round) {
+  int i;
+  int base = round << 4;
+  for (i = 0; i < 16; i++) state[i] = state[i] ^ rk[base + i];
+}
+
+void sub_bytes(void) {
+SUB_UNROLLED
+}
+
+void inv_sub_bytes(void) {
+INVSUB_UNROLLED
+}
+
+void shift_rows(void) {
+  int t = state[1];
+  state[1] = state[5]; state[5] = state[9]; state[9] = state[13]; state[13] = t;
+  t = state[2]; state[2] = state[10]; state[10] = t;
+  t = state[6]; state[6] = state[14]; state[14] = t;
+  t = state[3]; state[3] = state[15]; state[15] = state[11];
+  state[11] = state[7]; state[7] = t;
+}
+
+void inv_shift_rows(void) {
+  int t = state[13];
+  state[13] = state[9]; state[9] = state[5]; state[5] = state[1]; state[1] = t;
+  t = state[2]; state[2] = state[10]; state[10] = t;
+  t = state[6]; state[6] = state[14]; state[14] = t;
+  t = state[7]; state[7] = state[11]; state[11] = state[15];
+  state[15] = state[3]; state[3] = t;
+}
+
+void mix_columns(void) {
+MIX_UNROLLED
+}
+
+void inv_mix_columns(void) {
+INVMIX_UNROLLED
+}
+
+void encrypt_block(int offset) {
+  int i;
+  int round;
+  for (i = 0; i < 16; i++) state[i] = data[offset + i] ^ chain[i];
+  add_round_key(0);
+  for (round = 1; round < 10; round++) {
+    sub_bytes();
+    shift_rows();
+    mix_columns();
+    add_round_key(round);
+  }
+  sub_bytes();
+  shift_rows();
+  add_round_key(10);
+  for (i = 0; i < 16; i++) { data[offset + i] = state[i]; chain[i] = state[i]; }
+}
+
+void decrypt_block(int offset) {
+  int i;
+  int round;
+  for (i = 0; i < 16; i++) state[i] = data[offset + i];
+  add_round_key(10);
+  inv_shift_rows();
+  inv_sub_bytes();
+  for (round = 9; round >= 1; round--) {
+    add_round_key(round);
+    inv_mix_columns();
+    inv_shift_rows();
+    inv_sub_bytes();
+  }
+  add_round_key(0);
+  for (i = 0; i < 16; i++) {
+    int c = data[offset + i];
+    data[offset + i] = state[i] ^ chain[i];
+    chain[i] = c;
+  }
+}
+
+void reset_chain(void) {
+  int i;
+  for (i = 0; i < 16; i++) chain[i] = iv[i];
+}
+
+void cbc_encrypt(void) {
+  int b;
+  reset_chain();
+  for (b = 0; b < NBLOCKS; b++) encrypt_block(b << 4);
+}
+
+void cbc_decrypt(void) {
+  int b;
+  reset_chain();
+  for (b = 0; b < NBLOCKS; b++) decrypt_block(b << 4);
+}
+
+unsigned buffer_checksum(void) {
+  unsigned sum = 0;
+  int i;
+  for (i = 0; i < NBYTES; i++) sum = (sum << 1 | sum >> 15) ^ data[i];
+  return sum;
+}
+
+int main(void) {
+  int i;
+  int r;
+  int ok = 1;
+  unsigned sum = 0;
+  expand_key();
+  for (i = 0; i < NBYTES; i++) saved[i] = data[i];
+  for (r = 0; r < 2; r++) {
+    cbc_encrypt();
+    sum ^= buffer_checksum();
+    cbc_decrypt();
+    for (i = 0; i < NBYTES; i++) {
+      if (data[i] != saved[i]) ok = 0;
+    }
+    sum = (sum << 1 | sum >> 15);
+  }
+  if (!ok) { print_hex(0xDEAD); return 0xDEAD; }
+  print_hex(sum);
+  return sum;
+}
+|}
+      (Gen.c_array sbox) (Gen.c_array inv_sbox) (Gen.c_array rcon)
+      (Gen.c_array key) (Gen.c_array iv)
+      (Gen.c_array plaintext)
+  in
+  let ark_unrolled =
+    String.concat "\n"
+      (List.init 16 (fun i ->
+           Printf.sprintf "  state[%d] = state[%d] ^ rk[base + %d];" i i i))
+  in
+  let sub_unrolled =
+    String.concat "\n"
+      (List.init 16 (fun i ->
+           Printf.sprintf "  state[%d] = sbox[state[%d]];" i i))
+  in
+  let invsub_unrolled =
+    String.concat "\n"
+      (List.init 16 (fun i ->
+           Printf.sprintf "  state[%d] = inv_sbox[state[%d]];" i i))
+  in
+  let mix_unrolled =
+    String.concat "\n"
+      (List.init 4 (fun c ->
+           let b = 4 * c in
+           Printf.sprintf
+             "  {\n\
+              \    int a0 = state[%d]; int a1 = state[%d];\n\
+              \    int a2 = state[%d]; int a3 = state[%d];\n\
+              \    int all = a0 ^ a1 ^ a2 ^ a3;\n\
+              \    state[%d] = a0 ^ all ^ xtime(a0 ^ a1);\n\
+              \    state[%d] = a1 ^ all ^ xtime(a1 ^ a2);\n\
+              \    state[%d] = a2 ^ all ^ xtime(a2 ^ a3);\n\
+              \    state[%d] = a3 ^ all ^ xtime(a3 ^ a0);\n\
+              \  }"
+             b (b + 1) (b + 2) (b + 3) b (b + 1) (b + 2) (b + 3)))
+  in
+  let invmix_unrolled =
+    String.concat "\n"
+      (List.init 4 (fun c ->
+           let b = 4 * c in
+           Printf.sprintf
+             "  {\n\
+              \    int a0 = state[%d]; int a1 = state[%d];\n\
+              \    int a2 = state[%d]; int a3 = state[%d];\n\
+              \    state[%d] = mul14(a0) ^ mul11(a1) ^ mul13(a2) ^ mul9(a3);\n\
+              \    state[%d] = mul9(a0) ^ mul14(a1) ^ mul11(a2) ^ mul13(a3);\n\
+              \    state[%d] = mul13(a0) ^ mul9(a1) ^ mul14(a2) ^ mul11(a3);\n\
+              \    state[%d] = mul11(a0) ^ mul13(a1) ^ mul9(a2) ^ mul14(a3);\n\
+              \  }"
+             b (b + 1) (b + 2) (b + 3) b (b + 1) (b + 2) (b + 3)))
+  in
+  Bench_def.prelude
+  ^ Gen.subst
+      [
+        ("NBYTES", string_of_int (16 * nblocks));
+        ("NBLOCKS", string_of_int nblocks);
+        ("ARK_UNROLLED", ark_unrolled);
+        ("SUB_UNROLLED", sub_unrolled);
+        ("INVSUB_UNROLLED", invsub_unrolled);
+        ("MIX_UNROLLED", mix_unrolled);
+        ("INVMIX_UNROLLED", invmix_unrolled);
+      ]
+      body
+
+let benchmark =
+  { Bench_def.name = "aes"; short = "AES"; source; fits_data_in_sram = true }

@@ -1,0 +1,48 @@
+(* ARITH — the mixed arithmetic microbenchmark used for the paper's
+   Figure 1 memory-placement study: a tight loop of register and
+   memory arithmetic over a working set, so both instruction fetch
+   and data placement matter. *)
+
+let data_len = 128
+let iterations = 40
+
+let source seed =
+  let g = Gen.create (seed + 1010) in
+  let data = Gen.int_list g data_len 0x8000 in
+  Printf.sprintf
+    {|
+%s
+int data[%d] = %s;
+
+int mix(int a, int b) {
+  a = a + b;
+  a = a ^ (b >> 3);
+  a = a - (b << 1);
+  a = a + (a >> 2);
+  a = a ^ (a << 3);
+  a = a - (b >> 1);
+  a = a + (a << 2);
+  a = a ^ (b << 2);
+  a = a - (a >> 4);
+  return a & 0x7FFF;
+}
+
+int main(void) {
+  unsigned acc = 1;
+  int it;
+  for (it = 0; it < %d; it++) {
+    int i;
+    for (i = 0; i < %d; i++) {
+      int v = data[i];
+      acc = mix(acc, v) + (acc >> 7);
+      data[i] = (v ^ acc) & 0x7FFF;
+    }
+  }
+  print_hex(acc);
+  return acc;
+}
+|}
+    Bench_def.prelude data_len (Gen.c_array data) iterations data_len
+
+let benchmark =
+  { Bench_def.name = "arith"; short = "ARI"; source; fits_data_in_sram = true }

@@ -1,0 +1,22 @@
+(* Benchmark definition: a seeded mini-C source generator plus the
+   metadata the experiment harness needs. *)
+
+type t = {
+  name : string; (* full name, e.g. "stringsearch" *)
+  short : string; (* the paper's tag, e.g. "STR" *)
+  source : int -> string; (* seed -> mini-C source *)
+  fits_data_in_sram : bool;
+      (* the paper's split-memory study (§5.5) covers the four
+         benchmarks whose program data fits the 4 KiB SRAM *)
+}
+
+(* Shared helper: print a 16-bit value as four hex digits over the
+   UART — the "check-sequence" of §5.1. *)
+let prelude =
+  "void print_hex(unsigned v) {\n\
+  \  int i;\n\
+  \  for (i = 12; i >= 0; i -= 4) {\n\
+  \    int d = (v >> i) & 15;\n\
+  \    if (d < 10) putchar('0' + d); else putchar('a' + d - 10);\n\
+  \  }\n\
+   }\n"

@@ -1,0 +1,15 @@
+(** Benchmark definition: a seeded mini-C source generator plus the
+    metadata the experiment harness needs. *)
+
+type t = {
+  name : string;
+  short : string;  (** the paper's tag, e.g. "STR" *)
+  source : int -> string;  (** seed -> mini-C source *)
+  fits_data_in_sram : bool;
+      (** member of the §5.5 split-memory study (program data fits the
+          4 KiB SRAM) *)
+}
+
+val prelude : string
+(** Shared helper printing a 16-bit value as four hex digits over the
+    UART — the "check-sequence" of §5.1. *)

@@ -1,0 +1,90 @@
+(* BIT — bit counting with five different counter implementations
+   selected through a switch statement (the paper replaces the MiBench
+   jump table with exactly this switch so the static pass can see all
+   call targets, §4). *)
+
+let data_len = 256
+let iterations = 4
+
+let source seed =
+  let g = Gen.create (seed + 808) in
+  let data = Gen.int_list g data_len 0x10000 in
+  let tab = List.init 256 (fun i ->
+      let rec pop v = if v = 0 then 0 else (v land 1) + pop (v lsr 1) in
+      pop i)
+  in
+  let tab4 = List.init 16 (fun i ->
+      let rec pop v = if v = 0 then 0 else (v land 1) + pop (v lsr 1) in
+      pop i)
+  in
+  Printf.sprintf
+    {|
+%s
+unsigned data[%d] = %s;
+char tab[256] = %s;
+char tab4[16] = %s;
+
+int bc_loop(unsigned x) {
+  int c = 0;
+  while (x) { c += x & 1; x = x >> 1; }
+  return c;
+}
+
+int bc_kernighan(unsigned x) {
+  int c = 0;
+  while (x) { x = x & (x - 1); c++; }
+  return c;
+}
+
+int bc_table(unsigned x) {
+  return tab[x & 255] + tab[(x >> 8) & 255];
+}
+
+int bc_nibble(unsigned x) {
+  return tab4[x & 15] + tab4[(x >> 4) & 15]
+       + tab4[(x >> 8) & 15] + tab4[(x >> 12) & 15];
+}
+
+int bc_shift(unsigned x) {
+  x = (x & 0x5555) + ((x >> 1) & 0x5555);
+  x = (x & 0x3333) + ((x >> 2) & 0x3333);
+  x = (x & 0x0f0f) + ((x >> 4) & 0x0f0f);
+  return (x + (x >> 8)) & 0x1f;
+}
+
+int count_with(int style, unsigned x) {
+  switch (style) {
+    case 0: return bc_loop(x);
+    case 1: return bc_kernighan(x);
+    case 2: return bc_table(x);
+    case 3: return bc_nibble(x);
+    default: return bc_shift(x);
+  }
+}
+
+int main(void) {
+  unsigned total = 0;
+  int it;
+  for (it = 0; it < %d; it++) {
+    int style;
+    for (style = 0; style < 5; style++) {
+      int i;
+      int sum = 0;
+      for (i = 0; i < %d; i++) sum += count_with(style, data[i]);
+      total = (total << 1 | total >> 15) ^ sum;
+    }
+  }
+  print_hex(total);
+  return total;
+}
+|}
+    Bench_def.prelude data_len (Gen.c_array data) (Gen.c_array tab)
+    (Gen.c_array tab4) iterations data_len
+
+let benchmark =
+  {
+    Bench_def.name = "bitcount";
+    short = "BIT";
+    source;
+    fits_data_in_sram = true;
+  }

@@ -1,0 +1,244 @@
+(* Shared mini-C support code for the benchmarks.
+
+   MiBench2 binaries are large partly because msp430-gcc links soft
+   arithmetic and C-library routines (the paper's FFT uses software
+   floating point). mini-C is a 16-bit language, so the equivalent
+   here is this 32-bit software arithmetic layer on (hi, lo) register
+   pairs, a real CRC-32, Adler-32 and decimal/string printing — all
+   ordinary mini-C functions that the caching runtimes treat like any
+   other application code. *)
+
+(* 32-bit accumulator A and operand B held in globals (mini-C
+   functions return one 16-bit value, as on the real ABI). *)
+let int32_source =
+  {|
+int l32_ahi; int l32_alo;
+int l32_bhi; int l32_blo;
+
+void l32_seta(int hi, int lo) { l32_ahi = hi; l32_alo = lo; }
+void l32_setb(int hi, int lo) { l32_bhi = hi; l32_blo = lo; }
+
+/* A += B */
+void l32_add(void) {
+  unsigned lo = l32_alo;
+  unsigned r = lo + l32_blo;
+  l32_alo = r;
+  l32_ahi = l32_ahi + l32_bhi + (r < lo ? 1 : 0);
+}
+
+/* A -= B */
+void l32_sub(void) {
+  unsigned lo = l32_alo;
+  unsigned r = lo - l32_blo;
+  l32_alo = r;
+  l32_ahi = l32_ahi - l32_bhi - (r > lo ? 1 : 0);
+}
+
+void l32_shl1(void) {
+  int c = ((unsigned)l32_alo >> 15) & 1;
+  l32_alo = l32_alo << 1;
+  l32_ahi = (l32_ahi << 1) | c;
+}
+
+void l32_shr1(void) {
+  int c = l32_ahi & 1;
+  l32_ahi = (unsigned)l32_ahi >> 1;
+  l32_alo = ((unsigned)l32_alo >> 1) | (c << 15);
+}
+
+/* unsigned compare of A and B: -1, 0, 1 */
+int l32_cmp(void) {
+  unsigned ah = l32_ahi; unsigned bh = l32_bhi;
+  if (ah < bh) return -1;
+  if (ah > bh) return 1;
+  unsigned al = l32_alo; unsigned bl = l32_blo;
+  if (al < bl) return -1;
+  if (al > bl) return 1;
+  return 0;
+}
+
+/* A = a * b, full 32-bit unsigned product via 8-bit partials */
+void l32_mul16(unsigned a, unsigned b) {
+  unsigned a0 = a & 255; unsigned a1 = a >> 8;
+  unsigned b0 = b & 255; unsigned b1 = b >> 8;
+  unsigned p00 = a0 * b0;
+  unsigned p01 = a0 * b1;
+  unsigned p10 = a1 * b0;
+  unsigned p11 = a1 * b1;
+  unsigned mid = p01 + p10;
+  unsigned carry_mid = mid < p01 ? 1 : 0;
+  unsigned lo = p00 + ((mid & 255) << 8);
+  unsigned carry_lo = lo < p00 ? 1 : 0;
+  l32_alo = lo;
+  l32_ahi = p11 + (mid >> 8) + (carry_mid << 8) + carry_lo;
+}
+
+/* fold A to 16 bits for check-sequences */
+int l32_fold(void) { return l32_ahi ^ l32_alo; }
+|}
+
+let crc32_source =
+  {|
+int crc_hi; int crc_lo;
+
+void crc32_init(void) { crc_hi = 0xFFFF; crc_lo = 0xFFFF; }
+
+void crc32_byte(int byte) {
+  crc_lo = crc_lo ^ (byte & 255);
+  int k;
+  for (k = 0; k < 8; k++) {
+    int lsb = crc_lo & 1;
+    crc_lo = ((unsigned)crc_lo >> 1) | ((crc_hi & 1) << 15);
+    crc_hi = (unsigned)crc_hi >> 1;
+    if (lsb) { crc_hi = crc_hi ^ 0xEDB8; crc_lo = crc_lo ^ 0x8320; }
+  }
+}
+
+int crc32_fold(void) { return (crc_hi ^ 0xFFFF) ^ (crc_lo ^ 0xFFFF); }
+
+int adler_a; int adler_b;
+void adler_init(void) { adler_a = 1; adler_b = 0; }
+void adler_byte(int byte) {
+  adler_a = (adler_a + (byte & 255)) % 65521;
+  adler_b = (adler_b + adler_a) % 65521;
+}
+int adler_fold(void) { return adler_a ^ adler_b; }
+|}
+
+let print_source =
+  {|
+void print_str(char *s) {
+  int i;
+  for (i = 0; s[i]; i++) putchar(s[i]);
+}
+
+void print_dec(int v) {
+  if (v < 0) { putchar('-'); v = -v; }
+  char digits[6];
+  int n = 0;
+  do { digits[n++] = '0' + v % 10; v = v / 10; } while (v);
+  while (n > 0) putchar(digits[--n]);
+}
+|}
+
+
+
+(* Software IEEE-754 binary32 on (hi, lo) 16-bit pairs — the mini-C
+   equivalent of the soft-float library msp430-gcc links into the
+   float-based MiBench2 FFT (the reason the paper's FFT binary is the
+   suite's largest). Simplified: denormals flush to zero, no NaN/Inf
+   arithmetic, truncating rounding. Operands in f_a/f_b globals,
+   result replaces f_a. Deterministic, which is what the benchmarks
+   need. *)
+let float_source =
+  {|
+int f_ahi; int f_alo;
+int f_bhi; int f_blo;
+
+/* unpacked fields */
+int fu_as; int fu_ae; int fu_amh; int fu_aml;
+int fu_bs; int fu_be; int fu_bmh; int fu_bml;
+
+void f_seta(int hi, int lo) { f_ahi = hi; f_alo = lo; }
+void f_setb(int hi, int lo) { f_bhi = hi; f_blo = lo; }
+
+void f_unpack(void) {
+  fu_as = ((unsigned)f_ahi >> 15) & 1;
+  fu_ae = ((unsigned)f_ahi >> 7) & 255;
+  fu_amh = f_ahi & 127;
+  fu_aml = f_alo;
+  if (fu_ae) fu_amh = fu_amh | 128;
+  else { fu_amh = 0; fu_aml = 0; }
+  fu_bs = ((unsigned)f_bhi >> 15) & 1;
+  fu_be = ((unsigned)f_bhi >> 7) & 255;
+  fu_bmh = f_bhi & 127;
+  fu_bml = f_blo;
+  if (fu_be) fu_bmh = fu_bmh | 128;
+  else { fu_bmh = 0; fu_bml = 0; }
+}
+
+/* pack sign/exp and 24-bit mantissa (mh:ml, bit 23 set) into f_a */
+void f_pack(int sign, int exp, int mh, int ml) {
+  if (exp <= 0 || (mh == 0 && ml == 0)) {
+    f_ahi = 0;
+    f_alo = 0;
+    return;
+  }
+  if (exp >= 255) { exp = 254; mh = 255; ml = 0xFFFF; }
+  f_ahi = (sign << 15) | (exp << 7) | (mh & 127);
+  f_alo = ml;
+}
+
+int f_is_zero_a(void) { return (f_ahi & 0x7FFF) == 0 && f_alo == 0; }
+int f_is_zero_b(void) { return (f_bhi & 0x7FFF) == 0 && f_blo == 0; }
+
+/* Hot-path arithmetic dispatches to the hand-written assembly
+   helpers (f_mul2/f_add2/f_sub2 in the support library), exactly as
+   compiled C dispatches to __mulsf3/__addsf3. */
+void f_mul(void) {
+  f_ahi = f_mul2(f_ahi, f_alo, f_bhi, f_blo);
+  f_alo = f_lo();
+}
+
+void f_add(void) {
+  f_ahi = f_add2(f_ahi, f_alo, f_bhi, f_blo);
+  f_alo = f_lo();
+}
+
+void f_sub(void) {
+  f_ahi = f_sub2(f_ahi, f_alo, f_bhi, f_blo);
+  f_alo = f_lo();
+}
+
+/* A = float(v) for 16-bit signed v */
+void f_from_int(int v) {
+  int sign = 0;
+  if (v < 0) { sign = 1; v = -v; }
+  if (v == 0) { f_ahi = 0; f_alo = 0; return; }
+  int msb = 0;
+  int t = v;
+  while (t > 1) { t = (unsigned)t >> 1; msb++; }
+  int exp = 127 + msb;
+  unsigned mh = 0; unsigned ml = v;
+  int k;
+  for (k = msb; k < 23; k++) {
+    mh = (mh << 1) | (ml >> 15);
+    ml = ml << 1;
+  }
+  f_pack(sign, exp, mh & 255, ml);
+}
+
+/* int(A), truncating toward zero; clamps to 16-bit range */
+int f_to_int(void) {
+  if (f_is_zero_a()) return 0;
+  f_unpack();
+  if (fu_ae < 127) return 0;
+  int shift = 150 - fu_ae;
+  if (shift < 8) return fu_as ? -32767 : 32767;
+  unsigned mh = fu_amh; unsigned ml = fu_aml;
+  int k;
+  for (k = 0; k < shift; k++) {
+    ml = (ml >> 1) | ((mh & 1) << 15);
+    mh = mh >> 1;
+  }
+  int v = ml & 0x7FFF;
+  return fu_as ? -v : v;
+}
+
+/* sign of A - B as -1/0/1 */
+int f_cmp(void) {
+  f_unpack();
+  if (fu_as != fu_bs) {
+    if (f_is_zero_a() && f_is_zero_b()) return 0;
+    return fu_as ? -1 : 1;
+  }
+  int mag = 0;
+  if (fu_ae != fu_be) mag = fu_ae < fu_be ? -1 : 1;
+  else if (fu_amh != fu_bmh) mag = fu_amh < fu_bmh ? -1 : 1;
+  else if (fu_aml != fu_bml) mag = (unsigned)fu_aml < (unsigned)fu_bml ? -1 : 1;
+  return fu_as ? -mag : mag;
+}
+|}
+
+(* Everything; benchmarks prepend only what they use. *)
+let all = int32_source ^ crc32_source ^ print_source ^ float_source

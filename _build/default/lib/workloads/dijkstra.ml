@@ -1,0 +1,383 @@
+(* DIJ — shortest paths on a dense random graph (adjacency matrix),
+   as in MiBench2: Dijkstra with path reconstruction from several
+   sources, cross-checked against Bellman-Ford, plus graph statistics.
+   N = 64 so row indexing is a shift; the 8 KiB matrix mirrors the
+   paper's RAM footprint. *)
+
+let n = 64
+let sources = 5
+
+let source seed =
+  let g = Gen.create (seed + 202) in
+  let adj =
+    List.init (n * n) (fun k ->
+        let i = k / n and j = k mod n in
+        if i = j then 0
+        else if Gen.int g 4 = 0 then 1 + Gen.int g 63
+        else 0)
+  in
+  let body =
+    Printf.sprintf
+      {|
+int adj[%d] = %s;
+int dist[NN];
+int dist_bf[NN];
+int prev[NN];
+char visited[NN];
+
+int edge(int u, int v) { return adj[(u << 6) + v]; }
+
+void dijkstra_init(int src) {
+  int i;
+  for (i = 0; i < NN; i++) { dist[i] = 0x7FFF; visited[i] = 0; prev[i] = -1; }
+  dist[src] = 0;
+}
+
+int pick_min(void) {
+  int best = 0x7FFF;
+  int u = -1;
+  int i;
+  for (i = 0; i < NN; i++) {
+    if (!visited[i] && dist[i] < best) { best = dist[i]; u = i; }
+  }
+  return u;
+}
+
+void relax_from(int u) {
+  int i;
+  for (i = 0; i < NN; i++) {
+    int w = edge(u, i);
+    if (w && !visited[i]) {
+      int cand = dist[u] + w;
+      if (cand < dist[i]) { dist[i] = cand; prev[i] = u; }
+    }
+  }
+}
+
+int run_dijkstra(int src) {
+  dijkstra_init(src);
+  int round;
+  for (round = 0; round < NN; round++) {
+    int u = pick_min();
+    if (u < 0) break;
+    visited[u] = 1;
+    relax_from(u);
+  }
+  int sum = 0;
+  int i;
+  for (i = 0; i < NN; i++) {
+    if (dist[i] != 0x7FFF) sum += dist[i];
+  }
+  return sum;
+}
+
+/* Bellman-Ford cross-check from the same source */
+int run_bellman_ford(int src) {
+  int i;
+  for (i = 0; i < NN; i++) dist_bf[i] = 0x7FFF;
+  dist_bf[src] = 0;
+  int pass;
+  for (pass = 0; pass < NN - 1; pass++) {
+    int changed = 0;
+    int u;
+    for (u = 0; u < NN; u++) {
+      if (dist_bf[u] == 0x7FFF) continue;
+      int v;
+      for (v = 0; v < NN; v++) {
+        int w = edge(u, v);
+        if (w) {
+          int cand = dist_bf[u] + w;
+          if (cand < dist_bf[v]) { dist_bf[v] = cand; changed = 1; }
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  int sum = 0;
+  for (i = 0; i < NN; i++) {
+    if (dist_bf[i] != 0x7FFF) sum += dist_bf[i];
+  }
+  return sum;
+}
+
+/* follow prev[] chains; checksums path structure */
+int path_signature(int src) {
+  int sig = 0;
+  int v;
+  for (v = 0; v < NN; v++) {
+    int hops = 0;
+    int cur = v;
+    while (cur != src && cur >= 0 && hops < NN) {
+      cur = prev[cur];
+      hops++;
+    }
+    if (cur == src) sig = (sig << 1 | sig >> 15) ^ (hops + v);
+  }
+  return sig;
+}
+
+int degree_stats(void) {
+  int acc = 0;
+  int u;
+  for (u = 0; u < NN; u++) {
+    int deg = 0;
+    int wsum = 0;
+    int v;
+    for (v = 0; v < NN; v++) {
+      int w = edge(u, v);
+      if (w) { deg++; wsum += w; }
+    }
+    acc ^= (deg << 8) + (wsum & 255);
+  }
+  return acc;
+}
+
+
+int fw[256]; /* 16-node Floyd-Warshall on the first subgraph */
+
+int fw_run(void) {
+  int i; int j; int k;
+  for (i = 0; i < 16; i++) {
+    for (j = 0; j < 16; j++) {
+      int w = edge(i, j);
+      fw[(i << 4) + j] = i == j ? 0 : (w ? w : 0x3FFF);
+    }
+  }
+  for (k = 0; k < 16; k++) {
+    for (i = 0; i < 16; i++) {
+      int ik = fw[(i << 4) + k];
+      if (ik == 0x3FFF) continue;
+      for (j = 0; j < 16; j++) {
+        int cand = ik + fw[(k << 4) + j];
+        if (cand < fw[(i << 4) + j]) fw[(i << 4) + j] = cand;
+      }
+    }
+  }
+  int acc = 0;
+  for (i = 0; i < 256; i++) {
+    if (fw[i] != 0x3FFF) acc = (acc << 1 | acc >> 15) ^ fw[i];
+  }
+  return acc;
+}
+
+/* graph eccentricity from the last dijkstra run */
+int eccentricity(void) {
+  int worst = 0;
+  int i;
+  for (i = 0; i < NN; i++) {
+    if (dist[i] != 0x7FFF && dist[i] > worst) worst = dist[i];
+  }
+  return worst;
+}
+
+/* 32-bit accumulation of all pairwise costs reached */
+int total_cost32(void) {
+  l32_seta(0, 0);
+  int i;
+  for (i = 0; i < NN; i++) {
+    if (dist[i] != 0x7FFF) {
+      l32_mul16(dist[i], dist[i] + 3);
+      int phi = l32_ahi; int plo = l32_alo;
+      l32_seta(phi, plo);
+      l32_setb(0, i);
+      l32_add();
+      int hi = l32_ahi; int lo = l32_alo;
+      l32_seta(hi, lo);
+    }
+  }
+  return l32_fold();
+}
+
+
+/* Prim's minimum spanning tree over the whole graph */
+int key[NN];
+char in_mst[NN];
+
+int prim_mst(void) {
+  int i;
+  for (i = 0; i < NN; i++) { key[i] = 0x7FFF; in_mst[i] = 0; }
+  key[0] = 0;
+  int total = 0;
+  int round;
+  for (round = 0; round < NN; round++) {
+    int best = 0x7FFF;
+    int u = -1;
+    for (i = 0; i < NN; i++) {
+      if (!in_mst[i] && key[i] < best) { best = key[i]; u = i; }
+    }
+    if (u < 0) break;
+    in_mst[u] = 1;
+    total += key[u];
+    for (i = 0; i < NN; i++) {
+      int w = edge(u, i);
+      int w2 = edge(i, u);
+      if (w2 && (!w || w2 < w)) w = w2; /* treat as undirected, min weight */
+      if (w && !in_mst[i] && w < key[i]) key[i] = w;
+    }
+  }
+  return total;
+}
+
+/* connected components via union-find with path halving */
+int parent[NN];
+
+int uf_find(int x) {
+  while (parent[x] != x) {
+    parent[x] = parent[parent[x]];
+    x = parent[x];
+  }
+  return x;
+}
+
+int components(void) {
+  int i;
+  for (i = 0; i < NN; i++) parent[i] = i;
+  int u;
+  for (u = 0; u < NN; u++) {
+    int v;
+    for (v = 0; v < NN; v++) {
+      if (edge(u, v)) {
+        int ru = uf_find(u);
+        int rv = uf_find(v);
+        if (ru != rv) parent[ru] = rv;
+      }
+    }
+  }
+  int count = 0;
+  for (i = 0; i < NN; i++) {
+    if (uf_find(i) == i) count++;
+  }
+  return count;
+}
+
+/* A* on the grid interpretation of node ids (8x8), h = L1 distance */
+int g_cost[NN];
+char closed[NN];
+
+int manhattan(int a, int b) {
+  int ax = a & 7; int ay = a >> 3;
+  int bx = b & 7; int by = b >> 3;
+  int dx = ax - bx; if (dx < 0) dx = -dx;
+  int dy = ay - by; if (dy < 0) dy = -dy;
+  return dx + dy;
+}
+
+int astar(int src, int goal) {
+  int i;
+  for (i = 0; i < NN; i++) { g_cost[i] = 0x7FFF; closed[i] = 0; }
+  g_cost[src] = 0;
+  while (1) {
+    int best = 0x7FFF;
+    int u = -1;
+    for (i = 0; i < NN; i++) {
+      if (!closed[i] && g_cost[i] != 0x7FFF) {
+        int f = g_cost[i] + manhattan(i, goal);
+        if (f < best) { best = f; u = i; }
+      }
+    }
+    if (u < 0) return -1;
+    if (u == goal) return g_cost[u];
+    closed[u] = 1;
+    for (i = 0; i < NN; i++) {
+      int w = edge(u, i);
+      if (w && !closed[i]) {
+        int cand = g_cost[u] + w;
+        if (cand < g_cost[i]) g_cost[i] = cand;
+      }
+    }
+  }
+}
+
+
+/* BFS hop-count layering from a source */
+int hops[NN];
+int bfs_queue[NN];
+
+int bfs_layers(int src) {
+  int i;
+  for (i = 0; i < NN; i++) hops[i] = -1;
+  hops[src] = 0;
+  bfs_queue[0] = src;
+  int head = 0;
+  int tail = 1;
+  while (head < tail) {
+    int u = bfs_queue[head++];
+    int v;
+    for (v = 0; v < NN; v++) {
+      if (edge(u, v) && hops[v] < 0) {
+        hops[v] = hops[u] + 1;
+        bfs_queue[tail++] = v;
+      }
+    }
+  }
+  int sig = 0;
+  for (i = 0; i < NN; i++) sig = (sig << 1 | sig >> 15) ^ (hops[i] + 2);
+  return sig;
+}
+
+/* triangle count on the first 24 nodes (undirected reading) */
+int connected(int u, int v) { return edge(u, v) || edge(v, u); }
+
+int triangles(void) {
+  int count = 0;
+  int a;
+  for (a = 0; a < 24; a++) {
+    int b;
+    for (b = a + 1; b < 24; b++) {
+      if (!connected(a, b)) continue;
+      int c;
+      for (c = b + 1; c < 24; c++) {
+        if (connected(a, c) && connected(b, c)) count++;
+      }
+    }
+  }
+  return count;
+}
+
+int main(void) {
+  unsigned total = 0;
+  int s;
+  for (s = 0; s < NSRC; s++) {
+    int src = s * 13 %% NN;
+    int dsum = run_dijkstra(src);
+    int bsum = run_bellman_ford(src);
+    if (dsum != bsum) { print_hex(0xDEAD); return 0xDEAD; }
+    total += dsum;
+    total ^= path_signature(src);
+    print_str("src ");
+    print_dec(src);
+    print_str(" sum ");
+    print_dec(dsum);
+    putchar(10);
+    total = (total << 1 | total >> 15) ^ eccentricity();
+    total ^= total_cost32();
+  }
+  total ^= degree_stats();
+  total ^= fw_run();
+  total ^= bfs_layers(3);
+  total = (total << 1 | total >> 15) ^ triangles();
+  total = (total << 1 | total >> 15) ^ prim_mst();
+  total ^= components() << 11;
+  int q;
+  for (q = 0; q < 6; q++) {
+    int a = astar(q * 7 %% NN, (q * 23 + 40) %% NN);
+    total = (total << 1 | total >> 15) ^ (a + 1);
+  }
+  print_hex(total);
+  return total;
+}
+|}
+      (n * n) (Gen.c_array adj)
+  in
+  Bench_def.prelude ^ Clib.int32_source ^ Clib.print_source
+  ^ Gen.subst
+      [ ("NN", string_of_int n); ("NSRC", string_of_int sources) ]
+      body
+
+let benchmark =
+  {
+    Bench_def.name = "dijkstra";
+    short = "DIJ";
+    source;
+    fits_data_in_sram = false;
+  }

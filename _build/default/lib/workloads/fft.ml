@@ -1,0 +1,379 @@
+(* FFT — signal-processing pipeline mirroring the float-based MiBench2
+   FFT: a 256-point radix-2 FFT computed in software IEEE-754 single
+   precision (Clib.float_source — the stand-in for msp430-gcc's
+   soft-float library, which is why the paper's FFT binary is the
+   suite's largest), plus integer DSP phases: 16-tap FIR and
+   autocorrelation through the soft-long layer, a 64-point DCT-II,
+   a biquad IIR cascade, Goertzel detectors and spectral statistics. *)
+
+let nf = 256 (* float FFT size *)
+let ni = 512 (* integer phase working size *)
+let frames = 2
+
+(* IEEE-754 binary32 encoding split into (hi, lo) 16-bit words. *)
+let float32_words v =
+  let bits = Int32.bits_of_float v in
+  let all = Int32.to_int (Int32.logand bits 0xFFFFFFFFl) land 0xFFFFFFFF in
+  ((all lsr 16) land 0xFFFF, all land 0xFFFF)
+
+let source seed =
+  let g = Gen.create (seed + 505) in
+  let input = List.init ni (fun _ -> Gen.int g 255 - 127) in
+  let sintab =
+    List.init ni (fun i ->
+        int_of_float
+          (1024.0 *. sin (2.0 *. Float.pi *. float_of_int i /. float_of_int ni)))
+  in
+  let sinf =
+    List.init nf (fun i ->
+        float32_words (sin (2.0 *. Float.pi *. float_of_int i /. float_of_int nf)))
+  in
+  let body =
+    Printf.sprintf
+      {|
+int input[NI] = %s;
+int sintab[NI] = %s;
+int sinf_hi[NF] = %s;
+int sinf_lo[NF] = %s;
+
+/* float working arrays (hi/lo 16-bit halves of binary32) */
+int re_hi[NF]; int re_lo[NF];
+int im_hi[NF]; int im_lo[NF];
+int mag[NF];
+int filtered[NI];
+
+int costab(int k) { return sintab[(k + NI / 4) & (NI - 1)]; }
+
+/* --- float helpers on top of the soft-float layer ------------------ */
+
+void f_load_sin(int k) { f_setb(sinf_hi[k & (NF - 1)], sinf_lo[k & (NF - 1)]); }
+void f_load_cos(int k) { f_load_sin(k + NF / 4); }
+
+void f_abs_a(void) { f_ahi = f_ahi & 0x7FFF; }
+
+void f_half_a(void) {
+  int e = ((unsigned)f_ahi >> 7) & 255;
+  if (e > 1) f_ahi = (f_ahi & 0x807F) | ((e - 1) << 7);
+  else { f_ahi = 0; f_alo = 0; }
+}
+
+/* --- 256-point float FFT ------------------------------------------- */
+
+void load_frame(int frame) {
+  int i;
+  for (i = 0; i < NF; i++) {
+    f_from_int(input[(i + frame * 37) & (NI - 1)]);
+    re_hi[i] = f_ahi; re_lo[i] = f_alo;
+    im_hi[i] = 0; im_lo[i] = 0;
+  }
+}
+
+void bit_reverse(void) {
+  int i;
+  int j = 0;
+  for (i = 0; i < NF - 1; i++) {
+    if (i < j) {
+      int t = re_hi[i]; re_hi[i] = re_hi[j]; re_hi[j] = t;
+      t = re_lo[i]; re_lo[i] = re_lo[j]; re_lo[j] = t;
+      t = im_hi[i]; im_hi[i] = im_hi[j]; im_hi[j] = t;
+      t = im_lo[i]; im_lo[i] = im_lo[j]; im_lo[j] = t;
+    }
+    int m = NF >> 1;
+    while (m >= 1 && j >= m) { j -= m; m = m >> 1; }
+    j += m;
+  }
+}
+
+int t_rehi; int t_relo; int t_imhi; int t_imlo;
+
+/* (t_re, t_im) = w[angle] * (re[j], im[j]) — complex multiply */
+void twiddle_product(int angle, int j) {
+  f_seta(re_hi[j], re_lo[j]);
+  f_load_cos(angle);
+  f_mul();
+  int ahi = f_ahi; int alo = f_alo;
+  f_seta(im_hi[j], im_lo[j]);
+  f_load_sin(angle);
+  f_mul();
+  f_ahi = f_ahi ^ 0x8000; /* wi = -sin */
+  int bhi = f_ahi; int blo = f_alo;
+  f_seta(ahi, alo);
+  f_setb(bhi, blo);
+  f_sub();
+  t_rehi = f_ahi; t_relo = f_alo;
+  f_seta(im_hi[j], im_lo[j]);
+  f_load_cos(angle);
+  f_mul();
+  ahi = f_ahi; alo = f_alo;
+  f_seta(re_hi[j], re_lo[j]);
+  f_load_sin(angle);
+  f_mul();
+  f_ahi = f_ahi ^ 0x8000;
+  bhi = f_ahi; blo = f_alo;
+  f_seta(ahi, alo);
+  f_setb(bhi, blo);
+  f_add();
+  t_imhi = f_ahi; t_imlo = f_alo;
+}
+
+void butterfly(int i, int j) {
+  f_seta(re_hi[i], re_lo[i]);
+  f_setb(t_rehi, t_relo);
+  f_sub();
+  re_hi[j] = f_ahi; re_lo[j] = f_alo;
+  f_seta(re_hi[i], re_lo[i]);
+  f_setb(t_rehi, t_relo);
+  f_add();
+  re_hi[i] = f_ahi; re_lo[i] = f_alo;
+  f_seta(im_hi[i], im_lo[i]);
+  f_setb(t_imhi, t_imlo);
+  f_sub();
+  im_hi[j] = f_ahi; im_lo[j] = f_alo;
+  f_seta(im_hi[i], im_lo[i]);
+  f_setb(t_imhi, t_imlo);
+  f_add();
+  im_hi[i] = f_ahi; im_lo[i] = f_alo;
+}
+
+void fft(void) {
+  int span;
+  int step = NF;
+  for (span = 1; span < NF; span = span << 1) {
+    step = step >> 1;
+    int start;
+    for (start = 0; start < span; start++) {
+      int angle = start * step;
+      int i;
+      for (i = start; i < NF; i += span << 1) {
+        int j = i + span;
+        twiddle_product(angle, j);
+        butterfly(i, j);
+      }
+    }
+  }
+}
+
+/* alpha-max + beta-min/2 magnitude, back to integers */
+void magnitude(void) {
+  int i;
+  for (i = 0; i < NF; i++) {
+    f_seta(re_hi[i], re_lo[i]);
+    f_abs_a();
+    int ahi = f_ahi; int alo = f_alo;
+    f_seta(im_hi[i], im_lo[i]);
+    f_abs_a();
+    int bhi = f_ahi; int blo = f_alo;
+    f_seta(ahi, alo);
+    f_setb(bhi, blo);
+    if (f_cmp() < 0) {
+      int t = ahi; ahi = bhi; bhi = t;
+      t = alo; alo = blo; blo = t;
+    }
+    f_seta(bhi, blo);
+    f_half_a();
+    int shi = f_ahi; int slo = f_alo;
+    f_seta(ahi, alo);
+    f_setb(shi, slo);
+    f_add();
+    mag[i] = f_to_int();
+  }
+}
+
+/* --- integer DSP phases --------------------------------------------- */
+
+int fir_coeff[16];
+
+void fir_filter(int frame) {
+  int i;
+  for (i = 0; i < 16; i++) fir_coeff[i] = sintab[(i << 4) & (NI - 1)] >> 4;
+  for (i = 0; i < NI; i++) {
+    int acc_hi = 0; int acc_lo = 0;
+    int t;
+    for (t = 0; t < 16; t++) {
+      int x = input[(i + t + frame * 37) & (NI - 1)];
+      l32_mul16(x & 0xFFFF, fir_coeff[t] & 0xFFFF);
+      int phi = l32_ahi; int plo = l32_alo;
+      l32_seta(acc_hi, acc_lo);
+      l32_setb(phi, plo);
+      l32_add();
+      acc_hi = l32_ahi; acc_lo = l32_alo;
+    }
+    filtered[i] = (acc_hi << 10) | ((unsigned)acc_lo >> 6);
+  }
+}
+
+unsigned autocorr(void) {
+  unsigned sig = 0;
+  int lag;
+  for (lag = 1; lag <= 16; lag++) {
+    int acc_hi = 0; int acc_lo = 0;
+    int i;
+    for (i = 0; i + lag < NI; i += 4) {
+      l32_mul16(filtered[i] & 0xFFFF, filtered[i + lag] & 0xFFFF);
+      int phi = l32_ahi; int plo = l32_alo;
+      l32_seta(acc_hi, acc_lo);
+      l32_setb(phi, plo);
+      l32_add();
+      acc_hi = l32_ahi; acc_lo = l32_alo;
+    }
+    sig = (sig << 1 | sig >> 15) ^ acc_hi ^ acc_lo;
+  }
+  return sig;
+}
+
+int zero_crossings(void) {
+  int count = 0;
+  int i;
+  for (i = 1; i < NI; i++) {
+    int a = filtered[i - 1];
+    int b = filtered[i];
+    if ((a < 0 && b >= 0) || (a >= 0 && b < 0)) count++;
+  }
+  return count;
+}
+
+int spectral_peak(void) {
+  int best = 0;
+  int at = 0;
+  int i;
+  for (i = 1; i < NF / 2; i++) {
+    if (mag[i] > best) { best = mag[i]; at = i; }
+  }
+  return (at << 8) ^ best;
+}
+
+/* direct 64-point DCT-II on a decimated frame (table-driven) */
+int dct_in[64];
+int dct_out[64];
+
+void dct64(int frame) {
+  int i;
+  for (i = 0; i < 64; i++) dct_in[i] = input[(i * 8 + frame) & (NI - 1)];
+  int k;
+  for (k = 0; k < 64; k++) {
+    int acc = 0;
+    int n;
+    for (n = 0; n < 64; n++) {
+      int idx = ((2 * n + 1) * k * 2) & (2 * NI - 1);
+      int c = idx < NI ? costab(idx) : -costab(idx - NI);
+      acc += (dct_in[n] * c) >> 9;
+    }
+    dct_out[k] = acc >> 3;
+  }
+}
+
+unsigned dct_checksum(void) {
+  unsigned sig = 0;
+  int i;
+  for (i = 0; i < 64; i++) sig = (sig << 1 | sig >> 15) ^ (dct_out[i] & 0xFFFF);
+  return sig;
+}
+
+/* two cascaded biquad sections, Q12 coefficients */
+int bq_z1a; int bq_z2a; int bq_z1b; int bq_z2b;
+
+int biquad_step(int x) {
+  int ya = ((x * 983) >> 12) + bq_z1a;
+  bq_z1a = ((x * 1966) >> 12) - ((ya * 3276) >> 12) + bq_z2a;
+  bq_z2a = ((x * 983) >> 12) + ((ya * 1310) >> 12);
+  int yb = ((ya * 3276) >> 12) + bq_z1b;
+  bq_z1b = ((ya * 1638) >> 12) * -1 - ((yb * 2048) >> 12) + bq_z2b;
+  bq_z2b = ((ya * 819) >> 12) + ((yb * 409) >> 12);
+  return yb;
+}
+
+unsigned iir_filter(int frame) {
+  bq_z1a = 0; bq_z2a = 0; bq_z1b = 0; bq_z2b = 0;
+  unsigned sig = 0;
+  int i;
+  for (i = 0; i < NI; i += 2) {
+    int y = biquad_step(input[(i + frame) & (NI - 1)]);
+    sig = (sig << 1 | sig >> 15) ^ (y & 0x3FF);
+  }
+  return sig;
+}
+
+/* Goertzel single-bin detector over the raw frame */
+int goertzel(int frame, int bin) {
+  int coeff = costab(bin) >> 1;
+  int s1 = 0;
+  int s2 = 0;
+  int i;
+  for (i = 0; i < NI; i++) {
+    int x = input[(i + frame * 37) & (NI - 1)];
+    int s0 = (x + ((coeff * s1) >> 8) - s2) & 0x7FFF;
+    s2 = s1;
+    s1 = s0;
+  }
+  return (s1 ^ s2) & 0xFFF;
+}
+
+unsigned spectrum_checksum(void) {
+  unsigned sum = 0;
+  int i;
+  for (i = 0; i < NF; i++) {
+    sum = (sum << 3 | sum >> 13) ^ (mag[i] & 0xFFFF);
+    sum = sum ^ (im_hi[i] & 0xFF);
+  }
+  return sum;
+}
+
+unsigned energy_stats(void) {
+  int acc_hi = 0; int acc_lo = 0;
+  int window = 0;
+  int i;
+  for (i = 0; i < NI; i++) {
+    window += filtered[i] >> 4;
+    if ((i & 7) == 7) {
+      int m = window >> 3;
+      l32_mul16(m & 0xFFFF, m & 0xFFFF);
+      int phi = l32_ahi; int plo = l32_alo;
+      l32_seta(acc_hi, acc_lo);
+      l32_setb(phi, plo);
+      l32_add();
+      acc_hi = l32_ahi; acc_lo = l32_alo;
+      window = 0;
+    }
+  }
+  return acc_hi ^ acc_lo;
+}
+
+int main(void) {
+  unsigned total = 0;
+  int f;
+  for (f = 0; f < NFRAMES; f++) {
+    load_frame(f);
+    bit_reverse();
+    fft();
+    magnitude();
+    total += spectrum_checksum();
+    total ^= spectral_peak();
+    int bin;
+    for (bin = 1; bin <= 4; bin++) total ^= goertzel(f, bin << 4);
+    fir_filter(f);
+    total ^= autocorr();
+    total = (total << 1 | total >> 15) ^ zero_crossings();
+    dct64(f);
+    total ^= dct_checksum();
+    total = (total << 1 | total >> 15) ^ iir_filter(f);
+    total ^= energy_stats();
+  }
+  print_hex(total);
+  return total;
+}
+|}
+      (Gen.c_array input) (Gen.c_array sintab)
+      (Gen.c_array (List.map fst sinf))
+      (Gen.c_array (List.map snd sinf))
+  in
+  Bench_def.prelude ^ Clib.int32_source ^ Clib.float_source
+  ^ Gen.subst
+      [
+        ("NFRAMES", string_of_int frames);
+        ("NF", string_of_int nf);
+        ("NI", string_of_int ni);
+      ]
+      body
+
+let benchmark =
+  { Bench_def.name = "fft"; short = "FFT"; source; fits_data_in_sram = false }

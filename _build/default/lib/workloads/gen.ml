@@ -1,0 +1,77 @@
+(* Deterministic input generation for the benchmarks: a seeded
+   xorshift PRNG plus helpers to render mini-C initializer lists.
+   The §5.1 validation runs every benchmark with several seeds and
+   compares baseline vs cached outputs. *)
+
+type t = { mutable state : int }
+
+let create seed = { state = (seed * 2654435761) lor 1 land 0x3FFFFFFF }
+
+let next g =
+  let x = g.state in
+  let x = x lxor (x lsl 13) land 0x3FFFFFFF in
+  let x = x lxor (x lsr 17) in
+  let x = x lxor (x lsl 5) land 0x3FFFFFFF in
+  g.state <- x;
+  x
+
+let int g bound = next g mod bound
+
+let byte g = int g 256
+
+(* Printable ASCII with spaces, for text corpora. *)
+let text_char g =
+  let alphabet = "abcdefghijklmnopqrstuvwxyz    eeeattthhh" in
+  alphabet.[int g (String.length alphabet)]
+
+let text g n = String.init n (fun _ -> text_char g)
+
+let int_list g n bound = List.init n (fun _ -> int g bound)
+
+(* Render an int list as a C initializer: "{1, 2, 3}". *)
+let c_array values =
+  "{" ^ String.concat ", " (List.map string_of_int values) ^ "}"
+
+let c_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+(* Simple whole-word template substitution, e.g. TLEN -> "4800". *)
+let subst pairs text =
+  let buf = Buffer.create (String.length text) in
+  let n = String.length text in
+  let i = ref 0 in
+  let is_word c =
+    (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')
+    || c = '_'
+  in
+  while !i < n do
+    let matched =
+      List.find_opt
+        (fun (key, _) ->
+          let lk = String.length key in
+          !i + lk <= n
+          && String.sub text !i lk = key
+          && (!i + lk >= n || not (is_word text.[!i + lk]))
+          && (!i = 0 || not (is_word text.[!i - 1])))
+        pairs
+    in
+    match matched with
+    | Some (key, value) ->
+        Buffer.add_string buf value;
+        i := !i + String.length key
+    | None ->
+        Buffer.add_char buf text.[!i];
+        incr i
+  done;
+  Buffer.contents buf

@@ -1,0 +1,264 @@
+(* LZFX — LZF-style compression: greedy 2-byte-prefix hash matcher
+   with literal runs and back-references, a run-length fallback
+   encoder, byte-histogram scoring to pick the better encoding, and
+   decompression + verification of both paths. *)
+
+let in_len = 2900
+let out_cap = 3600
+let htab_size = 1024
+
+let source seed =
+  let g = Gen.create (seed + 707) in
+  (* compressible input: repeated phrases + noise *)
+  let phrases = Array.init 16 (fun _ -> Gen.text g (8 + Gen.int g 24)) in
+  let buf = Buffer.create in_len in
+  while Buffer.length buf < in_len do
+    if Gen.int g 4 = 0 then Buffer.add_char buf (Gen.text_char g)
+    else Buffer.add_string buf phrases.(Gen.int g 16)
+  done;
+  let input = String.sub (Buffer.contents buf) 0 in_len in
+  let body =
+    Printf.sprintf
+      {|
+char in_buf[ILEN] = %s;
+char out_buf[OCAP];
+char rle_buf[OCAP];
+char dec_buf[ILEN];
+int htab[HSIZE];
+int histogram[64];
+
+int hash2(int pos) {
+  int h = (in_buf[pos] << 8) | in_buf[pos + 1];
+  h = h * 2531;
+  return (h >> 4) & (HSIZE - 1);
+}
+
+int emit_literals(int op, int lit_start, int lit_end) {
+  while (lit_start < lit_end) {
+    int run = lit_end - lit_start;
+    if (run > 32) run = 32;
+    out_buf[op++] = run - 1;
+    int k;
+    for (k = 0; k < run; k++) out_buf[op++] = in_buf[lit_start + k];
+    lit_start += run;
+  }
+  return op;
+}
+
+/* returns compressed length */
+int lz_compress(void) {
+  int ip = 0;
+  int op = 0;
+  int lit_start = 0;
+  int i;
+  for (i = 0; i < HSIZE; i++) htab[i] = -1;
+  while (ip < ILEN - 2) {
+    int h = hash2(ip);
+    int ref = htab[h];
+    htab[h] = ip;
+    int len = 0;
+    if (ref >= 0 && ref < ip && ip - ref < 1024 && in_buf[ref] == in_buf[ip]
+        && in_buf[ref + 1] == in_buf[ip + 1]
+        && in_buf[ref + 2] == in_buf[ip + 2]) {
+      len = 3;
+      while (ip + len < ILEN && len < 9 && in_buf[ref + len] == in_buf[ip + len])
+        len++;
+    }
+    if (len >= 3) {
+      op = emit_literals(op, lit_start, ip);
+      /* match token: 32 + (len-3)*4 + off_hi2, then off_lo byte */
+      int off = ip - ref;
+      out_buf[op++] = 32 + ((len - 3) << 2) + (off >> 8);
+      out_buf[op++] = off & 255;
+      ip += len;
+      lit_start = ip;
+    }
+    else ip++;
+  }
+  op = emit_literals(op, lit_start, ILEN);
+  return op;
+}
+
+int lz_decompress(int clen) {
+  int ip = 0;
+  int op = 0;
+  while (ip < clen) {
+    int tok = out_buf[ip++];
+    if (tok < 32) {
+      int run = tok + 1;
+      int k;
+      for (k = 0; k < run; k++) dec_buf[op++] = out_buf[ip++];
+    }
+    else {
+      int len = ((tok - 32) >> 2) + 3;
+      int off = ((tok & 3) << 8) | out_buf[ip++];
+      int src = op - off;
+      int k;
+      for (k = 0; k < len; k++) { dec_buf[op] = dec_buf[src]; op++; src++; }
+    }
+  }
+  return op;
+}
+
+/* run-length fallback: tok < 128 -> tok+1 literals; else run of
+   (tok-126) copies of the next byte */
+int rle_compress(void) {
+  int ip = 0;
+  int op = 0;
+  while (ip < ILEN) {
+    int run = 1;
+    while (ip + run < ILEN && run < 129 && in_buf[ip + run] == in_buf[ip])
+      run++;
+    if (run >= 3) {
+      rle_buf[op++] = 126 + run;
+      rle_buf[op++] = in_buf[ip];
+      ip += run;
+    }
+    else {
+      int lit = 0;
+      int scan = ip;
+      while (scan < ILEN && lit < 128) {
+        int r = 1;
+        while (scan + r < ILEN && r < 3 && in_buf[scan + r] == in_buf[scan])
+          r++;
+        if (r >= 3 && scan + 2 < ILEN && in_buf[scan + 2] == in_buf[scan]) break;
+        scan++;
+        lit++;
+      }
+      if (lit == 0) lit = 1;
+      rle_buf[op++] = lit - 1;
+      int k;
+      for (k = 0; k < lit; k++) rle_buf[op++] = in_buf[ip + k];
+      ip += lit;
+    }
+  }
+  return op;
+}
+
+int rle_decompress(int clen) {
+  int ip = 0;
+  int op = 0;
+  while (ip < clen) {
+    int tok = rle_buf[ip++];
+    if (tok < 128) {
+      int k;
+      for (k = 0; k <= tok; k++) dec_buf[op++] = rle_buf[ip++];
+    }
+    else {
+      int run = tok - 126;
+      int b = rle_buf[ip++];
+      int k;
+      for (k = 0; k < run; k++) dec_buf[op++] = b;
+    }
+  }
+  return op;
+}
+
+int verify(int dlen) {
+  if (dlen != ILEN) return 0;
+  int i;
+  for (i = 0; i < ILEN; i++) {
+    if (dec_buf[i] != in_buf[i]) return 0;
+  }
+  return 1;
+}
+
+/* crude compressibility score from a byte histogram */
+int entropy_score(void) {
+  int i;
+  for (i = 0; i < 64; i++) histogram[i] = 0;
+  for (i = 0; i < ILEN; i++) histogram[in_buf[i] & 63]++;
+  int score = 0;
+  for (i = 0; i < 64; i++) {
+    int f = histogram[i];
+    int bits = 0;
+    while (f) { bits++; f = f >> 1; }
+    score += bits;
+  }
+  return score;
+}
+
+unsigned checksum_of(char *buf, int n) {
+  unsigned sum = 0;
+  int i;
+  for (i = 0; i < n; i++) sum = (sum << 1 | sum >> 15) ^ buf[i];
+  return sum;
+}
+
+
+char mtf_table[256];
+char mtf_buf[ILEN];
+
+/* move-to-front transform feeding the RLE encoder (bzip2-style
+   front end); self-inverting with the matching decoder */
+void mtf_init(void) {
+  int i;
+  for (i = 0; i < 256; i++) mtf_table[i] = i;
+}
+
+void mtf_encode(void) {
+  mtf_init();
+  int i;
+  for (i = 0; i < ILEN; i++) {
+    int c = in_buf[i];
+    int j = 0;
+    while (mtf_table[j] != c) j++;
+    mtf_buf[i] = j;
+    while (j > 0) { mtf_table[j] = mtf_table[j - 1]; j--; }
+    mtf_table[0] = c;
+  }
+}
+
+int mtf_decode_check(void) {
+  mtf_init();
+  int i;
+  for (i = 0; i < ILEN; i++) {
+    int j = mtf_buf[i];
+    int c = mtf_table[j];
+    while (j > 0) { mtf_table[j] = mtf_table[j - 1]; j--; }
+    mtf_table[0] = c;
+    if (c != in_buf[i]) return 0;
+  }
+  return 1;
+}
+
+int digest_both(int lz_len, int rle_len) {
+  crc32_init();
+  adler_init();
+  int i;
+  for (i = 0; i < lz_len; i++) crc32_byte(out_buf[i]);
+  for (i = 0; i < rle_len; i++) adler_byte(rle_buf[i]);
+  return crc32_fold() ^ adler_fold();
+}
+
+int main(void) {
+  int lz_len = lz_compress();
+  int ok = verify(lz_decompress(lz_len));
+  int rle_len = rle_compress();
+  ok = ok && verify(rle_decompress(rle_len));
+  mtf_encode();
+  ok = ok && mtf_decode_check();
+  if (!ok) { print_hex(0xDEAD); return 0xDEAD; }
+  int best = lz_len < rle_len ? lz_len : rle_len;
+  unsigned sum = best ^ (entropy_score() << 6);
+  sum ^= checksum_of(out_buf, lz_len);
+  sum = (sum << 3 | sum >> 13) ^ checksum_of(rle_buf, rle_len);
+  sum ^= digest_both(lz_len, rle_len);
+  sum = (sum << 1 | sum >> 15) ^ checksum_of(mtf_buf, ILEN);
+  print_hex(sum);
+  return sum;
+}
+|}
+      (Gen.c_string input)
+  in
+  Bench_def.prelude ^ Clib.crc32_source
+  ^ Gen.subst
+      [
+        ("ILEN", string_of_int in_len);
+        ("OCAP", string_of_int out_cap);
+        ("HSIZE", string_of_int htab_size);
+      ]
+      body
+
+let benchmark =
+  { Bench_def.name = "lzfx"; short = "LZFX"; source; fits_data_in_sram = false }

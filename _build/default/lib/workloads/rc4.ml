@@ -1,0 +1,66 @@
+(* RC4 — stream cipher keystream generation XORed over a buffer. *)
+
+let buf_len = 4096
+let key_len = 16
+let rounds = 2
+
+let source seed =
+  let g = Gen.create (seed + 404) in
+  let key = Gen.int_list g key_len 256 in
+  let data = Gen.int_list g 256 256 in
+  (* buffer initialised from a small generated block, expanded in C *)
+  Printf.sprintf
+    {|
+%s
+char S[256];
+char key[%d] = %s;
+char block[256] = %s;
+char buf[%d];
+
+void ksa(void) {
+  int i;
+  int j = 0;
+  for (i = 0; i < 256; i++) S[i] = i;
+  for (i = 0; i < 256; i++) {
+    j = (j + S[i] + key[i %% %d]) & 255;
+    int t = S[i]; S[i] = S[j]; S[j] = t;
+  }
+}
+
+void prga_xor(int n) {
+  int i = 0;
+  int j = 0;
+  int k;
+  for (k = 0; k < n; k++) {
+    i = (i + 1) & 255;
+    j = (j + S[i]) & 255;
+    int t = S[i]; S[i] = S[j]; S[j] = t;
+    buf[k] = buf[k] ^ S[(S[i] + S[j]) & 255];
+  }
+}
+
+unsigned checksum(int n) {
+  unsigned sum = 0;
+  int i;
+  for (i = 0; i < n; i++) sum = (sum << 1 | sum >> 15) ^ buf[i];
+  return sum;
+}
+
+int main(void) {
+  int i;
+  int r;
+  for (i = 0; i < %d; i++) buf[i] = block[i & 255] ^ (i >> 8);
+  for (r = 0; r < %d; r++) {
+    ksa();
+    prga_xor(%d);
+  }
+  unsigned sum = checksum(%d);
+  print_hex(sum);
+  return sum;
+}
+|}
+    Bench_def.prelude key_len (Gen.c_array key) (Gen.c_array data) buf_len
+    key_len buf_len rounds buf_len buf_len
+
+let benchmark =
+  { Bench_def.name = "rc4"; short = "RC4"; source; fits_data_in_sram = false }

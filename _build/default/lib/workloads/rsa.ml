@@ -1,0 +1,66 @@
+(* RSA — textbook RSA encrypt/decrypt with square-and-multiply modular
+   exponentiation. mini-C is 16-bit, so this uses the classic toy
+   modulus n = 3233 (61*53), e = 17, d = 2753 — the arithmetic
+   *structure* (mulmod by shift-add, modexp loop) matches the MiBench
+   kernel; only the operand width differs (noted in DESIGN.md). *)
+
+let nmsg = 24
+let modulus = 3233
+let pub_e = 17
+let priv_d = 2753
+
+let source seed =
+  let g = Gen.create (seed + 909) in
+  let messages = List.init nmsg (fun _ -> 2 + Gen.int g (modulus - 3)) in
+  Printf.sprintf
+    {|
+%s
+int msg[%d] = %s;
+int enc[%d];
+int dec[%d];
+
+/* (a * b) %% m without overflowing 16 bits: shift-add with reduction */
+int mulmod(int a, int b, int m) {
+  int r = 0;
+  while (b) {
+    if (b & 1) {
+      r = r + a;
+      if (r >= m) r -= m;
+    }
+    a = a + a;
+    if (a >= m) a -= m;
+    b = b >> 1;
+  }
+  return r;
+}
+
+int powmod(int base, int exp, int m) {
+  int r = 1;
+  base = base %% m;
+  while (exp) {
+    if (exp & 1) r = mulmod(r, base, m);
+    base = mulmod(base, base, m);
+    exp = exp >> 1;
+  }
+  return r;
+}
+
+int main(void) {
+  int i;
+  int ok = 1;
+  for (i = 0; i < %d; i++) enc[i] = powmod(msg[i], %d, %d);
+  for (i = 0; i < %d; i++) dec[i] = powmod(enc[i], %d, %d);
+  for (i = 0; i < %d; i++) {
+    if (dec[i] != msg[i]) ok = 0;
+  }
+  unsigned sum = ok << 15;
+  for (i = 0; i < %d; i++) sum = (sum << 1 | sum >> 15) ^ enc[i];
+  print_hex(sum);
+  return ok ? sum : 0xDEAD;
+}
+|}
+    Bench_def.prelude nmsg (Gen.c_array messages) nmsg nmsg nmsg pub_e modulus
+    nmsg priv_d modulus nmsg nmsg
+
+let benchmark =
+  { Bench_def.name = "rsa"; short = "RSA"; source; fits_data_in_sram = true }

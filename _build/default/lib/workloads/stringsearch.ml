@@ -1,0 +1,390 @@
+(* STR — string search over a generated text corpus, in the spirit of
+   MiBench2's stringsearch: four search algorithms (Boyer-Moore-
+   Horspool, Knuth-Morris-Pratt, brute force, case-insensitive BMH)
+   cross-checked against each other, plus occurrence statistics. *)
+
+let npatterns = 8
+let pattern_len = 12
+let text_len = 4800
+
+let source seed =
+  let g = Gen.create (seed + 101) in
+  let text = Gen.text g text_len in
+  (* plant each pattern somewhere in the text so searches hit *)
+  let patterns =
+    List.init npatterns (fun i ->
+        let pos = Gen.int g (text_len - pattern_len) in
+        ignore i;
+        String.sub text pos pattern_len)
+  in
+  let pats_flat = String.concat "" patterns in
+  let body =
+    Printf.sprintf
+      {|
+char text[TLEN] = %s;
+char pats[%d] = %s;
+int skip[256];
+int prefix[PLEN];
+char lowered[TLEN];
+
+int to_lower(int c) {
+  if (c >= 'A' && c <= 'Z') return c + 32;
+  return c;
+}
+
+void build_skip(int po) {
+  int i;
+  for (i = 0; i < 256; i++) skip[i] = PLEN;
+  for (i = 0; i < PLEN - 1; i++) skip[pats[po + i]] = PLEN - 1 - i;
+}
+
+/* Boyer-Moore-Horspool */
+int search_bmh(int po) {
+  int found = 0;
+  int i = PLEN - 1;
+  while (i < TLEN) {
+    int j = PLEN - 1;
+    int k = i;
+    while (j >= 0 && text[k] == pats[po + j]) { k--; j--; }
+    if (j < 0) { found += k + 2; i++; }
+    else i += skip[text[i]];
+  }
+  return found;
+}
+
+/* brute force, counts occurrences */
+int search_brute(int po) {
+  int count = 0;
+  int i;
+  for (i = 0; i + PLEN <= TLEN; i++) {
+    int j = 0;
+    while (j < PLEN && text[i + j] == pats[po + j]) j++;
+    if (j == PLEN) count++;
+  }
+  return count;
+}
+
+void build_prefix(int po) {
+  int k = 0;
+  int q;
+  prefix[0] = 0;
+  for (q = 1; q < PLEN; q++) {
+    while (k > 0 && pats[po + k] != pats[po + q]) k = prefix[k - 1];
+    if (pats[po + k] == pats[po + q]) k++;
+    prefix[q] = k;
+  }
+}
+
+/* Knuth-Morris-Pratt */
+int search_kmp(int po) {
+  int count = 0;
+  int q = 0;
+  int i;
+  for (i = 0; i < TLEN; i++) {
+    while (q > 0 && pats[po + q] != text[i]) q = prefix[q - 1];
+    if (pats[po + q] == text[i]) q++;
+    if (q == PLEN) { count++; q = prefix[q - 1]; }
+  }
+  return count;
+}
+
+/* case-insensitive BMH over a lowered copy */
+int search_nocase(int po) {
+  int i;
+  for (i = 0; i < TLEN; i++) lowered[i] = to_lower(text[i]);
+  int found = 0;
+  i = PLEN - 1;
+  while (i < TLEN) {
+    int j = PLEN - 1;
+    int k = i;
+    while (j >= 0 && lowered[k] == to_lower(pats[po + j])) { k--; j--; }
+    if (j < 0) { found += k + 2; i++; }
+    else i += skip[lowered[i]];
+  }
+  return found;
+}
+
+int char_histogram(void) {
+  int counts[32];
+  int i;
+  for (i = 0; i < 32; i++) counts[i] = 0;
+  for (i = 0; i < TLEN; i++) counts[text[i] & 31]++;
+  int acc = 0;
+  for (i = 0; i < 32; i++) acc ^= counts[i] + i;
+  return acc;
+}
+
+
+int skip2[256];
+
+/* Sunday quick-search: shift by the character just past the window */
+void build_skip2(int po) {
+  int i;
+  for (i = 0; i < 256; i++) skip2[i] = PLEN + 1;
+  for (i = 0; i < PLEN; i++) skip2[pats[po + i]] = PLEN - i;
+}
+
+int search_sunday(int po) {
+  int count = 0;
+  int i = 0;
+  while (i + PLEN <= TLEN) {
+    int j = 0;
+    while (j < PLEN && text[i + j] == pats[po + j]) j++;
+    if (j == PLEN) count++;
+    if (i + PLEN >= TLEN) break;
+    i += skip2[text[i + PLEN]];
+  }
+  return count;
+}
+
+/* Rabin-Karp with a 16-bit rolling hash; collisions verified */
+int search_rk(int po) {
+  unsigned target = 0;
+  unsigned rolling = 0;
+  unsigned msb_weight = 1;
+  int i;
+  for (i = 0; i < PLEN - 1; i++) msb_weight = msb_weight * 31;
+  for (i = 0; i < PLEN; i++) {
+    target = target * 31 + pats[po + i];
+    rolling = rolling * 31 + text[i];
+  }
+  int count = 0;
+  i = 0;
+  while (1) {
+    if (rolling == target) {
+      int j = 0;
+      while (j < PLEN && text[i + j] == pats[po + j]) j++;
+      if (j == PLEN) count++;
+    }
+    if (i + PLEN >= TLEN) break;
+    rolling = (rolling - text[i] * msb_weight) * 31 + text[i + PLEN];
+    i++;
+  }
+  return count;
+}
+
+int word_count; int longest_word; int space_runs;
+void tokenize(void) {
+  word_count = 0;
+  longest_word = 0;
+  space_runs = 0;
+  int in_word = 0;
+  int wlen = 0;
+  int i;
+  for (i = 0; i < TLEN; i++) {
+    int c = text[i];
+    if (c == ' ') {
+      if (in_word) {
+        word_count++;
+        if (wlen > longest_word) longest_word = wlen;
+      }
+      else space_runs++;
+      in_word = 0;
+      wlen = 0;
+    }
+    else { in_word = 1; wlen++; }
+  }
+  if (in_word) word_count++;
+}
+
+int corpus_crc(void) {
+  crc32_init();
+  int i;
+  for (i = 0; i < TLEN; i++) crc32_byte(text[i]);
+  return crc32_fold();
+}
+
+
+/* fuzzy search: count windows within edit distance 1 of the pattern
+   (two-row dynamic program) */
+int dp_prev[PLEN + 1];
+int dp_cur[PLEN + 1];
+
+int edit1_matches(int po) {
+  int count = 0;
+  int start;
+  for (start = 0; start + PLEN + 1 <= TLEN; start += 23) {
+    int j;
+    for (j = 0; j <= PLEN; j++) dp_prev[j] = j;
+    int i;
+    int best = 0x7FFF;
+    for (i = 1; i <= PLEN + 1; i++) {
+      dp_cur[0] = i;
+      for (j = 1; j <= PLEN; j++) {
+        int cost = text[start + i - 1] == pats[po + j - 1] ? 0 : 1;
+        int d = dp_prev[j - 1] + cost;
+        int del = dp_prev[j] + 1;
+        int ins = dp_cur[j - 1] + 1;
+        if (del < d) d = del;
+        if (ins < d) d = ins;
+        dp_cur[j] = d;
+      }
+      if (dp_cur[PLEN] < best) best = dp_cur[PLEN];
+      for (j = 0; j <= PLEN; j++) dp_prev[j] = dp_cur[j];
+    }
+    if (best <= 1) count++;
+  }
+  return count;
+}
+
+/* glob matcher supporting ? and * (iterative with backtrack) */
+int glob_match(int gp, int glen, int tp, int tlen) {
+  int gi = 0;
+  int ti = 0;
+  int star_g = -1;
+  int star_t = 0;
+  while (ti < tlen) {
+    if (gi < glen && (pats[gp + gi] == text[tp + ti] || pats[gp + gi] == '?')) {
+      gi++; ti++;
+    }
+    else if (gi < glen && pats[gp + gi] == '*') {
+      star_g = gi;
+      star_t = ti;
+      gi++;
+    }
+    else if (star_g >= 0) {
+      gi = star_g + 1;
+      star_t++;
+      ti = star_t;
+    }
+    else return 0;
+  }
+  while (gi < glen && pats[gp + gi] == '*') gi++;
+  return gi == glen;
+}
+
+int glob_scan(int po) {
+  /* reuse the pattern with its middle wildcarded */
+  int count = 0;
+  int saved = pats[po + PLEN / 2];
+  pats[po + PLEN / 2] = '?';
+  int i;
+  for (i = 0; i + PLEN <= TLEN; i += 11) {
+    count += glob_match(po, PLEN, i, PLEN);
+  }
+  pats[po + PLEN / 2] = saved;
+  return count;
+}
+
+/* frequency-weighted pattern score against the corpus histogram */
+int hist256[128];
+int weighted_score(int po) {
+  int i;
+  for (i = 0; i < 128; i++) hist256[i] = 0;
+  for (i = 0; i < TLEN; i++) hist256[text[i] & 127]++;
+  int score = 0;
+  for (i = 0; i < PLEN; i++) {
+    int f = hist256[pats[po + i] & 127];
+    score = (score << 1 | score >> 15) ^ (f >> 3);
+  }
+  return score;
+}
+
+
+/* full Boyer-Moore: good-suffix table alongside the bad-character rule */
+int gs_suffix[PLEN + 1];
+int gs_shift[PLEN + 1];
+
+void build_good_suffix(int po) {
+  int i = PLEN;
+  int j = PLEN + 1;
+  gs_suffix[i] = j;
+  while (i > 0) {
+    while (j <= PLEN && pats[po + i - 1] != pats[po + j - 1]) {
+      if (gs_shift[j] == 0) gs_shift[j] = j - i;
+      j = gs_suffix[j];
+    }
+    i--; j--;
+    gs_suffix[i] = j;
+  }
+  j = gs_suffix[0];
+  for (i = 0; i <= PLEN; i++) {
+    if (gs_shift[i] == 0) gs_shift[i] = j;
+    if (i == j) j = gs_suffix[j];
+  }
+}
+
+int search_bm_full(int po) {
+  int i;
+  for (i = 0; i <= PLEN; i++) { gs_suffix[i] = 0; gs_shift[i] = 0; }
+  build_good_suffix(po);
+  int count = 0;
+  int pos = 0;
+  while (pos <= TLEN - PLEN) {
+    int j = PLEN - 1;
+    while (j >= 0 && pats[po + j] == text[pos + j]) j--;
+    if (j < 0) {
+      count++;
+      pos += gs_shift[0];
+    }
+    else {
+      int bad = skip[text[pos + j]] - (PLEN - 1 - j);
+      int good = gs_shift[j + 1];
+      if (bad < 1) bad = 1;
+      pos += good > bad ? good : bad;
+    }
+  }
+  return count;
+}
+
+int main(void) {
+  unsigned sum = 0;
+  int p;
+  for (p = 0; p < NPAT; p++) {
+    int po = p * PLEN;
+    build_skip(po);
+    build_skip2(po);
+    build_prefix(po);
+    int bmh = search_bmh(po);
+    int brute = search_brute(po);
+    int kmp = search_kmp(po);
+    int sunday = search_sunday(po);
+    int rk = search_rk(po);
+    int bmfull = search_bm_full(po);
+    int nocase = search_nocase(po);
+    if (brute != kmp || kmp != sunday || sunday != rk || rk != bmfull) {
+      print_hex(0xDEAD);
+      return 0xDEAD;
+    }
+    sum += bmh;
+    sum = (sum << 1 | sum >> 15) ^ (brute + nocase);
+    print_str("pat ");
+    print_dec(p);
+    print_str(": ");
+    print_dec(brute);
+    putchar(10);
+  }
+  for (p = 0; p < NPAT; p++) {
+    int po = p * PLEN;
+    sum += edit1_matches(po);
+    sum ^= glob_scan(po) << 3;
+    sum = (sum << 1 | sum >> 15) ^ weighted_score(po);
+  }
+  tokenize();
+  sum ^= (word_count << 4) ^ longest_word ^ (space_runs << 9);
+  sum ^= char_histogram();
+  sum ^= corpus_crc();
+  print_hex(sum);
+  return sum;
+}
+|}
+      (Gen.c_string text)
+      (npatterns * pattern_len)
+      (Gen.c_string pats_flat)
+  in
+  Bench_def.prelude ^ Clib.crc32_source ^ Clib.print_source
+  ^ Gen.subst
+      [
+        ("TLEN", string_of_int text_len);
+        ("PLEN", string_of_int pattern_len);
+        ("NPAT", string_of_int npatterns);
+      ]
+      body
+
+let benchmark =
+  {
+    Bench_def.name = "stringsearch";
+    short = "STR";
+    source;
+    fits_data_in_sram = false;
+  }

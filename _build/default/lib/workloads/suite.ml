@@ -1,0 +1,26 @@
+(* The benchmark suite: the nine MiBench2-derived programs the paper
+   evaluates (Table 1) plus the Figure 1 arithmetic microbenchmark. *)
+
+let stringsearch = Stringsearch.benchmark
+let dijkstra = Dijkstra.benchmark
+let crc = Crc.benchmark
+let rc4 = Rc4.benchmark
+let fft = Fft.benchmark
+let aes = Aes.benchmark
+let lzfx = Lzfx.benchmark
+let bitcount = Bitcount.benchmark
+let rsa = Rsa.benchmark
+let arith = Arith.benchmark
+
+(* Paper order (Table 1). *)
+let all = [ stringsearch; dijkstra; crc; rc4; fft; aes; lzfx; bitcount; rsa ]
+
+let split_memory_subset =
+  List.filter (fun b -> b.Bench_def.fits_data_in_sram) all
+
+let find name =
+  List.find_opt
+    (fun b ->
+      String.lowercase_ascii b.Bench_def.name = String.lowercase_ascii name
+      || String.lowercase_ascii b.Bench_def.short = String.lowercase_ascii name)
+    (arith :: all)

@@ -1,0 +1,22 @@
+(** The benchmark suite: the nine MiBench2-derived programs of the
+    paper's Table 1, plus the Figure-1 arithmetic microbenchmark. *)
+
+val stringsearch : Bench_def.t
+val dijkstra : Bench_def.t
+val crc : Bench_def.t
+val rc4 : Bench_def.t
+val fft : Bench_def.t
+val aes : Bench_def.t
+val lzfx : Bench_def.t
+val bitcount : Bench_def.t
+val rsa : Bench_def.t
+val arith : Bench_def.t
+
+val all : Bench_def.t list
+(** The nine evaluation benchmarks, in the paper's Table 1 order. *)
+
+val split_memory_subset : Bench_def.t list
+(** CRC, AES, bitcount, RSA — the §5.5 split-SRAM study. *)
+
+val find : string -> Bench_def.t option
+(** Look up by name or short tag, case-insensitively. *)

@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Char List Masm Msp430

@@ -1,0 +1,1 @@
+test/test_blockcache.ml: Alcotest Array Blockcache Format Hashtbl List Masm Minic Msp430 Printf

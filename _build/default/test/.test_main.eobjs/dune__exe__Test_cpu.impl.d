@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Char List Masm Msp430 QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Blockcache List Masm Minic Msp430 Printf QCheck2 QCheck_alcotest String Swapram Workloads

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array List Msp430 Printf QCheck2 QCheck_alcotest

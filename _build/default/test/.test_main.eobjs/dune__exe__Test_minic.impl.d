@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Char Masm Minic Msp430

@@ -1,0 +1,1 @@
+test/test_platform.ml: Alcotest Msp430

@@ -1,0 +1,1 @@
+test/test_swapram.ml: Alcotest Array Char List Masm Minic Msp430 Option Printf QCheck2 QCheck_alcotest String Swapram

@@ -1,0 +1,1 @@
+test/test_validation.ml: Alcotest Blockcache Experiments List Msp430 Printf Swapram Workloads

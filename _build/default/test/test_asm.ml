@@ -1,0 +1,208 @@
+(* Assembler tests: layout, symbols, relaxation, disassembly. *)
+
+module Isa = Msp430.Isa
+module Cpu = Msp430.Cpu
+module Memory = Msp430.Memory
+module Platform = Msp430.Platform
+open Masm.Build
+
+let assemble = Masm.Assembler.assemble
+
+let run_image image entry =
+  let system = Platform.create Platform.Mhz24 in
+  Masm.Assembler.load image system.Platform.memory;
+  Cpu.set_reg system.Platform.cpu Isa.sp 0x3000;
+  Cpu.set_reg system.Platform.cpu Isa.pc (Masm.Assembler.lookup image entry);
+  (match Cpu.run ~fuel:1_000_000 system.Platform.cpu with
+  | Cpu.Halted -> ()
+  | Cpu.Fuel_exhausted -> Alcotest.fail "did not halt");
+  system
+
+let halt = mov (imm 1) (dabsn Msp430.Memory.halt_addr)
+
+(* Enough filler to push a jump out of PC-relative range. *)
+let filler n = List.init n (fun _ -> mov (imm 0x1234) (dreg r11))
+
+let suite =
+  [
+    Alcotest.test_case "labels resolve across items" `Quick (fun () ->
+        let program =
+          [
+            Masm.Ast.item "main" [ call "helper"; halt ];
+            Masm.Ast.item "helper" [ mov (imm 42) (dreg r12); ret ];
+          ]
+        in
+        let image = assemble program in
+        let system = run_image image "main" in
+        Alcotest.(check int) "r12" 42 (Cpu.reg system.Platform.cpu 12));
+    Alcotest.test_case "data section symbols" `Quick (fun () ->
+        let program =
+          [
+            Masm.Ast.item "main" [ mov (abs "answer") (dreg r12); halt ];
+            Masm.Ast.item ~section:Masm.Ast.Data "answer" [ wordn 1234 ];
+          ]
+        in
+        let image = assemble program in
+        let system = run_image image "main" in
+        Alcotest.(check int) "r12" 1234 (Cpu.reg system.Platform.cpu 12));
+    Alcotest.test_case "far jump relaxed to absolute branch" `Quick (fun () ->
+        let program =
+          [
+            Masm.Ast.item "main"
+              ([ cmp (imm 0) (dreg r12); jeq "target" ]
+              @ filler 600
+              @ [ mov (imm 9) (dreg r12); halt; label "target" ]
+              @ [ mov (imm 7) (dreg r12); halt ]);
+          ]
+        in
+        let image = assemble program in
+        (* the relaxed program must contain an absolute branch *)
+        let has_br =
+          List.exists
+            (fun it ->
+              List.exists
+                (function
+                  | Masm.Ast.Instr (Masm.Ast.Br _) -> true | _ -> false)
+                it.Masm.Ast.stmts)
+            image.Masm.Assembler.resolved
+        in
+        Alcotest.(check bool) "contains Br" true has_br;
+        let system = run_image image "main" in
+        Alcotest.(check int) "took far branch" 7 (Cpu.reg system.Platform.cpu 12));
+    Alcotest.test_case "far jump not taken falls through" `Quick (fun () ->
+        let program =
+          [
+            Masm.Ast.item "main"
+              ([ cmp (imm 1) (dreg r12); jeq "target" ]
+              @ filler 600
+              @ [ mov (imm 9) (dreg r12); halt; label "target" ]
+              @ [ mov (imm 7) (dreg r12); halt ]);
+          ]
+        in
+        let image = assemble program in
+        let system = run_image image "main" in
+        Alcotest.(check int) "fell through" 9 (Cpu.reg system.Platform.cpu 12));
+    Alcotest.test_case "ascii data and byte access" `Quick (fun () ->
+        let program =
+          [
+            Masm.Ast.item "main"
+              [
+                mov (imml "text") (dreg r4);
+                mov_b (ind r4) (dreg r12);
+                halt;
+              ];
+            Masm.Ast.item ~section:Masm.Ast.Data "text"
+              [ Masm.Ast.Ascii "Az"; Masm.Ast.Align 2 ];
+          ]
+        in
+        let image = assemble program in
+        let system = run_image image "main" in
+        Alcotest.(check int) "first byte" (Char.code 'A')
+          (Cpu.reg system.Platform.cpu 12));
+    Alcotest.test_case "duplicate symbol rejected" `Quick (fun () ->
+        let program =
+          [
+            Masm.Ast.item "main" [ label "x"; halt ];
+            Masm.Ast.item "other" [ label "x"; ret ];
+          ]
+        in
+        Alcotest.check_raises "duplicate"
+          (Masm.Assembler.Error "duplicate symbol x") (fun () ->
+            ignore (assemble program)));
+    Alcotest.test_case "far JN uses a branch island" `Quick (fun () ->
+        (* JN has no complement; relaxation must route it through a
+           detour that preserves both outcomes *)
+        let program taken =
+          [
+            Masm.Ast.item "main"
+              ([
+                 mov (imm (if taken then 0x8000 else 1)) (dreg r12);
+                 cmp (imm 0) (dreg r12) (* N set iff r12 negative *);
+                 jn "target";
+               ]
+              @ filler 600
+              @ [ mov (imm 9) (dreg r13); halt; label "target" ]
+              @ [ mov (imm 7) (dreg r13); halt ]);
+          ]
+        in
+        let run taken =
+          let system = run_image (assemble (program taken)) "main" in
+          Cpu.reg system.Platform.cpu 13
+        in
+        Alcotest.(check int) "taken" 7 (run true);
+        Alcotest.(check int) "not taken" 9 (run false));
+    Alcotest.test_case "label difference expressions" `Quick (fun () ->
+        let program =
+          [
+            Masm.Ast.item "main"
+              [ mov (abs "size_word") (dreg r12); halt ];
+            Masm.Ast.item "payload"
+              [ mov (imm 1) (dreg r11); mov (imm 2) (dreg r11);
+                ret; label "payload$end" ];
+            Masm.Ast.item ~section:Masm.Ast.Data "size_word"
+              [ Masm.Ast.Word (Masm.Ast.Diff ("payload$end", "payload")) ];
+          ]
+        in
+        let image = assemble program in
+        let system = run_image image "main" in
+        Alcotest.(check int) "size via Diff"
+          (Masm.Assembler.item_size image "payload")
+          (Cpu.reg system.Platform.cpu 12));
+    Alcotest.test_case "misaligned instruction rejected" `Quick (fun () ->
+        let program =
+          [
+            Masm.Ast.item "main"
+              [ Masm.Ast.Byte 1; mov (imm 1) (dreg r12); halt ];
+          ]
+        in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (assemble program);
+             false
+           with Masm.Assembler.Error _ -> true));
+    Alcotest.test_case "cycle counts for a straight-line block" `Quick
+      (fun () ->
+        (* MOV #imm(ext), Rn = 2 cycles; ADD Rn, Rn = 1; MOV Rn, &abs = 4;
+           halt store (#1 via CG, &abs) = 4 *)
+        let program =
+          [
+            Masm.Ast.item "main"
+              [
+                mov (imm 0x1234) (dreg r12);
+                add (reg r12) (dreg r12);
+                mov (reg r12) (dabsn 0x2000);
+                halt;
+              ];
+          ]
+        in
+        let system = run_image (assemble program) "main" in
+        let stats = Cpu.stats system.Platform.cpu in
+        Alcotest.(check int) "unstalled cycles" (2 + 1 + 4 + 4)
+          stats.Msp430.Trace.unstalled_cycles);
+    Alcotest.test_case "disassembler round-trips a function" `Quick (fun () ->
+        let program =
+          [
+            Masm.Ast.item "main" [ call "f"; halt ];
+            Masm.Ast.item "f"
+              [
+                mov (imm 0) (dreg r12);
+                mov (imm 5) (dreg r13);
+                label "loop";
+                add (reg r13) (dreg r12);
+                dec (dreg r13);
+                jne "loop";
+                ret;
+              ];
+          ]
+        in
+        let image = assemble program in
+        let lifted = Masm.Disasm.item_of_image image ~name:"f" in
+        (* rebuild the program with the lifted item in place of f *)
+        let program' =
+          [ Masm.Ast.item "main" [ call "f"; halt ];
+            { lifted with Masm.Ast.name = "f" } ]
+        in
+        let image' = assemble program' in
+        let system = run_image image' "main" in
+        Alcotest.(check int) "sum 5..1" 15 (Cpu.reg system.Platform.cpu 12));
+  ]

@@ -1,0 +1,181 @@
+(* Block-cache baseline tests: semantic transparency vs the uncached
+   baseline, chaining, flushes, and the memory-bloat characteristics
+   the paper reports (§5.2). *)
+
+module Isa = Msp430.Isa
+module Cpu = Msp430.Cpu
+module Memory = Msp430.Memory
+module Platform = Msp430.Platform
+
+let fram_stack_top = Platform.fram_base + Platform.fram_size
+
+let run_baseline source =
+  let program = Minic.Driver.program_of_source source in
+  let image = Masm.Assembler.assemble program in
+  let system = Platform.create Platform.Mhz24 in
+  Masm.Assembler.load image system.Platform.memory;
+  Cpu.set_reg system.Platform.cpu Isa.sp fram_stack_top;
+  Cpu.set_reg system.Platform.cpu Isa.pc
+    (Masm.Assembler.lookup image Minic.Driver.entry_name);
+  (match Cpu.run ~fuel:60_000_000 system.Platform.cpu with
+  | Cpu.Halted -> ()
+  | Cpu.Fuel_exhausted -> Alcotest.fail "baseline did not halt");
+  ( Cpu.reg system.Platform.cpu 12,
+    Memory.uart_output system.Platform.memory,
+    Cpu.stats system.Platform.cpu )
+
+let run_blockcache ?(options = Blockcache.Config.default_options) source =
+  let program = Minic.Driver.program_of_source source in
+  let built = Blockcache.Pipeline.build ~options program in
+  let system = Platform.create Platform.Mhz24 in
+  let runtime = Blockcache.Pipeline.install built system in
+  Cpu.set_reg system.Platform.cpu Isa.sp fram_stack_top;
+  Cpu.set_reg system.Platform.cpu Isa.pc
+    (Masm.Assembler.lookup built.Blockcache.Pipeline.image
+       Minic.Driver.entry_name);
+  (match Cpu.run ~fuel:60_000_000 system.Platform.cpu with
+  | Cpu.Halted -> ()
+  | Cpu.Fuel_exhausted -> Alcotest.fail "block-cache run did not halt");
+  ( Cpu.reg system.Platform.cpu 12,
+    Memory.uart_output system.Platform.memory,
+    Cpu.stats system.Platform.cpu,
+    Blockcache.Runtime.stats runtime,
+    built )
+
+let check_equivalent name source =
+  Alcotest.test_case ("transparent: " ^ name) `Quick (fun () ->
+      let r_base, uart_base, _ = run_baseline source in
+      let r_bb, uart_bb, _, _, _ = run_blockcache source in
+      Alcotest.(check int) "return value" r_base r_bb;
+      Alcotest.(check string) "uart" uart_base uart_bb)
+
+let program_loops =
+  "int main(void) { int s = 0; int i; int j; \n\
+   for (i = 0; i < 12; i++) { for (j = 0; j < i; j++) { \n\
+   if (j % 3 == 0) s += j; else s ^= i; } } return s & 0x7FFF; }"
+
+let program_calls =
+  "int square(int x) { return x * x; } \n\
+   int cube(int x) { return x * square(x); } \n\
+   int main(void) { int s = 0; int i; for (i = 1; i < 8; i++) \n\
+   s += cube(i) & 1023; return s & 0x7FFF; }"
+
+let program_recursion =
+  "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); } \n\
+   int main(void) { return fib(11); }"
+
+let program_strings =
+  "char *s = \"block cache\"; \n\
+   int main(void) { int i; for (i = 0; s[i]; i++) putchar(s[i]); return i; }"
+
+let suite =
+  [
+    check_equivalent "nested loops" program_loops;
+    check_equivalent "calls" program_calls;
+    check_equivalent "recursion" program_recursion;
+    check_equivalent "strings" program_strings;
+    Alcotest.test_case "chains blocks" `Quick (fun () ->
+        let _, _, _, s, _ = run_blockcache program_loops in
+        Alcotest.(check bool) "chained" true (s.Blockcache.Runtime.chains > 0));
+    Alcotest.test_case "app code runs from SRAM after warmup" `Quick (fun () ->
+        let _, _, stats, _, _ = run_blockcache program_loops in
+        let frac = Msp430.Trace.instr_fraction stats Msp430.Trace.App_sram in
+        Alcotest.(check bool)
+          (Printf.sprintf "sram fraction %.2f" frac)
+          true (frac > 0.5));
+    Alcotest.test_case "flush under tiny cache stays correct" `Quick (fun () ->
+        let options =
+          { Blockcache.Config.default_options with cache_size = 256 }
+        in
+        let r_base, _, _ = run_baseline program_calls in
+        let r_bb, _, _, s, _ = run_blockcache ~options program_calls in
+        Alcotest.(check int) "same result" r_base r_bb;
+        Alcotest.(check bool) "flushes" true (s.Blockcache.Runtime.flushes > 0));
+    Alcotest.test_case "transformation inflates the binary" `Quick (fun () ->
+        let program = Minic.Driver.program_of_source program_calls in
+        let plain = Masm.Assembler.assemble program in
+        let built = Blockcache.Pipeline.build program in
+        let plain_code = Masm.Assembler.code_size plain in
+        let usage = Blockcache.Pipeline.nvm_usage built in
+        let total = Blockcache.Pipeline.total_bytes usage in
+        Alcotest.(check bool)
+          (Printf.sprintf "bloat %d -> %d" plain_code total)
+          true
+          (float_of_int total > 2.5 *. float_of_int plain_code));
+    Alcotest.test_case "every block ends in a control transfer" `Quick
+      (fun () ->
+        (* structural invariant of the transformation: a cached block
+           copy must never fall off its own end, so each block's last
+           statement is an absolute branch (to a stub or trap) *)
+        let program = Minic.Driver.program_of_source program_loops in
+        let transformed, manifest = Blockcache.Transform.transform program in
+        let leaders = Hashtbl.create 64 in
+        Array.iter
+          (fun (l, _) -> Hashtbl.replace leaders l ())
+          manifest.Blockcache.Transform.blocks;
+        let check_item (it : Masm.Ast.item) =
+          (* walk statements; when a leader label opens a block, the
+             statement just before the next leader must be a Br *)
+          let last_instr = ref None in
+          let in_block = ref (Hashtbl.mem leaders it.Masm.Ast.name) in
+          List.iter
+            (fun stmt ->
+              match stmt with
+              | Masm.Ast.Label l when Hashtbl.mem leaders l ->
+                  if !in_block then
+                    (match !last_instr with
+                    | Some (Masm.Ast.Br _) -> ()
+                    | Some other ->
+                        Alcotest.failf "%s: block before %s ends with %s"
+                          it.Masm.Ast.name l
+                          (Format.asprintf "%a" Masm.Ast.pp_instr other)
+                    | None -> Alcotest.failf "empty block before %s" l);
+                  in_block := true
+              | Masm.Ast.Instr i -> last_instr := Some i
+              | _ -> ())
+            it.Masm.Ast.stmts;
+          if !in_block then
+            match !last_instr with
+            | Some (Masm.Ast.Br _) -> ()
+            | _ -> () (* trailing halt block: execution stops inside *)
+        in
+        List.iter
+          (fun (it : Masm.Ast.item) ->
+            if
+              it.Masm.Ast.section = Masm.Ast.Text
+              && it.Masm.Ast.name <> "$bb_stubs"
+              && not
+                   (List.mem it.Masm.Ast.name
+                      Blockcache.Config.
+                        [ sym_runtime; sym_memcpy; sym_cfi; sym_cfitab;
+                          sym_blocktab; sym_hash ])
+            then check_item it)
+          transformed);
+    Alcotest.test_case "cfi targets are block leaders" `Quick (fun () ->
+        let program = Minic.Driver.program_of_source program_calls in
+        let _, manifest = Blockcache.Transform.transform program in
+        let leaders = Hashtbl.create 64 in
+        Array.iter
+          (fun (l, _) -> Hashtbl.replace leaders l ())
+          manifest.Blockcache.Transform.blocks;
+        Array.iter
+          (fun c ->
+            Alcotest.(check bool)
+              (c.Blockcache.Transform.cfi_target ^ " is a leader")
+              true
+              (Hashtbl.mem leaders c.Blockcache.Transform.cfi_target))
+          manifest.Blockcache.Transform.cfis);
+    Alcotest.test_case "blocks respect the slot size" `Quick (fun () ->
+        let program = Minic.Driver.program_of_source program_loops in
+        let built = Blockcache.Pipeline.build program in
+        let m = built.Blockcache.Pipeline.manifest in
+        Alcotest.(check bool)
+          "slot bound" true
+          (m.Blockcache.Transform.slot_size
+          <= Blockcache.Config.default_options.Blockcache.Config.max_block_bytes);
+        Array.iter
+          (fun (_, size) ->
+            Alcotest.(check bool) "block fits slot" true
+              (size <= m.Blockcache.Transform.slot_size))
+          m.Blockcache.Transform.blocks);
+  ]

@@ -1,0 +1,277 @@
+(* Differential testing: random mini-C programs are executed on the
+   reference interpreter (Minic.Interp) and through the full pipeline
+   (compiler -> assembler -> MSP430 simulator), both uncached and
+   under SwapRAM. All three must agree on the UART output and main's
+   return value. This exercises the compiler, the ISA semantics, the
+   assembler and the caching runtime against an independent oracle. *)
+
+module Isa = Msp430.Isa
+module Cpu = Msp430.Cpu
+module Memory = Msp430.Memory
+module Platform = Msp430.Platform
+
+(* --- Random program generation ---------------------------------------- *)
+
+(* Expressions avoid undefined behaviour by construction: divisors are
+   or-ed with 1, shift counts masked to 0..7, array indexes masked to
+   the array size. Everything else (overflow, negative shifts of
+   values, char truncation) has defined 16-bit semantics shared by the
+   interpreter and the code generator. *)
+
+let gen_const =
+  QCheck2.Gen.oneof
+    [
+      QCheck2.Gen.int_range (-100) 100;
+      QCheck2.Gen.oneofl [ 0; 1; 2; 7; 8; 15; 255; 256; 0x7FFF; 0x8000; 0xFFFF ];
+    ]
+
+let var_names = [ "x"; "y"; "z"; "g0"; "g1" ]
+
+let gen_var = QCheck2.Gen.oneofl var_names
+
+let rec gen_expr ?(calls = true) depth =
+  let open QCheck2.Gen in
+  if depth = 0 then
+    oneof [ map string_of_int gen_const; gen_var ]
+  else
+    let sub = gen_expr ~calls (depth - 1) in
+    oneof
+      ((if calls then
+          [
+            (let* a = sub and* b = sub in
+             return (Printf.sprintf "h0(%s, %s)" a b));
+          ]
+        else [])
+      @ [
+        map string_of_int gen_const;
+        gen_var;
+        (let* a = sub and* b = sub in
+         let* op =
+           oneofl [ "+"; "-"; "*"; "&"; "|"; "^"; "=="; "!="; "<"; ">"; "<="; ">=" ]
+         in
+         return (Printf.sprintf "(%s %s %s)" a op b));
+        (let* a = sub and* b = sub in
+         let* op = oneofl [ "/"; "%" ] in
+         return (Printf.sprintf "(%s %s (%s | 1))" a op b));
+        (let* a = sub and* b = sub in
+         let* op = oneofl [ "<<"; ">>" ] in
+         return (Printf.sprintf "(%s %s (%s & 7))" a op b));
+        (let* a = sub in
+         let* op = oneofl [ "-"; "~"; "!" ] in
+         return (Printf.sprintf "(%s %s)" op a));
+        (let* a = sub in
+         return (Printf.sprintf "ga[(%s) & 7]" a));
+        (let* a = sub in
+         return (Printf.sprintf "gc[(%s) & 7]" a));
+        (let* c = sub and* a = sub and* b = sub in
+         return (Printf.sprintf "(%s ? %s : %s)" c a b));
+      ])
+
+let rec gen_stmt depth =
+  let open QCheck2.Gen in
+  let expr = gen_expr 2 in
+  let assign_target = oneofl [ "x"; "y"; "z"; "g0"; "g1" ] in
+  let simple =
+    oneof
+      [
+        (let* t = assign_target and* e = expr in
+         return (Printf.sprintf "%s = %s;" t e));
+        (let* t = assign_target
+         and* op = oneofl [ "+="; "-="; "^="; "&="; "|=" ]
+         and* e = expr in
+         return (Printf.sprintf "%s %s %s;" t op e));
+        (let* i = expr and* e = expr in
+         return (Printf.sprintf "ga[(%s) & 7] = %s;" i e));
+        (let* i = expr and* e = expr in
+         return (Printf.sprintf "gc[(%s) & 7] = %s;" i e));
+        (let* t = oneofl [ "x"; "y"; "g0" ] in
+         return (Printf.sprintf "%s++;" t));
+        (let* e = expr in
+         return (Printf.sprintf "putchar('a' + ((%s) & 15));" e));
+      ]
+  in
+  if depth = 0 then simple
+  else
+    let body n = list_size (int_range 1 n) (gen_stmt (depth - 1)) in
+    oneof
+      [
+        simple;
+        (let* c = expr and* then_ = body 3 and* else_ = body 2 in
+         return
+           (Printf.sprintf "if (%s) { %s } else { %s }" c
+              (String.concat " " then_)
+              (String.concat " " else_)));
+        (let* bound = int_range 1 8
+         and* v = oneofl [ "i"; "j" ]
+         and* b = body 3 in
+         return
+           (Printf.sprintf "for (int %s = 0; %s < %d; %s++) { %s }" v v bound v
+              (String.concat " " b)));
+      ]
+
+let gen_program =
+  let open QCheck2.Gen in
+  let* helper = gen_expr ~calls:false 2 in
+  let* stmts = list_size (int_range 4 10) (gen_stmt 2) in
+  let* result = gen_expr 2 in
+  let* ga_init = list_repeat 8 (int_range 0 0xFFFF) in
+  let* gc_init = list_repeat 8 (int_range 0 255) in
+  return
+    (Printf.sprintf
+       {|
+int g0 = 11;
+int g1 = -7;
+int ga[8] = {%s};
+char gc[8] = {%s};
+
+int h0(int x, int y) {
+  int z = 3;
+  return %s;
+}
+
+int main(void) {
+  int x = 1;
+  int y = 2;
+  int z = 3;
+  %s
+  return (%s) & 0x7FFF;
+}
+|}
+       (String.concat ", " (List.map string_of_int ga_init))
+       (String.concat ", " (List.map string_of_int gc_init))
+       helper
+       (String.concat "\n  " stmts)
+       result)
+
+(* --- Execution paths --------------------------------------------------- *)
+
+type diff_system = Plain | With_swapram of Swapram.Config.options | With_block
+
+let run_simulator_fuelled ?(diff_system = Plain) ?(fuel = 3_000_000) source =
+  let program = Minic.Driver.program_of_source source in
+  let system = Platform.create Platform.Mhz24 in
+  (match diff_system with
+  | With_swapram options ->
+      let built = Swapram.Pipeline.build ~options program in
+      ignore (Swapram.Pipeline.install built system);
+      Cpu.set_reg system.Platform.cpu Isa.pc
+        (Masm.Assembler.lookup built.Swapram.Pipeline.image
+           Minic.Driver.entry_name)
+  | With_block ->
+      let built = Blockcache.Pipeline.build program in
+      ignore (Blockcache.Pipeline.install built system);
+      Cpu.set_reg system.Platform.cpu Isa.pc
+        (Masm.Assembler.lookup built.Blockcache.Pipeline.image
+           Minic.Driver.entry_name)
+  | Plain ->
+      let image = Masm.Assembler.assemble program in
+      Masm.Assembler.load image system.Platform.memory;
+      Cpu.set_reg system.Platform.cpu Isa.pc
+        (Masm.Assembler.lookup image Minic.Driver.entry_name));
+  Cpu.set_reg system.Platform.cpu Isa.sp
+    (Platform.fram_base + Platform.fram_size);
+  (match Cpu.run ~fuel system.Platform.cpu with
+  | Cpu.Halted -> ()
+  | Cpu.Fuel_exhausted -> failwith "simulator out of fuel");
+  ( Cpu.reg system.Platform.cpu 12,
+    Memory.uart_output system.Platform.memory )
+
+let prop_pipeline_matches_interpreter =
+  QCheck2.Test.make ~count:120 ~name:"pipeline matches reference interpreter"
+    ~print:(fun s -> s)
+    gen_program
+    (fun source ->
+      let reference = Minic.Interp.run_source source in
+      let sim_ret, sim_out = run_simulator_fuelled source in
+      let expect = reference.Minic.Interp.return_value land 0x7FFF in
+      if sim_ret <> expect then
+        QCheck2.Test.fail_reportf "return: sim %d vs interp %d" sim_ret expect
+      else if sim_out <> reference.Minic.Interp.output then
+        QCheck2.Test.fail_reportf "output: sim %S vs interp %S" sim_out
+          reference.Minic.Interp.output
+      else true)
+
+let prop_swapram_matches_interpreter =
+  QCheck2.Test.make ~count:60
+    ~name:"swapram pipeline matches reference interpreter" ~print:(fun s -> s)
+    gen_program
+    (fun source ->
+      let reference = Minic.Interp.run_source source in
+      let options =
+        {
+          Swapram.Config.default_options with
+          Swapram.Config.debug_checks = true;
+          (* a small cache forces eviction/abort paths *)
+          cache_size = 512;
+        }
+      in
+      let ret, out =
+        run_simulator_fuelled ~diff_system:(With_swapram options) source
+      in
+      ret = reference.Minic.Interp.return_value land 0x7FFF
+      && out = reference.Minic.Interp.output)
+
+let prop_blockcache_matches_interpreter =
+  QCheck2.Test.make ~count:40
+    ~name:"block-cache pipeline matches reference interpreter"
+    ~print:(fun s -> s)
+    gen_program
+    (fun source ->
+      let reference = Minic.Interp.run_source source in
+      let ret, out = run_simulator_fuelled ~diff_system:With_block source in
+      ret = reference.Minic.Interp.return_value land 0x7FFF
+      && out = reference.Minic.Interp.output)
+
+let unit_checks =
+  (* pin down a few interpreter semantics directly *)
+  [
+    Alcotest.test_case "interp basic arithmetic" `Quick (fun () ->
+        let r =
+          Minic.Interp.run_source
+            "int main(void) { int a = -7; return (a / 2) & 0xFFFF; }"
+        in
+        Alcotest.(check int) "signed div" ((-3) land 0xFFFF)
+          r.Minic.Interp.return_value);
+    Alcotest.test_case "interp char truncation" `Quick (fun () ->
+        let r =
+          Minic.Interp.run_source
+            "char c; int main(void) { c = 300; return c; }"
+        in
+        Alcotest.(check int) "truncated" 44 r.Minic.Interp.return_value);
+    Alcotest.test_case "interp division by zero convention" `Quick (fun () ->
+        let r =
+          Minic.Interp.run_source
+            "int main(void) { unsigned a = 5; unsigned b = 0; return a / b; }"
+        in
+        Alcotest.(check int) "0xFFFF" 0xFFFF r.Minic.Interp.return_value);
+  ]
+
+(* The interpreter also serves as an oracle for the real benchmark
+   programs (the float-free ones): the simulated platform must print
+   exactly what the interpreter computes. *)
+let benchmark_oracle (b : Workloads.Bench_def.t) seed () =
+  let source = b.Workloads.Bench_def.source seed in
+  let reference = Minic.Interp.run_source ~fuel:400_000_000 source in
+  let _, out = run_simulator_fuelled ~fuel:200_000_000 source in
+  Alcotest.(check string) "uart output" reference.Minic.Interp.output out
+
+let oracle_checks =
+  List.concat_map
+    (fun b ->
+      List.map
+        (fun seed ->
+          Alcotest.test_case
+            (Printf.sprintf "interpreter oracle: %s seed %d"
+               b.Workloads.Bench_def.name seed)
+            `Quick
+            (benchmark_oracle b seed))
+        [ 1; 4 ])
+    Workloads.Suite.[ crc; bitcount; rsa; rc4 ]
+
+let suite =
+  unit_checks @ oracle_checks
+  @ [
+      QCheck_alcotest.to_alcotest prop_pipeline_matches_interpreter;
+      QCheck_alcotest.to_alcotest prop_swapram_matches_interpreter;
+      QCheck_alcotest.to_alcotest prop_blockcache_matches_interpreter;
+    ]

@@ -1,0 +1,136 @@
+(* Encoding/decoding unit and property tests. *)
+
+module Isa = Msp430.Isa
+module Encoding = Msp430.Encoding
+module Word = Msp430.Word
+
+let check_roundtrip ?(addr = 0x4400) instr () =
+  let words = Encoding.encode ~addr instr in
+  let mem = Array.of_list words in
+  let fetch a =
+    let idx = (a - addr) / 2 in
+    mem.(idx)
+  in
+  let decoded, size = Encoding.decode ~fetch ~addr in
+  Alcotest.(check int) "size" (Isa.size_bytes instr) size;
+  Alcotest.(check string)
+    "instruction" (Isa.to_string instr) (Isa.to_string decoded);
+  if not (Isa.equal instr decoded) then
+    Alcotest.failf "structural mismatch: %s vs %s" (Isa.to_string instr)
+      (Isa.to_string decoded)
+
+let unit_cases =
+  [
+    Isa.I1 (Isa.MOV, Isa.W, Isa.Sreg 12, Isa.Dreg 13);
+    Isa.I1 (Isa.ADD, Isa.W, Isa.Simm 1, Isa.Dreg 12);
+    Isa.I1 (Isa.ADD, Isa.W, Isa.Simm 0x1234, Isa.Dreg 12);
+    Isa.I1 (Isa.MOV, Isa.W, Isa.SimmX 2, Isa.Dreg 4);
+    Isa.I1 (Isa.MOV, Isa.B, Isa.Sidx (10, 5), Isa.Didx (0xFFFE, 6));
+    Isa.I1 (Isa.CMP, Isa.W, Isa.Sabs 0x2000, Isa.Dabs 0x2002);
+    Isa.I1 (Isa.XOR, Isa.W, Isa.Sinc 7, Isa.Dreg 8);
+    Isa.I1 (Isa.MOV, Isa.W, Isa.Sind 9, Isa.Dreg 0);
+    Isa.I1 (Isa.MOV, Isa.W, Isa.Ssym 0x4500, Isa.Dsym 0x4600);
+    Isa.I2 (Isa.PUSH, Isa.W, Isa.Sreg 12);
+    Isa.I2 (Isa.PUSH, Isa.W, Isa.Simm 8);
+    Isa.I2 (Isa.PUSH, Isa.W, Isa.SimmX 8);
+    Isa.I2 (Isa.CALL, Isa.W, Isa.Simm 0x4400);
+    Isa.I2 (Isa.CALL, Isa.W, Isa.Simm 2);
+    Isa.I2 (Isa.CALL, Isa.W, Isa.Sabs 0x2100);
+    Isa.I2 (Isa.RRA, Isa.W, Isa.Sreg 12);
+    Isa.I2 (Isa.RRC, Isa.B, Isa.Sidx (4, 4));
+    Isa.I2 (Isa.SXT, Isa.W, Isa.Sreg 15);
+    Isa.Jcc (Isa.JNE, -1);
+    Isa.Jcc (Isa.JMP, 511);
+    Isa.Jcc (Isa.JL, -512);
+    Isa.RETI;
+  ]
+
+(* Random instruction generator for the round-trip property. *)
+let gen_reg = QCheck2.Gen.int_range 4 15
+let gen_word = QCheck2.Gen.int_range 0 0xFFFF
+
+let gen_src =
+  let open QCheck2.Gen in
+  oneof
+    [
+      map (fun r -> Isa.Sreg r) gen_reg;
+      map2 (fun x r -> Isa.Sidx (x, r)) gen_word gen_reg;
+      map (fun r -> Isa.Sind r) gen_reg;
+      map (fun r -> Isa.Sinc r) gen_reg;
+      map (fun v -> Isa.Simm v) gen_word;
+      map
+        (fun v -> Isa.SimmX v)
+        (oneofl [ 0; 1; 2; 4; 8; 0xFFFF ]);
+      map (fun a -> Isa.Sabs a) gen_word;
+      map (fun a -> Isa.Ssym a) gen_word;
+    ]
+
+let gen_dst =
+  let open QCheck2.Gen in
+  oneof
+    [
+      map (fun r -> Isa.Dreg r) gen_reg;
+      map2 (fun x r -> Isa.Didx (x, r)) gen_word gen_reg;
+      map (fun a -> Isa.Dabs a) gen_word;
+      map (fun a -> Isa.Dsym a) gen_word;
+    ]
+
+let gen_op1 =
+  QCheck2.Gen.oneofl
+    Isa.
+      [ MOV; ADD; ADDC; SUBC; SUB; CMP; DADD; BIT; BIC; BIS; XOR; AND ]
+
+let gen_op2 = QCheck2.Gen.oneofl Isa.[ RRC; SWPB; RRA; SXT; PUSH; CALL ]
+let gen_size = QCheck2.Gen.oneofl Isa.[ W; B ]
+
+let gen_instr =
+  let open QCheck2.Gen in
+  oneof
+    [
+      (let* op = gen_op1 in
+       let* sz = gen_size in
+       let* s = gen_src in
+       let* d = gen_dst in
+       return (Isa.I1 (op, sz, s, d)));
+      (let* op = gen_op2 in
+       let* s = gen_src in
+       (* CALL never uses the constant generator, so SimmX does not
+          arise for it. *)
+       let s =
+         match (op, s) with
+         | Isa.CALL, Isa.SimmX v -> Isa.Simm v
+         | _ -> s
+       in
+       return (Isa.I2 (op, Isa.W, s)));
+      (let* c = oneofl Isa.[ JNE; JEQ; JNC; JC; JN; JGE; JL; JMP ] in
+       let* off = int_range (-512) 511 in
+       return (Isa.Jcc (c, off)));
+    ]
+
+let roundtrip_prop =
+  QCheck2.Test.make ~count:2000 ~name:"encode/decode round-trip" gen_instr
+    (fun instr ->
+      let addr = 0x4400 in
+      let words = Encoding.encode ~addr instr in
+      let mem = Array.of_list words in
+      let fetch a = mem.((a - addr) / 2) in
+      let decoded, size = Encoding.decode ~fetch ~addr in
+      Isa.equal instr decoded && size = Isa.size_bytes instr)
+
+let size_prop =
+  QCheck2.Test.make ~count:2000 ~name:"encoded size matches size_bytes"
+    gen_instr (fun instr ->
+      let words = Encoding.encode ~addr:0x5000 instr in
+      2 * List.length words = Isa.size_bytes instr)
+
+let suite =
+  List.mapi
+    (fun i instr ->
+      Alcotest.test_case
+        (Printf.sprintf "roundtrip %d: %s" i (Isa.to_string instr))
+        `Quick (check_roundtrip instr))
+    unit_cases
+  @ [
+      QCheck_alcotest.to_alcotest roundtrip_prop;
+      QCheck_alcotest.to_alcotest size_prop;
+    ]

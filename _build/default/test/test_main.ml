@@ -1,0 +1,13 @@
+let () =
+  Alcotest.run "swapram"
+    [
+      ("isa", Test_isa.suite);
+      ("cpu", Test_cpu.suite);
+      ("asm", Test_asm.suite);
+      ("minic", Test_minic.suite);
+      ("swapram", Test_swapram.suite);
+      ("blockcache", Test_blockcache.suite);
+      ("platform", Test_platform.suite);
+      ("validation", Test_validation.suite);
+      ("differential", Test_differential.suite);
+    ]

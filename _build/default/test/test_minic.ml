@@ -1,0 +1,145 @@
+(* mini-C compiler tests: compile, assemble, run on the simulator, and
+   check main's return value (R12) and UART output. *)
+
+module Isa = Msp430.Isa
+module Cpu = Msp430.Cpu
+module Memory = Msp430.Memory
+module Platform = Msp430.Platform
+
+let run_c ?(through_disasm = false) source =
+  let program = Minic.Driver.program_of_source ~through_disasm source in
+  let image = Masm.Assembler.assemble program in
+  let system = Platform.create Platform.Mhz24 in
+  Masm.Assembler.load image system.Platform.memory;
+  Cpu.set_reg system.Platform.cpu Isa.sp 0x3000;
+  Cpu.set_reg system.Platform.cpu Isa.pc
+    (Masm.Assembler.lookup image Minic.Driver.entry_name);
+  (match Cpu.run ~fuel:10_000_000 system.Platform.cpu with
+  | Cpu.Halted -> ()
+  | Cpu.Fuel_exhausted -> Alcotest.fail "program did not halt");
+  ( Cpu.reg system.Platform.cpu 12,
+    Memory.uart_output system.Platform.memory )
+
+let returns name expected source =
+  Alcotest.test_case name `Quick (fun () ->
+      let r12, _ = run_c source in
+      Alcotest.(check int) name (expected land 0xFFFF) r12)
+
+let prints name expected source =
+  Alcotest.test_case name `Quick (fun () ->
+      let _, uart = run_c source in
+      Alcotest.(check string) name expected uart)
+
+let suite =
+  [
+    returns "return constant" 42 "int main(void) { return 42; }";
+    returns "arith precedence" 14 "int main(void) { return 2 + 3 * 4; }";
+    returns "parens" 20 "int main(void) { return (2 + 3) * 4; }";
+    returns "negative" (-7) "int main(void) { return -7; }";
+    returns "bitwise" 0x0FF1
+      "int main(void) { return (0xFF00 ^ 0xF0F0) | 0x0001 & 0xFFFF; }";
+    returns "division signed" (-3) "int main(void) { return -7 / 2; }";
+    returns "modulo signed" (-1) "int main(void) { return -7 % 2; }";
+    returns "division unsigned" 0x7FFF
+      "int main(void) { unsigned x = 0xFFFE; return x / 2; }";
+    returns "multiply" 391 "int main(void) { int a = 17; int b = 23; return a * b; }";
+    returns "multiply neg" (-35) "int main(void) { int a = -5; return a * 7; }";
+    returns "mul by const power of two" 80
+      "int main(void) { int a = 5; return a * 16; }";
+    returns "shift left" 40 "int main(void) { int a = 5; return a << 3; }";
+    returns "shift right arith" (-2) "int main(void) { int a = -8; return a >> 2; }";
+    returns "shift right logical" 0x3FFF
+      "int main(void) { unsigned a = 0xFFFC; return a >> 2; }";
+    returns "variable shift" 48
+      "int main(void) { int a = 3; int s = 4; return a << s; }";
+    returns "globals" 30 "int g = 10; int main(void) { g = g + 20; return g; }";
+    returns "global array sum" 60
+      "int t[4] = {10, 20, 25, 5}; int main(void) { int s = 0; int i; \
+       for (i = 0; i < 4; i++) s += t[i]; return s; }";
+    returns "local array" 6
+      "int main(void) { int a[3]; a[0]=1; a[1]=2; a[2]=3; return a[0]+a[1]+a[2]; }";
+    returns "char array" 443
+      "char b[2]; int main(void) { b[0] = 200; b[1] = 0xFF3; \
+       return (b[0] + b[1]) & 0xFFFF; }";
+    returns "pointers" 99
+      "int x; int main(void) { int *p = &x; *p = 99; return x; }";
+    returns "pointer arith" 22
+      "int a[3] = {11, 22, 33}; int main(void) { int *p = a; p = p + 1; return *p; }";
+    returns "while loop" 55
+      "int main(void) { int s = 0; int i = 1; while (i <= 10) { s += i; i++; } return s; }";
+    returns "do while" 10
+      "int main(void) { int i = 0; do { i += 2; } while (i < 10); return i; }";
+    returns "break continue" 12
+      "int main(void) { int s = 0; int i; for (i = 0; i < 10; i++) { \
+       if (i == 3) continue; if (i == 6) break; s += i; } return s; }";
+    returns "nested if" 3
+      "int main(void) { int x = 5; if (x > 10) return 1; else if (x > 4) \
+       { if (x == 5) return 3; return 2; } return 0; }";
+    returns "logical and or" 1
+      "int main(void) { int a = 5; int b = 0; return (a && !b) || (b && 99); }";
+    returns "short circuit" 7
+      "int g = 7; int bump(void) { g = 100; return 1; } \
+       int main(void) { int z = 0; if (z && bump()) { return 1; } return g; }";
+    returns "ternary" 20 "int main(void) { int x = 3; return x > 2 ? 20 : 30; }";
+    returns "switch" 22
+      "int pick(int k) { switch (k) { case 1: return 11; case 2: return 22; \
+       case 3: case 4: return 34; default: return 99; } } \
+       int main(void) { return pick(2); }";
+    returns "switch fallthrough" 3
+      "int main(void) { int n = 0; switch (1) { case 1: n++; case 2: n++; \
+       case 3: n++; break; case 4: n = 100; } return n; }";
+    returns "switch default" 99
+      "int pick(int k) { switch (k) { case 1: return 11; default: return 99; } } \
+       int main(void) { return pick(7); }";
+    returns "function args" 24
+      "int mul2(int a, int b) { return a * b; } \
+       int main(void) { return mul2(4, 6); }";
+    returns "four args" 10
+      "int sum4(int a, int b, int c, int d) { return a + b + c + d; } \
+       int main(void) { return sum4(1, 2, 3, 4); }";
+    returns "recursion" 120
+      "int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); } \
+       int main(void) { return fact(5); }";
+    returns "fibonacci" 55
+      "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); } \
+       int main(void) { return fib(10); }";
+    returns "compound assign" 12
+      "int main(void) { int x = 5; x += 3; x -= 1; x *= 4; x /= 2; x ^= 2; \
+       return x; }";
+    returns "compound on array" 15
+      "int a[2] = {5, 0}; int main(void) { a[0] += 10; return a[0]; }";
+    returns "pre/post increment" 21
+      "int main(void) { int i = 10; int a = i++; int b = ++i; return a - 1 + b; }";
+    returns "unsigned compare" 1
+      "int main(void) { unsigned a = 0xFFF0; return a > 10; }";
+    returns "signed compare" 0
+      "int main(void) { int a = -16; return a > 10; }";
+    returns "char deref and index" (Char.code 'l')
+      "char *msg = \"hello\"; int main(void) { return msg[3]; }";
+    returns "cast to char" 0x34
+      "int main(void) { int x = 0x1234; return (char)x; }";
+    returns "comma free for" 45
+      "int main(void) { int s = 0; for (int i = 0; i < 10; i++) { s += i; } return s; }";
+    returns "hex literals" 0xBEEF "int main(void) { return 0xBEEF; }";
+    returns "char literal" 65 "int main(void) { return 'A'; }";
+    prints "putchar" "ok"
+      "int main(void) { putchar('o'); putchar('k'); return 0; }";
+    prints "print string loop" "hi!"
+      "char *s = \"hi!\"; int main(void) { int i; for (i = 0; s[i]; i++) \
+       putchar(s[i]); return 0; }";
+    Alcotest.test_case "library via disassembler matches" `Quick (fun () ->
+        let src =
+          "int main(void) { int a = -1234; int b = 57; return a / b * b + a % b; }"
+        in
+        let direct, _ = run_c src in
+        let lifted, _ = run_c ~through_disasm:true src in
+        Alcotest.(check int) "same result" direct lifted;
+        Alcotest.(check int) "C identity" ((-1234) land 0xFFFF)
+          ((direct * 1) land 0xFFFF));
+    returns "unsigned modulo" 3
+      "int main(void) { unsigned a = 0xFFFF; return a % 4; }";
+    returns "division by zero guarded" 0xFFFF
+      "int main(void) { unsigned a = 5; unsigned b = 0; return a / b; }";
+    returns "address of local" 77
+      "void set(int *p) { *p = 77; } int main(void) { int x = 0; set(&x); return x; }";
+  ]

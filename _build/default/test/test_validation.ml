@@ -1,0 +1,77 @@
+(* §5.1 program-flow validation: run benchmarks with fresh input seeds
+   and check that UART output (the check-sequence) and the return
+   value are identical on the baseline, under SwapRAM and under the
+   block cache. The heavyweight benchmarks are exercised at one seed
+   by the bench harness; here we cover the fast ones across seeds. *)
+
+module T = Experiments.Toolchain
+module Trace = Msp430.Trace
+
+let run config =
+  match T.run config with
+  | T.Completed r -> Some r
+  | T.Did_not_fit _ -> None
+
+let check_seed benchmark seed () =
+  let base_config = { (T.default_config benchmark) with T.seed } in
+  let base =
+    match run base_config with
+    | Some r -> r
+    | None -> Alcotest.fail "baseline does not fit"
+  in
+  (match
+     run
+       {
+         base_config with
+         T.caching = T.Swapram_cache Swapram.Config.default_options;
+       }
+   with
+  | Some sr ->
+      Alcotest.(check string) "swapram uart" base.T.uart sr.T.uart;
+      Alcotest.(check int) "swapram result" base.T.return_value sr.T.return_value
+  | None -> Alcotest.fail "swapram build does not fit");
+  match
+    run
+      {
+        base_config with
+        T.caching = T.Block_cache Blockcache.Config.default_options;
+      }
+  with
+  | Some bb ->
+      Alcotest.(check string) "block uart" base.T.uart bb.T.uart;
+      Alcotest.(check int) "block result" base.T.return_value bb.T.return_value
+  | None -> () (* DNF benchmarks are allowed to skip the block cache *)
+
+let fast_benchmarks =
+  Workloads.Suite.[ crc; rc4; aes; bitcount; rsa; arith ]
+
+let suite =
+  List.concat_map
+    (fun b ->
+      List.map
+        (fun seed ->
+          Alcotest.test_case
+            (Printf.sprintf "%s seed %d" b.Workloads.Bench_def.name seed)
+            `Quick (check_seed b seed))
+        [ 2; 3 ])
+    fast_benchmarks
+  @ [
+      (* one heavier benchmark with relocatable branches and the
+         MTF/compression phases, at a fresh seed *)
+      Alcotest.test_case "lzfx seed 2" `Slow
+        (check_seed Workloads.Suite.lzfx 2);
+      Alcotest.test_case "sram fraction high on fitting benchmarks" `Quick
+        (fun () ->
+          let base_config = T.default_config Workloads.Suite.crc in
+          match
+            run
+              {
+                base_config with
+                T.caching = T.Swapram_cache Swapram.Config.default_options;
+              }
+          with
+          | Some r ->
+              Alcotest.(check bool) "sram frac > 0.9" true
+                (Trace.instr_fraction r.T.stats Trace.App_sram > 0.9)
+          | None -> Alcotest.fail "build failed");
+    ]
