@@ -16,7 +16,7 @@ module Trace = Msp430.Trace
 open Cmdliner
 
 let benchmark_arg =
-  let doc = "Bundled benchmark name (stringsearch, dijkstra, crc, rc4, fft, aes, lzfx, bitcount, rsa, arith)." in
+  let doc = "Bundled benchmark name (stringsearch, dijkstra, crc, rc4, fft, aes, lzfx, bitcount, rsa, arith, journal)." in
   Arg.(value & opt (some string) None & info [ "benchmark"; "b" ] ~doc)
 
 let file_arg =
@@ -106,6 +106,8 @@ let run_cmd benchmark file system placement freq seed blacklist =
   match Experiments.Toolchain.run config with
   | Experiments.Toolchain.Did_not_fit msg ->
       `Error (false, "binary does not fit the platform: " ^ msg)
+  | Experiments.Toolchain.Crashed o ->
+      `Error (false, "run did not halt: " ^ Experiments.Report.outcome_cell o)
   | Experiments.Toolchain.Completed r ->
       let stats = r.Experiments.Toolchain.stats in
       Printf.printf "benchmark    : %s (seed %d)\n" b.Workloads.Bench_def.name seed;
@@ -237,6 +239,72 @@ let limit_arg =
   let doc = "Number of instructions to trace." in
   Arg.(value & opt int 100 & info [ "limit"; "n" ] ~doc)
 
+(* Power-failure injection with the crash-consistency oracle. *)
+
+let mode_arg =
+  let doc =
+    "Injection mode: sweep (periodic gaps from --period, repeatable), \
+     periodic (single gap), random (seeded bursts) or adversarial \
+     (outages aimed at the runtime's critical windows)."
+  in
+  Arg.(value & opt string "sweep" & info [ "mode"; "m" ] ~doc)
+
+let period_arg =
+  let doc = "Outage period in counted memory accesses (repeatable)." in
+  Arg.(value & opt_all int [] & info [ "period" ] ~doc)
+
+let crash_seed_arg =
+  let doc = "Seed for the random outage schedule." in
+  Arg.(value & opt int 42 & info [ "crash-seed" ] ~doc)
+
+let max_reboots_arg =
+  let doc = "Watchdog: reboots before a run is declared a livelock." in
+  Arg.(value & opt int 2000 & info [ "max-reboots" ] ~doc)
+
+let faultinject_cmd benchmark file system placement freq seed blacklist mode
+    periods crash_seed max_reboots =
+  let* b = load_benchmark ~benchmark ~file ~seed in
+  let* caching = parse_system blacklist system in
+  let* placement = parse_placement placement in
+  let* frequency = parse_freq freq in
+  let config =
+    {
+      (Experiments.Toolchain.default_config b) with
+      Experiments.Toolchain.seed;
+      caching;
+      placement;
+      frequency;
+    }
+  in
+  let periods = if periods = [] then [ 400_000; 150_000; 80_000 ] else periods in
+  let* schedules =
+    match mode with
+    | "sweep" ->
+        Ok (List.map (fun p -> Faultinject.Schedule.Periodic p) periods)
+    | "periodic" -> Ok [ Faultinject.Schedule.Periodic (List.hd periods) ]
+    | "random" ->
+        Ok
+          [
+            Faultinject.Schedule.Random
+              { seed = crash_seed; min_gap = 30_000; max_gap = 300_000 };
+          ]
+    | "adversarial" -> Ok [ Faultinject.Schedule.adversarial ]
+    | m -> Error ("unknown injection mode " ^ m)
+  in
+  match Faultinject.Injector.sweep ~max_reboots config schedules with
+  | Error msg -> `Error (false, "golden run failed: " ^ msg)
+  | Ok reports ->
+      print_endline (Faultinject.Injector.table reports);
+      let failures =
+        List.filter (fun r -> not (Faultinject.Injector.passed r)) reports
+      in
+      if failures = [] then `Ok ()
+      else
+        `Error
+          ( false,
+            Printf.sprintf "%d of %d injected runs failed the oracle"
+              (List.length failures) (List.length reports) )
+
 let run_term =
   Term.(
     ret
@@ -268,6 +336,16 @@ let cmds =
         ret
           (const trace_cmd $ benchmark_arg $ file_arg $ system_arg $ seed_arg
          $ limit_arg));
+    Cmd.v
+      (Cmd.info "faultinject"
+         ~doc:
+           "Inject power failures and verify crash consistency against an \
+            uninterrupted golden run")
+      Term.(
+        ret
+          (const faultinject_cmd $ benchmark_arg $ file_arg $ system_arg
+         $ placement_arg $ freq_arg $ seed_arg $ blacklist_arg $ mode_arg
+         $ period_arg $ crash_seed_arg $ max_reboots_arg));
   ]
 
 let () =

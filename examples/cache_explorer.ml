@@ -16,6 +16,7 @@ let run benchmark options =
       }
   with
   | T.Completed r -> r
+  | T.Crashed o -> failwith (Msp430.Cpu.outcome_name o)
   | T.Did_not_fit msg -> failwith msg
 
 let () =
@@ -28,6 +29,7 @@ let () =
   let baseline =
     match T.run (T.default_config benchmark) with
     | T.Completed r -> r
+    | T.Crashed o -> failwith (Msp430.Cpu.outcome_name o)
     | T.Did_not_fit msg -> failwith msg
   in
   let base_cycles = Trace.total_cycles baseline.T.stats in

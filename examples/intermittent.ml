@@ -3,112 +3,79 @@
    harvest energy, compute in bursts, and rely on FRAM to carry state
    across outages while SRAM contents evaporate.
 
-   This example runs an idempotent windowed workload whose progress
-   journal lives in FRAM, kills the power every few hundred thousand
-   cycles (clearing SRAM — including every cached function — and
-   resetting the CPU), reboots through Swapram.Runtime.reboot, and
-   shows that the digest matches an uninterrupted run.
+   This example drives the fault-injection subsystem over the
+   idempotent journal workload: power dies every few hundred thousand
+   counted accesses (clearing SRAM — including every cached function —
+   and resetting the CPU), the runtime reboots through
+   Swapram.Runtime.reboot, and the crash-consistency oracle checks the
+   survivor's FRAM state and return value against an uninterrupted
+   golden run. The adversarial schedule then aims outages directly at
+   the miss handler, the copy loop and the metadata tables.
 
    Run with: dune exec examples/intermittent.exe *)
 
-module Platform = Msp430.Platform
-module Cpu = Msp430.Cpu
-module Memory = Msp430.Memory
-module Isa = Msp430.Isa
-module Trace = Msp430.Trace
+module Toolchain = Experiments.Toolchain
 
-(* Idempotent structure: each window's result goes to its own FRAM
-   slot and `progress` only advances after the slot is written, so
-   replaying a half-finished window is harmless. *)
-let firmware =
-  Workloads.Bench_def.prelude
-  ^ {|
-int progress;          /* highest fully-committed window, in FRAM */
-int results[32];       /* per-window results journal, in FRAM */
-
-int window_digest(int w) {
-  unsigned h = 5381 + w;
-  int i;
-  for (i = 0; i < 250; i++) {
-    h = ((h << 5) + h) ^ ((w * 193 + i) & 0xFF);
-    if (h & 1) h = h ^ 0x1021;
+let config =
+  {
+    (Toolchain.default_config Workloads.Suite.journal) with
+    Toolchain.caching = Toolchain.Swapram_cache Swapram.Config.default_options;
   }
-  return h & 0x7FFF;
-}
-
-int main(void) {
-  while (progress < 32) {
-    results[progress] = window_digest(progress);
-    progress = progress + 1;
-  }
-  unsigned digest = 0;
-  int i;
-  for (i = 0; i < 32; i++) digest = (digest << 1 | digest >> 15) ^ results[i];
-  print_hex(digest);
-  return digest;
-}
-|}
-
-let fram_top = Platform.fram_base + Platform.fram_size
-
-let boot system image entry =
-  Cpu.set_reg system.Platform.cpu Isa.sp fram_top;
-  Cpu.set_reg system.Platform.cpu Isa.pc (Masm.Assembler.lookup image entry)
-
-(* Run to completion with the power failing every [burst] instructions.
-
-   Forward-progress condition (the classic constraint from the
-   intermittent-computing literature the paper cites — Hibernus,
-   Alpaca, Clank): a burst must be long enough to redo one window from
-   a cold boot, including re-caching the hot functions. Below that,
-   every burst replays the identical prefix and dies before the
-   commit — a deterministic livelock. [max_reboots] guards the demo
-   against such configurations. *)
-let run_intermittent ~burst =
-  let program = Minic.Driver.program_of_source firmware in
-  let built = Swapram.Pipeline.build program in
-  let image = built.Swapram.Pipeline.image in
-  let system = Platform.create Platform.Mhz24 in
-  let runtime = Swapram.Pipeline.install built system in
-  boot system image Minic.Driver.entry_name;
-  let reboots = ref 0 in
-  let max_reboots = 2000 in
-  let rec power_cycle () =
-    match Cpu.run ~fuel:burst system.Platform.cpu with
-    | Cpu.Halted -> ()
-    | Cpu.Fuel_exhausted ->
-        (* power failure: SRAM evaporates, FRAM (data + journal)
-           survives; reboot the runtime and restart from the vector *)
-        incr reboots;
-        if !reboots > max_reboots then
-          failwith
-            "no forward progress: the energy burst is too short to complete one window";
-        for a = Platform.sram_base to Platform.sram_base + Platform.sram_size - 1
-        do
-          Memory.poke_byte system.Platform.memory a 0xFF
-        done;
-        Swapram.Runtime.reboot runtime ~image;
-        boot system image Minic.Driver.entry_name;
-        power_cycle ()
-  in
-  power_cycle ();
-  ( Cpu.reg system.Platform.cpu 12,
-    Memory.uart_output system.Platform.memory,
-    !reboots,
-    Swapram.Runtime.stats runtime )
 
 let () =
-  let uninterrupted, out0, _, _ = run_intermittent ~burst:max_int in
-  Printf.printf "uninterrupted run : digest %04x (uart %s)\n" uninterrupted out0;
-  List.iter
-    (fun burst ->
-      let digest, _, reboots, stats = run_intermittent ~burst in
+  let golden =
+    match Faultinject.Oracle.golden config with
+    | Ok g -> g
+    | Error msg -> failwith msg
+  in
+  Printf.printf "uninterrupted run : digest %04x (%d instructions)\n"
+    golden.Faultinject.Oracle.g_return
+    golden.Faultinject.Oracle.g_instructions;
+
+  (* Forward-progress condition (the classic constraint from the
+     intermittent-computing literature — Hibernus, Alpaca, Clank): a
+     burst must be long enough to redo one window from a cold boot,
+     including re-caching the hot functions. Below that, every burst
+     replays the identical prefix and dies before the commit — a
+     deterministic livelock, which the injector's watchdog reports
+     instead of hanging. *)
+  let schedules =
+    List.map
+      (fun gap -> Faultinject.Schedule.Periodic gap)
+      [ 400_000; 150_000; 80_000 ]
+    @ [
+        Faultinject.Schedule.Random
+          { seed = 42; min_gap = 30_000; max_gap = 300_000 };
+        Faultinject.Schedule.adversarial;
+      ]
+  in
+  let reports =
+    List.map
+      (fun s -> Faultinject.Injector.run_against ~golden config s)
+      schedules
+  in
+  print_endline (Faultinject.Injector.table reports);
+  if not (List.for_all Faultinject.Injector.passed reports) then (
+    print_endline "crash-consistency verdicts FAILED";
+    exit 1);
+
+  (* And the other side of the condition: a burst too short to redo
+     one window from a cold boot makes no forward progress — the
+     watchdog reports the deterministic livelock instead of hanging. *)
+  let starved =
+    Faultinject.Injector.run_against ~max_reboots:100 ~golden config
+      (Faultinject.Schedule.Periodic 8_000)
+  in
+  (match starved.Faultinject.Injector.r_verdict with
+  | Faultinject.Injector.Livelock _ ->
       Printf.printf
-        "power every %7d instrs: digest %04x, %3d reboots, %4d cache misses %s\n"
-        burst digest reboots stats.Swapram.Runtime.misses
-        (if digest = uninterrupted then "OK" else "MISMATCH");
-      assert (digest = uninterrupted))
-    [ 400_000; 100_000; 40_000 ];
+        "periodic/8000 starves the workload as expected: %s\n"
+        (Faultinject.Injector.verdict_name
+           starved.Faultinject.Injector.r_verdict)
+  | v ->
+      Printf.printf "expected a livelock under periodic/8000, got %s\n"
+        (Faultinject.Injector.verdict_name v);
+      exit 1);
   print_endline
     "\nFRAM keeps the journal across outages; the SRAM code cache is\n\
      rebuilt from NVM after every reboot (Swapram.Runtime.reboot resets\n\

@@ -38,7 +38,7 @@ let execute image =
     (Masm.Assembler.lookup image Minic.Driver.entry_name);
   (match Cpu.run ~fuel:100_000_000 system.Platform.cpu with
   | Cpu.Halted -> ()
-  | Cpu.Fuel_exhausted -> failwith "did not halt");
+  | o -> failwith ("did not halt: " ^ Cpu.outcome_name o));
   (Cpu.reg system.Platform.cpu 12, system)
 
 let () =
@@ -59,7 +59,7 @@ let () =
     (Masm.Assembler.lookup built.Swapram.Pipeline.image Minic.Driver.entry_name);
   (match Cpu.run ~fuel:100_000_000 system.Platform.cpu with
   | Cpu.Halted -> ()
-  | Cpu.Fuel_exhausted -> failwith "did not halt");
+  | o -> failwith ("did not halt: " ^ Cpu.outcome_name o));
   let sr_result = Cpu.reg system.Platform.cpu 12 in
 
   (* 4. compare *)

@@ -100,6 +100,8 @@ let benchmark =
 
 let describe tag = function
   | T.Did_not_fit msg -> Printf.printf "%-22s does not fit: %s\n" tag msg
+  | T.Crashed o ->
+      Printf.printf "%-22s did not halt: %s\n" tag (Msp430.Cpu.outcome_name o)
   | T.Completed r ->
       Printf.printf
         "%-22s %9d cycles  %7.2f ms  %8.1f uJ  %9d FRAM accesses  out=%s\n" tag

@@ -11,6 +11,8 @@ let describe benchmark tag outcome =
   match outcome with
   | T.Did_not_fit msg ->
       Printf.printf "  %-28s does not fit (%s)\n" tag msg
+  | T.Crashed o ->
+      Printf.printf "  %-28s did not halt (%s)\n" tag (Msp430.Cpu.outcome_name o)
   | T.Completed r ->
       Printf.printf "  %-28s %9d cycles  %7.2f ms  %8.1f uJ\n" tag
         (Trace.total_cycles r.T.stats)

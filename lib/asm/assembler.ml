@@ -289,6 +289,19 @@ let item_size image name =
   | Some i -> i.info_size
   | None -> error "unknown item %s" name
 
+(* The post-link bytes of a named item — what a power-loss recovery
+   routine restores metadata tables from. *)
+let item_initial image name =
+  let addr = lookup image name in
+  let size = item_size image name in
+  match
+    List.find_opt
+      (fun s -> addr >= s.base && addr + size <= s.base + Bytes.length s.contents)
+      image.segments
+  with
+  | Some seg -> (addr, Bytes.sub seg.contents (addr - seg.base) size)
+  | None -> error "item %s is not covered by any segment" name
+
 let emit_segment symbols base placed_items =
   let last =
     List.fold_left (fun acc p -> max acc (p.iaddr + p.isize)) base placed_items

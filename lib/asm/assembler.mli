@@ -50,6 +50,10 @@ type t = {
 
 val lookup : t -> string -> int
 val item_size : t -> string -> int
+
+(** Address and post-link contents of a named item — what a
+    power-loss recovery routine restores metadata tables from. *)
+val item_initial : t -> string -> int * Bytes.t
 val assemble : ?layout:layout -> Ast.program -> t
 val load : t -> Msp430.Memory.t -> unit
 val code_size : t -> int

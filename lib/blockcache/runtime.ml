@@ -189,6 +189,38 @@ let on_return t cpu =
   charge t Trace.Handler Costs.runtime_exit_instrs;
   Cpu.Goto slot
 
+(* Power-loss recovery, mirroring Swapram.Runtime.reboot: the SRAM
+   slots (and every chained BR word patched into them) evaporate, but
+   the FRAM hash table still maps NVM block addresses to the vanished
+   copies. Restore the hash table and the CFI id word to their
+   post-link (empty/zero) values and reset the volatile slot cursor.
+   The restore writes are counted FRAM accesses, so an armed power
+   trigger can tear the reboot itself; the routine is idempotent. *)
+let reboot t ~image =
+  t.next_slot <- 0;
+  t.handler_cursor <- 0;
+  t.memcpy_cursor <- 0;
+  let restore_item name =
+    let addr, bytes = Masm.Assembler.item_initial image name in
+    Bytes.iteri
+      (fun i c -> Memory.write_byte t.mem (addr + i) (Char.code c))
+      bytes
+  in
+  List.iter restore_item [ Config.sym_cfi; Config.sym_hash ]
+
+(* Runtime-critical FRAM windows for adversarial fault injection —
+   dying on an access in one of these regions is dying inside the
+   miss handler, mid-memcpy, or between hash-table half-updates. *)
+let critical_windows t ~image =
+  [
+    ("runtime", t.addrs.a_runtime, t.addrs.a_runtime + t.addrs.runtime_size);
+    ("memcpy", t.addrs.a_memcpy, t.addrs.a_memcpy + t.addrs.memcpy_size);
+    ( "hash",
+      t.addrs.a_hash,
+      t.addrs.a_hash + Masm.Assembler.item_size image Config.sym_hash );
+    ("cfi", t.addrs.a_cfi, t.addrs.a_cfi + 2);
+  ]
+
 let table_addrs_of_image image (manifest : Transform.manifest) =
   let look = Masm.Assembler.lookup image in
   {

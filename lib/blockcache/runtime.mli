@@ -19,6 +19,19 @@ type t
 
 val stats : t -> stats
 
+val reboot : t -> image:Masm.Assembler.t -> unit
+(** Power-loss recovery, mirroring [Swapram.Runtime.reboot]: restore
+    the FRAM hash table and CFI id word to their post-link values and
+    reset the volatile slot cursor; the SRAM slots themselves are
+    gone with the power. Restore writes are counted, so an armed
+    power trigger can tear the reboot itself; rerunning recovers. *)
+
+val critical_windows :
+  t -> image:Masm.Assembler.t -> (string * int * int) list
+(** Named [(lo, hi)] FRAM address windows whose accesses belong to the
+    caching runtime (handler region, memcpy region, hash table, CFI
+    word) — the adversarial fault-injection targets. *)
+
 val install :
   options:Config.options ->
   manifest:Transform.manifest ->

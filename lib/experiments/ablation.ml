@@ -19,10 +19,9 @@ type run_cells = {
   evictions : int;
 }
 
-let cells_of = function
-  | Toolchain.Did_not_fit m -> failwith m
-  | Toolchain.Completed r ->
-      let s = Option.get r.Toolchain.swapram_stats in
+let cells_of outcome =
+  let r = Report.expect_completed ~what:"ablation" outcome in
+  let s = Option.get r.Toolchain.swapram_stats in
       {
         cycles = Trace.total_cycles r.Toolchain.stats;
         fram = Trace.fram_accesses r.Toolchain.stats;
@@ -91,7 +90,7 @@ let compute ?(seed = 1) () =
           match on_result with
           | Toolchain.Completed r ->
               (Option.get r.Toolchain.swapram_stats).Swapram.Runtime.prefetches
-          | Toolchain.Did_not_fit _ -> 0
+          | Toolchain.Crashed _ | Toolchain.Did_not_fit _ -> 0
         in
         (b.Workloads.Bench_def.name, off, on, prefetches))
       [ Workloads.Suite.aes; Workloads.Suite.crc; Workloads.Suite.rsa ]
@@ -128,8 +127,10 @@ let compute ?(seed = 1) () =
                 through_disasm;
               }
           with
-          | Toolchain.Completed r -> Trace.total_cycles r.Toolchain.stats
-          | Toolchain.Did_not_fit m -> failwith m
+          | outcome ->
+              Trace.total_cycles
+                (Report.expect_completed ~what:"ablation disasm" outcome)
+                  .Toolchain.stats
         in
         (b.Workloads.Bench_def.name, run false, run true))
       [ Workloads.Suite.crc; Workloads.Suite.rsa ]

@@ -44,7 +44,9 @@ let compute ?(seed = 1) () =
                 energy_uj = r.Toolchain.energy.Msp430.Energy.energy_nj /. 1000.0;
               }
           | Toolchain.Did_not_fit msg ->
-              failwith ("fig1: arith does not fit: " ^ msg))
+              failwith ("fig1: arith does not fit: " ^ msg)
+          | Toolchain.Crashed o ->
+              failwith ("fig1: arith: " ^ Report.outcome_cell o))
         placements)
     [ Platform.Mhz8; Platform.Mhz24 ]
 

@@ -21,6 +21,7 @@ type t = { frequency : Platform.frequency; rows : row list }
 
 let speed_energy ~unified = function
   | Toolchain.Did_not_fit _ -> None
+  | Toolchain.Crashed o -> failwith ("fig10: " ^ Report.outcome_cell o)
   | Toolchain.Completed r ->
       Some
         ( unified.Toolchain.energy.Energy.time_s
@@ -43,9 +44,8 @@ let compute ?(seed = 1) ~frequency () =
             }
         in
         let unified =
-          match run Toolchain.Unified Toolchain.Baseline with
-          | Toolchain.Completed r -> r
-          | Toolchain.Did_not_fit m -> failwith m
+          Report.expect_completed ~what:"fig10 unified baseline"
+            (run Toolchain.Unified Toolchain.Baseline)
         in
         let standard =
           match

@@ -28,6 +28,7 @@ type t = row list
 
 let breakdown_of = function
   | Toolchain.Did_not_fit _ -> None
+  | Toolchain.Crashed o -> failwith ("fig8: " ^ Report.outcome_cell o)
   | Toolchain.Completed r ->
       let s = r.Toolchain.stats in
       let get src = s.Trace.instr_by_source.(Trace.source_index src) in

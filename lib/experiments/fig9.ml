@@ -19,6 +19,7 @@ type t = { frequency : Platform.frequency; rows : row list }
 
 let cell_of base = function
   | Toolchain.Did_not_fit _ -> None
+  | Toolchain.Crashed o -> failwith ("fig9: " ^ Report.outcome_cell o)
   | Toolchain.Completed r ->
       Some
         {

@@ -59,3 +59,16 @@ let geo_mean = function
 let heading title =
   let bar = String.make (String.length title) '=' in
   Printf.sprintf "%s\n%s\n" title bar
+
+(* Table cell / error-message rendering for structured run outcomes,
+   so every report and CLI surface describes failures the same way. *)
+let outcome_cell o = Msp430.Cpu.outcome_name o
+
+(* Most experiment tables only make sense for runs that halted
+   cleanly; anything else is a harness bug worth failing loudly on. *)
+let expect_completed ~what = function
+  | Toolchain.Completed r -> r
+  | Toolchain.Crashed o ->
+      failwith (Printf.sprintf "%s: %s" what (outcome_cell o))
+  | Toolchain.Did_not_fit msg ->
+      failwith (Printf.sprintf "%s: does not fit: %s" what msg)

@@ -14,3 +14,11 @@ val ratio : vs:int -> int -> float
 val millions : int -> string
 val geo_mean : float list -> float
 val heading : string -> string
+
+val outcome_cell : Msp430.Cpu.run_outcome -> string
+(** Uniform rendering of structured run outcomes in tables and error
+    messages. *)
+
+val expect_completed : what:string -> Toolchain.outcome -> Toolchain.result
+(** The result of a run that must have halted cleanly; any other
+    outcome fails with a message naming [what]. *)

@@ -27,10 +27,9 @@ let compute_uncached ~seed ~frequency =
         }
       in
       let baseline =
-        match Toolchain.run base_config with
-        | Toolchain.Completed r -> r
-        | Toolchain.Did_not_fit msg ->
-            failwith (benchmark.Workloads.Bench_def.name ^ " baseline: " ^ msg)
+        Report.expect_completed
+          ~what:(benchmark.Workloads.Bench_def.name ^ " baseline")
+          (Toolchain.run base_config)
       in
       let swapram =
         Toolchain.run

@@ -21,9 +21,12 @@ let compute ?(seed = 1) () =
         let config =
           { (Toolchain.default_config benchmark) with Toolchain.seed }
         in
-        match Toolchain.run config with
-        | Toolchain.Completed r ->
-            let stats = r.Toolchain.stats in
+        let r =
+          Report.expect_completed
+            ~what:(benchmark.Workloads.Bench_def.name ^ " (tab1)")
+            (Toolchain.run config)
+        in
+        let stats = r.Toolchain.stats in
             {
               benchmark;
               binary_bytes = r.Toolchain.sizes.Toolchain.code_bytes;
@@ -32,9 +35,7 @@ let compute ?(seed = 1) () =
                 Report.ratio
                   ~vs:(Trace.data_accesses stats)
                   (Trace.code_accesses stats);
-            }
-        | Toolchain.Did_not_fit msg ->
-            failwith (benchmark.Workloads.Bench_def.name ^ ": " ^ msg))
+            })
       Workloads.Suite.all
   in
   let average_ratio =

@@ -25,6 +25,7 @@ let cells_of_outcome = function
         fram_accesses = Some (Trace.fram_accesses r.Toolchain.stats);
         cycles = Some r.Toolchain.stats.Trace.unstalled_cycles;
       }
+  | Toolchain.Crashed o -> failwith ("tab2: " ^ Report.outcome_cell o)
   | Toolchain.Did_not_fit _ -> { fram_accesses = None; cycles = None }
 
 let compute ?(seed = 1) () =

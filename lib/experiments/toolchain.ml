@@ -76,7 +76,10 @@ type result = {
   block_usage : Blockcache.Pipeline.nvm_usage option;
 }
 
-type outcome = Completed of result | Did_not_fit of string
+type outcome =
+  | Completed of result
+  | Crashed of Cpu.run_outcome (* ended in anything but a clean halt *)
+  | Did_not_fit of string
 
 exception Fit_error of string
 
@@ -122,7 +125,24 @@ let check_fit ~what ~code_limit ~data_limit image =
          (Printf.sprintf "%s: data ends at 0x%04X (limit 0x%04X)" what
             image.Masm.Assembler.data_end data_limit))
 
-let run config =
+(* A built, loaded and armed system that has not started executing.
+   [run] drives it to completion in one shot; the fault-injection
+   subsystem instead interleaves bounded runs with power failures and
+   reboots, which is why build/boot/collect are exposed separately. *)
+type prepared = {
+  p_config : config;
+  p_system : Platform.system;
+  p_image : Masm.Assembler.t;
+  p_stack_top : int;
+  p_data_size : int;
+  p_swapram : Swapram.Runtime.t option;
+  p_block : Blockcache.Runtime.t option;
+  p_sr_manifest : Swapram.Instrument.manifest option;
+  p_sr_usage : Swapram.Pipeline.nvm_usage option;
+  p_bb_usage : Blockcache.Pipeline.nvm_usage option;
+}
+
+let prepare config =
   let code_base, code_limit, data_base_opt, data_limit, stack_top =
     region_plan config.placement
   in
@@ -210,33 +230,66 @@ let run config =
           Some (Blockcache.Pipeline.nvm_usage built) )
   in
   match build () with
-  | exception Fit_error msg -> Did_not_fit msg
+  | exception Fit_error msg -> Error msg
   | image, install, sr_manifest, sr_usage, bb_usage ->
       let system = Platform.create config.frequency in
       let sr_rt, bb_rt = install system in
-      Cpu.set_reg system.Platform.cpu Msp430.Isa.sp stack_top;
-      Cpu.set_reg system.Platform.cpu Msp430.Isa.pc
-        (Masm.Assembler.lookup image Minic.Driver.entry_name);
-      (match Cpu.run ~fuel:config.fuel system.Platform.cpu with
-      | Cpu.Halted -> ()
-      | Cpu.Fuel_exhausted ->
-          failwith
-            (Printf.sprintf "%s: out of fuel"
-               config.benchmark.Workloads.Bench_def.name));
-      Completed
+      Ok
         {
-          stats = Cpu.stats system.Platform.cpu;
-          energy = Platform.report system;
-          uart = Memory.uart_output system.Platform.memory;
-          return_value = Cpu.reg system.Platform.cpu 12;
-          sizes =
-            {
-              code_bytes = Masm.Assembler.code_size image;
-              data_bytes = data_size;
-            };
-          swapram_stats = Option.map Swapram.Runtime.stats sr_rt;
-          swapram_manifest = sr_manifest;
-          swapram_usage = sr_usage;
-          block_stats = Option.map Blockcache.Runtime.stats bb_rt;
-          block_usage = bb_usage;
+          p_config = config;
+          p_system = system;
+          p_image = image;
+          p_stack_top = stack_top;
+          p_data_size = data_size;
+          p_swapram = sr_rt;
+          p_block = bb_rt;
+          p_sr_manifest = sr_manifest;
+          p_sr_usage = sr_usage;
+          p_bb_usage = bb_usage;
         }
+
+let boot p =
+  Cpu.set_reg p.p_system.Platform.cpu Msp430.Isa.sp p.p_stack_top;
+  Cpu.set_reg p.p_system.Platform.cpu Msp430.Isa.pc
+    (Masm.Assembler.lookup p.p_image Minic.Driver.entry_name)
+
+(* Replay the boot path after a power failure: restore whichever
+   caching runtime is installed (counted FRAM writes — an armed power
+   trigger can interrupt them with Memory.Power_loss) and reload
+   SP/PC. The caller applies Platform.power_fail first. *)
+let reboot p =
+  (match p.p_swapram with
+  | Some rt -> Swapram.Runtime.reboot rt ~image:p.p_image
+  | None -> ());
+  (match p.p_block with
+  | Some rt -> Blockcache.Runtime.reboot rt ~image:p.p_image
+  | None -> ());
+  boot p
+
+let collect p =
+  let system = p.p_system in
+  {
+    stats = Cpu.stats system.Platform.cpu;
+    energy = Platform.report system;
+    uart = Memory.uart_output system.Platform.memory;
+    return_value = Cpu.reg system.Platform.cpu 12;
+    sizes =
+      {
+        code_bytes = Masm.Assembler.code_size p.p_image;
+        data_bytes = p.p_data_size;
+      };
+    swapram_stats = Option.map Swapram.Runtime.stats p.p_swapram;
+    swapram_manifest = p.p_sr_manifest;
+    swapram_usage = p.p_sr_usage;
+    block_stats = Option.map Blockcache.Runtime.stats p.p_block;
+    block_usage = p.p_bb_usage;
+  }
+
+let run config =
+  match prepare config with
+  | Error msg -> Did_not_fit msg
+  | Ok p -> (
+      boot p;
+      match Cpu.run ~fuel:config.fuel p.p_system.Platform.cpu with
+      | Cpu.Halted -> Completed (collect p)
+      | (Cpu.Fuel_exhausted | Cpu.Faulted _ | Cpu.Power_lost) as o -> Crashed o)

@@ -52,6 +52,48 @@ type result = {
   block_usage : Blockcache.Pipeline.nvm_usage option;
 }
 
-type outcome = Completed of result | Did_not_fit of string
+type outcome =
+  | Completed of result  (** ran to a clean halt *)
+  | Crashed of Msp430.Cpu.run_outcome
+      (** the simulated run ended in something other than a clean
+          halt: out of fuel, a machine fault, or an (uninjected)
+          power loss *)
+  | Did_not_fit of string
 
 val run : config -> outcome
+
+(** {2 Staged execution}
+
+    [run] is [prepare] + [boot] + a full-length [Cpu.run] + [collect].
+    The fault-injection subsystem ({!Faultinject}) drives the stages
+    itself so it can interleave bounded runs with power failures and
+    reboots. *)
+
+type prepared = {
+  p_config : config;
+  p_system : Msp430.Platform.system;
+  p_image : Masm.Assembler.t;
+  p_stack_top : int;
+  p_data_size : int;
+  p_swapram : Swapram.Runtime.t option;
+  p_block : Blockcache.Runtime.t option;
+  p_sr_manifest : Swapram.Instrument.manifest option;
+  p_sr_usage : Swapram.Pipeline.nvm_usage option;
+  p_bb_usage : Blockcache.Pipeline.nvm_usage option;
+}
+
+val prepare : config -> (prepared, string) Stdlib.result
+(** Build, load and arm a system without starting it; [Error] is the
+    did-not-fit message. *)
+
+val boot : prepared -> unit
+(** Load SP and PC with the stack top and entry point. *)
+
+val reboot : prepared -> unit
+(** Replay the boot path after a power failure: restore whichever
+    caching runtime is installed (counted FRAM writes — an armed
+    power trigger can interrupt them with [Memory.Power_loss]) and
+    reload SP/PC. Apply {!Msp430.Platform.power_fail} first. *)
+
+val collect : prepared -> result
+(** Gather statistics from the system as it stands. *)

@@ -1,0 +1,207 @@
+module Memory = Msp430.Memory
+module Cpu = Msp430.Cpu
+module Platform = Msp430.Platform
+module Trace = Msp430.Trace
+module Toolchain = Experiments.Toolchain
+
+(* The injection driver: run a configured system while killing the
+   power according to a schedule, replaying the boot path after every
+   outage, and judge the survivor against the uninterrupted golden
+   run.
+
+   One injected run is a sequence of "lives". Each life arms the next
+   trigger from the schedule stream, then lets the CPU run; when the
+   trigger fires mid-access the machine raises through [Cpu.run] as
+   [Power_lost], we clear SRAM and the register file
+   ({!Platform.power_fail}) and replay boot via [Toolchain.reboot].
+   The *next* life's trigger is armed before the reboot runs, so an
+   outage can land inside reboot's own restore writes — a torn reboot,
+   counted separately; the restore is idempotent, so we just run it
+   again. A watchdog bounds the number of reboots: a runtime whose
+   recovery never makes progress (e.g. a period shorter than its
+   reboot cost) is reported as a livelock rather than hanging the
+   harness. *)
+
+type verdict =
+  | Pass
+  | State_mismatch of { expected : int; got : int }
+  | Return_mismatch of { expected : int; got : int }
+  | Fault_escape of Cpu.fault_info
+      (* the injected run died on a machine fault — torn state was
+         left behind and executed *)
+  | Livelock of { reboots : int }
+  | Build_failed of string
+
+let verdict_name = function
+  | Pass -> "pass"
+  | State_mismatch { expected; got } ->
+      Printf.sprintf "STATE MISMATCH (%08X vs golden %08X)" got expected
+  | Return_mismatch { expected; got } ->
+      Printf.sprintf "RETURN MISMATCH (%d vs golden %d)" got expected
+  | Fault_escape f ->
+      Printf.sprintf "FAULT %s" (Cpu.outcome_name (Cpu.Faulted f))
+  | Livelock { reboots } -> Printf.sprintf "LIVELOCK after %d reboots" reboots
+  | Build_failed msg -> "BUILD FAILED: " ^ msg
+
+type report = {
+  r_label : string;
+  r_schedule : Schedule.t;
+  r_verdict : verdict;
+  r_reboots : int;
+  r_torn_reboots : int;  (** outages that landed inside reboot itself *)
+  r_instructions : int;  (** across all lives *)
+  r_misses : int;
+  r_words_copied : int;
+  r_uart : string;
+  r_golden : Oracle.golden;
+}
+
+let passed r = r.r_verdict = Pass
+
+(* Adversarial targets of the system under test, if a caching runtime
+   is installed; a baseline build has no runtime-critical windows and
+   an adversarial schedule against it degenerates to an uninterrupted
+   run. *)
+let windows_of (p : Toolchain.prepared) : Schedule.window list =
+  let named (w_name, w_lo, w_hi) = { Schedule.w_name; w_lo; w_hi } in
+  match (p.Toolchain.p_swapram, p.Toolchain.p_block) with
+  | Some rt, _ ->
+      List.map named
+        (Swapram.Runtime.critical_windows rt ~image:p.Toolchain.p_image)
+  | None, Some rt ->
+      List.map named
+        (Blockcache.Runtime.critical_windows rt ~image:p.Toolchain.p_image)
+  | None, None -> []
+
+let run_against ?(max_reboots = 2000) ?(fuel = 2_000_000_000) ~golden
+    (config : Toolchain.config) (schedule : Schedule.t) : report =
+  let finish ~label ~reboots ~torn ~instructions ~misses ~words ~uart verdict
+      =
+    {
+      r_label = label;
+      r_schedule = schedule;
+      r_verdict = verdict;
+      r_reboots = reboots;
+      r_torn_reboots = torn;
+      r_instructions = instructions;
+      r_misses = misses;
+      r_words_copied = words;
+      r_uart = uart;
+      r_golden = golden;
+    }
+  in
+  let label =
+    Printf.sprintf "%s/%s/%s"
+      config.Toolchain.benchmark.Workloads.Bench_def.name
+      (Toolchain.caching_name config.Toolchain.caching)
+      (Schedule.describe schedule)
+  in
+  match Toolchain.prepare config with
+  | Error msg ->
+      finish ~label ~reboots:0 ~torn:0 ~instructions:0 ~misses:0 ~words:0
+        ~uart:"" (Build_failed msg)
+  | Ok p ->
+      let system = p.Toolchain.p_system in
+      let mem = system.Platform.memory in
+      let next = Schedule.stream schedule (windows_of p) in
+      let reboots = ref 0 and torn = ref 0 in
+      let exception Watchdog in
+      (* Recover from an outage. The next trigger is armed *before*
+         the restore writes run so the reboot itself is exposed to
+         tearing; on a torn reboot we pull the trigger after it and
+         retry — the restore is idempotent. *)
+      let rec power_cycle () =
+        incr reboots;
+        if !reboots > max_reboots then raise Watchdog;
+        Memory.arm_power_trigger mem (next ());
+        Platform.power_fail system;
+        try Toolchain.reboot p
+        with Memory.Power_loss ->
+          incr torn;
+          power_cycle ()
+      in
+      let rec lives () =
+        match Cpu.run ~fuel system.Platform.cpu with
+        | Cpu.Halted ->
+            let final = Oracle.capture p in
+            if final.Oracle.g_return <> golden.Oracle.g_return then
+              Return_mismatch
+                {
+                  expected = golden.Oracle.g_return;
+                  got = final.Oracle.g_return;
+                }
+            else if final.Oracle.g_state <> golden.Oracle.g_state then
+              State_mismatch
+                { expected = golden.Oracle.g_state; got = final.Oracle.g_state }
+            else Pass
+        | Cpu.Power_lost ->
+            power_cycle ();
+            lives ()
+        | Cpu.Faulted f -> Fault_escape f
+        | Cpu.Fuel_exhausted -> Livelock { reboots = !reboots }
+      in
+      Toolchain.boot p;
+      Memory.arm_power_trigger mem (next ());
+      let verdict = try lives () with Watchdog -> Livelock { reboots = !reboots } in
+      let final = Oracle.capture p in
+      finish ~label ~reboots:!reboots ~torn:!torn
+        ~instructions:final.Oracle.g_instructions ~misses:final.Oracle.g_misses
+        ~words:final.Oracle.g_words_copied ~uart:final.Oracle.g_uart verdict
+
+let run ?max_reboots ?(fuel = 2_000_000_000) config schedule =
+  match Oracle.golden ~fuel config with
+  | Error msg ->
+      {
+        r_label = Schedule.describe schedule;
+        r_schedule = schedule;
+        r_verdict = Build_failed msg;
+        r_reboots = 0;
+        r_torn_reboots = 0;
+        r_instructions = 0;
+        r_misses = 0;
+        r_words_copied = 0;
+        r_uart = "";
+        r_golden =
+          {
+            Oracle.g_return = 0;
+            g_state = 0;
+            g_uart = "";
+            g_instructions = 0;
+            g_misses = 0;
+            g_words_copied = 0;
+          };
+      }
+  | Ok golden -> run_against ?max_reboots ~fuel ~golden config schedule
+
+(* The golden run is per configuration, not per schedule: compute it
+   once and reuse it across the sweep. *)
+let sweep ?max_reboots ?(fuel = 2_000_000_000) config schedules =
+  match Oracle.golden ~fuel config with
+  | Error msg -> Error msg
+  | Ok golden ->
+      Ok
+        (List.map
+           (fun schedule -> run_against ?max_reboots ~fuel ~golden config schedule)
+           schedules)
+
+let table reports =
+  let rows =
+    List.map
+      (fun r ->
+        [
+          r.r_label;
+          verdict_name r.r_verdict;
+          string_of_int r.r_reboots;
+          string_of_int r.r_torn_reboots;
+          string_of_int r.r_instructions;
+          string_of_int r.r_golden.Oracle.g_instructions;
+          string_of_int r.r_misses;
+        ])
+      reports
+  in
+  Experiments.Report.table
+    ~aligns:
+      Experiments.Report.
+        [ Left; Left; Right; Right; Right; Right; Right ]
+    ([ "run"; "verdict"; "reboots"; "torn"; "instrs"; "golden"; "misses" ]
+    :: rows)

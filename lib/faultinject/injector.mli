@@ -1,0 +1,73 @@
+(** The injection driver: run a configuration under a power-failure
+    {!Schedule}, replaying the boot path after every outage
+    ({!Msp430.Platform.power_fail} + {!Experiments.Toolchain.reboot}),
+    and judge the survivor against the uninterrupted golden run.
+
+    The next outage is armed before each reboot executes, so a
+    schedule can tear the recovery path itself; torn reboots are
+    retried (the restore is idempotent) and counted. A watchdog bounds
+    the total number of reboots so a recovery that never makes
+    progress is reported as a livelock instead of hanging the
+    harness. *)
+
+type verdict =
+  | Pass
+  | State_mismatch of { expected : int; got : int }
+      (** final application-data digest differs from golden *)
+  | Return_mismatch of { expected : int; got : int }
+  | Fault_escape of Msp430.Cpu.fault_info
+      (** the injected run died on a machine fault — torn state was
+          left behind and executed *)
+  | Livelock of { reboots : int }
+  | Build_failed of string
+
+val verdict_name : verdict -> string
+
+type report = {
+  r_label : string;
+  r_schedule : Schedule.t;
+  r_verdict : verdict;
+  r_reboots : int;
+  r_torn_reboots : int;  (** outages that landed inside reboot itself *)
+  r_instructions : int;  (** across all lives *)
+  r_misses : int;
+  r_words_copied : int;
+  r_uart : string;
+  r_golden : Oracle.golden;
+}
+
+val passed : report -> bool
+
+val windows_of : Experiments.Toolchain.prepared -> Schedule.window list
+(** The installed runtime's critical address windows (empty for a
+    baseline build). *)
+
+val run_against :
+  ?max_reboots:int ->
+  ?fuel:int ->
+  golden:Oracle.golden ->
+  Experiments.Toolchain.config ->
+  Schedule.t ->
+  report
+(** Inject one schedule into a fresh instance of the configuration and
+    judge it against a precomputed golden capture. [max_reboots]
+    defaults to 2000; [fuel] bounds each life. *)
+
+val run :
+  ?max_reboots:int ->
+  ?fuel:int ->
+  Experiments.Toolchain.config ->
+  Schedule.t ->
+  report
+(** {!Oracle.golden} + {!run_against}. *)
+
+val sweep :
+  ?max_reboots:int ->
+  ?fuel:int ->
+  Experiments.Toolchain.config ->
+  Schedule.t list ->
+  (report list, string) result
+(** Run several schedules against one configuration, computing the
+    golden run once; [Error] if the golden build/run fails. *)
+
+val table : report list -> string

@@ -1,0 +1,99 @@
+module Memory = Msp430.Memory
+module Cpu = Msp430.Cpu
+module Platform = Msp430.Platform
+module Toolchain = Experiments.Toolchain
+
+(* Crash-consistency oracle: what must be identical between a run
+   interrupted by power failures and the uninterrupted golden run.
+
+   The application-visible persistent state is (a) main's return
+   value and (b) the final contents of the application's own data
+   items — its globals, which live in FRAM under the crash-safe
+   placements. Runtime-owned metadata (the "__sr_*" / "__bb_*" items:
+   redirection entries, relocation slots, hash buckets, ...) is
+   excluded: which functions happen to be cached when the program
+   halts legitimately differs between the two runs. The stack is not
+   an item and is likewise excluded — below SP it is garbage by
+   definition.
+
+   UART output is deliberately NOT part of the verdict: output has
+   at-least-once semantics under power failure (a window replayed
+   after an outage re-prints), which is the standard contract for
+   intermittent systems. The injector still records it for
+   inspection. *)
+
+let runtime_owned name =
+  let has_prefix p =
+    String.length name >= String.length p && String.sub name 0 (String.length p) = p
+  in
+  has_prefix "__sr_" || has_prefix "__bb_"
+
+let app_data_items (image : Masm.Assembler.t) =
+  List.filter
+    (fun (i : Masm.Assembler.item_info) ->
+      i.Masm.Assembler.info_section = Masm.Ast.Data
+      && not (runtime_owned i.Masm.Assembler.info_name))
+    image.Masm.Assembler.items
+
+(* FNV-1a over the named items' current bytes (uncounted reads — the
+   oracle is an observer outside the simulated machine). *)
+let app_state_digest ~(image : Masm.Assembler.t) mem =
+  let h = ref 0x811C9DC5 in
+  let feed byte = h := (!h lxor byte) * 0x01000193 land 0x3FFFFFFF in
+  List.iter
+    (fun (i : Masm.Assembler.item_info) ->
+      feed (i.Masm.Assembler.info_addr land 0xFF);
+      for k = 0 to i.Masm.Assembler.info_size - 1 do
+        feed (Memory.peek_byte mem (i.Masm.Assembler.info_addr + k))
+      done)
+    (app_data_items image);
+  !h
+
+(* The uninterrupted reference execution of a prepared configuration. *)
+type golden = {
+  g_return : int;
+  g_state : int; (* app_state_digest at halt *)
+  g_uart : string;
+  g_instructions : int;
+  g_misses : int; (* swapram misses + blockcache misses, 0 for baseline *)
+  g_words_copied : int;
+}
+
+let misses_of (p : Toolchain.prepared) =
+  (match p.Toolchain.p_swapram with
+  | Some rt -> (Swapram.Runtime.stats rt).Swapram.Runtime.misses
+  | None -> 0)
+  + (match p.Toolchain.p_block with
+    | Some rt -> (Blockcache.Runtime.stats rt).Blockcache.Runtime.misses
+    | None -> 0)
+
+let words_copied_of (p : Toolchain.prepared) =
+  (match p.Toolchain.p_swapram with
+  | Some rt -> (Swapram.Runtime.stats rt).Swapram.Runtime.words_copied
+  | None -> 0)
+  + (match p.Toolchain.p_block with
+    | Some rt -> (Blockcache.Runtime.stats rt).Blockcache.Runtime.words_copied
+    | None -> 0)
+
+let capture (p : Toolchain.prepared) =
+  let system = p.Toolchain.p_system in
+  {
+    g_return = Cpu.reg system.Platform.cpu 12;
+    g_state =
+      app_state_digest ~image:p.Toolchain.p_image system.Platform.memory;
+    g_uart = Memory.uart_output system.Platform.memory;
+    g_instructions =
+      (Cpu.stats system.Platform.cpu).Msp430.Trace.instructions;
+    g_misses = misses_of p;
+    g_words_copied = words_copied_of p;
+  }
+
+(* Run a fresh instance of [config] to completion on stable power. *)
+let golden ?(fuel = 2_000_000_000) config =
+  match Toolchain.prepare config with
+  | Error msg -> Error ("golden build: " ^ msg)
+  | Ok p -> (
+      Toolchain.boot p;
+      match Cpu.run ~fuel p.Toolchain.p_system.Platform.cpu with
+      | Cpu.Halted -> Ok (capture p)
+      | o -> Error ("golden run: " ^ Cpu.outcome_name o))

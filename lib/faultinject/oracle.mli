@@ -1,0 +1,38 @@
+(** Crash-consistency oracle: the application-visible persistent
+    state that must be identical between an interrupted run and the
+    uninterrupted golden run — main's return value plus a digest of
+    the application's own data items (its FRAM globals).
+
+    Runtime-owned metadata items ([__sr_*] / [__bb_*]) are excluded:
+    which functions happen to be cached at halt legitimately differs.
+    UART output is excluded from the verdict because output has
+    at-least-once semantics under power failure (replayed windows
+    re-print); the injector still records it. *)
+
+val runtime_owned : string -> bool
+(** Item names belonging to a caching runtime rather than the
+    application. *)
+
+val app_data_items : Masm.Assembler.t -> Masm.Assembler.item_info list
+
+val app_state_digest : image:Masm.Assembler.t -> Msp430.Memory.t -> int
+(** FNV-1a over the application data items' current bytes (uncounted
+    observer reads). *)
+
+(** The uninterrupted reference execution. *)
+type golden = {
+  g_return : int;
+  g_state : int;  (** {!app_state_digest} at halt *)
+  g_uart : string;
+  g_instructions : int;
+  g_misses : int;  (** caching-runtime misses; 0 for baseline *)
+  g_words_copied : int;
+}
+
+val capture : Experiments.Toolchain.prepared -> golden
+(** Read the oracle state off a system that has halted. *)
+
+val golden :
+  ?fuel:int -> Experiments.Toolchain.config -> (golden, string) result
+(** Build and run a fresh instance of the configuration to completion
+    on stable power. *)

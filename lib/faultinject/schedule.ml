@@ -1,0 +1,89 @@
+module Memory = Msp430.Memory
+
+(* Power-failure schedules (paper §1/§2.2: batteryless deployments
+   lose power constantly, at arbitrary points).
+
+   A schedule is compiled into a stream of {!Msp430.Memory.power_trigger}
+   values; the injector arms one trigger per life (boot-to-outage
+   interval) and pulls the next when the power dies. The stream
+   yields [None] when the schedule has no more outages — the run then
+   continues to completion on stable power.
+
+   The adversarial mode does not need cycle-exact profiling: it arms
+   region triggers that fire on the n-th counted access *inside a
+   runtime-critical address window* (the miss handler's reserved
+   region, the memcpy region, the relocation/redirection metadata
+   tables). Sweeping n walks the failure point instruction by
+   instruction through the handler, through the middle of a copy
+   loop, between the two halves of a metadata update — and, because
+   reboot's restore writes hit the same metadata windows, through the
+   reboot path itself. *)
+
+type t =
+  | Periodic of int
+      (* an outage every n counted accesses — the fixed energy-burst
+         model of the intermittent-computing literature *)
+  | Random of { seed : int; min_gap : int; max_gap : int }
+      (* seeded uniform bursts in [min_gap, max_gap] *)
+  | Gaps of int list
+      (* explicit burst lengths; stable power afterwards *)
+  | Adversarial of { depths : int list }
+      (* for every runtime-critical window and every depth d, one
+         life that dies on the d-th access inside that window *)
+
+let default_depths = [ 1; 2; 3; 5; 8; 13; 21; 34; 55 ]
+
+let adversarial = Adversarial { depths = default_depths }
+
+let describe = function
+  | Periodic n -> Printf.sprintf "periodic/%d" n
+  | Random { seed; min_gap; max_gap } ->
+      Printf.sprintf "random/%d..%d seed %d" min_gap max_gap seed
+  | Gaps gaps ->
+      Printf.sprintf "gaps/%s"
+        (String.concat "," (List.map string_of_int gaps))
+  | Adversarial { depths } ->
+      Printf.sprintf "adversarial/%d depths" (List.length depths)
+
+(* Runtime-critical address windows of the system under test, named
+   for reporting. The injector derives them from the installed
+   runtime's table addresses. *)
+type window = { w_name : string; w_lo : int; w_hi : int }
+
+type stream = unit -> Memory.power_trigger option
+
+(* Compile a schedule to a trigger stream against the given windows.
+   Streams are stateful; build a fresh one per injected run. *)
+let stream schedule (windows : window list) : stream =
+  match schedule with
+  | Periodic n -> fun () -> Some (Memory.After_accesses n)
+  | Random { seed; min_gap; max_gap } ->
+      let state = Random.State.make [| seed; 0x5eed |] in
+      let span = max 1 (max_gap - min_gap + 1) in
+      fun () ->
+        Some (Memory.After_accesses (min_gap + Random.State.int state span))
+  | Gaps gaps ->
+      let remaining = ref gaps in
+      fun () -> (
+        match !remaining with
+        | [] -> None
+        | g :: rest ->
+            remaining := rest;
+            Some (Memory.After_accesses g))
+  | Adversarial { depths } ->
+      let plan =
+        List.concat_map
+          (fun w ->
+            List.map
+              (fun d ->
+                Memory.On_region_access { lo = w.w_lo; hi = w.w_hi; skip = d })
+              depths)
+          windows
+      in
+      let remaining = ref plan in
+      fun () -> (
+        match !remaining with
+        | [] -> None
+        | t :: rest ->
+            remaining := rest;
+            Some t)

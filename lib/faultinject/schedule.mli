@@ -1,0 +1,37 @@
+(** Power-failure schedules: when, during an injected run, the supply
+    dies. A schedule compiles into a stream of
+    {!Msp430.Memory.power_trigger} values — one armed per life; the
+    stream yields [None] once the schedule has no more outages and
+    the run finishes on stable power. *)
+
+type t =
+  | Periodic of int
+      (** an outage every n counted accesses — the fixed energy-burst
+          model of the intermittent-computing literature *)
+  | Random of { seed : int; min_gap : int; max_gap : int }
+      (** seeded uniform burst lengths in [[min_gap, max_gap]] *)
+  | Gaps of int list
+      (** explicit burst lengths; stable power afterwards *)
+  | Adversarial of { depths : int list }
+      (** for every runtime-critical window (miss handler, memcpy,
+          relocation/redirection tables) and every depth d, one life
+          that dies on the d-th counted access inside that window —
+          walking the failure point through the handler, mid-copy,
+          between metadata half-updates, and through reboot's own
+          restore writes *)
+
+val default_depths : int list
+
+val adversarial : t
+(** [Adversarial] over {!default_depths}. *)
+
+val describe : t -> string
+
+(** A runtime-critical address window of the system under test. *)
+type window = { w_name : string; w_lo : int; w_hi : int }
+
+type stream = unit -> Msp430.Memory.power_trigger option
+
+val stream : t -> window list -> stream
+(** Compile to a stateful trigger stream; build a fresh one per
+    injected run. *)

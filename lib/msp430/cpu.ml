@@ -306,8 +306,34 @@ let step t =
     end
   end
 
-type run_status = Halted | Fuel_exhausted
+(* Power-on reset: architectural state (registers, halt latch) is
+   volatile and clears; the trap table and classifier describe the
+   runtime image in FRAM and survive. The caller wipes SRAM, reboots
+   the runtime's FRAM metadata and reloads SP/PC. *)
+let power_reset t =
+  Array.fill t.regs 0 16 0;
+  t.halted <- false
 
+type fault_info = { fault_pc : int; fault_msg : string }
+
+type run_outcome =
+  | Halted
+  | Fuel_exhausted
+  | Faulted of fault_info
+  | Power_lost
+
+let outcome_name = function
+  | Halted -> "halted"
+  | Fuel_exhausted -> "out of fuel"
+  | Faulted { fault_pc; fault_msg } ->
+      Printf.sprintf "fault near pc 0x%04X: %s" fault_pc fault_msg
+  | Power_lost -> "power lost"
+
+(* Run until halt, fuel exhaustion, a machine fault or a power
+   failure. Faults that would otherwise escape as OCaml exceptions —
+   memory faults, missing trap vectors, runtime invariant failures —
+   come back as a structured [Faulted] so no simulated failure mode
+   crashes the host program. *)
 let run ?(fuel = max_int) t =
   let rec loop fuel =
     if t.halted then Halted
@@ -317,4 +343,10 @@ let run ?(fuel = max_int) t =
       loop (fuel - 1)
     end
   in
-  loop fuel
+  let faulted msg = Faulted { fault_pc = t.regs.(Isa.pc); fault_msg = msg } in
+  try loop fuel with
+  | Memory.Power_loss -> Power_lost
+  | Memory.Fault msg -> faulted msg
+  | Trap_missing pc -> faulted (Printf.sprintf "no trap handler at 0x%04X" pc)
+  | Encoding.Decode_error w -> faulted (Printf.sprintf "undecodable word 0x%04X" w)
+  | Failure msg -> faulted msg

@@ -46,8 +46,28 @@ val charge_runtime_instr :
 exception Trap_missing of int
 
 val step : t -> unit
-(** Execute one instruction or one trap-handler invocation. *)
+(** Execute one instruction or one trap-handler invocation. May raise
+    {!Memory.Fault}, {!Memory.Power_loss}, {!Trap_missing} or
+    [Failure]; {!run} converts all of these into a structured
+    outcome. *)
 
-type run_status = Halted | Fuel_exhausted
+val power_reset : t -> unit
+(** Power-on reset: clear the (volatile) registers and halt latch.
+    Trap handlers and the classifier describe the runtime image in
+    FRAM and survive; the caller wipes SRAM, reboots the runtime's
+    FRAM metadata and reloads SP/PC. *)
 
-val run : ?fuel:int -> t -> run_status
+type fault_info = { fault_pc : int; fault_msg : string }
+
+(** How a bounded run ended. No simulated failure mode — memory
+    faults, missing trap vectors, runtime invariant violations, an
+    injected power failure — escapes {!run} as an OCaml exception. *)
+type run_outcome =
+  | Halted
+  | Fuel_exhausted
+  | Faulted of fault_info
+  | Power_lost
+
+val outcome_name : run_outcome -> string
+
+val run : ?fuel:int -> t -> run_outcome

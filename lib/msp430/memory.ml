@@ -19,6 +19,25 @@ exception Fault of string
 
 let fault fmt = Format.kasprintf (fun s -> raise (Fault s)) fmt
 
+(* Power failure, for the fault-injection subsystem: an armed trigger
+   cuts the supply on a chosen counted access, which raises
+   {!Power_loss} *before* that access takes effect. Because every
+   modeled instruction — application fetches and the runtimes'
+   charged handler/memcpy instructions alike — flows through counted
+   accesses, triggers can land inside the miss handler, in the middle
+   of a memcpy, or between the two halves of a metadata update,
+   leaving FRAM state torn exactly as a real outage would. *)
+
+exception Power_loss
+
+type power_trigger =
+  | After_accesses of int
+      (* die on the n-th counted access from arming time *)
+  | On_region_access of { lo : int; hi : int; skip : int }
+      (* die on the skip-th counted access with lo <= addr < hi *)
+
+type armed = { mutable countdown : int; window : (int * int) option }
+
 type map = {
   sram_lo : int;
   sram_hi : int; (* inclusive *)
@@ -50,6 +69,8 @@ type t = {
   mutable halt_requested : bool;
   uart : Buffer.t;
   mutable gpio : int;
+  mutable access_ticks : int; (* total counted accesses, the power clock *)
+  mutable power : armed option;
 }
 
 let create ?(wait_states = 3) ?(contention_penalty = 1) ~map ~stats () =
@@ -64,6 +85,8 @@ let create ?(wait_states = 3) ?(contention_penalty = 1) ~map ~stats () =
     halt_requested = false;
     uart = Buffer.create 256;
     gpio = 0;
+    access_ticks = 0;
+    power = None;
   }
 
 let stats t = t.stats
@@ -71,6 +94,45 @@ let map t = t.map
 let halt_requested t = t.halt_requested
 let uart_output t = Buffer.contents t.uart
 let begin_instruction t = t.fram_accesses_this_instr <- 0
+let access_ticks t = t.access_ticks
+
+let arm_power_trigger t trigger =
+  t.power <-
+    (match trigger with
+    | None -> None
+    | Some (After_accesses n) -> Some { countdown = max 1 n; window = None }
+    | Some (On_region_access { lo; hi; skip }) ->
+        Some { countdown = max 1 skip; window = Some (lo, hi) })
+
+let power_armed t = t.power <> None
+
+(* Advance the power clock for a counted access to [addr]; raises
+   {!Power_loss} when an armed trigger fires. Called before the access
+   takes effect, so the dying access never completes. *)
+let power_tick t addr =
+  t.access_ticks <- t.access_ticks + 1;
+  match t.power with
+  | None -> ()
+  | Some a ->
+      let in_window =
+        match a.window with None -> true | Some (lo, hi) -> addr >= lo && addr < hi
+      in
+      if in_window then begin
+        a.countdown <- a.countdown - 1;
+        if a.countdown <= 0 then begin
+          t.power <- None;
+          raise Power_loss
+        end
+      end
+
+(* The survivable consequences of an outage, beyond the SRAM loss the
+   caller inflicts: the pending halt is moot, the FRAM read cache and
+   per-instruction contention state are volatile. Any armed trigger
+   stays armed — the next life's boot sequence can be torn too. *)
+let power_fail t =
+  t.halt_requested <- false;
+  t.fram_accesses_this_instr <- 0;
+  Hwcache.flush t.cache
 
 (* Uncounted accessors for loading images and inspecting results. *)
 let peek_byte t addr = Char.code (Bytes.get t.bytes (addr land 0xFFFF))
@@ -111,6 +173,7 @@ let periph_write t addr v =
 (* Counted read of [width] (1 or 2) bytes. *)
 let read t ~purpose ~width addr =
   let addr = addr land 0xFFFF in
+  power_tick t addr;
   check_alignment addr width;
   let value =
     if width = 2 then peek_word t addr else peek_byte t addr
@@ -135,6 +198,7 @@ let read t ~purpose ~width addr =
 
 let write t ~width addr value =
   let addr = addr land 0xFFFF in
+  power_tick t addr;
   check_alignment addr width;
   (match region_of t.map addr with
   | Sram ->

@@ -16,6 +16,22 @@ exception Fault of string
 
 val fault : ('a, Format.formatter, unit, 'b) format4 -> 'a
 
+exception Power_loss
+(** The supply died: raised by a counted access when an armed
+    {!power_trigger} fires, before that access takes effect. Used by
+    the fault-injection subsystem ({!Faultinject}); {!Cpu.run} turns
+    it into a structured outcome. *)
+
+(** Where the next power failure strikes. Because the runtimes' own
+    modeled instructions also flow through counted accesses, a
+    trigger can land inside the miss handler, mid-memcpy, or between
+    the two halves of a metadata update. *)
+type power_trigger =
+  | After_accesses of int
+      (** die on the n-th counted access from arming time *)
+  | On_region_access of { lo : int; hi : int; skip : int }
+      (** die on the skip-th counted access with [lo <= addr < hi] *)
+
 type map = { sram_lo : int; sram_hi : int; fram_lo : int; fram_hi : int }
 
 (** Peripheral registers. *)
@@ -49,6 +65,24 @@ val uart_output : t -> string
 val begin_instruction : t -> unit
 (** Reset the per-instruction FRAM access count (contention model);
     the CPU calls this before each instruction. *)
+
+(** Power-failure injection. *)
+
+val arm_power_trigger : t -> power_trigger option -> unit
+(** Arm the next power failure ([None] disarms). At most one trigger
+    is armed at a time; it disarms itself when it fires. *)
+
+val power_armed : t -> bool
+
+val access_ticks : t -> int
+(** Total counted accesses so far — the clock {!After_accesses}
+    triggers are scheduled against. *)
+
+val power_fail : t -> unit
+(** Apply the survivable consequences of an outage beyond the SRAM
+    loss the caller inflicts: cancel any pending halt, flush the
+    volatile FRAM read cache, reset per-instruction state. An armed
+    trigger stays armed so the next boot sequence can be torn too. *)
 
 (** Uncounted accessors for loading images and inspecting results. *)
 

@@ -38,3 +38,15 @@ let create ?(map = fr2355_map) frequency =
 
 let report system =
   Energy.evaluate (energy_params system.frequency) (Cpu.stats system.cpu)
+
+(* A power failure, as the batteryless deployments of paper §1/§2.2
+   experience it: SRAM — stack, data, every cached function — decays
+   to garbage, the CPU loses its registers, FRAM survives. The caller
+   then replays the boot path (runtime reboot + entry vector). *)
+let power_fail ?(pattern = 0xFF) system =
+  let map = Memory.map system.memory in
+  for a = map.Memory.sram_lo to map.Memory.sram_hi do
+    Memory.poke_byte system.memory a pattern
+  done;
+  Memory.power_fail system.memory;
+  Cpu.power_reset system.cpu

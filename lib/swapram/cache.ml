@@ -40,6 +40,9 @@ type t = {
 let create ~base ~capacity ~policy =
   { base; capacity; policy; entries = []; next_free = base }
 
+let alloc_point t = t.next_free
+let set_alloc_point t addr = t.next_free <- addr
+
 let limit t = t.base + t.capacity
 
 let overlaps a_lo a_hi e = a_lo < e.addr + e.size && e.addr < a_hi

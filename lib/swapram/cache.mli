@@ -18,17 +18,17 @@ val policy_name : policy -> string
 type entry = { fid : int; addr : int; size : int }
 (** One cached function: its id, SRAM address and rounded size. *)
 
-type t = {
-  base : int;
-  capacity : int;
-  policy : policy;
-  mutable entries : entry list;  (** insertion order, oldest first *)
-  mutable next_free : int;
-      (** queue policy: next allocation address; the runtime may move
-          it past an un-evictable function before replanning *)
-}
+type t
 
 val create : base:int -> capacity:int -> policy:policy -> t
+
+val alloc_point : t -> int
+(** The queue policies' next allocation address. *)
+
+val set_alloc_point : t -> int -> unit
+(** Move the allocation point — the runtime skips it past an
+    un-evictable (active) function before replanning, and restores
+    the saved point when it aborts the caching operation. *)
 
 type placement =
   | Too_large  (** the function can never fit the region *)

@@ -183,10 +183,14 @@ let on_miss t cpu =
        entry function, cached first at the region base and active for
        the whole run, would block every wrapped allocation. Abort to
        NVM execution only when no spot works (§3.3.3). *)
-    let saved_next_free = (t.cache : Cache.t).Cache.next_free in
+    let saved_alloc_point = Cache.alloc_point t.cache in
+    let abort_restoring () = Cache.set_alloc_point t.cache saved_alloc_point in
     let rec try_place attempts =
       match Cache.plan t.cache ~size with
       | Cache.Too_large ->
+          (* every abort path must undo the retries' allocation-point
+             moves, or the next miss plans from a skewed cursor *)
+          abort_restoring ();
           t.stats.too_large <- t.stats.too_large + 1;
           charge t Trace.Handler Costs.abort_instrs;
           Cpu.Goto nvm
@@ -224,10 +228,10 @@ let on_miss t cpu =
                   (fun acc (e : Cache.entry) -> max acc (e.Cache.addr + e.Cache.size))
                   0 actives
               in
-              (t.cache : Cache.t).Cache.next_free <- blocker_end;
+              Cache.set_alloc_point t.cache blocker_end;
               try_place (attempts - 1)
           | _ :: _ ->
-              t.cache.Cache.next_free <- saved_next_free;
+              abort_restoring ();
               t.stats.aborts <- t.stats.aborts + 1;
               abort_to_nvm t ~nvm)
     in
@@ -248,25 +252,34 @@ let reboot t ~image =
   t.memcpy_cursor <- 0;
   t.consecutive_aborts <- 0;
   t.freeze_left <- 0;
+  (* The restore writes are counted FRAM accesses: the boot routine
+     pays real write costs, and — crucial for fault injection — an
+     armed power trigger can tear the reboot itself mid-restore. The
+     routine is idempotent (it copies constants out of the image), so
+     rerunning it after such a tear recovers. *)
   let restore_item name =
-    let addr = Masm.Assembler.lookup image name in
-    let size = Masm.Assembler.item_size image name in
-    let seg =
-      List.find
-        (fun s ->
-          addr >= s.Masm.Assembler.base
-          && addr + size
-             <= s.Masm.Assembler.base + Bytes.length s.Masm.Assembler.contents)
-        image.Masm.Assembler.segments
-    in
-    for i = 0 to size - 1 do
-      Memory.poke_byte t.mem (addr + i)
-        (Char.code
-           (Bytes.get seg.Masm.Assembler.contents (addr - seg.Masm.Assembler.base + i)))
-    done
+    let addr, bytes = Masm.Assembler.item_initial image name in
+    Bytes.iteri
+      (fun i c -> Memory.write_byte t.mem (addr + i) (Char.code c))
+      bytes
   in
   List.iter restore_item
     [ Config.sym_funcid; Config.sym_redirect; Config.sym_active; Config.sym_reloc ]
+
+(* Runtime-critical FRAM windows, for adversarial fault injection: a
+   power failure landing on an access inside one of these regions is
+   inside the miss handler, mid-memcpy, or between the two halves of
+   a metadata update. *)
+let critical_windows t ~image =
+  let tab sym = (Masm.Assembler.lookup image sym, Masm.Assembler.item_size image sym) in
+  let named name (lo, size) = (name, lo, lo + size) in
+  [
+    named "handler" (t.addrs.a_handler, t.addrs.handler_size);
+    named "memcpy" (t.addrs.a_memcpy, t.addrs.memcpy_size);
+    named "redirect" (tab Config.sym_redirect);
+    named "reloc" (tab Config.sym_reloc);
+    named "active" (tab Config.sym_active);
+  ]
 
 let table_addrs_of_image image manifest =
   let look = Masm.Assembler.lookup image in

@@ -60,7 +60,19 @@ val reboot : t -> image:Masm.Assembler.t -> unit
     slots, active counters, funcId) to their initial post-link values.
     Application data in FRAM is untouched — that persistence is the
     point of NVRAM systems. The caller clears/loses SRAM and resets
-    the CPU itself. *)
+    the CPU itself (see {!Msp430.Platform.power_fail}).
+
+    The restore writes are counted FRAM accesses, so an armed power
+    trigger ({!Msp430.Memory.arm_power_trigger}) can interrupt the
+    reboot itself with {!Msp430.Memory.Power_loss}; the routine is
+    idempotent, so simply rerunning it recovers. *)
+
+val critical_windows :
+  t -> image:Masm.Assembler.t -> (string * int * int) list
+(** Named [(lo, hi)] FRAM address windows whose accesses belong to the
+    caching runtime (handler region, memcpy region, redirection /
+    relocation / active-counter tables) — the adversarial
+    fault-injection targets. *)
 
 val install :
   options:Config.options ->

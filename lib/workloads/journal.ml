@@ -1,0 +1,59 @@
+(* JOURNAL — an idempotent windowed workload for the fault-injection
+   harness (and the intermittent-computing demo). The progress word
+   and the per-window results journal live in FRAM; each window's
+   result is committed to its own slot *before* the progress word
+   advances, so replaying a half-finished window after a power
+   failure is harmless. This is the classic forward-progress idiom of
+   the intermittent-computing literature (Hibernus, Alpaca, Clank)
+   that the paper's §2.2 deployments rely on.
+
+   Several helper functions keep the swapram miss handler busy, so
+   outages land inside caching operations, not just application
+   code. *)
+
+let windows = 16
+let iters_per_window = 120
+
+let source seed =
+  let g = Gen.create (seed + 7070) in
+  let salt = Gen.int g 0x4000 in
+  Printf.sprintf
+    {|
+%s
+int progress;           /* highest fully-committed window, in FRAM */
+int results[%d];        /* per-window results journal, in FRAM */
+
+int scramble(int h, int x) {
+  h = ((h << 5) + h) ^ (x & 0xFF);
+  if (h & 1) h = h ^ 0x1021;
+  return h;
+}
+
+int round_key(int w, int i) {
+  return (w * 193 + i * 7 + %d) & 0x7FFF;
+}
+
+int window_digest(int w) {
+  unsigned h = 5381 + w;
+  int i;
+  for (i = 0; i < %d; i++) h = scramble(h, round_key(w, i));
+  return h & 0x7FFF;
+}
+
+int main(void) {
+  while (progress < %d) {
+    results[progress] = window_digest(progress);
+    progress = progress + 1;
+  }
+  unsigned digest = 0;
+  int i;
+  for (i = 0; i < %d; i++)
+    digest = (digest << 1 | digest >> 15) ^ results[i];
+  print_hex(digest);
+  return digest;
+}
+|}
+    Bench_def.prelude windows salt iters_per_window windows windows
+
+let benchmark =
+  { Bench_def.name = "journal"; short = "JRN"; source; fits_data_in_sram = true }

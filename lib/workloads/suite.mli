@@ -12,6 +12,10 @@ val bitcount : Bench_def.t
 val rsa : Bench_def.t
 val arith : Bench_def.t
 
+val journal : Bench_def.t
+(** Idempotent windowed workload with an FRAM progress journal — the
+    fault-injection harness's canonical crash-safe program. *)
+
 val all : Bench_def.t list
 (** The nine evaluation benchmarks, in the paper's Table 1 order. *)
 

@@ -15,7 +15,7 @@ let run_image image entry =
   Cpu.set_reg system.Platform.cpu Isa.pc (Masm.Assembler.lookup image entry);
   (match Cpu.run ~fuel:1_000_000 system.Platform.cpu with
   | Cpu.Halted -> ()
-  | Cpu.Fuel_exhausted -> Alcotest.fail "did not halt");
+  | o -> Alcotest.fail ("did not halt: " ^ Cpu.outcome_name o));
   system
 
 let halt = mov (imm 1) (dabsn Msp430.Memory.halt_addr)

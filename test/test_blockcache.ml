@@ -19,7 +19,7 @@ let run_baseline source =
     (Masm.Assembler.lookup image Minic.Driver.entry_name);
   (match Cpu.run ~fuel:60_000_000 system.Platform.cpu with
   | Cpu.Halted -> ()
-  | Cpu.Fuel_exhausted -> Alcotest.fail "baseline did not halt");
+  | o -> Alcotest.fail ("baseline did not halt: " ^ Cpu.outcome_name o));
   ( Cpu.reg system.Platform.cpu 12,
     Memory.uart_output system.Platform.memory,
     Cpu.stats system.Platform.cpu )
@@ -35,7 +35,7 @@ let run_blockcache ?(options = Blockcache.Config.default_options) source =
        Minic.Driver.entry_name);
   (match Cpu.run ~fuel:60_000_000 system.Platform.cpu with
   | Cpu.Halted -> ()
-  | Cpu.Fuel_exhausted -> Alcotest.fail "block-cache run did not halt");
+  | o -> Alcotest.fail ("block-cache run did not halt: " ^ Cpu.outcome_name o));
   ( Cpu.reg system.Platform.cpu 12,
     Memory.uart_output system.Platform.memory,
     Cpu.stats system.Platform.cpu,

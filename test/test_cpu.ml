@@ -24,7 +24,7 @@ let run_program ?(data = []) stmts =
   Cpu.set_reg system.Platform.cpu Isa.pc (Masm.Assembler.lookup image "main");
   (match Cpu.run ~fuel:100_000 system.Platform.cpu with
   | Cpu.Halted -> ()
-  | Cpu.Fuel_exhausted -> Alcotest.fail "program did not halt");
+  | o -> Alcotest.fail ("program did not halt: " ^ Cpu.outcome_name o));
   (system, image)
 
 let check_reg name stmts reg expected =

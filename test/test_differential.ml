@@ -172,7 +172,7 @@ let run_simulator_fuelled ?(diff_system = Plain) ?(fuel = 3_000_000) source =
     (Platform.fram_base + Platform.fram_size);
   (match Cpu.run ~fuel system.Platform.cpu with
   | Cpu.Halted -> ()
-  | Cpu.Fuel_exhausted -> failwith "simulator out of fuel");
+  | o -> failwith ("simulator did not halt: " ^ Cpu.outcome_name o));
   ( Cpu.reg system.Platform.cpu 12,
     Memory.uart_output system.Platform.memory )
 

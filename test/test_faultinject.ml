@@ -1,0 +1,234 @@
+(* Power-failure injection and crash-consistency tests.
+
+   The crash-sweep is the subsystem's acceptance test: the idempotent
+   journal workload must reach the same return value and the same
+   application-data digest as its uninterrupted golden run no matter
+   where the power dies — on a fixed period, at seeded-random points,
+   or adversarially inside the miss handler, the copy loop, the
+   metadata tables and reboot's own restore writes. No injected run
+   may escape as an uncaught OCaml exception. *)
+
+module Memory = Msp430.Memory
+module Cpu = Msp430.Cpu
+module Platform = Msp430.Platform
+module Trace = Msp430.Trace
+module T = Experiments.Toolchain
+module FI = Faultinject.Injector
+module FS = Faultinject.Schedule
+
+let journal_config caching =
+  { (T.default_config Workloads.Suite.journal) with T.caching }
+
+let swapram_config = journal_config (T.Swapram_cache Swapram.Config.default_options)
+let block_config = journal_config (T.Block_cache Blockcache.Config.default_options)
+let baseline_config = journal_config T.Baseline
+
+let check_pass what (r : FI.report) =
+  Alcotest.(check string)
+    (what ^ " verdict") "pass"
+    (FI.verdict_name r.FI.r_verdict)
+
+(* Fixed-period and random sweeps on both caching runtimes. The short
+   periods force many mid-run outages; every run must still match the
+   golden digest and return value. *)
+let crash_sweep config name () =
+  match
+    FI.sweep config
+      [
+        FS.Periodic 400_000;
+        FS.Periodic 150_000;
+        FS.Periodic 80_000;
+        FS.Random { seed = 7; min_gap = 30_000; max_gap = 250_000 };
+      ]
+  with
+  | Error msg -> Alcotest.fail ("golden run failed: " ^ msg)
+  | Ok reports ->
+      List.iter (fun r -> check_pass (name ^ " " ^ r.FI.r_label) r) reports;
+      let total_reboots =
+        List.fold_left (fun acc r -> acc + r.FI.r_reboots) 0 reports
+      in
+      Alcotest.(check bool) "power actually failed" true (total_reboots > 3)
+
+(* Adversarial schedules: outages aimed at the runtime's own critical
+   windows — the miss handler region, the memcpy region and the
+   metadata tables — including reboot's restore writes into those same
+   windows, which produces torn reboots. *)
+let adversarial config name () =
+  match FI.sweep config [ FS.adversarial ] with
+  | Error msg -> Alcotest.fail ("golden run failed: " ^ msg)
+  | Ok [ r ] ->
+      check_pass name r;
+      Alcotest.(check bool) "outages landed" true (r.FI.r_reboots > 0)
+  | Ok _ -> Alcotest.fail "expected one report"
+
+let adversarial_tears_reboot () =
+  match FI.sweep swapram_config [ FS.adversarial ] with
+  | Error msg -> Alcotest.fail ("golden run failed: " ^ msg)
+  | Ok [ r ] ->
+      check_pass "swapram adversarial" r;
+      Alcotest.(check bool)
+        "some outage interrupted reboot itself" true (r.FI.r_torn_reboots > 0)
+  | Ok _ -> Alcotest.fail "expected one report"
+
+(* A burst shorter than one window's cold-boot replay cost makes no
+   forward progress; the watchdog must report the livelock rather
+   than hang the harness. *)
+let watchdog_livelock () =
+  let r = FI.run ~max_reboots:50 swapram_config (FS.Periodic 5_000) in
+  match r.FI.r_verdict with
+  | FI.Livelock { reboots } ->
+      Alcotest.(check bool) "watchdog bound" true (reboots > 50)
+  | v -> Alcotest.fail ("expected livelock, got " ^ FI.verdict_name v)
+
+(* Baseline has no critical windows: the adversarial plan is empty and
+   the run completes uninterrupted but still passes the oracle. *)
+let baseline_adversarial_degenerates () =
+  let r = FI.run baseline_config FS.adversarial in
+  check_pass "baseline adversarial" r;
+  Alcotest.(check int) "no outages" 0 r.FI.r_reboots
+
+(* --- power-trigger unit tests on a bare memory ----------------- *)
+
+let fresh_mem () =
+  let system = Platform.create Platform.Mhz24 in
+  system.Platform.memory
+
+let trigger_after_accesses () =
+  let mem = fresh_mem () in
+  Memory.arm_power_trigger mem (Some (Memory.After_accesses 3));
+  ignore (Memory.read_word mem ~purpose:Memory.Data Platform.fram_base);
+  ignore (Memory.read_word mem ~purpose:Memory.Data Platform.fram_base);
+  Alcotest.(check bool) "still armed" true (Memory.power_armed mem);
+  (match Memory.read_word mem ~purpose:Memory.Data Platform.fram_base with
+  | _ -> Alcotest.fail "third access should lose power"
+  | exception Memory.Power_loss -> ());
+  Alcotest.(check bool) "disarmed after firing" false (Memory.power_armed mem)
+
+let trigger_in_region () =
+  let mem = fresh_mem () in
+  let window_lo = Platform.fram_base + 0x100 in
+  Memory.arm_power_trigger mem
+    (Some (Memory.On_region_access { lo = window_lo; hi = window_lo + 16; skip = 2 }));
+  (* accesses outside the window never count *)
+  for _ = 1 to 50 do
+    ignore (Memory.read_word mem ~purpose:Memory.Data Platform.fram_base)
+  done;
+  ignore (Memory.read_word mem ~purpose:Memory.Data window_lo);
+  (match Memory.read_word mem ~purpose:Memory.Data (window_lo + 4) with
+  | _ -> Alcotest.fail "second in-window access should lose power"
+  | exception Memory.Power_loss -> ());
+  Alcotest.(check bool) "disarmed" false (Memory.power_armed mem)
+
+let trigger_fires_before_write () =
+  let mem = fresh_mem () in
+  let addr = Platform.fram_base + 0x40 in
+  Memory.poke_word mem addr 0x1234;
+  Memory.arm_power_trigger mem (Some (Memory.After_accesses 1));
+  (match Memory.write_word mem addr 0xBEEF with
+  | () -> Alcotest.fail "write should lose power"
+  | exception Memory.Power_loss -> ());
+  Alcotest.(check int) "interrupted write never lands" 0x1234
+    (Memory.peek_word mem addr)
+
+(* --- structured run outcomes ----------------------------------- *)
+
+(* Machine faults no longer escape Cpu.run as OCaml exceptions: an
+   unmapped fetch and a missing trap handler both come back as
+   [Faulted] with the offending pc. *)
+let outcome_unmapped_fetch () =
+  let system = Platform.create Platform.Mhz24 in
+  Cpu.set_reg system.Platform.cpu Msp430.Isa.pc 0x0100;
+  match Cpu.run ~fuel:10 system.Platform.cpu with
+  | Cpu.Faulted f ->
+      Alcotest.(check int) "fault pc" 0x0100 f.Cpu.fault_pc
+  | o -> Alcotest.fail ("expected a fault, got " ^ Cpu.outcome_name o)
+
+let outcome_missing_trap () =
+  let system = Platform.create Platform.Mhz24 in
+  Cpu.set_reg system.Platform.cpu Msp430.Isa.pc 0xFF80;
+  match Cpu.run ~fuel:10 system.Platform.cpu with
+  | Cpu.Faulted f ->
+      Alcotest.(check bool)
+        "names the trap" true
+        (String.length f.Cpu.fault_msg > 0)
+  | o -> Alcotest.fail ("expected a fault, got " ^ Cpu.outcome_name o)
+
+let toolchain_reports_crash () =
+  (* starve a real benchmark of fuel: the harness must report Crashed
+     (Fuel_exhausted), not raise *)
+  let config = { (T.default_config Workloads.Suite.arith) with T.fuel = 100 } in
+  match T.run config with
+  | T.Crashed Cpu.Fuel_exhausted -> ()
+  | T.Crashed o -> Alcotest.fail ("wrong outcome: " ^ Cpu.outcome_name o)
+  | T.Completed _ -> Alcotest.fail "should have run out of fuel"
+  | T.Did_not_fit msg -> Alcotest.fail ("did not fit: " ^ msg)
+
+(* --- cache allocation-point API -------------------------------- *)
+
+let alloc_point_roundtrip () =
+  let cache =
+    Swapram.Cache.create ~base:Platform.sram_base ~capacity:1024
+      ~policy:Swapram.Cache.Circular_queue
+  in
+  let p0 = Swapram.Cache.alloc_point cache in
+  Alcotest.(check int) "starts at base" Platform.sram_base p0;
+  Swapram.Cache.commit cache ~fid:1 ~addr:p0 ~size:64 ~evicted:[];
+  Alcotest.(check int) "advances" (p0 + 64) (Swapram.Cache.alloc_point cache);
+  Swapram.Cache.set_alloc_point cache p0;
+  Alcotest.(check int) "restored" p0 (Swapram.Cache.alloc_point cache);
+  Alcotest.(check bool) "invariants hold" true
+    (Swapram.Cache.check_invariants cache)
+
+(* --- oracle ----------------------------------------------------- *)
+
+let oracle_ownership () =
+  Alcotest.(check bool) "swapram metadata" true
+    (Faultinject.Oracle.runtime_owned "__sr_redirect");
+  Alcotest.(check bool) "blockcache metadata" true
+    (Faultinject.Oracle.runtime_owned "__bb_hash");
+  Alcotest.(check bool) "application items" false
+    (Faultinject.Oracle.runtime_owned "results")
+
+let oracle_digest_sensitive () =
+  match T.prepare swapram_config with
+  | Error msg -> Alcotest.fail msg
+  | Ok p ->
+      let mem = p.T.p_system.Platform.memory in
+      let image = p.T.p_image in
+      let d0 = Faultinject.Oracle.app_state_digest ~image mem in
+      let item =
+        match Faultinject.Oracle.app_data_items image with
+        | i :: _ -> i
+        | [] -> Alcotest.fail "journal has no app data items"
+      in
+      Memory.poke_byte mem item.Masm.Assembler.info_addr
+        (Memory.peek_byte mem item.Masm.Assembler.info_addr lxor 0xFF);
+      let d1 = Faultinject.Oracle.app_state_digest ~image mem in
+      Alcotest.(check bool) "digest sees app data" true (d0 <> d1)
+
+let suite =
+  [
+    Alcotest.test_case "crash sweep: swapram" `Quick
+      (crash_sweep swapram_config "swapram");
+    Alcotest.test_case "crash sweep: blockcache" `Quick
+      (crash_sweep block_config "blockcache");
+    Alcotest.test_case "adversarial: swapram" `Quick
+      (adversarial swapram_config "swapram");
+    Alcotest.test_case "adversarial: blockcache" `Quick
+      (adversarial block_config "blockcache");
+    Alcotest.test_case "adversarial tears reboot" `Quick adversarial_tears_reboot;
+    Alcotest.test_case "watchdog reports livelock" `Quick watchdog_livelock;
+    Alcotest.test_case "baseline adversarial degenerates" `Quick
+      baseline_adversarial_degenerates;
+    Alcotest.test_case "trigger: after accesses" `Quick trigger_after_accesses;
+    Alcotest.test_case "trigger: region depth" `Quick trigger_in_region;
+    Alcotest.test_case "trigger: fires before the access" `Quick
+      trigger_fires_before_write;
+    Alcotest.test_case "outcome: unmapped fetch" `Quick outcome_unmapped_fetch;
+    Alcotest.test_case "outcome: missing trap" `Quick outcome_missing_trap;
+    Alcotest.test_case "outcome: toolchain reports crash" `Quick
+      toolchain_reports_crash;
+    Alcotest.test_case "cache alloc point" `Quick alloc_point_roundtrip;
+    Alcotest.test_case "oracle: runtime ownership" `Quick oracle_ownership;
+    Alcotest.test_case "oracle: digest sensitivity" `Quick oracle_digest_sensitive;
+  ]

@@ -10,4 +10,5 @@ let () =
       ("platform", Test_platform.suite);
       ("validation", Test_validation.suite);
       ("differential", Test_differential.suite);
+      ("faultinject", Test_faultinject.suite);
     ]

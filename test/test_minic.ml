@@ -16,7 +16,7 @@ let run_c ?(through_disasm = false) source =
     (Masm.Assembler.lookup image Minic.Driver.entry_name);
   (match Cpu.run ~fuel:10_000_000 system.Platform.cpu with
   | Cpu.Halted -> ()
-  | Cpu.Fuel_exhausted -> Alcotest.fail "program did not halt");
+  | o -> Alcotest.fail ("program did not halt: " ^ Cpu.outcome_name o));
   ( Cpu.reg system.Platform.cpu 12,
     Memory.uart_output system.Platform.memory )
 

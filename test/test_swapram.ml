@@ -33,7 +33,7 @@ let run_baseline source =
     (Masm.Assembler.lookup image Minic.Driver.entry_name);
   (match Cpu.run ~fuel:30_000_000 system.Platform.cpu with
   | Cpu.Halted -> ()
-  | Cpu.Fuel_exhausted -> Alcotest.fail "baseline did not halt");
+  | o -> Alcotest.fail ("baseline did not halt: " ^ Cpu.outcome_name o));
   let data_end = image.Masm.Assembler.data_end in
   {
     r12 = Cpu.reg system.Platform.cpu 12;
@@ -56,7 +56,7 @@ let run_swapram ?(options = Swapram.Config.default_options) source =
     (Masm.Assembler.lookup built.Swapram.Pipeline.image Minic.Driver.entry_name);
   (match Cpu.run ~fuel:30_000_000 system.Platform.cpu with
   | Cpu.Halted -> ()
-  | Cpu.Fuel_exhausted -> Alcotest.fail "swapram run did not halt");
+  | o -> Alcotest.fail ("swapram run did not halt: " ^ Cpu.outcome_name o));
   (* cache metadata lives in the text segment (FRAM), so the whole
      data segment is application data *)
   let app_data_end = built.Swapram.Pipeline.image.Masm.Assembler.data_end in
@@ -318,7 +318,8 @@ let suite =
         (* run a slice, then pull the plug *)
         (match Cpu.run ~fuel:5_000 system.Platform.cpu with
         | Cpu.Fuel_exhausted -> ()
-        | Cpu.Halted -> Alcotest.fail "finished before the power failure");
+        | Cpu.Halted -> Alcotest.fail "finished before the power failure"
+        | o -> Alcotest.fail (Cpu.outcome_name o));
         for a = Platform.sram_base to Platform.sram_base + Platform.sram_size - 1
         do
           Memory.poke_byte system.Platform.memory a 0xAA
@@ -327,7 +328,7 @@ let suite =
         boot ();
         (match Cpu.run ~fuel:30_000_000 system.Platform.cpu with
         | Cpu.Halted -> ()
-        | Cpu.Fuel_exhausted -> Alcotest.fail "did not halt after reboot");
+        | o -> Alcotest.fail ("did not halt after reboot: " ^ Cpu.outcome_name o));
         let base = run_baseline program_sum_loop in
         Alcotest.(check int) "same result after power cycle" base.r12
           (Cpu.reg system.Platform.cpu 12));

@@ -10,6 +10,7 @@ module Trace = Msp430.Trace
 let run config =
   match T.run config with
   | T.Completed r -> Some r
+  | T.Crashed o -> failwith ("did not halt: " ^ Msp430.Cpu.outcome_name o)
   | T.Did_not_fit _ -> None
 
 let check_seed benchmark seed () =
