@@ -6,6 +6,8 @@
      dune exec bench/main.exe             # everything
      dune exec bench/main.exe -- fig1 tab2 ...   # selected artifacts
      dune exec bench/main.exe -- micro    # simulator micro-benchmarks
+     dune exec bench/main.exe -- tab2 --report=bench/report.json
+                                          # also write the JSON report
 *)
 
 module Platform = Msp430.Platform
@@ -38,6 +40,14 @@ let run_fig10 () =
 
 let run_ablation () =
   print_string (Experiments.Ablation.render (Experiments.Ablation.compute ~seed ()))
+
+let report_path = ref None
+
+let run_report () =
+  let path = match !report_path with Some p -> p | None -> "bench/report.json" in
+  Experiments.Bench_report.write ~seed path;
+  Printf.printf "wrote %s (schema v%d)\n" path
+    Experiments.Bench_report.schema_version
 
 (* --- Bechamel micro-benchmarks of the simulator ---------------------- *)
 
@@ -111,14 +121,31 @@ let artifacts =
     ("fig10", run_fig10);
     ("ablation", run_ablation);
     ("micro", run_micro);
+    ("report", run_report);
   ]
 
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst artifacts
+  let args = List.tl (Array.to_list Sys.argv) in
+  (* --report[=PATH] writes the machine-readable report in addition to
+     (or instead of) the requested text artifacts *)
+  let names, report =
+    List.partition (fun a -> not (String.length a >= 8 && String.sub a 0 8 = "--report")) args
   in
+  (match report with
+  | [] -> ()
+  | flag :: _ ->
+      report_path :=
+        Some
+          (match String.index_opt flag '=' with
+          | Some i -> String.sub flag (i + 1) (String.length flag - i - 1)
+          | None -> "bench/report.json"));
+  let requested =
+    match names with
+    | _ :: _ -> names
+    | [] when report <> [] -> []
+    | [] -> List.map fst (List.filter (fun (n, _) -> n <> "report") artifacts)
+  in
+  let requested = if report <> [] then requested @ [ "report" ] else requested in
   List.iter
     (fun name ->
       match List.assoc_opt name artifacts with

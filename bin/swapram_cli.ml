@@ -152,6 +152,108 @@ let run_cmd benchmark file system placement freq seed blacklist =
            (String.split_on_char '\n' r.Experiments.Toolchain.uart));
       `Ok ()
 
+(* Profile: run with the observability stack attached and print the
+   per-function cycle/energy attribution. --verify re-runs the same
+   configuration unobserved and checks the totals match exactly —
+   tracing must perturb nothing. *)
+let profile_cmd benchmark file system placement freq seed blacklist top folded
+    chrome verify =
+  let* b = load_benchmark ~benchmark ~file ~seed in
+  let* caching = parse_system blacklist system in
+  let* placement = parse_placement placement in
+  let* frequency = parse_freq freq in
+  let config =
+    {
+      (Experiments.Toolchain.default_config b) with
+      Experiments.Toolchain.seed;
+      caching;
+      placement;
+      frequency;
+    }
+  in
+  let params =
+    match frequency with
+    | Platform.Mhz8 -> Msp430.Energy.point_8mhz
+    | Platform.Mhz24 -> Msp430.Energy.point_24mhz
+  in
+  match
+    Experiments.Toolchain.run ~observe:Experiments.Toolchain.default_observe
+      config
+  with
+  | Experiments.Toolchain.Did_not_fit msg ->
+      `Error (false, "binary does not fit the platform: " ^ msg)
+  | Experiments.Toolchain.Crashed o ->
+      `Error (false, "run did not halt: " ^ Experiments.Report.outcome_cell o)
+  | Experiments.Toolchain.Completed r -> (
+      let obs =
+        match r.Experiments.Toolchain.observation with
+        | Some obs -> obs
+        | None -> assert false (* ~observe was passed *)
+      in
+      let profiler = obs.Experiments.Toolchain.o_profiler in
+      let stats = r.Experiments.Toolchain.stats in
+      Printf.printf "benchmark    : %s (seed %d)\n" b.Workloads.Bench_def.name
+        seed;
+      Printf.printf "system       : %s, %s, %s\n"
+        (Experiments.Toolchain.caching_name caching)
+        (Experiments.Toolchain.placement_name placement)
+        (Platform.frequency_name frequency);
+      Printf.printf "cycles       : %d unstalled + %d stalls = %d\n"
+        stats.Trace.unstalled_cycles stats.Trace.stall_cycles
+        (Trace.total_cycles stats);
+      Printf.printf "runtime share: %.1f%% of cycles in the caching runtime\n\n"
+        (100.0
+        *. (Observe.Profiler.source_share profiler Trace.Handler
+           +. Observe.Profiler.source_share profiler Trace.Memcpy));
+      if folded then
+        List.iter print_endline (Observe.Profiler.folded_lines profiler)
+      else print_string (Observe.Profiler.render ~top ~params profiler);
+      (match chrome with
+      | Some path ->
+          let events =
+            match obs.Experiments.Toolchain.o_events with
+            | Some e -> e
+            | None -> assert false
+          in
+          let oc = open_out path in
+          output_string oc
+            (Observe.Chrome.export
+               ~symtab:obs.Experiments.Toolchain.o_symtab events);
+          close_out oc;
+          Printf.printf "\nwrote Chrome trace to %s\n" path
+      | None -> ());
+      if not verify then `Ok ()
+      else
+        match Experiments.Toolchain.run config with
+        | Experiments.Toolchain.Completed plain ->
+            let ps = plain.Experiments.Toolchain.stats in
+            let totals = Observe.Profiler.totals profiler in
+            let ok =
+              Trace.total_cycles ps = Trace.total_cycles stats
+              && ps.Trace.instructions = stats.Trace.instructions
+              && Trace.total_cycles ps = Observe.Profiler.cycles_of totals
+              && ps.Trace.instructions = totals.Observe.Profiler.instrs
+              && plain.Experiments.Toolchain.uart
+                 = r.Experiments.Toolchain.uart
+            in
+            if ok then begin
+              Printf.printf
+                "\nverify       : OK — untraced run identical (%d cycles, %d \
+                 instructions)\n"
+                (Trace.total_cycles ps) ps.Trace.instructions;
+              `Ok ()
+            end
+            else
+              `Error
+                ( false,
+                  Printf.sprintf
+                    "tracing perturbed the run: traced %d cycles / %d instrs, \
+                     untraced %d cycles / %d instrs, attributed %d cycles"
+                    (Trace.total_cycles stats) stats.Trace.instructions
+                    (Trace.total_cycles ps) ps.Trace.instructions
+                    (Observe.Profiler.cycles_of totals) )
+        | _ -> `Error (false, "verification rerun did not complete"))
+
 let asm_cmd benchmark file seed instrumented =
   let* b = load_benchmark ~benchmark ~file ~seed in
   let program =
@@ -315,6 +417,32 @@ let instrumented_arg =
   let doc = "Print the SwapRAM-instrumented program instead of plain output." in
   Arg.(value & flag & info [ "instrumented"; "i" ] ~doc)
 
+let top_arg =
+  let doc = "Show only the N hottest functions (0 = all)." in
+  Arg.(value & opt int 0 & info [ "top" ] ~doc)
+
+let folded_arg =
+  let doc = "Emit caller-aggregated folded stacks (flame-graph input) instead of the table." in
+  Arg.(value & flag & info [ "folded" ] ~doc)
+
+let chrome_arg =
+  let doc = "Also write a Chrome trace-event JSON file to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "chrome" ] ~docv:"PATH" ~doc)
+
+let verify_arg =
+  let doc =
+    "Re-run the same configuration without observation and fail unless the \
+     cycle and instruction totals match exactly."
+  in
+  Arg.(value & flag & info [ "verify" ] ~doc)
+
+let profile_term =
+  Term.(
+    ret
+      (const profile_cmd $ benchmark_arg $ file_arg $ system_arg
+     $ placement_arg $ freq_arg $ seed_arg $ blacklist_arg $ top_arg
+     $ folded_arg $ chrome_arg $ verify_arg))
+
 let asm_term =
   Term.(ret (const asm_cmd $ benchmark_arg $ file_arg $ seed_arg $ instrumented_arg))
 
@@ -325,6 +453,12 @@ let disasm_term =
 let cmds =
   [
     Cmd.v (Cmd.info "run" ~doc:"Build and simulate a program") run_term;
+    Cmd.v
+      (Cmd.info "profile"
+         ~doc:
+           "Simulate with the cycle-attribution profiler attached and print \
+            per-function cycle/energy attribution")
+      profile_term;
     Cmd.v (Cmd.info "asm" ~doc:"Dump generated (optionally instrumented) assembly") asm_term;
     Cmd.v
       (Cmd.info "disasm"

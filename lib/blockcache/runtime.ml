@@ -38,6 +38,7 @@ type t = {
   manifest : Transform.manifest;
   addrs : table_addrs;
   block_index : (int, int * int) Hashtbl.t; (* nvm addr -> (index, size) *)
+  slot_owners : int array; (* slot index -> NVM leader addr, -1 if empty *)
   mutable next_slot : int;
   stats : stats;
   mutable handler_cursor : int;
@@ -45,6 +46,21 @@ type t = {
 }
 
 let stats t = t.stats
+let emit_rt t ev = Trace.emit (Memory.stats t.mem) (Trace.Runtime_event ev)
+
+(* Host-side dynamic symbolizer for the observability layer: translate
+   a pc inside an SRAM slot back to the NVM address of the cached
+   block's corresponding word. Pure inspection — no counted accesses. *)
+let cached_block_at t addr =
+  let base = t.options.Config.cache_base in
+  let slot_size = t.manifest.Transform.slot_size in
+  let span = t.manifest.Transform.num_slots * slot_size in
+  if addr < base || addr >= base + span then None
+  else
+    let slot = (addr - base) / slot_size in
+    let owner = t.slot_owners.(slot) in
+    if owner < 0 then None
+    else Some (owner + (addr - (base + (slot * slot_size))))
 
 let charge t source n =
   let base, size, get, set =
@@ -63,10 +79,11 @@ let charge t source n =
   for _ = 1 to n do
     let cur = get () in
     Memory.begin_instruction t.mem;
+    Trace.emit (Memory.stats t.mem)
+      (Trace.Instr { pc = base + cur; source });
     ignore (Memory.read_word t.mem ~purpose:Memory.Ifetch (base + cur));
     Trace.count_instr (Memory.stats t.mem) source;
-    (Memory.stats t.mem).Trace.unstalled_cycles <-
-      (Memory.stats t.mem).Trace.unstalled_cycles + Costs.cycles_per_instr;
+    Trace.add_unstalled (Memory.stats t.mem) Costs.cycles_per_instr;
     set ((cur + 2) mod size)
   done
 
@@ -112,11 +129,13 @@ let hash_insert t key value =
 
 let flush t =
   t.stats.flushes <- t.stats.flushes + 1;
+  emit_rt t Trace.Cache_flush;
   charge t Trace.Handler Costs.flush_base_instrs;
   for i = 0 to t.manifest.Transform.hash_buckets - 1 do
     charge t Trace.Handler Costs.flush_per_bucket_instrs;
     write_word t (bucket_addr t i) 0
   done;
+  Array.fill t.slot_owners 0 (Array.length t.slot_owners) (-1);
   t.next_slot <- 0
 
 (* --- Block loading ---------------------------------------------------- *)
@@ -134,9 +153,11 @@ let load_block t ~nvm =
   ignore (read_word t (t.addrs.a_blocktab + (4 * index)));
   ignore (read_word t (t.addrs.a_blocktab + (4 * index) + 2));
   if t.next_slot >= t.manifest.Transform.num_slots then flush t;
+  emit_rt t (Trace.Block_load { nvm });
   let slot = t.options.Config.cache_base
              + (t.next_slot * t.manifest.Transform.slot_size)
   in
+  t.slot_owners.(t.next_slot) <- nvm;
   t.next_slot <- t.next_slot + 1;
   let words = (size + 1) / 2 in
   for i = 0 to words - 1 do
@@ -159,6 +180,7 @@ let lookup_or_load t ~nvm =
 (* CFI stub entry: cache the target block and chain the source CFI. *)
 let on_miss t _cpu =
   t.stats.misses <- t.stats.misses + 1;
+  emit_rt t (Trace.Miss_enter { runtime = "block" });
   charge t Trace.Handler Costs.runtime_entry_instrs;
   let cfi_id = read_word t t.addrs.a_cfi in
   charge t Trace.Handler Costs.cfitab_instrs;
@@ -176,17 +198,20 @@ let on_miss t _cpu =
       t.stats.chains <- t.stats.chains + 1
   | None -> ());
   charge t Trace.Handler Costs.runtime_exit_instrs;
+  emit_rt t (Trace.Miss_exit { runtime = "block"; disposition = "cached" });
   Cpu.Goto slot
 
 (* Return entry: resume at the (NVM) return address through the cache. *)
 let on_return t cpu =
   t.stats.returns <- t.stats.returns + 1;
+  emit_rt t (Trace.Miss_enter { runtime = "block" });
   charge t Trace.Handler Costs.return_entry_instrs;
   let sp = Cpu.reg cpu Isa.sp in
   let nvm = read_word t sp in
   Cpu.set_reg cpu Isa.sp (sp + 2);
   let slot = lookup_or_load t ~nvm in
   charge t Trace.Handler Costs.runtime_exit_instrs;
+  emit_rt t (Trace.Miss_exit { runtime = "block"; disposition = "return" });
   Cpu.Goto slot
 
 (* Power-loss recovery, mirroring Swapram.Runtime.reboot: the SRAM
@@ -198,6 +223,7 @@ let on_return t cpu =
    trigger can tear the reboot itself; the routine is idempotent. *)
 let reboot t ~image =
   t.next_slot <- 0;
+  Array.fill t.slot_owners 0 (Array.length t.slot_owners) (-1);
   t.handler_cursor <- 0;
   t.memcpy_cursor <- 0;
   let restore_item name =
@@ -250,6 +276,7 @@ let install ~options ~manifest ~image (system : Msp430.Platform.system) =
       manifest;
       addrs;
       block_index;
+      slot_owners = Array.make manifest.Transform.num_slots (-1);
       next_slot = 0;
       stats =
         {

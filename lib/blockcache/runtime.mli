@@ -19,6 +19,12 @@ type t
 
 val stats : t -> stats
 
+val cached_block_at : t -> int -> int option
+(** Translate a pc inside an SRAM cache slot back to the NVM address
+    of the cached block's corresponding word, if the slot currently
+    holds a block — the observability layer's dynamic symbolizer.
+    Pure host-side inspection: no counted accesses, no perturbation. *)
+
 val reboot : t -> image:Masm.Assembler.t -> unit
 (** Power-loss recovery, mirroring [Swapram.Runtime.reboot]: restore
     the FRAM hash table and CFI id word to their post-link values and

@@ -1,0 +1,161 @@
+module Trace = Msp430.Trace
+module Platform = Msp430.Platform
+module Energy = Msp430.Energy
+module Json = Observe.Json
+
+(* Machine-readable benchmark report (bench/report.json).
+
+   Runs the Table-2 configurations — every requested benchmark under
+   the unified-memory baseline, SwapRAM and the block cache at a given
+   frequency — with the profiling stack attached, and renders the
+   results under a stable, versioned schema for CI artifact upload and
+   downstream tooling. The schema is documented in EXPERIMENTS.md;
+   bump [schema_version] on any breaking change. *)
+
+let schema_version = 1
+
+let frequency_hz = function
+  | Platform.Mhz8 -> 8_000_000
+  | Platform.Mhz24 -> 24_000_000
+
+let params_for = function
+  | Platform.Mhz8 -> Energy.point_8mhz
+  | Platform.Mhz24 -> Energy.point_24mhz
+
+let top_functions ~params ~(obs : Toolchain.observation) n =
+  let rows = Observe.Profiler.rows ~params obs.Toolchain.o_profiler in
+  let total =
+    max 1 (Observe.Profiler.cycles_of (Observe.Profiler.totals obs.Toolchain.o_profiler))
+  in
+  List.filteri (fun i _ -> i < n) rows
+  |> List.map (fun (r : Observe.Profiler.row) ->
+         Json.Obj
+           [
+             ("name", Json.String r.Observe.Profiler.name);
+             ("cycles", Json.Int (Observe.Profiler.cycles_of r.Observe.Profiler.c));
+             ( "share",
+               Json.Float
+                 (float_of_int (Observe.Profiler.cycles_of r.Observe.Profiler.c)
+                 /. float_of_int total) );
+             ("energy_nj", Json.Float r.Observe.Profiler.energy_nj);
+           ])
+
+let swapram_stats_json (s : Swapram.Runtime.stats) =
+  Json.Obj
+    [
+      ("misses", Json.Int s.Swapram.Runtime.misses);
+      ("aborts", Json.Int s.Swapram.Runtime.aborts);
+      ("too_large", Json.Int s.Swapram.Runtime.too_large);
+      ("frozen_misses", Json.Int s.Swapram.Runtime.frozen_misses);
+      ("evictions", Json.Int s.Swapram.Runtime.evictions);
+      ("words_copied", Json.Int s.Swapram.Runtime.words_copied);
+      ("placement_retries", Json.Int s.Swapram.Runtime.placement_retries);
+      ("prefetches", Json.Int s.Swapram.Runtime.prefetches);
+    ]
+
+let block_stats_json (s : Blockcache.Runtime.stats) =
+  Json.Obj
+    [
+      ("misses", Json.Int s.Blockcache.Runtime.misses);
+      ("block_loads", Json.Int s.Blockcache.Runtime.block_loads);
+      ("chains", Json.Int s.Blockcache.Runtime.chains);
+      ("flushes", Json.Int s.Blockcache.Runtime.flushes);
+      ("returns", Json.Int s.Blockcache.Runtime.returns);
+      ("hash_probes", Json.Int s.Blockcache.Runtime.hash_probes);
+      ("words_copied", Json.Int s.Blockcache.Runtime.words_copied);
+    ]
+
+let completed_json ~params (r : Toolchain.result) =
+  let stats = r.Toolchain.stats in
+  let fram_reads = stats.Trace.fram_ifetch + stats.Trace.fram_data_reads in
+  let hit_rate =
+    if fram_reads = 0 then 0.0
+    else float_of_int stats.Trace.fram_read_hits /. float_of_int fram_reads
+  in
+  let miss_handler_share =
+    match r.Toolchain.observation with
+    | Some obs ->
+        Json.Float
+          (Observe.Profiler.source_share obs.Toolchain.o_profiler Trace.Handler
+          +. Observe.Profiler.source_share obs.Toolchain.o_profiler Trace.Memcpy)
+    | None -> Json.Null
+  in
+  let top =
+    match r.Toolchain.observation with
+    | Some obs -> Json.List (top_functions ~params ~obs 5)
+    | None -> Json.Null
+  in
+  let runtime =
+    match (r.Toolchain.swapram_stats, r.Toolchain.block_stats) with
+    | Some s, _ -> swapram_stats_json s
+    | None, Some s -> block_stats_json s
+    | None, None -> Json.Null
+  in
+  Json.Obj
+    [
+      ("status", Json.String "completed");
+      ("cycles", Json.Int (Trace.total_cycles stats));
+      ("unstalled_cycles", Json.Int stats.Trace.unstalled_cycles);
+      ("stall_cycles", Json.Int stats.Trace.stall_cycles);
+      ("instructions", Json.Int stats.Trace.instructions);
+      ("fram_accesses", Json.Int (Trace.fram_accesses stats));
+      ("sram_accesses", Json.Int (Trace.sram_accesses stats));
+      ("hwcache_hit_rate", Json.Float hit_rate);
+      ("energy_nj", Json.Float r.Toolchain.energy.Energy.energy_nj);
+      ("time_s", Json.Float r.Toolchain.energy.Energy.time_s);
+      ("return_value", Json.Int r.Toolchain.return_value);
+      ("code_bytes", Json.Int r.Toolchain.sizes.Toolchain.code_bytes);
+      ("data_bytes", Json.Int r.Toolchain.sizes.Toolchain.data_bytes);
+      ("miss_handler_share", miss_handler_share);
+      ("runtime", runtime);
+      ("top_functions", top);
+    ]
+
+let outcome_json ~params = function
+  | Toolchain.Completed r -> completed_json ~params r
+  | Toolchain.Crashed o ->
+      Json.Obj
+        [
+          ("status", Json.String "crashed");
+          ("reason", Json.String (Report.outcome_cell o));
+        ]
+  | Toolchain.Did_not_fit msg ->
+      Json.Obj
+        [ ("status", Json.String "did-not-fit"); ("reason", Json.String msg) ]
+
+let compute ?(seed = 1) ?benchmarks ?(frequency = Platform.Mhz24) () =
+  let params = params_for frequency in
+  let sweep =
+    Sweep.compute ~seed ?benchmarks ~observe:Toolchain.default_observe
+      ~frequency ()
+  in
+  Json.Obj
+    [
+      ("schema_version", Json.Int schema_version);
+      ("seed", Json.Int seed);
+      ("frequency_hz", Json.Int (frequency_hz frequency));
+      ( "benchmarks",
+        Json.List
+          (List.map
+             (fun (e : Sweep.entry) ->
+               Json.Obj
+                 [
+                   ("name", Json.String e.Sweep.benchmark.Workloads.Bench_def.name);
+                   ( "systems",
+                     Json.Obj
+                       [
+                         ( "baseline",
+                           outcome_json ~params
+                             (Toolchain.Completed e.Sweep.baseline) );
+                         ("swapram", outcome_json ~params e.Sweep.swapram);
+                         ("block", outcome_json ~params e.Sweep.block);
+                       ] );
+                 ])
+             sweep) );
+    ]
+
+let write ?seed ?benchmarks ?frequency path =
+  let json = compute ?seed ?benchmarks ?frequency () in
+  let oc = open_out path in
+  output_string oc (Json.to_string_pretty json);
+  close_out oc

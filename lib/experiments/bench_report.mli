@@ -1,0 +1,22 @@
+(** Machine-readable benchmark report ([bench/report.json]): the
+    Table-2 configurations (every benchmark under baseline / SwapRAM /
+    block cache) run with the profiling stack attached, rendered under
+    a stable versioned JSON schema for CI artifact upload. The schema
+    is documented in EXPERIMENTS.md. *)
+
+val schema_version : int
+
+val compute :
+  ?seed:int ->
+  ?benchmarks:Workloads.Bench_def.t list ->
+  ?frequency:Msp430.Platform.frequency ->
+  unit ->
+  Observe.Json.t
+
+val write :
+  ?seed:int ->
+  ?benchmarks:Workloads.Bench_def.t list ->
+  ?frequency:Msp430.Platform.frequency ->
+  string ->
+  unit
+(** Render {!compute} pretty-printed to the given path. *)

@@ -24,7 +24,10 @@ let fram_capacity =
   (* program space available above the code base *)
   Msp430.Platform.fram_base + Msp430.Platform.fram_size - (Msp430.Platform.fram_base + 0x400)
 
-let compute ?(seed = 1) () =
+let compute ?(seed = 1) ?benchmarks () =
+  let benchmarks =
+    match benchmarks with Some bs -> bs | None -> Workloads.Suite.all
+  in
   List.map
     (fun benchmark ->
       let source = benchmark.Workloads.Bench_def.source seed in
@@ -56,7 +59,7 @@ let compute ?(seed = 1) () =
           };
         block_fits = fits (Blockcache.Pipeline.total_bytes bu);
       })
-    Workloads.Suite.all
+    benchmarks
 
 let total u = u.app + u.runtime + u.metadata
 

@@ -14,9 +14,10 @@ type entry = {
 
 type t = entry list
 
-let cache : (int * Platform.frequency, t) Hashtbl.t = Hashtbl.create 4
+let cache : (int * Platform.frequency * bool * string list, t) Hashtbl.t =
+  Hashtbl.create 4
 
-let compute_uncached ~seed ~frequency =
+let compute_uncached ?observe ~seed ~frequency benchmarks =
   List.map
     (fun benchmark ->
       let base_config =
@@ -29,10 +30,10 @@ let compute_uncached ~seed ~frequency =
       let baseline =
         Report.expect_completed
           ~what:(benchmark.Workloads.Bench_def.name ^ " baseline")
-          (Toolchain.run base_config)
+          (Toolchain.run ?observe base_config)
       in
       let swapram =
-        Toolchain.run
+        Toolchain.run ?observe
           {
             base_config with
             Toolchain.caching =
@@ -40,7 +41,7 @@ let compute_uncached ~seed ~frequency =
           }
       in
       let block =
-        Toolchain.run
+        Toolchain.run ?observe
           {
             base_config with
             Toolchain.caching =
@@ -57,12 +58,21 @@ let compute_uncached ~seed ~frequency =
           failwith (benchmark.Workloads.Bench_def.name ^ ": block-cache output differs")
       | _ -> ());
       { benchmark; baseline; swapram; block })
-    Workloads.Suite.all
+    benchmarks
 
-let compute ?(seed = 1) ~frequency () =
-  match Hashtbl.find_opt cache (seed, frequency) with
+let compute ?(seed = 1) ?benchmarks ?observe ~frequency () =
+  let benchmarks =
+    match benchmarks with Some bs -> bs | None -> Workloads.Suite.all
+  in
+  let key =
+    ( seed,
+      frequency,
+      observe <> None,
+      List.map (fun b -> b.Workloads.Bench_def.name) benchmarks )
+  in
+  match Hashtbl.find_opt cache key with
   | Some t -> t
   | None ->
-      let t = compute_uncached ~seed ~frequency in
-      Hashtbl.replace cache (seed, frequency) t;
+      let t = compute_uncached ?observe ~seed ~frequency benchmarks in
+      Hashtbl.replace cache key t;
       t

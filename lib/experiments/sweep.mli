@@ -13,4 +13,14 @@ type entry = {
 
 type t = entry list
 
-val compute : ?seed:int -> frequency:Msp430.Platform.frequency -> unit -> t
+val compute :
+  ?seed:int ->
+  ?benchmarks:Workloads.Bench_def.t list ->
+  ?observe:Toolchain.observe_spec ->
+  frequency:Msp430.Platform.frequency ->
+  unit ->
+  t
+(** [benchmarks] restricts the sweep to a subset (defaults to the full
+    suite); [observe] attaches the profiling stack to every run (see
+    {!Toolchain.observe_spec}). Results are memoized per
+    (seed, frequency, observed?, subset). *)

@@ -14,7 +14,10 @@ type row = {
 
 type t = { rows : row list; average_ratio : float }
 
-let compute ?(seed = 1) () =
+let compute ?(seed = 1) ?benchmarks () =
+  let benchmarks =
+    match benchmarks with Some bs -> bs | None -> Workloads.Suite.all
+  in
   let rows =
     List.map
       (fun benchmark ->
@@ -36,7 +39,7 @@ let compute ?(seed = 1) () =
                   ~vs:(Trace.data_accesses stats)
                   (Trace.code_accesses stats);
             })
-      Workloads.Suite.all
+      benchmarks
   in
   let average_ratio =
     List.fold_left (fun acc r -> acc +. r.code_data_ratio) 0.0 rows

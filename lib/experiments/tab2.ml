@@ -28,7 +28,7 @@ let cells_of_outcome = function
   | Toolchain.Crashed o -> failwith ("tab2: " ^ Report.outcome_cell o)
   | Toolchain.Did_not_fit _ -> { fram_accesses = None; cycles = None }
 
-let compute ?(seed = 1) () =
+let compute ?(seed = 1) ?benchmarks () =
   List.map
     (fun (e : Sweep.entry) ->
       {
@@ -37,7 +37,7 @@ let compute ?(seed = 1) () =
         block = cells_of_outcome e.Sweep.block;
         swapram = cells_of_outcome e.Sweep.swapram;
       })
-    (Sweep.compute ~seed ~frequency:Platform.Mhz24 ())
+    (Sweep.compute ~seed ?benchmarks ~frequency:Platform.Mhz24 ())
 
 let cell ~vs = function
   | None -> "DNF"

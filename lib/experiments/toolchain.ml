@@ -63,6 +63,72 @@ let stack_reserve = 384
 
 type sizes = { code_bytes : int; data_bytes : int }
 
+(* --- Observability ----------------------------------------------------- *)
+
+(* What to attach to the run. The profiler is always on when a spec is
+   given; the event ring is optional because most callers only want
+   the attribution tables. *)
+type observe_spec = { events_capacity : int; events_keep_all : bool }
+
+let default_observe = { events_capacity = 4096; events_keep_all = false }
+
+type observation = {
+  o_symtab : Observe.Symtab.t;
+  o_profiler : Observe.Profiler.t;
+  o_events : Observe.Events.t option;
+}
+
+(* Attach the observability stack to a prepared system: build the
+   symbol table from the link map, register dynamic resolvers for
+   whichever caching runtime is installed (so pc values inside SRAM
+   cache copies resolve to stable function names), and fan the trace
+   event stream out to the profiler and the optional event ring.
+
+   Everything here is host-side spectating — the observer runs after
+   the simulator's counters update and issues no counted accesses, so
+   an observed run is cycle-for-cycle identical to an unobserved one
+   (asserted by `swapram_cli profile --verify` and the property
+   tests). *)
+let attach_observation spec ~image ~(system : Platform.system) ~swapram ~block =
+  let symtab = Observe.Symtab.of_image image in
+  (match swapram with
+  | Some (rt, (manifest : Swapram.Instrument.manifest)) ->
+      Observe.Symtab.add_resolver symtab (fun addr ->
+          match Swapram.Runtime.cached_function_at rt addr with
+          | Some fid when fid < Array.length manifest.Swapram.Instrument.funcs
+            ->
+              Some
+                manifest.Swapram.Instrument.funcs.(fid)
+                  .Swapram.Instrument.fm_name
+          | Some _ | None -> None)
+  | None -> ());
+  (match block with
+  | Some rt ->
+      Observe.Symtab.add_resolver symtab (fun addr ->
+          match Blockcache.Runtime.cached_block_at rt addr with
+          | Some nvm -> Observe.Symtab.static_name_of symtab nvm
+          | None -> None)
+  | None -> ());
+  let stats = Memory.stats system.Platform.memory in
+  let profiler = Observe.Profiler.create symtab in
+  let events =
+    if spec.events_capacity > 0 then
+      Some
+        (Observe.Events.create ~keep_all:spec.events_keep_all
+           ~capacity:spec.events_capacity stats)
+    else None
+  in
+  let observer =
+    match events with
+    | None -> Observe.Profiler.observer profiler
+    | Some ring ->
+        fun ev ->
+          Observe.Profiler.observer profiler ev;
+          Observe.Events.observer ring ev
+  in
+  Trace.set_observer stats (Some observer);
+  { o_symtab = symtab; o_profiler = profiler; o_events = events }
+
 type result = {
   stats : Trace.t;
   energy : Energy.report;
@@ -74,6 +140,7 @@ type result = {
   swapram_usage : Swapram.Pipeline.nvm_usage option;
   block_stats : Blockcache.Runtime.stats option;
   block_usage : Blockcache.Pipeline.nvm_usage option;
+  observation : observation option;
 }
 
 type outcome =
@@ -140,9 +207,10 @@ type prepared = {
   p_sr_manifest : Swapram.Instrument.manifest option;
   p_sr_usage : Swapram.Pipeline.nvm_usage option;
   p_bb_usage : Blockcache.Pipeline.nvm_usage option;
+  p_observation : observation option;
 }
 
-let prepare config =
+let prepare ?observe config =
   let code_base, code_limit, data_base_opt, data_limit, stack_top =
     region_plan config.placement
   in
@@ -234,6 +302,17 @@ let prepare config =
   | image, install, sr_manifest, sr_usage, bb_usage ->
       let system = Platform.create config.frequency in
       let sr_rt, bb_rt = install system in
+      let observation =
+        Option.map
+          (fun spec ->
+            attach_observation spec ~image ~system
+              ~swapram:
+                (match (sr_rt, sr_manifest) with
+                | Some rt, Some m -> Some (rt, m)
+                | _ -> None)
+              ~block:bb_rt)
+          observe
+      in
       Ok
         {
           p_config = config;
@@ -246,25 +325,37 @@ let prepare config =
           p_sr_manifest = sr_manifest;
           p_sr_usage = sr_usage;
           p_bb_usage = bb_usage;
+          p_observation = observation;
         }
 
-let boot p =
+let phase_marker p name =
+  if p.p_observation <> None then
+    Trace.emit
+      (Memory.stats p.p_system.Platform.memory)
+      (Trace.Runtime_event (Trace.Phase { name }))
+
+let boot_regs p =
   Cpu.set_reg p.p_system.Platform.cpu Msp430.Isa.sp p.p_stack_top;
   Cpu.set_reg p.p_system.Platform.cpu Msp430.Isa.pc
     (Masm.Assembler.lookup p.p_image Minic.Driver.entry_name)
+
+let boot p =
+  phase_marker p "boot";
+  boot_regs p
 
 (* Replay the boot path after a power failure: restore whichever
    caching runtime is installed (counted FRAM writes — an armed power
    trigger can interrupt them with Memory.Power_loss) and reload
    SP/PC. The caller applies Platform.power_fail first. *)
 let reboot p =
+  phase_marker p "reboot";
   (match p.p_swapram with
   | Some rt -> Swapram.Runtime.reboot rt ~image:p.p_image
   | None -> ());
   (match p.p_block with
   | Some rt -> Blockcache.Runtime.reboot rt ~image:p.p_image
   | None -> ());
-  boot p
+  boot_regs p
 
 let collect p =
   let system = p.p_system in
@@ -283,10 +374,11 @@ let collect p =
     swapram_usage = p.p_sr_usage;
     block_stats = Option.map Blockcache.Runtime.stats p.p_block;
     block_usage = p.p_bb_usage;
+    observation = p.p_observation;
   }
 
-let run config =
-  match prepare config with
+let run ?observe config =
+  match prepare ?observe config with
   | Error msg -> Did_not_fit msg
   | Ok p -> (
       boot p;

@@ -39,6 +39,31 @@ val default_config : Workloads.Bench_def.t -> config
 
 type sizes = { code_bytes : int; data_bytes : int }
 
+(** {2 Observability}
+
+    Passing [~observe] to {!prepare} / {!run} attaches the {!Observe}
+    stack to the system before it boots: a {!Observe.Profiler}
+    consuming the {!Msp430.Trace} event stream (with dynamic symbol
+    resolvers for whichever caching runtime is installed) and an
+    optional bounded {!Observe.Events} ring for the Chrome trace
+    exporter. Observation is pure spectating — an observed run is
+    cycle-for-cycle identical to an unobserved one. *)
+
+type observe_spec = {
+  events_capacity : int;  (** 0 disables the event ring *)
+  events_keep_all : bool;
+      (** also record per-instruction / per-access events *)
+}
+
+val default_observe : observe_spec
+(** 4096-entry ring, high-level events only. *)
+
+type observation = {
+  o_symtab : Observe.Symtab.t;
+  o_profiler : Observe.Profiler.t;
+  o_events : Observe.Events.t option;
+}
+
 type result = {
   stats : Msp430.Trace.t;
   energy : Msp430.Energy.report;
@@ -50,6 +75,8 @@ type result = {
   swapram_usage : Swapram.Pipeline.nvm_usage option;
   block_stats : Blockcache.Runtime.stats option;
   block_usage : Blockcache.Pipeline.nvm_usage option;
+  observation : observation option;
+      (** present iff the run was prepared with [~observe] *)
 }
 
 type outcome =
@@ -60,7 +87,7 @@ type outcome =
           power loss *)
   | Did_not_fit of string
 
-val run : config -> outcome
+val run : ?observe:observe_spec -> config -> outcome
 
 (** {2 Staged execution}
 
@@ -80,9 +107,10 @@ type prepared = {
   p_sr_manifest : Swapram.Instrument.manifest option;
   p_sr_usage : Swapram.Pipeline.nvm_usage option;
   p_bb_usage : Blockcache.Pipeline.nvm_usage option;
+  p_observation : observation option;
 }
 
-val prepare : config -> (prepared, string) Stdlib.result
+val prepare : ?observe:observe_spec -> config -> (prepared, string) Stdlib.result
 (** Build, load and arm a system without starting it; [Error] is the
     did-not-fit message. *)
 

@@ -64,9 +64,10 @@ let set_flag t bit v =
    unstalled cycles, attributed to [source] in the Fig. 8 breakdown. *)
 let charge_runtime_instr t ~source ~fetch_addr ~cycles =
   Memory.begin_instruction t.mem;
+  Trace.emit t.stats (Trace.Instr { pc = fetch_addr; source });
   ignore (Memory.read_word t.mem ~purpose:Memory.Ifetch fetch_addr);
   Trace.count_instr t.stats source;
-  t.stats.Trace.unstalled_cycles <- t.stats.Trace.unstalled_cycles + cycles
+  Trace.add_unstalled t.stats cycles
 
 let width_of = function Isa.W -> 2 | Isa.B -> 1
 let val_mask = function Isa.W -> 0xFFFF | Isa.B -> 0xFF
@@ -225,6 +226,7 @@ let exec_format2 t op sz src =
       Memory.write t.mem ~width:(width_of sz) sp' v
   | Isa.CALL ->
       let target = eval_src t Isa.W src in
+      Trace.emit t.stats (Trace.Call { target });
       push_word t t.regs.(Isa.pc);
       t.regs.(Isa.pc) <- target
   | Isa.RRC | Isa.RRA | Isa.SWPB | Isa.SXT -> (
@@ -285,6 +287,10 @@ let step t =
     if pc0 >= trap_base then run_trap t pc0
     else begin
       Memory.begin_instruction t.mem;
+      (* Attribution context for every counted access, stall and cycle
+         this instruction causes — including the ifetches the decoder
+         is about to issue. *)
+      Trace.emit t.stats (Trace.Instr { pc = pc0; source = t.classify pc0 });
       let fetch addr = Memory.read_word t.mem ~purpose:Memory.Ifetch addr in
       let instr, size = Encoding.decode ~fetch ~addr:pc0 in
       (match t.tracer with
@@ -300,8 +306,13 @@ let step t =
       | Isa.RETI ->
           t.regs.(Isa.sr) <- pop_word t;
           t.regs.(Isa.pc) <- pop_word t);
-      t.stats.Trace.unstalled_cycles <-
-        t.stats.Trace.unstalled_cycles + Cycles.of_instr instr;
+      Trace.add_unstalled t.stats (Cycles.of_instr instr);
+      (* The compiler's return idiom (MOV @SP+, PC) gives an attached
+         profiler the pop side of its shadow call stack. *)
+      (match instr with
+      | Isa.I1 (Isa.MOV, Isa.W, Isa.Sinc 1, Isa.Dreg 0) ->
+          Trace.emit t.stats Trace.Return
+      | _ -> ());
       if Memory.halt_requested t.mem then t.halted <- true
     end
   end

@@ -40,16 +40,27 @@ let point_24mhz =
 
 type report = { time_s : float; energy_nj : float }
 
-let evaluate params (stats : Trace.t) =
-  let cycles = float_of_int (Trace.total_cycles stats) in
-  let fram_reads = stats.Trace.fram_ifetch + stats.Trace.fram_data_reads in
-  let fram_read_misses = fram_reads - stats.Trace.fram_read_hits in
-  let sram = Trace.sram_accesses stats in
+(* Shared with the profiling layer: evaluating the model on a
+   per-function slice of the counters and on the aggregate totals is
+   the same computation, so attribution sums reconcile with the
+   whole-run report. *)
+let evaluate_counts params ~cycles ~fram_read_misses ~fram_read_hits
+    ~fram_writes ~sram_accesses =
+  let cycles = float_of_int cycles in
   let energy_nj =
     (cycles *. params.core_nj_per_cycle)
     +. (float_of_int fram_read_misses *. params.fram_read_miss_nj)
-    +. (float_of_int stats.Trace.fram_read_hits *. params.fram_read_hit_nj)
-    +. (float_of_int stats.Trace.fram_writes *. params.fram_write_nj)
-    +. (float_of_int sram *. params.sram_access_nj)
+    +. (float_of_int fram_read_hits *. params.fram_read_hit_nj)
+    +. (float_of_int fram_writes *. params.fram_write_nj)
+    +. (float_of_int sram_accesses *. params.sram_access_nj)
   in
   { time_s = cycles /. params.frequency_hz; energy_nj }
+
+let evaluate params (stats : Trace.t) =
+  let fram_reads = stats.Trace.fram_ifetch + stats.Trace.fram_data_reads in
+  evaluate_counts params
+    ~cycles:(Trace.total_cycles stats)
+    ~fram_read_misses:(fram_reads - stats.Trace.fram_read_hits)
+    ~fram_read_hits:stats.Trace.fram_read_hits
+    ~fram_writes:stats.Trace.fram_writes
+    ~sram_accesses:(Trace.sram_accesses stats)

@@ -20,3 +20,15 @@ val point_24mhz : params
 type report = { time_s : float; energy_nj : float }
 
 val evaluate : params -> Trace.t -> report
+
+val evaluate_counts :
+  params ->
+  cycles:int ->
+  fram_read_misses:int ->
+  fram_read_hits:int ->
+  fram_writes:int ->
+  sram_accesses:int ->
+  report
+(** Evaluate the model on raw counters. [evaluate] is this applied to
+    the aggregate totals; the profiling layer applies it to
+    per-function slices, so attributions sum to the whole-run report. *)

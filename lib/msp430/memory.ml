@@ -154,7 +154,7 @@ let charge_fram_timing t ~is_read_hit =
   let contention =
     if t.fram_accesses_this_instr > 1 then t.contention_penalty else 0
   in
-  t.stats.Trace.stall_cycles <- t.stats.Trace.stall_cycles + waits + contention
+  Trace.add_stall t.stats (waits + contention)
 
 let check_alignment addr width =
   if width = 2 && addr land 1 <> 0 then fault "unaligned word access at 0x%04X" addr
@@ -179,19 +179,26 @@ let read t ~purpose ~width addr =
     if width = 2 then peek_word t addr else peek_byte t addr
   in
   (match region_of t.map addr with
-  | Sram -> (
-      match purpose with
+  | Sram ->
+      (match purpose with
       | Ifetch -> t.stats.Trace.sram_ifetch <- t.stats.Trace.sram_ifetch + 1
-      | Data -> t.stats.Trace.sram_data_reads <- t.stats.Trace.sram_data_reads + 1)
+      | Data -> t.stats.Trace.sram_data_reads <- t.stats.Trace.sram_data_reads + 1);
+      Trace.emit t.stats
+        (Trace.Mem_access
+           { addr; cls = Trace.Sram_read { ifetch = purpose = Ifetch } })
   | Fram ->
       let hit = Hwcache.read t.cache addr in
       if hit then t.stats.Trace.fram_read_hits <- t.stats.Trace.fram_read_hits + 1;
       (match purpose with
       | Ifetch -> t.stats.Trace.fram_ifetch <- t.stats.Trace.fram_ifetch + 1
       | Data -> t.stats.Trace.fram_data_reads <- t.stats.Trace.fram_data_reads + 1);
+      Trace.emit t.stats
+        (Trace.Mem_access
+           { addr; cls = Trace.Fram_read { hit; ifetch = purpose = Ifetch } });
       charge_fram_timing t ~is_read_hit:hit
   | Peripheral ->
       t.stats.Trace.periph_accesses <- t.stats.Trace.periph_accesses + 1;
+      Trace.emit t.stats (Trace.Mem_access { addr; cls = Trace.Periph_access });
       ignore (periph_read t addr)
   | Unmapped -> fault "read from unmapped address 0x%04X" addr);
   value
@@ -203,15 +210,18 @@ let write t ~width addr value =
   (match region_of t.map addr with
   | Sram ->
       t.stats.Trace.sram_writes <- t.stats.Trace.sram_writes + 1;
+      Trace.emit t.stats (Trace.Mem_access { addr; cls = Trace.Sram_write });
       if width = 2 then poke_word t addr value else poke_byte t addr value
   | Fram ->
       t.stats.Trace.fram_writes <- t.stats.Trace.fram_writes + 1;
       Hwcache.write t.cache addr;
       if width = 2 then Hwcache.write t.cache (addr + 1);
+      Trace.emit t.stats (Trace.Mem_access { addr; cls = Trace.Fram_write });
       charge_fram_timing t ~is_read_hit:false;
       if width = 2 then poke_word t addr value else poke_byte t addr value
   | Peripheral ->
       t.stats.Trace.periph_accesses <- t.stats.Trace.periph_accesses + 1;
+      Trace.emit t.stats (Trace.Mem_access { addr; cls = Trace.Periph_access });
       periph_write t addr value
   | Unmapped -> fault "write to unmapped address 0x%04X" addr)
 

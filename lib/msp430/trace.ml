@@ -21,6 +21,46 @@ let source_name = function
   | Handler -> "handler"
   | Memcpy -> "memcpy"
 
+(* Observability event stream (lib/observe): every counted quantity
+   below is mirrored as an event through the optional observer, so an
+   attached profiler can re-derive the aggregate totals exactly —
+   per-function attribution is conservative by construction. The
+   observer is a pure spectator: it runs after the counters have been
+   updated and cannot influence timing, counting or machine state. *)
+
+(* One counted memory access, classified the way the energy model
+   prices it. *)
+type access_class =
+  | Fram_read of { hit : bool; ifetch : bool }
+  | Fram_write
+  | Sram_read of { ifetch : bool }
+  | Sram_write
+  | Periph_access
+
+(* High-level events from the caching runtimes (miss-handler entry and
+   exit, evictions, anti-thrashing freeze transitions, block-cache
+   flushes and loads) and from the harness (phase markers such as
+   boot/reboot). *)
+type runtime_event =
+  | Miss_enter of { runtime : string }
+  | Miss_exit of { runtime : string; disposition : string }
+  | Eviction of { fid : int }
+  | Freeze of { on : bool }
+  | Cache_flush
+  | Block_load of { nvm : int }
+  | Phase of { name : string }
+
+type event =
+  | Instr of { pc : int; source : source }
+      (* an instruction begins; [pc] is its fetch address — the
+         attribution context for every following event until the next
+         [Instr] *)
+  | Cycles of { unstalled : int; stall : int }
+  | Mem_access of { addr : int; cls : access_class }
+  | Call of { target : int }
+  | Return
+  | Runtime_event of runtime_event
+
 type t = {
   mutable unstalled_cycles : int;
   mutable stall_cycles : int;
@@ -37,6 +77,7 @@ type t = {
   mutable sram_data_reads : int;
   mutable sram_writes : int;
   mutable periph_accesses : int;
+  mutable observer : (event -> unit) option;
 }
 
 let create () =
@@ -53,7 +94,25 @@ let create () =
     sram_data_reads = 0;
     sram_writes = 0;
     periph_accesses = 0;
+    observer = None;
   }
+
+let set_observer t f = t.observer <- f
+let emit t ev = match t.observer with None -> () | Some f -> f ev
+
+(* All cycle accrual funnels through these two so the observer sees
+   every cycle exactly once, attributed to the current context. *)
+let add_unstalled t n =
+  t.unstalled_cycles <- t.unstalled_cycles + n;
+  match t.observer with
+  | Some f when n <> 0 -> f (Cycles { unstalled = n; stall = 0 })
+  | _ -> ()
+
+let add_stall t n =
+  t.stall_cycles <- t.stall_cycles + n;
+  match t.observer with
+  | Some f when n <> 0 -> f (Cycles { unstalled = 0; stall = n })
+  | _ -> ()
 
 let count_instr t source =
   t.instructions <- t.instructions + 1;

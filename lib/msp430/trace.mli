@@ -11,6 +11,46 @@ val source_index : source -> int
 val source_count : int
 val source_name : source -> string
 
+(** {2 Observability event stream}
+
+    Every counted quantity is mirrored as an event through the
+    optional observer, so an attached profiler ({!Observe}) can
+    re-derive the aggregate totals exactly. The observer is a pure
+    spectator: it runs after the counters have been updated and
+    cannot influence timing, counting or machine state. *)
+
+(** One counted memory access, classified the way the energy model
+    prices it. *)
+type access_class =
+  | Fram_read of { hit : bool; ifetch : bool }
+  | Fram_write
+  | Sram_read of { ifetch : bool }
+  | Sram_write
+  | Periph_access
+
+(** High-level events from the caching runtimes and the harness. *)
+type runtime_event =
+  | Miss_enter of { runtime : string }
+  | Miss_exit of { runtime : string; disposition : string }
+      (** disposition: ["cached"], ["nvm"], ["frozen"] or
+          ["too-large"] *)
+  | Eviction of { fid : int }
+  | Freeze of { on : bool }  (** anti-thrashing freeze transition *)
+  | Cache_flush
+  | Block_load of { nvm : int }
+  | Phase of { name : string }  (** harness marker (boot/reboot) *)
+
+type event =
+  | Instr of { pc : int; source : source }
+      (** an instruction begins; [pc] is its fetch address — the
+          attribution context for every following event until the
+          next [Instr] *)
+  | Cycles of { unstalled : int; stall : int }
+  | Mem_access of { addr : int; cls : access_class }
+  | Call of { target : int }
+  | Return
+  | Runtime_event of runtime_event
+
 type t = {
   mutable unstalled_cycles : int;
   mutable stall_cycles : int;
@@ -24,10 +64,20 @@ type t = {
   mutable sram_data_reads : int;
   mutable sram_writes : int;
   mutable periph_accesses : int;
+  mutable observer : (event -> unit) option;
 }
 
 val create : unit -> t
 val count_instr : t -> source -> unit
+
+val set_observer : t -> (event -> unit) option -> unit
+val emit : t -> event -> unit
+(** No-op when no observer is attached. *)
+
+val add_unstalled : t -> int -> unit
+val add_stall : t -> int -> unit
+(** All cycle accrual funnels through these two, so the observer sees
+    every cycle exactly once. *)
 
 val fram_accesses : t -> int
 (** Every CPU access to the FRAM region, hit or miss — the quantity

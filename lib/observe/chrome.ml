@@ -1,0 +1,142 @@
+(* Chrome trace-event exporter (chrome://tracing, Perfetto).
+
+   Renders the recorded event stream as a JSON object with a
+   [traceEvents] array. Timestamps are in simulated cycles, written
+   into the [ts] microsecond field directly — with the displayed unit
+   reinterpreted as cycles, durations and ordering are exact, which is
+   what matters for inspecting miss-handler activity.
+
+   Mapping:
+   - [Call]/[Return]          -> B/E duration pairs named after the callee
+   - [Miss_enter]/[Miss_exit] -> B/E pairs on a separate "runtime" track
+   - evictions, freeze transitions, flushes, block loads, phases
+                              -> instant events ("i") *)
+
+let dur_begin ~ts ~tid name args =
+  Json.Obj
+    ([
+       ("name", Json.String name);
+       ("ph", Json.String "B");
+       ("ts", Json.Int ts);
+       ("pid", Json.Int 1);
+       ("tid", Json.Int tid);
+     ]
+    @ if args = [] then [] else [ ("args", Json.Obj args) ])
+
+let dur_end ~ts ~tid args =
+  Json.Obj
+    ([
+       ("ph", Json.String "E");
+       ("ts", Json.Int ts);
+       ("pid", Json.Int 1);
+       ("tid", Json.Int tid);
+     ]
+    @ if args = [] then [] else [ ("args", Json.Obj args) ])
+
+let instant ~ts ~tid name args =
+  Json.Obj
+    ([
+       ("name", Json.String name);
+       ("ph", Json.String "i");
+       ("s", Json.String "t");
+       ("ts", Json.Int ts);
+       ("pid", Json.Int 1);
+       ("tid", Json.Int tid);
+     ]
+    @ if args = [] then [] else [ ("args", Json.Obj args) ])
+
+let app_tid = 1
+let runtime_tid = 2
+
+let events_json symtab stamped =
+  (* Track call depth so a trailing unbalanced E never appears before
+     its B: drop pops with no matching push. *)
+  let depth = ref 0 in
+  let rt_depth = ref 0 in
+  List.concat_map
+    (fun { Events.at; ev } ->
+      match ev with
+      | Msp430.Trace.Call { target } ->
+          incr depth;
+          [ dur_begin ~ts:at ~tid:app_tid (Symtab.name_of symtab target) [] ]
+      | Msp430.Trace.Return ->
+          if !depth > 0 then begin
+            decr depth;
+            [ dur_end ~ts:at ~tid:app_tid [] ]
+          end
+          else []
+      | Msp430.Trace.Runtime_event rev -> (
+          match rev with
+          | Msp430.Trace.Miss_enter { runtime } ->
+              incr rt_depth;
+              [ dur_begin ~ts:at ~tid:runtime_tid ("miss:" ^ runtime) [] ]
+          | Msp430.Trace.Miss_exit { runtime = _; disposition } ->
+              if !rt_depth > 0 then begin
+                decr rt_depth;
+                [
+                  dur_end ~ts:at ~tid:runtime_tid
+                    [ ("disposition", Json.String disposition) ];
+                ]
+              end
+              else []
+          | Msp430.Trace.Eviction { fid } ->
+              [ instant ~ts:at ~tid:runtime_tid "evict" [ ("fid", Json.Int fid) ] ]
+          | Msp430.Trace.Freeze { on } ->
+              [
+                instant ~ts:at ~tid:runtime_tid
+                  (if on then "freeze" else "thaw")
+                  [];
+              ]
+          | Msp430.Trace.Cache_flush ->
+              [ instant ~ts:at ~tid:runtime_tid "flush" [] ]
+          | Msp430.Trace.Block_load { nvm } ->
+              [
+                instant ~ts:at ~tid:runtime_tid "block-load"
+                  [ ("nvm", Json.String (Printf.sprintf "0x%04X" nvm)) ];
+              ]
+          | Msp430.Trace.Phase { name } ->
+              [ instant ~ts:at ~tid:runtime_tid ("phase:" ^ name) [] ])
+      | Msp430.Trace.Instr { pc; source } ->
+          [
+            instant ~ts:at ~tid:app_tid "instr"
+              [
+                ("pc", Json.String (Printf.sprintf "0x%04X" pc));
+                ("source", Json.String (Msp430.Trace.source_name source));
+              ];
+          ]
+      | Msp430.Trace.Cycles _ | Msp430.Trace.Mem_access _ -> [])
+    stamped
+
+let export ~symtab events =
+  let meta =
+    [
+      Json.Obj
+        [
+          ("name", Json.String "thread_name");
+          ("ph", Json.String "M");
+          ("pid", Json.Int 1);
+          ("tid", Json.Int app_tid);
+          ("args", Json.Obj [ ("name", Json.String "application") ]);
+        ];
+      Json.Obj
+        [
+          ("name", Json.String "thread_name");
+          ("ph", Json.String "M");
+          ("pid", Json.Int 1);
+          ("tid", Json.Int runtime_tid);
+          ("args", Json.Obj [ ("name", Json.String "caching-runtime") ]);
+        ];
+    ]
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("traceEvents", Json.List (meta @ events_json symtab (Events.to_list events)));
+         ("displayTimeUnit", Json.String "ns");
+         ( "otherData",
+           Json.Obj
+             [
+               ("timestampUnit", Json.String "simulated-cycles");
+               ("dropped", Json.Int (Events.dropped events));
+             ] );
+       ])

@@ -1,0 +1,9 @@
+(** Chrome trace-event JSON exporter (load in chrome://tracing or
+    Perfetto). Calls/returns and miss enter/exit become B/E duration
+    pairs on "application" and "caching-runtime" tracks; evictions,
+    freeze transitions, flushes, block loads and phase markers become
+    instant events. Timestamps are simulated cycles (see the
+    [otherData.timestampUnit] field). *)
+
+val export : symtab:Symtab.t -> Events.t -> string
+(** Render the retained events as a complete JSON document. *)

@@ -1,0 +1,55 @@
+(* Bounded cycle-stamped event recorder.
+
+   Keeps the most recent [capacity] interesting events in a ring,
+   each stamped with the trace's total cycle count at emission time.
+   By default only the high-level narrative is kept (calls, returns,
+   runtime events) — per-access events would swamp the ring and are
+   already summarized by the profiler — but [keep_all] records
+   everything for fine-grained debugging of short windows. *)
+
+type stamped = { at : int; ev : Msp430.Trace.event }
+
+type t = {
+  stats : Msp430.Trace.t;
+  buf : stamped option array;
+  mutable next : int; (* next write position *)
+  mutable recorded : int; (* total events recorded (may exceed capacity) *)
+  keep_all : bool;
+}
+
+let create ?(keep_all = false) ~capacity stats =
+  {
+    stats;
+    buf = Array.make (max 1 capacity) None;
+    next = 0;
+    recorded = 0;
+    keep_all;
+  }
+
+let interesting (ev : Msp430.Trace.event) =
+  match ev with
+  | Msp430.Trace.Call _ | Msp430.Trace.Return | Msp430.Trace.Runtime_event _ ->
+      true
+  | Msp430.Trace.Instr _ | Msp430.Trace.Cycles _ | Msp430.Trace.Mem_access _ ->
+      false
+
+let observer t (ev : Msp430.Trace.event) =
+  if t.keep_all || interesting ev then begin
+    t.buf.(t.next) <- Some { at = Msp430.Trace.total_cycles t.stats; ev };
+    t.next <- (t.next + 1) mod Array.length t.buf;
+    t.recorded <- t.recorded + 1
+  end
+
+let recorded t = t.recorded
+let dropped t = max 0 (t.recorded - Array.length t.buf)
+
+let to_list t =
+  (* oldest-first: ring contents starting at [next] *)
+  let n = Array.length t.buf in
+  let rec collect i acc =
+    if i = n then List.rev acc
+    else
+      let slot = t.buf.((t.next + i) mod n) in
+      collect (i + 1) (match slot with Some s -> s :: acc | None -> acc)
+  in
+  collect 0 []

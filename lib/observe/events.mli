@@ -1,0 +1,21 @@
+(** Bounded cycle-stamped event recorder: a ring of the most recent
+    high-level events (calls, returns, runtime events), each stamped
+    with {!Msp430.Trace.total_cycles} at emission. Input for the
+    Chrome trace exporter ({!Chrome}). *)
+
+type stamped = { at : int; ev : Msp430.Trace.event }
+
+type t
+
+val create : ?keep_all:bool -> capacity:int -> Msp430.Trace.t -> t
+(** [keep_all] also records per-instruction and per-access events —
+    useful for short debugging windows, ruinous for whole runs. *)
+
+val observer : t -> Msp430.Trace.event -> unit
+val to_list : t -> stamped list
+(** Retained events, oldest first. *)
+
+val recorded : t -> int
+(** Total matching events seen (including any that fell off the ring). *)
+
+val dropped : t -> int

@@ -1,0 +1,111 @@
+(* Minimal JSON printer for the exporters (Chrome traces,
+   bench/report.json). No external dependencies; emission only — the
+   repo never needs to parse JSON, just produce stable, valid output
+   for external tooling. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let float_repr f =
+  if Float.is_nan f || Float.is_integer f = false && Float.is_finite f = false
+  then "null" (* NaN / inf are not JSON; degrade to null *)
+  else if Float.is_finite f then Printf.sprintf "%.6g" f
+  else "null"
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+  | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf "\":";
+          write buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 1024 in
+  write buf v;
+  Buffer.contents buf
+
+(* Pretty printer with two-space indent, for the human-diffable
+   bench/report.json artifact. *)
+let rec write_pretty buf indent = function
+  | (Null | Bool _ | Int _ | Float _ | String _) as v -> write buf v
+  | List [] -> Buffer.add_string buf "[]"
+  | List xs ->
+      let pad = String.make indent ' ' in
+      let pad' = String.make (indent + 2) ' ' in
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf pad';
+          write_pretty buf (indent + 2) x)
+        xs;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf pad;
+      Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj kvs ->
+      let pad = String.make indent ' ' in
+      let pad' = String.make (indent + 2) ' ' in
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf pad';
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf "\": ";
+          write_pretty buf (indent + 2) v)
+        kvs;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf pad;
+      Buffer.add_char buf '}'
+
+let to_string_pretty v =
+  let buf = Buffer.create 4096 in
+  write_pretty buf 0 v;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf

@@ -1,0 +1,19 @@
+(** Minimal dependency-free JSON emitter for the observability
+    exporters (Chrome trace JSON, [bench/report.json]). Emission only;
+    nothing in the repo parses JSON. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering. *)
+
+val to_string_pretty : t -> string
+(** Two-space-indented rendering with a trailing newline, for
+    human-diffable artifacts. NaN / infinities render as [null]. *)

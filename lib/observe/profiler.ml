@@ -1,0 +1,277 @@
+(* Cycle-attributed profiler.
+
+   Consumes the Trace event stream and attributes every counted cycle
+   and memory access to the function whose instruction caused it. The
+   attribution context is set by each [Instr] event (symbolized
+   through {!Symtab}); all [Cycles] and [Mem_access] events until the
+   next [Instr] charge that function's counters.
+
+   Because every counter increment in the simulator is mirrored as an
+   event *after* the aggregate counter was bumped, the per-function
+   sums reconcile with the aggregate {!Msp430.Trace} totals exactly —
+   not approximately. The property tests assert this, and it is what
+   makes per-function energy attribution sound: the energy model is
+   linear in the counters, so slice energies sum to the whole-run
+   report.
+
+   A shadow call stack (pushed by [Call] events, popped by [Return])
+   keys the caller-aggregated folded-stack output consumed by flame
+   graph tooling. *)
+
+type counters = {
+  mutable instrs : int;
+  mutable unstalled : int;
+  mutable stall : int;
+  mutable fram_read_hits : int;
+  mutable fram_read_misses : int;
+  mutable fram_writes : int;
+  mutable sram_accesses : int;
+}
+
+let fresh_counters () =
+  {
+    instrs = 0;
+    unstalled = 0;
+    stall = 0;
+    fram_read_hits = 0;
+    fram_read_misses = 0;
+    fram_writes = 0;
+    sram_accesses = 0;
+  }
+
+let add_into acc c =
+  acc.instrs <- acc.instrs + c.instrs;
+  acc.unstalled <- acc.unstalled + c.unstalled;
+  acc.stall <- acc.stall + c.stall;
+  acc.fram_read_hits <- acc.fram_read_hits + c.fram_read_hits;
+  acc.fram_read_misses <- acc.fram_read_misses + c.fram_read_misses;
+  acc.fram_writes <- acc.fram_writes + c.fram_writes;
+  acc.sram_accesses <- acc.sram_accesses + c.sram_accesses
+
+type rt_stats = {
+  mutable miss_entries : int;
+  mutable evictions : int;
+  mutable freezes : int;
+  mutable flushes : int;
+  mutable block_loads : int;
+}
+
+type t = {
+  symtab : Symtab.t;
+  funcs : (string, counters) Hashtbl.t;
+  by_source : counters array; (* indexed by Trace.source_index *)
+  folded : (string, int ref) Hashtbl.t; (* "a;b;c" -> cycles *)
+  mutable stack : string list; (* shadow call stack, callers only *)
+  mutable stack_key : string; (* stack joined with ';', "" if empty *)
+  mutable depth : int;
+  max_depth : int;
+  mutable cur : counters;
+  mutable cur_name : string;
+  mutable cur_source : int;
+  mutable cur_folded : int ref;
+  mutable folded_dirty : bool; (* stack moved since cur_folded was set *)
+  mutable calls : int;
+  mutable returns : int;
+  rt : rt_stats;
+}
+
+let boot_name = "_boot"
+
+let create symtab =
+  let funcs = Hashtbl.create 64 in
+  (* Attribution target before the first Instr event: cycles charged
+     by harness bootstrapping, if any. *)
+  let boot = fresh_counters () in
+  Hashtbl.replace funcs boot_name boot;
+  let folded = Hashtbl.create 256 in
+  let boot_slot = ref 0 in
+  Hashtbl.replace folded boot_name boot_slot;
+  {
+    symtab;
+    funcs;
+    by_source = Array.init Msp430.Trace.source_count (fun _ -> fresh_counters ());
+    folded;
+    stack = [];
+    stack_key = "";
+    depth = 0;
+    max_depth = 128;
+    cur = boot;
+    cur_name = boot_name;
+    cur_source = 0;
+    cur_folded = boot_slot;
+    folded_dirty = false;
+    calls = 0;
+    returns = 0;
+    rt = { miss_entries = 0; evictions = 0; freezes = 0; flushes = 0; block_loads = 0 };
+  }
+
+let counters_for t name =
+  match Hashtbl.find_opt t.funcs name with
+  | Some c -> c
+  | None ->
+      let c = fresh_counters () in
+      Hashtbl.replace t.funcs name c;
+      c
+
+let folded_slot t key =
+  match Hashtbl.find_opt t.folded key with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.replace t.folded key r;
+      r
+
+let set_context t name =
+  if name <> t.cur_name || t.folded_dirty then begin
+    if name <> t.cur_name then begin
+      t.cur <- counters_for t name;
+      t.cur_name <- name
+    end;
+    t.cur_folded <-
+      folded_slot t
+        (if t.stack_key = "" then name else t.stack_key ^ ";" ^ name);
+    t.folded_dirty <- false
+  end
+
+let observer t (ev : Msp430.Trace.event) =
+  match ev with
+  | Msp430.Trace.Instr { pc; source } ->
+      t.cur_source <- Msp430.Trace.source_index source;
+      let name = Symtab.name_of t.symtab pc in
+      set_context t name;
+      t.cur.instrs <- t.cur.instrs + 1;
+      t.by_source.(t.cur_source).instrs <- t.by_source.(t.cur_source).instrs + 1
+  | Msp430.Trace.Cycles { unstalled; stall } ->
+      t.cur.unstalled <- t.cur.unstalled + unstalled;
+      t.cur.stall <- t.cur.stall + stall;
+      let s = t.by_source.(t.cur_source) in
+      s.unstalled <- s.unstalled + unstalled;
+      s.stall <- s.stall + stall;
+      t.cur_folded := !(t.cur_folded) + unstalled + stall
+  | Msp430.Trace.Mem_access { addr = _; cls } -> (
+      let s = t.by_source.(t.cur_source) in
+      match cls with
+      | Msp430.Trace.Fram_read { hit = true; _ } ->
+          t.cur.fram_read_hits <- t.cur.fram_read_hits + 1;
+          s.fram_read_hits <- s.fram_read_hits + 1
+      | Msp430.Trace.Fram_read { hit = false; _ } ->
+          t.cur.fram_read_misses <- t.cur.fram_read_misses + 1;
+          s.fram_read_misses <- s.fram_read_misses + 1
+      | Msp430.Trace.Fram_write ->
+          t.cur.fram_writes <- t.cur.fram_writes + 1;
+          s.fram_writes <- s.fram_writes + 1
+      | Msp430.Trace.Sram_read _ | Msp430.Trace.Sram_write ->
+          t.cur.sram_accesses <- t.cur.sram_accesses + 1;
+          s.sram_accesses <- s.sram_accesses + 1
+      | Msp430.Trace.Periph_access -> ())
+  | Msp430.Trace.Call { target = _ } ->
+      t.calls <- t.calls + 1;
+      if t.depth < t.max_depth then begin
+        t.stack <- t.cur_name :: t.stack;
+        t.depth <- t.depth + 1;
+        t.stack_key <-
+          (if t.stack_key = "" then t.cur_name
+           else t.stack_key ^ ";" ^ t.cur_name);
+        (* cur_folded stays: the call instruction's remaining charges
+           still belong to the caller at its pre-call stack. The
+           callee's first Instr refreshes it. *)
+        t.folded_dirty <- true
+      end
+  | Msp430.Trace.Return -> (
+      t.returns <- t.returns + 1;
+      match t.stack with
+      | [] -> () (* a return below the observation start; ignore *)
+      | _ :: rest ->
+          t.stack <- rest;
+          t.depth <- t.depth - 1;
+          t.stack_key <- String.concat ";" (List.rev rest);
+          t.folded_dirty <- true)
+  | Msp430.Trace.Runtime_event rev -> (
+      match rev with
+      | Msp430.Trace.Miss_enter _ -> t.rt.miss_entries <- t.rt.miss_entries + 1
+      | Msp430.Trace.Miss_exit _ -> ()
+      | Msp430.Trace.Eviction _ -> t.rt.evictions <- t.rt.evictions + 1
+      | Msp430.Trace.Freeze { on = true } -> t.rt.freezes <- t.rt.freezes + 1
+      | Msp430.Trace.Freeze { on = false } -> ()
+      | Msp430.Trace.Cache_flush -> t.rt.flushes <- t.rt.flushes + 1
+      | Msp430.Trace.Block_load _ -> t.rt.block_loads <- t.rt.block_loads + 1
+      | Msp430.Trace.Phase _ -> ())
+
+(* --- Reports ----------------------------------------------------------- *)
+
+let totals t =
+  let acc = fresh_counters () in
+  Hashtbl.iter (fun _ c -> add_into acc c) t.funcs;
+  acc
+
+let cycles_of c = c.unstalled + c.stall
+
+type row = { name : string; c : counters; energy_nj : float }
+
+let energy_of params (c : counters) =
+  (Msp430.Energy.evaluate_counts params ~cycles:(cycles_of c)
+     ~fram_read_misses:c.fram_read_misses ~fram_read_hits:c.fram_read_hits
+     ~fram_writes:c.fram_writes ~sram_accesses:c.sram_accesses)
+    .Msp430.Energy.energy_nj
+
+let rows ~params t =
+  Hashtbl.fold
+    (fun name c acc ->
+      if c.instrs = 0 && cycles_of c = 0 then acc
+      else { name; c; energy_nj = energy_of params c } :: acc)
+    t.funcs []
+  |> List.sort (fun a b ->
+         match compare (cycles_of b.c) (cycles_of a.c) with
+         | 0 -> compare a.name b.name
+         | n -> n)
+
+let source_share t source =
+  let idx = Msp430.Trace.source_index source in
+  let total =
+    Array.fold_left (fun acc c -> acc + cycles_of c) 0 t.by_source
+  in
+  if total = 0 then 0.0
+  else float_of_int (cycles_of t.by_source.(idx)) /. float_of_int total
+
+let source_cycles t source =
+  cycles_of t.by_source.(Msp430.Trace.source_index source)
+
+let render ?(top = 0) ~params t =
+  let rows = rows ~params t in
+  let rows = if top > 0 then List.filteri (fun i _ -> i < top) rows else rows in
+  let tot = totals t in
+  let total_cycles = max 1 (cycles_of tot) in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-24s %10s %6s %10s %9s %9s %8s %10s\n" "function"
+       "cycles" "cyc%" "instrs" "fram-rd" "fram-wr" "sram" "energy-nJ");
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-24s %10d %5.1f%% %10d %9d %9d %8d %10.1f\n" r.name
+           (cycles_of r.c)
+           (100.0 *. float_of_int (cycles_of r.c) /. float_of_int total_cycles)
+           r.c.instrs
+           (r.c.fram_read_hits + r.c.fram_read_misses)
+           r.c.fram_writes r.c.sram_accesses r.energy_nj))
+    rows;
+  Buffer.add_string buf
+    (Printf.sprintf "%-24s %10d %5.1f%% %10d %9d %9d %8d %10.1f\n" "TOTAL"
+       (cycles_of tot) 100.0 tot.instrs
+       (tot.fram_read_hits + tot.fram_read_misses)
+       tot.fram_writes tot.sram_accesses (energy_of params tot));
+  Buffer.contents buf
+
+let folded_lines t =
+  Hashtbl.fold
+    (fun key slot acc ->
+      if !slot = 0 then acc else Printf.sprintf "%s %d" key !slot :: acc)
+    t.folded []
+  |> List.sort compare
+
+let folded_total t =
+  Hashtbl.fold (fun _ slot acc -> acc + !slot) t.folded 0
+
+let call_count t = t.calls
+let return_count t = t.returns
+let runtime_stats t = t.rt

@@ -1,0 +1,74 @@
+(** Cycle-attributed profiler over the {!Msp430.Trace} event stream.
+
+    Every counted cycle and memory access is attributed to the
+    function whose instruction caused it (context set by [Instr]
+    events, symbolized through {!Symtab}). Counter increments are
+    mirrored as events after the aggregates were bumped, so the
+    per-function sums reconcile with the aggregate trace totals
+    {e exactly} — the conservation property tests assert equality,
+    not approximation. Energy attribution applies the (linear)
+    {!Msp430.Energy} model to each slice, so slice energies sum to
+    the whole-run report.
+
+    A shadow call stack ([Call]/[Return] events) keys the
+    caller-aggregated folded-stack output ([caller;callee cycles]
+    lines, flame-graph input format). *)
+
+type counters = {
+  mutable instrs : int;
+  mutable unstalled : int;
+  mutable stall : int;
+  mutable fram_read_hits : int;
+  mutable fram_read_misses : int;
+  mutable fram_writes : int;
+  mutable sram_accesses : int;
+}
+
+type rt_stats = {
+  mutable miss_entries : int;
+  mutable evictions : int;
+  mutable freezes : int;
+  mutable flushes : int;
+  mutable block_loads : int;
+}
+
+type t
+
+val create : Symtab.t -> t
+
+val observer : t -> Msp430.Trace.event -> unit
+(** Feed one event; install via {!Msp430.Trace.set_observer} (or the
+    harness's fan-out observer). *)
+
+val totals : t -> counters
+(** Sum over all attributed functions. Equals the aggregate
+    {!Msp430.Trace} totals for any complete observation. *)
+
+val cycles_of : counters -> int
+
+type row = { name : string; c : counters; energy_nj : float }
+
+val rows : params:Msp430.Energy.params -> t -> row list
+(** Non-empty functions, most cycles first. *)
+
+val energy_of : Msp430.Energy.params -> counters -> float
+
+val render : ?top:int -> params:Msp430.Energy.params -> t -> string
+(** Human-readable profile table with a TOTAL row. *)
+
+val folded_lines : t -> string list
+(** Caller-aggregated ["a;b;c cycles"] lines (sorted), the standard
+    folded-stack flame-graph input. *)
+
+val folded_total : t -> int
+(** Sum of folded-stack cycle weights; equals [cycles_of (totals t)]
+    for a complete observation. *)
+
+val source_share : t -> Msp430.Trace.source -> float
+(** Fraction of attributed cycles executed from the given instruction
+    source (e.g. miss-handler share = [Handler] + [Memcpy]). *)
+
+val source_cycles : t -> Msp430.Trace.source -> int
+val call_count : t -> int
+val return_count : t -> int
+val runtime_stats : t -> rt_stats

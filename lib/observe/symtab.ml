@@ -1,0 +1,67 @@
+(* Symbolization for the profiling layer.
+
+   Static symbols come from the link map: every assembler item
+   (function, runtime region, table) claims its [addr, addr+size)
+   range, and a binary search maps a pc to the item containing it.
+
+   Caching runtimes complicate this: under SwapRAM the hot copy of a
+   function executes from a moving SRAM cache address, and under the
+   block cache a pc lands inside an anonymous fixed-size slot. Dynamic
+   resolvers registered by the harness translate those pc values back
+   to stable names (the cached function, or the NVM home of the cached
+   block) using host-side runtime state only — symbolization never
+   issues counted simulated-memory accesses. *)
+
+type range = { lo : int; hi : int; name : string }
+
+type t = {
+  ranges : range array; (* sorted by lo, disjoint *)
+  mutable resolvers : (int -> string option) list;
+}
+
+let of_image (image : Masm.Assembler.t) =
+  let items =
+    List.filter_map
+      (fun (it : Masm.Assembler.item_info) ->
+        if it.Masm.Assembler.info_size <= 0 then None
+        else
+          Some
+            {
+              lo = it.Masm.Assembler.info_addr;
+              hi = it.Masm.Assembler.info_addr + it.Masm.Assembler.info_size;
+              name = it.Masm.Assembler.info_name;
+            })
+      image.Masm.Assembler.items
+  in
+  let ranges = Array.of_list items in
+  Array.sort (fun a b -> compare a.lo b.lo) ranges;
+  { ranges; resolvers = [] }
+
+let add_resolver t f = t.resolvers <- t.resolvers @ [ f ]
+
+let static_name_of t addr =
+  let ranges = t.ranges in
+  let rec search lo hi =
+    if lo >= hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      let r = ranges.(mid) in
+      if addr < r.lo then search lo mid
+      else if addr >= r.hi then search (mid + 1) hi
+      else Some r.name
+  in
+  search 0 (Array.length ranges)
+
+let name_of t addr =
+  let rec try_resolvers = function
+    | [] -> None
+    | f :: rest -> ( match f addr with Some _ as s -> s | None -> try_resolvers rest)
+  in
+  match try_resolvers t.resolvers with
+  | Some name -> name
+  | None -> (
+      match static_name_of t addr with
+      | Some name -> name
+      | None ->
+          if addr >= 0xFF00 then Printf.sprintf "trap:0x%04X" addr
+          else Printf.sprintf "0x%04X" addr)

@@ -1,0 +1,24 @@
+(** Pc-to-name symbolization against the link map, with dynamic
+    resolvers for pc values inside runtime-managed SRAM cache copies.
+    Symbolization is pure host-side inspection: it never issues
+    counted simulated-memory accesses, so an attached profiler cannot
+    perturb the run it is measuring. *)
+
+type t
+
+val of_image : Masm.Assembler.t -> t
+(** Build the static table from the assembled image's item ranges. *)
+
+val add_resolver : t -> (int -> string option) -> unit
+(** Register a dynamic resolver, consulted (in registration order)
+    before the static table. The harness registers one per installed
+    caching runtime: SwapRAM cache copies resolve to the cached
+    function's name, block-cache slots to their NVM home symbol. *)
+
+val static_name_of : t -> int -> string option
+(** Look up only the link map (used by resolvers to finish an
+    address translation). *)
+
+val name_of : t -> int -> string
+(** Resolvers first, then the static table; unknown addresses render
+    as [0x%04X] (or [trap:0x%04X] in the trap-vector page). *)

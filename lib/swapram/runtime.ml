@@ -49,6 +49,20 @@ type t = {
 
 let stats t = t.stats
 
+(* Which cacheable function (fid) owns the SRAM cache copy containing
+   [addr], if any — the observability layer's dynamic symbolizer for
+   pc values inside the cache region. Pure host-side inspection: no
+   counted accesses, no perturbation. *)
+let cached_function_at t addr =
+  List.find_map
+    (fun (e : Cache.entry) ->
+      if addr >= e.Cache.addr && addr < e.Cache.addr + e.Cache.size then
+        Some e.Cache.fid
+      else None)
+    (Cache.entries t.cache)
+
+let emit_rt t ev = Trace.emit (Memory.stats t.mem) (Trace.Runtime_event ev)
+
 (* --- Charged micro-operations --------------------------------------- *)
 
 (* Fetch-and-charge [n] modeled handler instructions. *)
@@ -69,10 +83,11 @@ let charge t source n =
   for _ = 1 to n do
     let cur = cursor_get () in
     Memory.begin_instruction t.mem;
+    Trace.emit (Memory.stats t.mem)
+      (Trace.Instr { pc = region_base + cur; source });
     ignore (Memory.read_word t.mem ~purpose:Memory.Ifetch (region_base + cur));
     Trace.count_instr (Memory.stats t.mem) source;
-    (Memory.stats t.mem).Trace.unstalled_cycles <-
-      (Memory.stats t.mem).Trace.unstalled_cycles + Costs.cycles_per_instr;
+    Trace.add_unstalled (Memory.stats t.mem) Costs.cycles_per_instr;
     cursor_set ((cur + 2) mod region_size)
   done
 
@@ -97,6 +112,7 @@ let retarget_relocs t fid ~base =
 
 let evict_function t (entry : Cache.entry) =
   charge t Trace.Handler Costs.evict_instrs;
+  emit_rt t (Trace.Eviction { fid = entry.Cache.fid });
   t.stats.evictions <- t.stats.evictions + 1;
   write_word t (t.addrs.a_redirect + (2 * entry.Cache.fid)) Config.miss_handler_trap;
   let nvm = functab_nvm t entry.Cache.fid in
@@ -156,13 +172,16 @@ let abort_to_nvm t ~nvm =
   (match t.options.Config.freeze with
   | Some (threshold, window)
     when t.freeze_left = 0 && t.consecutive_aborts >= threshold ->
-      t.freeze_left <- window
+      t.freeze_left <- window;
+      emit_rt t (Trace.Freeze { on = true })
   | _ -> ());
+  emit_rt t (Trace.Miss_exit { runtime = "swapram"; disposition = "nvm" });
   Cpu.Goto nvm
 
 let on_miss t cpu =
   ignore cpu;
   t.stats.misses <- t.stats.misses + 1;
+  emit_rt t (Trace.Miss_enter { runtime = "swapram" });
   charge t Trace.Handler Costs.handler_entry_instrs;
   let fid = read_word t t.addrs.a_funcid in
   let nvm = functab_nvm t fid in
@@ -171,7 +190,10 @@ let on_miss t cpu =
     (* freeze mode: execute from NVM without touching the cache *)
     t.freeze_left <- t.freeze_left - 1;
     t.stats.frozen_misses <- t.stats.frozen_misses + 1;
+    if t.freeze_left = 0 then emit_rt t (Trace.Freeze { on = false });
     charge t Trace.Handler Costs.abort_instrs;
+    emit_rt t
+      (Trace.Miss_exit { runtime = "swapram"; disposition = "frozen" });
     Cpu.Goto nvm
   end
   else begin
@@ -193,6 +215,8 @@ let on_miss t cpu =
           abort_restoring ();
           t.stats.too_large <- t.stats.too_large + 1;
           charge t Trace.Handler Costs.abort_instrs;
+          emit_rt t
+            (Trace.Miss_exit { runtime = "swapram"; disposition = "too-large" });
           Cpu.Goto nvm
       | Cache.Place { addr; evict } -> (
           (* call-stack integrity: never evict an active function *)
@@ -218,6 +242,9 @@ let on_miss t cpu =
                 t.options.Config.debug_checks
                 && not (Cache.check_invariants t.cache)
               then failwith "SwapRAM cache invariant violated";
+              emit_rt t
+                (Trace.Miss_exit
+                   { runtime = "swapram"; disposition = "cached" });
               Cpu.Goto addr
           | _ :: _ when attempts > 0 && t.options.Config.policy = Cache.Circular_queue
             ->

@@ -53,6 +53,12 @@ type t = {
 
 val stats : t -> stats
 
+val cached_function_at : t -> int -> int option
+(** Which cacheable function (fid) owns the SRAM cache copy containing
+    the given address, if any — the observability layer's dynamic
+    symbolizer for pc values inside the cache region. Pure host-side
+    inspection: no counted accesses, no perturbation. *)
+
 val reboot : t -> image:Masm.Assembler.t -> unit
 (** Power-loss recovery for intermittent deployments (paper §1/§2.2):
     the SRAM cache contents are gone, so reset the cache structure and

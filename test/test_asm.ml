@@ -23,6 +23,42 @@ let halt = mov (imm 1) (dabsn Msp430.Memory.halt_addr)
 (* Enough filler to push a jump out of PC-relative range. *)
 let filler n = List.init n (fun _ -> mov (imm 0x1234) (dreg r11))
 
+(* §4 round-trip: compiled code survives assemble -> disassemble ->
+   re-assemble byte-identically. This is the property the library
+   instrumentation workflow depends on — a lifted function must
+   re-encode to exactly the machine words it was lifted from. *)
+let prop_disasm_roundtrip =
+  QCheck2.Test.make ~count:40
+    ~name:"assemble -> disasm -> reassemble is byte-identical"
+    ~print:(fun s -> s)
+    Test_differential.gen_program
+    (fun source ->
+      let program = Minic.Driver.program_of_source source in
+      let image = Masm.Assembler.assemble program in
+      let lifted =
+        List.map
+          (fun (it : Masm.Ast.item) ->
+            match it.Masm.Ast.section with
+            | Masm.Ast.Text ->
+                Masm.Disasm.item_of_image image ~name:it.Masm.Ast.name
+            | Masm.Ast.Data -> it)
+          program
+      in
+      let image' = Masm.Assembler.assemble lifted in
+      let seg_eq (a : Masm.Assembler.segment) (b : Masm.Assembler.segment) =
+        a.Masm.Assembler.base = b.Masm.Assembler.base
+        && Bytes.equal a.Masm.Assembler.contents b.Masm.Assembler.contents
+      in
+      let sa = image.Masm.Assembler.segments
+      and sb = image'.Masm.Assembler.segments in
+      if List.length sa <> List.length sb then
+        QCheck2.Test.fail_reportf "segment count %d vs %d" (List.length sa)
+          (List.length sb)
+      else if not (List.for_all2 seg_eq sa sb) then
+        QCheck2.Test.fail_reportf
+          "re-assembled segments differ from the original image"
+      else true)
+
 let suite =
   [
     Alcotest.test_case "labels resolve across items" `Quick (fun () ->
@@ -205,4 +241,5 @@ let suite =
         let image' = assemble program' in
         let system = run_image image' "main" in
         Alcotest.(check int) "sum 5..1" 15 (Cpu.reg system.Platform.cpu 12));
+    QCheck_alcotest.to_alcotest prop_disasm_roundtrip;
   ]

@@ -145,7 +145,10 @@ int main(void) {
 
 (* --- Execution paths --------------------------------------------------- *)
 
-type diff_system = Plain | With_swapram of Swapram.Config.options | With_block
+type diff_system =
+  | Plain
+  | With_swapram of Swapram.Config.options
+  | With_block of Blockcache.Config.options
 
 let run_simulator_fuelled ?(diff_system = Plain) ?(fuel = 3_000_000) source =
   let program = Minic.Driver.program_of_source source in
@@ -157,8 +160,8 @@ let run_simulator_fuelled ?(diff_system = Plain) ?(fuel = 3_000_000) source =
       Cpu.set_reg system.Platform.cpu Isa.pc
         (Masm.Assembler.lookup built.Swapram.Pipeline.image
            Minic.Driver.entry_name)
-  | With_block ->
-      let built = Blockcache.Pipeline.build program in
+  | With_block options ->
+      let built = Blockcache.Pipeline.build ~options program in
       ignore (Blockcache.Pipeline.install built system);
       Cpu.set_reg system.Platform.cpu Isa.pc
         (Masm.Assembler.lookup built.Blockcache.Pipeline.image
@@ -212,13 +215,38 @@ let prop_swapram_matches_interpreter =
       && out = reference.Minic.Interp.output)
 
 let prop_blockcache_matches_interpreter =
-  QCheck2.Test.make ~count:40
+  QCheck2.Test.make ~count:60
     ~name:"block-cache pipeline matches reference interpreter"
     ~print:(fun s -> s)
     gen_program
     (fun source ->
       let reference = Minic.Interp.run_source source in
-      let ret, out = run_simulator_fuelled ~diff_system:With_block source in
+      let ret, out =
+        run_simulator_fuelled
+          ~diff_system:(With_block Blockcache.Config.default_options)
+          source
+      in
+      ret = reference.Minic.Interp.return_value land 0x7FFF
+      && out = reference.Minic.Interp.output)
+
+let prop_blockcache_small_matches_interpreter =
+  QCheck2.Test.make ~count:60
+    ~name:"block-cache (small cache) matches reference interpreter"
+    ~print:(fun s -> s)
+    gen_program
+    (fun source ->
+      let reference = Minic.Interp.run_source source in
+      (* a few slots force the flush and chain-invalidation paths *)
+      let options =
+        {
+          Blockcache.Config.default_options with
+          Blockcache.Config.cache_size = 512;
+          debug_checks = true;
+        }
+      in
+      let ret, out =
+        run_simulator_fuelled ~diff_system:(With_block options) source
+      in
       ret = reference.Minic.Interp.return_value land 0x7FFF
       && out = reference.Minic.Interp.output)
 
@@ -274,4 +302,5 @@ let suite =
       QCheck_alcotest.to_alcotest prop_pipeline_matches_interpreter;
       QCheck_alcotest.to_alcotest prop_swapram_matches_interpreter;
       QCheck_alcotest.to_alcotest prop_blockcache_matches_interpreter;
+      QCheck_alcotest.to_alcotest prop_blockcache_small_matches_interpreter;
     ]

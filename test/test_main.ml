@@ -10,5 +10,7 @@ let () =
       ("platform", Test_platform.suite);
       ("validation", Test_validation.suite);
       ("differential", Test_differential.suite);
+      ("observe", Test_observe.suite);
+      ("golden", Test_golden.suite);
       ("faultinject", Test_faultinject.suite);
     ]

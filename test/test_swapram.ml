@@ -422,4 +422,141 @@ let props =
     QCheck_alcotest.to_alcotest prop_queue_fifo;
   ]
 
-let suite = suite @ props
+(* Regression: both miss-handler abort paths (function can never fit;
+   every viable placement would evict an active function) must restore
+   the allocation point that the placement retries moved. A skewed
+   cursor after an abort makes the next miss plan from the wrong spot
+   and fragments the circular queue. The test drives the trap handler
+   directly with a hand-picked cache geometry so both paths are hit
+   deterministically. *)
+let alloc_point_abort_test =
+  Alcotest.test_case "abort paths restore the allocation point" `Quick
+    (fun () ->
+      (* six identical small functions (same compiled size) and one
+         function that can never fit the cache region *)
+      let source =
+        let small i =
+          Printf.sprintf
+            "int f%d(int x) { int a = x + %d; int b = a * 3; return a ^ b; }"
+            i
+            (* avoid 0/1/2/4/8: those encode via the constant
+               generator and would change the function's size *)
+            (i + 16)
+        in
+        let big_body =
+          String.concat " "
+            (List.init 80 (fun i ->
+                 Printf.sprintf "x = x + %d; x = x ^ %d;" (i + 1)
+                   ((i * 5) + 3)))
+        in
+        String.concat "\n"
+          (List.init 6 small
+          @ [
+              Printf.sprintf "int big(int x) { %s return x; }" big_body;
+              "int main(void) {";
+              "  int s = 0;";
+              "  s = s + f0(s); s = s + f1(s); s = s + f2(s);";
+              "  s = s + f3(s); s = s + f4(s); s = s + f5(s);";
+              "  s = s + big(s);";
+              "  return s & 0x7FFF;";
+              "}";
+            ])
+      in
+      let program = Minic.Driver.program_of_source source in
+      (* measuring build: read the instrumented (rounded) function
+         sizes out of the runtime's function table *)
+      let measure =
+        let built = Swapram.Pipeline.build ~options:debug_options program in
+        let system = Platform.create Platform.Mhz24 in
+        let rt = Swapram.Pipeline.install built system in
+        let mem = system.Platform.memory in
+        fun name ->
+          match Swapram.Instrument.fid_of built.Swapram.Pipeline.manifest name with
+          | None -> Alcotest.failf "%s not instrumented" name
+          | Some fid ->
+              Memory.peek_word mem
+                (rt.Swapram.Runtime.addrs.Swapram.Runtime.a_functab + (8 * fid)
+               + 2)
+      in
+      let size_f = measure "f0" in
+      List.iter
+        (fun i ->
+          Alcotest.(check int)
+            (Printf.sprintf "f%d same size as f0" i)
+            size_f
+            (measure (Printf.sprintf "f%d" i)))
+        [ 1; 2; 3; 4; 5 ];
+      (* real build: room for exactly three small functions, so the
+         queue packs perfectly and every later placement must evict *)
+      let cache_size = 3 * size_f in
+      Alcotest.(check bool) "big can never fit" true (measure "big" > cache_size);
+      let options =
+        { debug_options with Swapram.Config.cache_size }
+      in
+      let built = Swapram.Pipeline.build ~options program in
+      let system = Platform.create Platform.Mhz24 in
+      let rt = Swapram.Pipeline.install built system in
+      let mem = system.Platform.memory in
+      let cache = rt.Swapram.Runtime.cache in
+      let addrs = rt.Swapram.Runtime.addrs in
+      let stats = Swapram.Runtime.stats rt in
+      let manifest = built.Swapram.Pipeline.manifest in
+      let fid name =
+        match Swapram.Instrument.fid_of manifest name with
+        | Some f -> f
+        | None -> Alcotest.failf "%s not instrumented" name
+      in
+      (* invoke the miss handler the way instrumented call sites do:
+         store the funcId, jump to the trap page, take one step *)
+      let invoke_miss name =
+        Memory.poke_word mem addrs.Swapram.Runtime.a_funcid (fid name);
+        Cpu.set_reg system.Platform.cpu Isa.pc Swapram.Config.miss_handler_trap;
+        Cpu.step system.Platform.cpu
+      in
+      let cached_fids () =
+        List.sort compare
+          (List.map
+             (fun (e : Swapram.Cache.entry) -> e.Swapram.Cache.fid)
+             (Swapram.Cache.entries cache))
+      in
+      let set_active name v =
+        Memory.poke_word mem
+          (addrs.Swapram.Runtime.a_active + (2 * fid name))
+          v
+      in
+      (* fill the region exactly *)
+      invoke_miss "f0";
+      invoke_miss "f1";
+      invoke_miss "f2";
+      Alcotest.(check int) "cache packed full" cache_size
+        (Swapram.Cache.used_bytes cache);
+      let resident = cached_fids () in
+      (* path 1: too-large abort *)
+      let ap0 = Swapram.Cache.alloc_point cache in
+      invoke_miss "big";
+      Alcotest.(check int) "too-large abort counted" 1 stats.Swapram.Runtime.too_large;
+      Alcotest.(check int) "alloc point restored after too-large" ap0
+        (Swapram.Cache.alloc_point cache);
+      Alcotest.(check (list int)) "residents untouched by too-large" resident
+        (cached_fids ());
+      (* path 2: every placement blocked by an active function *)
+      List.iter (fun n -> set_active n 1) [ "f0"; "f1"; "f2" ];
+      let retries0 = stats.Swapram.Runtime.placement_retries in
+      invoke_miss "f3";
+      Alcotest.(check int) "blocked abort counted" 1 stats.Swapram.Runtime.aborts;
+      Alcotest.(check bool) "retries actually moved the cursor" true
+        (stats.Swapram.Runtime.placement_retries > retries0);
+      Alcotest.(check int) "alloc point restored after abort" ap0
+        (Swapram.Cache.alloc_point cache);
+      Alcotest.(check (list int)) "residents untouched by abort" resident
+        (cached_fids ());
+      (* with the counters cleared the same miss must succeed from the
+         restored cursor, and the structure must stay coherent *)
+      List.iter (fun n -> set_active n 0) [ "f0"; "f1"; "f2" ];
+      invoke_miss "f3";
+      Alcotest.(check bool) "f3 cached once unblocked" true
+        (List.mem (fid "f3") (cached_fids ()));
+      Alcotest.(check bool) "cache invariants hold" true
+        (Swapram.Cache.check_invariants cache))
+
+let suite = suite @ props @ [ alloc_point_abort_test ]
