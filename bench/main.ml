@@ -42,11 +42,20 @@ let run_ablation () =
   print_string (Experiments.Ablation.render (Experiments.Ablation.compute ~seed ()))
 
 let report_path = ref None
+let baseline_path = ref None
 
 let run_report () =
   let path = match !report_path with Some p -> p | None -> "bench/report.json" in
   Experiments.Bench_report.write ~seed path;
   Printf.printf "wrote %s (schema v%d)\n" path
+    Experiments.Bench_report.schema_version
+
+let run_baseline () =
+  let path =
+    match !baseline_path with Some p -> p | None -> "bench/baseline.json"
+  in
+  Experiments.Bench_report.write ~seed ~slim:true path;
+  Printf.printf "wrote %s (schema v%d, slim)\n" path
     Experiments.Bench_report.schema_version
 
 (* --- Bechamel micro-benchmarks of the simulator ---------------------- *)
@@ -122,30 +131,47 @@ let artifacts =
     ("ablation", run_ablation);
     ("micro", run_micro);
     ("report", run_report);
+    ("baseline", run_baseline);
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  (* --report[=PATH] writes the machine-readable report in addition to
-     (or instead of) the requested text artifacts *)
-  let names, report =
-    List.partition (fun a -> not (String.length a >= 8 && String.sub a 0 8 = "--report")) args
+  (* --report[=PATH] / --baseline[=PATH] write the machine-readable
+     report (full / slim) in addition to (or instead of) the requested
+     text artifacts *)
+  let has_prefix p a =
+    String.length a >= String.length p && String.sub a 0 (String.length p) = p
   in
+  let path_of flag default =
+    match String.index_opt flag '=' with
+    | Some i -> String.sub flag (i + 1) (String.length flag - i - 1)
+    | None -> default
+  in
+  let names, flags =
+    List.partition
+      (fun a -> not (has_prefix "--report" a || has_prefix "--baseline" a))
+      args
+  in
+  let report = List.filter (has_prefix "--report") flags in
+  let baseline = List.filter (has_prefix "--baseline") flags in
   (match report with
   | [] -> ()
-  | flag :: _ ->
-      report_path :=
-        Some
-          (match String.index_opt flag '=' with
-          | Some i -> String.sub flag (i + 1) (String.length flag - i - 1)
-          | None -> "bench/report.json"));
+  | flag :: _ -> report_path := Some (path_of flag "bench/report.json"));
+  (match baseline with
+  | [] -> ()
+  | flag :: _ -> baseline_path := Some (path_of flag "bench/baseline.json"));
   let requested =
     match names with
     | _ :: _ -> names
-    | [] when report <> [] -> []
-    | [] -> List.map fst (List.filter (fun (n, _) -> n <> "report") artifacts)
+    | [] when flags <> [] -> []
+    | [] ->
+        List.map fst
+          (List.filter (fun (n, _) -> n <> "report" && n <> "baseline") artifacts)
   in
   let requested = if report <> [] then requested @ [ "report" ] else requested in
+  let requested =
+    if baseline <> [] then requested @ [ "baseline" ] else requested
+  in
   List.iter
     (fun name ->
       match List.assoc_opt name artifacts with

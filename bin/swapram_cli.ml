@@ -254,6 +254,82 @@ let profile_cmd benchmark file system placement freq seed blacklist top folded
                     (Observe.Profiler.cycles_of totals) )
         | _ -> `Error (false, "verification rerun did not complete"))
 
+(* Metrics: run with the windowed time-series sampler attached and
+   print the cache-dynamics series, address heatmaps and miss-ratio
+   curve. *)
+let metrics_cmd benchmark file system placement freq seed blacklist window
+    buckets csv =
+  let* b = load_benchmark ~benchmark ~file ~seed in
+  let* caching = parse_system blacklist system in
+  let* placement = parse_placement placement in
+  let* frequency = parse_freq freq in
+  let* () = if window <= 0 then Error "--window must be positive" else Ok () in
+  let* () = if buckets <= 0 then Error "--buckets must be positive" else Ok () in
+  let config =
+    {
+      (Experiments.Toolchain.default_config b) with
+      Experiments.Toolchain.seed;
+      caching;
+      placement;
+      frequency;
+    }
+  in
+  let observe =
+    {
+      Experiments.Toolchain.default_observe with
+      Experiments.Toolchain.metrics_window = window;
+      metrics_buckets = buckets;
+    }
+  in
+  match Experiments.Toolchain.run ~observe config with
+  | Experiments.Toolchain.Did_not_fit msg ->
+      `Error (false, "binary does not fit the platform: " ^ msg)
+  | Experiments.Toolchain.Crashed o ->
+      `Error (false, "run did not halt: " ^ Experiments.Report.outcome_cell o)
+  | Experiments.Toolchain.Completed r -> (
+      match r.Experiments.Toolchain.observation with
+      | Some { Experiments.Toolchain.o_metrics = Some m; _ } ->
+          if csv then print_string (Observe.Metrics.render_csv m)
+          else begin
+            Printf.printf "benchmark    : %s (seed %d)\n"
+              b.Workloads.Bench_def.name seed;
+            Printf.printf "system       : %s, %s, %s\n"
+              (Experiments.Toolchain.caching_name caching)
+              (Experiments.Toolchain.placement_name placement)
+              (Platform.frequency_name frequency);
+            Printf.printf "window       : %d cycles\n\n" window;
+            print_string (Observe.Metrics.render_series m);
+            print_newline ();
+            print_string (Observe.Metrics.render_heatmaps m);
+            print_newline ();
+            print_string (Observe.Metrics.render_mrc m)
+          end;
+          `Ok ()
+      | Some _ | None -> `Error (false, "metrics sampler was not attached"))
+
+(* Compare: the perf-regression gate. Nonzero exit on any regression
+   beyond the per-metric thresholds (or structural mismatch), so CI
+   can gate on `swapram_cli compare bench/baseline.json report.json`. *)
+let compare_cmd old_path new_path threshold =
+  let thresholds =
+    match threshold with
+    | None -> Experiments.Compare.default_thresholds
+    | Some t ->
+        List.map (fun (m, _) -> (m, t)) Experiments.Compare.default_thresholds
+  in
+  match Experiments.Compare.compare_files ~thresholds old_path new_path with
+  | Error e -> `Error (false, e)
+  | Ok outcome ->
+      print_string (Experiments.Compare.render outcome);
+      let regs = Experiments.Compare.regressions outcome in
+      if regs = [] && outcome.Experiments.Compare.errors = [] then `Ok ()
+      else
+        `Error
+          ( false,
+            Printf.sprintf "perf gate failed: %d regression(s), %d error(s)"
+              (List.length regs)
+              (List.length outcome.Experiments.Compare.errors) )
+
 let asm_cmd benchmark file seed instrumented =
   let* b = load_benchmark ~benchmark ~file ~seed in
   let program =
@@ -443,6 +519,43 @@ let profile_term =
      $ placement_arg $ freq_arg $ seed_arg $ blacklist_arg $ top_arg
      $ folded_arg $ chrome_arg $ verify_arg))
 
+let window_arg =
+  let doc = "Metrics window length in total (CPU + stall) cycles." in
+  Arg.(value & opt int 65536 & info [ "window"; "w" ] ~doc)
+
+let buckets_arg =
+  let doc = "Address-histogram buckets per memory region." in
+  Arg.(value & opt int 48 & info [ "buckets" ] ~doc)
+
+let csv_arg =
+  let doc = "Emit the per-window series as CSV instead of the text report." in
+  Arg.(value & flag & info [ "csv" ] ~doc)
+
+let metrics_term =
+  Term.(
+    ret
+      (const metrics_cmd $ benchmark_arg $ file_arg $ system_arg
+     $ placement_arg $ freq_arg $ seed_arg $ blacklist_arg $ window_arg
+     $ buckets_arg $ csv_arg))
+
+let old_report_arg =
+  let doc = "Baseline report (e.g. bench/baseline.json)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD" ~doc)
+
+let new_report_arg =
+  let doc = "Candidate report to gate (e.g. bench/report.json)." in
+  Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW" ~doc)
+
+let threshold_arg =
+  let doc =
+    "Override every per-metric relative threshold with one value (e.g. 0.02 \
+     = 2%)."
+  in
+  Arg.(value & opt (some float) None & info [ "threshold" ] ~doc)
+
+let compare_term =
+  Term.(ret (const compare_cmd $ old_report_arg $ new_report_arg $ threshold_arg))
+
 let asm_term =
   Term.(ret (const asm_cmd $ benchmark_arg $ file_arg $ seed_arg $ instrumented_arg))
 
@@ -459,6 +572,19 @@ let cmds =
            "Simulate with the cycle-attribution profiler attached and print \
             per-function cycle/energy attribution")
       profile_term;
+    Cmd.v
+      (Cmd.info "metrics"
+         ~doc:
+           "Simulate with the windowed cache-dynamics sampler attached and \
+            print the time series, FRAM/SRAM address heatmaps and the \
+            miss-ratio curve")
+      metrics_term;
+    Cmd.v
+      (Cmd.info "compare"
+         ~doc:
+           "Perf-regression gate: compare two bench reports under per-metric \
+            thresholds; nonzero exit on regression")
+      compare_term;
     Cmd.v (Cmd.info "asm" ~doc:"Dump generated (optionally instrumented) assembly") asm_term;
     Cmd.v
       (Cmd.info "disasm"

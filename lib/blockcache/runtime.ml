@@ -46,6 +46,8 @@ type t = {
 }
 
 let stats t = t.stats
+let slot_bytes t = t.manifest.Transform.slot_size
+let cache_bytes t = t.manifest.Transform.num_slots * t.manifest.Transform.slot_size
 let emit_rt t ev = Trace.emit (Memory.stats t.mem) (Trace.Runtime_event ev)
 
 (* Host-side dynamic symbolizer for the observability layer: translate
@@ -198,7 +200,7 @@ let on_miss t _cpu =
       t.stats.chains <- t.stats.chains + 1
   | None -> ());
   charge t Trace.Handler Costs.runtime_exit_instrs;
-  emit_rt t (Trace.Miss_exit { runtime = "block"; disposition = "cached" });
+  emit_rt t (Trace.Miss_exit { runtime = "block"; disposition = "cached"; fid = -1 });
   Cpu.Goto slot
 
 (* Return entry: resume at the (NVM) return address through the cache. *)
@@ -211,7 +213,7 @@ let on_return t cpu =
   Cpu.set_reg cpu Isa.sp (sp + 2);
   let slot = lookup_or_load t ~nvm in
   charge t Trace.Handler Costs.runtime_exit_instrs;
-  emit_rt t (Trace.Miss_exit { runtime = "block"; disposition = "return" });
+  emit_rt t (Trace.Miss_exit { runtime = "block"; disposition = "return"; fid = -1 });
   Cpu.Goto slot
 
 (* Power-loss recovery, mirroring Swapram.Runtime.reboot: the SRAM

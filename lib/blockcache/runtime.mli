@@ -19,6 +19,14 @@ type t
 
 val stats : t -> stats
 
+val slot_bytes : t -> int
+(** Size of one SRAM cache slot (the block-granular cache line). *)
+
+val cache_bytes : t -> int
+(** Total slot capacity ([num_slots * slot_bytes]) — the configured
+    cache budget the observability layer's miss-ratio curve is
+    evaluated against. *)
+
 val cached_block_at : t -> int -> int option
 (** Translate a pc inside an SRAM cache slot back to the NVM address
     of the cached block's corresponding word, if the slot currently

@@ -10,9 +10,16 @@ module Json = Observe.Json
    frequency — with the profiling stack attached, and renders the
    results under a stable, versioned schema for CI artifact upload and
    downstream tooling. The schema is documented in EXPERIMENTS.md;
-   bump [schema_version] on any breaking change. *)
+   bump [schema_version] on any breaking change.
 
-let schema_version = 1
+   Schema v2 adds the per-system "metrics" object (windowed
+   cache-dynamics time series + miss-ratio curve from the
+   {!Observe.Metrics} sampler) and a slim rendering mode used for the
+   committed bench/baseline.json: slim reports keep every scalar the
+   perf-regression gate compares but drop the bulky time-series and
+   attribution payloads. *)
+
+let schema_version = 2
 
 let frequency_hz = function
   | Platform.Mhz8 -> 8_000_000
@@ -65,7 +72,79 @@ let block_stats_json (s : Blockcache.Runtime.stats) =
       ("words_copied", Json.Int s.Blockcache.Runtime.words_copied);
     ]
 
-let completed_json ~params (r : Toolchain.result) =
+let window_json metrics (w : Observe.Metrics.window) =
+  Json.Obj
+    [
+      ("start", Json.Int w.Observe.Metrics.w_start);
+      ("unstalled", Json.Int w.Observe.Metrics.w_unstalled);
+      ("stall", Json.Int w.Observe.Metrics.w_stall);
+      ("instrs", Json.Int w.Observe.Metrics.w_instrs);
+      ("fram_read_hits", Json.Int w.Observe.Metrics.w_fram_read_hits);
+      ("fram_read_misses", Json.Int w.Observe.Metrics.w_fram_read_misses);
+      ("fram_writes", Json.Int w.Observe.Metrics.w_fram_writes);
+      ("sram_accesses", Json.Int w.Observe.Metrics.w_sram_accesses);
+      ("misses", Json.Int (Observe.Metrics.window_misses w));
+      ("evictions", Json.Int w.Observe.Metrics.w_evictions);
+      ("freezes", Json.Int w.Observe.Metrics.w_freezes);
+      ("flushes", Json.Int w.Observe.Metrics.w_flushes);
+      ("block_loads", Json.Int w.Observe.Metrics.w_block_loads);
+      ("prefetches", Json.Int w.Observe.Metrics.w_prefetches);
+      ("occupancy", Json.Int w.Observe.Metrics.w_occupancy);
+      ( "energy_nj",
+        Json.Float (Observe.Metrics.window_energy metrics w).Observe.Metrics.e_total
+      );
+    ]
+
+let mrc_json metrics =
+  match Observe.Metrics.reuse_tracker metrics with
+  | None -> Json.Null
+  | Some r ->
+      let spec = Observe.Metrics.spec metrics in
+      let budget = spec.Observe.Metrics.config_budget in
+      let granularity =
+        match spec.Observe.Metrics.reuse with
+        | Observe.Metrics.Functions -> "function"
+        | Observe.Metrics.Lines n -> Printf.sprintf "line-%d" n
+        | Observe.Metrics.No_reuse -> "none"
+      in
+      Json.Obj
+        [
+          ("granularity", Json.String granularity);
+          ("accesses", Json.Int (Observe.Reuse.accesses r));
+          ("units", Json.Int (Observe.Reuse.units r));
+          ("footprint_bytes", Json.Int (Observe.Reuse.footprint r));
+          ("measured_misses", Json.Int (Observe.Reuse.measured_misses r));
+          ("measured_miss_rate", Json.Float (Observe.Reuse.measured_miss_rate r));
+          ("config_budget", Json.Int budget);
+          ( "predicted_at_config",
+            if budget > 0 then
+              Json.Float (Observe.Reuse.predicted_miss_rate r ~budget)
+            else Json.Null );
+          ( "points",
+            Json.List
+              (List.map
+                 (fun (b, rate) ->
+                   Json.Obj
+                     [
+                       ("budget", Json.Int b);
+                       ("predicted_miss_rate", Json.Float rate);
+                     ])
+                 (Observe.Reuse.curve r
+                    ~budgets:Observe.Metrics.default_budgets)) );
+        ]
+
+let metrics_json metrics =
+  Json.Obj
+    [
+      ( "window_cycles",
+        Json.Int (Observe.Metrics.spec metrics).Observe.Metrics.window_cycles );
+      ( "windows",
+        Json.List
+          (List.map (window_json metrics) (Observe.Metrics.windows metrics)) );
+      ("mrc", mrc_json metrics);
+    ]
+
+let completed_json ~params ~slim (r : Toolchain.result) =
   let stats = r.Toolchain.stats in
   let fram_reads = stats.Trace.fram_ifetch + stats.Trace.fram_data_reads in
   let hit_rate =
@@ -82,8 +161,13 @@ let completed_json ~params (r : Toolchain.result) =
   in
   let top =
     match r.Toolchain.observation with
-    | Some obs -> Json.List (top_functions ~params ~obs 5)
-    | None -> Json.Null
+    | Some obs when not slim -> Json.List (top_functions ~params ~obs 5)
+    | Some _ | None -> Json.Null
+  in
+  let metrics =
+    match r.Toolchain.observation with
+    | Some { Toolchain.o_metrics = Some m; _ } when not slim -> metrics_json m
+    | _ -> Json.Null
   in
   let runtime =
     match (r.Toolchain.swapram_stats, r.Toolchain.block_stats) with
@@ -109,10 +193,11 @@ let completed_json ~params (r : Toolchain.result) =
       ("miss_handler_share", miss_handler_share);
       ("runtime", runtime);
       ("top_functions", top);
+      ("metrics", metrics);
     ]
 
-let outcome_json ~params = function
-  | Toolchain.Completed r -> completed_json ~params r
+let outcome_json ~params ~slim = function
+  | Toolchain.Completed r -> completed_json ~params ~slim r
   | Toolchain.Crashed o ->
       Json.Obj
         [
@@ -123,10 +208,11 @@ let outcome_json ~params = function
       Json.Obj
         [ ("status", Json.String "did-not-fit"); ("reason", Json.String msg) ]
 
-let compute ?(seed = 1) ?benchmarks ?(frequency = Platform.Mhz24) () =
+let compute ?(seed = 1) ?benchmarks ?(frequency = Platform.Mhz24) ?(slim = false)
+    () =
   let params = params_for frequency in
   let sweep =
-    Sweep.compute ~seed ?benchmarks ~observe:Toolchain.default_observe
+    Sweep.compute ~seed ?benchmarks ~observe:Toolchain.metrics_observe
       ~frequency ()
   in
   Json.Obj
@@ -145,17 +231,17 @@ let compute ?(seed = 1) ?benchmarks ?(frequency = Platform.Mhz24) () =
                      Json.Obj
                        [
                          ( "baseline",
-                           outcome_json ~params
+                           outcome_json ~params ~slim
                              (Toolchain.Completed e.Sweep.baseline) );
-                         ("swapram", outcome_json ~params e.Sweep.swapram);
-                         ("block", outcome_json ~params e.Sweep.block);
+                         ("swapram", outcome_json ~params ~slim e.Sweep.swapram);
+                         ("block", outcome_json ~params ~slim e.Sweep.block);
                        ] );
                  ])
              sweep) );
     ]
 
-let write ?seed ?benchmarks ?frequency path =
-  let json = compute ?seed ?benchmarks ?frequency () in
+let write ?seed ?benchmarks ?frequency ?slim path =
+  let json = compute ?seed ?benchmarks ?frequency ?slim () in
   let oc = open_out path in
   output_string oc (Json.to_string_pretty json);
   close_out oc

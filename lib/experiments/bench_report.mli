@@ -2,7 +2,11 @@
     Table-2 configurations (every benchmark under baseline / SwapRAM /
     block cache) run with the profiling stack attached, rendered under
     a stable versioned JSON schema for CI artifact upload. The schema
-    is documented in EXPERIMENTS.md. *)
+    is documented in EXPERIMENTS.md.
+
+    Schema v2 embeds the {!Observe.Metrics} sampler's output per
+    system: a "metrics" object with the per-window time series and the
+    miss-ratio curve. *)
 
 val schema_version : int
 
@@ -10,13 +14,19 @@ val compute :
   ?seed:int ->
   ?benchmarks:Workloads.Bench_def.t list ->
   ?frequency:Msp430.Platform.frequency ->
+  ?slim:bool ->
   unit ->
   Observe.Json.t
+(** [slim] (default false) drops the bulky "metrics" and
+    "top_functions" payloads while keeping every scalar the
+    perf-regression gate ({!Compare}) reads — the rendering committed
+    as bench/baseline.json. *)
 
 val write :
   ?seed:int ->
   ?benchmarks:Workloads.Bench_def.t list ->
   ?frequency:Msp430.Platform.frequency ->
+  ?slim:bool ->
   string ->
   unit
 (** Render {!compute} pretty-printed to the given path. *)

@@ -14,7 +14,10 @@ type entry = {
 
 type t = entry list
 
-let cache : (int * Platform.frequency * bool * string list, t) Hashtbl.t =
+let cache :
+    ( int * Platform.frequency * Toolchain.observe_spec option * string list,
+      t )
+    Hashtbl.t =
   Hashtbl.create 4
 
 let compute_uncached ?observe ~seed ~frequency benchmarks =
@@ -64,10 +67,13 @@ let compute ?(seed = 1) ?benchmarks ?observe ~frequency () =
   let benchmarks =
     match benchmarks with Some bs -> bs | None -> Workloads.Suite.all
   in
+  (* The full spec keys the memo: runs observed with different specs
+     carry different attachments (e.g. the metrics sampler), so they
+     must not alias. *)
   let key =
     ( seed,
       frequency,
-      observe <> None,
+      observe,
       List.map (fun b -> b.Workloads.Bench_def.name) benchmarks )
   in
   match Hashtbl.find_opt cache key with

@@ -66,16 +66,30 @@ type sizes = { code_bytes : int; data_bytes : int }
 (* --- Observability ----------------------------------------------------- *)
 
 (* What to attach to the run. The profiler is always on when a spec is
-   given; the event ring is optional because most callers only want
-   the attribution tables. *)
-type observe_spec = { events_capacity : int; events_keep_all : bool }
+   given; the event ring and the windowed metrics sampler are optional
+   because most callers only want the attribution tables. *)
+type observe_spec = {
+  events_capacity : int;
+  events_keep_all : bool;
+  metrics_window : int; (* 0 disables the time-series sampler *)
+  metrics_buckets : int;
+}
 
-let default_observe = { events_capacity = 4096; events_keep_all = false }
+let default_observe =
+  {
+    events_capacity = 4096;
+    events_keep_all = false;
+    metrics_window = 0;
+    metrics_buckets = 48;
+  }
+
+let metrics_observe = { default_observe with metrics_window = 65536 }
 
 type observation = {
   o_symtab : Observe.Symtab.t;
   o_profiler : Observe.Profiler.t;
   o_events : Observe.Events.t option;
+  o_metrics : Observe.Metrics.t option;
 }
 
 (* Attach the observability stack to a prepared system: build the
@@ -118,16 +132,81 @@ let attach_observation spec ~image ~(system : Platform.system) ~swapram ~block =
            ~capacity:spec.events_capacity stats)
     else None
   in
+  let metrics =
+    if spec.metrics_window <= 0 then None
+    else begin
+      (* Runtime-specific resolvers for the metrics sampler: the cache
+         unit is what the installed runtime actually caches (whole
+         functions for SwapRAM, fixed slots for the block cache, a
+         nominal 64-byte line for the uncached baseline), so the
+         predicted miss-ratio curve is directly comparable to the
+         runtime's measured miss rate. *)
+      let reuse, budget, hooks =
+        match (swapram, block) with
+        | Some (rt, (manifest : Swapram.Instrument.manifest)), _ ->
+            let nfuncs = Array.length manifest.Swapram.Instrument.funcs in
+            let fid_size fid =
+              if fid < 0 || fid >= nfuncs then 0
+              else
+                (* Uncounted host-side peek of the FRAM function table:
+                   entry layout is 8 bytes, size word at offset 2. *)
+                Memory.peek_word rt.Swapram.Runtime.mem
+                  (rt.Swapram.Runtime.addrs.Swapram.Runtime.a_functab
+                  + (8 * fid) + 2)
+            in
+            ( Observe.Metrics.Functions,
+              rt.Swapram.Runtime.options.Swapram.Config.cache_size,
+              {
+                Observe.Metrics.h_fid_size = fid_size;
+                h_call_unit = Swapram.Runtime.cached_function_at rt;
+                h_ifetch_home = (fun a -> a);
+              } )
+        | None, Some rt ->
+            let slot = Blockcache.Runtime.slot_bytes rt in
+            ( Observe.Metrics.Lines slot,
+              Blockcache.Runtime.cache_bytes rt,
+              {
+                Observe.Metrics.h_fid_size = (fun _ -> 0);
+                h_call_unit =
+                  (fun a ->
+                    Option.map
+                      (fun nvm -> nvm / slot)
+                      (Blockcache.Runtime.cached_block_at rt a));
+                h_ifetch_home =
+                  (fun a ->
+                    match Blockcache.Runtime.cached_block_at rt a with
+                    | Some nvm -> nvm
+                    | None -> a);
+              } )
+        | None, None ->
+            (Observe.Metrics.Lines 64, 0, Observe.Metrics.null_hooks)
+      in
+      Some
+        (Observe.Metrics.create
+           {
+             Observe.Metrics.window_cycles = spec.metrics_window;
+             buckets = spec.metrics_buckets;
+             reuse;
+             config_budget = budget;
+           }
+           ~params:(Platform.energy_params system.Platform.frequency)
+           ~fram:(Platform.fram_base, Platform.fram_base + Platform.fram_size)
+           ~sram:(Platform.sram_base, Platform.sram_base + Platform.sram_size)
+           hooks)
+    end
+  in
+  let observers =
+    Observe.Profiler.observer profiler
+    :: Option.to_list (Option.map Observe.Events.observer events)
+    @ Option.to_list (Option.map Observe.Metrics.observer metrics)
+  in
   let observer =
-    match events with
-    | None -> Observe.Profiler.observer profiler
-    | Some ring ->
-        fun ev ->
-          Observe.Profiler.observer profiler ev;
-          Observe.Events.observer ring ev
+    match observers with
+    | [ f ] -> f
+    | fs -> fun ev -> List.iter (fun f -> f ev) fs
   in
   Trace.set_observer stats (Some observer);
-  { o_symtab = symtab; o_profiler = profiler; o_events = events }
+  { o_symtab = symtab; o_profiler = profiler; o_events = events; o_metrics = metrics }
 
 type result = {
   stats : Trace.t;

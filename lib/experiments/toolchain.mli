@@ -53,15 +53,27 @@ type observe_spec = {
   events_capacity : int;  (** 0 disables the event ring *)
   events_keep_all : bool;
       (** also record per-instruction / per-access events *)
+  metrics_window : int;
+      (** window length (total cycles) for the {!Observe.Metrics}
+          time-series sampler; 0 disables it *)
+  metrics_buckets : int;  (** address-histogram buckets per region *)
 }
 
 val default_observe : observe_spec
-(** 4096-entry ring, high-level events only. *)
+(** 4096-entry ring, high-level events only, no metrics sampler. *)
+
+val metrics_observe : observe_spec
+(** [default_observe] plus the metrics sampler at 65536-cycle windows.
+    The sampler's reuse tracking follows the installed runtime:
+    function-granular for SwapRAM (against its configured cache size),
+    slot-granular lines for the block cache, nominal 64-byte lines for
+    the baseline. *)
 
 type observation = {
   o_symtab : Observe.Symtab.t;
   o_profiler : Observe.Profiler.t;
   o_events : Observe.Events.t option;
+  o_metrics : Observe.Metrics.t option;
 }
 
 type result = {

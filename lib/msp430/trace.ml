@@ -43,11 +43,17 @@ type access_class =
    boot/reboot). *)
 type runtime_event =
   | Miss_enter of { runtime : string }
-  | Miss_exit of { runtime : string; disposition : string }
+  | Miss_exit of { runtime : string; disposition : string; fid : int }
+      (* fid identifies the missed function for runtimes with a
+         function-granular cache (SwapRAM); -1 when the runtime has no
+         function identity (block cache). Lets a windowed sampler
+         track cache occupancy and reuse without peeking at runtime
+         internals on the hot path. *)
   | Eviction of { fid : int }
   | Freeze of { on : bool }
   | Cache_flush
   | Block_load of { nvm : int }
+  | Prefetch of { fid : int }
   | Phase of { name : string }
 
 type event =

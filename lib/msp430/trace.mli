@@ -31,13 +31,17 @@ type access_class =
 (** High-level events from the caching runtimes and the harness. *)
 type runtime_event =
   | Miss_enter of { runtime : string }
-  | Miss_exit of { runtime : string; disposition : string }
-      (** disposition: ["cached"], ["nvm"], ["frozen"] or
-          ["too-large"] *)
+  | Miss_exit of { runtime : string; disposition : string; fid : int }
+      (** disposition: ["cached"], ["nvm"], ["frozen"], ["too-large"]
+          or (block cache) ["return"]. [fid] identifies the missed
+          function when the runtime caches at function granularity
+          (SwapRAM); -1 otherwise. *)
   | Eviction of { fid : int }
   | Freeze of { on : bool }  (** anti-thrashing freeze transition *)
   | Cache_flush
   | Block_load of { nvm : int }
+  | Prefetch of { fid : int }
+      (** callee cached ahead of its first call (prefetch extension) *)
   | Phase of { name : string }  (** harness marker (boot/reboot) *)
 
 type event =

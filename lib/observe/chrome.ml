@@ -70,12 +70,13 @@ let events_json symtab stamped =
           | Msp430.Trace.Miss_enter { runtime } ->
               incr rt_depth;
               [ dur_begin ~ts:at ~tid:runtime_tid ("miss:" ^ runtime) [] ]
-          | Msp430.Trace.Miss_exit { runtime = _; disposition } ->
+          | Msp430.Trace.Miss_exit { runtime = _; disposition; fid } ->
               if !rt_depth > 0 then begin
                 decr rt_depth;
                 [
                   dur_end ~ts:at ~tid:runtime_tid
-                    [ ("disposition", Json.String disposition) ];
+                    (("disposition", Json.String disposition)
+                    :: (if fid >= 0 then [ ("fid", Json.Int fid) ] else []));
                 ]
               end
               else []
@@ -93,6 +94,11 @@ let events_json symtab stamped =
               [
                 instant ~ts:at ~tid:runtime_tid "block-load"
                   [ ("nvm", Json.String (Printf.sprintf "0x%04X" nvm)) ];
+              ]
+          | Msp430.Trace.Prefetch { fid } ->
+              [
+                instant ~ts:at ~tid:runtime_tid "prefetch"
+                  [ ("fid", Json.Int fid) ];
               ]
           | Msp430.Trace.Phase { name } ->
               [ instant ~ts:at ~tid:runtime_tid ("phase:" ^ name) [] ])

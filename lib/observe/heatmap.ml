@@ -1,0 +1,73 @@
+(* Terminal heatmap renderer for bucketed counters.
+
+   Rows are (label, counts) pairs — one row per time window, columns
+   are address-space buckets. Intensity uses a 10-step ASCII ramp on a
+   log scale normalized to the global maximum: access counts span
+   many orders of magnitude (a hot loop vs. a once-touched table), and
+   linear scaling would render everything but the hottest bucket as
+   background. *)
+
+let ramp = " .:-=+*#%@"
+
+let glyph ~log_max count =
+  if count <= 0 then ramp.[0]
+  else if log_max <= 0.0 then ramp.[String.length ramp - 1]
+  else
+    let steps = String.length ramp - 1 in
+    let v = log (float_of_int count +. 1.0) /. log_max in
+    let idx = 1 + int_of_float (v *. float_of_int (steps - 1)) in
+    ramp.[min idx steps]
+
+let merge_rows rows max_rows =
+  let n = List.length rows in
+  if max_rows <= 0 || n <= max_rows then rows
+  else
+    (* Merge consecutive rows into [max_rows] groups, summing counts;
+       the merged row keeps the first member's label prefixed with the
+       group size so compression is visible. *)
+    let arr = Array.of_list rows in
+    List.init max_rows (fun g ->
+        let lo = g * n / max_rows and hi = (g + 1) * n / max_rows in
+        let label, first = arr.(lo) in
+        let acc = Array.copy first in
+        for i = lo + 1 to hi - 1 do
+          let _, c = arr.(i) in
+          Array.iteri (fun j v -> acc.(j) <- acc.(j) + v) c
+        done;
+        let label =
+          if hi - lo > 1 then Printf.sprintf "%s(*%d)" label (hi - lo)
+          else label
+        in
+        (label, acc))
+
+let render ?(max_rows = 0) ~title ~lo ~hi rows =
+  let rows = merge_rows rows max_rows in
+  let buf = Buffer.create 1024 in
+  let width =
+    match rows with [] -> 0 | (_, c) :: _ -> Array.length c
+  in
+  let label_w =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 6 rows
+  in
+  let global_max =
+    List.fold_left
+      (fun acc (_, c) -> Array.fold_left max acc c)
+      0 rows
+  in
+  let log_max = log (float_of_int global_max +. 1.0) in
+  Buffer.add_string buf
+    (Printf.sprintf "%s  [0x%04X..0x%04X)  %d buckets x %d bytes\n" title lo
+       hi width
+       (if width = 0 then 0 else (hi - lo + width - 1) / width));
+  List.iter
+    (fun (label, counts) ->
+      Buffer.add_string buf (Printf.sprintf "%*s |" label_w label);
+      Array.iter (fun c -> Buffer.add_char buf (glyph ~log_max c)) counts;
+      Buffer.add_string buf "|\n")
+    rows;
+  Buffer.add_string buf
+    (Printf.sprintf "%*s  scale: '%s' = 0 .. '%s' = %d (log)\n" label_w ""
+       (String.make 1 ramp.[0])
+       (String.make 1 ramp.[String.length ramp - 1])
+       global_max);
+  Buffer.contents buf

@@ -1,0 +1,19 @@
+(** Terminal heatmap renderer. Rows are (label, per-bucket counts);
+    columns span an address range. Intensity is a 10-step ASCII ramp,
+    log-scaled and normalized to the global maximum across all rows so
+    heat is comparable between windows. *)
+
+val ramp : string
+(** The intensity ramp, background first: [" .:-=+*#%@"]. *)
+
+val render :
+  ?max_rows:int ->
+  title:string ->
+  lo:int ->
+  hi:int ->
+  (string * int array) list ->
+  string
+(** Render rows under a [title] header for the address range
+    [\[lo, hi)]. When [max_rows > 0] and there are more rows,
+    consecutive rows are merged (counts summed, merged labels marked
+    ["(*n)"]) down to [max_rows]. All rows must share one width. *)

@@ -1,0 +1,50 @@
+(* Fixed-range bucketed counter for address-space access histograms.
+   The range is divided into [buckets] equal-width bins; adds outside
+   [lo, hi) are ignored (peripheral and unmapped addresses simply do
+   not belong to the rendered address space). *)
+
+type t = {
+  lo : int;
+  hi : int;
+  counts : int array;
+  mutable total : int;
+  mutable clipped : int;
+}
+
+let create ~lo ~hi ~buckets =
+  if hi <= lo then invalid_arg "Histogram.create: empty range";
+  if buckets <= 0 then invalid_arg "Histogram.create: no buckets";
+  { lo; hi; counts = Array.make buckets 0; total = 0; clipped = 0 }
+
+let bucket_of t addr =
+  if addr < t.lo || addr >= t.hi then None
+  else
+    let span = t.hi - t.lo in
+    let b = (addr - t.lo) * Array.length t.counts / span in
+    (* Guard the exact-upper-edge rounding case. *)
+    Some (min b (Array.length t.counts - 1))
+
+let add ?(weight = 1) t addr =
+  match bucket_of t addr with
+  | Some b ->
+      t.counts.(b) <- t.counts.(b) + weight;
+      t.total <- t.total + weight
+  | None -> t.clipped <- t.clipped + weight
+
+let counts t = Array.copy t.counts
+let total t = t.total
+let clipped t = t.clipped
+let lo t = t.lo
+let hi t = t.hi
+let buckets t = Array.length t.counts
+
+let bucket_bytes t =
+  (* Width of one bucket, rounded up so [buckets * bucket_bytes]
+     covers the range. *)
+  let span = t.hi - t.lo in
+  (span + Array.length t.counts - 1) / Array.length t.counts
+
+let reset t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.total <- 0;
+  t.clipped <- 0

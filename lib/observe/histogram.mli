@@ -1,0 +1,31 @@
+(** Fixed-range bucketed counter: the accumulator behind the
+    address-space access heatmaps. The address range [\[lo, hi)] is
+    split into equal-width buckets; out-of-range adds are counted as
+    [clipped] but not binned. *)
+
+type t
+
+val create : lo:int -> hi:int -> buckets:int -> t
+(** Raises [Invalid_argument] on an empty range or zero buckets. *)
+
+val add : ?weight:int -> t -> int -> unit
+(** [add t addr] increments the bucket containing [addr] (default
+    weight 1). *)
+
+val counts : t -> int array
+(** Per-bucket counts, a fresh copy. *)
+
+val total : t -> int
+(** Sum of all binned weights. *)
+
+val clipped : t -> int
+(** Weight that fell outside [\[lo, hi)]. *)
+
+val lo : t -> int
+val hi : t -> int
+val buckets : t -> int
+
+val bucket_bytes : t -> int
+(** Bytes covered by one bucket (rounded up). *)
+
+val reset : t -> unit

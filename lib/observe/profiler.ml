@@ -54,6 +54,7 @@ type rt_stats = {
   mutable freezes : int;
   mutable flushes : int;
   mutable block_loads : int;
+  mutable prefetches : int;
 }
 
 type t = {
@@ -102,7 +103,15 @@ let create symtab =
     folded_dirty = false;
     calls = 0;
     returns = 0;
-    rt = { miss_entries = 0; evictions = 0; freezes = 0; flushes = 0; block_loads = 0 };
+    rt =
+      {
+        miss_entries = 0;
+        evictions = 0;
+        freezes = 0;
+        flushes = 0;
+        block_loads = 0;
+        prefetches = 0;
+      };
   }
 
 let counters_for t name =
@@ -195,6 +204,7 @@ let observer t (ev : Msp430.Trace.event) =
       | Msp430.Trace.Freeze { on = false } -> ()
       | Msp430.Trace.Cache_flush -> t.rt.flushes <- t.rt.flushes + 1
       | Msp430.Trace.Block_load _ -> t.rt.block_loads <- t.rt.block_loads + 1
+      | Msp430.Trace.Prefetch _ -> t.rt.prefetches <- t.rt.prefetches + 1
       | Msp430.Trace.Phase _ -> ())
 
 (* --- Reports ----------------------------------------------------------- *)

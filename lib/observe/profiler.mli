@@ -30,6 +30,7 @@ type rt_stats = {
   mutable freezes : int;
   mutable flushes : int;
   mutable block_loads : int;
+  mutable prefetches : int;
 }
 
 type t

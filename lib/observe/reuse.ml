@@ -1,0 +1,85 @@
+(* Exact byte-weighted LRU reuse-distance tracker.
+
+   Maintains the LRU stack of cache units (functions for SwapRAM,
+   fixed-size lines for the baseline and the block cache) as an
+   MRU-first list of (unit_id, bytes). Each access computes its
+   byte-weighted stack distance: the total bytes of distinct units
+   touched since the previous access to this unit, *including the
+   unit itself* — i.e. the smallest LRU cache capacity at which this
+   access would hit. A histogram of distances then yields the exact
+   miss count for any hypothetical budget in one pass (Mattson's
+   stack algorithm): misses(B) = cold + #\{distances > B\}.
+
+   The common case — repeated access to the MRU unit, e.g. straight-
+   line ifetch within one cache line — short-circuits without walking
+   the stack, so cost is paid only on unit transitions, bounded by the
+   footprint in distinct units. *)
+
+type t = {
+  mutable stack : (int * int) list; (* MRU-first: unit_id, bytes *)
+  mutable depth_bytes : int; (* total bytes currently on the stack *)
+  dist_hist : (int, int ref) Hashtbl.t; (* stack distance -> count *)
+  mutable cold : int; (* first-touch accesses: miss at any budget *)
+  mutable accesses : int;
+  mutable measured_misses : int;
+}
+
+let create () =
+  {
+    stack = [];
+    depth_bytes = 0;
+    dist_hist = Hashtbl.create 64;
+    cold = 0;
+    accesses = 0;
+    measured_misses = 0;
+  }
+
+let record_distance t d =
+  match Hashtbl.find_opt t.dist_hist d with
+  | Some r -> incr r
+  | None -> Hashtbl.replace t.dist_hist d (ref 1)
+
+let access t ~unit_id ~bytes =
+  t.accesses <- t.accesses + 1;
+  match t.stack with
+  | (u, b) :: _ when u = unit_id ->
+      (* MRU re-reference: distance is the unit's own size. *)
+      record_distance t (max b bytes)
+  | stack ->
+      (* Walk MRU-to-LRU accumulating bytes until we find the unit. *)
+      let rec split acc_bytes acc_rev = function
+        | [] -> None
+        | (u, b) :: rest when u = unit_id ->
+            Some (acc_bytes + b, List.rev_append acc_rev rest)
+        | (_, b) as e :: rest -> split (acc_bytes + b) (e :: acc_rev) rest
+      in
+      (match split 0 [] stack with
+      | Some (dist, rest) ->
+          record_distance t dist;
+          t.stack <- (unit_id, bytes) :: rest
+      | None ->
+          t.cold <- t.cold + 1;
+          t.depth_bytes <- t.depth_bytes + bytes;
+          t.stack <- (unit_id, bytes) :: stack)
+
+let note_measured_miss t = t.measured_misses <- t.measured_misses + 1
+let accesses t = t.accesses
+let units t = List.length t.stack
+let footprint t = t.depth_bytes
+let cold_misses t = t.cold
+let measured_misses t = t.measured_misses
+
+let predicted_misses t ~budget =
+  Hashtbl.fold
+    (fun d r acc -> if d > budget then acc + !r else acc)
+    t.dist_hist t.cold
+
+let rate t misses =
+  if t.accesses = 0 then 0.0
+  else float_of_int misses /. float_of_int t.accesses
+
+let predicted_miss_rate t ~budget = rate t (predicted_misses t ~budget)
+let measured_miss_rate t = rate t t.measured_misses
+
+let curve t ~budgets =
+  List.map (fun b -> (b, predicted_miss_rate t ~budget:b)) budgets

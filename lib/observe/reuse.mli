@@ -1,0 +1,43 @@
+(** Exact byte-weighted LRU reuse-distance tracker (Mattson's stack
+    algorithm). Feed the stream of cache-unit accesses; read back the
+    exact miss count a fully-associative byte-LRU cache of any
+    hypothetical capacity would incur — the miss-ratio curve. Units
+    are functions for SwapRAM (its real cache granule) and fixed-size
+    lines for the baseline and block-cache runtimes. *)
+
+type t
+
+val create : unit -> t
+
+val access : t -> unit_id:int -> bytes:int -> unit
+(** One reference to cache unit [unit_id] of size [bytes]. The stack
+    distance charged is the byte sum of distinct units touched since
+    the last reference to this unit, including its own size (= the
+    smallest capacity at which this reference hits). First touches
+    count as cold misses at every budget. MRU re-references
+    short-circuit, so the walk cost is paid only on unit
+    transitions. *)
+
+val note_measured_miss : t -> unit
+(** Record one miss actually observed from the running runtime, for
+    the predicted-vs-measured cross-check. *)
+
+val accesses : t -> int
+val units : t -> int
+(** Distinct units seen. *)
+
+val footprint : t -> int
+(** Total bytes across distinct units seen. *)
+
+val cold_misses : t -> int
+val measured_misses : t -> int
+
+val predicted_misses : t -> budget:int -> int
+(** Exact misses of a byte-LRU cache with capacity [budget] over the
+    observed access stream. *)
+
+val predicted_miss_rate : t -> budget:int -> float
+val measured_miss_rate : t -> float
+
+val curve : t -> budgets:int list -> (int * float) list
+(** [(budget, predicted miss rate)] per requested budget. *)

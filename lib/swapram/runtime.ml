@@ -155,6 +155,7 @@ let rec prefetch_callees t fid budget =
                 retarget_relocs t callee ~base:addr;
                 write_word t (t.addrs.a_redirect + (2 * callee)) addr;
                 t.stats.prefetches <- t.stats.prefetches + 1;
+                emit_rt t (Trace.Prefetch { fid = callee });
                 prefetch_callees t callee (budget - 1);
                 go (budget - 1) rest
             | Cache.Place _ | Cache.Too_large -> go budget rest
@@ -166,7 +167,7 @@ let rec prefetch_callees t fid budget =
 (* Abort the caching operation and run the callee from NVRAM
    (§3.3.3). The redirection entry keeps pointing at the handler, so
    the next call misses again — the paper's pathological case. *)
-let abort_to_nvm t ~nvm =
+let abort_to_nvm t ~fid ~nvm =
   charge t Trace.Handler Costs.abort_instrs;
   t.consecutive_aborts <- t.consecutive_aborts + 1;
   (match t.options.Config.freeze with
@@ -175,7 +176,7 @@ let abort_to_nvm t ~nvm =
       t.freeze_left <- window;
       emit_rt t (Trace.Freeze { on = true })
   | _ -> ());
-  emit_rt t (Trace.Miss_exit { runtime = "swapram"; disposition = "nvm" });
+  emit_rt t (Trace.Miss_exit { runtime = "swapram"; disposition = "nvm"; fid });
   Cpu.Goto nvm
 
 let on_miss t cpu =
@@ -193,7 +194,7 @@ let on_miss t cpu =
     if t.freeze_left = 0 then emit_rt t (Trace.Freeze { on = false });
     charge t Trace.Handler Costs.abort_instrs;
     emit_rt t
-      (Trace.Miss_exit { runtime = "swapram"; disposition = "frozen" });
+      (Trace.Miss_exit { runtime = "swapram"; disposition = "frozen"; fid });
     Cpu.Goto nvm
   end
   else begin
@@ -216,7 +217,8 @@ let on_miss t cpu =
           t.stats.too_large <- t.stats.too_large + 1;
           charge t Trace.Handler Costs.abort_instrs;
           emit_rt t
-            (Trace.Miss_exit { runtime = "swapram"; disposition = "too-large" });
+            (Trace.Miss_exit
+               { runtime = "swapram"; disposition = "too-large"; fid });
           Cpu.Goto nvm
       | Cache.Place { addr; evict } -> (
           (* call-stack integrity: never evict an active function *)
@@ -244,7 +246,7 @@ let on_miss t cpu =
               then failwith "SwapRAM cache invariant violated";
               emit_rt t
                 (Trace.Miss_exit
-                   { runtime = "swapram"; disposition = "cached" });
+                   { runtime = "swapram"; disposition = "cached"; fid });
               Cpu.Goto addr
           | _ :: _ when attempts > 0 && t.options.Config.policy = Cache.Circular_queue
             ->
@@ -260,7 +262,7 @@ let on_miss t cpu =
           | _ :: _ ->
               abort_restoring ();
               t.stats.aborts <- t.stats.aborts + 1;
-              abort_to_nvm t ~nvm)
+              abort_to_nvm t ~fid ~nvm)
     in
     try_place 8
   end

@@ -11,6 +11,7 @@ let () =
       ("validation", Test_validation.suite);
       ("differential", Test_differential.suite);
       ("observe", Test_observe.suite);
+      ("metrics", Test_metrics.suite);
       ("golden", Test_golden.suite);
       ("faultinject", Test_faultinject.suite);
     ]

@@ -148,6 +148,47 @@ let prop_observation_is_pure =
           && observed.Toolchain.return_value = plain.Toolchain.return_value
       | _ -> false)
 
+(* The bounded ring must always hold exactly the newest
+   min(capacity, recorded) events, oldest-first, with their original
+   stamps — across any number of wraparounds. Events are stamped with
+   the trace's cycle counter at emission, so bumping it between
+   emissions makes each event identifiable. *)
+let prop_event_ring_wraparound =
+  QCheck2.Test.make ~count:200
+    ~name:"event ring keeps the newest N events in order"
+    ~print:(fun (cap, n) -> Printf.sprintf "capacity=%d events=%d" cap n)
+    QCheck2.Gen.(pair (int_range 1 8) (int_range 0 40))
+    (fun (capacity, n) ->
+      let stats = Trace.create () in
+      let ring = Observe.Events.create ~capacity stats in
+      for i = 0 to n - 1 do
+        stats.Trace.unstalled_cycles <- i;
+        Observe.Events.observer ring
+          (Trace.Runtime_event (Trace.Phase { name = string_of_int i }))
+      done;
+      let got =
+        List.map
+          (fun { Observe.Events.at; ev } ->
+            match ev with
+            | Trace.Runtime_event (Trace.Phase { name }) ->
+                (at, int_of_string name)
+            | _ -> QCheck2.Test.fail_reportf "unexpected event in ring")
+          (Observe.Events.to_list ring)
+      in
+      let expected = List.init (min capacity n) (fun i -> n - min capacity n + i) in
+      if Observe.Events.recorded ring <> n then
+        QCheck2.Test.fail_reportf "recorded %d, expected %d"
+          (Observe.Events.recorded ring) n
+      else if Observe.Events.dropped ring <> max 0 (n - capacity) then
+        QCheck2.Test.fail_reportf "dropped %d, expected %d"
+          (Observe.Events.dropped ring)
+          (max 0 (n - capacity))
+      else if got <> List.map (fun i -> (i, i)) expected then
+        QCheck2.Test.fail_reportf "ring contents mismatch: got [%s]"
+          (String.concat "; "
+             (List.map (fun (at, i) -> Printf.sprintf "(%d,%d)" at i) got))
+      else true)
+
 (* --- Deterministic checks on a real benchmark -------------------------- *)
 
 let contains haystack needle =
@@ -233,6 +274,50 @@ let unit_checks =
         Alcotest.(check bool) "traceEvents" true (contains doc "\"traceEvents\"");
         Alcotest.(check bool) "phase marker" true (contains doc "phase:boot");
         Alcotest.(check bool) "miss spans" true (contains doc "miss:swapram"));
+    Alcotest.test_case "chrome export survives hostile symbol names" `Quick
+      (fun () ->
+        (* Function names come from source text, which can contain
+           anything; the exporter's JSON must stay valid and the
+           names must survive a parse round-trip. *)
+        let hostile =
+          "ev\"il\\na\nme\t\x01\x1f\x7f\xc3\x28</script>\xff"
+        in
+        let program =
+          Minic.Driver.program_of_source "int main(void) { return 0; }"
+        in
+        let image = Masm.Assembler.assemble program in
+        let symtab = Observe.Symtab.of_image image in
+        Observe.Symtab.add_resolver symtab (fun addr ->
+            if addr = 0x4242 then Some hostile else None);
+        let stats = Trace.create () in
+        let ring = Observe.Events.create ~capacity:16 stats in
+        Observe.Events.observer ring (Trace.Call { target = 0x4242 });
+        stats.Trace.unstalled_cycles <- 5;
+        Observe.Events.observer ring
+          (Trace.Runtime_event (Trace.Phase { name = hostile }));
+        Observe.Events.observer ring Trace.Return;
+        let doc = Observe.Chrome.export ~symtab ring in
+        (* every byte outside printable ASCII must have been escaped *)
+        String.iter
+          (fun c ->
+            Alcotest.(check bool)
+              "printable ASCII only" true
+              (Char.code c >= 0x20 && Char.code c < 0x7F))
+          doc;
+        match Observe.Json.parse doc with
+        | Error e -> Alcotest.failf "export does not parse: %s" e
+        | Ok json ->
+            (* the hostile name decodes back to the original bytes *)
+            let rec strings acc = function
+              | Observe.Json.String s -> s :: acc
+              | Observe.Json.List xs -> List.fold_left strings acc xs
+              | Observe.Json.Obj kvs ->
+                  List.fold_left (fun acc (_, v) -> strings acc v) acc kvs
+              | _ -> acc
+            in
+            Alcotest.(check bool)
+              "hostile name round-trips" true
+              (List.mem hostile (strings [] json)));
     Alcotest.test_case "symtab resolves, falls back to hex" `Quick (fun () ->
         let r = Lazy.force crc_observed in
         let obs = Option.get r.Toolchain.observation in
@@ -251,4 +336,5 @@ let suite =
       QCheck_alcotest.to_alcotest prop_conservation_swapram;
       QCheck_alcotest.to_alcotest prop_conservation_block;
       QCheck_alcotest.to_alcotest prop_observation_is_pure;
+      QCheck_alcotest.to_alcotest prop_event_ring_wraparound;
     ]
