@@ -41,6 +41,9 @@ let run_fig10 () =
 let run_ablation () =
   print_string (Experiments.Ablation.render (Experiments.Ablation.compute ~seed ()))
 
+let run_tabpgo () =
+  print_string (Experiments.Tab_pgo.render (Experiments.Tab_pgo.compute ~seed ()))
+
 let report_path = ref None
 let baseline_path = ref None
 
@@ -129,6 +132,7 @@ let artifacts =
     ("fig9", run_fig9);
     ("fig10", run_fig10);
     ("ablation", run_ablation);
+    ("tabpgo", run_tabpgo);
     ("micro", run_micro);
     ("report", run_report);
     ("baseline", run_baseline);

@@ -307,6 +307,136 @@ let metrics_cmd benchmark file system placement freq seed blacklist window
           `Ok ()
       | Some _ | None -> `Error (false, "metrics sampler was not attached"))
 
+(* Profile-guided placement: train -> rebuild -> measure.
+
+     swapram_cli pgo -b rc4                  # full loop, print the delta
+     swapram_cli pgo -b rc4 --train p.json   # training run only, save profile
+     swapram_cli pgo -b rc4 --profile p.json # place a saved profile
+     swapram_cli pgo -b rc4 --gate           # nonzero exit if PGO is slower
+*)
+let read_profile path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  match Swapram.Pgo.profile_of_string s with
+  | Ok p -> Ok p
+  | Error e -> Error (path ^ ": " ^ e)
+
+let pgo_cmd benchmark file freq seed blacklist budget train profile gate =
+  let* b = load_benchmark ~benchmark ~file ~seed in
+  let* frequency = parse_freq freq in
+  let options =
+    { Swapram.Config.default_options with Swapram.Config.blacklist }
+  in
+  let config =
+    {
+      (Experiments.Toolchain.default_config b) with
+      Experiments.Toolchain.seed;
+      frequency;
+      caching = Experiments.Toolchain.Swapram_cache options;
+    }
+  in
+  match train with
+  | Some path -> (
+      (* training only: run observed under the default placement and
+         serialize the per-function profile *)
+      match
+        Experiments.Toolchain.run
+          ~observe:Experiments.Toolchain.default_observe config
+      with
+      | Experiments.Toolchain.Did_not_fit msg ->
+          `Error (false, "binary does not fit the platform: " ^ msg)
+      | Experiments.Toolchain.Crashed o ->
+          `Error
+            (false, "training run did not halt: " ^ Experiments.Report.outcome_cell o)
+      | Experiments.Toolchain.Completed r ->
+          let obs = Option.get r.Experiments.Toolchain.observation in
+          let manifest =
+            Option.get r.Experiments.Toolchain.swapram_manifest
+          in
+          let p =
+            Experiments.Toolchain.profile_of_training
+              ~benchmark:b.Workloads.Bench_def.name
+              ~cache_size:options.Swapram.Config.cache_size manifest
+              obs.Experiments.Toolchain.o_profiler
+          in
+          let oc = open_out path in
+          output_string oc (Swapram.Pgo.profile_to_string p);
+          close_out oc;
+          Printf.printf "wrote profile for %s (%d functions) to %s\n"
+            b.Workloads.Bench_def.name
+            (List.length p.Swapram.Pgo.pr_funcs)
+            path;
+          `Ok ())
+  | None -> (
+      let* profile =
+        match profile with
+        | None -> Ok None
+        | Some path -> (
+            match read_profile path with
+            | Ok p -> Ok (Some p)
+            | Error e -> Error e)
+      in
+      match Experiments.Toolchain.run_pgo ?budget ?profile config with
+      | Error e -> `Error (false, e)
+      | Ok r -> (
+          match r.Experiments.Toolchain.pg_measured with
+          | Experiments.Toolchain.Did_not_fit msg ->
+              `Error (false, "PGO binary does not fit the platform: " ^ msg)
+          | Experiments.Toolchain.Crashed o ->
+              `Error
+                ( false,
+                  "PGO run did not halt: " ^ Experiments.Report.outcome_cell o
+                )
+          | Experiments.Toolchain.Completed m ->
+              let placement = r.Experiments.Toolchain.pg_placement in
+              let train_r = r.Experiments.Toolchain.pg_train in
+              let tc =
+                Trace.total_cycles train_r.Experiments.Toolchain.stats
+              in
+              let mc = Trace.total_cycles m.Experiments.Toolchain.stats in
+              let te =
+                train_r.Experiments.Toolchain.energy.Msp430.Energy.energy_nj
+              in
+              let me = m.Experiments.Toolchain.energy.Msp430.Energy.energy_nj in
+              let delta o n =
+                if o = 0.0 then 0.0 else 100.0 *. (n -. o) /. o
+              in
+              Printf.printf "benchmark    : %s (seed %d)\n"
+                b.Workloads.Bench_def.name seed;
+              Printf.printf "pinned       : %s\n"
+                (match placement.Swapram.Pgo.pl_pinned with
+                | [] -> "(none)"
+                | l -> String.concat " " l);
+              Printf.printf "fram-resident: %s\n"
+                (match placement.Swapram.Pgo.pl_fram_resident with
+                | [] -> "(none)"
+                | l -> String.concat " " l);
+              Printf.printf "budget       : %d B pinned budget\n"
+                placement.Swapram.Pgo.pl_budget;
+              Printf.printf "cycles       : %d default -> %d pgo (%+.2f%%)\n"
+                tc mc
+                (delta (float_of_int tc) (float_of_int mc));
+              Printf.printf "energy       : %.1f uJ default -> %.1f uJ pgo (%+.2f%%)\n"
+                (te /. 1000.0) (me /. 1000.0) (delta te me);
+              (match
+                 ( train_r.Experiments.Toolchain.swapram_stats,
+                   m.Experiments.Toolchain.swapram_stats )
+               with
+              | Some d, Some p ->
+                  Printf.printf
+                    "misses       : %d default -> %d pgo (%d pinned copies)\n"
+                    d.Swapram.Runtime.misses p.Swapram.Runtime.misses
+                    p.Swapram.Runtime.pins
+              | _ -> ());
+              if gate && mc > tc then
+                `Error
+                  ( false,
+                    Printf.sprintf
+                      "PGO gate failed: %d cycles > %d default cycles" mc tc )
+              else `Ok ()))
+
 (* Compare: the perf-regression gate. Nonzero exit on any regression
    beyond the per-metric thresholds (or structural mismatch), so CI
    can gate on `swapram_cli compare bench/baseline.json report.json`. *)
@@ -556,6 +686,37 @@ let threshold_arg =
 let compare_term =
   Term.(ret (const compare_cmd $ old_report_arg $ new_report_arg $ threshold_arg))
 
+let budget_arg =
+  let doc = "Pinned-set byte budget (default: half the SRAM cache)." in
+  Arg.(value & opt (some int) None & info [ "budget" ] ~doc)
+
+let train_arg =
+  let doc =
+    "Run the observed training pass only and write the per-function profile \
+     (JSON) to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "train" ] ~docv:"PATH" ~doc)
+
+let profile_path_arg =
+  let doc =
+    "Place a previously saved profile from $(docv) instead of training \
+     in-process."
+  in
+  Arg.(value & opt (some file) None & info [ "profile" ] ~docv:"PATH" ~doc)
+
+let gate_arg =
+  let doc =
+    "Exit nonzero unless the PGO build's total cycles are no worse than the \
+     default build's (CI smoke gate)."
+  in
+  Arg.(value & flag & info [ "gate" ] ~doc)
+
+let pgo_term =
+  Term.(
+    ret
+      (const pgo_cmd $ benchmark_arg $ file_arg $ freq_arg $ seed_arg
+     $ blacklist_arg $ budget_arg $ train_arg $ profile_path_arg $ gate_arg))
+
 let asm_term =
   Term.(ret (const asm_cmd $ benchmark_arg $ file_arg $ seed_arg $ instrumented_arg))
 
@@ -579,6 +740,13 @@ let cmds =
             print the time series, FRAM/SRAM address heatmaps and the \
             miss-ratio curve")
       metrics_term;
+    Cmd.v
+      (Cmd.info "pgo"
+         ~doc:
+           "Profile-guided placement: train under the default SwapRAM \
+            pipeline, rebuild with the hot set pinned in SRAM, and measure \
+            the improvement")
+      pgo_term;
     Cmd.v
       (Cmd.info "compare"
          ~doc:

@@ -17,9 +17,15 @@ module Json = Observe.Json
    {!Observe.Metrics} sampler) and a slim rendering mode used for the
    committed bench/baseline.json: slim reports keep every scalar the
    perf-regression gate compares but drop the bulky time-series and
-   attribution payloads. *)
+   attribution payloads.
 
-let schema_version = 2
+   Schema v3 adds per-system "host_seconds" (simulator wall-clock,
+   excluded from the perf gate — it measures the host, not the
+   simulated system) and the "swapram_pgo" system: the measured run
+   of the profile-guided rebuild, with a "pgo" object describing the
+   placement (budget, pinned set, FRAM-resident set). *)
+
+let schema_version = 3
 
 let frequency_hz = function
   | Platform.Mhz8 -> 8_000_000
@@ -58,6 +64,7 @@ let swapram_stats_json (s : Swapram.Runtime.stats) =
       ("words_copied", Json.Int s.Swapram.Runtime.words_copied);
       ("placement_retries", Json.Int s.Swapram.Runtime.placement_retries);
       ("prefetches", Json.Int s.Swapram.Runtime.prefetches);
+      ("pins", Json.Int s.Swapram.Runtime.pins);
     ]
 
 let block_stats_json (s : Blockcache.Runtime.stats) =
@@ -208,11 +215,46 @@ let outcome_json ~params ~slim = function
       Json.Obj
         [ ("status", Json.String "did-not-fit"); ("reason", Json.String msg) ]
 
+(* Host wall-clock per system cell (v3). Not gated by Compare — it
+   measures the simulator's throughput on the host, not the simulated
+   system. *)
+let with_host host_s = function
+  | Json.Obj kvs -> Json.Obj (kvs @ [ ("host_seconds", Json.Float host_s) ])
+  | j -> j
+
+let pgo_json ~params ~slim (e : Sweep.pgo_entry) =
+  let cell =
+    match e.Sweep.pgo with
+    | Error reason ->
+        Json.Obj
+          [ ("status", Json.String "error"); ("reason", Json.String reason) ]
+    | Ok r -> (
+        let placement = r.Toolchain.pg_placement in
+        let names l = Json.List (List.map (fun n -> Json.String n) l) in
+        let descr =
+          ( "pgo",
+            Json.Obj
+              [
+                ("budget", Json.Int placement.Swapram.Pgo.pl_budget);
+                ("pinned", names placement.Swapram.Pgo.pl_pinned);
+                ("fram_resident", names placement.Swapram.Pgo.pl_fram_resident);
+              ] )
+        in
+        match outcome_json ~params ~slim r.Toolchain.pg_measured with
+        | Json.Obj kvs -> Json.Obj (kvs @ [ descr ])
+        | j -> j)
+  in
+  with_host e.Sweep.pgo_host_s cell
+
 let compute ?(seed = 1) ?benchmarks ?(frequency = Platform.Mhz24) ?(slim = false)
     () =
   let params = params_for frequency in
   let sweep =
     Sweep.compute ~seed ?benchmarks ~observe:Toolchain.metrics_observe
+      ~frequency ()
+  in
+  let pgo =
+    Sweep.compute_pgo ~seed ?benchmarks ~observe:Toolchain.metrics_observe
       ~frequency ()
   in
   Json.Obj
@@ -224,18 +266,37 @@ let compute ?(seed = 1) ?benchmarks ?(frequency = Platform.Mhz24) ?(slim = false
         Json.List
           (List.map
              (fun (e : Sweep.entry) ->
+               let name = e.Sweep.benchmark.Workloads.Bench_def.name in
+               let pgo_cell =
+                 List.find_map
+                   (fun (p : Sweep.pgo_entry) ->
+                     if
+                       p.Sweep.pgo_benchmark.Workloads.Bench_def.name = name
+                     then Some (pgo_json ~params ~slim p)
+                     else None)
+                   pgo
+               in
                Json.Obj
                  [
-                   ("name", Json.String e.Sweep.benchmark.Workloads.Bench_def.name);
+                   ("name", Json.String name);
                    ( "systems",
                      Json.Obj
-                       [
-                         ( "baseline",
-                           outcome_json ~params ~slim
-                             (Toolchain.Completed e.Sweep.baseline) );
-                         ("swapram", outcome_json ~params ~slim e.Sweep.swapram);
-                         ("block", outcome_json ~params ~slim e.Sweep.block);
-                       ] );
+                       ([
+                          ( "baseline",
+                            with_host e.Sweep.baseline_host_s
+                              (outcome_json ~params ~slim
+                                 (Toolchain.Completed e.Sweep.baseline)) );
+                          ( "swapram",
+                            with_host e.Sweep.swapram_host_s
+                              (outcome_json ~params ~slim e.Sweep.swapram) );
+                          ( "block",
+                            with_host e.Sweep.block_host_s
+                              (outcome_json ~params ~slim e.Sweep.block) );
+                        ]
+                       @
+                       match pgo_cell with
+                       | Some cell -> [ ("swapram_pgo", cell) ]
+                       | None -> []) );
                  ])
              sweep) );
     ]

@@ -59,6 +59,16 @@ let systems_of bench =
   | Some (Json.Obj kvs) -> kvs
   | _ -> []
 
+(* A cell "has windows" when its metrics object carries a non-empty
+   per-window series; slim reports render metrics as null. *)
+let has_windows cell =
+  match Json.member "metrics" cell with
+  | Some (Json.Obj _ as m) -> (
+      match Json.member "windows" m with
+      | Some (Json.List (_ :: _)) -> true
+      | _ -> false)
+  | _ -> false
+
 let compare_cell ~thresholds ~bench ~system old_cell new_cell
     (findings, errors) =
   let status j = Option.value ~default:"?" (get_str j "status") in
@@ -70,6 +80,20 @@ let compare_cell ~thresholds ~bench ~system old_cell new_cell
       :: errors )
   else if old_status <> "completed" then (findings, errors)
   else
+    let errors =
+      (* Gate scalars exist in slim reports too; only complain when
+         the baseline carries the per-window series and the candidate
+         lost it — that means someone passed a slim rendering where a
+         full report was expected. *)
+      if has_windows old_cell && not (has_windows new_cell) then
+        Printf.sprintf
+          "%s/%s: new report is slim — it lacks the per-window metrics \
+           series the baseline carries; regenerate a full report (dune exec \
+           bench/main.exe -- --report) or compare against a slim baseline"
+          bench system
+        :: errors
+      else errors
+    in
     List.fold_left
       (fun (findings, errors) (metric, threshold) ->
         match (get_num old_cell metric, get_num new_cell metric) with

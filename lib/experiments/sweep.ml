@@ -3,16 +3,28 @@ module Platform = Msp430.Platform
 (* Shared evaluation sweep: every benchmark under the three systems
    (unified baseline, SwapRAM, block cache) at a given frequency.
    Table 2, Figures 8 and 9 all read from this matrix; results are
-   memoized per (seed, frequency) so one bench run computes it once. *)
+   memoized per (seed, frequency) so one bench run computes it once.
+
+   Each run is wall-clock timed (host seconds, [Sys.time]) so the
+   machine-readable report can track simulator throughput alongside
+   the simulated metrics. *)
 
 type entry = {
   benchmark : Workloads.Bench_def.t;
   baseline : Toolchain.result;
   swapram : Toolchain.outcome;
   block : Toolchain.outcome;
+  baseline_host_s : float;
+  swapram_host_s : float;
+  block_host_s : float;
 }
 
 type t = entry list
+
+let timed f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (r, Sys.time () -. t0)
 
 let cache :
     ( int * Platform.frequency * Toolchain.observe_spec option * string list,
@@ -30,26 +42,29 @@ let compute_uncached ?observe ~seed ~frequency benchmarks =
           frequency;
         }
       in
-      let baseline =
-        Report.expect_completed
-          ~what:(benchmark.Workloads.Bench_def.name ^ " baseline")
-          (Toolchain.run ?observe base_config)
+      let baseline, baseline_host_s =
+        timed (fun () ->
+            Report.expect_completed
+              ~what:(benchmark.Workloads.Bench_def.name ^ " baseline")
+              (Toolchain.run ?observe base_config))
       in
-      let swapram =
-        Toolchain.run ?observe
-          {
-            base_config with
-            Toolchain.caching =
-              Toolchain.Swapram_cache Swapram.Config.default_options;
-          }
+      let swapram, swapram_host_s =
+        timed (fun () ->
+            Toolchain.run ?observe
+              {
+                base_config with
+                Toolchain.caching =
+                  Toolchain.Swapram_cache Swapram.Config.default_options;
+              })
       in
-      let block =
-        Toolchain.run ?observe
-          {
-            base_config with
-            Toolchain.caching =
-              Toolchain.Block_cache Blockcache.Config.default_options;
-          }
+      let block, block_host_s =
+        timed (fun () ->
+            Toolchain.run ?observe
+              {
+                base_config with
+                Toolchain.caching =
+                  Toolchain.Block_cache Blockcache.Config.default_options;
+              })
       in
       (* §5.1 validation is implicit in every sweep: outputs must match *)
       (match swapram with
@@ -60,7 +75,15 @@ let compute_uncached ?observe ~seed ~frequency benchmarks =
       | Toolchain.Completed r when r.Toolchain.uart <> baseline.Toolchain.uart ->
           failwith (benchmark.Workloads.Bench_def.name ^ ": block-cache output differs")
       | _ -> ());
-      { benchmark; baseline; swapram; block })
+      {
+        benchmark;
+        baseline;
+        swapram;
+        block;
+        baseline_host_s;
+        swapram_host_s;
+        block_host_s;
+      })
     benchmarks
 
 let compute ?(seed = 1) ?benchmarks ?observe ~frequency () =
@@ -81,4 +104,52 @@ let compute ?(seed = 1) ?benchmarks ?observe ~frequency () =
   | None ->
       let t = compute_uncached ?observe ~seed ~frequency benchmarks in
       Hashtbl.replace cache key t;
+      t
+
+(* --- Profile-guided runs ----------------------------------------------- *)
+
+type pgo_entry = {
+  pgo_benchmark : Workloads.Bench_def.t;
+  pgo : (Toolchain.pgo_result, string) result;
+  pgo_host_s : float;  (** training + rebuild + measured run *)
+}
+
+let pgo_cache :
+    ( int * Platform.frequency * Toolchain.observe_spec option * string list,
+      pgo_entry list )
+    Hashtbl.t =
+  Hashtbl.create 4
+
+let compute_pgo ?(seed = 1) ?benchmarks ?observe ~frequency () =
+  let benchmarks =
+    match benchmarks with Some bs -> bs | None -> Workloads.Suite.all
+  in
+  let key =
+    ( seed,
+      frequency,
+      observe,
+      List.map (fun b -> b.Workloads.Bench_def.name) benchmarks )
+  in
+  match Hashtbl.find_opt pgo_cache key with
+  | Some t -> t
+  | None ->
+      let t =
+        List.map
+          (fun benchmark ->
+            let config =
+              {
+                (Toolchain.default_config benchmark) with
+                Toolchain.seed;
+                frequency;
+                caching =
+                  Toolchain.Swapram_cache Swapram.Config.default_options;
+              }
+            in
+            let pgo, pgo_host_s =
+              timed (fun () -> Toolchain.run_pgo ?observe config)
+            in
+            { pgo_benchmark = benchmark; pgo; pgo_host_s })
+          benchmarks
+      in
+      Hashtbl.replace pgo_cache key t;
       t

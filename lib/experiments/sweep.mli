@@ -9,6 +9,9 @@ type entry = {
   baseline : Toolchain.result;
   swapram : Toolchain.outcome;
   block : Toolchain.outcome;
+  baseline_host_s : float;  (** host wall-clock seconds for the run *)
+  swapram_host_s : float;
+  block_host_s : float;
 }
 
 type t = entry list
@@ -24,3 +27,21 @@ val compute :
     suite); [observe] attaches the profiling stack to every run (see
     {!Toolchain.observe_spec}). Results are memoized per
     (seed, frequency, observed?, subset). *)
+
+type pgo_entry = {
+  pgo_benchmark : Workloads.Bench_def.t;
+  pgo : (Toolchain.pgo_result, string) result;
+  pgo_host_s : float;  (** training + rebuild + measured run *)
+}
+
+val compute_pgo :
+  ?seed:int ->
+  ?benchmarks:Workloads.Bench_def.t list ->
+  ?observe:Toolchain.observe_spec ->
+  frequency:Msp430.Platform.frequency ->
+  unit ->
+  pgo_entry list
+(** Profile-guided {!Toolchain.run_pgo} over the suite (train under
+    the default SwapRAM configuration, rebuild with the computed
+    placement, measure). Memoized like {!compute}; [observe] applies
+    to the measured run. *)

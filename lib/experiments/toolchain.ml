@@ -464,3 +464,108 @@ let run ?observe config =
       match Cpu.run ~fuel:config.fuel p.p_system.Platform.cpu with
       | Cpu.Halted -> Completed (collect p)
       | (Cpu.Fuel_exhausted | Cpu.Faulted _ | Cpu.Power_lost) as o -> Crashed o)
+
+(* --- Profile-guided placement (train -> place -> rebuild -> measure) -- *)
+
+(* Per-function training profile out of a completed observed run: the
+   manifest carries names/fids/code sizes, the profiler the dynamic
+   counts. Calls that missed trapped to the handler vector (the
+   redirection entry held the trap address), so they symbolized under
+   the trap's name — a function's true call count is its resolved
+   calls plus its miss-handler exits. *)
+let profile_of_training ~benchmark ~cache_size
+    (manifest : Swapram.Instrument.manifest) profiler =
+  let funcs =
+    Array.to_list manifest.Swapram.Instrument.funcs
+    |> List.map (fun (fm : Swapram.Instrument.func_meta) ->
+           let name = fm.Swapram.Instrument.fm_name in
+           let misses =
+             Observe.Profiler.miss_exits_of profiler fm.Swapram.Instrument.fid
+           in
+           let calls = Observe.Profiler.calls_to profiler name + misses in
+           let instrs, cycles =
+             match Observe.Profiler.counters_of profiler name with
+             | Some c ->
+                 (c.Observe.Profiler.instrs, Observe.Profiler.cycles_of c)
+             | None -> (0, 0)
+           in
+           {
+             Swapram.Pgo.fp_name = name;
+             fp_size = fm.Swapram.Instrument.fm_size;
+             fp_calls = calls;
+             fp_misses = misses;
+             fp_instrs = instrs;
+             fp_cycles = cycles;
+           })
+  in
+  {
+    Swapram.Pgo.pr_benchmark = benchmark;
+    pr_cache_size = cache_size;
+    pr_funcs = funcs;
+  }
+
+type pgo_result = {
+  pg_profile : Swapram.Pgo.profile;
+  pg_placement : Swapram.Pgo.placement;
+  pg_train : result; (* the training run (default placement, observed) *)
+  pg_measured : outcome; (* the rebuilt run with the placement applied *)
+}
+
+let run_pgo ?observe ?budget ?profile config =
+  match config.caching with
+  | Baseline | Block_cache _ -> Error "pgo requires a swapram configuration"
+  | Swapram_cache base_opts -> (
+      let train_config =
+        {
+          config with
+          caching =
+            Swapram_cache { base_opts with Swapram.Config.pgo = None };
+        }
+      in
+      match run ~observe:default_observe train_config with
+      | Did_not_fit msg -> Error ("pgo training run did not fit: " ^ msg)
+      | Crashed o -> Error ("pgo training run crashed: " ^ Cpu.outcome_name o)
+      | Completed train -> (
+          let manifest = Option.get train.swapram_manifest in
+          let profiler =
+            match train.observation with
+            | Some o -> o.o_profiler
+            | None -> assert false (* trained with an observe spec *)
+          in
+          (* Note: for the Split placement the cache region is
+             recomputed inside [prepare]; the knapsack budget below
+             uses the configured cache_size, which is exact for the
+             Unified placement used everywhere PGO results are
+             reported. *)
+          let profile =
+            match profile with
+            | Some p -> p
+            | None ->
+                profile_of_training
+                  ~benchmark:config.benchmark.Workloads.Bench_def.name
+                  ~cache_size:base_opts.Swapram.Config.cache_size manifest
+                  profiler
+          in
+          let placement = Swapram.Pgo.place ?budget profile in
+          let measured_config =
+            {
+              config with
+              caching =
+                Swapram_cache
+                  { base_opts with Swapram.Config.pgo = Some placement };
+            }
+          in
+          let measured = run ?observe measured_config in
+          match measured with
+          | Completed m
+            when m.uart <> train.uart || m.return_value <> train.return_value
+            ->
+              Error "pgo: measured run output diverged from training run"
+          | Completed _ | Crashed _ | Did_not_fit _ ->
+              Ok
+                {
+                  pg_profile = profile;
+                  pg_placement = placement;
+                  pg_train = train;
+                  pg_measured = measured;
+                }))

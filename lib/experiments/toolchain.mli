@@ -137,3 +137,40 @@ val reboot : prepared -> unit
 
 val collect : prepared -> result
 (** Gather statistics from the system as it stands. *)
+
+(** {2 Profile-guided placement} *)
+
+val profile_of_training :
+  benchmark:string ->
+  cache_size:int ->
+  Swapram.Instrument.manifest ->
+  Observe.Profiler.t ->
+  Swapram.Pgo.profile
+(** Assemble a per-function {!Swapram.Pgo.profile} out of a completed
+    observed training run: code sizes from the manifest, dynamic call
+    / miss / instruction / cycle counts from the profiler. Calls that
+    missed symbolized under the trap vector's name, so a function's
+    call count is its resolved calls plus its miss-handler exits. *)
+
+type pgo_result = {
+  pg_profile : Swapram.Pgo.profile;
+  pg_placement : Swapram.Pgo.placement;
+  pg_train : result;
+      (** the training run: default placement, profiler attached *)
+  pg_measured : outcome;
+      (** the rebuilt run with the placement applied, observed per
+          the caller's [?observe] *)
+}
+
+val run_pgo :
+  ?observe:observe_spec ->
+  ?budget:int ->
+  ?profile:Swapram.Pgo.profile ->
+  config ->
+  (pgo_result, string) Stdlib.result
+(** Two-phase profile-guided run: train with the default placement
+    (profiler attached), compute a {!Swapram.Pgo.placement} (or place
+    a caller-supplied [?profile], e.g. one reloaded from disk),
+    rebuild with it and measure. [Error] for non-swapram
+    configurations, failed training runs, or a measured run whose
+    UART output / return value diverges from training. *)

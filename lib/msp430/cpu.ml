@@ -7,11 +7,17 @@ let trap_base = 0xFF00
 
 type trap_action = Goto of int | Halt_machine
 
+(* Host-side decode memoization: the words an instruction was decoded
+   from, plus the decode result. Keyed by PC (one slot per even
+   address); self-validating, see [decode_at]. *)
+type dentry = { dw : int array; dinstr : Isa.t; dsize : int }
+
 type t = {
   regs : int array;
   mem : Memory.t;
   stats : Trace.t;
   traps : (int, t -> trap_action) Hashtbl.t;
+  dcache : dentry option array;
   mutable classify : int -> Trace.source;
   mutable halted : bool;
   mutable tracer : (pc:int -> Isa.t -> unit) option;
@@ -35,6 +41,7 @@ let create mem =
     mem;
     stats;
     traps = Hashtbl.create 8;
+    dcache = Array.make 0x8000 None;
     classify = default_classifier mem;
     halted = false;
     tracer = None;
@@ -269,6 +276,63 @@ let cond_holds t = function
   | Isa.JL -> get_flag t flag_n <> get_flag t flag_v
   | Isa.JMP -> true
 
+(* Memoized decode. Instruction words are immutable in steady state,
+   but the software-caching runtimes copy code into SRAM at run time
+   (and power failures wipe it), so every cache hit is
+   *self-validating*: the words the entry was decoded from are
+   re-fetched through the counted [fetch] and compared. The first
+   opcode word fully determines the instruction length (Encoding), so
+   a matching first word means the validation fetches exactly the
+   words a cold decode would fetch — the counted access pattern, and
+   therefore every cycle/energy/stall figure, is bit-identical with
+   and without the cache. A mismatch falls back to a fresh decode
+   served from the words already fetched, so no access is counted
+   twice. No invalidation hooks are needed anywhere. *)
+let decode_at t fetch pc0 =
+  if pc0 land 1 <> 0 then Encoding.decode ~fetch ~addr:pc0
+  else begin
+    let slot = (pc0 land 0xFFFF) lsr 1 in
+    let w0 = fetch pc0 in
+    let ws = Array.make 3 0 in
+    ws.(0) <- w0;
+    let have = ref 1 in
+    let cached =
+      match t.dcache.(slot) with
+      | Some e when e.dw.(0) = w0 ->
+          (* same first word => same length: validate the extension
+             words with counted fetches, the exact cold pattern *)
+          let n = Array.length e.dw in
+          let ok = ref true in
+          for i = 1 to n - 1 do
+            let w = fetch (pc0 + (2 * i)) in
+            ws.(i) <- w;
+            incr have;
+            if w <> e.dw.(i) then ok := false
+          done;
+          if !ok then Some (e.dinstr, e.dsize) else None
+      | _ -> None
+    in
+    match cached with
+    | Some r -> r
+    | None ->
+        let fetch' addr =
+          let i = ((addr - pc0) land 0xFFFF) lsr 1 in
+          if i < !have then ws.(i)
+          else begin
+            let w = fetch addr in
+            if i < 3 then begin
+              ws.(i) <- w;
+              have := max !have (i + 1)
+            end;
+            w
+          end
+        in
+        let instr, size = Encoding.decode ~fetch:fetch' ~addr:pc0 in
+        t.dcache.(slot) <-
+          Some { dw = Array.sub ws 0 (size / 2); dinstr = instr; dsize = size };
+        (instr, size)
+  end
+
 exception Trap_missing of int
 
 let run_trap t pc =
@@ -292,7 +356,7 @@ let step t =
          is about to issue. *)
       Trace.emit t.stats (Trace.Instr { pc = pc0; source = t.classify pc0 });
       let fetch addr = Memory.read_word t.mem ~purpose:Memory.Ifetch addr in
-      let instr, size = Encoding.decode ~fetch ~addr:pc0 in
+      let instr, size = decode_at t fetch pc0 in
       (match t.tracer with
       | Some observe -> observe ~pc:pc0 instr
       | None -> ());

@@ -73,6 +73,11 @@ type t = {
   mutable folded_dirty : bool; (* stack moved since cur_folded was set *)
   mutable calls : int;
   mutable returns : int;
+  name_calls : (string, int ref) Hashtbl.t;
+      (* dynamic calls by symbolized target — calls that trap into a
+         miss handler count under the trap's name, not the callee's *)
+  fid_misses : (int, int ref) Hashtbl.t;
+      (* swapram miss-handler exits by fid (any disposition) *)
   rt : rt_stats;
 }
 
@@ -103,6 +108,8 @@ let create symtab =
     folded_dirty = false;
     calls = 0;
     returns = 0;
+    name_calls = Hashtbl.create 64;
+    fid_misses = Hashtbl.create 64;
     rt =
       {
         miss_entries = 0;
@@ -173,8 +180,12 @@ let observer t (ev : Msp430.Trace.event) =
           t.cur.sram_accesses <- t.cur.sram_accesses + 1;
           s.sram_accesses <- s.sram_accesses + 1
       | Msp430.Trace.Periph_access -> ())
-  | Msp430.Trace.Call { target = _ } ->
+  | Msp430.Trace.Call { target } ->
       t.calls <- t.calls + 1;
+      (let name = Symtab.name_of t.symtab target in
+       match Hashtbl.find_opt t.name_calls name with
+       | Some r -> incr r
+       | None -> Hashtbl.replace t.name_calls name (ref 1));
       if t.depth < t.max_depth then begin
         t.stack <- t.cur_name :: t.stack;
         t.depth <- t.depth + 1;
@@ -198,7 +209,10 @@ let observer t (ev : Msp430.Trace.event) =
   | Msp430.Trace.Runtime_event rev -> (
       match rev with
       | Msp430.Trace.Miss_enter _ -> t.rt.miss_entries <- t.rt.miss_entries + 1
-      | Msp430.Trace.Miss_exit _ -> ()
+      | Msp430.Trace.Miss_exit { fid; _ } -> (
+          match Hashtbl.find_opt t.fid_misses fid with
+          | Some r -> incr r
+          | None -> Hashtbl.replace t.fid_misses fid (ref 1))
       | Msp430.Trace.Eviction _ -> t.rt.evictions <- t.rt.evictions + 1
       | Msp430.Trace.Freeze { on = true } -> t.rt.freezes <- t.rt.freezes + 1
       | Msp430.Trace.Freeze { on = false } -> ()
@@ -285,3 +299,11 @@ let folded_total t =
 let call_count t = t.calls
 let return_count t = t.returns
 let runtime_stats t = t.rt
+
+let calls_to t name =
+  match Hashtbl.find_opt t.name_calls name with Some r -> !r | None -> 0
+
+let miss_exits_of t fid =
+  match Hashtbl.find_opt t.fid_misses fid with Some r -> !r | None -> 0
+
+let counters_of t name = Hashtbl.find_opt t.funcs name

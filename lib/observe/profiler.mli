@@ -73,3 +73,15 @@ val source_cycles : t -> Msp430.Trace.source -> int
 val call_count : t -> int
 val return_count : t -> int
 val runtime_stats : t -> rt_stats
+
+val calls_to : t -> string -> int
+(** Dynamic calls whose target symbolized to [name]. Calls that miss
+    land on the trap vector and count under the trap's name, so a
+    cacheable function's total calls is [calls_to name + miss-handler
+    exits for its fid]. *)
+
+val miss_exits_of : t -> int -> int
+(** Swapram miss-handler exits (any disposition) attributed to a fid. *)
+
+val counters_of : t -> string -> counters option
+(** Raw attributed counters for one function, if it ever ran. *)

@@ -17,6 +17,25 @@
      calls this out as counterproductive; we keep it for the ablation
      bench.
 
+   The entry list is kept sorted by SRAM address. Entries are pairwise
+   disjoint, so the set overlapping any candidate window [lo, hi) is a
+   single contiguous run of the list: the overlap and cost walks skip
+   the prefix ending at or before [lo] and stop at the first entry
+   starting at or past [hi], instead of filtering the whole list per
+   candidate as the original O(n·candidates) implementation did.
+
+   For [Stack] the address order of live entries *is* their insertion
+   order — allocation always happens at the top of the stack and
+   eviction always pops from the top — so "most recently cached" is
+   simply the highest-addressed entry and no recency bookkeeping is
+   needed.
+
+   A profile-guided build ({!Pgo}) may additionally *pin* functions:
+   pinned entries pack upward from the region base, are never planned
+   over (the dynamic policies allocate from [base + pinned_bytes]),
+   and survive {!reset} — the pin plan is a build-time constant; only
+   the copied bytes are volatile.
+
    The structure only *plans* placements; the runtime commits them
    after the call-stack-integrity check (active counters) passes. *)
 
@@ -33,100 +52,154 @@ type t = {
   base : int;
   capacity : int;
   policy : policy;
-  mutable entries : entry list; (* insertion order: oldest first *)
+  mutable entries : entry list; (* sorted by address, pairwise disjoint *)
+  mutable pinned : entry list; (* pinned prefix, packed from base *)
+  mutable pinned_bytes : int;
   mutable next_free : int; (* queue policy: next allocation address *)
 }
 
 let create ~base ~capacity ~policy =
-  { base; capacity; policy; entries = []; next_free = base }
+  {
+    base;
+    capacity;
+    policy;
+    entries = [];
+    pinned = [];
+    pinned_bytes = 0;
+    next_free = base;
+  }
 
 let alloc_point t = t.next_free
 let set_alloc_point t addr = t.next_free <- addr
 
 let limit t = t.base + t.capacity
+let alloc_base t = t.base + t.pinned_bytes
 
-let overlaps a_lo a_hi e = a_lo < e.addr + e.size && e.addr < a_hi
+let round_even size = (size + 1) land lnot 1
+
+let pin t ~fid ~size =
+  let size = round_even size in
+  match List.find_opt (fun e -> e.fid = fid) t.pinned with
+  | Some e ->
+      (* idempotent: re-pinning after a power loss returns the same
+         anchor (the copied bytes are the caller's problem) *)
+      if e.size <> size then
+        failwith "Cache.pin: pinned function changed size";
+      e.addr
+  | None ->
+      if t.entries <> [] then
+        failwith "Cache.pin: pinning must precede dynamic allocation";
+      let addr = alloc_base t in
+      if addr + size > limit t then
+        failwith "Cache.pin: pinned set exceeds the cache region";
+      t.pinned <- t.pinned @ [ { fid; addr; size } ];
+      t.pinned_bytes <- t.pinned_bytes + size;
+      if t.next_free < alloc_base t then t.next_free <- alloc_base t;
+      addr
+
+(* Entries overlapping [lo, hi): skip the prefix ending at or before
+   [lo], collect until the first entry starting at or past [hi]. *)
+let overlapping t lo hi =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | e :: rest ->
+        if e.addr >= hi then List.rev acc
+        else if e.addr + e.size <= lo then go acc rest
+        else go (e :: acc) rest
+  in
+  go [] t.entries
+
+(* Total evicted bytes for a placement at [c], same short-circuit. *)
+let overlap_cost t c hi =
+  let rec go acc = function
+    | [] -> acc
+    | e :: rest ->
+        if e.addr >= hi then acc
+        else if e.addr + e.size <= c then go acc rest
+        else go (acc + e.size) rest
+  in
+  go 0 t.entries
 
 type placement = Too_large | Place of { addr : int; evict : entry list }
 
 let plan t ~size =
-  let size = (size + 1) land lnot 1 in
-  if size > t.capacity then Too_large
+  let size = round_even size in
+  if size > t.capacity - t.pinned_bytes then Too_large
   else
     match t.policy with
     | Circular_queue ->
         let addr =
-          if t.next_free + size > limit t then t.base else t.next_free
+          if t.next_free + size > limit t then alloc_base t else t.next_free
         in
-        let evict = List.filter (overlaps addr (addr + size)) t.entries in
-        Place { addr; evict }
+        Place { addr; evict = overlapping t addr (addr + size) }
     | Cost_aware ->
         (* §3.4's future-work direction: scan the candidate placement
            points (the region base and the end of each cached entry)
            and pick the one whose eviction set costs the least to
-           recopy (total evicted bytes), breaking ties toward the
-           FIFO allocation point. *)
+           recopy (total evicted bytes). Ties break toward the FIFO
+           allocation point, then toward the lowest address — a
+           deterministic rule independent of entry enumeration
+           order. *)
         let candidates =
-          t.base :: t.next_free
+          alloc_base t :: t.next_free
           :: List.map (fun e -> e.addr + e.size) t.entries
-        in
-        let viable =
-          List.filter (fun c -> c >= t.base && c + size <= limit t) candidates
-        in
-        let cost_of c =
-          List.fold_left
-            (fun acc e -> if overlaps c (c + size) e then acc + e.size else acc)
-            0 t.entries
         in
         let best =
           List.fold_left
             (fun acc c ->
-              let cost = cost_of c in
-              match acc with
-              | None -> Some (c, cost)
-              | Some (_, best_cost) when cost < best_cost -> Some (c, cost)
-              | Some (best_c, best_cost)
-                when cost = best_cost && c = t.next_free && best_c <> t.next_free
-                ->
-                  Some (c, cost)
-              | acc -> acc)
-            None viable
+              if c < alloc_base t || c + size > limit t then acc
+              else
+                let cost = overlap_cost t c (c + size) in
+                match acc with
+                | None -> Some (c, cost)
+                | Some (best_c, best_cost) ->
+                    let better =
+                      cost < best_cost
+                      || cost = best_cost
+                         && (c = t.next_free && best_c <> t.next_free
+                            || best_c <> t.next_free && c < best_c)
+                    in
+                    if better then Some (c, cost) else acc)
+            None candidates
         in
         (match best with
         | None -> Too_large
         | Some (addr, _) ->
-            let evict = List.filter (overlaps addr (addr + size)) t.entries in
-            Place { addr; evict })
+            Place { addr; evict = overlapping t addr (addr + size) })
     | Stack ->
-        let top =
-          List.fold_left (fun acc e -> max acc (e.addr + e.size)) t.base
-            t.entries
+        (* the stack top is the end of the highest-addressed entry *)
+        let top_of = function
+          | [] -> alloc_base t
+          | e :: _ -> e.addr + e.size
         in
-        if top + size <= limit t then Place { addr = top; evict = [] }
+        let rev = List.rev t.entries in
+        if top_of rev + size <= limit t then
+          Place { addr = top_of rev; evict = [] }
         else begin
-          (* pop most-recent entries until the new function fits *)
+          (* pop most-recent (= highest-addressed) entries until the
+             new function fits *)
           let rec pop evicted = function
-            | [] -> (t.base, evicted)
-            | rest ->
-                let all_but_last = List.filteri (fun i _ -> i < List.length rest - 1) rest in
-                let last = List.nth rest (List.length rest - 1) in
-                let top' =
-                  List.fold_left (fun acc e -> max acc (e.addr + e.size)) t.base
-                    all_but_last
-                in
-                if top' + size <= limit t then (top', last :: evicted)
-                else pop (last :: evicted) all_but_last
+            | [] -> (alloc_base t, evicted)
+            | e :: below ->
+                if top_of below + size <= limit t then
+                  (top_of below, e :: evicted)
+                else pop (e :: evicted) below
           in
-          let addr, evict = pop [] t.entries in
+          let addr, evict = pop [] rev in
           Place { addr; evict }
         end
 
 let commit t ~fid ~addr ~size ~evicted =
-  let size = (size + 1) land lnot 1 in
+  let size = round_even size in
   let gone = List.map (fun e -> e.fid) evicted in
+  let rec insert = function
+    | [] -> [ { fid; addr; size } ]
+    | e :: rest ->
+        if e.addr < addr then e :: insert rest
+        else { fid; addr; size } :: e :: rest
+  in
   t.entries <-
-    List.filter (fun e -> not (List.mem e.fid gone)) t.entries
-    @ [ { fid; addr; size } ];
+    insert (List.filter (fun e -> not (List.mem e.fid gone)) t.entries);
   (match t.policy with
   | Circular_queue | Cost_aware -> t.next_free <- addr + size
   | Stack -> ());
@@ -135,25 +208,40 @@ let commit t ~fid ~addr ~size ~evicted =
 let evict_only t fids =
   t.entries <- List.filter (fun e -> not (List.mem e.fid fids)) t.entries
 
+let find t fid =
+  match List.find_opt (fun e -> e.fid = fid) t.entries with
+  | Some e -> Some e
+  | None -> List.find_opt (fun e -> e.fid = fid) t.pinned
 
-let find t fid = List.find_opt (fun e -> e.fid = fid) t.entries
 let entries t = t.entries
+let pinned_entries t = t.pinned
+let pinned_bytes t = t.pinned_bytes
 let used_bytes t = List.fold_left (fun acc e -> acc + e.size) 0 t.entries
 
 (* Structural invariants, used by tests and enabled in the runtime's
-   debug mode: entries pairwise disjoint and inside the region. *)
+   debug mode: entries sorted, pairwise disjoint (adjacent suffices
+   once sorted) and inside the dynamic region; pinned entries packed
+   contiguously from the region base. *)
 let check_invariants t =
-  let rec pairwise = function
-    | [] -> true
-    | e :: rest ->
-        List.for_all (fun e' -> not (overlaps e.addr (e.addr + e.size) e')) rest
-        && pairwise rest
+  let rec sorted_disjoint = function
+    | [] | [ _ ] -> true
+    | e :: (e' :: _ as rest) ->
+        e.addr + e.size <= e'.addr && sorted_disjoint rest
+  in
+  let rec packed at = function
+    | [] -> at = alloc_base t
+    | e :: rest -> e.addr = at && e.size > 0 && packed (at + e.size) rest
   in
   List.for_all
-    (fun e -> e.addr >= t.base && e.addr + e.size <= limit t && e.size > 0)
+    (fun e ->
+      e.addr >= alloc_base t && e.addr + e.size <= limit t && e.size > 0)
     t.entries
-  && pairwise t.entries
+  && sorted_disjoint t.entries
+  && packed t.base t.pinned
 
+(* Pinned entries survive: the pin plan is decided at build time; a
+   power loss only invalidates the copied bytes, which the runtime's
+   reboot re-copies through the idempotent {!pin}. *)
 let reset t =
   t.entries <- [];
-  t.next_free <- t.base
+  t.next_free <- alloc_base t

@@ -3,14 +3,25 @@
     Cached function copies live in a contiguous SRAM region; the data
     structure that organises them defines the replacement policy. The
     structure only {e plans} placements — the runtime commits them
-    after the call-stack-integrity check passes. *)
+    after the call-stack-integrity check passes.
+
+    Entries are kept sorted by SRAM address, so overlap scans walk a
+    single contiguous run of the list instead of filtering all
+    entries per candidate.
+
+    A profile-guided build ({!Pgo}) may {!pin} functions: pinned
+    entries pack upward from the region base, are never allocated
+    over by the dynamic policies, and survive {!reset} across power
+    failures (only the copied bytes are volatile). *)
 
 (** How cached functions are organised, which is the replacement
     policy: the paper's circular queue ("least-recently-cached",
     Fig. 5); a stack ("most-recently-cached", kept for ablation); or
     the cost-aware priority placement the paper's §3.4 sketches as
     future work, which scans candidate allocation points and evicts
-    the cheapest-to-recopy set of functions. *)
+    the cheapest-to-recopy set of functions. When eviction sets cost
+    the same, [Cost_aware] breaks ties toward the FIFO allocation
+    point, then toward the lowest address. *)
 type policy = Circular_queue | Stack | Cost_aware
 
 val policy_name : policy -> string
@@ -30,14 +41,23 @@ val set_alloc_point : t -> int -> unit
     un-evictable (active) function before replanning, and restores
     the saved point when it aborts the caching operation. *)
 
+val pin : t -> fid:int -> size:int -> int
+(** Permanently reserve the next [size] (even-rounded) bytes from the
+    region base for [fid] and return the assigned address. Must be
+    called before any dynamic allocation; idempotent (re-pinning the
+    same fid returns the same address, as the runtime does on
+    reboot). Raises [Failure _] when the pinned set would exceed the
+    region. *)
+
 type placement =
   | Too_large  (** the function can never fit the region *)
   | Place of { addr : int; evict : entry list }
       (** place at [addr] after evicting [evict] (possibly empty) *)
 
 val plan : t -> size:int -> placement
-(** Plan a placement for a function of [size] bytes. Does not mutate
-    the structure. *)
+(** Plan a placement for a function of [size] bytes in the dynamic
+    (non-pinned) part of the region. Does not mutate the
+    structure. *)
 
 val commit : t -> fid:int -> addr:int -> size:int -> evicted:entry list -> unit
 (** Apply a planned placement: remove [evicted], record the new entry,
@@ -47,11 +67,27 @@ val evict_only : t -> int list -> unit
 (** Remove entries by fid without inserting anything. *)
 
 val find : t -> int -> entry option
+(** Look up a function by fid among dynamic, then pinned entries. *)
+
 val entries : t -> entry list
+(** Dynamic entries, sorted by address. *)
+
+val pinned_entries : t -> entry list
+(** Pinned entries, packed from the region base in pin order. *)
+
+val pinned_bytes : t -> int
+(** Total bytes reserved by {!pin}; dynamic allocation starts at
+    [base + pinned_bytes]. *)
+
 val used_bytes : t -> int
 
 val check_invariants : t -> bool
-(** Entries are pairwise disjoint, within the region, and non-empty.
-    Checked by the property tests and by the runtime in debug mode. *)
+(** Entries are sorted, pairwise disjoint, within the dynamic region,
+    and non-empty; pinned entries are packed contiguously from the
+    base. Checked by the property tests and by the runtime in debug
+    mode. *)
 
 val reset : t -> unit
+(** Drop all dynamic entries (power loss wipes SRAM). Pinned entries
+    survive: the pin plan is a build-time constant; the runtime's
+    reboot re-copies their bytes. *)

@@ -30,6 +30,12 @@ type options = {
          operation, also cache up to this many of the callee
          functions the static pass saw in the new function's body —
          but only into free space (prefetches never evict). 0 = off. *)
+  pgo : Pgo.placement option;
+      (* profile-guided placement from a training run: pins hot
+         functions in SRAM (direct calls, no redirection protocol),
+         reorders the remaining cacheable code hot-first, and leaves
+         cold code FRAM-resident. None = the paper's default
+         all-functions-equal pipeline. *)
 }
 
 let default_options =
@@ -41,4 +47,5 @@ let default_options =
     debug_checks = false;
     freeze = None;
     prefetch = 0;
+    pgo = None;
   }

@@ -31,6 +31,12 @@ type options = {
           successful caching operation, also cache up to this many of
           the new function's statically-known callees, into free
           space only. 0 disables. *)
+  pgo : Pgo.placement option;
+      (** profile-guided placement from a training run ({!Pgo}):
+          pins hot functions in SRAM (direct calls, no redirection
+          protocol), reorders the remaining cacheable code hot-first,
+          and leaves cold code FRAM-resident. [None] = the paper's
+          default all-functions-equal pipeline. *)
 }
 
 val default_options : options

@@ -46,3 +46,36 @@ let abort_instrs = 6
 (* Average unstalled cycles per modeled runtime instruction (register
    and absolute-mode format-I instructions dominate the handler). *)
 let cycles_per_instr = 2
+
+(* --- Profile-guided placement model ({!Pgo}) ------------------------- *)
+
+(* The PGO pass ranks candidates with the estimates below; the
+   simulator, not this model, produces every reported number. All
+   figures are integral so placement is exactly deterministic. *)
+
+(* Estimated cycles one miss-handler invocation spends copying in a
+   [size]-byte function: entry + exit instruction budgets above, plus
+   per word the copy-loop instructions and roughly 6 cycles for the
+   wait-stated FRAM read and the SRAM write. *)
+let pgo_miss_cycles ~size =
+  let words = (size + 1) / 2 in
+  (cycles_per_instr * (handler_entry_instrs + handler_exit_instrs))
+  + (words * ((memcpy_per_word_instrs * cycles_per_instr) + 6))
+
+(* Estimated cycles one rewritten call site spends on the
+   4-instruction redirection protocol (Fig. 3): two active-counter
+   read-modify-writes, the funcId store, the indirect call through
+   the redirection entry, all ~9 instruction words fetched from
+   wait-stated FRAM. A direct call to a pinned SRAM anchor replaces
+   this with a single 2-word CALL, saving roughly this much per
+   dynamic call. *)
+let pgo_call_protocol_cycles = 22
+
+(* Extra cycles, in tenths per executed instruction, for running a
+   function from FRAM instead of SRAM: the read cache absorbs most of
+   the raw 3-cycle wait-state penalty on sequential fetches. Used to
+   decide when cold code should stay FRAM-resident — copying it in
+   must beat this. *)
+let pgo_fram_penalty_tenths = 12
+
+let pgo_fram_penalty ~instrs = instrs * pgo_fram_penalty_tenths / 10

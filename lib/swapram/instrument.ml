@@ -33,6 +33,7 @@ let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
 type func_meta = {
   fid : int;
   fm_name : string;
+  mutable fm_size : int;
   mutable reloc_start : int;
   mutable reloc_count : int;
 }
@@ -47,6 +48,10 @@ type manifest = {
   callees : int list array;
       (* static call graph between cacheable functions, used by the
          optional prefetch extension *)
+  pinned_anchors : (int * int) list;
+      (* profile-guided pins: (fid, SRAM anchor address) in pin
+         order; call sites to these functions are direct CALLs to the
+         anchor and the runtime copies them in once at install *)
 }
 
 let fid_of manifest name = Hashtbl.find_opt manifest.fid_of_name name
@@ -89,16 +94,26 @@ let rewrite_call fid =
            A.Dabs (A.Lab_off (Config.sym_active, 2 * fid)) ));
   ]
 
-let rewrite_calls fid_of_name ?record_callee (it : A.item) =
+(* [anchor_of fid] is the SRAM anchor of a pinned function: its call
+   sites become a single direct CALL — the function is permanently
+   resident, so no redirection protocol, no active counter, no
+   runtime lookup. *)
+let rewrite_calls fid_of_name ?record_callee ~anchor_of (it : A.item) =
   let stmts =
     List.concat_map
       (fun stmt ->
         match stmt with
         | A.Instr (A.Call (A.Lab f)) -> (
             match Hashtbl.find_opt fid_of_name f with
-            | Some fid ->
-                Option.iter (fun record -> record fid) record_callee;
-                rewrite_call fid
+            | Some fid -> (
+                match anchor_of fid with
+                | Some anchor ->
+                    (* pinned callees never need prefetching, so they
+                       stay out of the static call graph *)
+                    [ A.Instr (A.Call (A.Num anchor)) ]
+                | None ->
+                    Option.iter (fun record -> record fid) record_callee;
+                    rewrite_call fid)
             | None -> [ stmt ])
         | A.Instr (A.Call (A.Num a)) ->
             error "%s: call to raw address 0x%04X cannot be instrumented"
@@ -189,42 +204,60 @@ let runtime_items manifest =
 
 (* --- Driver ---------------------------------------------------------- *)
 
+(* Profile-guided NVM layout: cacheable functions named by the
+   placement move to the end of the text segment in placement order
+   (hot cacheable code first, pinned code last), so hot code packs
+   together away from the cold FRAM-resident items, which keep their
+   original order at the front alongside the entry stub. *)
+let reorder_for_pgo (p : Pgo.placement) program =
+  let rank = Hashtbl.create 64 in
+  List.iteri
+    (fun i name -> if not (Hashtbl.mem rank name) then Hashtbl.replace rank name i)
+    (p.Pgo.pl_hot_order @ p.Pgo.pl_pinned);
+  let ranked, rest =
+    List.partition
+      (fun (it : A.item) ->
+        it.A.section = A.Text && Hashtbl.mem rank it.A.name)
+      program
+  in
+  let ranked =
+    List.stable_sort
+      (fun (a : A.item) (b : A.item) ->
+        compare (Hashtbl.find rank a.A.name) (Hashtbl.find rank b.A.name))
+      ranked
+  in
+  rest @ ranked
+
 let instrument ?(options = Config.default_options) ~layout program =
-  let names = cacheable_names ~blacklist:options.Config.blacklist program in
+  let placement = options.Config.pgo in
+  let program =
+    match placement with
+    | Some p -> reorder_for_pgo p program
+    | None -> program
+  in
+  (* FRAM-resident decisions are just additional blacklist entries:
+     their call sites stay plain CALLs and they get no metadata *)
+  let blacklist =
+    options.Config.blacklist
+    @ (match placement with Some p -> p.Pgo.pl_fram_resident | None -> [])
+  in
+  let names = cacheable_names ~blacklist program in
   let fid_of_name = Hashtbl.create 64 in
   List.iteri (fun i name -> Hashtbl.replace fid_of_name name i) names;
   let funcs =
     Array.of_list
       (List.mapi
-         (fun i name -> { fid = i; fm_name = name; reloc_start = 0; reloc_count = 0 })
+         (fun i name ->
+           { fid = i; fm_name = name; fm_size = 0; reloc_start = 0; reloc_count = 0 })
          names)
   in
   let n = Array.length funcs in
-  (* phase 1: rewrite call sites; append end labels to cacheable
-     items; record the static call graph for the prefetch extension *)
-  let callees = Array.make n [] in
-  let phase1 =
-    List.map
-      (fun (it : A.item) ->
-        let record_callee =
-          match Hashtbl.find_opt fid_of_name it.A.name with
-          | Some caller ->
-              Some
-                (fun callee ->
-                  if callee <> caller && not (List.mem callee callees.(caller))
-                  then callees.(caller) <- callees.(caller) @ [ callee ])
-          | None -> None
-        in
-        let it =
-          if it.A.section = A.Text then
-            rewrite_calls fid_of_name ?record_callee it
-          else it
-        in
-        if Hashtbl.mem fid_of_name it.A.name then
-          { it with A.stmts = it.A.stmts @ [ A.Label (end_label it.A.name) ] }
-        else it)
-      program
+  let pinned_names =
+    match placement with
+    | None -> []
+    | Some p -> List.filter (Hashtbl.mem fid_of_name) p.Pgo.pl_pinned
   in
+  let callees = Array.make n [] in
   (* minimal metadata so the intermediate assembly resolves symbols *)
   let meta_stub =
     [
@@ -235,7 +268,81 @@ let instrument ?(options = Config.default_options) ~layout program =
         (List.init n (fun _ -> A.Word (A.Num 0)));
     ]
   in
-  let intermediate = Masm.Assembler.assemble ~layout (phase1 @ meta_stub) in
+  (* phase 1, parameterized by the pinned-anchor assignment: rewrite
+     call sites (redirection protocol, or direct CALL #anchor for
+     pinned callees); append end labels to cacheable items; record
+     the static call graph for the prefetch extension *)
+  let assemble_phase1 anchors =
+    Array.fill callees 0 n [];
+    let anchor_of fid = Hashtbl.find_opt anchors fid in
+    let items =
+      List.map
+        (fun (it : A.item) ->
+          let record_callee =
+            match Hashtbl.find_opt fid_of_name it.A.name with
+            | Some caller ->
+                Some
+                  (fun callee ->
+                    if callee <> caller && not (List.mem callee callees.(caller))
+                    then callees.(caller) <- callees.(caller) @ [ callee ])
+            | None -> None
+          in
+          let it =
+            if it.A.section = A.Text then
+              rewrite_calls fid_of_name ?record_callee ~anchor_of it
+            else it
+          in
+          if Hashtbl.mem fid_of_name it.A.name then
+            { it with A.stmts = it.A.stmts @ [ A.Label (end_label it.A.name) ] }
+          else it)
+        program
+    in
+    Masm.Assembler.assemble ~layout (items @ meta_stub)
+  in
+  (* Pinned anchors pack from the cache base in pin order, exactly as
+     Cache.pin will replay at install time. The anchor values feed
+     back into the call sites, but a CALL #imm encodes the same size
+     whatever the immediate, so a probe assembly with placeholder
+     anchors already has the final layout and yields exact sizes. *)
+  let anchors = Hashtbl.create 8 in
+  let pinned_anchors = ref [] in
+  let intermediate =
+    if pinned_names = [] then assemble_phase1 anchors
+    else begin
+      List.iter
+        (fun name ->
+          Hashtbl.replace anchors (Hashtbl.find fid_of_name name)
+            options.Config.cache_base)
+        pinned_names;
+      let probe = assemble_phase1 anchors in
+      let cursor = ref options.Config.cache_base in
+      List.iter
+        (fun name ->
+          let fid = Hashtbl.find fid_of_name name in
+          let size =
+            Masm.Assembler.lookup probe (end_label name)
+            - Masm.Assembler.lookup probe name
+          in
+          let size = (size + 1) land lnot 1 in
+          Hashtbl.replace anchors fid !cursor;
+          pinned_anchors := (fid, !cursor) :: !pinned_anchors;
+          cursor := !cursor + size)
+        pinned_names;
+      if !cursor - options.Config.cache_base > options.Config.cache_size then
+        error "pgo: pinned set (%d bytes) exceeds the %d-byte cache region"
+          (!cursor - options.Config.cache_base)
+          options.Config.cache_size;
+      assemble_phase1 anchors
+    end
+  in
+  let pinned_anchors = List.rev !pinned_anchors in
+  (* function sizes, for profile construction on training runs *)
+  Array.iter
+    (fun fm ->
+      fm.fm_size <-
+        Masm.Assembler.lookup intermediate (end_label fm.fm_name)
+        - Masm.Assembler.lookup intermediate fm.fm_name)
+    funcs;
   let resolved = intermediate.Masm.Assembler.resolved in
   (* phase 2: relocate absolute branches in cacheable functions *)
   let next_reloc = ref 0 in
@@ -273,6 +380,7 @@ let instrument ?(options = Config.default_options) ~layout program =
       memcpy_bytes;
       metadata_bytes;
       callees;
+      pinned_anchors;
     }
   in
   let final_program =

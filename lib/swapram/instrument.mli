@@ -12,6 +12,9 @@ exception Error of string
 type func_meta = {
   fid : int;  (** index into the redirection/active/function tables *)
   fm_name : string;
+  mutable fm_size : int;
+      (** instrumented code bytes (from the intermediate assembly),
+          for profile construction *)
   mutable reloc_start : int;  (** first relocation entry owned *)
   mutable reloc_count : int;
 }
@@ -29,6 +32,12 @@ type manifest = {
       (** static call graph between cacheable functions (caller fid ->
           callee fids, call-site order), used by the prefetch
           extension *)
+  pinned_anchors : (int * int) list;
+      (** profile-guided pins: [(fid, sram_anchor)] in pin order,
+          packed from the cache base. Call sites to these functions
+          are direct CALLs to the anchor (no redirection protocol);
+          the runtime copies each in once at install/reboot. Empty
+          unless {!Config.options.pgo} is set. *)
 }
 
 val fid_of : manifest -> string -> int option
@@ -49,4 +58,10 @@ val instrument :
   Masm.Ast.program ->
   Masm.Ast.program * manifest
 (** Run both phases and return the final program (application items,
-    reserved runtime regions, metadata tables) plus its manifest. *)
+    reserved runtime regions, metadata tables) plus its manifest.
+
+    With {!Config.options.pgo} set, additionally: reorders the text
+    segment so hot cacheable code packs together, treats FRAM-resident
+    names as blacklisted, and assigns each pinned function an SRAM
+    anchor (packed from the cache base in pin order) whose value is
+    baked into its call sites as a direct CALL. *)

@@ -1,0 +1,232 @@
+(* Profile-guided function placement.
+
+   The default pipeline treats every function the same: each call
+   goes through the 4-instruction redirection protocol and hot code
+   pays repeated copy-ins whenever it collides in the cache under the
+   replacement policy. This pass closes the measurement loop built by
+   the profiler: a training run collects per-function call counts,
+   resident-miss counts and self cycles; [place] turns them into
+
+   (a) a pinned set — hot functions made permanently SRAM-resident
+       under a byte budget by a greedy knapsack on estimated
+       cycles-saved-per-byte (pinned functions are also called
+       directly, skipping the redirection protocol entirely);
+   (b) a placement order for the remaining cacheable functions that
+       packs hot code together in NVM, separating it from cold code;
+   (c) FRAM-resident decisions for cold code whose copy-in cost the
+       model says exceeds its wait-state savings (it keeps plain
+       calls and never enters the cache).
+
+   Everything is integral arithmetic over the profile, so the same
+   profile always produces byte-identical placements. The cost model
+   lives in {!Costs}; the simulator, not the model, produces the
+   reported numbers. *)
+
+module Json = Observe.Json
+
+type func_profile = {
+  fp_name : string;
+  fp_size : int; (* code bytes after instrumentation, even-rounded *)
+  fp_calls : int; (* dynamic calls observed in training *)
+  fp_misses : int; (* miss-handler copy-ins attributed to it *)
+  fp_instrs : int; (* instructions it executed *)
+  fp_cycles : int; (* cycles attributed to it, stalls included *)
+}
+
+type profile = {
+  pr_benchmark : string;
+  pr_cache_size : int; (* SRAM cache bytes the training run used *)
+  pr_funcs : func_profile list;
+}
+
+type placement = {
+  pl_pinned : string list;
+      (* pin order; anchors pack from the cache base in this order *)
+  pl_hot_order : string list; (* remaining cacheable code, hottest first *)
+  pl_fram_resident : string list; (* excluded from caching entirely *)
+  pl_budget : int; (* pinned-byte budget the knapsack ran under *)
+}
+
+let even b = (b + 1) land lnot 1
+let even_size f = max 2 (even f.fp_size)
+
+(* Estimated cycles saved per training run by pinning [f]: every call
+   drops the redirection protocol and every miss drops a copy-in. *)
+let pin_benefit f =
+  (f.fp_calls * Costs.pgo_call_protocol_cycles)
+  + (f.fp_misses * Costs.pgo_miss_cycles ~size:f.fp_size)
+
+(* Cold code stays FRAM-resident when the training run spent more on
+   copying it in than executing it from FRAM would have cost; code
+   that never ran obviously stays put. *)
+let fram_resident f =
+  f.fp_calls = 0
+  || f.fp_misses * Costs.pgo_miss_cycles ~size:f.fp_size
+     > Costs.pgo_fram_penalty ~instrs:f.fp_instrs
+
+let place ?budget profile =
+  let budget =
+    match budget with Some b -> b | None -> profile.pr_cache_size / 2
+  in
+  let funcs =
+    List.sort (fun a b -> compare a.fp_name b.fp_name) profile.pr_funcs
+  in
+  let resident, cacheable = List.partition fram_resident funcs in
+  (* Greedy knapsack on benefit density (cycles saved per pinned
+     byte), compared by cross-multiplication to stay integral. Ties
+     break toward the larger absolute benefit, then the name. *)
+  let by_density =
+    cacheable
+    |> List.filter (fun f -> pin_benefit f > 0)
+    |> List.sort (fun a b ->
+           let c =
+             compare
+               (pin_benefit b * even_size a)
+               (pin_benefit a * even_size b)
+           in
+           if c <> 0 then c
+           else
+             let c = compare (pin_benefit b) (pin_benefit a) in
+             if c <> 0 then c else compare a.fp_name b.fp_name)
+  in
+  let pinned = ref [] in
+  let pinned_bytes = ref 0 in
+  List.iter
+    (fun f ->
+      let sz = even_size f in
+      if !pinned_bytes + sz <= budget then begin
+        (* never shrink the dynamic region below the largest function
+           that still needs it: too-large aborts would undo the win *)
+        let widest_unpinned =
+          List.fold_left
+            (fun m g ->
+              if g.fp_name = f.fp_name || List.mem g.fp_name !pinned then m
+              else max m (even_size g))
+            0 cacheable
+        in
+        if profile.pr_cache_size - (!pinned_bytes + sz) >= widest_unpinned
+        then begin
+          pinned := !pinned @ [ f.fp_name ];
+          pinned_bytes := !pinned_bytes + sz
+        end
+      end)
+    by_density;
+  let hot_order =
+    cacheable
+    |> List.filter (fun f -> not (List.mem f.fp_name !pinned))
+    |> List.sort (fun a b ->
+           let c = compare b.fp_calls a.fp_calls in
+           if c <> 0 then c
+           else
+             let c = compare b.fp_cycles a.fp_cycles in
+             if c <> 0 then c else compare a.fp_name b.fp_name)
+    |> List.map (fun f -> f.fp_name)
+  in
+  {
+    pl_pinned = !pinned;
+    pl_hot_order = hot_order;
+    pl_fram_resident = List.map (fun f -> f.fp_name) resident;
+    pl_budget = budget;
+  }
+
+(* --- Serialization (Observe.Json) ------------------------------------ *)
+
+let func_to_json f =
+  Json.Obj
+    [
+      ("name", Json.String f.fp_name);
+      ("size", Json.Int f.fp_size);
+      ("calls", Json.Int f.fp_calls);
+      ("misses", Json.Int f.fp_misses);
+      ("instrs", Json.Int f.fp_instrs);
+      ("cycles", Json.Int f.fp_cycles);
+    ]
+
+let profile_to_json p =
+  Json.Obj
+    [
+      ("benchmark", Json.String p.pr_benchmark);
+      ("cache_size", Json.Int p.pr_cache_size);
+      ("funcs", Json.List (List.map func_to_json p.pr_funcs));
+    ]
+
+let placement_to_json p =
+  let names ns = Json.List (List.map (fun n -> Json.String n) ns) in
+  Json.Obj
+    [
+      ("budget", Json.Int p.pl_budget);
+      ("pinned", names p.pl_pinned);
+      ("hot_order", names p.pl_hot_order);
+      ("fram_resident", names p.pl_fram_resident);
+    ]
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let req what conv j key =
+  match Option.bind (Json.member key j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "pgo %s: missing or ill-typed %S" what key)
+
+let func_of_json j =
+  let what = "profile function" in
+  let* name = req what Json.to_str j "name" in
+  let* size = req what Json.to_int j "size" in
+  let* calls = req what Json.to_int j "calls" in
+  let* misses = req what Json.to_int j "misses" in
+  let* instrs = req what Json.to_int j "instrs" in
+  let* cycles = req what Json.to_int j "cycles" in
+  Ok
+    {
+      fp_name = name;
+      fp_size = size;
+      fp_calls = calls;
+      fp_misses = misses;
+      fp_instrs = instrs;
+      fp_cycles = cycles;
+    }
+
+let rec collect f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* v = f x in
+      let* vs = collect f rest in
+      Ok (v :: vs)
+
+let profile_of_json j =
+  let what = "profile" in
+  let* benchmark = req what Json.to_str j "benchmark" in
+  let* cache_size = req what Json.to_int j "cache_size" in
+  let* funcs = req what Json.to_list j "funcs" in
+  let* funcs = collect func_of_json funcs in
+  Ok { pr_benchmark = benchmark; pr_cache_size = cache_size; pr_funcs = funcs }
+
+let names_of_json what j key =
+  let* l = req what Json.to_list j key in
+  collect
+    (fun x ->
+      match Json.to_str x with
+      | Some s -> Ok s
+      | None -> Error (Printf.sprintf "pgo %s: non-string in %S" what key))
+    l
+
+let placement_of_json j =
+  let what = "placement" in
+  let* budget = req what Json.to_int j "budget" in
+  let* pinned = names_of_json what j "pinned" in
+  let* hot = names_of_json what j "hot_order" in
+  let* resident = names_of_json what j "fram_resident" in
+  Ok
+    {
+      pl_pinned = pinned;
+      pl_hot_order = hot;
+      pl_fram_resident = resident;
+      pl_budget = budget;
+    }
+
+let profile_to_string p = Json.to_string_pretty (profile_to_json p)
+
+let profile_of_string s =
+  let* j = Json.parse s in
+  profile_of_json j
+
+let placement_to_string p = Json.to_string_pretty (placement_to_json p)

@@ -1,0 +1,60 @@
+(** Profile-guided function placement.
+
+    Consumes a per-function training profile (call counts, resident
+    misses, self instructions/cycles, code sizes) and computes a
+    placement: a {e pinned set} of hot functions made permanently
+    SRAM-resident (called directly, no redirection protocol), a
+    {e placement order} packing the remaining hot cacheable code
+    together, and {e FRAM-resident} decisions for cold code whose
+    copy-in cost exceeds its wait-state savings.
+
+    The pass is pure integral arithmetic over the profile (cost model
+    in {!Costs}): the same profile always produces a byte-identical
+    placement. *)
+
+type func_profile = {
+  fp_name : string;
+  fp_size : int;  (** code bytes after instrumentation, even-rounded *)
+  fp_calls : int;  (** dynamic calls observed in training *)
+  fp_misses : int;  (** miss-handler copy-ins attributed to it *)
+  fp_instrs : int;  (** instructions it executed *)
+  fp_cycles : int;  (** cycles attributed to it, stalls included *)
+}
+
+type profile = {
+  pr_benchmark : string;
+  pr_cache_size : int;  (** SRAM cache bytes the training run used *)
+  pr_funcs : func_profile list;
+}
+
+type placement = {
+  pl_pinned : string list;
+      (** pin order; anchor addresses pack from the cache base in
+          this order (computed by {!Instrument}) *)
+  pl_hot_order : string list;
+      (** remaining cacheable functions, hottest first — the
+          instrumenter lays them out contiguously in NVM *)
+  pl_fram_resident : string list;
+      (** functions excluded from caching entirely (plain calls) *)
+  pl_budget : int;  (** pinned-byte budget the knapsack ran under *)
+}
+
+val pin_benefit : func_profile -> int
+(** Estimated cycles the training run would have saved with the
+    function pinned (protocol + copy-in savings). *)
+
+val place : ?budget:int -> profile -> placement
+(** Compute a placement. [budget] caps pinned bytes (default: half
+    the cache). The knapsack is greedy on benefit density
+    (cycles-saved per pinned byte) and never shrinks the dynamic
+    region below the largest function that still needs caching. *)
+
+(** {2 Serialization} — via {!Observe.Json}, deterministic. *)
+
+val profile_to_json : profile -> Observe.Json.t
+val profile_of_json : Observe.Json.t -> (profile, string) result
+val profile_to_string : profile -> string
+val profile_of_string : string -> (profile, string) result
+val placement_to_json : placement -> Observe.Json.t
+val placement_of_json : Observe.Json.t -> (placement, string) result
+val placement_to_string : placement -> string

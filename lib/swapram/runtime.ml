@@ -32,6 +32,7 @@ type stats = {
   mutable words_copied : int;
   mutable placement_retries : int; (* allocations skipped past active code *)
   mutable prefetches : int; (* callees cached ahead of their first call *)
+  mutable pins : int; (* profile-guided pins copied in (install + reboots) *)
 }
 
 type t = {
@@ -40,6 +41,7 @@ type t = {
   addrs : table_addrs;
   options : Config.options;
   callees : int list array; (* static call graph, for prefetching *)
+  pinned_anchors : (int * int) list; (* profile-guided (fid, anchor) pins *)
   stats : stats;
   mutable handler_cursor : int;
   mutable memcpy_cursor : int;
@@ -54,12 +56,17 @@ let stats t = t.stats
    pc values inside the cache region. Pure host-side inspection: no
    counted accesses, no perturbation. *)
 let cached_function_at t addr =
-  List.find_map
-    (fun (e : Cache.entry) ->
-      if addr >= e.Cache.addr && addr < e.Cache.addr + e.Cache.size then
-        Some e.Cache.fid
-      else None)
-    (Cache.entries t.cache)
+  let owner entries =
+    List.find_map
+      (fun (e : Cache.entry) ->
+        if addr >= e.Cache.addr && addr < e.Cache.addr + e.Cache.size then
+          Some e.Cache.fid
+        else None)
+      entries
+  in
+  match owner (Cache.entries t.cache) with
+  | Some fid -> Some fid
+  | None -> owner (Cache.pinned_entries t.cache)
 
 let emit_rt t ev = Trace.emit (Memory.stats t.mem) (Trace.Runtime_event ev)
 
@@ -163,6 +170,32 @@ let rec prefetch_callees t fid budget =
       | _ -> ()
     in
     go budget candidates
+
+(* Install-time pinning (profile-guided builds): copy each pinned
+   function to its anchor and point its relocation entries (and, for
+   uniformity, its redirection entry) at the permanent SRAM copy.
+   Call sites reach pinned functions by direct CALL #anchor, so there
+   is no per-call runtime involvement at all. Idempotent: reboot
+   reruns it after a power loss wipes SRAM, and a rerun after a
+   teared reboot recovers — execution never resumes before a reboot
+   completes, so the direct calls are crash-safe. *)
+let pin_all t =
+  List.iter
+    (fun (fid, anchor) ->
+      charge t Trace.Handler Costs.handler_entry_instrs;
+      let nvm = functab_nvm t fid in
+      let size = functab_size t fid in
+      let addr = Cache.pin t.cache ~fid ~size in
+      if addr <> anchor then
+        failwith
+          (Printf.sprintf
+             "SwapRAM pin: fid %d anchored at 0x%04X but pinned at 0x%04X" fid
+             anchor addr);
+      copy_function t ~nvm ~sram:addr ~size;
+      retarget_relocs t fid ~base:addr;
+      write_word t (t.addrs.a_redirect + (2 * fid)) addr;
+      t.stats.pins <- t.stats.pins + 1)
+    t.pinned_anchors
 
 (* Abort the caching operation and run the callee from NVRAM
    (§3.3.3). The redirection entry keeps pointing at the handler, so
@@ -293,7 +326,9 @@ let reboot t ~image =
       bytes
   in
   List.iter restore_item
-    [ Config.sym_funcid; Config.sym_redirect; Config.sym_active; Config.sym_reloc ]
+    [ Config.sym_funcid; Config.sym_redirect; Config.sym_active; Config.sym_reloc ];
+  (* pinned copies were in the lost SRAM; re-pin them (same anchors) *)
+  pin_all t
 
 (* Runtime-critical FRAM windows, for adversarial fault injection: a
    power failure landing on an access inside one of these regions is
@@ -339,6 +374,7 @@ let install ~options ~manifest ~image (system : Msp430.Platform.system) =
       addrs;
       options;
       callees;
+      pinned_anchors = manifest.Instrument.pinned_anchors;
       stats =
         {
           misses = 0;
@@ -349,6 +385,7 @@ let install ~options ~manifest ~image (system : Msp430.Platform.system) =
           words_copied = 0;
           placement_retries = 0;
           prefetches = 0;
+          pins = 0;
         };
       handler_cursor = 0;
       memcpy_cursor = 0;
@@ -371,4 +408,8 @@ let install ~options ~manifest ~image (system : Msp430.Platform.system) =
         match Memory.region_of (Memory.map system.Msp430.Platform.memory) addr with
         | Memory.Sram -> Trace.App_sram
         | Memory.Fram | Memory.Peripheral | Memory.Unmapped -> Trace.App_fram);
+  (* profile-guided pins copy in once, before execution starts; the
+     image is already loaded (Pipeline.install loads before
+     installing the runtime) *)
+  pin_all t;
   t

@@ -36,6 +36,9 @@ type stats = {
       (** allocations moved past an active (un-evictable) function *)
   mutable prefetches : int;
       (** callees cached ahead of their first call (prefetch extension) *)
+  mutable pins : int;
+      (** profile-guided pinned functions copied in, across the
+          install and every reboot *)
 }
 
 type t = {
@@ -44,6 +47,8 @@ type t = {
   addrs : table_addrs;
   options : Config.options;
   callees : int list array;
+  pinned_anchors : (int * int) list;
+      (** profile-guided [(fid, anchor)] pins from the manifest *)
   stats : stats;
   mutable handler_cursor : int;
   mutable memcpy_cursor : int;
@@ -87,5 +92,8 @@ val install :
   Msp430.Platform.system ->
   t
 (** Arm the miss-handler trap and the Figure-8 instruction-source
-    classifier on [system]. The image must already be built from the
-    instrumented program; {!Pipeline.install} loads it too. *)
+    classifier on [system], then copy in any profile-guided pinned
+    functions (the manifest's anchors). The image must already be
+    built from the instrumented program {e and loaded into the
+    system's memory} (pinning reads the NVM code); {!Pipeline.install}
+    does both. *)

@@ -265,4 +265,30 @@ let suite =
         let system, _ = run_program [ mov (imm 1) (dreg r12) ] in
         let stats = Cpu.stats system.Platform.cpu in
         Alcotest.(check bool) "stalls observed" true (stats.Trace.stall_cycles > 0));
+    Alcotest.test_case "decode cache sees self-modifying code" `Quick
+      (fun () ->
+        (* The patched instruction sits at a PC the decode cache has
+           already seen; the second pass must decode the new word (the
+           cache self-validates against fetched words), so r8
+           accumulates 1 + 2, not 1 + 1. *)
+        let system, _ =
+          run_program
+            ~data:[ ("proto", [ mov (imm 2) (dreg r12) ]) ]
+            [
+              clr (dreg r7);
+              clr (dreg r8);
+              label "loop";
+              label "patch";
+              mov (imm 1) (dreg r12);
+              add (reg r12) (dreg r8);
+              mov (abs "proto") (dabs "patch");
+              inc_ (dreg r7);
+              cmp (imm 2) (dreg r7);
+              jne "loop";
+            ]
+        in
+        Alcotest.(check int) "patched iteration ran the new instruction" 3
+          (Cpu.reg system.Platform.cpu r8);
+        Alcotest.(check int) "r12 holds the patched value" 2
+          (Cpu.reg system.Platform.cpu r12));
   ]

@@ -12,6 +12,7 @@ let () =
       ("differential", Test_differential.suite);
       ("observe", Test_observe.suite);
       ("metrics", Test_metrics.suite);
+      ("pgo", Test_pgo.suite);
       ("golden", Test_golden.suite);
       ("faultinject", Test_faultinject.suite);
     ]

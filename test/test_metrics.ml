@@ -319,11 +319,47 @@ let gate_cases =
         Alcotest.(check int)
           "speedup is not a regression" 0
           (List.length (Experiments.Compare.regressions outcome')));
-    Alcotest.test_case "compare: schema v2 report carries metrics" `Slow
+    Alcotest.test_case "compare: slim candidate gets a clear error" `Slow
+      (fun () ->
+        let report = Lazy.force tiny_report in
+        let slim =
+          Experiments.Bench_report.compute
+            ~benchmarks:[ Workloads.Suite.crc ] ~slim:true ()
+        in
+        (* full baseline, slim candidate: a specific error, not a
+           schema mismatch or a missing-metric cascade *)
+        let outcome =
+          Experiments.Compare.compare_json ~old_report:report ~new_report:slim
+            ()
+        in
+        let contains hay needle =
+          let nh = String.length hay and nn = String.length needle in
+          let rec go i =
+            i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+          in
+          go 0
+        in
+        Alcotest.(check bool)
+          "error mentions the slim rendering" true
+          (List.exists
+             (fun e -> contains e "slim")
+             outcome.Experiments.Compare.errors);
+        (* slim baseline, full candidate: the normal CI direction — clean *)
+        let outcome' =
+          Experiments.Compare.compare_json ~old_report:slim ~new_report:report
+            ()
+        in
+        Alcotest.(check (list string))
+          "slim baseline vs full report stays clean" []
+          outcome'.Experiments.Compare.errors;
+        Alcotest.(check int)
+          "and has no regressions" 0
+          (List.length (Experiments.Compare.regressions outcome')));
+    Alcotest.test_case "compare: schema v3 report carries metrics" `Slow
       (fun () ->
         let report = Lazy.force tiny_report in
         Alcotest.(check (option int))
-          "schema v2" (Some 2)
+          "schema v3" (Some 3)
           (Option.bind (Json.member "schema_version" report) Json.to_int);
         (* the swapram cell embeds a windows series and an MRC *)
         let cell =
