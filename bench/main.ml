@@ -8,6 +8,10 @@
      dune exec bench/main.exe -- micro    # simulator micro-benchmarks
      dune exec bench/main.exe -- tab2 --report=bench/report.json
                                           # also write the JSON report
+     dune exec bench/main.exe -- --jobs=4 --engine=superblock report
+                                          # shard sweep cells across 4
+                                          # forked workers; pin the
+                                          # simulator engine
 *)
 
 module Platform = Msp430.Platform
@@ -153,7 +157,10 @@ let () =
   in
   let names, flags =
     List.partition
-      (fun a -> not (has_prefix "--report" a || has_prefix "--baseline" a))
+      (fun a ->
+        not
+          (has_prefix "--report" a || has_prefix "--baseline" a
+         || has_prefix "--jobs" a || has_prefix "--engine" a))
       args
   in
   let report = List.filter (has_prefix "--report") flags in
@@ -164,6 +171,32 @@ let () =
   (match baseline with
   | [] -> ()
   | flag :: _ -> baseline_path := Some (path_of flag "bench/baseline.json"));
+  (* --jobs=N shards sweep cells across N forked workers (0 = one per
+     core); every artifact reading from Experiments.Sweep picks it up.
+     --engine=reference|superblock pins the simulator engine for runs
+     that use the default configuration. Neither can change a
+     simulated value. *)
+  List.iter
+    (fun flag ->
+      if has_prefix "--jobs" flag then begin
+        let n =
+          match int_of_string_opt (path_of flag "0") with
+          | Some n -> n
+          | None ->
+              Printf.eprintf "bad --jobs value in %s\n" flag;
+              exit 1
+        in
+        Experiments.Sweep.set_default_jobs
+          (if n <= 0 then Experiments.Parallel.ncores () else n)
+      end
+      else if has_prefix "--engine" flag then
+        match Msp430.Cpu.engine_of_string (path_of flag "") with
+        | Some e -> Experiments.Toolchain.set_default_engine e
+        | None ->
+            Printf.eprintf "bad --engine value in %s (reference|superblock)\n"
+              flag;
+            exit 1)
+    flags;
   let requested =
     match names with
     | _ :: _ -> names

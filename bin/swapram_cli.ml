@@ -43,6 +43,38 @@ let blacklist_arg =
   let doc = "Function excluded from caching (repeatable)." in
   Arg.(value & opt_all string [] & info [ "blacklist" ] ~doc)
 
+let engine_arg =
+  let doc =
+    "Simulator execution engine: superblock (default), reference, or — for \
+     the run command only — check, which executes the configuration under \
+     both engines, fails unless every simulated result matches exactly, and \
+     prints the host-side speedup."
+  in
+  Arg.(value & opt string "superblock" & info [ "engine" ] ~doc)
+
+let jobs_arg =
+  let doc =
+    "Shard independent runs across N forked workers (0 = one per core). \
+     Cannot change any simulated value."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~doc)
+
+let resolve_jobs n = if n <= 0 then Experiments.Parallel.ncores () else n
+
+(* [check] is handled per-command (only run supports it). *)
+let parse_engine = function
+  | "check" -> Ok `Check
+  | s -> (
+      match Msp430.Cpu.engine_of_string s with
+      | Some e -> Ok (`Engine e)
+      | None -> Error ("unknown engine " ^ s ^ " (reference|superblock|check)"))
+
+let parse_engine_only what s =
+  match parse_engine s with
+  | Ok (`Engine e) -> Ok e
+  | Ok `Check -> Error ("--engine check is not supported by " ^ what)
+  | Error e -> Error e
+
 let parse_system blacklist = function
   | "baseline" -> Ok Experiments.Toolchain.Baseline
   | "swapram" ->
@@ -89,11 +121,67 @@ let load_benchmark ~benchmark ~file ~seed =
 
 let ( let* ) r f = match r with Ok v -> f v | Error e -> `Error (false, e)
 
-let run_cmd benchmark file system placement freq seed blacklist =
+(* --engine check: execute the same configuration under the reference
+   interpreter and the superblock engine, fail unless every simulated
+   result matches exactly, and report the host-side speedup. CI's
+   host-perf smoke step runs this. *)
+let check_engines config b seed =
+  let with_engine e =
+    Experiments.Sweep.timed (fun () ->
+        Experiments.Toolchain.run
+          { config with Experiments.Toolchain.engine = e })
+  in
+  let ref_o, ref_s = with_engine Msp430.Cpu.Reference in
+  let sb_o, sb_s = with_engine Msp430.Cpu.Superblock in
+  match (ref_o, sb_o) with
+  | Experiments.Toolchain.Completed r, Experiments.Toolchain.Completed s ->
+      let open Experiments.Toolchain in
+      let mismatches =
+        List.filter_map
+          (fun (what, same) -> if same then None else Some what)
+          [
+            ("stats", r.stats = s.stats);
+            ("energy", r.energy = s.energy);
+            ("uart", r.uart = s.uart);
+            ("return value", r.return_value = s.return_value);
+            ("swapram stats", r.swapram_stats = s.swapram_stats);
+            ("block stats", r.block_stats = s.block_stats);
+          ]
+      in
+      if mismatches <> [] then
+        `Error
+          ( false,
+            Printf.sprintf "engines disagree on %s: %s"
+              b.Workloads.Bench_def.name
+              (String.concat ", " mismatches) )
+      else begin
+        Printf.printf "benchmark    : %s (seed %d)\n" b.Workloads.Bench_def.name
+          seed;
+        Printf.printf "cycles       : %d (both engines)\n"
+          (Trace.total_cycles r.stats);
+        Printf.printf "instructions : %d (both engines)\n"
+          r.stats.Trace.instructions;
+        Printf.printf "energy       : %.1f uJ (both engines)\n"
+          (r.energy.Msp430.Energy.energy_nj /. 1000.0);
+        Printf.printf "reference    : %.3f s host\n" ref_s;
+        Printf.printf "superblock   : %.3f s host\n" sb_s;
+        Printf.printf "speedup      : %.2fx\n"
+          (if sb_s > 0.0 then ref_s /. sb_s else 0.0);
+        Printf.printf "check        : OK — simulated results identical\n";
+        `Ok ()
+      end
+  | _ ->
+      `Error
+        ( false,
+          "engine check needs a configuration that runs to a clean halt \
+           under both engines" )
+
+let run_cmd benchmark file system placement freq seed blacklist engine =
   let* b = load_benchmark ~benchmark ~file ~seed in
   let* caching = parse_system blacklist system in
   let* placement = parse_placement placement in
   let* frequency = parse_freq freq in
+  let* engine = parse_engine engine in
   let config =
     {
       (Experiments.Toolchain.default_config b) with
@@ -103,6 +191,10 @@ let run_cmd benchmark file system placement freq seed blacklist =
       frequency;
     }
   in
+  match engine with
+  | `Check -> check_engines config b seed
+  | `Engine e -> (
+  let config = { config with Experiments.Toolchain.engine = e } in
   match Experiments.Toolchain.run config with
   | Experiments.Toolchain.Did_not_fit msg ->
       `Error (false, "binary does not fit the platform: " ^ msg)
@@ -150,18 +242,19 @@ let run_cmd benchmark file system placement freq seed blacklist =
       Printf.printf "uart         : %s\n"
         (String.concat "\\n"
            (String.split_on_char '\n' r.Experiments.Toolchain.uart));
-      `Ok ()
+      `Ok ())
 
 (* Profile: run with the observability stack attached and print the
    per-function cycle/energy attribution. --verify re-runs the same
    configuration unobserved and checks the totals match exactly —
    tracing must perturb nothing. *)
-let profile_cmd benchmark file system placement freq seed blacklist top folded
-    chrome verify =
+let profile_cmd benchmark file system placement freq seed blacklist engine top
+    folded chrome verify =
   let* b = load_benchmark ~benchmark ~file ~seed in
   let* caching = parse_system blacklist system in
   let* placement = parse_placement placement in
   let* frequency = parse_freq freq in
+  let* engine = parse_engine_only "profile" engine in
   let config =
     {
       (Experiments.Toolchain.default_config b) with
@@ -169,6 +262,7 @@ let profile_cmd benchmark file system placement freq seed blacklist top folded
       caching;
       placement;
       frequency;
+      engine;
     }
   in
   let params =
@@ -257,12 +351,13 @@ let profile_cmd benchmark file system placement freq seed blacklist top folded
 (* Metrics: run with the windowed time-series sampler attached and
    print the cache-dynamics series, address heatmaps and miss-ratio
    curve. *)
-let metrics_cmd benchmark file system placement freq seed blacklist window
-    buckets csv =
+let metrics_cmd benchmark file system placement freq seed blacklist engine
+    window buckets csv =
   let* b = load_benchmark ~benchmark ~file ~seed in
   let* caching = parse_system blacklist system in
   let* placement = parse_placement placement in
   let* frequency = parse_freq freq in
+  let* engine = parse_engine_only "metrics" engine in
   let* () = if window <= 0 then Error "--window must be positive" else Ok () in
   let* () = if buckets <= 0 then Error "--buckets must be positive" else Ok () in
   let config =
@@ -272,6 +367,7 @@ let metrics_cmd benchmark file system placement freq seed blacklist window
       caching;
       placement;
       frequency;
+      engine;
     }
   in
   let observe =
@@ -323,9 +419,11 @@ let read_profile path =
   | Ok p -> Ok p
   | Error e -> Error (path ^ ": " ^ e)
 
-let pgo_cmd benchmark file freq seed blacklist budget train profile gate =
+let pgo_cmd benchmark file freq seed blacklist engine budget train profile gate
+    =
   let* b = load_benchmark ~benchmark ~file ~seed in
   let* frequency = parse_freq freq in
+  let* engine = parse_engine_only "pgo" engine in
   let options =
     { Swapram.Config.default_options with Swapram.Config.blacklist }
   in
@@ -335,6 +433,7 @@ let pgo_cmd benchmark file freq seed blacklist budget train profile gate =
       Experiments.Toolchain.seed;
       frequency;
       caching = Experiments.Toolchain.Swapram_cache options;
+      engine;
     }
   in
   match train with
@@ -569,12 +668,13 @@ let max_reboots_arg =
   let doc = "Watchdog: reboots before a run is declared a livelock." in
   Arg.(value & opt int 2000 & info [ "max-reboots" ] ~doc)
 
-let faultinject_cmd benchmark file system placement freq seed blacklist mode
-    periods crash_seed max_reboots =
+let faultinject_cmd benchmark file system placement freq seed blacklist engine
+    jobs mode periods crash_seed max_reboots =
   let* b = load_benchmark ~benchmark ~file ~seed in
   let* caching = parse_system blacklist system in
   let* placement = parse_placement placement in
   let* frequency = parse_freq freq in
+  let* engine = parse_engine_only "faultinject" engine in
   let config =
     {
       (Experiments.Toolchain.default_config b) with
@@ -582,6 +682,7 @@ let faultinject_cmd benchmark file system placement freq seed blacklist mode
       caching;
       placement;
       frequency;
+      engine;
     }
   in
   let periods = if periods = [] then [ 400_000; 150_000; 80_000 ] else periods in
@@ -599,7 +700,10 @@ let faultinject_cmd benchmark file system placement freq seed blacklist mode
     | "adversarial" -> Ok [ Faultinject.Schedule.adversarial ]
     | m -> Error ("unknown injection mode " ^ m)
   in
-  match Faultinject.Injector.sweep ~max_reboots config schedules with
+  match
+    Faultinject.Injector.sweep ~max_reboots ~jobs:(resolve_jobs jobs) config
+      schedules
+  with
   | Error msg -> `Error (false, "golden run failed: " ^ msg)
   | Ok reports ->
       print_endline (Faultinject.Injector.table reports);
@@ -617,7 +721,7 @@ let run_term =
   Term.(
     ret
       (const run_cmd $ benchmark_arg $ file_arg $ system_arg $ placement_arg
-     $ freq_arg $ seed_arg $ blacklist_arg))
+     $ freq_arg $ seed_arg $ blacklist_arg $ engine_arg))
 
 let instrumented_arg =
   let doc = "Print the SwapRAM-instrumented program instead of plain output." in
@@ -646,8 +750,8 @@ let profile_term =
   Term.(
     ret
       (const profile_cmd $ benchmark_arg $ file_arg $ system_arg
-     $ placement_arg $ freq_arg $ seed_arg $ blacklist_arg $ top_arg
-     $ folded_arg $ chrome_arg $ verify_arg))
+     $ placement_arg $ freq_arg $ seed_arg $ blacklist_arg $ engine_arg
+     $ top_arg $ folded_arg $ chrome_arg $ verify_arg))
 
 let window_arg =
   let doc = "Metrics window length in total (CPU + stall) cycles." in
@@ -665,8 +769,8 @@ let metrics_term =
   Term.(
     ret
       (const metrics_cmd $ benchmark_arg $ file_arg $ system_arg
-     $ placement_arg $ freq_arg $ seed_arg $ blacklist_arg $ window_arg
-     $ buckets_arg $ csv_arg))
+     $ placement_arg $ freq_arg $ seed_arg $ blacklist_arg $ engine_arg
+     $ window_arg $ buckets_arg $ csv_arg))
 
 let old_report_arg =
   let doc = "Baseline report (e.g. bench/baseline.json)." in
@@ -715,7 +819,8 @@ let pgo_term =
   Term.(
     ret
       (const pgo_cmd $ benchmark_arg $ file_arg $ freq_arg $ seed_arg
-     $ blacklist_arg $ budget_arg $ train_arg $ profile_path_arg $ gate_arg))
+     $ blacklist_arg $ engine_arg $ budget_arg $ train_arg $ profile_path_arg
+     $ gate_arg))
 
 let asm_term =
   Term.(ret (const asm_cmd $ benchmark_arg $ file_arg $ seed_arg $ instrumented_arg))
@@ -772,8 +877,9 @@ let cmds =
       Term.(
         ret
           (const faultinject_cmd $ benchmark_arg $ file_arg $ system_arg
-         $ placement_arg $ freq_arg $ seed_arg $ blacklist_arg $ mode_arg
-         $ period_arg $ crash_seed_arg $ max_reboots_arg));
+         $ placement_arg $ freq_arg $ seed_arg $ blacklist_arg $ engine_arg
+         $ jobs_arg $ mode_arg $ period_arg $ crash_seed_arg
+         $ max_reboots_arg));
   ]
 
 let () =

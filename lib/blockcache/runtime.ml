@@ -48,7 +48,9 @@ type t = {
 let stats t = t.stats
 let slot_bytes t = t.manifest.Transform.slot_size
 let cache_bytes t = t.manifest.Transform.num_slots * t.manifest.Transform.slot_size
-let emit_rt t ev = Trace.emit (Memory.stats t.mem) (Trace.Runtime_event ev)
+let emit_rt t ev =
+  let stats = Memory.stats t.mem in
+  if Trace.has_observer stats then Trace.emit stats (Trace.Runtime_event ev)
 
 (* Host-side dynamic symbolizer for the observability layer: translate
    a pc inside an SRAM slot back to the NVM address of the cached
@@ -78,14 +80,20 @@ let charge t source n =
           (fun () -> t.handler_cursor),
           fun c -> t.handler_cursor <- c )
   in
+  let stats = Memory.stats t.mem in
+  let observed = Trace.has_observer stats in
   for _ = 1 to n do
     let cur = get () in
     Memory.begin_instruction t.mem;
-    Trace.emit (Memory.stats t.mem)
-      (Trace.Instr { pc = base + cur; source });
-    ignore (Memory.read_word t.mem ~purpose:Memory.Ifetch (base + cur));
-    Trace.count_instr (Memory.stats t.mem) source;
-    Trace.add_unstalled (Memory.stats t.mem) Costs.cycles_per_instr;
+    (* The runtime/memcpy regions live in reserved FRAM, so the
+       unobserved path can take the specialized counted fetch. *)
+    if observed then begin
+      Trace.emit stats (Trace.Instr { pc = base + cur; source });
+      ignore (Memory.read_word t.mem ~purpose:Memory.Ifetch (base + cur))
+    end
+    else ignore (Memory.fetch_word_fram t.mem (base + cur));
+    Trace.count_instr stats source;
+    Trace.add_unstalled stats Costs.cycles_per_instr;
     set ((cur + 2) mod size)
   done
 

@@ -23,7 +23,11 @@ module Json = Observe.Json
    excluded from the perf gate — it measures the host, not the
    simulated system) and the "swapram_pgo" system: the measured run
    of the profile-guided rebuild, with a "pgo" object describing the
-   placement (budget, pinned set, FRAM-resident set). *)
+   placement (budget, pinned set, FRAM-resident set). Full (non-slim)
+   reports additionally carry a top-level "host" object comparing
+   simulator throughput between the reference interpreter and the
+   superblock engine, serial and parallel — additive, so the perf
+   gate and slim baseline are unaffected. *)
 
 let schema_version = 3
 
@@ -246,19 +250,138 @@ let pgo_json ~params ~slim (e : Sweep.pgo_entry) =
   in
   with_host e.Sweep.pgo_host_s cell
 
-let compute ?(seed = 1) ?benchmarks ?(frequency = Platform.Mhz24) ?(slim = false)
-    () =
-  let params = params_for frequency in
-  let sweep =
-    Sweep.compute ~seed ?benchmarks ~observe:Toolchain.metrics_observe
-      ~frequency ()
+(* --- v3 "host" object: simulator-throughput comparison ----------------- *)
+
+(* Wall-clock for the unobserved Table-2 suite under three drivers:
+   the reference interpreter (serial), the superblock engine (serial),
+   and the superblock engine sharded across [jobs] workers. Every
+   sweep bypasses the memo so each figure is a fresh measurement, and
+   the reference/superblock results are cross-checked cell by cell —
+   the report refuses to print a speedup over a run that disagrees.
+   Excluded from the perf gate and from slim reports: it measures the
+   host machine, not the simulated system. *)
+
+let uart_of = function
+  | Toolchain.Completed r -> Some r.Toolchain.uart
+  | Toolchain.Crashed _ | Toolchain.Did_not_fit _ -> None
+
+let outcome_equal ~params a b =
+  (* Structural equality of every simulated scalar the report renders
+     (cycles, energy, counters, runtime stats), plus the UART stream,
+     which the JSON rendering omits. *)
+  outcome_json ~params ~slim:true a = outcome_json ~params ~slim:true b
+  && uart_of a = uart_of b
+
+let entry_equal ~params (a : Sweep.entry) (b : Sweep.entry) =
+  outcome_equal ~params
+    (Toolchain.Completed a.Sweep.baseline)
+    (Toolchain.Completed b.Sweep.baseline)
+  && outcome_equal ~params a.Sweep.swapram b.Sweep.swapram
+  && outcome_equal ~params a.Sweep.block b.Sweep.block
+
+let entry_host_s (e : Sweep.entry) =
+  e.Sweep.baseline_host_s +. e.Sweep.swapram_host_s +. e.Sweep.block_host_s
+
+let geomean = function
+  | [] -> 0.0
+  | xs ->
+      exp (List.fold_left (fun acc x -> acc +. log x) 0.0 xs
+           /. float_of_int (List.length xs))
+
+let host_json ~params ~seed ~frequency ~jobs benchmarks =
+  let sweep_with ~engine ~jobs =
+    Sweep.timed (fun () ->
+        Sweep.compute ~seed ~benchmarks ~engine ~jobs ~cache:false ~frequency
+          ())
   in
-  let pgo =
-    Sweep.compute_pgo ~seed ?benchmarks ~observe:Toolchain.metrics_observe
-      ~frequency ()
+  let reference, reference_s = sweep_with ~engine:Msp430.Cpu.Reference ~jobs:1 in
+  let superblock, superblock_s =
+    sweep_with ~engine:Msp430.Cpu.Superblock ~jobs:1
+  in
+  let parallel, parallel_s =
+    sweep_with ~engine:Msp430.Cpu.Superblock ~jobs
+  in
+  let engines_agree =
+    List.for_all2 (entry_equal ~params) reference superblock
+    && List.for_all2 (entry_equal ~params) reference parallel
+  in
+  if not engines_agree then
+    failwith
+      "bench report: superblock engine disagrees with the reference \
+       interpreter";
+  let per_benchmark =
+    List.map2
+      (fun (r : Sweep.entry) (s : Sweep.entry) ->
+        let rs = entry_host_s r and ss = entry_host_s s in
+        ( r.Sweep.benchmark.Workloads.Bench_def.name,
+          rs,
+          ss,
+          if ss > 0.0 then rs /. ss else 0.0 ))
+      reference superblock
+  in
+  let serial_geomean =
+    geomean
+      (List.filter_map
+         (fun (_, _, _, sp) -> if sp > 0.0 then Some sp else None)
+         per_benchmark)
   in
   Json.Obj
     [
+      ("cores", Json.Int (Parallel.ncores ()));
+      ("jobs", Json.Int jobs);
+      ("engines_agree", Json.Bool engines_agree);
+      ("reference_serial_s", Json.Float reference_s);
+      ("superblock_serial_s", Json.Float superblock_s);
+      ("superblock_parallel_s", Json.Float parallel_s);
+      ( "serial_speedup_geomean",
+        (* geo-mean over per-benchmark (reference / superblock) wall
+           times, serial on both sides: the engine's own contribution *)
+        Json.Float serial_geomean );
+      ( "total_speedup",
+        Json.Float (if parallel_s > 0.0 then reference_s /. parallel_s else 0.0)
+      );
+      ( "benchmarks",
+        Json.List
+          (List.map
+             (fun (name, rs, ss, sp) ->
+               Json.Obj
+                 [
+                   ("name", Json.String name);
+                   ("reference_s", Json.Float rs);
+                   ("superblock_s", Json.Float ss);
+                   ("speedup", Json.Float sp);
+                 ])
+             per_benchmark) );
+    ]
+
+let compute ?(seed = 1) ?benchmarks ?(frequency = Platform.Mhz24) ?(slim = false)
+    ?jobs () =
+  let params = params_for frequency in
+  let jobs = Sweep.resolve_jobs jobs in
+  let sweep =
+    Sweep.compute ~seed ?benchmarks ~observe:Toolchain.metrics_observe
+      ~frequency ~jobs ()
+  in
+  let pgo =
+    Sweep.compute_pgo ~seed ?benchmarks ~observe:Toolchain.metrics_observe
+      ~frequency ~jobs ()
+  in
+  let host =
+    (* Slim reports (the committed baseline) stay host-independent:
+       no wall-clock figures, so regenerating the baseline on a
+       different machine cannot churn it. *)
+    if slim then []
+    else
+      [
+        ( "host",
+          host_json ~params ~seed ~frequency ~jobs
+            (match benchmarks with
+            | Some bs -> bs
+            | None -> Workloads.Suite.all) );
+      ]
+  in
+  Json.Obj
+    ([
       ("schema_version", Json.Int schema_version);
       ("seed", Json.Int seed);
       ("frequency_hz", Json.Int (frequency_hz frequency));
@@ -300,9 +423,10 @@ let compute ?(seed = 1) ?benchmarks ?(frequency = Platform.Mhz24) ?(slim = false
                  ])
              sweep) );
     ]
+    @ host)
 
-let write ?seed ?benchmarks ?frequency ?slim path =
-  let json = compute ?seed ?benchmarks ?frequency ?slim () in
+let write ?seed ?benchmarks ?frequency ?slim ?jobs path =
+  let json = compute ?seed ?benchmarks ?frequency ?slim ?jobs () in
   let oc = open_out path in
   output_string oc (Json.to_string_pretty json);
   close_out oc

@@ -6,7 +6,15 @@
 
     Schema v2 embeds the {!Observe.Metrics} sampler's output per
     system: a "metrics" object with the per-window time series and the
-    miss-ratio curve. *)
+    miss-ratio curve. Schema v3 adds per-system "host_seconds", the
+    "swapram_pgo" system, and — in full (non-slim) reports — a
+    top-level "host" object benchmarking the simulator itself:
+    wall-clock for the unobserved suite under the reference
+    interpreter (serial), the superblock engine (serial), and the
+    superblock engine sharded across workers, with per-benchmark and
+    geo-mean speedups. The host measurement cross-checks both engines
+    cell by cell and fails rather than report a speedup over a
+    disagreeing run. *)
 
 val schema_version : int
 
@@ -15,18 +23,23 @@ val compute :
   ?benchmarks:Workloads.Bench_def.t list ->
   ?frequency:Msp430.Platform.frequency ->
   ?slim:bool ->
+  ?jobs:int ->
   unit ->
   Observe.Json.t
 (** [slim] (default false) drops the bulky "metrics" and
     "top_functions" payloads while keeping every scalar the
     perf-regression gate ({!Compare}) reads — the rendering committed
-    as bench/baseline.json. *)
+    as bench/baseline.json — and omits the "host" object so the
+    baseline stays host-independent. [jobs] (default
+    {!Sweep.set_default_jobs}) shards sweep cells across forked
+    workers; it cannot change any simulated value. *)
 
 val write :
   ?seed:int ->
   ?benchmarks:Workloads.Bench_def.t list ->
   ?frequency:Msp430.Platform.frequency ->
   ?slim:bool ->
+  ?jobs:int ->
   string ->
   unit
 (** Render {!compute} pretty-printed to the given path. *)

@@ -1,0 +1,195 @@
+(* Fork-based worker pool. See parallel.mli for the contract.
+
+   Design notes:
+
+   - Workers are forked from the current process, so every task runs
+     the same loaded code; closures and results marshal across the
+     pipe with [Marshal.Closures] (code pointers are valid in both
+     directions because parent and children are the same binary).
+
+   - The parent keeps exactly one outstanding task per worker and
+     reads a worker's entire result frame before touching another
+     channel. A result frame is [output_binary_int index] followed by
+     one marshalled value; since a worker only produces a frame in
+     response to a task, a channel never holds more than one frame, so
+     mixing [Unix.select] on the raw descriptors with buffered
+     [in_channel] reads is safe.
+
+   - Dynamic dispatch (next pending task to the first free worker)
+     load-balances uneven cells; determinism is preserved by indexing
+     results, not by scheduling. *)
+
+let ncores () =
+  try
+    let ic = open_in "/proc/cpuinfo" in
+    let n = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         if String.length line >= 9 && String.sub line 0 9 = "processor" then
+           incr n
+       done
+     with End_of_file -> ());
+    close_in ic;
+    max 1 !n
+  with Sys_error _ -> 1
+
+exception Worker_failed of string
+
+type 'b reply = Ok_r of 'b | Error_r of string
+
+type worker = {
+  pid : int;
+  task_out : out_channel; (* parent -> child: task indices *)
+  result_fd : Unix.file_descr;
+  result_in : in_channel; (* child -> parent: index + marshalled reply *)
+  mutable busy : bool;
+}
+
+(* Child side: serve tasks until the parent sends -1. All exits go
+   through [Unix._exit] so the child never runs the parent's at_exit
+   handlers or flushes duplicated buffers. *)
+let child_loop tasks f task_r result_w =
+  let ic = Unix.in_channel_of_descr task_r in
+  let oc = Unix.out_channel_of_descr result_w in
+  (try
+     let rec serve () =
+       let idx = input_binary_int ic in
+       if idx >= 0 then begin
+         let reply =
+           try Ok_r (f tasks.(idx))
+           with e -> Error_r (Printexc.to_string e)
+         in
+         output_binary_int oc idx;
+         Marshal.to_channel oc reply [ Marshal.Closures ];
+         flush oc;
+         serve ()
+       end
+     in
+     serve ()
+   with _ -> Unix._exit 2);
+  Unix._exit 0
+
+let map ?(jobs = 1) f xs =
+  let tasks = Array.of_list xs in
+  let ntasks = Array.length tasks in
+  let nworkers = min jobs ntasks in
+  if nworkers <= 1 then List.map f xs
+  else begin
+    (* Anything buffered now would be flushed again by every child on
+       its way through [Unix._exit]-less paths; flush first so output
+       appears exactly once. *)
+    flush stdout;
+    flush stderr;
+    let prev_sigpipe =
+      (* A worker that dies mid-protocol must surface as
+         [Worker_failed], not kill the whole experiment run. *)
+      try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+      with Invalid_argument _ -> None
+    in
+    let workers =
+      Array.init nworkers (fun _ ->
+          let task_r, task_w = Unix.pipe ~cloexec:false () in
+          let result_r, result_w = Unix.pipe ~cloexec:false () in
+          match Unix.fork () with
+          | 0 ->
+              (* Descriptors inherited from previously-forked siblings
+                 are closed implicitly at [Unix._exit]; only this
+                 worker's own parent-side ends matter for EOF
+                 semantics, and the child holds none of them after
+                 these closes. *)
+              Unix.close task_w;
+              Unix.close result_r;
+              child_loop tasks f task_r result_w
+          | pid ->
+              Unix.close task_r;
+              Unix.close result_w;
+              {
+                pid;
+                task_out = Unix.out_channel_of_descr task_w;
+                result_fd = result_r;
+                result_in = Unix.in_channel_of_descr result_r;
+                busy = false;
+              })
+    in
+    let results = Array.make ntasks None in
+    let next = ref 0 in
+    let done_count = ref 0 in
+    let send w idx =
+      output_binary_int w.task_out idx;
+      flush w.task_out
+    in
+    let assign w =
+      if !next < ntasks then begin
+        send w !next;
+        w.busy <- true;
+        incr next
+      end
+    in
+    let finish () =
+      Array.iter
+        (fun w ->
+          (try send w (-1) with Sys_error _ -> ());
+          (try close_out w.task_out with Sys_error _ -> ());
+          (try close_in w.result_in with Sys_error _ -> ());
+          ignore (Unix.waitpid [] w.pid))
+        workers;
+      match prev_sigpipe with
+      | Some b -> ignore (Sys.signal Sys.sigpipe b)
+      | None -> ()
+    in
+    let fail msg =
+      finish ();
+      raise (Worker_failed msg)
+    in
+    (try
+       Array.iter assign workers;
+       while !done_count < ntasks do
+         let fds =
+           Array.to_list workers
+           |> List.filter_map (fun w -> if w.busy then Some w.result_fd else None)
+         in
+         let rec select_retry () =
+           try Unix.select fds [] [] (-1.0)
+           with Unix.Unix_error (Unix.EINTR, _, _) -> select_retry ()
+         in
+         let ready, _, _ = select_retry () in
+         List.iter
+           (fun fd ->
+             let w =
+               match
+                 Array.to_list workers
+                 |> List.find_opt (fun w -> w.result_fd = fd)
+               with
+               | Some w -> w
+               | None -> assert false
+             in
+             let idx, reply =
+               try
+                 let idx = input_binary_int w.result_in in
+                 let reply : _ reply =
+                   Marshal.from_channel w.result_in
+                 in
+                 (idx, reply)
+               with End_of_file | Failure _ ->
+                 fail
+                   (Printf.sprintf "worker %d died without delivering a result"
+                      w.pid)
+             in
+             (match reply with
+             | Ok_r v -> results.(idx) <- Some v
+             | Error_r msg -> fail msg);
+             w.busy <- false;
+             incr done_count;
+             assign w)
+           ready
+       done
+     with
+    | Worker_failed _ as e -> raise e
+    | e ->
+        (try finish () with _ -> ());
+        raise e);
+    finish ();
+    Array.to_list results
+    |> List.map (function Some v -> v | None -> raise (Worker_failed "missing result"))
+  end

@@ -1,0 +1,29 @@
+(** Fork-based worker pool for sharding independent experiment cells
+    across host cores.
+
+    Each task is computed in a forked child of the current process
+    (same binary, same loaded code), so task closures and results may
+    contain functional values; results travel back over a pipe via
+    [Marshal] with [Closures]. The parent hands out tasks dynamically
+    (one outstanding task per worker) and reassembles results in input
+    order, so a parallel map is deterministic: same inputs, same
+    output list, independent of worker count and scheduling.
+
+    Simulated results are bit-identical to a serial run by
+    construction — each cell is a pure function of its inputs computed
+    by an isolated process. Only host-side timings differ. *)
+
+val ncores : unit -> int
+(** Number of online cores, parsed from /proc/cpuinfo; 1 when it
+    cannot be determined. *)
+
+exception Worker_failed of string
+(** A task raised in its worker (carrying [Printexc.to_string] of the
+    original), or a worker died without delivering a result. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] is [List.map f xs] computed by up to [jobs]
+    forked workers. [jobs] defaults to 1; values [<= 1], a singleton
+    or empty [xs] degrade to plain [List.map] in-process (no fork).
+    Tasks are dispatched dynamically in list order; results are
+    returned in list order regardless of completion order. *)

@@ -3,11 +3,17 @@ module Platform = Msp430.Platform
 (* Shared evaluation sweep: every benchmark under the three systems
    (unified baseline, SwapRAM, block cache) at a given frequency.
    Table 2, Figures 8 and 9 all read from this matrix; results are
-   memoized per (seed, frequency) so one bench run computes it once.
+   memoized per (seed, frequency, observe, engine, subset) so one
+   bench run computes it once.
 
-   Each run is wall-clock timed (host seconds, [Sys.time]) so the
-   machine-readable report can track simulator throughput alongside
-   the simulated metrics. *)
+   Each cell is wall-clock timed on the host — CLOCK_MONOTONIC, not
+   [Sys.time], which reports processor time and under-reports
+   whenever the simulator shares the machine — so the machine-readable
+   report can track simulator throughput alongside the simulated
+   metrics. With [jobs > 1] the independent (benchmark x system) cells
+   are sharded across forked workers ({!Parallel.map}); each cell is
+   timed inside its worker, and the merged result list is ordered by
+   benchmark exactly as a serial sweep would produce it. *)
 
 type entry = {
   benchmark : Workloads.Bench_def.t;
@@ -22,89 +28,142 @@ type entry = {
 type t = entry list
 
 let timed f =
-  let t0 = Sys.time () in
+  let t0 = Monotonic_clock.now () in
   let r = f () in
-  (r, Sys.time () -. t0)
+  let t1 = Monotonic_clock.now () in
+  (r, Int64.to_float (Int64.sub t1 t0) /. 1e9)
 
-let cache :
-    ( int * Platform.frequency * Toolchain.observe_spec option * string list,
-      t )
-    Hashtbl.t =
-  Hashtbl.create 4
+(* Default worker count for every sweep-shaped computation in this
+   library; the bench driver and CLI set it from --jobs. *)
+let default_jobs = ref 1
+let set_default_jobs n = default_jobs := max 1 n
+let resolve_jobs jobs = match jobs with Some j -> max 1 j | None -> !default_jobs
 
-let compute_uncached ?observe ~seed ~frequency benchmarks =
-  List.map
-    (fun benchmark ->
-      let base_config =
+type key =
+  int * Platform.frequency * Toolchain.observe_spec option * string
+  * string list
+
+let memo : (key, t) Hashtbl.t = Hashtbl.create 4
+
+(* One (benchmark x system) cell, run and timed host-side. This is the
+   unit of work a forked worker executes. *)
+let run_cell ?observe ~seed ~frequency ~engine (benchmark, sys) =
+  let base_config =
+    { (Toolchain.default_config benchmark) with Toolchain.seed; frequency }
+  in
+  let base_config =
+    match engine with
+    | None -> base_config
+    | Some e -> { base_config with Toolchain.engine = e }
+  in
+  let config =
+    match sys with
+    | `Baseline -> base_config
+    | `Swapram ->
         {
-          (Toolchain.default_config benchmark) with
-          Toolchain.seed;
-          frequency;
+          base_config with
+          Toolchain.caching = Toolchain.Swapram_cache Swapram.Config.default_options;
         }
-      in
-      let baseline, baseline_host_s =
-        timed (fun () ->
-            Report.expect_completed
-              ~what:(benchmark.Workloads.Bench_def.name ^ " baseline")
-              (Toolchain.run ?observe base_config))
-      in
-      let swapram, swapram_host_s =
-        timed (fun () ->
-            Toolchain.run ?observe
-              {
-                base_config with
-                Toolchain.caching =
-                  Toolchain.Swapram_cache Swapram.Config.default_options;
-              })
-      in
-      let block, block_host_s =
-        timed (fun () ->
-            Toolchain.run ?observe
-              {
-                base_config with
-                Toolchain.caching =
-                  Toolchain.Block_cache Blockcache.Config.default_options;
-              })
-      in
-      (* §5.1 validation is implicit in every sweep: outputs must match *)
-      (match swapram with
-      | Toolchain.Completed r when r.Toolchain.uart <> baseline.Toolchain.uart ->
-          failwith (benchmark.Workloads.Bench_def.name ^ ": SwapRAM output differs")
-      | _ -> ());
-      (match block with
-      | Toolchain.Completed r when r.Toolchain.uart <> baseline.Toolchain.uart ->
-          failwith (benchmark.Workloads.Bench_def.name ^ ": block-cache output differs")
-      | _ -> ());
-      {
-        benchmark;
-        baseline;
-        swapram;
-        block;
-        baseline_host_s;
-        swapram_host_s;
-        block_host_s;
-      })
-    benchmarks
+    | `Block ->
+        {
+          base_config with
+          Toolchain.caching = Toolchain.Block_cache Blockcache.Config.default_options;
+        }
+  in
+  timed (fun () ->
+      match sys with
+      | `Baseline ->
+          Toolchain.Completed
+            (Report.expect_completed
+               ~what:(benchmark.Workloads.Bench_def.name ^ " baseline")
+               (Toolchain.run ?observe config))
+      | `Swapram | `Block -> Toolchain.run ?observe config)
 
-let compute ?(seed = 1) ?benchmarks ?observe ~frequency () =
+let compute_uncached ?observe ~seed ~frequency ~engine ~jobs benchmarks =
+  let cells =
+    List.concat_map
+      (fun b -> [ (b, `Baseline); (b, `Swapram); (b, `Block) ])
+      benchmarks
+  in
+  let results =
+    Parallel.map ~jobs (run_cell ?observe ~seed ~frequency ~engine) cells
+  in
+  (* Merge in deterministic (benchmark, system) order — [Parallel.map]
+     returns results in input order, so this is the exact structure a
+     serial sweep builds. *)
+  let rec merge benchmarks results =
+    match (benchmarks, results) with
+    | [], [] -> []
+    | b :: bs, (base, bt) :: (sw, st) :: (bl, lt) :: rest ->
+        let baseline =
+          match base with
+          | Toolchain.Completed r -> r
+          | _ -> assert false (* run_cell wraps expect_completed *)
+        in
+        (* §5.1 validation is implicit in every sweep: outputs must
+           match. Checked in the parent after the merge so it holds
+           identically for serial and parallel runs. *)
+        (match sw with
+        | Toolchain.Completed r when r.Toolchain.uart <> baseline.Toolchain.uart
+          ->
+            failwith
+              (b.Workloads.Bench_def.name ^ ": SwapRAM output differs")
+        | _ -> ());
+        (match bl with
+        | Toolchain.Completed r when r.Toolchain.uart <> baseline.Toolchain.uart
+          ->
+            failwith
+              (b.Workloads.Bench_def.name ^ ": block-cache output differs")
+        | _ -> ());
+        {
+          benchmark = b;
+          baseline;
+          swapram = sw;
+          block = bl;
+          baseline_host_s = bt;
+          swapram_host_s = st;
+          block_host_s = lt;
+        }
+        :: merge bs rest
+    | _ -> assert false
+  in
+  merge benchmarks results
+
+let key ~seed ~frequency ~observe ~engine benchmarks : key =
+  (* [None] means "the toolchain default" — resolved here rather than
+     stored as a wildcard, so flipping the default engine between
+     sweeps cannot alias memo entries. *)
+  let engine_name =
+    Msp430.Cpu.engine_name
+      (match engine with Some e -> e | None -> Toolchain.default_engine ())
+  in
+  ( seed,
+    frequency,
+    observe,
+    engine_name,
+    List.map (fun b -> b.Workloads.Bench_def.name) benchmarks )
+
+let compute ?(seed = 1) ?benchmarks ?observe ?engine ?jobs ?(cache = true)
+    ~frequency () =
   let benchmarks =
     match benchmarks with Some bs -> bs | None -> Workloads.Suite.all
   in
+  let jobs = resolve_jobs jobs in
   (* The full spec keys the memo: runs observed with different specs
-     carry different attachments (e.g. the metrics sampler), so they
-     must not alias. *)
-  let key =
-    ( seed,
-      frequency,
-      observe,
-      List.map (fun b -> b.Workloads.Bench_def.name) benchmarks )
-  in
-  match Hashtbl.find_opt cache key with
-  | Some t -> t
-  | None ->
-      let t = compute_uncached ?observe ~seed ~frequency benchmarks in
-      Hashtbl.replace cache key t;
-      t
+     carry different attachments (e.g. the metrics sampler), and runs
+     pinned to different engines time differently, so they must not
+     alias. [jobs] is deliberately not in the key — it cannot change
+     any simulated value — which is why callers that want fresh host
+     timings under a specific jobs setting pass [~cache:false]. *)
+  if not cache then compute_uncached ?observe ~seed ~frequency ~engine ~jobs benchmarks
+  else
+    let k = key ~seed ~frequency ~observe ~engine benchmarks in
+    match Hashtbl.find_opt memo k with
+    | Some t -> t
+    | None ->
+        let t = compute_uncached ?observe ~seed ~frequency ~engine ~jobs benchmarks in
+        Hashtbl.replace memo k t;
+        t
 
 (* --- Profile-guided runs ----------------------------------------------- *)
 
@@ -114,42 +173,40 @@ type pgo_entry = {
   pgo_host_s : float;  (** training + rebuild + measured run *)
 }
 
-let pgo_cache :
-    ( int * Platform.frequency * Toolchain.observe_spec option * string list,
-      pgo_entry list )
-    Hashtbl.t =
-  Hashtbl.create 4
+let pgo_cache : (key, pgo_entry list) Hashtbl.t = Hashtbl.create 4
 
-let compute_pgo ?(seed = 1) ?benchmarks ?observe ~frequency () =
+let compute_pgo ?(seed = 1) ?benchmarks ?observe ?engine ?jobs ~frequency () =
   let benchmarks =
     match benchmarks with Some bs -> bs | None -> Workloads.Suite.all
   in
-  let key =
-    ( seed,
-      frequency,
-      observe,
-      List.map (fun b -> b.Workloads.Bench_def.name) benchmarks )
-  in
-  match Hashtbl.find_opt pgo_cache key with
+  let jobs = resolve_jobs jobs in
+  let k = key ~seed ~frequency ~observe ~engine benchmarks in
+  match Hashtbl.find_opt pgo_cache k with
   | Some t -> t
   | None ->
-      let t =
-        List.map
-          (fun benchmark ->
-            let config =
-              {
-                (Toolchain.default_config benchmark) with
-                Toolchain.seed;
-                frequency;
-                caching =
-                  Toolchain.Swapram_cache Swapram.Config.default_options;
-              }
-            in
-            let pgo, pgo_host_s =
-              timed (fun () -> Toolchain.run_pgo ?observe config)
-            in
-            { pgo_benchmark = benchmark; pgo; pgo_host_s })
-          benchmarks
+      let run_one benchmark =
+        let config =
+          {
+            (Toolchain.default_config benchmark) with
+            Toolchain.seed;
+            frequency;
+            caching = Toolchain.Swapram_cache Swapram.Config.default_options;
+          }
+        in
+        let config =
+          match engine with
+          | None -> config
+          | Some e -> { config with Toolchain.engine = e }
+        in
+        let pgo, pgo_host_s =
+          timed (fun () -> Toolchain.run_pgo ?observe config)
+        in
+        { pgo_benchmark = benchmark; pgo; pgo_host_s }
       in
-      Hashtbl.replace pgo_cache key t;
+      let t = Parallel.map ~jobs run_one benchmarks in
+      Hashtbl.replace pgo_cache k t;
       t
+
+let clear_cache () =
+  Hashtbl.reset memo;
+  Hashtbl.reset pgo_cache

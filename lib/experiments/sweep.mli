@@ -1,32 +1,64 @@
 (** Shared evaluation sweep: every benchmark under the three systems
-    at a given frequency, memoized per (seed, frequency) — Table 2 and
-    Figures 8/9 all read from this matrix. Each sweep cross-checks the
-    cached systems' outputs against the baseline (the §5.1 validation)
-    and fails loudly on a mismatch. *)
+    at a given frequency, memoized per (seed, frequency, observe,
+    engine, subset) — Table 2 and Figures 8/9 all read from this
+    matrix. Each sweep cross-checks the cached systems' outputs
+    against the baseline (the §5.1 validation) and fails loudly on a
+    mismatch.
+
+    Cells are host-timed with a monotonic wall clock, and with
+    [jobs > 1] the independent (benchmark x system) cells are sharded
+    across forked workers; simulated results are identical to a serial
+    sweep (each cell is a pure function of its configuration), and the
+    merged list is in benchmark order regardless of scheduling. *)
 
 type entry = {
   benchmark : Workloads.Bench_def.t;
   baseline : Toolchain.result;
   swapram : Toolchain.outcome;
   block : Toolchain.outcome;
-  baseline_host_s : float;  (** host wall-clock seconds for the run *)
+  baseline_host_s : float;
+      (** host wall-clock seconds for the run (CLOCK_MONOTONIC),
+          timed inside the worker that executed the cell *)
   swapram_host_s : float;
   block_host_s : float;
 }
 
 type t = entry list
 
+val set_default_jobs : int -> unit
+(** Worker count used when a sweep is invoked without [?jobs] —
+    including indirectly, through figure/table modules that don't
+    thread a jobs parameter. Clamped to >= 1; the default is 1
+    (serial). *)
+
+val resolve_jobs : int option -> int
+(** The worker count a sweep would use for the given [?jobs] argument:
+    the argument clamped to >= 1, or the {!set_default_jobs} value. *)
+
+val timed : (unit -> 'a) -> 'a * float
+(** Run a thunk and return (result, elapsed host seconds) on the
+    monotonic clock. Exposed for the bench driver's own host-side
+    timings. *)
+
 val compute :
   ?seed:int ->
   ?benchmarks:Workloads.Bench_def.t list ->
   ?observe:Toolchain.observe_spec ->
+  ?engine:Msp430.Cpu.engine ->
+  ?jobs:int ->
+  ?cache:bool ->
   frequency:Msp430.Platform.frequency ->
   unit ->
   t
 (** [benchmarks] restricts the sweep to a subset (defaults to the full
     suite); [observe] attaches the profiling stack to every run (see
-    {!Toolchain.observe_spec}). Results are memoized per
-    (seed, frequency, observed?, subset). *)
+    {!Toolchain.observe_spec}); [engine] pins the simulator engine
+    (defaults to the toolchain default); [jobs] overrides
+    {!set_default_jobs} for this sweep. Results are memoized per
+    (seed, frequency, observed?, engine, subset) — [jobs] is not part
+    of the key because it cannot change simulated values. Pass
+    [~cache:false] to bypass the memo entirely (neither read nor
+    write) when fresh host timings matter more than reuse. *)
 
 type pgo_entry = {
   pgo_benchmark : Workloads.Bench_def.t;
@@ -38,10 +70,16 @@ val compute_pgo :
   ?seed:int ->
   ?benchmarks:Workloads.Bench_def.t list ->
   ?observe:Toolchain.observe_spec ->
+  ?engine:Msp430.Cpu.engine ->
+  ?jobs:int ->
   frequency:Msp430.Platform.frequency ->
   unit ->
   pgo_entry list
 (** Profile-guided {!Toolchain.run_pgo} over the suite (train under
     the default SwapRAM configuration, rebuild with the computed
-    placement, measure). Memoized like {!compute}; [observe] applies
-    to the measured run. *)
+    placement, measure), one benchmark per worker when [jobs > 1].
+    Memoized like {!compute}; [observe] applies to the measured run. *)
+
+val clear_cache : unit -> unit
+(** Drop both memo tables. For tests that need to recompute the same
+    sweep under different jobs settings and compare results. *)

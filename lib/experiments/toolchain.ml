@@ -46,7 +46,16 @@ type config = {
   fuel : int;
   through_disasm : bool; (* route the support library through the
                             disassembler workflow of §4 *)
+  engine : Cpu.engine; (* host-simulator execution engine; either
+                          engine yields identical simulated results *)
 }
+
+(* Process-wide default engine, settable from driver command lines
+   (bench --engine=..., swapram_cli --engine ...). Set it before any
+   sweep runs: {!Sweep} resolves it into its memo keys at call time. *)
+let default_engine_ref = ref Cpu.Superblock
+let set_default_engine e = default_engine_ref := e
+let default_engine () = !default_engine_ref
 
 let default_config benchmark =
   {
@@ -57,6 +66,7 @@ let default_config benchmark =
     caching = Baseline;
     fuel = 2_000_000_000;
     through_disasm = false;
+    engine = !default_engine_ref;
   }
 
 let stack_reserve = 384
@@ -380,6 +390,7 @@ let prepare ?observe config =
   | exception Fit_error msg -> Error msg
   | image, install, sr_manifest, sr_usage, bb_usage ->
       let system = Platform.create config.frequency in
+      Cpu.set_engine system.Platform.cpu config.engine;
       let sr_rt, bb_rt = install system in
       let observation =
         Option.map

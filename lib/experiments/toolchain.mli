@@ -32,10 +32,24 @@ type config = {
   through_disasm : bool;
       (** route the support library through the §4 disassembler
           workflow *)
+  engine : Msp430.Cpu.engine;
+      (** host-simulator execution engine ({!Msp430.Cpu.Superblock} by
+          default). Either engine produces identical simulated results
+          — cycles, energy, UART output, runtime counters — so this
+          only affects host wall-clock time. *)
 }
 
 val default_config : Workloads.Bench_def.t -> config
-(** Unified placement, baseline caching, 24 MHz, seed 1. *)
+(** Unified placement, baseline caching, 24 MHz, seed 1, and the
+    process default engine ({!default_engine}). *)
+
+val set_default_engine : Msp430.Cpu.engine -> unit
+(** Engine used by {!default_config} (initially
+    {!Msp430.Cpu.Superblock}). Driver command lines set this from
+    [--engine]; set it before any sweep runs — {!Sweep} resolves the
+    default into its memo keys at call time. *)
+
+val default_engine : unit -> Msp430.Cpu.engine
 
 type sizes = { code_bytes : int; data_bytes : int }
 

@@ -174,13 +174,15 @@ let run ?max_reboots ?(fuel = 2_000_000_000) config schedule =
   | Ok golden -> run_against ?max_reboots ~fuel ~golden config schedule
 
 (* The golden run is per configuration, not per schedule: compute it
-   once and reuse it across the sweep. *)
-let sweep ?max_reboots ?(fuel = 2_000_000_000) config schedules =
+   once in the parent and reuse it across the sweep. Each schedule is
+   an independent injected run, so with [jobs > 1] they shard across
+   forked workers; reports come back in schedule order either way. *)
+let sweep ?max_reboots ?(fuel = 2_000_000_000) ?jobs config schedules =
   match Oracle.golden ~fuel config with
   | Error msg -> Error msg
   | Ok golden ->
       Ok
-        (List.map
+        (Experiments.Parallel.map ?jobs
            (fun schedule -> run_against ?max_reboots ~fuel ~golden config schedule)
            schedules)
 

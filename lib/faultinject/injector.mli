@@ -64,10 +64,14 @@ val run :
 val sweep :
   ?max_reboots:int ->
   ?fuel:int ->
+  ?jobs:int ->
   Experiments.Toolchain.config ->
   Schedule.t list ->
   (report list, string) result
 (** Run several schedules against one configuration, computing the
-    golden run once; [Error] if the golden build/run fails. *)
+    golden run once (in the calling process); [Error] if the golden
+    build/run fails. [jobs > 1] shards the schedules across forked
+    workers ({!Experiments.Parallel.map}); reports are returned in
+    schedule order regardless. *)
 
 val table : report list -> string

@@ -12,12 +12,48 @@ type trap_action = Goto of int | Halt_machine
    address); self-validating, see [decode_at]. *)
 type dentry = { dw : int array; dinstr : Isa.t; dsize : int }
 
+(* Superblock engine: one preprocessed instruction of a straight-line
+   run. Everything the reference step loop recomputes per execution —
+   decode, cycle cost, source classification — is resolved once at
+   record time; replay only re-fetches the instruction words (counted,
+   the exact [decode_at] validation pattern) and executes. *)
+type sb_instr = {
+  si_pc : int;
+  si_words : int array; (* the words the instruction decoded from *)
+  si_nwords : int;
+  si_instr : Isa.t;
+  si_size : int;
+  si_cycles : int; (* Cycles.of_instr, precomputed *)
+  si_source : Trace.source; (* classifier result, precomputed *)
+  si_fetch : int;
+      (* how replay fetches the words: 0 = all in SRAM, 1 = all in
+         FRAM (specialized counted fetches), 2 = generic counted read
+         (region boundary or peripheral oddity) *)
+}
+
+(* A superblock: a maximal straight-line run starting at [sb_start].
+   Only the last instruction may write the PC. *)
+type sblock = { sb_instrs : sb_instr array }
+
+type engine = Reference | Superblock
+
 type t = {
   regs : int array;
   mem : Memory.t;
   stats : Trace.t;
   traps : (int, t -> trap_action) Hashtbl.t;
   dcache : dentry option array;
+  sblocks : sblock option array; (* superblock cache, keyed like dcache *)
+  sb_ws : int array; (* scratch: words fetched while validating *)
+  sb_srcs : int array; (* scratch: per-source instruction batch *)
+  (* Batched-counter accumulators for the replay loop. Mutable fields
+     rather than [ref]s/closures: with blocks as short as two
+     instructions (a compare-and-branch loop body), per-block heap
+     cells dominated the allocation profile. *)
+  mutable sb_cycles_acc : int;
+  mutable sb_icount : int;
+  mutable sb_used : int;
+  mutable engine : engine;
   mutable classify : int -> Trace.source;
   mutable halted : bool;
   mutable tracer : (pc:int -> Isa.t -> unit) option;
@@ -42,6 +78,13 @@ let create mem =
     stats;
     traps = Hashtbl.create 8;
     dcache = Array.make 0x8000 None;
+    sblocks = Array.make 0x8000 None;
+    sb_ws = Array.make 3 0;
+    sb_srcs = Array.make Trace.source_count 0;
+    sb_cycles_acc = 0;
+    sb_icount = 0;
+    sb_used = 0;
+    engine = Superblock;
     classify = default_classifier mem;
     halted = false;
     tracer = None;
@@ -52,7 +95,30 @@ let stats t = t.stats
 let halted t = t.halted
 let reg t r = t.regs.(r)
 let set_reg t r v = t.regs.(r) <- Word.of_int v
-let set_classifier t f = t.classify <- f
+
+let sb_invalidate t = Array.fill t.sblocks 0 (Array.length t.sblocks) None
+
+let engine t = t.engine
+let set_engine t e =
+  if e <> t.engine then begin
+    t.engine <- e;
+    sb_invalidate t
+  end
+
+let engine_name = function Reference -> "reference" | Superblock -> "superblock"
+
+let engine_of_string = function
+  | "reference" -> Some Reference
+  | "superblock" -> Some Superblock
+  | _ -> None
+
+(* Superblocks bake the classifier's verdict into each record, so a new
+   classifier invalidates them. (The installed classifiers are pure
+   functions of the address, but re-recording is cheap and removes the
+   assumption.) *)
+let set_classifier t f =
+  t.classify <- f;
+  sb_invalidate t
 
 (* Optional per-instruction observer (mspdebug-style tracing); set to
    None to disable. Fires after decode, before execution. *)
@@ -71,7 +137,8 @@ let set_flag t bit v =
    unstalled cycles, attributed to [source] in the Fig. 8 breakdown. *)
 let charge_runtime_instr t ~source ~fetch_addr ~cycles =
   Memory.begin_instruction t.mem;
-  Trace.emit t.stats (Trace.Instr { pc = fetch_addr; source });
+  if Trace.has_observer t.stats then
+    Trace.emit t.stats (Trace.Instr { pc = fetch_addr; source });
   ignore (Memory.read_word t.mem ~purpose:Memory.Ifetch fetch_addr);
   Trace.count_instr t.stats source;
   Trace.add_unstalled t.stats cycles
@@ -80,57 +147,73 @@ let width_of = function Isa.W -> 2 | Isa.B -> 1
 let val_mask = function Isa.W -> 0xFFFF | Isa.B -> 0xFF
 let msb_mask = function Isa.W -> 0x8000 | Isa.B -> 0x80
 
-(* Evaluate a source operand; performs counted data reads. *)
+(* Evaluate a source operand; performs counted data reads.
+   Allocation-free: no intermediate closures on the per-instruction
+   path. *)
 let eval_src t sz src =
-  let rd addr = Memory.read t.mem ~purpose:Memory.Data ~width:(width_of sz) addr in
   match src with
   | Isa.Sreg r -> t.regs.(r) land val_mask sz
-  | Isa.Sidx (x, r) -> rd (Word.add t.regs.(r) x)
-  | Isa.Sind r -> rd t.regs.(r)
+  | Isa.Sidx (x, r) ->
+      Memory.read t.mem ~purpose:Memory.Data ~width:(width_of sz)
+        (Word.add t.regs.(r) x)
+  | Isa.Sind r ->
+      Memory.read t.mem ~purpose:Memory.Data ~width:(width_of sz) t.regs.(r)
   | Isa.Sinc r ->
       let addr = t.regs.(r) in
-      let v = rd addr in
+      let v = Memory.read t.mem ~purpose:Memory.Data ~width:(width_of sz) addr in
       let step = if sz = Isa.B && r >= 4 then 1 else 2 in
       t.regs.(r) <- Word.add addr step;
       v
   | Isa.Simm v | Isa.SimmX v -> v land val_mask sz
-  | Isa.Sabs a -> rd a
-  | Isa.Ssym a -> rd a
+  | Isa.Sabs a -> Memory.read t.mem ~purpose:Memory.Data ~width:(width_of sz) a
+  | Isa.Ssym a -> Memory.read t.mem ~purpose:Memory.Data ~width:(width_of sz) a
 
-type location = Loc_reg of int | Loc_mem of int
-
+(* A destination location as an immediate int, so the hot execute path
+   never allocates: values 0-15 name a register, [16 + a] names memory
+   address [a]. *)
 let dst_location t dst =
   match dst with
-  | Isa.Dreg r -> Loc_reg r
-  | Isa.Didx (x, r) -> Loc_mem (Word.add t.regs.(r) x)
-  | Isa.Dabs a -> Loc_mem a
-  | Isa.Dsym a -> Loc_mem a
+  | Isa.Dreg r -> r
+  | Isa.Didx (x, r) -> 16 + Word.add t.regs.(r) x
+  | Isa.Dabs a -> 16 + a
+  | Isa.Dsym a -> 16 + a
 
-let read_loc t sz = function
-  | Loc_reg r -> t.regs.(r) land val_mask sz
-  | Loc_mem a -> Memory.read t.mem ~purpose:Memory.Data ~width:(width_of sz) a
+let read_loc t sz loc =
+  if loc < 16 then t.regs.(loc) land val_mask sz
+  else Memory.read t.mem ~purpose:Memory.Data ~width:(width_of sz) (loc - 16)
 
 (* Byte writes to a register clear the upper byte (MSP430 semantics). *)
 let write_loc t sz loc v =
-  match loc with
-  | Loc_reg r -> t.regs.(r) <- v land val_mask sz
-  | Loc_mem a -> Memory.write t.mem ~width:(width_of sz) a v
+  if loc < 16 then t.regs.(loc) <- v land val_mask sz
+  else Memory.write t.mem ~width:(width_of sz) (loc - 16) v
 
 let set_nz t sz r =
   set_flag t flag_z (r = 0);
   set_flag t flag_n (r land msb_mask sz <> 0)
 
 (* a + b + carry_in with full flag semantics; returns the result.
-   SUB/SUBC/CMP reuse this with b = lnot src (one's complement). *)
+   SUB/SUBC/CMP reuse this with b = lnot src (one's complement).
+   C, Z, N and V are folded into a single SR update — this runs once
+   per arithmetic instruction, and four separate read-modify-writes of
+   SR showed up in execution profiles. *)
+let arith_flag_mask =
+  lnot ((1 lsl flag_c) lor (1 lsl flag_z) lor (1 lsl flag_n) lor (1 lsl flag_v))
+
 let add_with_flags t sz a b carry_in =
   let m = val_mask sz in
   let a = a land m and b = b land m in
   let full = a + b + carry_in in
   let r = full land m in
-  set_flag t flag_c (full > m);
-  set_flag t flag_v
-    (lnot (a lxor b) land (a lxor r) land msb_mask sz <> 0);
-  set_nz t sz r;
+  let sr = t.regs.(Isa.sr) land arith_flag_mask in
+  let sr = if full > m then sr lor (1 lsl flag_c) else sr in
+  let sr =
+    if lnot (a lxor b) land (a lxor r) land msb_mask sz <> 0 then
+      sr lor (1 lsl flag_v)
+    else sr
+  in
+  let sr = if r = 0 then sr lor (1 lsl flag_z) else sr in
+  let sr = if r land msb_mask sz <> 0 then sr lor (1 lsl flag_n) else sr in
+  t.regs.(Isa.sr) <- sr land 0xFFFF;
   r
 
 (* Decimal (BCD) addition with carry, digit by digit. *)
@@ -151,7 +234,6 @@ let dadd_with_flags t sz a b carry_in =
 let exec_format1 t op sz src dst =
   let sval = eval_src t sz src in
   let loc = dst_location t dst in
-  let carry () = if get_flag t flag_c then 1 else 0 in
   match op with
   | Isa.MOV -> write_loc t sz loc sval
   | Isa.ADD ->
@@ -159,19 +241,22 @@ let exec_format1 t op sz src dst =
       write_loc t sz loc (add_with_flags t sz d sval 0)
   | Isa.ADDC ->
       let d = read_loc t sz loc in
-      write_loc t sz loc (add_with_flags t sz d sval (carry ()))
+      let c = if get_flag t flag_c then 1 else 0 in
+      write_loc t sz loc (add_with_flags t sz d sval c)
   | Isa.SUB ->
       let d = read_loc t sz loc in
       write_loc t sz loc (add_with_flags t sz d (lnot sval) 1)
   | Isa.SUBC ->
       let d = read_loc t sz loc in
-      write_loc t sz loc (add_with_flags t sz d (lnot sval) (carry ()))
+      let c = if get_flag t flag_c then 1 else 0 in
+      write_loc t sz loc (add_with_flags t sz d (lnot sval) c)
   | Isa.CMP ->
       let d = read_loc t sz loc in
       ignore (add_with_flags t sz d (lnot sval) 1)
   | Isa.DADD ->
       let d = read_loc t sz loc in
-      write_loc t sz loc (dadd_with_flags t sz d sval (carry ()))
+      let c = if get_flag t flag_c then 1 else 0 in
+      write_loc t sz loc (dadd_with_flags t sz d sval c)
   | Isa.BIT ->
       let d = read_loc t sz loc in
       let r = d land sval in
@@ -212,17 +297,18 @@ let pop_word t =
 
 (* Location a format-II operand writes back to, mirroring eval_src's
    address computation (auto-increment already applied by eval_src, so
-   we recompute the pre-increment address). *)
+   we recompute the pre-increment address). Same immediate encoding as
+   [dst_location]; -1 means no write-back target (immediate operand). *)
 let src_writeback_loc t sz src =
   match src with
-  | Isa.Sreg r -> Some (Loc_reg r)
-  | Isa.Sidx (x, r) -> Some (Loc_mem (Word.add t.regs.(r) x))
-  | Isa.Sind r -> Some (Loc_mem t.regs.(r))
+  | Isa.Sreg r -> r
+  | Isa.Sidx (x, r) -> 16 + Word.add t.regs.(r) x
+  | Isa.Sind r -> 16 + t.regs.(r)
   | Isa.Sinc r ->
       let step = if sz = Isa.B && r >= 4 then 1 else 2 in
-      Some (Loc_mem (Word.sub t.regs.(r) step))
-  | Isa.Sabs a | Isa.Ssym a -> Some (Loc_mem a)
-  | Isa.Simm _ | Isa.SimmX _ -> None
+      16 + Word.sub t.regs.(r) step
+  | Isa.Sabs a | Isa.Ssym a -> 16 + a
+  | Isa.Simm _ | Isa.SimmX _ -> -1
 
 let exec_format2 t op sz src =
   match op with
@@ -233,7 +319,8 @@ let exec_format2 t op sz src =
       Memory.write t.mem ~width:(width_of sz) sp' v
   | Isa.CALL ->
       let target = eval_src t Isa.W src in
-      Trace.emit t.stats (Trace.Call { target });
+      if Trace.has_observer t.stats then
+        Trace.emit t.stats (Trace.Call { target });
       push_word t t.regs.(Isa.pc);
       t.regs.(Isa.pc) <- target
   | Isa.RRC | Isa.RRA | Isa.SWPB | Isa.SXT -> (
@@ -263,8 +350,8 @@ let exec_format2 t op sz src =
         | Isa.PUSH | Isa.CALL -> assert false
       in
       match src_writeback_loc t sz src with
-      | Some loc -> write_loc t sz loc r
-      | None -> Memory.fault "format-II write-back to immediate")
+      | -1 -> Memory.fault "format-II write-back to immediate"
+      | loc -> write_loc t sz loc r)
 
 let cond_holds t = function
   | Isa.JNE -> not (get_flag t flag_z)
@@ -343,6 +430,19 @@ let run_trap t pc =
       | Goto pc' -> t.regs.(Isa.pc) <- Word.of_int pc'
       | Halt_machine -> t.halted <- true)
 
+(* Execute a decoded instruction's effect. The caller has already set
+   PC to the fall-through address [pc0 + size]; PC-writing instructions
+   overwrite it here. *)
+let exec_instr t pc0 instr =
+  match instr with
+  | Isa.I1 (op, sz, src, dst) -> exec_format1 t op sz src dst
+  | Isa.I2 (op, sz, src) -> exec_format2 t op sz src
+  | Isa.Jcc (c, off) ->
+      if cond_holds t c then t.regs.(Isa.pc) <- Word.add pc0 (2 + (2 * off))
+  | Isa.RETI ->
+      t.regs.(Isa.sr) <- pop_word t;
+      t.regs.(Isa.pc) <- pop_word t
+
 (* Execute one instruction (or one trap handler invocation). *)
 let step t =
   if t.halted then ()
@@ -354,7 +454,8 @@ let step t =
       (* Attribution context for every counted access, stall and cycle
          this instruction causes — including the ifetches the decoder
          is about to issue. *)
-      Trace.emit t.stats (Trace.Instr { pc = pc0; source = t.classify pc0 });
+      if Trace.has_observer t.stats then
+        Trace.emit t.stats (Trace.Instr { pc = pc0; source = t.classify pc0 });
       let fetch addr = Memory.read_word t.mem ~purpose:Memory.Ifetch addr in
       let instr, size = decode_at t fetch pc0 in
       (match t.tracer with
@@ -362,14 +463,7 @@ let step t =
       | None -> ());
       Trace.count_instr t.stats (t.classify pc0);
       t.regs.(Isa.pc) <- Word.add pc0 size;
-      (match instr with
-      | Isa.I1 (op, sz, src, dst) -> exec_format1 t op sz src dst
-      | Isa.I2 (op, sz, src) -> exec_format2 t op sz src
-      | Isa.Jcc (c, off) ->
-          if cond_holds t c then t.regs.(Isa.pc) <- Word.add pc0 (2 + (2 * off))
-      | Isa.RETI ->
-          t.regs.(Isa.sr) <- pop_word t;
-          t.regs.(Isa.pc) <- pop_word t);
+      exec_instr t pc0 instr;
       Trace.add_unstalled t.stats (Cycles.of_instr instr);
       (* The compiler's return idiom (MOV @SP+, PC) gives an attached
          profiler the pop side of its shadow call stack. *)
@@ -380,6 +474,274 @@ let step t =
       if Memory.halt_requested t.mem then t.halted <- true
     end
   end
+
+(* --- Superblock engine ------------------------------------------------
+
+   The reference [step] loop re-decodes (through the self-validating
+   [decode_at]), re-classifies and re-prices every instruction it
+   executes. The superblock engine removes that recurring work for
+   straight-line runs: the first execution of a run records each
+   instruction's decoded form, its words, its cycle cost and its
+   source classification into an [sblock]; every later execution
+   replays the records. Replay still issues the instruction-word
+   fetches through the counted memory path — the exact access pattern
+   [decode_at] would issue — so wait states, contention stalls,
+   hardware read-cache state and the power-failure access clock are
+   bit-identical to the reference engine, and a mismatch (SRAM code
+   copied in or modified, post-outage wipe) falls back to a cold
+   decode served from the words already fetched, with no access
+   counted twice. Instruction and unstalled-cycle counters are
+   accumulated per block and flushed at block end — and, so the
+   aggregates stay exact mid-run, flushed before any escaping
+   exception (power loss, machine fault) propagates.
+
+   The engine only runs when no observer and no tracer are attached;
+   observed runs take the reference loop, which emits every event in
+   the documented order. *)
+
+let max_block_len = 48
+
+(* Could executing [instr] change the PC (other than falling through)?
+   Any such instruction terminates a superblock. [Sinc 0] / [Sreg 0]
+   operands never leave the decoder today (PC-relative modes decode to
+   [Simm]/[SimmX]/[Ssym]), but they are handled conservatively. *)
+let sb_terminates instr =
+  match instr with
+  | Isa.Jcc _ | Isa.RETI -> true
+  | Isa.I2 (Isa.CALL, _, _) -> true
+  | Isa.I1 (_, _, src, dst) -> (
+      match dst with
+      | Isa.Dreg 0 -> true
+      | _ -> ( match src with Isa.Sinc 0 -> true | _ -> false))
+  | Isa.I2 (_, _, src) -> (
+      match src with Isa.Sreg 0 | Isa.Sinc 0 -> true | _ -> false)
+
+(* Cold fallback during replay: the validation fetch at [ipc] found
+   words that differ from the recorded ones. [t.sb_ws.(0 .. have-1)]
+   hold the words already fetched (counted); decode from them, fetch
+   any further words the new encoding needs, and execute with the
+   reference per-instruction accounting. Mirrors [decode_at]'s
+   mismatch path: no access is counted twice. *)
+let sb_cold_exec t ipc have0 =
+  let ws = t.sb_ws in
+  let have = ref have0 in
+  let fetch' addr =
+    let k = ((addr - ipc) land 0xFFFF) lsr 1 in
+    if k < !have then ws.(k)
+    else begin
+      let w = Memory.read_word t.mem ~purpose:Memory.Ifetch addr in
+      if k < 3 then begin
+        ws.(k) <- w;
+        have := max !have (k + 1)
+      end;
+      w
+    end
+  in
+  let instr, size = Encoding.decode ~fetch:fetch' ~addr:ipc in
+  Trace.count_instr t.stats (t.classify ipc);
+  t.regs.(Isa.pc) <- Word.add ipc size;
+  exec_instr t ipc instr;
+  Trace.add_unstalled t.stats (Cycles.of_instr instr);
+  if Memory.halt_requested t.mem then t.halted <- true
+
+(* Record a fresh superblock starting at [pc0] by executing up to
+   [fuel] instructions with reference accounting (decode through
+   [decode_at], per-instruction counters), capturing each decoded
+   instruction. Returns the number of instructions executed. A partial
+   block is stored even when an exception escapes mid-instruction:
+   the completed records are a valid straight-line prefix. *)
+let sb_record t pc0 fuel =
+  let buf = ref [] in
+  let nrec = ref 0 in
+  let store () =
+    if !nrec > 0 then begin
+      let arr = Array.of_list (List.rev !buf) in
+      t.sblocks.((pc0 land 0xFFFF) lsr 1) <- Some { sb_instrs = arr }
+    end
+  in
+  let used = ref 0 in
+  (try
+     let stop = ref false in
+     let cur_pc = ref pc0 in
+     while (not !stop) && !used < fuel && !nrec < max_block_len do
+       let ipc = !cur_pc in
+       Memory.begin_instruction t.mem;
+       let words = Array.make 3 0 in
+       let nw = ref 0 in
+       let fetch addr =
+         let w = Memory.read_word t.mem ~purpose:Memory.Ifetch addr in
+         if !nw < 3 then begin
+           words.(!nw) <- w;
+           incr nw
+         end;
+         w
+       in
+       let instr, size = decode_at t fetch ipc in
+       let source = t.classify ipc in
+       Trace.count_instr t.stats source;
+       t.regs.(Isa.pc) <- Word.add ipc size;
+       exec_instr t ipc instr;
+       Trace.add_unstalled t.stats (Cycles.of_instr instr);
+       incr used;
+       let fetch_kind =
+         let map = Memory.map t.mem in
+         let kind_of addr =
+           match Memory.region_of map addr with
+           | Memory.Sram -> 0
+           | Memory.Fram -> 1
+           | Memory.Peripheral | Memory.Unmapped -> 2
+         in
+         let k = kind_of ipc in
+         let rec all j =
+           if j >= size / 2 then k
+           else if kind_of (ipc + (2 * j)) = k then all (j + 1)
+           else 2
+         in
+         all 1
+       in
+       buf :=
+         {
+           si_pc = ipc;
+           si_words = Array.sub words 0 (size / 2);
+           si_nwords = size / 2;
+           si_instr = instr;
+           si_size = size;
+           si_cycles = Cycles.of_instr instr;
+           si_source = source;
+           si_fetch = fetch_kind;
+         }
+         :: !buf;
+       incr nrec;
+       if Memory.halt_requested t.mem then begin
+         t.halted <- true;
+         stop := true
+       end
+       else if sb_terminates instr then stop := true
+       else begin
+         cur_pc := Word.add ipc size;
+         (* Belt and braces: if an instruction outside [sb_terminates]
+            ever moved the PC, end the block here so replay stays
+            faithful. *)
+         if t.regs.(Isa.pc) <> !cur_pc then stop := true
+         else if !cur_pc >= trap_base then stop := true
+       end
+     done
+   with e ->
+     store ();
+     raise e);
+  store ();
+  !used
+
+(* Flush the replay loop's batched counters into the aggregate stats.
+   Idempotent (the accumulators are zeroed), so flushing both on the
+   cold-fallback path and at block end — or once more after an escaping
+   exception — never double-counts. *)
+let sb_flush t =
+  let stats = t.stats in
+  stats.Trace.unstalled_cycles <- stats.Trace.unstalled_cycles + t.sb_cycles_acc;
+  stats.Trace.instructions <- stats.Trace.instructions + t.sb_icount;
+  t.sb_cycles_acc <- 0;
+  t.sb_icount <- 0;
+  let srcs = t.sb_srcs in
+  for k = 0 to Array.length srcs - 1 do
+    if srcs.(k) <> 0 then begin
+      stats.Trace.instr_by_source.(k) <-
+        stats.Trace.instr_by_source.(k) + srcs.(k);
+      srcs.(k) <- 0
+    end
+  done
+
+(* Validate [si]'s extension words with counted fetches. Every
+   extension word is fetched even after a mismatch — the exact
+   [decode_at] hit pattern — and stashed in [t.sb_ws] for the cold
+   fallback. Top-level recursion, not a local closure: this runs per
+   replayed instruction. *)
+let rec sb_validate_ext t si k ok =
+  if k >= si.si_nwords then ok
+  else begin
+    let a = si.si_pc + (2 * k) in
+    let w =
+      if si.si_fetch = 0 then Memory.fetch_word_sram t.mem a
+      else if si.si_fetch = 1 then Memory.fetch_word_fram t.mem a
+      else Memory.read_word t.mem ~purpose:Memory.Ifetch a
+    in
+    t.sb_ws.(k) <- w;
+    sb_validate_ext t si (k + 1) (ok && w = si.si_words.(k))
+  end
+
+(* The replay loop proper. [slot] is the block's own cache slot, for
+   invalidation on a validation mismatch. Allocation-free: state lives
+   in [t]'s accumulator fields, not captured refs. *)
+let rec sb_replay_loop t instrs n slot i fuel =
+  if i >= n || fuel <= 0 then ()
+  else begin
+    let si = Array.unsafe_get instrs i in
+    Memory.begin_instruction t.mem;
+    let w0 =
+      if si.si_fetch = 0 then Memory.fetch_word_sram t.mem si.si_pc
+      else if si.si_fetch = 1 then Memory.fetch_word_fram t.mem si.si_pc
+      else Memory.read_word t.mem ~purpose:Memory.Ifetch si.si_pc
+    in
+    if w0 = Array.unsafe_get si.si_words 0 then begin
+      (* Same first word => same length: validate the extension words
+         with counted fetches, the exact cold pattern. *)
+      if sb_validate_ext t si 1 true then begin
+        let srcs = t.sb_srcs in
+        let k = Trace.source_index si.si_source in
+        srcs.(k) <- srcs.(k) + 1;
+        t.sb_icount <- t.sb_icount + 1;
+        t.sb_used <- t.sb_used + 1;
+        t.regs.(Isa.pc) <- Word.add si.si_pc si.si_size;
+        exec_instr t si.si_pc si.si_instr;
+        t.sb_cycles_acc <- t.sb_cycles_acc + si.si_cycles;
+        if Memory.halt_requested t.mem then t.halted <- true
+        else sb_replay_loop t instrs n slot (i + 1) (fuel - 1)
+      end
+      else begin
+        (* Extension word changed under us: same length, so every word
+           is already fetched; decode fresh from them. *)
+        t.sb_ws.(0) <- w0;
+        sb_flush t;
+        sb_cold_exec t si.si_pc si.si_nwords;
+        t.sblocks.(slot) <- None;
+        t.sb_used <- t.sb_used + 1
+      end
+    end
+    else begin
+      (* First word changed: new length, fetch on demand. *)
+      t.sb_ws.(0) <- w0;
+      sb_flush t;
+      sb_cold_exec t si.si_pc 1;
+      t.sblocks.(slot) <- None;
+      t.sb_used <- t.sb_used + 1
+    end
+  end
+
+(* Replay the cached superblock, executing at most [fuel]
+   instructions. Per instruction: validate the recorded words with
+   counted fetches (the exact [decode_at] pattern), batch the
+   instruction/cycle counters, execute. Returns the number of
+   instructions executed. *)
+let sb_replay t blk fuel =
+  let instrs = blk.sb_instrs in
+  t.sb_cycles_acc <- 0;
+  t.sb_icount <- 0;
+  t.sb_used <- 0;
+  let slot = (instrs.(0).si_pc land 0xFFFF) lsr 1 in
+  (try sb_replay_loop t instrs (Array.length instrs) slot 0 fuel
+   with e ->
+     sb_flush t;
+     raise e);
+  sb_flush t;
+  t.sb_used
+
+(* Execute from [pc0] (even, below the trap base) with the superblock
+   engine; returns the number of instructions executed (>= 1 given
+   fuel >= 1, so the run loop always makes progress). *)
+let sb_exec t pc0 fuel =
+  match t.sblocks.((pc0 land 0xFFFF) lsr 1) with
+  | Some blk when blk.sb_instrs.(0).si_pc = pc0 -> sb_replay t blk fuel
+  | _ -> sb_record t pc0 fuel
 
 (* Power-on reset: architectural state (registers, halt latch) is
    volatile and clears; the trap table and classifier describe the
@@ -408,18 +770,42 @@ let outcome_name = function
    failure. Faults that would otherwise escape as OCaml exceptions —
    memory faults, missing trap vectors, runtime invariant failures —
    come back as a structured [Faulted] so no simulated failure mode
-   crashes the host program. *)
+   crashes the host program.
+
+   Dispatches between the two engines: the reference step loop, and
+   the superblock engine when selected and nothing is observing (an
+   attached observer or tracer must see per-instruction events in the
+   documented order, which only the reference loop produces). Both
+   charge one fuel unit per instruction or trap invocation and yield
+   identical counters, memory and register state. *)
 let run ?(fuel = max_int) t =
-  let rec loop fuel =
+  let rec ref_loop fuel =
     if t.halted then Halted
     else if fuel <= 0 then Fuel_exhausted
     else begin
       step t;
-      loop (fuel - 1)
+      ref_loop (fuel - 1)
     end
   in
+  let rec sb_loop fuel =
+    if t.halted then Halted
+    else if fuel <= 0 then Fuel_exhausted
+    else begin
+      let pc0 = t.regs.(Isa.pc) in
+      if pc0 >= trap_base || pc0 land 1 <> 0 then begin
+        step t;
+        sb_loop (fuel - 1)
+      end
+      else sb_loop (fuel - sb_exec t pc0 fuel)
+    end
+  in
+  let use_superblock =
+    t.engine = Superblock
+    && (not (Trace.has_observer t.stats))
+    && t.tracer = None
+  in
   let faulted msg = Faulted { fault_pc = t.regs.(Isa.pc); fault_msg = msg } in
-  try loop fuel with
+  try if use_superblock then sb_loop fuel else ref_loop fuel with
   | Memory.Power_loss -> Power_lost
   | Memory.Fault msg -> faulted msg
   | Trap_missing pc -> faulted (Printf.sprintf "no trap handler at 0x%04X" pc)

@@ -17,12 +17,34 @@ val flag_z : int
 val flag_n : int
 val flag_v : int
 
+(** Execution engine used by {!run}.
+
+    [Reference] is the plain fetch/decode/execute step loop.
+    [Superblock] (the default) records straight-line instruction runs
+    on first execution — operands resolved, cycle costs and source
+    classification precomputed — and replays them without re-decoding.
+    Replay still issues every instruction-word fetch through the
+    counted memory path (the exact self-validating pattern the decode
+    cache uses), so cycles, stalls, energies, hardware-cache state and
+    power-failure timing are bit-identical to the reference engine;
+    code rewritten under the cache (SRAM copy-in, outage wipes,
+    self-modifying code) is caught by the word comparison and falls
+    back to a cold decode. The superblock engine only engages when no
+    observer and no tracer are attached; observed runs always take the
+    reference loop so the event stream is complete and ordered. *)
+type engine = Reference | Superblock
+
 val create : Memory.t -> t
 val mem : t -> Memory.t
 val stats : t -> Trace.t
 val halted : t -> bool
 val reg : t -> Isa.reg -> int
 val set_reg : t -> Isa.reg -> int -> unit
+
+val engine : t -> engine
+val set_engine : t -> engine -> unit
+val engine_name : engine -> string
+val engine_of_string : string -> engine option
 
 val set_classifier : t -> (int -> Trace.source) -> unit
 (** Classify instruction fetch addresses for the Figure-8 breakdown.

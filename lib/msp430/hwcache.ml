@@ -11,48 +11,78 @@ type t = {
   ways : int;
   sets : int;
   line_bytes : int;
+  (* Shift/mask equivalents of the division by [line_bytes] and the
+     mod/div by [sets], valid when both are powers of two (the real
+     controller's geometry always is); -1 disables them. This lookup
+     runs on every counted FRAM access, where a hardware division is
+     measurable. *)
+  line_shift : int;
+  set_shift : int;
+  set_mask : int;
   tags : int array array; (* [set].(way) = tag, -1 when invalid *)
   lru : int array; (* [set] = way that is least recently used *)
 }
 
+let log2_exact n =
+  let rec go i =
+    if 1 lsl i = n then i else if 1 lsl i > n || i > 30 then -1 else go (i + 1)
+  in
+  if n <= 0 then -1 else go 0
+
 let create ?(ways = 2) ?(lines = 4) ?(line_bytes = 8) () =
   let sets = lines / ways in
+  let set_shift = log2_exact sets in
   {
     ways;
     sets;
     line_bytes;
+    line_shift = log2_exact line_bytes;
+    set_shift;
+    set_mask = (if set_shift >= 0 then sets - 1 else -1);
     tags = Array.init sets (fun _ -> Array.make ways (-1));
     lru = Array.make sets 0;
   }
 
-let set_and_tag t addr =
-  let line = addr / t.line_bytes in
-  (line mod t.sets, line / t.sets)
+(* [find] returns the hit way or -1; this sits on the counted path of
+   every FRAM access. Top-level recursion, not a local [let rec]: a
+   local recursive function capturing its environment allocates a
+   closure per call, which dominated the simulator's allocation
+   profile (one find per instruction fetch). *)
+let rec find_from ways nways tag way =
+  if way >= nways then -1
+  else if Array.unsafe_get ways way = tag then way
+  else find_from ways nways tag (way + 1)
 
-let find t set tag =
-  let ways = t.tags.(set) in
-  let rec loop way = if way >= t.ways then None else if ways.(way) = tag then Some way else loop (way + 1) in
-  loop 0
+let find t set tag = find_from t.tags.(set) t.ways tag 0
 
 (* Read access; returns true on hit. A miss fills the line. *)
 let read t addr =
-  let set, tag = set_and_tag t addr in
-  match find t set tag with
-  | Some way ->
-      t.lru.(set) <- 1 - way;
-      true
-  | None ->
-      let victim = t.lru.(set) in
-      t.tags.(set).(victim) <- tag;
-      t.lru.(set) <- 1 - victim;
-      false
+  let line =
+    if t.line_shift >= 0 then addr lsr t.line_shift else addr / t.line_bytes
+  in
+  let set = if t.set_shift >= 0 then line land t.set_mask else line mod t.sets in
+  let tag = if t.set_shift >= 0 then line lsr t.set_shift else line / t.sets in
+  let way = find t set tag in
+  if way >= 0 then begin
+    t.lru.(set) <- 1 - way;
+    true
+  end
+  else begin
+    let victim = t.lru.(set) in
+    t.tags.(set).(victim) <- tag;
+    t.lru.(set) <- 1 - victim;
+    false
+  end
 
 (* Write access: invalidate any matching line. *)
 let write t addr =
-  let set, tag = set_and_tag t addr in
-  match find t set tag with
-  | Some way -> t.tags.(set).(way) <- -1
-  | None -> ()
+  let line =
+    if t.line_shift >= 0 then addr lsr t.line_shift else addr / t.line_bytes
+  in
+  let set = if t.set_shift >= 0 then line land t.set_mask else line mod t.sets in
+  let tag = if t.set_shift >= 0 then line lsr t.set_shift else line / t.sets in
+  let way = find t set tag in
+  if way >= 0 then t.tags.(set).(way) <- -1
 
 let flush t =
   Array.iter (fun ways -> Array.fill ways 0 t.ways (-1)) t.tags;

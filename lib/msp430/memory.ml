@@ -170,35 +170,41 @@ let periph_write t addr v =
   else if addr land 0xFFFE = halt_addr then t.halt_requested <- true
   else if addr land 0xFFFE = fault_addr then fault "software fault, code 0x%04X" v
 
-(* Counted read of [width] (1 or 2) bytes. *)
+(* Counted read of [width] (1 or 2) bytes. Word access is aligned
+   (checked), so the two bytes are contiguous and little-endian — a
+   direct 16-bit load, with no wraparound to worry about. *)
 let read t ~purpose ~width addr =
   let addr = addr land 0xFFFF in
   power_tick t addr;
   check_alignment addr width;
   let value =
-    if width = 2 then peek_word t addr else peek_byte t addr
+    if width = 2 then Bytes.get_uint16_le t.bytes addr
+    else Char.code (Bytes.unsafe_get t.bytes addr)
   in
   (match region_of t.map addr with
   | Sram ->
       (match purpose with
       | Ifetch -> t.stats.Trace.sram_ifetch <- t.stats.Trace.sram_ifetch + 1
       | Data -> t.stats.Trace.sram_data_reads <- t.stats.Trace.sram_data_reads + 1);
-      Trace.emit t.stats
-        (Trace.Mem_access
-           { addr; cls = Trace.Sram_read { ifetch = purpose = Ifetch } })
+      if Trace.has_observer t.stats then
+        Trace.emit t.stats
+          (Trace.Mem_access
+             { addr; cls = Trace.Sram_read { ifetch = purpose = Ifetch } })
   | Fram ->
       let hit = Hwcache.read t.cache addr in
       if hit then t.stats.Trace.fram_read_hits <- t.stats.Trace.fram_read_hits + 1;
       (match purpose with
       | Ifetch -> t.stats.Trace.fram_ifetch <- t.stats.Trace.fram_ifetch + 1
       | Data -> t.stats.Trace.fram_data_reads <- t.stats.Trace.fram_data_reads + 1);
-      Trace.emit t.stats
-        (Trace.Mem_access
-           { addr; cls = Trace.Fram_read { hit; ifetch = purpose = Ifetch } });
+      if Trace.has_observer t.stats then
+        Trace.emit t.stats
+          (Trace.Mem_access
+             { addr; cls = Trace.Fram_read { hit; ifetch = purpose = Ifetch } });
       charge_fram_timing t ~is_read_hit:hit
   | Peripheral ->
       t.stats.Trace.periph_accesses <- t.stats.Trace.periph_accesses + 1;
-      Trace.emit t.stats (Trace.Mem_access { addr; cls = Trace.Periph_access });
+      if Trace.has_observer t.stats then
+        Trace.emit t.stats (Trace.Mem_access { addr; cls = Trace.Periph_access });
       ignore (periph_read t addr)
   | Unmapped -> fault "read from unmapped address 0x%04X" addr);
   value
@@ -210,18 +216,23 @@ let write t ~width addr value =
   (match region_of t.map addr with
   | Sram ->
       t.stats.Trace.sram_writes <- t.stats.Trace.sram_writes + 1;
-      Trace.emit t.stats (Trace.Mem_access { addr; cls = Trace.Sram_write });
-      if width = 2 then poke_word t addr value else poke_byte t addr value
+      if Trace.has_observer t.stats then
+        Trace.emit t.stats (Trace.Mem_access { addr; cls = Trace.Sram_write });
+      if width = 2 then Bytes.set_uint16_le t.bytes addr (value land 0xFFFF)
+      else poke_byte t addr value
   | Fram ->
       t.stats.Trace.fram_writes <- t.stats.Trace.fram_writes + 1;
       Hwcache.write t.cache addr;
       if width = 2 then Hwcache.write t.cache (addr + 1);
-      Trace.emit t.stats (Trace.Mem_access { addr; cls = Trace.Fram_write });
+      if Trace.has_observer t.stats then
+        Trace.emit t.stats (Trace.Mem_access { addr; cls = Trace.Fram_write });
       charge_fram_timing t ~is_read_hit:false;
-      if width = 2 then poke_word t addr value else poke_byte t addr value
+      if width = 2 then Bytes.set_uint16_le t.bytes addr (value land 0xFFFF)
+      else poke_byte t addr value
   | Peripheral ->
       t.stats.Trace.periph_accesses <- t.stats.Trace.periph_accesses + 1;
-      Trace.emit t.stats (Trace.Mem_access { addr; cls = Trace.Periph_access });
+      if Trace.has_observer t.stats then
+        Trace.emit t.stats (Trace.Mem_access { addr; cls = Trace.Periph_access });
       periph_write t addr value
   | Unmapped -> fault "write to unmapped address 0x%04X" addr)
 
@@ -229,3 +240,28 @@ let read_word t ~purpose addr = read t ~purpose ~width:2 addr
 let read_byte t ~purpose addr = read t ~purpose ~width:1 addr
 let write_word t addr v = write t ~width:2 addr v
 let write_byte t addr v = write t ~width:1 addr v
+
+(* Specialized counted instruction-word fetches for the superblock
+   replay path. The caller guarantees: the address is even, its region
+   was established at record time (so no dispatch is needed), and no
+   observer is attached (so no event is due). Counters, stalls,
+   read-cache state and the power clock advance bit-identically to
+   [read ~purpose:Ifetch ~width:2], including the {!Power_loss} raise
+   point before the access takes effect. *)
+let fetch_word_sram t addr =
+  power_tick t addr;
+  t.stats.Trace.sram_ifetch <- t.stats.Trace.sram_ifetch + 1;
+  Char.code (Bytes.unsafe_get t.bytes addr)
+  lor (Char.code (Bytes.unsafe_get t.bytes (addr + 1)) lsl 8)
+
+let fetch_word_fram t addr =
+  power_tick t addr;
+  let hit = Hwcache.read t.cache addr in
+  if hit then t.stats.Trace.fram_read_hits <- t.stats.Trace.fram_read_hits + 1;
+  t.stats.Trace.fram_ifetch <- t.stats.Trace.fram_ifetch + 1;
+  let v =
+    Char.code (Bytes.unsafe_get t.bytes addr)
+    lor (Char.code (Bytes.unsafe_get t.bytes (addr + 1)) lsl 8)
+  in
+  charge_fram_timing t ~is_read_hit:hit;
+  v

@@ -100,3 +100,11 @@ val read_word : t -> purpose:purpose -> int -> int
 val read_byte : t -> purpose:purpose -> int -> int
 val write_word : t -> int -> int -> unit
 val write_byte : t -> int -> int -> unit
+
+val fetch_word_sram : t -> int -> int
+val fetch_word_fram : t -> int -> int
+(** Specialized counted instruction-word fetches for the superblock
+    replay path. Caller guarantees: even address, region established
+    at record time, no observer attached. Counters, stalls, read-cache
+    state and the power clock advance bit-identically to
+    [read ~purpose:Ifetch ~width:2]. *)

@@ -104,6 +104,9 @@ let create () =
   }
 
 let set_observer t f = t.observer <- f
+(* Explicit match, not [<> None]: polymorphic inequality on a closure
+   option is a C call, and this runs on every counted access. *)
+let has_observer t = match t.observer with None -> false | Some _ -> true
 let emit t ev = match t.observer with None -> () | Some f -> f ev
 
 (* All cycle accrual funnels through these two so the observer sees

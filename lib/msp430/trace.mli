@@ -75,8 +75,15 @@ val create : unit -> t
 val count_instr : t -> source -> unit
 
 val set_observer : t -> (event -> unit) option -> unit
+
+val has_observer : t -> bool
+(** [true] when an observer is attached. Hot paths use this to avoid
+    even constructing an event payload that [emit] would discard. *)
+
 val emit : t -> event -> unit
-(** No-op when no observer is attached. *)
+(** No-op when no observer is attached. Call sites on hot paths should
+    guard with {!has_observer} so the event record is never allocated
+    in the common unobserved case. *)
 
 val add_unstalled : t -> int -> unit
 val add_stall : t -> int -> unit

@@ -68,7 +68,9 @@ let cached_function_at t addr =
   | Some fid -> Some fid
   | None -> owner (Cache.pinned_entries t.cache)
 
-let emit_rt t ev = Trace.emit (Memory.stats t.mem) (Trace.Runtime_event ev)
+let emit_rt t ev =
+  let stats = Memory.stats t.mem in
+  if Trace.has_observer stats then Trace.emit stats (Trace.Runtime_event ev)
 
 (* --- Charged micro-operations --------------------------------------- *)
 
@@ -87,14 +89,20 @@ let charge t source n =
           (fun () -> t.handler_cursor),
           fun c -> t.handler_cursor <- c )
   in
+  let stats = Memory.stats t.mem in
+  let observed = Trace.has_observer stats in
   for _ = 1 to n do
     let cur = cursor_get () in
     Memory.begin_instruction t.mem;
-    Trace.emit (Memory.stats t.mem)
-      (Trace.Instr { pc = region_base + cur; source });
-    ignore (Memory.read_word t.mem ~purpose:Memory.Ifetch (region_base + cur));
-    Trace.count_instr (Memory.stats t.mem) source;
-    Trace.add_unstalled (Memory.stats t.mem) Costs.cycles_per_instr;
+    (* The handler/memcpy regions live in reserved FRAM, so the
+       unobserved path can take the specialized counted fetch. *)
+    if observed then begin
+      Trace.emit stats (Trace.Instr { pc = region_base + cur; source });
+      ignore (Memory.read_word t.mem ~purpose:Memory.Ifetch (region_base + cur))
+    end
+    else ignore (Memory.fetch_word_fram t.mem (region_base + cur));
+    Trace.count_instr stats source;
+    Trace.add_unstalled stats Costs.cycles_per_instr;
     cursor_set ((cur + 2) mod region_size)
   done
 

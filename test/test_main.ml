@@ -15,4 +15,5 @@ let () =
       ("pgo", Test_pgo.suite);
       ("golden", Test_golden.suite);
       ("faultinject", Test_faultinject.suite);
+      ("engine", Test_engine.suite);
     ]
