@@ -50,12 +50,35 @@ let run_tabpgo () =
 
 let report_path = ref None
 let baseline_path = ref None
+let campaign_trials = ref None
+let cli_jobs = ref 1
 
 let run_report () =
   let path = match !report_path with Some p -> p | None -> "bench/report.json" in
-  Experiments.Bench_report.write ~seed path;
-  Printf.printf "wrote %s (schema v%d)\n" path
+  let campaign =
+    match !campaign_trials with
+    | None -> None
+    | Some trials -> (
+        let plan =
+          {
+            Faultinject.Campaign.default_plan with
+            Faultinject.Campaign.p_trials = trials;
+          }
+        in
+        match
+          Faultinject.Campaign.run ~jobs:!cli_jobs
+            ~progress:(Observe.Progress.console stderr)
+            plan
+        with
+        | Ok o -> Some (Faultinject.Campaign.to_json o)
+        | Error e ->
+            Printf.eprintf "campaign failed: %s\n" e;
+            exit 1)
+  in
+  Experiments.Bench_report.write ~seed ?campaign path;
+  Printf.printf "wrote %s (schema v%d%s)\n" path
     Experiments.Bench_report.schema_version
+    (if campaign <> None then ", with campaign" else "")
 
 let run_baseline () =
   let path =
@@ -160,7 +183,8 @@ let () =
       (fun a ->
         not
           (has_prefix "--report" a || has_prefix "--baseline" a
-         || has_prefix "--jobs" a || has_prefix "--engine" a))
+         || has_prefix "--jobs" a || has_prefix "--engine" a
+         || has_prefix "--campaign" a))
       args
   in
   let report = List.filter (has_prefix "--report") flags in
@@ -171,6 +195,16 @@ let () =
   (match baseline with
   | [] -> ()
   | flag :: _ -> baseline_path := Some (path_of flag "bench/baseline.json"));
+  (* --campaign[=TRIALS] embeds a Monte-Carlo fault-injection campaign
+     (default plan, TRIALS per cell, default 200) in the JSON report *)
+  (match List.filter (has_prefix "--campaign") flags with
+  | [] -> ()
+  | flag :: _ -> (
+      match int_of_string_opt (path_of flag "200") with
+      | Some n when n > 0 -> campaign_trials := Some n
+      | _ ->
+          Printf.eprintf "bad --campaign value in %s\n" flag;
+          exit 1));
   (* --jobs=N shards sweep cells across N forked workers (0 = one per
      core); every artifact reading from Experiments.Sweep picks it up.
      --engine=reference|superblock pins the simulator engine for runs
@@ -186,8 +220,9 @@ let () =
               Printf.eprintf "bad --jobs value in %s\n" flag;
               exit 1
         in
-        Experiments.Sweep.set_default_jobs
-          (if n <= 0 then Experiments.Parallel.ncores () else n)
+        let n = if n <= 0 then Experiments.Parallel.ncores () else n in
+        cli_jobs := n;
+        Experiments.Sweep.set_default_jobs n
       end
       else if has_prefix "--engine" flag then
         match Msp430.Cpu.engine_of_string (path_of flag "") with

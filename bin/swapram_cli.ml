@@ -24,7 +24,7 @@ let file_arg =
   Arg.(value & opt (some file) None & info [ "file"; "f" ] ~doc)
 
 let system_arg =
-  let doc = "Caching system: baseline, swapram or block." in
+  let doc = "Caching system: baseline, swapram, block or checkpoint." in
   Arg.(value & opt string "swapram" & info [ "system"; "s" ] ~doc)
 
 let placement_arg =
@@ -83,6 +83,10 @@ let parse_system blacklist = function
            { Swapram.Config.default_options with Swapram.Config.blacklist })
   | "block" ->
       Ok (Experiments.Toolchain.Block_cache Blockcache.Config.default_options)
+  | "checkpoint" ->
+      Ok
+        (Experiments.Toolchain.Checkpoint_runtime
+           Swapram.Checkpoint.default_options)
   | s -> Error ("unknown system " ^ s)
 
 let parse_placement = function
@@ -205,7 +209,14 @@ let run_cmd benchmark file system placement freq seed blacklist engine =
       Printf.printf "benchmark    : %s (seed %d)\n" b.Workloads.Bench_def.name seed;
       Printf.printf "system       : %s, %s, %s\n"
         (Experiments.Toolchain.caching_name caching)
-        (Experiments.Toolchain.placement_name placement)
+        (match caching with
+        | Experiments.Toolchain.Checkpoint_runtime _ ->
+            (* the toolchain forces data+stack into SRAM so snapshots
+               cover the whole machine state *)
+            Experiments.Toolchain.placement_name
+              Experiments.Toolchain.Standard
+            ^ " (forced)"
+        | _ -> Experiments.Toolchain.placement_name placement)
         (Platform.frequency_name frequency);
       Printf.printf "binary       : %d B code, %d B data\n"
         r.Experiments.Toolchain.sizes.Experiments.Toolchain.code_bytes
@@ -668,8 +679,15 @@ let max_reboots_arg =
   let doc = "Watchdog: reboots before a run is declared a livelock." in
   Arg.(value & opt int 2000 & info [ "max-reboots" ] ~doc)
 
+let watchdog_cycles_arg =
+  let doc =
+    "Watchdog: cumulative simulated cycles across all lives before a run is \
+     declared a livelock (0 = unbounded)."
+  in
+  Arg.(value & opt int 0 & info [ "watchdog-cycles" ] ~doc)
+
 let faultinject_cmd benchmark file system placement freq seed blacklist engine
-    jobs mode periods crash_seed max_reboots =
+    jobs mode periods crash_seed max_reboots watchdog_cycles =
   let* b = load_benchmark ~benchmark ~file ~seed in
   let* caching = parse_system blacklist system in
   let* placement = parse_placement placement in
@@ -701,8 +719,10 @@ let faultinject_cmd benchmark file system placement freq seed blacklist engine
     | m -> Error ("unknown injection mode " ^ m)
   in
   match
-    Faultinject.Injector.sweep ~max_reboots ~jobs:(resolve_jobs jobs) config
-      schedules
+    Faultinject.Injector.sweep ~max_reboots
+      ?watchdog_cycles:
+        (if watchdog_cycles <= 0 then None else Some watchdog_cycles)
+      ~jobs:(resolve_jobs jobs) config schedules
   with
   | Error msg -> `Error (false, "golden run failed: " ^ msg)
   | Ok reports ->
@@ -716,6 +736,163 @@ let faultinject_cmd benchmark file system placement freq seed blacklist engine
           ( false,
             Printf.sprintf "%d of %d injected runs failed the oracle"
               (List.length failures) (List.length reports) )
+
+(* Monte-Carlo campaign: randomized schedules over a grid of
+   benchmarks x runtimes x samplers, aggregated with Wilson CIs. *)
+
+let campaign_benchmarks_arg =
+  let doc =
+    "Benchmark in the campaign grid (repeatable; default journal and crc)."
+  in
+  Arg.(value & opt_all string [] & info [ "benchmark"; "b" ] ~doc)
+
+let campaign_systems_arg =
+  let doc =
+    "Runtime under test: baseline, swapram, block or checkpoint (repeatable; \
+     default swapram, block and checkpoint)."
+  in
+  Arg.(value & opt_all string [] & info [ "system"; "s" ] ~doc)
+
+let sampler_arg =
+  let doc =
+    "Power-failure sampler: uniform, bursty or near-eviction (repeatable; \
+     default all three)."
+  in
+  Arg.(value & opt_all string [] & info [ "sampler" ] ~doc)
+
+let trials_arg =
+  let doc = "Trials per cell." in
+  Arg.(value & opt int 200 & info [ "trials"; "n" ] ~doc)
+
+let shard_arg =
+  let doc = "Trials per shard (the unit of dispatch and checkpointing)." in
+  Arg.(value & opt int 25 & info [ "shard" ] ~doc)
+
+let campaign_max_reboots_arg =
+  let doc = "Per-trial watchdog: reboots before a livelock verdict." in
+  Arg.(value & opt int 1000 & info [ "max-reboots" ] ~doc)
+
+let watchdog_scale_arg =
+  let doc =
+    "Per-trial cycle watchdog as a multiple of the cell's golden cycles."
+  in
+  Arg.(value & opt int 16 & info [ "watchdog-scale" ] ~doc)
+
+let ci_width_arg =
+  let doc =
+    "Stop a cell early once the 95% Wilson interval on its crash-consistency \
+     rate is narrower than $(docv) (e.g. 0.05); omit to run every trial."
+  in
+  Arg.(value & opt (some float) None & info [ "ci-width" ] ~docv:"WIDTH" ~doc)
+
+let resume_arg =
+  let doc =
+    "Progress checkpoint file: finished shards are persisted here and \
+     replayed instead of recomputed on a re-run (extending --trials reuses \
+     full shards)."
+  in
+  Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"PATH" ~doc)
+
+let campaign_report_arg =
+  let doc = "Write the campaign report as schema-v5 JSON to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "report" ] ~docv:"PATH" ~doc)
+
+let quiet_arg =
+  let doc = "Suppress per-shard progress output on stderr." in
+  Arg.(value & flag & info [ "quiet"; "q" ] ~doc)
+
+let campaign_cmd benchmarks systems samplers trials seed shard max_reboots
+    watchdog_scale ci_width resume jobs report quiet =
+  let collect parse = function
+    | [] -> Ok None
+    | names ->
+        let rec go acc = function
+          | [] -> Ok (Some (List.rev acc))
+          | n :: rest -> (
+              match parse n with
+              | Ok v -> go (v :: acc) rest
+              | Error e -> Error e)
+        in
+        go [] names
+  in
+  let* benchmarks =
+    collect
+      (fun n ->
+        match Workloads.Suite.find n with
+        | Some b -> Ok b
+        | None -> Error ("unknown benchmark " ^ n))
+      benchmarks
+  in
+  let* runtimes = collect (parse_system []) systems in
+  let* samplers =
+    collect
+      (fun n ->
+        match Faultinject.Campaign.sampler_of_string n with
+        | Some s -> Ok s
+        | None ->
+            Error ("unknown sampler " ^ n ^ " (uniform|bursty|near-eviction)"))
+      samplers
+  in
+  let* () = if trials > 0 then Ok () else Error "--trials must be positive" in
+  let* () = if shard > 0 then Ok () else Error "--shard must be positive" in
+  let d = Faultinject.Campaign.default_plan in
+  let plan =
+    {
+      d with
+      Faultinject.Campaign.p_benchmarks =
+        (match benchmarks with
+        | Some bs -> bs
+        | None -> d.Faultinject.Campaign.p_benchmarks);
+      p_runtimes =
+        (match runtimes with
+        | Some rs -> rs
+        | None -> d.Faultinject.Campaign.p_runtimes);
+      p_samplers =
+        (match samplers with
+        | Some ss -> ss
+        | None -> d.Faultinject.Campaign.p_samplers);
+      p_trials = trials;
+      p_seed = seed;
+      p_shard_trials = shard;
+      p_max_reboots = max_reboots;
+      p_watchdog_scale = watchdog_scale;
+      p_ci_width = ci_width;
+    }
+  in
+  let progress =
+    if quiet then Observe.Progress.null else Observe.Progress.console stderr
+  in
+  match
+    Faultinject.Campaign.run ~jobs:(resolve_jobs jobs) ~progress
+      ?progress_file:resume plan
+  with
+  | Error e -> `Error (false, e)
+  | Ok outcome ->
+      print_string (Faultinject.Campaign.table outcome);
+      (match report with
+      | None -> ()
+      | Some path ->
+          let json =
+            Observe.Json.Obj
+              [
+                ( "schema_version",
+                  Observe.Json.Int Experiments.Bench_report.schema_version );
+                ("campaign", Faultinject.Campaign.to_json outcome);
+              ]
+          in
+          let oc = open_out path in
+          output_string oc (Observe.Json.to_string_pretty json);
+          close_out oc;
+          Printf.printf "wrote %s\n" path);
+      `Ok ()
+
+let campaign_term =
+  Term.(
+    ret
+      (const campaign_cmd $ campaign_benchmarks_arg $ campaign_systems_arg
+     $ sampler_arg $ trials_arg $ seed_arg $ shard_arg
+     $ campaign_max_reboots_arg $ watchdog_scale_arg $ ci_width_arg
+     $ resume_arg $ jobs_arg $ campaign_report_arg $ quiet_arg))
 
 let run_term =
   Term.(
@@ -879,7 +1056,16 @@ let cmds =
           (const faultinject_cmd $ benchmark_arg $ file_arg $ system_arg
          $ placement_arg $ freq_arg $ seed_arg $ blacklist_arg $ engine_arg
          $ jobs_arg $ mode_arg $ period_arg $ crash_seed_arg
-         $ max_reboots_arg));
+         $ max_reboots_arg $ watchdog_cycles_arg));
+    Cmd.v
+      (Cmd.info "campaign"
+         ~doc:
+           "Monte-Carlo fault-injection campaign: randomized power-failure \
+            schedules against a grid of benchmarks x runtimes x samplers, \
+            with Wilson confidence intervals, optional early stopping, \
+            self-healing parallel workers and resumable progress \
+            checkpoints")
+      campaign_term;
   ]
 
 let () =

@@ -29,7 +29,15 @@ module Json = Observe.Json
    superblock engine, serial and parallel — additive, so the perf
    gate and slim baseline are unaffected. *)
 
-let schema_version = 3
+(* Schema v5 (v4 was never released) adds the optional top-level
+   "campaign" object: aggregate statistics of a Monte-Carlo
+   fault-injection campaign (per-cell survivability rates with Wilson
+   intervals). The object is produced by the caller — the campaign
+   engine lives above this library — and passed in verbatim via
+   [?campaign]; reports without one simply omit the member, so the
+   perf gate and the slim baseline are unaffected. *)
+
+let schema_version = 5
 
 let frequency_hz = function
   | Platform.Mhz8 -> 8_000_000
@@ -355,7 +363,7 @@ let host_json ~params ~seed ~frequency ~jobs benchmarks =
     ]
 
 let compute ?(seed = 1) ?benchmarks ?(frequency = Platform.Mhz24) ?(slim = false)
-    ?jobs () =
+    ?jobs ?campaign () =
   let params = params_for frequency in
   let jobs = Sweep.resolve_jobs jobs in
   let sweep =
@@ -423,10 +431,13 @@ let compute ?(seed = 1) ?benchmarks ?(frequency = Platform.Mhz24) ?(slim = false
                  ])
              sweep) );
     ]
+    @ (match campaign with
+      | Some c -> [ ("campaign", (c : Json.t)) ]
+      | None -> [])
     @ host)
 
-let write ?seed ?benchmarks ?frequency ?slim ?jobs path =
-  let json = compute ?seed ?benchmarks ?frequency ?slim ?jobs () in
+let write ?seed ?benchmarks ?frequency ?slim ?jobs ?campaign path =
+  let json = compute ?seed ?benchmarks ?frequency ?slim ?jobs ?campaign () in
   let oc = open_out path in
   output_string oc (Json.to_string_pretty json);
   close_out oc

@@ -14,7 +14,13 @@
     superblock engine sharded across workers, with per-benchmark and
     geo-mean speedups. The host measurement cross-checks both engines
     cell by cell and fails rather than report a speedup over a
-    disagreeing run. *)
+    disagreeing run.
+
+    Schema v5 (v4 was never released) adds the optional top-level
+    "campaign" object — Monte-Carlo fault-injection campaign
+    statistics rendered by [Faultinject.Campaign.to_json] and passed
+    in verbatim via [?campaign] (that engine sits above this
+    library). *)
 
 val schema_version : int
 
@@ -24,6 +30,7 @@ val compute :
   ?frequency:Msp430.Platform.frequency ->
   ?slim:bool ->
   ?jobs:int ->
+  ?campaign:Observe.Json.t ->
   unit ->
   Observe.Json.t
 (** [slim] (default false) drops the bulky "metrics" and
@@ -32,7 +39,8 @@ val compute :
     as bench/baseline.json — and omits the "host" object so the
     baseline stays host-independent. [jobs] (default
     {!Sweep.set_default_jobs}) shards sweep cells across forked
-    workers; it cannot change any simulated value. *)
+    workers; it cannot change any simulated value. [campaign] is
+    embedded as the top-level "campaign" member when given. *)
 
 val write :
   ?seed:int ->
@@ -40,6 +48,7 @@ val write :
   ?frequency:Msp430.Platform.frequency ->
   ?slim:bool ->
   ?jobs:int ->
+  ?campaign:Observe.Json.t ->
   string ->
   unit
 (** Render {!compute} pretty-printed to the given path. *)

@@ -17,7 +17,15 @@
 
    - Dynamic dispatch (next pending task to the first free worker)
      load-balances uneven cells; determinism is preserved by indexing
-     results, not by scheduling. *)
+     results, not by scheduling.
+
+   - Self-healing ([map_robust]): a worker that dies or exceeds the
+     per-task host timeout is disposed of — both pipe ends closed,
+     SIGKILL if still alive, waitpid so no zombie accumulates — and
+     its task is re-queued with exponential backoff, up to [retries]
+     re-executions, against a freshly spawned worker. A task that
+     *raises* is different: the failure is deterministic (same binary,
+     same input), so it surfaces as [Worker_failed] immediately. *)
 
 let ncores () =
   try
@@ -36,6 +44,12 @@ let ncores () =
 
 exception Worker_failed of string
 
+type event =
+  | Spawned of { pid : int }
+  | Died of { pid : int; task : int; attempt : int }
+  | Timed_out of { pid : int; task : int }
+  | Requeued of { task : int; attempt : int; delay : float }
+
 type 'b reply = Ok_r of 'b | Error_r of string
 
 type worker = {
@@ -43,8 +57,15 @@ type worker = {
   task_out : out_channel; (* parent -> child: task indices *)
   result_fd : Unix.file_descr;
   result_in : in_channel; (* child -> parent: index + marshalled reply *)
-  mutable busy : bool;
+  mutable task : int; (* index in flight, -1 when idle *)
+  mutable deadline : float; (* host-time deadline for the task in flight *)
 }
+
+(* True in forked workers: tasks that deliberately kill their own
+   process (chaos tests) must only do so inside a real worker, never
+   in the serial in-process degradation. *)
+let in_worker_flag = ref false
+let in_worker () = !in_worker_flag
 
 (* Child side: serve tasks until the parent sends -1. All exits go
    through [Unix._exit] so the child never runs the parent's at_exit
@@ -70,7 +91,8 @@ let child_loop tasks f task_r result_w =
    with _ -> Unix._exit 2);
   Unix._exit 0
 
-let map ?(jobs = 1) f xs =
+let map_robust ?(jobs = 1) ?task_timeout ?(retries = 3) ?(backoff = 0.05)
+    ?(on_event = fun (_ : event) -> ()) f xs =
   let tasks = Array.of_list xs in
   let ntasks = Array.length tasks in
   let nworkers = min jobs ntasks in
@@ -82,114 +104,223 @@ let map ?(jobs = 1) f xs =
     flush stdout;
     flush stderr;
     let prev_sigpipe =
-      (* A worker that dies mid-protocol must surface as
-         [Worker_failed], not kill the whole experiment run. *)
+      (* A worker that dies mid-protocol must surface to the healing
+         logic, not kill the whole experiment run. *)
       try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
       with Invalid_argument _ -> None
     in
-    let workers =
-      Array.init nworkers (fun _ ->
-          let task_r, task_w = Unix.pipe ~cloexec:false () in
-          let result_r, result_w = Unix.pipe ~cloexec:false () in
-          match Unix.fork () with
-          | 0 ->
-              (* Descriptors inherited from previously-forked siblings
-                 are closed implicitly at [Unix._exit]; only this
-                 worker's own parent-side ends matter for EOF
-                 semantics, and the child holds none of them after
-                 these closes. *)
-              Unix.close task_w;
-              Unix.close result_r;
-              child_loop tasks f task_r result_w
-          | pid ->
-              Unix.close task_r;
-              Unix.close result_w;
-              {
-                pid;
-                task_out = Unix.out_channel_of_descr task_w;
-                result_fd = result_r;
-                result_in = Unix.in_channel_of_descr result_r;
-                busy = false;
-              })
-    in
-    let results = Array.make ntasks None in
-    let next = ref 0 in
-    let done_count = ref 0 in
-    let send w idx =
-      output_binary_int w.task_out idx;
-      flush w.task_out
-    in
-    let assign w =
-      if !next < ntasks then begin
-        send w !next;
-        w.busy <- true;
-        incr next
-      end
-    in
-    let finish () =
-      Array.iter
-        (fun w ->
-          (try send w (-1) with Sys_error _ -> ());
-          (try close_out w.task_out with Sys_error _ -> ());
-          (try close_in w.result_in with Sys_error _ -> ());
-          ignore (Unix.waitpid [] w.pid))
-        workers;
+    let restore_sigpipe () =
       match prev_sigpipe with
       | Some b -> ignore (Sys.signal Sys.sigpipe b)
       | None -> ()
     in
+    let results = Array.make ntasks None in
+    let attempts = Array.make ntasks 0 in
+    (* pending tasks as (index, not-before host time); re-queued tasks
+       go to the back with their backoff expiry *)
+    let pending = ref (List.init ntasks (fun i -> (i, 0.0))) in
+    let done_count = ref 0 in
+    let workers = ref ([] : worker list) in
+    let now () = Unix.gettimeofday () in
+    (* Close both pipe ends and reap the child — the fd-hygiene core:
+       every worker that leaves the pool goes through here exactly
+       once, so neither a crashed worker nor a [Worker_failed] unwind
+       can leak descriptors or zombies across a long campaign. *)
+    let dispose ~kill w =
+      (try close_out w.task_out with _ -> ());
+      (try close_in w.result_in with _ -> ());
+      if kill then (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+      try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> ()
+    in
+    let retire w =
+      if w.task >= 0 then
+        (* still computing a task someone else already finished (a
+           timed-out task re-queued and completed elsewhere) *)
+        dispose ~kill:true w
+      else begin
+        (try
+           output_binary_int w.task_out (-1);
+           flush w.task_out
+         with Sys_error _ -> ());
+        dispose ~kill:false w
+      end
+    in
+    let cleanup ~kill =
+      List.iter (fun w -> if kill then dispose ~kill:true w else retire w) !workers;
+      workers := [];
+      restore_sigpipe ()
+    in
     let fail msg =
-      finish ();
+      cleanup ~kill:true;
       raise (Worker_failed msg)
     in
+    let spawn () =
+      flush stdout;
+      flush stderr;
+      let task_r, task_w = Unix.pipe ~cloexec:false () in
+      let result_r, result_w = Unix.pipe ~cloexec:false () in
+      match Unix.fork () with
+      | 0 ->
+          in_worker_flag := true;
+          Unix.close task_w;
+          Unix.close result_r;
+          child_loop tasks f task_r result_w
+      | pid ->
+          Unix.close task_r;
+          Unix.close result_w;
+          let w =
+            {
+              pid;
+              task_out = Unix.out_channel_of_descr task_w;
+              result_fd = result_r;
+              result_in = Unix.in_channel_of_descr result_r;
+              task = -1;
+              deadline = infinity;
+            }
+          in
+          workers := w :: !workers;
+          on_event (Spawned { pid });
+          w
+    in
+    let send w idx =
+      output_binary_int w.task_out idx;
+      flush w.task_out;
+      w.task <- idx;
+      w.deadline <-
+        (match task_timeout with Some s -> now () +. s | None -> infinity)
+    in
+    let drop w = workers := List.filter (fun w' -> w' != w) !workers in
+    (* Put [idx] back in the queue after its worker died or timed out,
+       or give up on it once [retries] re-executions are spent. *)
+    let requeue ~why idx =
+      if results.(idx) = None then begin
+        attempts.(idx) <- attempts.(idx) + 1;
+        if attempts.(idx) > retries then
+          fail
+            (Printf.sprintf "task %d given up after %d attempt(s): %s" idx
+               attempts.(idx) why);
+        let delay = backoff *. (2. ** float_of_int (attempts.(idx) - 1)) in
+        on_event (Requeued { task = idx; attempt = attempts.(idx); delay });
+        pending := !pending @ [ (idx, now () +. delay) ]
+      end
+    in
+    let take_ready t =
+      let rec go acc = function
+        | [] -> None
+        | (i, nb) :: rest when nb <= t ->
+            pending := List.rev_append acc rest;
+            Some i
+        | x :: rest -> go (x :: acc) rest
+      in
+      go [] !pending
+    in
+    let next_not_before () =
+      List.fold_left (fun a (_, nb) -> min a nb) infinity !pending
+    in
+    let rec select_retry fds timeout =
+      try Unix.select fds [] [] timeout
+      with Unix.Unix_error (Unix.EINTR, _, _) -> select_retry fds timeout
+    in
+    (* Read one result frame off [w]. A truncated or unreadable frame
+       means the worker died mid-protocol. *)
+    let handle_frame w =
+      let frame =
+        try
+          let idx = input_binary_int w.result_in in
+          let (reply : _ reply) = Marshal.from_channel w.result_in in
+          `Frame (idx, reply)
+        with End_of_file | Failure _ | Sys_error _ -> `Died
+      in
+      match frame with
+      | `Frame (idx, Ok_r v) ->
+          if results.(idx) = None then begin
+            results.(idx) <- Some v;
+            incr done_count
+          end;
+          w.task <- -1;
+          w.deadline <- infinity
+      | `Frame (_, Error_r msg) ->
+          (* the task itself raised: deterministic, re-running cannot
+             help *)
+          fail msg
+      | `Died ->
+          let idx = w.task and attempt = attempts.(w.task) + 1 in
+          drop w;
+          dispose ~kill:true w;
+          on_event (Died { pid = w.pid; task = idx; attempt });
+          requeue ~why:"worker died without delivering a result" idx
+    in
     (try
-       Array.iter assign workers;
        while !done_count < ntasks do
-         let fds =
-           Array.to_list workers
-           |> List.filter_map (fun w -> if w.busy then Some w.result_fd else None)
+         (* hand ready tasks to idle workers, spawning replacements up
+            to the pool size *)
+         let rec assign () =
+           let idle = List.find_opt (fun w -> w.task < 0) !workers in
+           if idle <> None || List.length !workers < nworkers then
+             match take_ready (now ()) with
+             | Some idx ->
+                 let w = match idle with Some w -> w | None -> spawn () in
+                 send w idx;
+                 assign ()
+             | None -> ()
          in
-         let rec select_retry () =
-           try Unix.select fds [] [] (-1.0)
-           with Unix.Unix_error (Unix.EINTR, _, _) -> select_retry ()
-         in
-         let ready, _, _ = select_retry () in
-         List.iter
-           (fun fd ->
-             let w =
-               match
-                 Array.to_list workers
-                 |> List.find_opt (fun w -> w.result_fd = fd)
-               with
-               | Some w -> w
-               | None -> assert false
-             in
-             let idx, reply =
-               try
-                 let idx = input_binary_int w.result_in in
-                 let reply : _ reply =
-                   Marshal.from_channel w.result_in
-                 in
-                 (idx, reply)
-               with End_of_file | Failure _ ->
-                 fail
-                   (Printf.sprintf "worker %d died without delivering a result"
-                      w.pid)
-             in
-             (match reply with
-             | Ok_r v -> results.(idx) <- Some v
-             | Error_r msg -> fail msg);
-             w.busy <- false;
-             incr done_count;
-             assign w)
-           ready
+         assign ();
+         let busy = List.filter (fun w -> w.task >= 0) !workers in
+         if busy = [] then begin
+           (* everything pending is backing off; sleep to the earliest
+              expiry *)
+           let nb = next_not_before () in
+           let t = now () in
+           if nb > t then ignore (Unix.select [] [] [] (min (nb -. t) 0.25))
+         end
+         else begin
+           let fds = List.map (fun w -> w.result_fd) busy in
+           let wake =
+             min
+               (List.fold_left (fun a w -> min a w.deadline) infinity busy)
+               (next_not_before ())
+           in
+           let timeout =
+             if wake = infinity then -1.0 else max 0.0 (wake -. now ())
+           in
+           let ready, _, _ = select_retry fds timeout in
+           List.iter
+             (fun fd ->
+               match List.find_opt (fun w -> w.result_fd = fd) !workers with
+               | Some w -> handle_frame w
+               | None -> ())
+             ready;
+           (* expired deadlines: drain a frame that raced the timeout,
+              otherwise kill and re-queue *)
+           let t = now () in
+           List.iter
+             (fun w ->
+               if w.task >= 0 && w.deadline <= t && List.memq w !workers then begin
+                 let r, _, _ = select_retry [ w.result_fd ] 0.0 in
+                 if r <> [] then handle_frame w
+                 else begin
+                   let idx = w.task in
+                   on_event (Timed_out { pid = w.pid; task = idx });
+                   drop w;
+                   dispose ~kill:true w;
+                   requeue ~why:"task timed out" idx
+                 end
+               end)
+             busy
+         end
        done
      with
-    | Worker_failed _ as e -> raise e
+    | Worker_failed _ as e -> raise e (* [fail] already cleaned up *)
     | e ->
-        (try finish () with _ -> ());
+        (try cleanup ~kill:true with _ -> ());
         raise e);
-    finish ();
+    cleanup ~kill:false;
     Array.to_list results
-    |> List.map (function Some v -> v | None -> raise (Worker_failed "missing result"))
+    |> List.map (function
+         | Some v -> v
+         | None -> raise (Worker_failed "missing result"))
   end
+
+(* The historical strict map: any worker death fails the whole map
+   (no re-execution), exactly one attempt per task. *)
+let map ?jobs f xs = map_robust ?jobs ~retries:0 f xs

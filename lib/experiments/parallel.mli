@@ -19,11 +19,51 @@ val ncores : unit -> int
 
 exception Worker_failed of string
 (** A task raised in its worker (carrying [Printexc.to_string] of the
-    original), or a worker died without delivering a result. *)
+    original), or a task was given up after its retry budget. *)
+
+val in_worker : unit -> bool
+(** True inside a forked worker process. Chaos tasks that deliberately
+    kill their own process must check this so the serial in-process
+    degradation of {!map}/{!map_robust} is never killed. *)
+
+(** Pool lifecycle notifications, for campaign progress reporting. *)
+type event =
+  | Spawned of { pid : int }
+  | Died of { pid : int; task : int; attempt : int }
+      (** a worker crashed mid-task; the task will be re-queued *)
+  | Timed_out of { pid : int; task : int }
+      (** the task exceeded [task_timeout]; worker killed *)
+  | Requeued of { task : int; attempt : int; delay : float }
+      (** re-execution scheduled after [delay] seconds of backoff *)
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f xs] is [List.map f xs] computed by up to [jobs]
     forked workers. [jobs] defaults to 1; values [<= 1], a singleton
     or empty [xs] degrade to plain [List.map] in-process (no fork).
     Tasks are dispatched dynamically in list order; results are
-    returned in list order regardless of completion order. *)
+    returned in list order regardless of completion order. Strict: a
+    worker death raises {!Worker_failed} (it is {!map_robust} with a
+    zero retry budget). *)
+
+val map_robust :
+  ?jobs:int ->
+  ?task_timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  ?on_event:(event -> unit) ->
+  ('a -> 'b) ->
+  'a list ->
+  'b list
+(** Self-healing {!map} for overnight campaigns: a worker that crashes
+    (or exceeds the [task_timeout] host-seconds deadline, when given)
+    is disposed of — both pipe ends closed, killed if needed, reaped —
+    and its task is re-queued with exponential backoff ([backoff] *
+    2^(attempt-1) seconds, default 0.05) against a freshly spawned
+    worker, up to [retries] re-executions per task (default 3), after
+    which {!Worker_failed} is raised. A task that raises an exception
+    fails immediately — same binary, same input, so the failure is
+    deterministic and re-running cannot help. Every worker leaving the
+    pool is reaped, so no fds or zombies leak regardless of how the
+    map ends. Determinism: results are assembled by task index, so a
+    completed map equals the serial [List.map] regardless of crashes,
+    retries or scheduling. *)

@@ -17,11 +17,16 @@ type caching =
   | Baseline
   | Swapram_cache of Swapram.Config.options
   | Block_cache of Blockcache.Config.options
+  | Checkpoint_runtime of Swapram.Checkpoint.options
+      (* periodic whole-state snapshots to FRAM instead of caching;
+         always built with the Standard placement (data + stack in
+         SRAM) so a restored snapshot is the complete machine state *)
 
 let caching_name = function
   | Baseline -> "baseline"
   | Swapram_cache _ -> "swapram"
   | Block_cache _ -> "block"
+  | Checkpoint_runtime _ -> "checkpoint"
 
 type placement =
   | Unified (* code + data in FRAM; SRAM free (for the cache) *)
@@ -229,6 +234,7 @@ type result = {
   swapram_usage : Swapram.Pipeline.nvm_usage option;
   block_stats : Blockcache.Runtime.stats option;
   block_usage : Blockcache.Pipeline.nvm_usage option;
+  checkpoint_stats : Swapram.Checkpoint.stats option;
   observation : observation option;
 }
 
@@ -293,6 +299,7 @@ type prepared = {
   p_data_size : int;
   p_swapram : Swapram.Runtime.t option;
   p_block : Blockcache.Runtime.t option;
+  p_checkpoint : Swapram.Checkpoint.t option;
   p_sr_manifest : Swapram.Instrument.manifest option;
   p_sr_usage : Swapram.Pipeline.nvm_usage option;
   p_bb_usage : Blockcache.Pipeline.nvm_usage option;
@@ -300,8 +307,19 @@ type prepared = {
 }
 
 let prepare ?observe config =
+  (* The checkpoint runtime requires every application data item to be
+     volatile (snapshot-covered), so it forces the Standard placement
+     and reserves its FRAM arena by lowering the code limit. *)
+  let placement, arena_limit =
+    match config.caching with
+    | Checkpoint_runtime _ -> (Standard, Some Swapram.Checkpoint.arena_base)
+    | Baseline | Swapram_cache _ | Block_cache _ -> (config.placement, None)
+  in
   let code_base, code_limit, data_base_opt, data_limit, stack_top =
-    region_plan config.placement
+    region_plan placement
+  in
+  let code_limit =
+    match arena_limit with Some l -> min code_limit l | None -> code_limit
   in
   let source = config.benchmark.Workloads.Bench_def.source config.seed in
   let program =
@@ -312,7 +330,7 @@ let prepare ?observe config =
   let data_size = Masm.Assembler.data_size plain_probe in
   (* Split: SRAM = [data][stack][code cache]; SP sits between *)
   let stack_top, cache_region =
-    match config.placement with
+    match placement with
     | Split ->
         let top = (Platform.sram_base + data_size + stack_reserve + 1) land lnot 1 in
         (top, Some (top, sram_end - top))
@@ -346,7 +364,7 @@ let prepare ?observe config =
         ( image,
           (fun system ->
             Masm.Assembler.load image system.Platform.memory;
-            (None, None)),
+            (None, None, None)),
           None,
           None,
           None )
@@ -363,7 +381,8 @@ let prepare ?observe config =
         let image = built.Swapram.Pipeline.image in
         check_fit ~what:"swapram" ~code_limit ~data_limit image;
         ( image,
-          (fun system -> (Some (Swapram.Pipeline.install built system), None)),
+          (fun system ->
+            (Some (Swapram.Pipeline.install built system), None, None)),
           Some built.Swapram.Pipeline.manifest,
           Some (Swapram.Pipeline.nvm_usage built),
           None )
@@ -381,17 +400,34 @@ let prepare ?observe config =
         let image = built.Blockcache.Pipeline.image in
         check_fit ~what:"block cache" ~code_limit ~data_limit image;
         ( image,
-          (fun system -> (None, Some (Blockcache.Pipeline.install built system))),
+          (fun system ->
+            (None, Some (Blockcache.Pipeline.install built system), None)),
           None,
           None,
           Some (Blockcache.Pipeline.nvm_usage built) )
+    | Checkpoint_runtime options ->
+        (* built exactly like the baseline — no code transformation;
+           the runtime lives entirely in the reserved arena *)
+        let probe = Masm.Assembler.assemble ~layout:(probe_layout code_base) program in
+        let image =
+          Masm.Assembler.assemble ~layout:(layout_for probe.Masm.Assembler.code_end)
+            program
+        in
+        check_fit ~what:"checkpoint" ~code_limit ~data_limit image;
+        ( image,
+          (fun system ->
+            Masm.Assembler.load image system.Platform.memory;
+            (None, None, Some (Swapram.Checkpoint.install ~options system))),
+          None,
+          None,
+          None )
   in
   match build () with
   | exception Fit_error msg -> Error msg
   | image, install, sr_manifest, sr_usage, bb_usage ->
       let system = Platform.create config.frequency in
       Cpu.set_engine system.Platform.cpu config.engine;
-      let sr_rt, bb_rt = install system in
+      let sr_rt, bb_rt, ck_rt = install system in
       let observation =
         Option.map
           (fun spec ->
@@ -412,6 +448,7 @@ let prepare ?observe config =
           p_data_size = data_size;
           p_swapram = sr_rt;
           p_block = bb_rt;
+          p_checkpoint = ck_rt;
           p_sr_manifest = sr_manifest;
           p_sr_usage = sr_usage;
           p_bb_usage = bb_usage;
@@ -439,13 +476,21 @@ let boot p =
    SP/PC. The caller applies Platform.power_fail first. *)
 let reboot p =
   phase_marker p "reboot";
-  (match p.p_swapram with
-  | Some rt -> Swapram.Runtime.reboot rt ~image:p.p_image
-  | None -> ());
-  (match p.p_block with
-  | Some rt -> Blockcache.Runtime.reboot rt ~image:p.p_image
-  | None -> ());
-  boot_regs p
+  match p.p_checkpoint with
+  | Some rt -> (
+      (* a restored snapshot carries its own PC/SP — only a cold
+         restart reloads the entry vector *)
+      match Swapram.Checkpoint.reboot rt ~image:p.p_image with
+      | Swapram.Checkpoint.Resumed -> ()
+      | Swapram.Checkpoint.Restarted -> boot_regs p)
+  | None ->
+      (match p.p_swapram with
+      | Some rt -> Swapram.Runtime.reboot rt ~image:p.p_image
+      | None -> ());
+      (match p.p_block with
+      | Some rt -> Blockcache.Runtime.reboot rt ~image:p.p_image
+      | None -> ());
+      boot_regs p
 
 let collect p =
   let system = p.p_system in
@@ -464,6 +509,7 @@ let collect p =
     swapram_usage = p.p_sr_usage;
     block_stats = Option.map Blockcache.Runtime.stats p.p_block;
     block_usage = p.p_bb_usage;
+    checkpoint_stats = Option.map Swapram.Checkpoint.stats p.p_checkpoint;
     observation = p.p_observation;
   }
 
@@ -524,7 +570,8 @@ type pgo_result = {
 
 let run_pgo ?observe ?budget ?profile config =
   match config.caching with
-  | Baseline | Block_cache _ -> Error "pgo requires a swapram configuration"
+  | Baseline | Block_cache _ | Checkpoint_runtime _ ->
+      Error "pgo requires a swapram configuration"
   | Swapram_cache base_opts -> (
       let train_config =
         {

@@ -10,6 +10,12 @@ type caching =
   | Baseline  (** execute from FRAM through the hardware read cache *)
   | Swapram_cache of Swapram.Config.options
   | Block_cache of Blockcache.Config.options
+  | Checkpoint_runtime of Swapram.Checkpoint.options
+      (** periodic whole-state snapshots to FRAM instead of caching.
+          Always built with the {!Standard} placement (data + stack
+          in SRAM, so a restored snapshot is the complete machine
+          state) regardless of the configured placement, with the
+          code limit lowered to the snapshot arena. *)
 
 val caching_name : caching -> string
 
@@ -101,6 +107,7 @@ type result = {
   swapram_usage : Swapram.Pipeline.nvm_usage option;
   block_stats : Blockcache.Runtime.stats option;
   block_usage : Blockcache.Pipeline.nvm_usage option;
+  checkpoint_stats : Swapram.Checkpoint.stats option;
   observation : observation option;
       (** present iff the run was prepared with [~observe] *)
 }
@@ -130,6 +137,7 @@ type prepared = {
   p_data_size : int;
   p_swapram : Swapram.Runtime.t option;
   p_block : Blockcache.Runtime.t option;
+  p_checkpoint : Swapram.Checkpoint.t option;
   p_sr_manifest : Swapram.Instrument.manifest option;
   p_sr_usage : Swapram.Pipeline.nvm_usage option;
   p_bb_usage : Blockcache.Pipeline.nvm_usage option;
@@ -145,9 +153,11 @@ val boot : prepared -> unit
 
 val reboot : prepared -> unit
 (** Replay the boot path after a power failure: restore whichever
-    caching runtime is installed (counted FRAM writes — an armed
-    power trigger can interrupt them with [Memory.Power_loss]) and
-    reload SP/PC. Apply {!Msp430.Platform.power_fail} first. *)
+    runtime is installed (counted FRAM accesses — an armed power
+    trigger can interrupt them with [Memory.Power_loss]) and reload
+    SP/PC — except when the checkpoint runtime resumed from a
+    snapshot, which carries its own PC/SP. Apply
+    {!Msp430.Platform.power_fail} first. *)
 
 val collect : prepared -> result
 (** Gather statistics from the system as it stands. *)

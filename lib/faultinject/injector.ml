@@ -52,6 +52,8 @@ type report = {
   r_instructions : int;  (** across all lives *)
   r_misses : int;
   r_words_copied : int;
+  r_cycles : int;  (** simulated cycles across all lives *)
+  r_energy_nj : float;
   r_uart : string;
   r_golden : Oracle.golden;
 }
@@ -64,19 +66,33 @@ let passed r = r.r_verdict = Pass
    run. *)
 let windows_of (p : Toolchain.prepared) : Schedule.window list =
   let named (w_name, w_lo, w_hi) = { Schedule.w_name; w_lo; w_hi } in
-  match (p.Toolchain.p_swapram, p.Toolchain.p_block) with
-  | Some rt, _ ->
+  match (p.Toolchain.p_swapram, p.Toolchain.p_block, p.Toolchain.p_checkpoint)
+  with
+  | Some rt, _, _ ->
       List.map named
         (Swapram.Runtime.critical_windows rt ~image:p.Toolchain.p_image)
-  | None, Some rt ->
+  | None, Some rt, _ ->
       List.map named
         (Blockcache.Runtime.critical_windows rt ~image:p.Toolchain.p_image)
-  | None, None -> []
+  | None, None, Some rt ->
+      List.map named (Swapram.Checkpoint.critical_windows rt)
+  | None, None, None -> []
 
-let run_against ?(max_reboots = 2000) ?(fuel = 2_000_000_000) ~golden
-    (config : Toolchain.config) (schedule : Schedule.t) : report =
-  let finish ~label ~reboots ~torn ~instructions ~misses ~words ~uart verdict
-      =
+let run_against ?(max_reboots = 2000) ?(watchdog_cycles = max_int)
+    ?(fuel = 2_000_000_000) ~golden (config : Toolchain.config)
+    (schedule : Schedule.t) : report =
+  let finish ~label ~reboots ~torn ~(final : Oracle.golden option) verdict =
+    let instructions, misses, words, cycles, energy, uart =
+      match final with
+      | Some f ->
+          ( f.Oracle.g_instructions,
+            f.Oracle.g_misses,
+            f.Oracle.g_words_copied,
+            f.Oracle.g_cycles,
+            f.Oracle.g_energy_nj,
+            f.Oracle.g_uart )
+      | None -> (0, 0, 0, 0, 0.0, "")
+    in
     {
       r_label = label;
       r_schedule = schedule;
@@ -86,6 +102,8 @@ let run_against ?(max_reboots = 2000) ?(fuel = 2_000_000_000) ~golden
       r_instructions = instructions;
       r_misses = misses;
       r_words_copied = words;
+      r_cycles = cycles;
+      r_energy_nj = energy;
       r_uart = uart;
       r_golden = golden;
     }
@@ -98,21 +116,25 @@ let run_against ?(max_reboots = 2000) ?(fuel = 2_000_000_000) ~golden
   in
   match Toolchain.prepare config with
   | Error msg ->
-      finish ~label ~reboots:0 ~torn:0 ~instructions:0 ~misses:0 ~words:0
-        ~uart:"" (Build_failed msg)
+      finish ~label ~reboots:0 ~torn:0 ~final:None (Build_failed msg)
   | Ok p ->
       let system = p.Toolchain.p_system in
       let mem = system.Platform.memory in
+      let stats = Cpu.stats system.Platform.cpu in
       let next = Schedule.stream schedule (windows_of p) in
       let reboots = ref 0 and torn = ref 0 in
       let exception Watchdog in
       (* Recover from an outage. The next trigger is armed *before*
          the restore writes run so the reboot itself is exposed to
          tearing; on a torn reboot we pull the trigger after it and
-         retry — the restore is idempotent. *)
+         retry — the restore is idempotent. The two watchdogs bound a
+         recovery that never makes progress: a reboot-count limit and
+         a cumulative simulated-cycle budget (the deterministic
+         per-trial bound campaigns rely on). *)
       let rec power_cycle () =
         incr reboots;
-        if !reboots > max_reboots then raise Watchdog;
+        if !reboots > max_reboots || Trace.total_cycles stats > watchdog_cycles
+        then raise Watchdog;
         Memory.arm_power_trigger mem (next ());
         Platform.power_fail system;
         try Toolchain.reboot p
@@ -144,11 +166,22 @@ let run_against ?(max_reboots = 2000) ?(fuel = 2_000_000_000) ~golden
       Memory.arm_power_trigger mem (next ());
       let verdict = try lives () with Watchdog -> Livelock { reboots = !reboots } in
       let final = Oracle.capture p in
-      finish ~label ~reboots:!reboots ~torn:!torn
-        ~instructions:final.Oracle.g_instructions ~misses:final.Oracle.g_misses
-        ~words:final.Oracle.g_words_copied ~uart:final.Oracle.g_uart verdict
+      finish ~label ~reboots:!reboots ~torn:!torn ~final:(Some final) verdict
 
-let run ?max_reboots ?(fuel = 2_000_000_000) config schedule =
+let null_golden =
+  {
+    Oracle.g_return = 0;
+    g_state = 0;
+    g_uart = "";
+    g_instructions = 0;
+    g_misses = 0;
+    g_words_copied = 0;
+    g_accesses = 0;
+    g_cycles = 0;
+    g_energy_nj = 0.0;
+  }
+
+let run ?max_reboots ?watchdog_cycles ?(fuel = 2_000_000_000) config schedule =
   match Oracle.golden ~fuel config with
   | Error msg ->
       {
@@ -160,30 +193,28 @@ let run ?max_reboots ?(fuel = 2_000_000_000) config schedule =
         r_instructions = 0;
         r_misses = 0;
         r_words_copied = 0;
+        r_cycles = 0;
+        r_energy_nj = 0.0;
         r_uart = "";
-        r_golden =
-          {
-            Oracle.g_return = 0;
-            g_state = 0;
-            g_uart = "";
-            g_instructions = 0;
-            g_misses = 0;
-            g_words_copied = 0;
-          };
+        r_golden = null_golden;
       }
-  | Ok golden -> run_against ?max_reboots ~fuel ~golden config schedule
+  | Ok golden ->
+      run_against ?max_reboots ?watchdog_cycles ~fuel ~golden config schedule
 
 (* The golden run is per configuration, not per schedule: compute it
    once in the parent and reuse it across the sweep. Each schedule is
    an independent injected run, so with [jobs > 1] they shard across
    forked workers; reports come back in schedule order either way. *)
-let sweep ?max_reboots ?(fuel = 2_000_000_000) ?jobs config schedules =
+let sweep ?max_reboots ?watchdog_cycles ?(fuel = 2_000_000_000) ?jobs config
+    schedules =
   match Oracle.golden ~fuel config with
   | Error msg -> Error msg
   | Ok golden ->
       Ok
         (Experiments.Parallel.map ?jobs
-           (fun schedule -> run_against ?max_reboots ~fuel ~golden config schedule)
+           (fun schedule ->
+             run_against ?max_reboots ?watchdog_cycles ~fuel ~golden config
+               schedule)
            schedules)
 
 let table reports =

@@ -32,6 +32,8 @@ type report = {
   r_instructions : int;  (** across all lives *)
   r_misses : int;
   r_words_copied : int;
+  r_cycles : int;  (** simulated cycles across all lives *)
+  r_energy_nj : float;
   r_uart : string;
   r_golden : Oracle.golden;
 }
@@ -44,17 +46,23 @@ val windows_of : Experiments.Toolchain.prepared -> Schedule.window list
 
 val run_against :
   ?max_reboots:int ->
+  ?watchdog_cycles:int ->
   ?fuel:int ->
   golden:Oracle.golden ->
   Experiments.Toolchain.config ->
   Schedule.t ->
   report
 (** Inject one schedule into a fresh instance of the configuration and
-    judge it against a precomputed golden capture. [max_reboots]
-    defaults to 2000; [fuel] bounds each life. *)
+    judge it against a precomputed golden capture. Two configurable
+    watchdogs report [Livelock] instead of hanging: [max_reboots]
+    (default 2000) bounds the number of power cycles, and
+    [watchdog_cycles] (default unbounded) bounds cumulative simulated
+    cycles — the deterministic per-trial budget campaign shards rely
+    on. [fuel] bounds each life. *)
 
 val run :
   ?max_reboots:int ->
+  ?watchdog_cycles:int ->
   ?fuel:int ->
   Experiments.Toolchain.config ->
   Schedule.t ->
@@ -63,6 +71,7 @@ val run :
 
 val sweep :
   ?max_reboots:int ->
+  ?watchdog_cycles:int ->
   ?fuel:int ->
   ?jobs:int ->
   Experiments.Toolchain.config ->

@@ -57,6 +57,9 @@ type golden = {
   g_instructions : int;
   g_misses : int; (* swapram misses + blockcache misses, 0 for baseline *)
   g_words_copied : int;
+  g_accesses : int; (* counted memory accesses (the power-trigger clock) *)
+  g_cycles : int; (* total simulated cycles *)
+  g_energy_nj : float;
 }
 
 let misses_of (p : Toolchain.prepared) =
@@ -67,6 +70,9 @@ let misses_of (p : Toolchain.prepared) =
     | Some rt -> (Blockcache.Runtime.stats rt).Blockcache.Runtime.misses
     | None -> 0)
 
+(* "Words copied" generalises to "words the runtime moved": cache
+   copy-ins for the caching runtimes, persisted snapshot words for
+   the checkpoint runtime. *)
 let words_copied_of (p : Toolchain.prepared) =
   (match p.Toolchain.p_swapram with
   | Some rt -> (Swapram.Runtime.stats rt).Swapram.Runtime.words_copied
@@ -74,18 +80,25 @@ let words_copied_of (p : Toolchain.prepared) =
   + (match p.Toolchain.p_block with
     | Some rt -> (Blockcache.Runtime.stats rt).Blockcache.Runtime.words_copied
     | None -> 0)
+  + (match p.Toolchain.p_checkpoint with
+    | Some rt ->
+        (Swapram.Checkpoint.stats rt).Swapram.Checkpoint.words_written
+    | None -> 0)
 
 let capture (p : Toolchain.prepared) =
   let system = p.Toolchain.p_system in
+  let stats = Cpu.stats system.Platform.cpu in
   {
     g_return = Cpu.reg system.Platform.cpu 12;
     g_state =
       app_state_digest ~image:p.Toolchain.p_image system.Platform.memory;
     g_uart = Memory.uart_output system.Platform.memory;
-    g_instructions =
-      (Cpu.stats system.Platform.cpu).Msp430.Trace.instructions;
+    g_instructions = stats.Msp430.Trace.instructions;
     g_misses = misses_of p;
     g_words_copied = words_copied_of p;
+    g_accesses = Memory.access_ticks system.Platform.memory;
+    g_cycles = Msp430.Trace.total_cycles stats;
+    g_energy_nj = (Platform.report system).Msp430.Energy.energy_nj;
   }
 
 (* Run a fresh instance of [config] to completion on stable power. *)

@@ -27,6 +27,14 @@ type golden = {
   g_instructions : int;
   g_misses : int;  (** caching-runtime misses; 0 for baseline *)
   g_words_copied : int;
+      (** words the runtime moved: cache copy-ins, or persisted
+          snapshot words for the checkpoint runtime *)
+  g_accesses : int;
+      (** counted memory accesses — the clock power triggers are
+          scheduled against, so campaign samplers scale their gap
+          distributions from this *)
+  g_cycles : int;  (** total simulated cycles *)
+  g_energy_nj : float;
 }
 
 val capture : Experiments.Toolchain.prepared -> golden

@@ -30,6 +30,17 @@ type t =
   | Adversarial of { depths : int list }
       (* for every runtime-critical window and every depth d, one
          life that dies on the d-th access inside that window *)
+  | Bursty of { seed : int; calm_gap : int; burst_gap : int; burst_len : int }
+      (* the harvested-energy pattern of RF-powered deployments: a
+         long calm interval (uniform around [calm_gap]) charges the
+         capacitor, then a burst of [burst_len] brown-outs in quick
+         succession (uniform around [burst_gap]) drains it *)
+  | Near_eviction of { seed : int; max_depth : int; fallback_gap : int }
+      (* adversarial sampler for Monte-Carlo campaigns: each life
+         dies on a seeded-random access depth (1..[max_depth]) inside
+         a seeded-random runtime-critical window. Against a build
+         with no critical windows it degenerates to uniform gaps
+         around [fallback_gap]. *)
 
 let default_depths = [ 1; 2; 3; 5; 8; 13; 21; 34; 55 ]
 
@@ -44,6 +55,11 @@ let describe = function
         (String.concat "," (List.map string_of_int gaps))
   | Adversarial { depths } ->
       Printf.sprintf "adversarial/%d depths" (List.length depths)
+  | Bursty { seed; calm_gap; burst_gap; burst_len } ->
+      Printf.sprintf "bursty/%d+%dx%d seed %d" calm_gap burst_len burst_gap
+        seed
+  | Near_eviction { seed; max_depth; fallback_gap = _ } ->
+      Printf.sprintf "near-eviction/depth<=%d seed %d" max_depth seed
 
 (* Runtime-critical address windows of the system under test, named
    for reporting. The injector derives them from the installed
@@ -87,3 +103,31 @@ let stream schedule (windows : window list) : stream =
         | t :: rest ->
             remaining := rest;
             Some t)
+  | Bursty { seed; calm_gap; burst_gap; burst_len } ->
+      let state = Random.State.make [| seed; 0xb0b5 |] in
+      let uniform_around g = max 1 ((g / 2) + Random.State.int state (max 1 g)) in
+      let in_burst = ref 0 in
+      fun () ->
+        if !in_burst > 0 then begin
+          decr in_burst;
+          Some (Memory.After_accesses (uniform_around burst_gap))
+        end
+        else begin
+          in_burst := max 0 (burst_len - 1);
+          Some (Memory.After_accesses (uniform_around calm_gap))
+        end
+  | Near_eviction { seed; max_depth; fallback_gap } ->
+      let state = Random.State.make [| seed; 0xeb1c |] in
+      let windows = Array.of_list windows in
+      fun () ->
+        if Array.length windows = 0 then
+          Some
+            (Memory.After_accesses
+               (max 1
+                  ((fallback_gap / 2)
+                  + Random.State.int state (max 1 fallback_gap))))
+        else begin
+          let w = windows.(Random.State.int state (Array.length windows)) in
+          let skip = 1 + Random.State.int state (max 1 max_depth) in
+          Some (Memory.On_region_access { lo = w.w_lo; hi = w.w_hi; skip })
+        end

@@ -19,6 +19,17 @@ type t =
           walking the failure point through the handler, mid-copy,
           between metadata half-updates, and through reboot's own
           restore writes *)
+  | Bursty of { seed : int; calm_gap : int; burst_gap : int; burst_len : int }
+      (** the harvested-energy pattern of RF-powered deployments: one
+          long calm interval (uniform around [calm_gap] counted
+          accesses), then [burst_len] brown-outs in quick succession
+          (uniform around [burst_gap]), repeating *)
+  | Near_eviction of { seed : int; max_depth : int; fallback_gap : int }
+      (** adversarial Monte-Carlo sampler: each life dies on a
+          seeded-random access depth (1..[max_depth]) inside a
+          seeded-random runtime-critical window; degenerates to
+          uniform gaps around [fallback_gap] when the build has no
+          critical windows *)
 
 val default_depths : int list
 

@@ -57,6 +57,15 @@ type t = {
   mutable classify : int -> Trace.source;
   mutable halted : bool;
   mutable tracer : (pc:int -> Isa.t -> unit) option;
+  (* Periodic instruction hook (the checkpointing runtime's timer):
+     fires between instructions once [stats.instructions] reaches
+     [hook_due]. [hook_due] is [max_int] when no hook is armed, so the
+     hot loops pay one integer compare. Firing points are a function
+     of the architectural instruction count only, so both engines
+     invoke the hook at identical boundaries. *)
+  mutable hook : (t -> unit) option;
+  mutable hook_interval : int;
+  mutable hook_due : int;
 }
 
 (* Flag bit positions in SR. *)
@@ -88,6 +97,9 @@ let create mem =
     classify = default_classifier mem;
     halted = false;
     tracer = None;
+    hook = None;
+    hook_interval = 0;
+    hook_due = max_int;
   }
 
 let mem t = t.mem
@@ -124,6 +136,36 @@ let set_classifier t f =
    None to disable. Fires after decode, before execution. *)
 let set_tracer t f = t.tracer <- f
 let register_trap t addr handler = Hashtbl.replace t.traps addr handler
+
+(* Arm (or disarm) the periodic hook. The first firing is [interval]
+   instructions from now; each firing re-anchors the next one at the
+   instruction count observed *before* the hook body runs, so work the
+   hook itself charges counts against its own period. *)
+let set_periodic_hook t ~interval f =
+  match f with
+  | None ->
+      t.hook <- None;
+      t.hook_interval <- 0;
+      t.hook_due <- max_int
+  | Some _ ->
+      if interval <= 0 then invalid_arg "Cpu.set_periodic_hook: interval <= 0";
+      t.hook <- f;
+      t.hook_interval <- interval;
+      t.hook_due <- t.stats.Trace.instructions + interval
+
+(* Re-anchor an armed hook's next firing at the current instruction
+   count (the checkpoint runtime calls this after a post-outage
+   restore so a torn period does not fire immediately on resume). *)
+let rearm_periodic_hook t =
+  if t.hook <> None then
+    t.hook_due <- t.stats.Trace.instructions + t.hook_interval
+
+let fire_hook t =
+  match t.hook with
+  | None -> t.hook_due <- max_int
+  | Some f ->
+      t.hook_due <- t.stats.Trace.instructions + t.hook_interval;
+      f t
 
 let get_flag t bit = Word.bit t.regs.(Isa.sr) bit = 1
 
@@ -783,6 +825,7 @@ let run ?(fuel = max_int) t =
     if t.halted then Halted
     else if fuel <= 0 then Fuel_exhausted
     else begin
+      if t.stats.Trace.instructions >= t.hook_due then fire_hook t;
       step t;
       ref_loop (fuel - 1)
     end
@@ -791,12 +834,20 @@ let run ?(fuel = max_int) t =
     if t.halted then Halted
     else if fuel <= 0 then Fuel_exhausted
     else begin
+      if t.stats.Trace.instructions >= t.hook_due then fire_hook t;
       let pc0 = t.regs.(Isa.pc) in
       if pc0 >= trap_base || pc0 land 1 <> 0 then begin
         step t;
         sb_loop (fuel - 1)
       end
-      else sb_loop (fuel - sb_exec t pc0 fuel)
+      else begin
+        (* Never execute a block across the hook boundary: cap the
+           block's fuel so control returns to the loop — and the hook
+           fires — at exactly the instruction count the reference loop
+           would fire it at. *)
+        let cap = min fuel (t.hook_due - t.stats.Trace.instructions) in
+        sb_loop (fuel - sb_exec t pc0 cap)
+      end
     end
   in
   let use_superblock =

@@ -56,6 +56,21 @@ val set_tracer : t -> (pc:int -> Isa.t -> unit) option -> unit
 
 val register_trap : t -> int -> (t -> trap_action) -> unit
 
+val set_periodic_hook : t -> interval:int -> (t -> unit) option -> unit
+(** Arm a periodic hook (the checkpointing runtime's interval timer):
+    [f] fires between instructions every [interval] architectural
+    instructions, under both execution engines at identical
+    boundaries (superblocks never execute across a hook deadline).
+    The next firing is re-anchored before [f] runs, so simulated work
+    the hook charges counts toward its own period and a [Power_loss]
+    escaping from [f] leaves the hook armed for the next period.
+    [None] disarms. Raises [Invalid_argument] on [interval <= 0]. *)
+
+val rearm_periodic_hook : t -> unit
+(** Restart the current period from the present instruction count
+    (called after a post-outage restore so a partially elapsed period
+    does not fire immediately on resume). No-op when disarmed. *)
+
 val get_flag : t -> int -> bool
 val set_flag : t -> int -> bool -> unit
 

@@ -1,0 +1,51 @@
+(* Host-side progress reporting for long-running campaigns. A sink is
+   just a callback; the library stays silent unless the caller plugs
+   one in, and the events carry only aggregate counters so rendering
+   them cannot perturb the simulated results. *)
+
+type event =
+  | Campaign_started of { cells : int; trials : int }
+  | Golden_ready of { cell : string; cycles : int }
+  | Shard_done of {
+      cell : string;
+      shard : int;
+      shards : int;
+      trials_done : int;
+      trials : int;
+      cached : bool;
+    }
+  | Cell_done of {
+      cell : string;
+      trials : int;
+      consistent : int;
+      stopped_early : bool;
+    }
+  | Pool_event of string
+  | Campaign_done of { cells : int; trials : int; seconds : float }
+
+type sink = event -> unit
+
+let null (_ : event) = ()
+
+let describe = function
+  | Campaign_started { cells; trials } ->
+      Printf.sprintf "campaign: %d cells, %d trials/cell" cells trials
+  | Golden_ready { cell; cycles } ->
+      Printf.sprintf "golden %-40s %d cycles" cell cycles
+  | Shard_done { cell; shard; shards; trials_done; trials; cached } ->
+      Printf.sprintf "shard  %-40s %d/%d (%d/%d trials)%s" cell (shard + 1)
+        shards trials_done trials
+        (if cached then " [cached]" else "")
+  | Cell_done { cell; trials; consistent; stopped_early } ->
+      Printf.sprintf "cell   %-40s %d/%d consistent%s" cell consistent trials
+        (if stopped_early then " [early stop]" else "")
+  | Pool_event s -> Printf.sprintf "pool   %s" s
+  | Campaign_done { cells; trials; seconds } ->
+      Printf.sprintf "campaign done: %d cells, %d trials, %.1fs" cells trials
+        seconds
+
+let console oc : sink =
+ fun ev ->
+  output_string oc (describe ev);
+  output_char oc '\n';
+  flush oc

@@ -1,0 +1,33 @@
+(** Host-side progress events for long-running fault-injection
+    campaigns. Purely observational: events carry aggregate counters
+    only, and a campaign emits the same simulated results whether or
+    not a sink is attached. *)
+
+type event =
+  | Campaign_started of { cells : int; trials : int }
+  | Golden_ready of { cell : string; cycles : int }
+  | Shard_done of {
+      cell : string;
+      shard : int;  (** 0-based shard index within the cell *)
+      shards : int;
+      trials_done : int;
+      trials : int;
+      cached : bool;  (** replayed from a progress checkpoint file *)
+    }
+  | Cell_done of {
+      cell : string;
+      trials : int;  (** trials actually aggregated (early stop) *)
+      consistent : int;
+      stopped_early : bool;
+    }
+  | Pool_event of string
+      (** worker-pool lifecycle: spawns, deaths, timeouts, re-queues *)
+  | Campaign_done of { cells : int; trials : int; seconds : float }
+
+type sink = event -> unit
+
+val null : sink
+val describe : event -> string
+
+val console : out_channel -> sink
+(** One line per event, flushed immediately. *)

@@ -1,0 +1,50 @@
+(** Checkpointing runtime — the classical alternative to software
+    caching for intermittent systems, and the third system under test
+    in fault-injection campaigns. A periodic timer (the CPU's
+    instruction-count hook) snapshots the register file and dirty
+    SRAM words into a double-buffered FRAM arena with a two-phase
+    commit; reboot restores the newest committed snapshot and resumes
+    mid-program, or cold-restarts when none exists. All snapshot and
+    restore traffic moves through counted simulated accesses, so
+    power failures can tear any phase; the commit is a single atomic
+    word write and the restore is idempotent. *)
+
+type options = {
+  interval : int;  (** architectural instructions between snapshots *)
+}
+
+val default_options : options
+
+val arena_base : int
+(** Base of the FRAM arena (charge region + two snapshot slots) at
+    the top of FRAM. The toolchain lowers the code limit to this
+    address when the runtime is installed. *)
+
+val arena_bytes : int
+
+type stats = {
+  mutable snapshots : int;  (** committed snapshots *)
+  mutable words_written : int;  (** dirty SRAM words persisted *)
+  mutable restores : int;  (** reboots that resumed from a snapshot *)
+  mutable restarts : int;  (** reboots with no valid snapshot *)
+}
+
+type t
+
+val stats : t -> stats
+
+val install : options:options -> Msp430.Platform.system -> t
+(** Install on a prepared system: initialise the arena and arm the
+    CPU's periodic hook. The image must already be loaded. *)
+
+type boot = Resumed | Restarted
+
+val reboot : t -> image:Masm.Assembler.t -> boot
+(** Power-loss recovery. [Resumed] restored a committed snapshot
+    including PC/SP — the caller must not reload the entry vector;
+    [Restarted] found no valid snapshot, re-initialised the volatile
+    data section, and the caller boots from entry as usual. *)
+
+val critical_windows : t -> (string * int * int) list
+(** Adversarial fault-injection targets: (name, lo, hi) FRAM
+    windows. *)

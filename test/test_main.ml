@@ -15,5 +15,6 @@ let () =
       ("pgo", Test_pgo.suite);
       ("golden", Test_golden.suite);
       ("faultinject", Test_faultinject.suite);
+    ("campaign", Test_campaign.suite);
       ("engine", Test_engine.suite);
     ]

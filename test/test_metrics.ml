@@ -355,11 +355,11 @@ let gate_cases =
         Alcotest.(check int)
           "and has no regressions" 0
           (List.length (Experiments.Compare.regressions outcome')));
-    Alcotest.test_case "compare: schema v3 report carries metrics" `Slow
+    Alcotest.test_case "compare: current-schema report carries metrics" `Slow
       (fun () ->
         let report = Lazy.force tiny_report in
         Alcotest.(check (option int))
-          "schema v3" (Some 3)
+          "schema version" (Some Experiments.Bench_report.schema_version)
           (Option.bind (Json.member "schema_version" report) Json.to_int);
         (* the swapram cell embeds a windows series and an MRC *)
         let cell =
