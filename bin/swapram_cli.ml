@@ -657,6 +657,237 @@ let limit_arg =
   let doc = "Number of instructions to trace." in
   Arg.(value & opt int 100 & info [ "limit"; "n" ] ~doc)
 
+(* Record once / replay many: capture the counted event stream into a
+   compact binary trace, then re-evaluate cache models against the
+   trace in microseconds instead of re-executing the CPU. *)
+
+let trace_out_arg =
+  let doc = "Trace file to write." in
+  Arg.(
+    required & opt (some string) None & info [ "out"; "o" ] ~docv:"PATH" ~doc)
+
+let record_cmd benchmark file system placement freq seed blacklist out =
+  let* b = load_benchmark ~benchmark ~file ~seed in
+  let* caching = parse_system blacklist system in
+  let* placement = parse_placement placement in
+  let* frequency = parse_freq freq in
+  let config =
+    {
+      (Experiments.Toolchain.default_config b) with
+      Experiments.Toolchain.seed;
+      caching;
+      placement;
+      frequency;
+    }
+  in
+  match Experiments.Toolchain.run_recorded ~trace:out config with
+  | Experiments.Toolchain.Did_not_fit msg ->
+      `Error (false, "binary does not fit the platform: " ^ msg)
+  | Experiments.Toolchain.Crashed o ->
+      `Error (false, "run did not halt: " ^ Experiments.Report.outcome_cell o)
+  | Experiments.Toolchain.Completed r -> (
+      match Replay.Engine.load out with
+      | Error e -> `Error (false, out ^ ": " ^ Replay.Engine.error_message e)
+      | Ok l -> (
+          let stats = r.Experiments.Toolchain.stats in
+          Printf.printf "benchmark    : %s (seed %d)\n"
+            b.Workloads.Bench_def.name seed;
+          Printf.printf "system       : %s, %s, %s\n"
+            (Experiments.Toolchain.caching_name caching)
+            (Experiments.Toolchain.placement_name placement)
+            (Platform.frequency_name frequency);
+          Printf.printf "cycles       : %d unstalled + %d stalls = %d\n"
+            stats.Trace.unstalled_cycles stats.Trace.stall_cycles
+            (Trace.total_cycles stats);
+          Printf.printf "events       : %d (%d B on disk)\n"
+            l.Replay.Engine.events l.Replay.Engine.bytes;
+          Printf.printf "fingerprint  : %d\n"
+            l.Replay.Engine.header.Replay.Trace_file.fingerprint;
+          match Experiments.Replay_sweep.verify_exact l r with
+          | [] ->
+              Printf.printf
+                "self-check   : OK — trace replays the recording exactly\n";
+              `Ok ()
+          | m :: _ ->
+              `Error (false, "recorded trace does not replay exactly: " ^ m)))
+
+let trace_pos_arg =
+  let doc = "Recorded trace file (from the record command)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc)
+
+let replay_budget_arg =
+  let doc = "Cache budget in bytes to simulate (repeatable; default 1024, 2048 and 4096)." in
+  Arg.(value & opt_all int [] & info [ "budget" ] ~doc)
+
+let policy_arg =
+  let doc = "Replacement policy: lru, lfu or cost (repeatable; default all three)." in
+  Arg.(value & opt_all string [] & info [ "policy" ] ~doc)
+
+let block_override_arg =
+  let doc = "Line-size override in bytes for line-granular traces." in
+  Arg.(value & opt (some int) None & info [ "block" ] ~doc)
+
+let check_arg =
+  let doc =
+    "Reconstruct the recorded configuration from the trace header, \
+     re-execute it, and fail unless the replay reproduces the execution \
+     bit-for-bit (cycles, energy, every counter). Only traces recorded \
+     under default caching options are reconstructible."
+  in
+  Arg.(value & flag & info [ "check" ] ~doc)
+
+let replay_freq_arg =
+  let doc =
+    "Recompute the exact totals at this frequency in MHz instead of the \
+     recorded one (retargets wait states and the energy model; the \
+     event stream is frequency-independent)."
+  in
+  Arg.(value & opt (some int) None & info [ "freq" ] ~docv:"MHZ" ~doc)
+
+let placement_of_header_name name =
+  List.find_opt
+    (fun p -> Experiments.Toolchain.placement_name p = name)
+    [
+      Experiments.Toolchain.Unified;
+      Experiments.Toolchain.Standard;
+      Experiments.Toolchain.Code_sram;
+      Experiments.Toolchain.All_sram;
+      Experiments.Toolchain.Split;
+    ]
+
+(* --check: the trace header names the recorded configuration; rebuild
+   it with default options and refuse (via the fingerprint) if the
+   recording used anything the names don't capture. *)
+let check_against_execution l =
+  let h = l.Replay.Engine.header in
+  let* b =
+    match Workloads.Suite.find h.Replay.Trace_file.benchmark with
+    | Some b -> Ok b
+    | None ->
+        Error
+          ("trace benchmark " ^ h.Replay.Trace_file.benchmark
+         ^ " is not in the bundled suite")
+  in
+  let* caching = parse_system [] h.Replay.Trace_file.system in
+  let* placement =
+    match placement_of_header_name h.Replay.Trace_file.placement with
+    | Some p -> Ok p
+    | None -> Error ("unknown placement " ^ h.Replay.Trace_file.placement)
+  in
+  let* frequency = parse_freq h.Replay.Trace_file.frequency_mhz in
+  let config =
+    {
+      (Experiments.Toolchain.default_config b) with
+      Experiments.Toolchain.seed = h.Replay.Trace_file.seed;
+      caching;
+      placement;
+      frequency;
+    }
+  in
+  if
+    Experiments.Toolchain.config_fingerprint config
+    <> h.Replay.Trace_file.fingerprint
+  then
+    `Error
+      ( false,
+        "trace was recorded under non-default options; its configuration \
+         cannot be reconstructed from the header names" )
+  else
+    match Experiments.Toolchain.run config with
+    | Experiments.Toolchain.Did_not_fit msg ->
+        `Error (false, "check re-execution does not fit: " ^ msg)
+    | Experiments.Toolchain.Crashed o ->
+        `Error
+          (false, "check re-execution did not halt: "
+                  ^ Experiments.Report.outcome_cell o)
+    | Experiments.Toolchain.Completed res -> (
+        match Experiments.Replay_sweep.verify_exact l res with
+        | [] ->
+            Printf.printf
+              "check        : OK — replay reproduces a fresh execution \
+               bit-for-bit\n";
+            `Ok ()
+        | mismatches ->
+            `Error
+              ( false,
+                "replay diverges from execution: "
+                ^ String.concat "; " mismatches ))
+
+let replay_cmd trace budgets policies block check freq jobs =
+  let* policies =
+    match policies with
+    | [] -> Ok Experiments.Replay_sweep.default_policies
+    | names ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | n :: rest -> (
+              match Replay.Engine.policy_of_string n with
+              | Some p -> go (p :: acc) rest
+              | None -> Error ("unknown policy " ^ n ^ " (lru|lfu|cost)"))
+        in
+        go [] names
+  in
+  let budgets =
+    if budgets = [] then Experiments.Replay_sweep.default_budgets else budgets
+  in
+  match Replay.Engine.load trace with
+  | Error e -> `Error (false, trace ^ ": " ^ Replay.Engine.error_message e)
+  | Ok l -> (
+      let h = l.Replay.Engine.header in
+      Printf.printf "trace        : %s\n" (Filename.basename trace);
+      Printf.printf "benchmark    : %s (seed %d)\n"
+        h.Replay.Trace_file.benchmark h.Replay.Trace_file.seed;
+      Printf.printf "system       : %s, %s, %d MHz\n"
+        h.Replay.Trace_file.system h.Replay.Trace_file.placement
+        h.Replay.Trace_file.frequency_mhz;
+      Printf.printf "granularity  : %s\n"
+        (match h.Replay.Trace_file.granularity with
+        | Replay.Trace_file.Functions sizes ->
+            Printf.sprintf "functions (%d)" (Array.length sizes)
+        | Replay.Trace_file.Lines n -> Printf.sprintf "%d B lines" n);
+      Printf.printf "events       : %d (%d B on disk)\n" l.Replay.Engine.events
+        l.Replay.Engine.bytes;
+      Printf.printf "footprint    : %d B\n" (Replay.Engine.footprint l);
+      match Replay.Engine.exact ?frequency_mhz:freq l with
+      | Error msg -> `Error (false, msg)
+      | Ok t -> (
+          Printf.printf "cycles       : %d unstalled + %d stalls = %d (at %d \
+                         MHz)\n"
+            t.Replay.Engine.t_unstalled t.Replay.Engine.t_stall
+            t.Replay.Engine.t_cycles t.Replay.Engine.t_frequency_mhz;
+          Printf.printf "energy       : %.1f uJ, %.3f ms\n"
+            (t.Replay.Engine.t_energy_nj /. 1000.0)
+            (t.Replay.Engine.t_time_s *. 1000.0);
+          let cells =
+            Experiments.Replay_sweep.grid ~budgets ~policies ()
+            |> List.map (fun c ->
+                   { c with Experiments.Replay_sweep.c_block = block })
+          in
+          match
+            Experiments.Replay_sweep.replay_cells ~jobs:(resolve_jobs jobs)
+              ~trace cells
+          with
+          | Error e -> `Error (false, e)
+          | Ok run ->
+              List.iter
+                (fun (r : Experiments.Replay_sweep.cell_result) ->
+                  let sim = r.Experiments.Replay_sweep.r_sim in
+                  Printf.printf
+                    "cell         : budget=%-5d policy=%-4s refs=%d misses=%d \
+                     cold=%d evictions=%d loaded=%d B miss-rate=%.6f\n"
+                    r.Experiments.Replay_sweep.r_cell
+                      .Experiments.Replay_sweep.c_budget
+                    (Replay.Engine.policy_name
+                       r.Experiments.Replay_sweep.r_cell
+                         .Experiments.Replay_sweep.c_policy)
+                    sim.Replay.Engine.s_refs sim.Replay.Engine.s_misses
+                    sim.Replay.Engine.s_cold_misses
+                    sim.Replay.Engine.s_evictions
+                    sim.Replay.Engine.s_bytes_loaded
+                    sim.Replay.Engine.s_miss_rate)
+                run.Experiments.Replay_sweep.cells;
+              if check then check_against_execution l else `Ok ()))
+
 (* Power-failure injection with the crash-consistency oracle. *)
 
 let mode_arg =
@@ -794,7 +1025,7 @@ let resume_arg =
   Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"PATH" ~doc)
 
 let campaign_report_arg =
-  let doc = "Write the campaign report as schema-v5 JSON to $(docv)." in
+  let doc = "Write the campaign report as schema-v6 JSON to $(docv)." in
   Arg.(value & opt (some string) None & info [ "report" ] ~docv:"PATH" ~doc)
 
 let quiet_arg =
@@ -999,6 +1230,18 @@ let pgo_term =
      $ blacklist_arg $ engine_arg $ budget_arg $ train_arg $ profile_path_arg
      $ gate_arg))
 
+let record_term =
+  Term.(
+    ret
+      (const record_cmd $ benchmark_arg $ file_arg $ system_arg $ placement_arg
+     $ freq_arg $ seed_arg $ blacklist_arg $ trace_out_arg))
+
+let replay_term =
+  Term.(
+    ret
+      (const replay_cmd $ trace_pos_arg $ replay_budget_arg $ policy_arg
+     $ block_override_arg $ check_arg $ replay_freq_arg $ jobs_arg))
+
 let asm_term =
   Term.(ret (const asm_cmd $ benchmark_arg $ file_arg $ seed_arg $ instrumented_arg))
 
@@ -1035,6 +1278,19 @@ let cmds =
            "Perf-regression gate: compare two bench reports under per-metric \
             thresholds; nonzero exit on regression")
       compare_term;
+    Cmd.v
+      (Cmd.info "record"
+         ~doc:
+           "Simulate once and capture the counted event stream into a \
+            compact binary trace for the replay command")
+      record_term;
+    Cmd.v
+      (Cmd.info "replay"
+         ~doc:
+           "Replay a recorded trace through cache models (budgets x \
+            replacement policies) without re-executing the CPU; --check \
+            verifies bit-for-bit agreement with a fresh execution")
+      replay_term;
     Cmd.v (Cmd.info "asm" ~doc:"Dump generated (optionally instrumented) assembly") asm_term;
     Cmd.v
       (Cmd.info "disasm"

@@ -35,9 +35,18 @@ module Json = Observe.Json
    intervals). The object is produced by the caller — the campaign
    engine lives above this library — and passed in verbatim via
    [?campaign]; reports without one simply omit the member, so the
-   perf gate and the slim baseline are unaffected. *)
+   perf gate and the slim baseline are unaffected.
 
-let schema_version = 5
+   Schema v6 adds the top-level "replay" object (full reports only —
+   it carries host wall-clock figures): per (benchmark x cached
+   system), one trace recorded once and replayed across the
+   {!Replay_sweep} model grid, every cell tagged "replayed": true with
+   its own simulation time and record-once/replay-many speedup
+   (fresh-execution seconds over amortized load + simulate seconds).
+   The section refuses to render if any replay fails the bit-for-bit
+   exactness check against its recording. *)
+
+let schema_version = 6
 
 let frequency_hz = function
   | Platform.Mhz8 -> 8_000_000
@@ -362,6 +371,82 @@ let host_json ~params ~seed ~frequency ~jobs benchmarks =
              per_benchmark) );
     ]
 
+(* --- v6 "replay" object: record-once / replay-many ---------------------- *)
+
+let replay_json ~seed ~frequency ~jobs benchmarks =
+  let entries = Replay_sweep.bench ~seed ~benchmarks ~jobs ~frequency () in
+  (match
+     List.find_opt (fun e -> not e.Replay_sweep.b_exact_match) entries
+   with
+  | Some e ->
+      failwith
+        (Printf.sprintf
+           "bench report: replay of %s/%s is not exact: %s"
+           e.Replay_sweep.b_benchmark e.Replay_sweep.b_system
+           e.Replay_sweep.b_exact_detail)
+  | None -> ());
+  let speedups = ref [] in
+  let trace_json (e : Replay_sweep.bench_entry) =
+    let ncells = max 1 (List.length e.Replay_sweep.b_cells) in
+    let amortized_load = e.Replay_sweep.b_load_s /. float_of_int ncells in
+    let cell_json (r : Replay_sweep.cell_result) =
+      let sim = r.Replay_sweep.r_sim in
+      let cell_s = amortized_load +. r.Replay_sweep.r_host_s in
+      let speedup =
+        if cell_s > 0.0 then e.Replay_sweep.b_exec_s /. cell_s else 0.0
+      in
+      if speedup > 0.0 then speedups := speedup :: !speedups;
+      Json.Obj
+        [
+          ("replayed", Json.Bool true);
+          ("budget", Json.Int r.Replay_sweep.r_cell.Replay_sweep.c_budget);
+          ( "policy",
+            Json.String
+              (Replay.Engine.policy_name r.Replay_sweep.r_cell.Replay_sweep.c_policy)
+          );
+          ( "block",
+            match r.Replay_sweep.r_cell.Replay_sweep.c_block with
+            | Some n -> Json.Int n
+            | None -> Json.Null );
+          ("refs", Json.Int sim.Replay.Engine.s_refs);
+          ("misses", Json.Int sim.Replay.Engine.s_misses);
+          ("cold_misses", Json.Int sim.Replay.Engine.s_cold_misses);
+          ("evictions", Json.Int sim.Replay.Engine.s_evictions);
+          ("bytes_loaded", Json.Int sim.Replay.Engine.s_bytes_loaded);
+          ("miss_rate", Json.Float sim.Replay.Engine.s_miss_rate);
+          ("sim_s", Json.Float r.Replay_sweep.r_host_s);
+          ("speedup", Json.Float speedup);
+        ]
+    in
+    Json.Obj
+      [
+        ("benchmark", Json.String e.Replay_sweep.b_benchmark);
+        ("system", Json.String e.Replay_sweep.b_system);
+        ("fingerprint", Json.Int e.Replay_sweep.b_fingerprint);
+        ("events", Json.Int e.Replay_sweep.b_events);
+        ("bytes", Json.Int e.Replay_sweep.b_bytes);
+        ("record_s", Json.Float e.Replay_sweep.b_record_s);
+        ("exec_s", Json.Float e.Replay_sweep.b_exec_s);
+        ("load_s", Json.Float e.Replay_sweep.b_load_s);
+        ("exact_match", Json.Bool e.Replay_sweep.b_exact_match);
+        ("cells", Json.List (List.map cell_json e.Replay_sweep.b_cells));
+      ]
+  in
+  let traces = List.map trace_json entries in
+  let speedups = !speedups in
+  Json.Obj
+    [
+      ("jobs", Json.Int jobs);
+      ("exact_all", Json.Bool true);
+      ("speedup_geomean", Json.Float (geomean speedups));
+      ( "speedup_min",
+        Json.Float
+          (match speedups with
+          | [] -> 0.0
+          | s :: rest -> List.fold_left min s rest) );
+      ("traces", Json.List traces);
+    ]
+
 let compute ?(seed = 1) ?benchmarks ?(frequency = Platform.Mhz24) ?(slim = false)
     ?jobs ?campaign () =
   let params = params_for frequency in
@@ -377,15 +462,16 @@ let compute ?(seed = 1) ?benchmarks ?(frequency = Platform.Mhz24) ?(slim = false
   let host =
     (* Slim reports (the committed baseline) stay host-independent:
        no wall-clock figures, so regenerating the baseline on a
-       different machine cannot churn it. *)
+       different machine cannot churn it. The "replay" object carries
+       wall-clock speedups too, so it is likewise full-report-only. *)
     if slim then []
     else
+      let suite =
+        match benchmarks with Some bs -> bs | None -> Workloads.Suite.all
+      in
       [
-        ( "host",
-          host_json ~params ~seed ~frequency ~jobs
-            (match benchmarks with
-            | Some bs -> bs
-            | None -> Workloads.Suite.all) );
+        ("host", host_json ~params ~seed ~frequency ~jobs suite);
+        ("replay", replay_json ~seed ~frequency ~jobs suite);
       ]
   in
   Json.Obj

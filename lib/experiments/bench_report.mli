@@ -20,7 +20,14 @@
     "campaign" object — Monte-Carlo fault-injection campaign
     statistics rendered by [Faultinject.Campaign.to_json] and passed
     in verbatim via [?campaign] (that engine sits above this
-    library). *)
+    library).
+
+    Schema v6 adds the top-level "replay" object (full reports only):
+    {!Replay_sweep.bench} results — one recorded trace per benchmark x
+    cached system replayed across the cache-model grid, every cell
+    tagged ["replayed": true] with its record-once/replay-many speedup
+    over fresh execution. Rendering fails if any replay is not
+    bit-for-bit exact against its recording. *)
 
 val schema_version : int
 

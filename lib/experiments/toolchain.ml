@@ -100,6 +100,72 @@ let default_observe =
 
 let metrics_observe = { default_observe with metrics_window = 65536 }
 
+(* Runtime-specific cache-unit context, shared by the metrics sampler
+   and the replay recorder: what the installed runtime caches (its
+   reuse granule), its configured capacity, the live hooks that
+   resolve events to cache units, and — for the function granule —
+   the fid -> size table snapshotted through the same hook the
+   sampler uses, so a replayed run answers size queries identically. *)
+type unit_context = {
+  uc_reuse : Observe.Metrics.reuse_mode;
+  uc_budget : int;
+  uc_hooks : Observe.Metrics.hooks;
+  uc_sizes : int array; (* Functions granule only; [||] otherwise *)
+}
+
+let unit_context ~swapram ~block =
+  match (swapram, block) with
+  | Some (rt, (manifest : Swapram.Instrument.manifest)), _ ->
+      let nfuncs = Array.length manifest.Swapram.Instrument.funcs in
+      let fid_size fid =
+        if fid < 0 || fid >= nfuncs then 0
+        else
+          (* Uncounted host-side peek of the FRAM function table:
+             entry layout is 8 bytes, size word at offset 2. *)
+          Memory.peek_word rt.Swapram.Runtime.mem
+            (rt.Swapram.Runtime.addrs.Swapram.Runtime.a_functab
+            + (8 * fid) + 2)
+      in
+      {
+        uc_reuse = Observe.Metrics.Functions;
+        uc_budget = rt.Swapram.Runtime.options.Swapram.Config.cache_size;
+        uc_hooks =
+          {
+            Observe.Metrics.h_fid_size = fid_size;
+            h_call_unit = Swapram.Runtime.cached_function_at rt;
+            h_ifetch_home = (fun a -> a);
+          };
+        uc_sizes = Array.init nfuncs fid_size;
+      }
+  | None, Some rt ->
+      let slot = Blockcache.Runtime.slot_bytes rt in
+      {
+        uc_reuse = Observe.Metrics.Lines slot;
+        uc_budget = Blockcache.Runtime.cache_bytes rt;
+        uc_hooks =
+          {
+            Observe.Metrics.h_fid_size = (fun _ -> 0);
+            h_call_unit =
+              (fun a ->
+                Option.map
+                  (fun nvm -> nvm / slot)
+                  (Blockcache.Runtime.cached_block_at rt a));
+            h_ifetch_home =
+              (fun a ->
+                match Blockcache.Runtime.cached_block_at rt a with
+                | Some nvm -> nvm
+                | None -> a);
+          };
+        uc_sizes = [||];
+      }
+  | None, None ->
+      {
+        uc_reuse = Observe.Metrics.Lines 64;
+        uc_budget = 0;
+        uc_hooks = Observe.Metrics.null_hooks;
+        uc_sizes = [||];
+      }
+
 type observation = {
   o_symtab : Observe.Symtab.t;
   o_profiler : Observe.Profiler.t;
@@ -156,58 +222,19 @@ let attach_observation spec ~image ~(system : Platform.system) ~swapram ~block =
          nominal 64-byte line for the uncached baseline), so the
          predicted miss-ratio curve is directly comparable to the
          runtime's measured miss rate. *)
-      let reuse, budget, hooks =
-        match (swapram, block) with
-        | Some (rt, (manifest : Swapram.Instrument.manifest)), _ ->
-            let nfuncs = Array.length manifest.Swapram.Instrument.funcs in
-            let fid_size fid =
-              if fid < 0 || fid >= nfuncs then 0
-              else
-                (* Uncounted host-side peek of the FRAM function table:
-                   entry layout is 8 bytes, size word at offset 2. *)
-                Memory.peek_word rt.Swapram.Runtime.mem
-                  (rt.Swapram.Runtime.addrs.Swapram.Runtime.a_functab
-                  + (8 * fid) + 2)
-            in
-            ( Observe.Metrics.Functions,
-              rt.Swapram.Runtime.options.Swapram.Config.cache_size,
-              {
-                Observe.Metrics.h_fid_size = fid_size;
-                h_call_unit = Swapram.Runtime.cached_function_at rt;
-                h_ifetch_home = (fun a -> a);
-              } )
-        | None, Some rt ->
-            let slot = Blockcache.Runtime.slot_bytes rt in
-            ( Observe.Metrics.Lines slot,
-              Blockcache.Runtime.cache_bytes rt,
-              {
-                Observe.Metrics.h_fid_size = (fun _ -> 0);
-                h_call_unit =
-                  (fun a ->
-                    Option.map
-                      (fun nvm -> nvm / slot)
-                      (Blockcache.Runtime.cached_block_at rt a));
-                h_ifetch_home =
-                  (fun a ->
-                    match Blockcache.Runtime.cached_block_at rt a with
-                    | Some nvm -> nvm
-                    | None -> a);
-              } )
-        | None, None ->
-            (Observe.Metrics.Lines 64, 0, Observe.Metrics.null_hooks)
-      in
+      let uc = unit_context ~swapram ~block in
       Some
         (Observe.Metrics.create
            {
              Observe.Metrics.window_cycles = spec.metrics_window;
              buckets = spec.metrics_buckets;
-             reuse;
-             config_budget = budget;
+             reuse = uc.uc_reuse;
+             config_budget = uc.uc_budget;
            }
            ~params:(Platform.energy_params system.Platform.frequency)
            ~fram:(Platform.fram_base, Platform.fram_base + Platform.fram_size)
            ~sram:(Platform.sram_base, Platform.sram_base + Platform.sram_size)
-           hooks)
+           uc.uc_hooks)
     end
   in
   let observers =
@@ -521,6 +548,132 @@ let run ?observe config =
       match Cpu.run ~fuel:config.fuel p.p_system.Platform.cpu with
       | Cpu.Halted -> Completed (collect p)
       | (Cpu.Fuel_exhausted | Cpu.Faulted _ | Cpu.Power_lost) as o -> Crashed o)
+
+(* --- Trace recording (replay subsystem) -------------------------------- *)
+
+(* Canonical rendering of everything in a configuration that can
+   change simulated results. The engine is deliberately excluded
+   (either engine yields identical simulated values), as is the
+   observation spec (pure spectating). *)
+let config_canonical config =
+  let buf = Buffer.create 160 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "benchmark=%s;seed=%d;freq=%s;placement=%s;fuel=%d;disasm=%b;"
+    config.benchmark.Workloads.Bench_def.name config.seed
+    (Platform.frequency_name config.frequency)
+    (placement_name config.placement)
+    config.fuel config.through_disasm;
+  (match config.caching with
+  | Baseline -> add "caching=baseline"
+  | Swapram_cache o ->
+      add "caching=swapram;base=%d;size=%d;policy=%s;debug=%b;prefetch=%d;"
+        o.Swapram.Config.cache_base o.Swapram.Config.cache_size
+        (Swapram.Cache.policy_name o.Swapram.Config.policy)
+        o.Swapram.Config.debug_checks o.Swapram.Config.prefetch;
+      add "blacklist=%s;" (String.concat "," o.Swapram.Config.blacklist);
+      (match o.Swapram.Config.freeze with
+      | None -> add "freeze=none;"
+      | Some (threshold, window) -> add "freeze=%d/%d;" threshold window);
+      (match o.Swapram.Config.pgo with
+      | None -> add "pgo=none"
+      | Some p ->
+          add "pgo=pinned[%s]hot[%s]fram[%s]budget=%d"
+            (String.concat "," p.Swapram.Pgo.pl_pinned)
+            (String.concat "," p.Swapram.Pgo.pl_hot_order)
+            (String.concat "," p.Swapram.Pgo.pl_fram_resident)
+            p.Swapram.Pgo.pl_budget)
+  | Block_cache o ->
+      add "caching=block;base=%d;size=%d;maxblock=%d;debug=%b"
+        o.Blockcache.Config.cache_base o.Blockcache.Config.cache_size
+        o.Blockcache.Config.max_block_bytes o.Blockcache.Config.debug_checks
+  | Checkpoint_runtime o ->
+      add "caching=checkpoint;interval=%d" o.Swapram.Checkpoint.interval);
+  Buffer.contents buf
+
+(* FNV-1a over the canonical string, folded to a nonnegative 62-bit
+   int so it round-trips through the JSON emitter's Int. Stable
+   across hosts and OCaml versions — it keys memo entries and golden
+   trace files. *)
+let config_fingerprint config =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun ch ->
+      h :=
+        Int64.mul
+          (Int64.logxor !h (Int64.of_int (Char.code ch)))
+          0x100000001b3L)
+    (config_canonical config);
+  Int64.to_int (Int64.logand !h 0x3FFF_FFFF_FFFF_FFFFL)
+
+let recording_header ?unit_context:uc config =
+  let uc =
+    match uc with
+    | Some uc -> uc
+    | None ->
+        {
+          uc_reuse = Observe.Metrics.Lines 64;
+          uc_budget = 0;
+          uc_hooks = Observe.Metrics.null_hooks;
+          uc_sizes = [||];
+        }
+  in
+  {
+    Replay.Trace_file.benchmark = config.benchmark.Workloads.Bench_def.name;
+    seed = config.seed;
+    frequency_mhz =
+      (match config.frequency with Platform.Mhz8 -> 8 | Platform.Mhz24 -> 24);
+    wait_states = Platform.wait_states config.frequency;
+    (* Memory.create's default; the platform never overrides it. *)
+    contention_penalty = 1;
+    system = caching_name config.caching;
+    placement = placement_name config.placement;
+    budget = uc.uc_budget;
+    granularity =
+      (match uc.uc_reuse with
+      | Observe.Metrics.Functions -> Replay.Trace_file.Functions uc.uc_sizes
+      | Observe.Metrics.Lines n -> Replay.Trace_file.Lines n
+      | Observe.Metrics.No_reuse -> Replay.Trace_file.Lines 64);
+    fingerprint = config_fingerprint config;
+  }
+
+(* Record a run into [trace]: prepare as usual (any ?observe stack
+   attaches first), snapshot the unit context, then ride the trace
+   tap. Attaching an observer forces the cycle-identical reference
+   engine, so a recorded run's results equal an observed one's. The
+   file is completed only on a clean halt; crashed or non-fitting
+   runs leave no trace file behind. *)
+let run_recorded ?observe ~trace config =
+  match prepare ?observe config with
+  | Error msg -> Did_not_fit msg
+  | Ok p -> (
+      let uc =
+        unit_context
+          ~swapram:
+            (match (p.p_swapram, p.p_sr_manifest) with
+            | Some rt, Some m -> Some (rt, m)
+            | _ -> None)
+          ~block:p.p_block
+      in
+      let header = recording_header ~unit_context:uc config in
+      let w = Replay.Trace_file.create_writer trace header in
+      let enrich =
+        {
+          Replay.Trace_file.en_call_unit =
+            uc.uc_hooks.Observe.Metrics.h_call_unit;
+          en_ifetch_home = uc.uc_hooks.Observe.Metrics.h_ifetch_home;
+        }
+      in
+      Trace.add_observer
+        (Memory.stats p.p_system.Platform.memory)
+        (Replay.Trace_file.recorder w enrich);
+      boot p;
+      match Cpu.run ~fuel:config.fuel p.p_system.Platform.cpu with
+      | Cpu.Halted ->
+          Replay.Trace_file.close_writer w;
+          Completed (collect p)
+      | (Cpu.Fuel_exhausted | Cpu.Faulted _ | Cpu.Power_lost) as o ->
+          Replay.Trace_file.discard_writer w;
+          Crashed o)
 
 (* --- Profile-guided placement (train -> place -> rebuild -> measure) -- *)
 

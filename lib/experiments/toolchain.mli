@@ -122,6 +122,23 @@ type outcome =
 
 val run : ?observe:observe_spec -> config -> outcome
 
+(** {2 Trace recording (replay subsystem)} *)
+
+val config_fingerprint : config -> int
+(** FNV-1a fingerprint of everything in the configuration that can
+    change simulated results (the engine and observation are
+    excluded — both are result-neutral). Recorded into trace-file
+    headers; {!Replay_sweep} and [replay --check] use it to reject
+    stale traces. Stable across hosts and OCaml versions. *)
+
+val run_recorded : ?observe:observe_spec -> trace:string -> config -> outcome
+(** [run] plus a {!Replay.Trace_file} recorder riding the trace tap:
+    every counted event of the run lands in [trace], enriched with
+    the runtime-hook answers a replay needs. Recording attaches an
+    observer, which forces the cycle-identical reference engine, so
+    the returned result equals an observed run's. The trace file is
+    completed only on [Completed]; otherwise it is removed. *)
+
 (** {2 Staged execution}
 
     [run] is [prepare] + [boot] + a full-length [Cpu.run] + [collect].

@@ -104,6 +104,21 @@ let create () =
   }
 
 let set_observer t f = t.observer <- f
+
+(* Compose with whatever is already attached (the trace tap used by
+   the replay recorder): the existing observer — typically the
+   harness's profiler/metrics fan-out — runs first, then [f]. Within
+   one emitted event no machine state changes between observers, so
+   both see identical runtime-hook answers. *)
+let add_observer t f =
+  match t.observer with
+  | None -> t.observer <- Some f
+  | Some g ->
+      t.observer <-
+        Some
+          (fun ev ->
+            g ev;
+            f ev)
 (* Explicit match, not [<> None]: polymorphic inequality on a closure
    option is a C call, and this runs on every counted access. *)
 let has_observer t = match t.observer with None -> false | Some _ -> true

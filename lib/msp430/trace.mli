@@ -76,6 +76,12 @@ val count_instr : t -> source -> unit
 
 val set_observer : t -> (event -> unit) option -> unit
 
+val add_observer : t -> (event -> unit) -> unit
+(** Compose [f] with any observer already attached: the existing one
+    runs first, then [f]. The trace tap used by the replay recorder
+    ({!Replay.Trace_file}), which must ride along with the harness's
+    profiler/metrics fan-out without disturbing it. *)
+
 val has_observer : t -> bool
 (** [true] when an observer is attached. Hot paths use this to avoid
     even constructing an event payload that [emit] would discard. *)

@@ -1,0 +1,694 @@
+(* Replay kernel. [load] reduces a trace file to sufficient statistics
+   in one pass; [exact] / [simulate] / [mrc] are then pure arithmetic
+   over those statistics, which is where the record-once /
+   simulate-many speedup comes from. The full-stream [replay_metrics]
+   path re-runs the Observe.Metrics sampler over the decoded events,
+   answering its runtime hooks from the recorded enrichments. *)
+
+module Trace = Msp430.Trace
+module Energy = Msp430.Energy
+module Platform = Msp430.Platform
+
+type error = Format_error of Trace_file.error | Model_error of string
+
+let error_message = function
+  | Format_error e -> Trace_file.error_message e
+  | Model_error msg -> msg
+
+type runtime_counts = {
+  rc_misses : int;
+  rc_evictions : int;
+  rc_aborts : int;
+  rc_frozen : int;
+  rc_too_large : int;
+  rc_prefetches : int;
+  rc_returns : int;
+  rc_flushes : int;
+  rc_block_loads : int;
+}
+
+type loaded = {
+  header : Trace_file.header;
+  path : string;
+  events : int;
+  bytes : int;
+  instructions : int;
+  by_source : int array;
+  unstalled : int;
+  recorded_stall : int;
+  fram_ifetch : int;
+  fram_data_reads : int;
+  fram_read_hits : int;
+  fram_writes : int;
+  sram_ifetch : int;
+  sram_data_reads : int;
+  sram_writes : int;
+  periph_accesses : int;
+  calls : int;
+  returns : int;
+  contention_events : int;
+  runtime : runtime_counts;
+  refs : refs;
+  units : int;
+}
+
+and refs = Fn_refs of int array | Line_refs of int array
+
+(* --- Growable int vector ----------------------------------------------- *)
+
+type vec = { mutable a : int array; mutable n : int }
+
+let vec_create () = { a = Array.make 1024 0; n = 0 }
+
+let vec_push v x =
+  if v.n = Array.length v.a then begin
+    let a = Array.make (2 * v.n) 0 in
+    Array.blit v.a 0 a 0 v.n;
+    v.a <- a
+  end;
+  v.a.(v.n) <- x;
+  v.n <- v.n + 1
+
+let vec_contents v = Array.sub v.a 0 v.n
+
+(* --- Load -------------------------------------------------------------- *)
+
+type accum = {
+  mutable ac_instructions : int;
+  ac_by_source : int array;
+  mutable ac_unstalled : int;
+  mutable ac_stall : int;
+  mutable ac_fram_ifetch : int;
+  mutable ac_fram_data_reads : int;
+  mutable ac_fram_read_hits : int;
+  mutable ac_fram_writes : int;
+  mutable ac_sram_ifetch : int;
+  mutable ac_sram_data_reads : int;
+  mutable ac_sram_writes : int;
+  mutable ac_periph : int;
+  mutable ac_calls : int;
+  mutable ac_returns : int;
+  mutable ac_contention : int;
+  mutable ac_fram_this_instr : int;
+  mutable ac_miss_enters : int;
+  mutable ac_exits_cached : int;
+  mutable ac_exits_nvm : int;
+  mutable ac_exits_frozen : int;
+  mutable ac_exits_too_large : int;
+  mutable ac_exits_return : int;
+  mutable ac_evictions : int;
+  mutable ac_prefetches : int;
+  mutable ac_flushes : int;
+  mutable ac_block_loads : int;
+  ac_functions : bool;
+  ac_refs : vec;
+  (* Line-granularity recordings bucket each fetch home to its line
+     index ([home / ac_line_size]) before RLE: cached fetches repeat
+     the block's aligned NVM base and uncached fetches walk word by
+     word, but both collapse once bucketed. *)
+  ac_line_size : int;
+  (* Pending line run (RLE): line index of the run being accumulated
+     and how many consecutive fetches hit it; flushed into [ac_refs]
+     as a [line; length] pair when the line changes (and at EOF). *)
+  mutable ac_line_home : int;
+  mutable ac_line_len : int;
+  (* Highest unit id pushed into [ac_refs]; lets [simulate] size its
+     direct-indexed residency arrays without a pre-pass per cell. *)
+  mutable ac_max_unit : int;
+}
+
+let fresh_accum functions line_size =
+  {
+    ac_instructions = 0;
+    ac_by_source = Array.make Trace.source_count 0;
+    ac_unstalled = 0;
+    ac_stall = 0;
+    ac_fram_ifetch = 0;
+    ac_fram_data_reads = 0;
+    ac_fram_read_hits = 0;
+    ac_fram_writes = 0;
+    ac_sram_ifetch = 0;
+    ac_sram_data_reads = 0;
+    ac_sram_writes = 0;
+    ac_periph = 0;
+    ac_calls = 0;
+    ac_returns = 0;
+    ac_contention = 0;
+    ac_fram_this_instr = 0;
+    ac_miss_enters = 0;
+    ac_exits_cached = 0;
+    ac_exits_nvm = 0;
+    ac_exits_frozen = 0;
+    ac_exits_too_large = 0;
+    ac_exits_return = 0;
+    ac_evictions = 0;
+    ac_prefetches = 0;
+    ac_flushes = 0;
+    ac_block_loads = 0;
+    ac_functions = functions;
+    ac_refs = vec_create ();
+    ac_line_size = line_size;
+    ac_line_home = min_int;
+    ac_line_len = 0;
+    ac_max_unit = -1;
+  }
+
+let push_line a home =
+  let line = home / a.ac_line_size in
+  if line = a.ac_line_home then a.ac_line_len <- a.ac_line_len + 1
+  else begin
+    if a.ac_line_len > 0 then begin
+      vec_push a.ac_refs a.ac_line_home;
+      vec_push a.ac_refs a.ac_line_len
+    end;
+    a.ac_line_home <- line;
+    a.ac_line_len <- 1;
+    if line > a.ac_max_unit then a.ac_max_unit <- line
+  end
+
+let flush_line a =
+  if a.ac_line_len > 0 then begin
+    vec_push a.ac_refs a.ac_line_home;
+    vec_push a.ac_refs a.ac_line_len;
+    a.ac_line_len <- 0;
+    a.ac_line_home <- min_int
+  end
+
+(* Mirror of Memory's contention model: every [Instr] resets the
+   per-instruction FRAM access count ([begin_instruction] is always
+   paired with an Instr emission on observed runs), and every FRAM
+   access past the first within one instruction costs one
+   contention-penalty stall. *)
+let note_fram_access a =
+  a.ac_fram_this_instr <- a.ac_fram_this_instr + 1;
+  if a.ac_fram_this_instr > 1 then a.ac_contention <- a.ac_contention + 1
+
+(* The accumulating visitor is the allocation-free hot loop: every
+   callback is straight counter arithmetic (plus a ref push), which is
+   what makes loading a multi-hundred-megacycle trace cheaper than
+   re-simulating it. *)
+let accum_visitor a =
+  {
+    Trace_file.v_instr =
+      (fun i _pc ->
+        a.ac_instructions <- a.ac_instructions + 1;
+        a.ac_by_source.(i) <- a.ac_by_source.(i) + 1;
+        a.ac_fram_this_instr <- 0);
+    v_cycles =
+      (fun unstalled stall ->
+        a.ac_unstalled <- a.ac_unstalled + unstalled;
+        a.ac_stall <- a.ac_stall + stall);
+    v_fram_read =
+      (fun hit _addr ->
+        a.ac_fram_data_reads <- a.ac_fram_data_reads + 1;
+        if hit then a.ac_fram_read_hits <- a.ac_fram_read_hits + 1;
+        note_fram_access a);
+    v_fram_ifetch =
+      (fun hit _addr home ->
+        a.ac_fram_ifetch <- a.ac_fram_ifetch + 1;
+        if hit then a.ac_fram_read_hits <- a.ac_fram_read_hits + 1;
+        note_fram_access a;
+        if not a.ac_functions then push_line a home);
+    v_fram_write =
+      (fun _addr ->
+        a.ac_fram_writes <- a.ac_fram_writes + 1;
+        note_fram_access a);
+    v_sram_read = (fun _addr -> a.ac_sram_data_reads <- a.ac_sram_data_reads + 1);
+    v_sram_ifetch =
+      (fun _addr home ->
+        a.ac_sram_ifetch <- a.ac_sram_ifetch + 1;
+        if not a.ac_functions then push_line a home);
+    v_sram_write = (fun _addr -> a.ac_sram_writes <- a.ac_sram_writes + 1);
+    v_periph = (fun _addr -> a.ac_periph <- a.ac_periph + 1);
+    v_call =
+      (fun _target u ->
+        a.ac_calls <- a.ac_calls + 1;
+        if a.ac_functions && u >= 0 then begin
+          vec_push a.ac_refs (u lsl 1);
+          if u > a.ac_max_unit then a.ac_max_unit <- u
+        end);
+    v_return = (fun () -> a.ac_returns <- a.ac_returns + 1);
+    v_miss_enter = (fun _rt -> a.ac_miss_enters <- a.ac_miss_enters + 1);
+    v_miss_exit =
+      (fun _rt disposition fid ->
+        (match disposition with
+        | "cached" -> a.ac_exits_cached <- a.ac_exits_cached + 1
+        | "nvm" -> a.ac_exits_nvm <- a.ac_exits_nvm + 1
+        | "frozen" -> a.ac_exits_frozen <- a.ac_exits_frozen + 1
+        | "too-large" -> a.ac_exits_too_large <- a.ac_exits_too_large + 1
+        | "return" -> a.ac_exits_return <- a.ac_exits_return + 1
+        | _ -> ());
+        if a.ac_functions && fid >= 0 && disposition <> "return" then begin
+          vec_push a.ac_refs ((fid lsl 1) lor 1);
+          if fid > a.ac_max_unit then a.ac_max_unit <- fid
+        end);
+    v_eviction = (fun _fid -> a.ac_evictions <- a.ac_evictions + 1);
+    v_freeze = (fun _on -> ());
+    v_cache_flush = (fun () -> a.ac_flushes <- a.ac_flushes + 1);
+    v_block_load = (fun _nvm -> a.ac_block_loads <- a.ac_block_loads + 1);
+    v_prefetch = (fun _fid -> a.ac_prefetches <- a.ac_prefetches + 1);
+    v_phase = (fun _name -> ());
+  }
+
+let fram_read_misses l = l.fram_ifetch + l.fram_data_reads - l.fram_read_hits
+
+let stall_at l ~wait_states =
+  (wait_states * (fram_read_misses l + l.fram_writes))
+  + (l.header.Trace_file.contention_penalty * l.contention_events)
+
+let load path =
+  let accum = ref None in
+  let make (h : Trace_file.header) =
+    let a =
+      match h.Trace_file.granularity with
+      | Trace_file.Functions _ -> fresh_accum true 1
+      | Trace_file.Lines n -> fresh_accum false (max 1 n)
+    in
+    accum := Some a;
+    accum_visitor a
+  in
+  match Trace_file.iter path ~make with
+  | Error e -> Error (Format_error e)
+  | Ok (header, events) ->
+      let a = match !accum with Some a -> a | None -> assert false in
+      flush_line a;
+      let bytes =
+        match (Unix.stat path).Unix.st_size with
+        | n -> n
+        | exception Unix.Unix_error _ -> 0
+      in
+      let runtime =
+        {
+          (* SwapRAM counts every handler entry as a miss; the block
+             cache enters its handler for return traps too, so its
+             miss count is the "cached" exits. *)
+          rc_misses =
+            (match header.Trace_file.granularity with
+            | Trace_file.Functions _ -> a.ac_miss_enters
+            | Trace_file.Lines _ -> a.ac_exits_cached);
+          rc_evictions = a.ac_evictions;
+          rc_aborts = a.ac_exits_nvm;
+          rc_frozen = a.ac_exits_frozen;
+          rc_too_large = a.ac_exits_too_large;
+          rc_prefetches = a.ac_prefetches;
+          rc_returns = a.ac_exits_return;
+          rc_flushes = a.ac_flushes;
+          rc_block_loads = a.ac_block_loads;
+        }
+      in
+      let l =
+        {
+          header;
+          path;
+          events;
+          bytes;
+          instructions = a.ac_instructions;
+          by_source = a.ac_by_source;
+          unstalled = a.ac_unstalled;
+          recorded_stall = a.ac_stall;
+          fram_ifetch = a.ac_fram_ifetch;
+          fram_data_reads = a.ac_fram_data_reads;
+          fram_read_hits = a.ac_fram_read_hits;
+          fram_writes = a.ac_fram_writes;
+          sram_ifetch = a.ac_sram_ifetch;
+          sram_data_reads = a.ac_sram_data_reads;
+          sram_writes = a.ac_sram_writes;
+          periph_accesses = a.ac_periph;
+          calls = a.ac_calls;
+          returns = a.ac_returns;
+          contention_events = a.ac_contention;
+          runtime;
+          refs =
+            (if a.ac_functions then Fn_refs (vec_contents a.ac_refs)
+             else Line_refs (vec_contents a.ac_refs));
+          units = a.ac_max_unit + 1;
+        }
+      in
+      (* The whole exactness story rests on the stall total being a
+         function of (wait states, FRAM miss/write counts, contention
+         events); refuse a trace where it is not. *)
+      let reconstructed =
+        stall_at l ~wait_states:header.Trace_file.wait_states
+      in
+      if reconstructed <> l.recorded_stall then
+        Error
+          (Model_error
+             (Printf.sprintf
+                "stall reconstruction mismatch: recorded %d, reconstructed %d \
+                 at %d wait states"
+                l.recorded_stall reconstructed
+                header.Trace_file.wait_states))
+      else Ok l
+
+let unit_bytes l u =
+  match l.header.Trace_file.granularity with
+  | Trace_file.Functions sizes ->
+      if u >= 0 && u < Array.length sizes then sizes.(u) else 0
+  | Trace_file.Lines n -> n
+
+let line_bytes l =
+  match l.header.Trace_file.granularity with
+  | Trace_file.Lines n -> n
+  | Trace_file.Functions _ -> 64
+
+(* Iterate maximal same-unit runs: [f unit bytes len]. Function refs
+   are single-access runs; line refs arrive RLE-packed from [load] as
+   recorded-granularity line indices, so a requested block size is
+   honoured at the nearest multiple of the recorded line size (indices
+   cannot be split below the granularity they were bucketed at). *)
+let iter_runs l ~block f =
+  match l.refs with
+  | Fn_refs a ->
+      Array.iter (fun x -> f (x lsr 1) (unit_bytes l (x lsr 1)) 1) a
+  | Line_refs a ->
+      let slot = line_bytes l in
+      let factor = max 1 (block / slot) in
+      let bytes = factor * slot in
+      let n = Array.length a in
+      let i = ref 0 in
+      while !i < n do
+        f (a.(!i) / factor) bytes a.(!i + 1);
+        i := !i + 2
+      done
+
+let footprint l =
+  let seen = Hashtbl.create 64 in
+  let total = ref 0 in
+  iter_runs l ~block:(line_bytes l) (fun u bytes _len ->
+      if not (Hashtbl.mem seen u) then begin
+        Hashtbl.add seen u ();
+        total := !total + bytes
+      end);
+  !total
+
+(* --- Exact replay ------------------------------------------------------ *)
+
+type totals = {
+  t_frequency_mhz : int;
+  t_wait_states : int;
+  t_unstalled : int;
+  t_stall : int;
+  t_cycles : int;
+  t_fram_read_misses : int;
+  t_energy_nj : float;
+  t_time_s : float;
+}
+
+let exact ?frequency_mhz l =
+  let mhz =
+    match frequency_mhz with
+    | Some m -> m
+    | None -> l.header.Trace_file.frequency_mhz
+  in
+  match mhz with
+  | (8 | 24) as mhz ->
+      let wait_states = if mhz = 8 then 0 else 3 in
+      let params = if mhz = 8 then Energy.point_8mhz else Energy.point_24mhz in
+      let stall = stall_at l ~wait_states in
+      let cycles = l.unstalled + stall in
+      let report =
+        Energy.evaluate_counts params ~cycles
+          ~fram_read_misses:(fram_read_misses l)
+          ~fram_read_hits:l.fram_read_hits ~fram_writes:l.fram_writes
+          ~sram_accesses:(l.sram_ifetch + l.sram_data_reads + l.sram_writes)
+      in
+      Ok
+        {
+          t_frequency_mhz = mhz;
+          t_wait_states = wait_states;
+          t_unstalled = l.unstalled;
+          t_stall = stall;
+          t_cycles = cycles;
+          t_fram_read_misses = fram_read_misses l;
+          t_energy_nj = report.Energy.energy_nj;
+          t_time_s = report.Energy.time_s;
+        }
+  | m -> Error (Printf.sprintf "unsupported frequency %d MHz (8 or 24)" m)
+
+(* --- Cache-model simulation -------------------------------------------- *)
+
+type policy = Lru | Lfu | Cost_aware
+
+let policy_name = function
+  | Lru -> "lru"
+  | Lfu -> "lfu"
+  | Cost_aware -> "cost"
+
+let policy_of_string = function
+  | "lru" -> Some Lru
+  | "lfu" -> Some Lfu
+  | "cost" | "cost-aware" | "cost_aware" -> Some Cost_aware
+  | _ -> None
+
+type model = { m_budget : int; m_policy : policy; m_block : int option }
+
+type sim = {
+  s_refs : int;
+  s_misses : int;
+  s_cold_misses : int;
+  s_evictions : int;
+  s_bytes_loaded : int;
+  s_miss_rate : float;
+}
+
+let simulate l m =
+  let block =
+    match (l.refs, m.m_block) with
+    | Line_refs _, Some b when b > 0 -> b
+    | _ -> line_bytes l
+  in
+  (* Unit ids are small dense ints (line indices of a 64 KiB address
+     space, or function ids), so residency state lives in flat arrays
+     indexed by unit — no hashing on the per-run hot path, which is
+     what keeps an eviction-heavy cell (LFU under thrash) cheap. The
+     index bound comes from [l.units]; a block-size override only
+     merges recorded units, so dividing the bound by the merge factor
+     still covers every rebucketed id. *)
+  let n =
+    match l.refs with
+    | Fn_refs _ -> l.units
+    | Line_refs _ ->
+        if l.units = 0 then 0
+        else
+          let factor = max 1 (block / line_bytes l) in
+          ((l.units - 1) / factor) + 1
+  in
+  let r_size = Array.make n 0 in
+  let r_last = Array.make n 0 in
+  let r_uses = Array.make n 0 in
+  let resident = Array.make n false in
+  let seen = Array.make n false in
+  (* Compact list of resident units for the victim scan; [res_pos]
+     gives each resident unit's index for O(1) swap-removal. *)
+  let res_list = Array.make n 0 in
+  let res_pos = Array.make n (-1) in
+  let res_cnt = ref 0 in
+  let occupancy = ref 0 in
+  let clock = ref 0 in
+  let refs = ref 0 in
+  let misses = ref 0 in
+  let cold = ref 0 in
+  let evictions = ref 0 in
+  let loaded = ref 0 in
+  let insert u =
+    resident.(u) <- true;
+    res_list.(!res_cnt) <- u;
+    res_pos.(u) <- !res_cnt;
+    incr res_cnt
+  in
+  let remove u =
+    resident.(u) <- false;
+    let i = res_pos.(u) in
+    let last = res_list.(!res_cnt - 1) in
+    res_list.(i) <- last;
+    res_pos.(last) <- i;
+    res_pos.(u) <- -1;
+    decr res_cnt
+  in
+  (* Eviction keys are strictly ordered ([r_last] is unique), so the
+     victim is independent of scan order. One fully specialized
+     scanner per policy: the scan runs once per miss in a thrashing
+     cell, so neither policy dispatch nor bounds checks belong in the
+     inner loop ([res_list] holds unit ids < [n] by construction). *)
+  let victim =
+    match m.m_policy with
+    | Lru ->
+        (* [r_last] is itself unique, so no tie-break needed. *)
+        fun () ->
+          let vkey = ref (-1) in
+          let vp = ref max_int in
+          for i = 0 to !res_cnt - 1 do
+            let k = Array.unsafe_get res_list i in
+            let p = Array.unsafe_get r_last k in
+            if p < !vp then begin
+              vp := p;
+              vkey := k
+            end
+          done;
+          !vkey
+    | Lfu ->
+        fun () ->
+          let vkey = ref (-1) in
+          let vp = ref max_int in
+          let vs = ref max_int in
+          for i = 0 to !res_cnt - 1 do
+            let k = Array.unsafe_get res_list i in
+            let p = Array.unsafe_get r_uses k in
+            if p < !vp || (p = !vp && Array.unsafe_get r_last k < !vs) then begin
+              vp := p;
+              vs := Array.unsafe_get r_last k;
+              vkey := k
+            end
+          done;
+          !vkey
+    | Cost_aware ->
+        fun () ->
+          let vkey = ref (-1) in
+          let vp = ref max_int in
+          let vs = ref max_int in
+          for i = 0 to !res_cnt - 1 do
+            let k = Array.unsafe_get res_list i in
+            let p = Array.unsafe_get r_uses k * Array.unsafe_get r_size k in
+            if p < !vp || (p = !vp && Array.unsafe_get r_last k < !vs) then begin
+              vp := p;
+              vs := Array.unsafe_get r_last k;
+              vkey := k
+            end
+          done;
+          !vkey
+  in
+  (* Run semantics are exact: within a same-unit run only the first
+     access can miss (the unit is resident afterwards), so a hit run
+     adds [len] uses and moves recency to the run's last access, and a
+     miss run is one miss plus [len - 1] immediate hits — except for a
+     unit larger than the whole budget, where every access of the run
+     misses, exactly as the per-access loop would count. *)
+  iter_runs l ~block (fun u bytes len ->
+      refs := !refs + len;
+      clock := !clock + len;
+      if resident.(u) then begin
+        r_last.(u) <- !clock;
+        r_uses.(u) <- r_uses.(u) + len
+      end
+      else begin
+        if not seen.(u) then begin
+          seen.(u) <- true;
+          incr cold
+        end;
+        if bytes <= m.m_budget then begin
+          incr misses;
+          while !occupancy + bytes > m.m_budget do
+            let k = victim () in
+            remove k;
+            occupancy := !occupancy - r_size.(k);
+            incr evictions
+          done;
+          insert u;
+          r_size.(u) <- bytes;
+          r_last.(u) <- !clock;
+          r_uses.(u) <- len;
+          occupancy := !occupancy + bytes;
+          loaded := !loaded + bytes
+        end
+        else misses := !misses + len
+      end);
+  {
+    s_refs = !refs;
+    s_misses = !misses;
+    s_cold_misses = !cold;
+    s_evictions = !evictions;
+    s_bytes_loaded = !loaded;
+    s_miss_rate =
+      (if !refs = 0 then 0.0 else float_of_int !misses /. float_of_int !refs);
+  }
+
+(* --- MRC --------------------------------------------------------------- *)
+
+let mrc l =
+  let r = Observe.Reuse.create () in
+  (match l.refs with
+  | Fn_refs a ->
+      Array.iter
+        (fun x ->
+          let u = x lsr 1 in
+          Observe.Reuse.access r ~unit_id:u ~bytes:(max 0 (unit_bytes l u));
+          if x land 1 = 1 then Observe.Reuse.note_measured_miss r)
+        a
+  | Line_refs a ->
+      (* The reuse tracker must see every access (repeat accesses are
+         distance-zero hits that shape the curve), so expand the runs. *)
+      let n = line_bytes l in
+      let len = Array.length a in
+      let i = ref 0 in
+      while !i < len do
+        let unit_id = a.(!i) in
+        for _ = 1 to a.(!i + 1) do
+          Observe.Reuse.access r ~unit_id ~bytes:n
+        done;
+        i := !i + 2
+      done;
+      for _ = 1 to l.runtime.rc_block_loads do
+        Observe.Reuse.note_measured_miss r
+      done);
+  r
+
+(* --- Full metrics replay ----------------------------------------------- *)
+
+let replay_metrics ?(window = 65536) ?(buckets = 48) path =
+  let bad_frequency = ref None in
+  let result =
+    Trace_file.fold path
+      ~init:(fun (h : Trace_file.header) ->
+        let reuse, sizes =
+          match h.Trace_file.granularity with
+          | Trace_file.Functions sizes -> (Observe.Metrics.Functions, sizes)
+          | Trace_file.Lines n -> (Observe.Metrics.Lines n, [||])
+        in
+        let params =
+          match h.Trace_file.frequency_mhz with
+          | 8 -> Energy.point_8mhz
+          | 24 -> Energy.point_24mhz
+          | m ->
+              bad_frequency := Some m;
+              Energy.point_24mhz
+        in
+        let cur_unit = ref None in
+        let cur_home = ref 0 in
+        let hooks =
+          {
+            Observe.Metrics.h_fid_size =
+              (fun fid ->
+                if fid >= 0 && fid < Array.length sizes then sizes.(fid) else 0);
+            h_call_unit = (fun _ -> !cur_unit);
+            h_ifetch_home = (fun _ -> !cur_home);
+          }
+        in
+        let metrics =
+          Observe.Metrics.create
+            {
+              Observe.Metrics.window_cycles = window;
+              buckets;
+              reuse;
+              config_budget = h.Trace_file.budget;
+            }
+            ~params
+            ~fram:(Platform.fram_base, Platform.fram_base + Platform.fram_size)
+            ~sram:(Platform.sram_base, Platform.sram_base + Platform.sram_size)
+            hooks
+        in
+        (metrics, cur_unit, cur_home))
+      ~f:(fun ((metrics, cur_unit, cur_home) as acc) d ->
+        cur_unit := d.Trace_file.d_unit;
+        cur_home := d.Trace_file.d_home;
+        Observe.Metrics.observer metrics d.Trace_file.d_ev;
+        acc)
+  in
+  match result with
+  | Error e -> Error (Format_error e)
+  | Ok ((metrics, _, _), header, _) -> (
+      match !bad_frequency with
+      | Some m ->
+          Error
+            (Model_error
+               (Printf.sprintf "unsupported recorded frequency %d MHz" m))
+      | None -> Ok (metrics, header))

@@ -1,0 +1,166 @@
+(** Replay kernel: stream a recorded trace through pluggable
+    memory-system models without re-executing the CPU.
+
+    {!load} makes one decoding pass over the file and reduces it to
+    sufficient statistics — access-class counts, the per-instruction
+    FRAM contention count, runtime-event counters and the ordered
+    cache-unit reference stream. Everything downstream is then
+    arithmetic over those statistics: {!exact} retargets wait states
+    and frequency in O(1), {!simulate} runs a fully-associative cache
+    model over the reference stream (microseconds per configuration),
+    and {!mrc} rebuilds the exact Mattson miss-ratio curve. That
+    load-once / simulate-many split is what turns one multi-second
+    simulation into thousands of configuration evaluations.
+
+    Exactness: at the recording configuration, {!exact} reproduces
+    the executor's cycles, energy and every counter bit-for-bit
+    (enforced — {!load} fails on a trace whose recorded stall total
+    cannot be reconstructed), and {!replay_metrics} reproduces the
+    executed {!Observe.Metrics} windows and MRC byte-for-byte. *)
+
+type error = Format_error of Trace_file.error | Model_error of string
+
+val error_message : error -> string
+
+(** Counters reconstructed from a swapram-recorded trace, matching
+    [Swapram.Runtime.stats], or from a block-cache trace, matching
+    [Blockcache.Runtime.stats]. Fields not emitted as events
+    (word-copy counts, hash probes) are not reconstructable and are
+    not included. *)
+type runtime_counts = {
+  rc_misses : int;
+  rc_evictions : int;
+  rc_aborts : int;  (** swapram "nvm" dispositions *)
+  rc_frozen : int;
+  rc_too_large : int;
+  rc_prefetches : int;
+  rc_returns : int;  (** block cache return-trap entries *)
+  rc_flushes : int;
+  rc_block_loads : int;
+}
+
+type loaded = {
+  header : Trace_file.header;
+  path : string;
+  events : int;
+  bytes : int;  (** file size on disk *)
+  (* execution statistics, mirroring Msp430.Trace.t *)
+  instructions : int;
+  by_source : int array;
+  unstalled : int;
+  recorded_stall : int;
+  fram_ifetch : int;
+  fram_data_reads : int;
+  fram_read_hits : int;
+  fram_writes : int;
+  sram_ifetch : int;
+  sram_data_reads : int;
+  sram_writes : int;
+  periph_accesses : int;
+  calls : int;
+  returns : int;
+  contention_events : int;
+      (** 2nd-and-later FRAM accesses within one instruction; each
+          cost one contention-penalty stall at any frequency *)
+  runtime : runtime_counts;
+  refs : refs;
+  units : int;
+      (** one past the highest unit id in [refs] (at the recorded
+          granularity) — the direct-index bound for per-unit state *)
+}
+
+(** The ordered cache-unit reference stream. [Fn_refs] (SwapRAM
+    recordings): one entry per call, [(fid lsl 1) lor miss], where
+    [miss] marks calls that trapped to the miss handler. [Line_refs]
+    (block-cache / baseline recordings): instruction-fetch homes
+    bucketed to recorded-granularity line indices and run-length
+    encoded as [line; length] pairs — consecutive fetches from one
+    line collapse into a run, which is exact for every supported
+    eviction policy (a repeat access can neither miss nor change the
+    victim order) and keeps per-model simulation proportional to line
+    transitions, not fetches. *)
+and refs = Fn_refs of int array | Line_refs of int array
+
+val load : string -> (loaded, error) result
+(** One full decoding pass; validates internal consistency (the
+    recorded stall total must be reconstructable from the recorded
+    wait states and contention events). *)
+
+val unit_bytes : loaded -> int -> int
+(** Size in bytes of cache unit [u] under the recording granularity. *)
+
+val footprint : loaded -> int
+(** Total bytes across distinct referenced units. *)
+
+(** {2 Exact replay (wait-state / frequency retargeting)} *)
+
+type totals = {
+  t_frequency_mhz : int;
+  t_wait_states : int;
+  t_unstalled : int;
+  t_stall : int;
+  t_cycles : int;
+  t_fram_read_misses : int;
+  t_energy_nj : float;
+  t_time_s : float;
+}
+
+val exact : ?frequency_mhz:int -> loaded -> (totals, string) result
+(** Recompute cycles, energy and time at [frequency_mhz] (8 or 24;
+    default the recording frequency). The instruction stream, access
+    stream and hardware read-cache behaviour are frequency-independent
+    on this platform, so the retargeted totals equal a fresh execution
+    at that frequency — the differential tests assert this
+    bit-for-bit. *)
+
+(** {2 Cache-model simulation} *)
+
+type policy = Lru | Lfu | Cost_aware
+
+val policy_name : policy -> string
+val policy_of_string : string -> policy option
+
+type model = {
+  m_budget : int;  (** capacity in bytes *)
+  m_policy : policy;
+  m_block : int option;
+      (** re-bucket [Line_refs] to this line size (default: the
+          recorded granularity), honoured at the nearest multiple of
+          the recorded granularity — refs cannot be split below the
+          line size they were bucketed at; ignored for [Fn_refs] *)
+}
+
+type sim = {
+  s_refs : int;
+  s_misses : int;
+  s_cold_misses : int;
+  s_evictions : int;
+  s_bytes_loaded : int;
+  s_miss_rate : float;
+}
+
+val simulate : loaded -> model -> sim
+(** Fully-associative byte-capacity cache over the reference stream.
+    Units larger than the budget never cache (they re-miss on every
+    reference, as SwapRAM's too-large path runs from NVM). [Lru]
+    evicts least-recently-used; [Lfu] least-frequently-used (LRU
+    tie-break); [Cost_aware] the unit with the smallest
+    reference-count x size product — the cheapest expected re-copy
+    (LRU tie-break). [Lru] at budget B produces exactly
+    [Observe.Reuse.predicted_misses ~budget:B] over the same stream
+    (both are stack algorithms; property-tested). *)
+
+val mrc : loaded -> Observe.Reuse.t
+(** Rebuild the exact byte-LRU reuse tracker from the reference
+    stream — identical (same predicted curve, same measured-miss
+    cross-check) to the tracker an observed execution accumulates. *)
+
+(** {2 Full metrics replay} *)
+
+val replay_metrics :
+  ?window:int -> ?buckets:int -> string -> (Observe.Metrics.t * Trace_file.header, error) result
+(** Stream the whole file through a fresh {!Observe.Metrics} sampler,
+    answering its runtime hooks from the recorded enrichments. With
+    the executed run's window/bucket spec (defaults: 65536-cycle
+    windows, 48 buckets) the replayed CSV / series / MRC renderings
+    are byte-identical to the executed ones. *)

@@ -1,0 +1,652 @@
+(* Compact binary trace format: magic + version + JSON header, then
+   tag-byte events with zigzag-varint payloads. Instruction addresses
+   are delta-encoded against the previous instruction, access
+   addresses against the previous access; runtime strings (runtime /
+   disposition / phase names) are interned in first-use order, which
+   makes the byte stream deterministic — no hash-order dependence —
+   so the same run records byte-identical files on any host or OCaml
+   version. *)
+
+module Trace = Msp430.Trace
+module Json = Observe.Json
+
+type granularity = Functions of int array | Lines of int
+
+type header = {
+  benchmark : string;
+  seed : int;
+  frequency_mhz : int;
+  wait_states : int;
+  contention_penalty : int;
+  system : string;
+  placement : string;
+  budget : int;
+  granularity : granularity;
+  fingerprint : int;
+}
+
+let magic = "SWTR"
+let version = 1
+
+type error =
+  | Bad_magic
+  | Version_mismatch of { found : int; expected : int }
+  | Truncated of string
+  | Corrupt of string
+
+let error_message = function
+  | Bad_magic -> "not a trace file (bad magic)"
+  | Version_mismatch { found; expected } ->
+      Printf.sprintf "trace format version %d (this build reads %d)" found
+        expected
+  | Truncated what -> Printf.sprintf "truncated trace file (%s)" what
+  | Corrupt what -> Printf.sprintf "corrupt trace file (%s)" what
+
+(* --- Tag bytes --------------------------------------------------------- *)
+
+(* 0x00-0x03 are Instr with the source index folded into the tag. *)
+let tag_instr_base = 0x00
+let tag_cycles_both = 0x04
+let tag_cycles_unstalled = 0x05
+let tag_cycles_stall = 0x06
+let tag_cycles_one = 0x07 (* the single-unstalled-cycle fast path *)
+let tag_fram_read_miss = 0x08
+let tag_fram_read_hit = 0x09
+let tag_fram_ifetch_miss = 0x0A
+let tag_fram_ifetch_hit = 0x0B
+let tag_fram_write = 0x0C
+let tag_sram_read = 0x0D
+let tag_sram_ifetch = 0x0E
+let tag_sram_write = 0x0F
+let tag_periph = 0x10
+let tag_call = 0x11
+let tag_call_unit = 0x12
+let tag_return = 0x13
+let tag_miss_enter = 0x14
+let tag_miss_exit = 0x15
+let tag_eviction = 0x16
+let tag_freeze_on = 0x17
+let tag_freeze_off = 0x18
+let tag_cache_flush = 0x19
+let tag_block_load = 0x1A
+let tag_prefetch = 0x1B
+let tag_phase = 0x1C
+let tag_string_def = 0x1D (* interleaved definition; not an event *)
+let tag_end = 0xFE
+
+(* --- Varints ----------------------------------------------------------- *)
+
+(* Unsigned LEB128 over OCaml's 63-bit ints; zigzag maps signed deltas
+   to small unsigned values. *)
+let zigzag n = (n lsl 1) lxor (n asr 62)
+let unzigzag u = (u lsr 1) lxor (-(u land 1))
+
+(* Top-level recursion for the same reason as [varint_loop]: an inner
+   closure would be allocated per encoded integer. *)
+let rec varint_emit buf n =
+  if n land lnot 0x7F = 0 then Buffer.add_char buf (Char.chr n)
+  else begin
+    Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7F)));
+    varint_emit buf (n lsr 7)
+  end
+
+let add_varint buf n =
+  if n < 0 then invalid_arg "Trace_file: negative varint";
+  varint_emit buf n
+
+let add_signed buf n = add_varint buf (zigzag n)
+
+(* --- Header JSON ------------------------------------------------------- *)
+
+let header_json h =
+  let granularity =
+    match h.granularity with
+    | Functions sizes ->
+        Json.Obj
+          [
+            ("kind", Json.String "functions");
+            ( "sizes",
+              Json.List (Array.to_list (Array.map (fun s -> Json.Int s) sizes))
+            );
+          ]
+    | Lines n ->
+        Json.Obj [ ("kind", Json.String "lines"); ("bytes", Json.Int n) ]
+  in
+  Json.Obj
+    [
+      ("benchmark", Json.String h.benchmark);
+      ("seed", Json.Int h.seed);
+      ("frequency_mhz", Json.Int h.frequency_mhz);
+      ("wait_states", Json.Int h.wait_states);
+      ("contention_penalty", Json.Int h.contention_penalty);
+      ("system", Json.String h.system);
+      ("placement", Json.String h.placement);
+      ("budget", Json.Int h.budget);
+      ("granularity", granularity);
+      ("fingerprint", Json.Int h.fingerprint);
+    ]
+
+exception Decode of error
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Decode (Corrupt s))) fmt
+
+let header_of_json j =
+  let str k =
+    match Option.bind (Json.member k j) Json.to_str with
+    | Some s -> s
+    | None -> corrupt "header field %S missing" k
+  in
+  let int k =
+    match Option.bind (Json.member k j) Json.to_int with
+    | Some n -> n
+    | None -> corrupt "header field %S missing" k
+  in
+  let granularity =
+    match Json.member "granularity" j with
+    | None -> corrupt "header field \"granularity\" missing"
+    | Some g -> (
+        match Option.bind (Json.member "kind" g) Json.to_str with
+        | Some "functions" ->
+            let sizes =
+              match Option.bind (Json.member "sizes" g) Json.to_list with
+              | Some l ->
+                  Array.of_list
+                    (List.map
+                       (fun v ->
+                         match Json.to_int v with
+                         | Some n -> n
+                         | None -> corrupt "non-integer function size")
+                       l)
+              | None -> corrupt "functions granularity without sizes"
+            in
+            Functions sizes
+        | Some "lines" -> (
+            match Option.bind (Json.member "bytes" g) Json.to_int with
+            | Some n -> Lines n
+            | None -> corrupt "lines granularity without bytes")
+        | Some k -> corrupt "unknown granularity kind %S" k
+        | None -> corrupt "granularity without kind")
+  in
+  {
+    benchmark = str "benchmark";
+    seed = int "seed";
+    frequency_mhz = int "frequency_mhz";
+    wait_states = int "wait_states";
+    contention_penalty = int "contention_penalty";
+    system = str "system";
+    placement = str "placement";
+    budget = int "budget";
+    granularity;
+    fingerprint = int "fingerprint";
+  }
+
+(* --- Writer ------------------------------------------------------------ *)
+
+type writer = {
+  oc : out_channel;
+  path : string;
+  buf : Buffer.t;
+  intern : (string, int) Hashtbl.t;
+  mutable nstrings : int;
+  mutable prev_pc : int;
+  mutable prev_addr : int;
+  mutable events : int;
+  mutable closed : bool;
+}
+
+let flush_threshold = 1 lsl 16
+
+let maybe_flush w =
+  if Buffer.length w.buf >= flush_threshold then begin
+    Buffer.output_buffer w.oc w.buf;
+    Buffer.clear w.buf
+  end
+
+let create_writer path header =
+  let oc = open_out_bin path in
+  let buf = Buffer.create flush_threshold in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf (Char.chr (version land 0xFF));
+  Buffer.add_char buf (Char.chr ((version lsr 8) land 0xFF));
+  let hdr = Json.to_string (header_json header) in
+  let len = String.length hdr in
+  Buffer.add_char buf (Char.chr (len land 0xFF));
+  Buffer.add_char buf (Char.chr ((len lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr ((len lsr 16) land 0xFF));
+  Buffer.add_char buf (Char.chr ((len lsr 24) land 0xFF));
+  Buffer.add_string buf hdr;
+  {
+    oc;
+    path;
+    buf;
+    intern = Hashtbl.create 16;
+    nstrings = 0;
+    prev_pc = 0;
+    prev_addr = 0;
+    events = 0;
+    closed = false;
+  }
+
+let add_tag w t = Buffer.add_char w.buf (Char.chr t)
+
+(* Interned string id; unseen strings get a definition record first
+   (ids are assigned in first-use order — deterministic). Definitions
+   must land between events, so intern BEFORE writing an event tag. *)
+let intern_id w s =
+  match Hashtbl.find_opt w.intern s with
+  | Some id -> id
+  | None ->
+      let id = w.nstrings in
+      w.nstrings <- id + 1;
+      Hashtbl.add w.intern s id;
+      add_tag w tag_string_def;
+      add_varint w.buf (String.length s);
+      Buffer.add_string w.buf s;
+      add_varint w.buf id;
+      id
+
+let add_addr w addr =
+  add_signed w.buf (addr - w.prev_addr);
+  w.prev_addr <- addr
+
+type enrich = {
+  en_call_unit : int -> int option;
+  en_ifetch_home : int -> int;
+}
+
+let null_enrich =
+  { en_call_unit = (fun _ -> None); en_ifetch_home = (fun a -> a) }
+
+let recorder w enrich ev =
+  w.events <- w.events + 1;
+  (match ev with
+  | Trace.Instr { pc; source } ->
+      add_tag w (tag_instr_base + Trace.source_index source);
+      add_signed w.buf (pc - w.prev_pc);
+      w.prev_pc <- pc
+  | Trace.Cycles { unstalled; stall } ->
+      if stall = 0 then
+        if unstalled = 1 then add_tag w tag_cycles_one
+        else begin
+          add_tag w tag_cycles_unstalled;
+          add_varint w.buf unstalled
+        end
+      else if unstalled = 0 then begin
+        add_tag w tag_cycles_stall;
+        add_varint w.buf stall
+      end
+      else begin
+        add_tag w tag_cycles_both;
+        add_varint w.buf unstalled;
+        add_varint w.buf stall
+      end
+  | Trace.Mem_access { addr; cls } -> (
+      match cls with
+      | Trace.Fram_read { hit; ifetch = false } ->
+          add_tag w (if hit then tag_fram_read_hit else tag_fram_read_miss);
+          add_addr w addr
+      | Trace.Fram_read { hit; ifetch = true } ->
+          add_tag w (if hit then tag_fram_ifetch_hit else tag_fram_ifetch_miss);
+          add_addr w addr;
+          add_signed w.buf (enrich.en_ifetch_home addr - addr)
+      | Trace.Fram_write ->
+          add_tag w tag_fram_write;
+          add_addr w addr
+      | Trace.Sram_read { ifetch = false } ->
+          add_tag w tag_sram_read;
+          add_addr w addr
+      | Trace.Sram_read { ifetch = true } ->
+          add_tag w tag_sram_ifetch;
+          add_addr w addr;
+          add_signed w.buf (enrich.en_ifetch_home addr - addr)
+      | Trace.Sram_write ->
+          add_tag w tag_sram_write;
+          add_addr w addr
+      | Trace.Periph_access ->
+          add_tag w tag_periph;
+          add_addr w addr)
+  | Trace.Call { target } -> (
+      match enrich.en_call_unit target with
+      | None ->
+          add_tag w tag_call;
+          add_varint w.buf target
+      | Some u ->
+          add_tag w tag_call_unit;
+          add_varint w.buf target;
+          add_varint w.buf u)
+  | Trace.Return -> add_tag w tag_return
+  | Trace.Runtime_event rev -> (
+      match rev with
+      | Trace.Miss_enter { runtime } ->
+          let rt = intern_id w runtime in
+          add_tag w tag_miss_enter;
+          add_varint w.buf rt
+      | Trace.Miss_exit { runtime; disposition; fid } ->
+          let rt = intern_id w runtime in
+          let disp = intern_id w disposition in
+          add_tag w tag_miss_exit;
+          add_varint w.buf rt;
+          add_varint w.buf disp;
+          add_signed w.buf fid
+      | Trace.Eviction { fid } ->
+          add_tag w tag_eviction;
+          add_varint w.buf fid
+      | Trace.Freeze { on } ->
+          add_tag w (if on then tag_freeze_on else tag_freeze_off)
+      | Trace.Cache_flush -> add_tag w tag_cache_flush
+      | Trace.Block_load { nvm } ->
+          add_tag w tag_block_load;
+          add_varint w.buf nvm
+      | Trace.Prefetch { fid } ->
+          add_tag w tag_prefetch;
+          add_varint w.buf fid
+      | Trace.Phase { name } ->
+          let n = intern_id w name in
+          add_tag w tag_phase;
+          add_varint w.buf n));
+  maybe_flush w
+
+let events_written w = w.events
+
+let close_writer w =
+  if not w.closed then begin
+    w.closed <- true;
+    add_tag w tag_end;
+    add_varint w.buf w.events;
+    Buffer.output_buffer w.oc w.buf;
+    Buffer.clear w.buf;
+    close_out w.oc
+  end
+
+let discard_writer w =
+  if not w.closed then begin
+    w.closed <- true;
+    close_out_noerr w.oc
+  end;
+  try Sys.remove w.path with Sys_error _ -> ()
+
+(* --- Reader ------------------------------------------------------------ *)
+
+type decoded = { d_ev : Trace.event; d_unit : int option; d_home : int }
+
+type cursor = { data : string; mutable pos : int }
+
+let truncated what = raise (Decode (Truncated what))
+
+let byte c what =
+  if c.pos >= String.length c.data then truncated what;
+  (* The explicit truncation check above already bounds [pos]. *)
+  let b = Char.code (String.unsafe_get c.data c.pos) in
+  c.pos <- c.pos + 1;
+  b
+
+(* Top-level recursion, not an inner [go] closure: a closure here would
+   be allocated on every call, i.e. once or twice per event on the hot
+   decode path. *)
+let rec varint_loop c what shift acc =
+  if shift > 62 then corrupt "varint overflow";
+  let b = byte c what in
+  let acc = acc lor ((b land 0x7F) lsl shift) in
+  if b land 0x80 = 0 then acc else varint_loop c what (shift + 7) acc
+
+let read_varint c what = varint_loop c what 0 0
+
+let read_signed c what = unzigzag (read_varint c what)
+
+let source_of_index i =
+  match i with
+  | 0 -> Trace.App_fram
+  | 1 -> Trace.App_sram
+  | 2 -> Trace.Handler
+  | 3 -> Trace.Memcpy
+  | _ -> corrupt "bad source index %d" i
+
+let load_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let decode_preamble c =
+  if String.length c.data < 4 then raise (Decode Bad_magic);
+  if String.sub c.data 0 4 <> magic then raise (Decode Bad_magic);
+  c.pos <- 4;
+  let v0 = byte c "version" in
+  let v1 = byte c "version" in
+  let found = v0 lor (v1 lsl 8) in
+  if found <> version then
+    raise (Decode (Version_mismatch { found; expected = version }));
+  let l0 = byte c "header length" in
+  let l1 = byte c "header length" in
+  let l2 = byte c "header length" in
+  let l3 = byte c "header length" in
+  let len = l0 lor (l1 lsl 8) lor (l2 lsl 16) lor (l3 lsl 24) in
+  if c.pos + len > String.length c.data then truncated "header";
+  let hdr = String.sub c.data c.pos len in
+  c.pos <- c.pos + len;
+  match Json.parse hdr with
+  | Error msg -> corrupt "header JSON: %s" msg
+  | Ok j -> header_of_json j
+
+let read_header path =
+  match
+    let c = { data = load_file path; pos = 0 } in
+    decode_preamble c
+  with
+  | h -> Ok h
+  | exception Decode e -> Error e
+  | exception Sys_error msg -> Error (Corrupt msg)
+
+(* Growable string table; ids are sequential so an array suffices. *)
+type strings = { mutable tbl : string array; mutable n : int }
+
+let intern_lookup s id =
+  if id < 0 || id >= s.n then corrupt "string reference %d out of range" id;
+  s.tbl.(id)
+
+let intern_define s str id =
+  if id <> s.n then corrupt "string definition out of order";
+  if s.n = Array.length s.tbl then begin
+    let tbl = Array.make (max 8 (2 * s.n)) "" in
+    Array.blit s.tbl 0 tbl 0 s.n;
+    s.tbl <- tbl
+  end;
+  s.tbl.(s.n) <- str;
+  s.n <- s.n + 1
+
+(* Flat per-event callbacks; the decode loop calls straight into these
+   without materializing [Trace.event] values, so a visitor-based scan
+   allocates nothing per event. This is the hot path the record-once /
+   replay-many speedup rests on — [fold] (and its [decoded] values) is
+   a convenience wrapper built on the same loop. *)
+type visitor = {
+  v_instr : int -> int -> unit;  (** source index, pc *)
+  v_cycles : int -> int -> unit;  (** unstalled, stall *)
+  v_fram_read : bool -> int -> unit;  (** hit, addr (data read) *)
+  v_fram_ifetch : bool -> int -> int -> unit;  (** hit, addr, home *)
+  v_fram_write : int -> unit;
+  v_sram_read : int -> unit;
+  v_sram_ifetch : int -> int -> unit;  (** addr, home *)
+  v_sram_write : int -> unit;
+  v_periph : int -> unit;
+  v_call : int -> int -> unit;  (** target, unit (-1 when unrecorded) *)
+  v_return : unit -> unit;
+  v_miss_enter : string -> unit;
+  v_miss_exit : string -> string -> int -> unit;
+      (** runtime, disposition, fid *)
+  v_eviction : int -> unit;
+  v_freeze : bool -> unit;
+  v_cache_flush : unit -> unit;
+  v_block_load : int -> unit;
+  v_prefetch : int -> unit;
+  v_phase : string -> unit;
+}
+
+let iter path ~make =
+  match
+    let c = { data = load_file path; pos = 0 } in
+    let header = decode_preamble c in
+    let v = make header in
+    let strings = { tbl = [||]; n = 0 } in
+    let prev_pc = ref 0 in
+    let prev_addr = ref 0 in
+    let count = ref 0 in
+    let read_str what =
+      let id = read_varint c what in
+      intern_lookup strings id
+    in
+    let addr what =
+      let a = !prev_addr + read_signed c what in
+      prev_addr := a;
+      a
+    in
+    let finished = ref false in
+    while not !finished do
+      let tag = byte c "event stream" in
+      incr count;
+      if tag < 0x04 then begin
+        let pc = !prev_pc + read_signed c "instr" in
+        prev_pc := pc;
+        v.v_instr tag pc
+      end
+      else if tag = tag_cycles_one then v.v_cycles 1 0
+      else if tag = tag_cycles_unstalled then
+        v.v_cycles (read_varint c "cycles") 0
+      else if tag = tag_cycles_stall then v.v_cycles 0 (read_varint c "cycles")
+      else if tag = tag_cycles_both then begin
+        let unstalled = read_varint c "cycles" in
+        let stall = read_varint c "cycles" in
+        v.v_cycles unstalled stall
+      end
+      else if tag = tag_fram_read_miss then v.v_fram_read false (addr "fram read")
+      else if tag = tag_fram_read_hit then v.v_fram_read true (addr "fram read")
+      else if tag = tag_fram_ifetch_miss || tag = tag_fram_ifetch_hit then begin
+        let a = addr "fram ifetch" in
+        let home = a + read_signed c "fram ifetch home" in
+        v.v_fram_ifetch (tag = tag_fram_ifetch_hit) a home
+      end
+      else if tag = tag_fram_write then v.v_fram_write (addr "fram write")
+      else if tag = tag_sram_read then v.v_sram_read (addr "sram read")
+      else if tag = tag_sram_ifetch then begin
+        let a = addr "sram ifetch" in
+        let home = a + read_signed c "sram ifetch home" in
+        v.v_sram_ifetch a home
+      end
+      else if tag = tag_sram_write then v.v_sram_write (addr "sram write")
+      else if tag = tag_periph then v.v_periph (addr "periph")
+      else if tag = tag_call then v.v_call (read_varint c "call") (-1)
+      else if tag = tag_call_unit then begin
+        let target = read_varint c "call" in
+        let u = read_varint c "call unit" in
+        v.v_call target u
+      end
+      else if tag = tag_return then v.v_return ()
+      else if tag = tag_miss_enter then v.v_miss_enter (read_str "miss enter")
+      else if tag = tag_miss_exit then begin
+        let runtime = read_str "miss exit" in
+        let disposition = read_str "miss exit" in
+        let fid = read_signed c "miss exit" in
+        v.v_miss_exit runtime disposition fid
+      end
+      else if tag = tag_eviction then v.v_eviction (read_varint c "eviction")
+      else if tag = tag_freeze_on then v.v_freeze true
+      else if tag = tag_freeze_off then v.v_freeze false
+      else if tag = tag_cache_flush then v.v_cache_flush ()
+      else if tag = tag_block_load then v.v_block_load (read_varint c "block load")
+      else if tag = tag_prefetch then v.v_prefetch (read_varint c "prefetch")
+      else if tag = tag_phase then v.v_phase (read_str "phase")
+      else begin
+        decr count;
+        if tag = tag_end then begin
+          let declared = read_varint c "end marker" in
+          if declared <> !count then
+            corrupt "end marker declares %d events, decoded %d" declared !count;
+          if c.pos <> String.length c.data then
+            corrupt "%d trailing bytes after end marker"
+              (String.length c.data - c.pos);
+          finished := true
+        end
+        else if tag = tag_string_def then begin
+          let len = read_varint c "string definition" in
+          if c.pos + len > String.length c.data then
+            truncated "string definition";
+          let s = String.sub c.data c.pos len in
+          c.pos <- c.pos + len;
+          let id = read_varint c "string definition" in
+          intern_define strings s id
+        end
+        else corrupt "unknown tag 0x%02X" tag
+      end
+    done;
+    (header, !count)
+  with
+  | result -> Ok result
+  | exception Decode e -> Error e
+  | exception Sys_error msg -> Error (Corrupt msg)
+
+let fold path ~init ~f =
+  let acc = ref None in
+  let make header =
+    let a = ref (init header) in
+    acc := Some a;
+    let emit d = a := f !a d in
+    let plain ev = emit { d_ev = ev; d_unit = None; d_home = 0 } in
+    let mem addr cls = plain (Trace.Mem_access { addr; cls }) in
+    let rt ev = plain (Trace.Runtime_event ev) in
+    {
+      v_instr =
+        (fun i pc -> plain (Trace.Instr { pc; source = source_of_index i }));
+      v_cycles = (fun unstalled stall -> plain (Trace.Cycles { unstalled; stall }));
+      v_fram_read =
+        (fun hit addr -> mem addr (Trace.Fram_read { hit; ifetch = false }));
+      v_fram_ifetch =
+        (fun hit addr home ->
+          emit
+            {
+              d_ev =
+                Trace.Mem_access
+                  { addr; cls = Trace.Fram_read { hit; ifetch = true } };
+              d_unit = None;
+              d_home = home;
+            });
+      v_fram_write = (fun addr -> mem addr Trace.Fram_write);
+      v_sram_read = (fun addr -> mem addr (Trace.Sram_read { ifetch = false }));
+      v_sram_ifetch =
+        (fun addr home ->
+          emit
+            {
+              d_ev =
+                Trace.Mem_access
+                  { addr; cls = Trace.Sram_read { ifetch = true } };
+              d_unit = None;
+              d_home = home;
+            });
+      v_sram_write = (fun addr -> mem addr Trace.Sram_write);
+      v_periph = (fun addr -> mem addr Trace.Periph_access);
+      v_call =
+        (fun target u ->
+          emit
+            {
+              d_ev = Trace.Call { target };
+              d_unit = (if u < 0 then None else Some u);
+              d_home = 0;
+            });
+      v_return = (fun () -> plain Trace.Return);
+      v_miss_enter = (fun runtime -> rt (Trace.Miss_enter { runtime }));
+      v_miss_exit =
+        (fun runtime disposition fid ->
+          rt (Trace.Miss_exit { runtime; disposition; fid }));
+      v_eviction = (fun fid -> rt (Trace.Eviction { fid }));
+      v_freeze = (fun on -> rt (Trace.Freeze { on }));
+      v_cache_flush = (fun () -> rt Trace.Cache_flush);
+      v_block_load = (fun nvm -> rt (Trace.Block_load { nvm }));
+      v_prefetch = (fun fid -> rt (Trace.Prefetch { fid }));
+      v_phase = (fun name -> rt (Trace.Phase { name }));
+    }
+  in
+  match iter path ~make with
+  | Error e -> Error e
+  | Ok (header, count) -> (
+      match !acc with
+      | Some a -> Ok (!a, header, count)
+      | None -> assert false)

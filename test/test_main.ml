@@ -17,4 +17,5 @@ let () =
       ("faultinject", Test_faultinject.suite);
     ("campaign", Test_campaign.suite);
       ("engine", Test_engine.suite);
+      ("replay", Test_replay.suite);
     ]
