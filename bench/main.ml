@@ -67,7 +67,7 @@ let run_report () =
         in
         match
           Faultinject.Campaign.run ~jobs:!cli_jobs
-            ~progress:(Observe.Progress.console stderr)
+            ~progress:(Observe.Progress.auto stderr)
             plan
         with
         | Ok o -> Some (Faultinject.Campaign.to_json o)
@@ -76,6 +76,9 @@ let run_report () =
             exit 1)
   in
   Experiments.Bench_report.write ~seed ?campaign path;
+  let ms = Experiments.Sweep.memo_stats () in
+  Printf.printf "sweep memo   : %d hit, %d computed\n"
+    ms.Experiments.Sweep.hits ms.Experiments.Sweep.misses;
   Printf.printf "wrote %s (schema v%d%s)\n" path
     Experiments.Bench_report.schema_version
     (if campaign <> None then ", with campaign" else "")
@@ -184,7 +187,7 @@ let () =
         not
           (has_prefix "--report" a || has_prefix "--baseline" a
          || has_prefix "--jobs" a || has_prefix "--engine" a
-         || has_prefix "--campaign" a))
+         || has_prefix "--campaign" a || has_prefix "--telemetry" a))
       args
   in
   let report = List.filter (has_prefix "--report") flags in
@@ -232,6 +235,29 @@ let () =
               flag;
             exit 1)
     flags;
+  (* --telemetry[=PATH] writes the host run ledger (spans, counters,
+     worker-lifecycle records) alongside the artifacts; inspect with
+     `swapram_cli timeline`. Telemetry is emission-only: artifact
+     output is byte-identical with the flag on or off. *)
+  (match List.filter (has_prefix "--telemetry") flags with
+  | [] -> ()
+  | flag :: _ -> (
+      let path = path_of flag "telemetry.jsonl" in
+      match Observe.Telemetry.enable path with
+      | Error e ->
+          Printf.eprintf "cannot enable telemetry: %s\n" e;
+          exit 1
+      | Ok () ->
+          Observe.Telemetry.manifest
+            [
+              ("tool", Observe.Json.String "bench");
+              ("seed", Observe.Json.Int seed);
+              ("jobs", Observe.Json.Int !cli_jobs);
+            ];
+          at_exit Observe.Telemetry.disable));
+  (* sweep progress on stderr: live dashboard on a TTY, rate-limited
+     plain lines otherwise (CI logs) *)
+  Experiments.Sweep.set_default_progress (Observe.Progress.auto stderr);
   let requested =
     match names with
     | _ :: _ -> names
@@ -248,7 +274,7 @@ let () =
     (fun name ->
       match List.assoc_opt name artifacts with
       | Some run ->
-          run ();
+          Observe.Telemetry.with_span ~cat:"bench" name run;
           print_newline ()
       | None ->
           Printf.eprintf "unknown artifact %s (available: %s)\n" name

@@ -125,6 +125,37 @@ let load_benchmark ~benchmark ~file ~seed =
 
 let ( let* ) r f = match r with Ok v -> f v | Error e -> `Error (false, e)
 
+(* --telemetry[=PATH]: enable the host-side run ledger around a
+   command. The manifest header carries the command name plus
+   whatever identifying fields the command computed (seed, jobs,
+   fingerprints); the sink is closed on every exit path so the ledger
+   is complete even when the command fails. *)
+let telemetry_arg =
+  let doc =
+    "Write a host-telemetry run ledger (append-only JSONL of spans, counters \
+     and worker-lifecycle records) to $(docv); just --telemetry defaults to \
+     telemetry.jsonl. Inspect with the timeline command. Telemetry is \
+     non-perturbing: simulated results and reports are byte-identical with \
+     the flag on or off."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "telemetry.jsonl") (some string) None
+    & info [ "telemetry" ] ~docv:"PATH" ~doc)
+
+let with_telemetry ~command ~fields telemetry f =
+  match telemetry with
+  | None -> f ()
+  | Some path -> (
+      match Observe.Telemetry.enable path with
+      | Error e -> `Error (false, e)
+      | Ok () ->
+          Observe.Telemetry.manifest
+            (("tool", Observe.Json.String "swapram_cli")
+            :: ("command", Observe.Json.String command)
+            :: fields);
+          Fun.protect ~finally:Observe.Telemetry.disable f)
+
 (* --engine check: execute the same configuration under the reference
    interpreter and the superblock engine, fail unless every simulated
    result matches exactly, and report the host-side speedup. CI's
@@ -180,7 +211,8 @@ let check_engines config b seed =
           "engine check needs a configuration that runs to a clean halt \
            under both engines" )
 
-let run_cmd benchmark file system placement freq seed blacklist engine =
+let run_cmd benchmark file system placement freq seed blacklist engine telemetry
+    =
   let* b = load_benchmark ~benchmark ~file ~seed in
   let* caching = parse_system blacklist system in
   let* placement = parse_placement placement in
@@ -195,6 +227,16 @@ let run_cmd benchmark file system placement freq seed blacklist engine =
       frequency;
     }
   in
+  with_telemetry ~command:"run" telemetry
+    ~fields:
+      [
+        ("benchmark", Observe.Json.String b.Workloads.Bench_def.name);
+        ("seed", Observe.Json.Int seed);
+        ("system", Observe.Json.String (Experiments.Toolchain.caching_name caching));
+        ( "config_fingerprint",
+          Observe.Json.Int (Experiments.Toolchain.config_fingerprint config) );
+      ]
+  @@ fun () ->
   match engine with
   | `Check -> check_engines config b seed
   | `Engine e -> (
@@ -431,7 +473,7 @@ let read_profile path =
   | Error e -> Error (path ^ ": " ^ e)
 
 let pgo_cmd benchmark file freq seed blacklist engine budget train profile gate
-    =
+    telemetry =
   let* b = load_benchmark ~benchmark ~file ~seed in
   let* frequency = parse_freq freq in
   let* engine = parse_engine_only "pgo" engine in
@@ -447,6 +489,15 @@ let pgo_cmd benchmark file freq seed blacklist engine budget train profile gate
       engine;
     }
   in
+  with_telemetry ~command:"pgo" telemetry
+    ~fields:
+      [
+        ("benchmark", Observe.Json.String b.Workloads.Bench_def.name);
+        ("seed", Observe.Json.Int seed);
+        ( "config_fingerprint",
+          Observe.Json.Int (Experiments.Toolchain.config_fingerprint config) );
+      ]
+  @@ fun () ->
   match train with
   | Some path -> (
       (* training only: run observed under the default placement and
@@ -550,7 +601,34 @@ let pgo_cmd benchmark file freq seed blacklist engine budget train profile gate
 (* Compare: the perf-regression gate. Nonzero exit on any regression
    beyond the per-metric thresholds (or structural mismatch), so CI
    can gate on `swapram_cli compare bench/baseline.json report.json`. *)
-let compare_cmd old_path new_path threshold =
+let read_json_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | contents -> (
+      match Observe.Json.parse contents with
+      | Ok j -> Ok j
+      | Error e -> Error (Printf.sprintf "%s: %s" path e))
+
+let compare_cmd old_path new_path threshold identical =
+  if identical then (
+    (* telemetry-purity gate: after stripping host-wall-clock keys the
+       two reports must agree byte for byte — no thresholds *)
+    let* old_json = read_json_file old_path in
+    let* new_json = read_json_file new_path in
+    let view j =
+      Observe.Json.to_string (Experiments.Bench_report.deterministic_view j)
+    in
+    if view old_json = view new_json then begin
+      Printf.printf
+        "identical    : OK (deterministic views agree byte for byte)\n";
+      `Ok ()
+    end
+    else
+      `Error
+        ( false,
+          "reports differ beyond wall-clock fields: simulated results are \
+           not byte-identical" ))
+  else
   let thresholds =
     match threshold with
     | None -> Experiments.Compare.default_thresholds
@@ -666,7 +744,8 @@ let trace_out_arg =
   Arg.(
     required & opt (some string) None & info [ "out"; "o" ] ~docv:"PATH" ~doc)
 
-let record_cmd benchmark file system placement freq seed blacklist out =
+let record_cmd benchmark file system placement freq seed blacklist out
+    telemetry =
   let* b = load_benchmark ~benchmark ~file ~seed in
   let* caching = parse_system blacklist system in
   let* placement = parse_placement placement in
@@ -680,6 +759,16 @@ let record_cmd benchmark file system placement freq seed blacklist out =
       frequency;
     }
   in
+  with_telemetry ~command:"record" telemetry
+    ~fields:
+      [
+        ("benchmark", Observe.Json.String b.Workloads.Bench_def.name);
+        ("seed", Observe.Json.Int seed);
+        ("trace", Observe.Json.String out);
+        ( "config_fingerprint",
+          Observe.Json.Int (Experiments.Toolchain.config_fingerprint config) );
+      ]
+  @@ fun () ->
   match Experiments.Toolchain.run_recorded ~trace:out config with
   | Experiments.Toolchain.Did_not_fit msg ->
       `Error (false, "binary does not fit the platform: " ^ msg)
@@ -813,7 +902,7 @@ let check_against_execution l =
                 "replay diverges from execution: "
                 ^ String.concat "; " mismatches ))
 
-let replay_cmd trace budgets policies block check freq jobs =
+let replay_cmd trace budgets policies block check freq jobs telemetry =
   let* policies =
     match policies with
     | [] -> Ok Experiments.Replay_sweep.default_policies
@@ -830,6 +919,13 @@ let replay_cmd trace budgets policies block check freq jobs =
   let budgets =
     if budgets = [] then Experiments.Replay_sweep.default_budgets else budgets
   in
+  with_telemetry ~command:"replay" telemetry
+    ~fields:
+      [
+        ("trace", Observe.Json.String trace);
+        ("jobs", Observe.Json.Int (resolve_jobs jobs));
+      ]
+  @@ fun () ->
   match Replay.Engine.load trace with
   | Error e -> `Error (false, trace ^ ": " ^ Replay.Engine.error_message e)
   | Ok l -> (
@@ -886,6 +982,13 @@ let replay_cmd trace budgets policies block check freq jobs =
                     sim.Replay.Engine.s_bytes_loaded
                     sim.Replay.Engine.s_miss_rate)
                 run.Experiments.Replay_sweep.cells;
+              (* jobs-independent: the hit/miss partition happens
+                 before any cell is dispatched *)
+              let ms = Experiments.Replay_sweep.memo_stats () in
+              Printf.printf "memo         : %d hit, %d computed, %d stale\n"
+                ms.Experiments.Replay_sweep.hits
+                ms.Experiments.Replay_sweep.misses
+                ms.Experiments.Replay_sweep.stale;
               if check then check_against_execution l else `Ok ()))
 
 (* Power-failure injection with the crash-consistency oracle. *)
@@ -918,7 +1021,7 @@ let watchdog_cycles_arg =
   Arg.(value & opt int 0 & info [ "watchdog-cycles" ] ~doc)
 
 let faultinject_cmd benchmark file system placement freq seed blacklist engine
-    jobs mode periods crash_seed max_reboots watchdog_cycles =
+    jobs mode periods crash_seed max_reboots watchdog_cycles telemetry =
   let* b = load_benchmark ~benchmark ~file ~seed in
   let* caching = parse_system blacklist system in
   let* placement = parse_placement placement in
@@ -949,6 +1052,17 @@ let faultinject_cmd benchmark file system placement freq seed blacklist engine
     | "adversarial" -> Ok [ Faultinject.Schedule.adversarial ]
     | m -> Error ("unknown injection mode " ^ m)
   in
+  with_telemetry ~command:"faultinject" telemetry
+    ~fields:
+      [
+        ("benchmark", Observe.Json.String b.Workloads.Bench_def.name);
+        ("seed", Observe.Json.Int seed);
+        ("mode", Observe.Json.String mode);
+        ("jobs", Observe.Json.Int (resolve_jobs jobs));
+        ( "config_fingerprint",
+          Observe.Json.Int (Experiments.Toolchain.config_fingerprint config) );
+      ]
+  @@ fun () ->
   match
     Faultinject.Injector.sweep ~max_reboots
       ?watchdog_cycles:
@@ -1033,7 +1147,7 @@ let quiet_arg =
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc)
 
 let campaign_cmd benchmarks systems samplers trials seed shard max_reboots
-    watchdog_scale ci_width resume jobs report quiet =
+    watchdog_scale ci_width resume jobs report quiet telemetry =
   let collect parse = function
     | [] -> Ok None
     | names ->
@@ -1091,8 +1205,18 @@ let campaign_cmd benchmarks systems samplers trials seed shard max_reboots
     }
   in
   let progress =
-    if quiet then Observe.Progress.null else Observe.Progress.console stderr
+    if quiet then Observe.Progress.null else Observe.Progress.auto stderr
   in
+  with_telemetry ~command:"campaign" telemetry
+    ~fields:
+      [
+        ("seed", Observe.Json.Int seed);
+        ("trials", Observe.Json.Int trials);
+        ("jobs", Observe.Json.Int (resolve_jobs jobs));
+        ( "plan_fingerprint",
+          Observe.Json.String (Faultinject.Campaign.fingerprint plan) );
+      ]
+  @@ fun () ->
   match
     Faultinject.Campaign.run ~jobs:(resolve_jobs jobs) ~progress
       ?progress_file:resume plan
@@ -1123,13 +1247,13 @@ let campaign_term =
       (const campaign_cmd $ campaign_benchmarks_arg $ campaign_systems_arg
      $ sampler_arg $ trials_arg $ seed_arg $ shard_arg
      $ campaign_max_reboots_arg $ watchdog_scale_arg $ ci_width_arg
-     $ resume_arg $ jobs_arg $ campaign_report_arg $ quiet_arg))
+     $ resume_arg $ jobs_arg $ campaign_report_arg $ quiet_arg $ telemetry_arg))
 
 let run_term =
   Term.(
     ret
       (const run_cmd $ benchmark_arg $ file_arg $ system_arg $ placement_arg
-     $ freq_arg $ seed_arg $ blacklist_arg $ engine_arg))
+     $ freq_arg $ seed_arg $ blacklist_arg $ engine_arg $ telemetry_arg))
 
 let instrumented_arg =
   let doc = "Print the SwapRAM-instrumented program instead of plain output." in
@@ -1195,8 +1319,19 @@ let threshold_arg =
   in
   Arg.(value & opt (some float) None & info [ "threshold" ] ~doc)
 
+let identical_arg =
+  let doc =
+    "Telemetry-purity mode: instead of thresholded comparison, strip every \
+     host-wall-clock field from both reports and require the remainder to \
+     agree byte for byte (nonzero exit otherwise)."
+  in
+  Arg.(value & flag & info [ "identical" ] ~doc)
+
 let compare_term =
-  Term.(ret (const compare_cmd $ old_report_arg $ new_report_arg $ threshold_arg))
+  Term.(
+    ret
+      (const compare_cmd $ old_report_arg $ new_report_arg $ threshold_arg
+     $ identical_arg))
 
 let budget_arg =
   let doc = "Pinned-set byte budget (default: half the SRAM cache)." in
@@ -1228,19 +1363,75 @@ let pgo_term =
     ret
       (const pgo_cmd $ benchmark_arg $ file_arg $ freq_arg $ seed_arg
      $ blacklist_arg $ engine_arg $ budget_arg $ train_arg $ profile_path_arg
-     $ gate_arg))
+     $ gate_arg $ telemetry_arg))
 
 let record_term =
   Term.(
     ret
       (const record_cmd $ benchmark_arg $ file_arg $ system_arg $ placement_arg
-     $ freq_arg $ seed_arg $ blacklist_arg $ trace_out_arg))
+     $ freq_arg $ seed_arg $ blacklist_arg $ trace_out_arg $ telemetry_arg))
 
 let replay_term =
   Term.(
     ret
       (const replay_cmd $ trace_pos_arg $ replay_budget_arg $ policy_arg
-     $ block_override_arg $ check_arg $ replay_freq_arg $ jobs_arg))
+     $ block_override_arg $ check_arg $ replay_freq_arg $ jobs_arg
+     $ telemetry_arg))
+
+(* Timeline: render a telemetry run ledger (written by --telemetry)
+   as a Chrome trace-event file, a utilization summary, or CSV. *)
+
+let ledger_pos_arg =
+  let doc = "Telemetry run ledger (JSONL, written by --telemetry)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"LEDGER" ~doc)
+
+let timeline_chrome_arg =
+  let doc =
+    "Write a Chrome trace-event JSON file to $(docv): one track per worker \
+     PID plus a host track with spans and counters (load in \
+     chrome://tracing or https://ui.perfetto.dev)."
+  in
+  Arg.(value & opt (some string) None & info [ "chrome" ] ~docv:"PATH" ~doc)
+
+let timeline_csv_arg =
+  let doc = "Write the flattened span/task/counter table as CSV to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"PATH" ~doc)
+
+let timeline_summary_arg =
+  let doc =
+    "Print the utilization/throughput summary (default when no exporter is \
+     requested)."
+  in
+  Arg.(value & flag & info [ "summary" ] ~doc)
+
+let timeline_cmd ledger chrome csv summary =
+  match Observe.Telemetry.read_file ledger with
+  | Error e -> `Error (false, e)
+  | Ok records ->
+      let exported = ref false in
+      let write_to path contents what =
+        let oc = open_out path in
+        output_string oc contents;
+        close_out oc;
+        Printf.printf "wrote %s to %s\n" what path;
+        exported := true
+      in
+      (match chrome with
+      | Some path ->
+          write_to path (Observe.Telemetry.chrome records) "Chrome timeline"
+      | None -> ());
+      (match csv with
+      | Some path -> write_to path (Observe.Telemetry.csv records) "CSV table"
+      | None -> ());
+      if summary || not !exported then
+        print_string (Observe.Telemetry.summary records);
+      `Ok ()
+
+let timeline_term =
+  Term.(
+    ret
+      (const timeline_cmd $ ledger_pos_arg $ timeline_chrome_arg
+     $ timeline_csv_arg $ timeline_summary_arg))
 
 let asm_term =
   Term.(ret (const asm_cmd $ benchmark_arg $ file_arg $ seed_arg $ instrumented_arg))
@@ -1312,7 +1503,7 @@ let cmds =
           (const faultinject_cmd $ benchmark_arg $ file_arg $ system_arg
          $ placement_arg $ freq_arg $ seed_arg $ blacklist_arg $ engine_arg
          $ jobs_arg $ mode_arg $ period_arg $ crash_seed_arg
-         $ max_reboots_arg $ watchdog_cycles_arg));
+         $ max_reboots_arg $ watchdog_cycles_arg $ telemetry_arg));
     Cmd.v
       (Cmd.info "campaign"
          ~doc:
@@ -1322,6 +1513,13 @@ let cmds =
             self-healing parallel workers and resumable progress \
             checkpoints")
       campaign_term;
+    Cmd.v
+      (Cmd.info "timeline"
+         ~doc:
+           "Render a telemetry run ledger (--telemetry) as a Chrome \
+            trace-event worker timeline, a utilization/throughput summary, \
+            or CSV")
+      timeline_term;
   ]
 
 let () =

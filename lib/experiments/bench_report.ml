@@ -527,3 +527,34 @@ let write ?seed ?benchmarks ?frequency ?slim ?jobs ?campaign path =
   let oc = open_out path in
   output_string oc (Json.to_string_pretty json);
   close_out oc
+
+(* Every key in a report whose value is host wall-clock (or derived
+   from it): the per-cell "host_seconds" stamps, the whole
+   simulator-throughput "host" object, and the replay section's
+   record/exec/load/sim timings and speedups. Everything else in a
+   report is a pure function of (seed, benchmarks, frequency), so two
+   reports stripped of these keys must be byte-identical — the
+   telemetry-purity gate diffs exactly this view. *)
+let wall_clock_keys =
+  [
+    "host";
+    "host_seconds";
+    "record_s";
+    "exec_s";
+    "load_s";
+    "sim_s";
+    "speedup";
+    "speedup_geomean";
+    "speedup_min";
+  ]
+
+let rec deterministic_view = function
+  | Json.Obj kvs ->
+      Json.Obj
+        (List.filter_map
+           (fun (k, v) ->
+             if List.mem k wall_clock_keys then None
+             else Some (k, deterministic_view v))
+           kvs)
+  | Json.List vs -> Json.List (List.map deterministic_view vs)
+  | j -> j

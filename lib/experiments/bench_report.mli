@@ -59,3 +59,12 @@ val write :
   string ->
   unit
 (** Render {!compute} pretty-printed to the given path. *)
+
+val deterministic_view : Observe.Json.t -> Observe.Json.t
+(** The report with every host-wall-clock key recursively removed
+    (per-cell "host_seconds", the "host" object, the replay section's
+    record/exec/load/sim timings and speedups). What remains is a pure
+    function of (seed, benchmarks, frequency): two runs of the same
+    configuration — telemetry on or off, serial or parallel — must
+    agree on this view byte for byte, which is exactly what the
+    telemetry-purity tests and the CI gate compare. *)

@@ -46,6 +46,8 @@ exception Worker_failed of string
 
 type event =
   | Spawned of { pid : int }
+  | Dispatched of { pid : int; task : int }
+  | Completed of { pid : int; task : int }
   | Died of { pid : int; task : int; attempt : int }
   | Timed_out of { pid : int; task : int }
   | Requeued of { task : int; attempt : int; delay : float }
@@ -96,7 +98,27 @@ let map_robust ?(jobs = 1) ?task_timeout ?(retries = 3) ?(backoff = 0.05)
   let tasks = Array.of_list xs in
   let ntasks = Array.length tasks in
   let nworkers = min jobs ntasks in
-  if nworkers <= 1 then List.map f xs
+  Observe.Telemetry.with_span ~cat:"parallel" "map"
+    ~args:
+      [
+        ("jobs", Observe.Json.Int (max 1 nworkers));
+        ("tasks", Observe.Json.Int ntasks);
+      ]
+  @@ fun () ->
+  if nworkers <= 1 then
+    (* Serial in-process degradation: still narrate dispatch/result so
+       a serial ledger carries the same task timeline (one pseudo
+       worker, this process's pid) as a parallel one. *)
+    let self = Unix.getpid () in
+    List.mapi
+      (fun i x ->
+        on_event (Dispatched { pid = self; task = i });
+        Observe.Telemetry.worker "dispatch" ~pid:self ~task:i;
+        let v = f x in
+        on_event (Completed { pid = self; task = i });
+        Observe.Telemetry.worker "result" ~pid:self ~task:i;
+        v)
+      xs
   else begin
     (* Anything buffered now would be flushed again by every child on
        its way through [Unix._exit]-less paths; flush first so output
@@ -121,6 +143,7 @@ let map_robust ?(jobs = 1) ?task_timeout ?(retries = 3) ?(backoff = 0.05)
     let pending = ref (List.init ntasks (fun i -> (i, 0.0))) in
     let done_count = ref 0 in
     let workers = ref ([] : worker list) in
+    let deaths = ref 0 in
     let now () = Unix.gettimeofday () in
     (* Close both pipe ends and reap the child — the fd-hygiene core:
        every worker that leaves the pool goes through here exactly
@@ -130,7 +153,9 @@ let map_robust ?(jobs = 1) ?task_timeout ?(retries = 3) ?(backoff = 0.05)
       (try close_out w.task_out with _ -> ());
       (try close_in w.result_in with _ -> ());
       if kill then (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
-      try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> ()
+      (try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> ());
+      Observe.Telemetry.worker "reap" ~pid:w.pid
+        ~args:[ ("killed", Observe.Json.Bool kill) ]
     in
     let retire w =
       if w.task >= 0 then
@@ -142,6 +167,7 @@ let map_robust ?(jobs = 1) ?task_timeout ?(retries = 3) ?(backoff = 0.05)
            output_binary_int w.task_out (-1);
            flush w.task_out
          with Sys_error _ -> ());
+        Observe.Telemetry.worker "exit" ~pid:w.pid;
         dispose ~kill:false w
       end
     in
@@ -162,6 +188,9 @@ let map_robust ?(jobs = 1) ?task_timeout ?(retries = 3) ?(backoff = 0.05)
       match Unix.fork () with
       | 0 ->
           in_worker_flag := true;
+          (* the inherited telemetry sink belongs to the parent; the
+             pool narrates worker activity from the parent's vantage *)
+          Observe.Telemetry.disarm ();
           Unix.close task_w;
           Unix.close result_r;
           child_loop tasks f task_r result_w
@@ -180,6 +209,10 @@ let map_robust ?(jobs = 1) ?task_timeout ?(retries = 3) ?(backoff = 0.05)
           in
           workers := w :: !workers;
           on_event (Spawned { pid });
+          Observe.Telemetry.worker "spawn" ~pid
+            ~args:
+              (if !deaths > 0 then [ ("respawn", Observe.Json.Bool true) ]
+               else []);
           w
     in
     let send w idx =
@@ -187,7 +220,10 @@ let map_robust ?(jobs = 1) ?task_timeout ?(retries = 3) ?(backoff = 0.05)
       flush w.task_out;
       w.task <- idx;
       w.deadline <-
-        (match task_timeout with Some s -> now () +. s | None -> infinity)
+        (match task_timeout with Some s -> now () +. s | None -> infinity);
+      on_event (Dispatched { pid = w.pid; task = idx });
+      Observe.Telemetry.worker "dispatch" ~pid:w.pid ~task:idx;
+      Observe.Telemetry.counter "queue_depth" (List.length !pending)
     in
     let drop w = workers := List.filter (fun w' -> w' != w) !workers in
     (* Put [idx] back in the queue after its worker died or timed out,
@@ -201,7 +237,14 @@ let map_robust ?(jobs = 1) ?task_timeout ?(retries = 3) ?(backoff = 0.05)
                attempts.(idx) why);
         let delay = backoff *. (2. ** float_of_int (attempts.(idx) - 1)) in
         on_event (Requeued { task = idx; attempt = attempts.(idx); delay });
-        pending := !pending @ [ (idx, now () +. delay) ]
+        Observe.Telemetry.worker "requeue" ~pid:0 ~task:idx
+          ~args:
+            [
+              ("attempt", Observe.Json.Int attempts.(idx));
+              ("delay", Observe.Json.Float delay);
+            ];
+        pending := !pending @ [ (idx, now () +. delay) ];
+        Observe.Telemetry.counter "queue_depth" (List.length !pending)
       end
     in
     let take_ready t =
@@ -238,13 +281,17 @@ let map_robust ?(jobs = 1) ?task_timeout ?(retries = 3) ?(backoff = 0.05)
             incr done_count
           end;
           w.task <- -1;
-          w.deadline <- infinity
+          w.deadline <- infinity;
+          on_event (Completed { pid = w.pid; task = idx });
+          Observe.Telemetry.worker "result" ~pid:w.pid ~task:idx
       | `Frame (_, Error_r msg) ->
           (* the task itself raised: deterministic, re-running cannot
              help *)
           fail msg
       | `Died ->
           let idx = w.task and attempt = attempts.(w.task) + 1 in
+          incr deaths;
+          Observe.Telemetry.worker "died" ~pid:w.pid ~task:idx;
           drop w;
           dispose ~kill:true w;
           on_event (Died { pid = w.pid; task = idx; attempt });
@@ -300,7 +347,9 @@ let map_robust ?(jobs = 1) ?task_timeout ?(retries = 3) ?(backoff = 0.05)
                  if r <> [] then handle_frame w
                  else begin
                    let idx = w.task in
+                   incr deaths;
                    on_event (Timed_out { pid = w.pid; task = idx });
+                   Observe.Telemetry.worker "timeout" ~pid:w.pid ~task:idx;
                    drop w;
                    dispose ~kill:true w;
                    requeue ~why:"task timed out" idx
@@ -323,4 +372,4 @@ let map_robust ?(jobs = 1) ?task_timeout ?(retries = 3) ?(backoff = 0.05)
 
 (* The historical strict map: any worker death fails the whole map
    (no re-execution), exactly one attempt per task. *)
-let map ?jobs f xs = map_robust ?jobs ~retries:0 f xs
+let map ?jobs ?on_event f xs = map_robust ?jobs ?on_event ~retries:0 f xs

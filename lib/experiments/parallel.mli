@@ -26,9 +26,18 @@ val in_worker : unit -> bool
     kill their own process must check this so the serial in-process
     degradation of {!map}/{!map_robust} is never killed. *)
 
-(** Pool lifecycle notifications, for campaign progress reporting. *)
+(** Pool lifecycle notifications, for campaign progress reporting.
+    Purely observational: handlers see aggregate facts only and cannot
+    influence scheduling or results. The same stream (plus per-worker
+    records and queue-depth counters) is mirrored to the
+    {!Observe.Telemetry} ledger when one is enabled. *)
 type event =
   | Spawned of { pid : int }
+  | Dispatched of { pid : int; task : int }
+      (** a task was handed to a worker (serial degradation reports
+          the current process's pid) *)
+  | Completed of { pid : int; task : int }
+      (** the worker delivered the task's result *)
   | Died of { pid : int; task : int; attempt : int }
       (** a worker crashed mid-task; the task will be re-queued *)
   | Timed_out of { pid : int; task : int }
@@ -36,7 +45,8 @@ type event =
   | Requeued of { task : int; attempt : int; delay : float }
       (** re-execution scheduled after [delay] seconds of backoff *)
 
-val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+val map :
+  ?jobs:int -> ?on_event:(event -> unit) -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f xs] is [List.map f xs] computed by up to [jobs]
     forked workers. [jobs] defaults to 1; values [<= 1], a singleton
     or empty [xs] degrade to plain [List.map] in-process (no fork).

@@ -60,6 +60,24 @@ let key_of ~fingerprint ~events cell =
 
 let clear_cache () = Hashtbl.reset memo
 
+(* Memo accounting: hit = cell served from the memo, miss = cell
+   simulated ([~cache:false] counts every cell as a miss), stale =
+   replay refused because the trace fingerprint no longer matches the
+   expected configuration. *)
+type memo_stats = { hits : int; misses : int; stale : int }
+
+let memo_hits = ref 0
+let memo_misses = ref 0
+let memo_stale = ref 0
+
+let memo_stats () =
+  { hits = !memo_hits; misses = !memo_misses; stale = !memo_stale }
+
+let reset_memo_stats () =
+  memo_hits := 0;
+  memo_misses := 0;
+  memo_stale := 0
+
 (* --- Cell evaluation --------------------------------------------------- *)
 
 let sim_cell loaded cell =
@@ -86,7 +104,10 @@ let eval_cells ~jobs ~trace cells =
   let n = List.length cells in
   let jobs = max 1 (min jobs n) in
   if jobs <= 1 then
-    let loaded, load_s = Sweep.timed (fun () -> load_or_fail trace) in
+    let loaded, load_s =
+      Observe.Telemetry.with_span ~cat:"replay" "load" (fun () ->
+          Sweep.timed (fun () -> load_or_fail trace))
+    in
     (load_s, List.map (sim_cell loaded) cells)
   else begin
     let chunks = Array.make jobs [] in
@@ -132,7 +153,10 @@ let replay_cells ?jobs ?(cache = true) ?expect ~trace cells =
                    trace header.Trace_file.fingerprint expected)
       in
       match stale_check with
-      | Error _ as e -> e
+      | Error _ as e ->
+          incr memo_stale;
+          Observe.Telemetry.counter "replay.memo_stale" !memo_stale;
+          e
       | Ok () -> (
           (* The memo key needs the event count, which lives past the
              header; fetch it (and bytes) with a cheap full decode only
@@ -172,9 +196,20 @@ let replay_cells ?jobs ?(cache = true) ?expect ~trace cells =
                     | None -> Either.Right c)
                   cells
             in
+            memo_hits := !memo_hits + List.length hit;
+            memo_misses := !memo_misses + List.length missing;
+            Observe.Telemetry.counter "replay.memo_hits" !memo_hits;
+            Observe.Telemetry.counter "replay.memo_misses" !memo_misses;
             let load_s, computed =
               if missing = [] then (0.0, [])
-              else eval_cells ~jobs ~trace missing
+              else
+                Observe.Telemetry.with_span ~cat:"replay" "cells"
+                  ~args:
+                    [
+                      ("cells", Observe.Json.Int (List.length missing));
+                      ("jobs", Observe.Json.Int jobs);
+                    ]
+                  (fun () -> eval_cells ~jobs ~trace missing)
             in
             if cache then
               List.iter

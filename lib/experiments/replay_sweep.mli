@@ -58,6 +58,17 @@ val replay_cells :
 
 val clear_cache : unit -> unit
 
+type memo_stats = { hits : int; misses : int; stale : int }
+
+val memo_stats : unit -> memo_stats
+(** Cumulative memo behavior of {!replay_cells} since start (or
+    {!reset_memo_stats}): cells served from the memo vs simulated
+    ([~cache:false] counts every cell as a miss), plus replays refused
+    because the trace fingerprint was stale. Jobs-independent: the
+    hit/miss partition happens before any cell is dispatched. *)
+
+val reset_memo_stats : unit -> unit
+
 val verify_exact : Replay.Engine.loaded -> Toolchain.result -> string list
 (** Check a loaded trace against the result of the run that recorded
     it (or any execution of the same configuration — the simulated

@@ -39,6 +39,33 @@ let default_jobs = ref 1
 let set_default_jobs n = default_jobs := max 1 n
 let resolve_jobs jobs = match jobs with Some j -> max 1 j | None -> !default_jobs
 
+(* Default progress sink, same shape as [default_jobs]: sweeps invoked
+   deep inside figure/table modules can't thread a sink, so the bench
+   driver plugs one in process-wide. Purely observational. *)
+let default_progress = ref Observe.Progress.null
+let set_default_progress sink = default_progress := sink
+
+(* Memo accounting: attribution for "why was this run instant / slow",
+   printed by the bench driver and mirrored as telemetry counters. A
+   [~cache:false] sweep counts as a miss (the work really ran). *)
+type memo_stats = { hits : int; misses : int }
+
+let memo_hits = ref 0
+let memo_misses = ref 0
+let memo_stats () = { hits = !memo_hits; misses = !memo_misses }
+
+let reset_memo_stats () =
+  memo_hits := 0;
+  memo_misses := 0
+
+let count_hit () =
+  incr memo_hits;
+  Observe.Telemetry.counter "sweep.memo_hits" !memo_hits
+
+let count_miss () =
+  incr memo_misses;
+  Observe.Telemetry.counter "sweep.memo_misses" !memo_misses
+
 type key =
   int * Platform.frequency * Toolchain.observe_spec option * string
   * string list
@@ -85,8 +112,28 @@ let compute_uncached ?observe ~seed ~frequency ~engine ~jobs benchmarks =
       (fun b -> [ (b, `Baseline); (b, `Swapram); (b, `Block) ])
       benchmarks
   in
+  let total = List.length cells in
+  let finished = ref 0 in
+  let progress = !default_progress in
+  let on_event = function
+    | Parallel.Completed _ ->
+        incr finished;
+        progress
+          (Observe.Progress.Units_done
+             { label = "sweep"; finished = !finished; total })
+    | _ -> ()
+  in
   let results =
-    Parallel.map ~jobs (run_cell ?observe ~seed ~frequency ~engine) cells
+    Observe.Telemetry.with_span ~cat:"sweep" "compute"
+      ~args:
+        [
+          ("cells", Observe.Json.Int total);
+          ("jobs", Observe.Json.Int jobs);
+        ]
+      (fun () ->
+        Parallel.map ~jobs ~on_event
+          (run_cell ?observe ~seed ~frequency ~engine)
+          cells)
   in
   (* Merge in deterministic (benchmark, system) order — [Parallel.map]
      returns results in input order, so this is the exact structure a
@@ -127,7 +174,8 @@ let compute_uncached ?observe ~seed ~frequency ~engine ~jobs benchmarks =
         :: merge bs rest
     | _ -> assert false
   in
-  merge benchmarks results
+  Observe.Telemetry.with_span ~cat:"sweep" "crosscheck" (fun () ->
+      merge benchmarks results)
 
 let key ~seed ~frequency ~observe ~engine benchmarks : key =
   (* [None] means "the toolchain default" — resolved here rather than
@@ -155,12 +203,18 @@ let compute ?(seed = 1) ?benchmarks ?observe ?engine ?jobs ?(cache = true)
      alias. [jobs] is deliberately not in the key — it cannot change
      any simulated value — which is why callers that want fresh host
      timings under a specific jobs setting pass [~cache:false]. *)
-  if not cache then compute_uncached ?observe ~seed ~frequency ~engine ~jobs benchmarks
+  if not cache then begin
+    count_miss ();
+    compute_uncached ?observe ~seed ~frequency ~engine ~jobs benchmarks
+  end
   else
     let k = key ~seed ~frequency ~observe ~engine benchmarks in
     match Hashtbl.find_opt memo k with
-    | Some t -> t
+    | Some t ->
+        count_hit ();
+        t
     | None ->
+        count_miss ();
         let t = compute_uncached ?observe ~seed ~frequency ~engine ~jobs benchmarks in
         Hashtbl.replace memo k t;
         t
@@ -182,8 +236,11 @@ let compute_pgo ?(seed = 1) ?benchmarks ?observe ?engine ?jobs ~frequency () =
   let jobs = resolve_jobs jobs in
   let k = key ~seed ~frequency ~observe ~engine benchmarks in
   match Hashtbl.find_opt pgo_cache k with
-  | Some t -> t
+  | Some t ->
+      count_hit ();
+      t
   | None ->
+      count_miss ();
       let run_one benchmark =
         let config =
           {
@@ -203,7 +260,26 @@ let compute_pgo ?(seed = 1) ?benchmarks ?observe ?engine ?jobs ~frequency () =
         in
         { pgo_benchmark = benchmark; pgo; pgo_host_s }
       in
-      let t = Parallel.map ~jobs run_one benchmarks in
+      let total = List.length benchmarks in
+      let finished = ref 0 in
+      let progress = !default_progress in
+      let on_event = function
+        | Parallel.Completed _ ->
+            incr finished;
+            progress
+              (Observe.Progress.Units_done
+                 { label = "pgo"; finished = !finished; total })
+        | _ -> ()
+      in
+      let t =
+        Observe.Telemetry.with_span ~cat:"sweep" "compute_pgo"
+          ~args:
+            [
+              ("benchmarks", Observe.Json.Int total);
+              ("jobs", Observe.Json.Int jobs);
+            ]
+          (fun () -> Parallel.map ~jobs ~on_event run_one benchmarks)
+      in
       Hashtbl.replace pgo_cache k t;
       t
 

@@ -35,6 +35,21 @@ val resolve_jobs : int option -> int
 (** The worker count a sweep would use for the given [?jobs] argument:
     the argument clamped to >= 1, or the {!set_default_jobs} value. *)
 
+val set_default_progress : Observe.Progress.sink -> unit
+(** Progress sink used by sweeps (as [Units_done] events, one per
+    finished cell) — process-wide for the same reason as
+    {!set_default_jobs}: figure/table modules don't thread a sink.
+    Purely observational; the default is {!Observe.Progress.null}. *)
+
+type memo_stats = { hits : int; misses : int }
+
+val memo_stats : unit -> memo_stats
+(** Cumulative memo behavior across {!compute} and {!compute_pgo}
+    since start (or {!reset_memo_stats}): a hit served a sweep from
+    the memo, a miss really ran it ([~cache:false] counts as a miss). *)
+
+val reset_memo_stats : unit -> unit
+
 val timed : (unit -> 'a) -> 'a * float
 (** Run a thunk and return (result, elapsed host seconds) on the
     monotonic clock. Exposed for the bench driver's own host-side

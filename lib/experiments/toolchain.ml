@@ -540,13 +540,31 @@ let collect p =
     observation = p.p_observation;
   }
 
+(* Telemetry phase boundaries: [span] tags build/execute/collect with
+   the cell's identity, so a host-side timeline attributes simulator
+   time to (benchmark, system) pairs. Pure spectating — a disabled
+   sink reduces every [span] call to its thunk. *)
+let phase_span config name f =
+  Observe.Telemetry.with_span ~cat:"toolchain" name
+    ~args:
+      [
+        ( "benchmark",
+          Observe.Json.String config.benchmark.Workloads.Bench_def.name );
+        ("system", Observe.Json.String (caching_name config.caching));
+      ]
+    f
+
 let run ?observe config =
-  match prepare ?observe config with
+  match phase_span config "prepare" (fun () -> prepare ?observe config) with
   | Error msg -> Did_not_fit msg
   | Ok p -> (
       boot p;
-      match Cpu.run ~fuel:config.fuel p.p_system.Platform.cpu with
-      | Cpu.Halted -> Completed (collect p)
+      match
+        phase_span config "execute" (fun () ->
+            Cpu.run ~fuel:config.fuel p.p_system.Platform.cpu)
+      with
+      | Cpu.Halted ->
+          Completed (phase_span config "collect" (fun () -> collect p))
       | (Cpu.Fuel_exhausted | Cpu.Faulted _ | Cpu.Power_lost) as o -> Crashed o)
 
 (* --- Trace recording (replay subsystem) -------------------------------- *)
@@ -643,6 +661,7 @@ let recording_header ?unit_context:uc config =
    file is completed only on a clean halt; crashed or non-fitting
    runs leave no trace file behind. *)
 let run_recorded ?observe ~trace config =
+  phase_span config "record" @@ fun () ->
   match prepare ?observe config with
   | Error msg -> Did_not_fit msg
   | Ok p -> (
@@ -722,6 +741,7 @@ type pgo_result = {
 }
 
 let run_pgo ?observe ?budget ?profile config =
+  phase_span config "pgo" @@ fun () ->
   match config.caching with
   | Baseline | Block_cache _ | Checkpoint_runtime _ ->
       Error "pgo requires a swapram configuration"

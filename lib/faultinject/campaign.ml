@@ -244,6 +244,8 @@ type outcome = {
   o_trials : int;
   o_cells : cell_result list;
   o_wall_seconds : float;
+  o_shards_computed : int;
+  o_shards_cached : int;  (* replayed from the progress checkpoint *)
 }
 
 let cells_of plan =
@@ -376,6 +378,10 @@ exception Campaign_error of string
 
 let pool_describe = function
   | Parallel.Spawned { pid } -> Printf.sprintf "worker %d spawned" pid
+  | Parallel.Dispatched { pid; task } ->
+      Printf.sprintf "worker %d took shard task %d" pid task
+  | Parallel.Completed { pid; task } ->
+      Printf.sprintf "worker %d finished shard task %d" pid task
   | Parallel.Died { pid; task; attempt } ->
       Printf.sprintf "worker %d died on shard task %d (attempt %d)" pid task
         attempt
@@ -416,16 +422,52 @@ let run ?(jobs = 1) ?task_timeout ?(progress = Progress.null) ?progress_file
         progress
           (Progress.Campaign_started
              { cells = List.length cells; trials = plan.p_trials });
-        let on_pool ev = progress (Progress.Pool_event (pool_describe ev)) in
+        (* High-frequency dispatch/completion traffic goes out as
+           Worker_state (dashboards render it, plain sinks drop it);
+           the rarer lifecycle events additionally keep their
+           historical one-line Pool_event form. *)
+        let on_pool ev =
+          match ev with
+          | Parallel.Dispatched { pid; task } ->
+              progress
+                (Progress.Worker_state { pid; state = Progress.W_busy; task })
+          | Parallel.Completed { pid; task } ->
+              progress
+                (Progress.Worker_state { pid; state = Progress.W_idle; task })
+          | Parallel.Spawned { pid } ->
+              progress
+                (Progress.Worker_state
+                   { pid; state = Progress.W_spawned; task = -1 });
+              progress (Progress.Pool_event (pool_describe ev))
+          | Parallel.Died { pid; task; _ } ->
+              progress
+                (Progress.Worker_state { pid; state = Progress.W_died; task });
+              progress (Progress.Pool_event (pool_describe ev))
+          | Parallel.Timed_out { pid; task } ->
+              progress
+                (Progress.Worker_state
+                   { pid; state = Progress.W_timed_out; task });
+              progress (Progress.Pool_event (pool_describe ev))
+          | Parallel.Requeued _ ->
+              progress (Progress.Pool_event (pool_describe ev))
+        in
         let shard_range s =
           let lo = s * plan.p_shard_trials in
           (lo, min plan.p_trials (lo + plan.p_shard_trials))
         in
+        let shards_computed = ref 0 and shards_cached = ref 0 in
         let run_cell cell_idx (bench, rt, cell) =
+          Observe.Telemetry.with_span ~cat:"campaign"
+            ("cell:" ^ cell.cl_label)
+          @@ fun () ->
           let config =
             { (Toolchain.default_config bench) with Toolchain.caching = rt }
           in
-          match Oracle.golden ~fuel:plan.p_fuel config with
+          match
+            Observe.Telemetry.with_span ~cat:"campaign" "golden"
+              ~args:[ ("cell", Json.String cell.cl_label) ] (fun () ->
+                Oracle.golden ~fuel:plan.p_fuel config)
+          with
           | Error e ->
               raise
                 (Campaign_error
@@ -457,6 +499,13 @@ let run ?(jobs = 1) ?task_timeout ?(progress = Progress.null) ?progress_file
                 let work =
                   List.filter (fun s -> not (Hashtbl.mem cache (key s))) idxs
                 in
+                shards_computed := !shards_computed + List.length work;
+                shards_cached :=
+                  !shards_cached + List.length idxs - List.length work;
+                Observe.Telemetry.counter "campaign.shards_computed"
+                  !shards_computed;
+                Observe.Telemetry.counter "campaign.shards_cached"
+                  !shards_cached;
                 let computed =
                   Parallel.map_robust ~jobs ?task_timeout ~on_event:on_pool
                     (fun s ->
@@ -555,6 +604,8 @@ let run ?(jobs = 1) ?task_timeout ?(progress = Progress.null) ?progress_file
                 o_trials = trials;
                 o_cells = cell_results;
                 o_wall_seconds = Unix.gettimeofday () -. t0;
+                o_shards_computed = !shards_computed;
+                o_shards_cached = !shards_cached;
               }
             in
             progress
@@ -674,4 +725,7 @@ let table outcome =
        (if List.exists (fun c -> c.cr_stopped_early) outcome.o_cells then
           "  (* = early stop below CI width)"
         else ""));
+  Buffer.add_string b
+    (Printf.sprintf "shards: %d computed, %d replayed from checkpoint\n"
+       outcome.o_shards_computed outcome.o_shards_cached);
   Buffer.contents b

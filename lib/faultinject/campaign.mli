@@ -117,7 +117,16 @@ type outcome = {
   o_trials : int;  (** total trials aggregated across cells *)
   o_cells : cell_result list;
   o_wall_seconds : float;  (** host time; excluded from {!to_json} *)
+  o_shards_computed : int;
+      (** shard tallies actually evaluated this run; with
+          [o_shards_cached], host-side provenance only — excluded from
+          {!to_json} so fresh and resumed runs stay byte-identical *)
+  o_shards_cached : int;  (** shards replayed from the progress file *)
 }
+
+val fingerprint : plan -> string
+(** The progress-file fingerprint: every plan field that determines a
+    shard's tally (also stamped into telemetry run manifests). *)
 
 val run :
   ?jobs:int ->

@@ -12,38 +12,59 @@
    - evictions, freeze transitions, flushes, block loads, phases
                               -> instant events ("i") *)
 
-let dur_begin ~ts ~tid name args =
+let dur_begin ?(pid = 1) ~ts ~tid name args =
   Json.Obj
     ([
        ("name", Json.String name);
        ("ph", Json.String "B");
        ("ts", Json.Int ts);
-       ("pid", Json.Int 1);
+       ("pid", Json.Int pid);
        ("tid", Json.Int tid);
      ]
     @ if args = [] then [] else [ ("args", Json.Obj args) ])
 
-let dur_end ~ts ~tid args =
+let dur_end ?(pid = 1) ~ts ~tid args =
   Json.Obj
     ([
        ("ph", Json.String "E");
        ("ts", Json.Int ts);
-       ("pid", Json.Int 1);
+       ("pid", Json.Int pid);
        ("tid", Json.Int tid);
      ]
     @ if args = [] then [] else [ ("args", Json.Obj args) ])
 
-let instant ~ts ~tid name args =
+let instant ?(pid = 1) ~ts ~tid name args =
   Json.Obj
     ([
        ("name", Json.String name);
        ("ph", Json.String "i");
        ("s", Json.String "t");
        ("ts", Json.Int ts);
-       ("pid", Json.Int 1);
+       ("pid", Json.Int pid);
        ("tid", Json.Int tid);
      ]
     @ if args = [] then [] else [ ("args", Json.Obj args) ])
+
+let counter_event ?(pid = 1) ~ts ~tid name value =
+  Json.Obj
+    [
+      ("name", Json.String name);
+      ("ph", Json.String "C");
+      ("ts", Json.Int ts);
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj [ ("value", Json.Int value) ]);
+    ]
+
+let thread_name ?(pid = 1) ~tid name =
+  Json.Obj
+    [
+      ("name", Json.String "thread_name");
+      ("ph", Json.String "M");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj [ ("name", Json.String name) ]);
+    ]
 
 let app_tid = 1
 let runtime_tid = 2
@@ -116,22 +137,8 @@ let events_json symtab stamped =
 let export ~symtab events =
   let meta =
     [
-      Json.Obj
-        [
-          ("name", Json.String "thread_name");
-          ("ph", Json.String "M");
-          ("pid", Json.Int 1);
-          ("tid", Json.Int app_tid);
-          ("args", Json.Obj [ ("name", Json.String "application") ]);
-        ];
-      Json.Obj
-        [
-          ("name", Json.String "thread_name");
-          ("ph", Json.String "M");
-          ("pid", Json.Int 1);
-          ("tid", Json.Int runtime_tid);
-          ("args", Json.Obj [ ("name", Json.String "caching-runtime") ]);
-        ];
+      thread_name ~tid:app_tid "application";
+      thread_name ~tid:runtime_tid "caching-runtime";
     ]
   in
   Json.to_string

@@ -7,3 +7,22 @@
 
 val export : symtab:Symtab.t -> Events.t -> string
 (** Render the retained events as a complete JSON document. *)
+
+(** {2 Event builders}
+
+    Shared by this exporter and {!Telemetry.chrome}: each renders one
+    trace-event object. [pid] defaults to 1 (a single process group);
+    [ts] is whatever unit the surrounding document declares. *)
+
+val dur_begin :
+  ?pid:int -> ts:int -> tid:int -> string -> (string * Json.t) list -> Json.t
+
+val dur_end : ?pid:int -> ts:int -> tid:int -> (string * Json.t) list -> Json.t
+
+val instant :
+  ?pid:int -> ts:int -> tid:int -> string -> (string * Json.t) list -> Json.t
+
+val counter_event : ?pid:int -> ts:int -> tid:int -> string -> int -> Json.t
+
+val thread_name : ?pid:int -> tid:int -> string -> Json.t
+(** Metadata ("M") record naming a track. *)

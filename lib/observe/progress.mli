@@ -1,7 +1,9 @@
 (** Host-side progress events for long-running fault-injection
-    campaigns. Purely observational: events carry aggregate counters
-    only, and a campaign emits the same simulated results whether or
-    not a sink is attached. *)
+    campaigns and sweeps. Purely observational: events carry aggregate
+    counters only, and a campaign emits the same simulated results
+    whether or not a sink is attached. *)
+
+type worker_state = W_spawned | W_busy | W_idle | W_died | W_timed_out
 
 type event =
   | Campaign_started of { cells : int; trials : int }
@@ -22,6 +24,11 @@ type event =
     }
   | Pool_event of string
       (** worker-pool lifecycle: spawns, deaths, timeouts, re-queues *)
+  | Worker_state of { pid : int; state : worker_state; task : int }
+      (** per-worker scheduling state; [task] is [-1] when not
+          task-scoped (spawn, death without a known task) *)
+  | Units_done of { label : string; finished : int; total : int }
+      (** generic sweep progress: [finished] of [total] cells done *)
   | Campaign_done of { cells : int; trials : int; seconds : float }
 
 type sink = event -> unit
@@ -31,3 +38,20 @@ val describe : event -> string
 
 val console : out_channel -> sink
 (** One line per event, flushed immediately. *)
+
+val plain : ?min_interval:float -> out_channel -> sink
+(** Non-TTY renderer: no ANSI escapes. Milestone events print
+    immediately; high-frequency events ([Shard_done], [Units_done])
+    are rate-limited to one line per [min_interval] seconds (default
+    1.0); per-worker state churn is dropped. *)
+
+val dashboard : ?min_interval:float -> out_channel -> sink
+(** Live multi-line TTY display (campaign totals with rate and ETA,
+    per-worker states, current cell, sweep progress, last event),
+    redrawn in place at most every [min_interval] seconds (default
+    0.1). Emits ANSI escapes — use {!auto} unless the stream is known
+    to be a terminal. *)
+
+val auto : out_channel -> sink
+(** {!dashboard} when the channel is a TTY ([Unix.isatty]), {!plain}
+    otherwise. *)

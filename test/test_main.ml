@@ -11,6 +11,7 @@ let () =
       ("validation", Test_validation.suite);
       ("differential", Test_differential.suite);
       ("observe", Test_observe.suite);
+      ("telemetry", Test_telemetry.suite);
       ("metrics", Test_metrics.suite);
       ("pgo", Test_pgo.suite);
       ("golden", Test_golden.suite);
