@@ -121,11 +121,52 @@ let micro_tests () =
     let program = Minic.Driver.program_of_source (b.Workloads.Bench_def.source 1) in
     fun () -> ignore (Swapram.Pipeline.build program)
   in
+  (* Cache-model replay throughput: one-at-a-time [simulate] against
+     the batched [simulate_many] over the same model list. The batched
+     path decodes, groups and merges runs once per block size instead
+     of once per model, so its points/sec is the number the dse engine
+     actually sees. *)
+  let replay_setup () =
+    let trace = Filename.temp_file "swapram-micro" ".trace" in
+    at_exit (fun () -> try Sys.remove trace with Sys_error _ -> ());
+    let config = Experiments.Toolchain.default_config Workloads.Suite.crc in
+    (match Experiments.Toolchain.run_recorded ~trace config with
+    | Experiments.Toolchain.Completed _ -> ()
+    | _ -> failwith "micro: recording crc failed");
+    let l =
+      match Replay.Engine.load trace with
+      | Ok l -> l
+      | Error e -> failwith (Replay.Engine.error_message e)
+    in
+    let models =
+      List.concat_map
+        (fun policy ->
+          List.init 32 (fun i ->
+              {
+                Replay.Engine.m_budget = 512 + (i * 256);
+                m_policy = policy;
+                m_block = None;
+              }))
+        [ Replay.Engine.Lru; Replay.Engine.Lfu; Replay.Engine.Cost_aware ]
+    in
+    (l, models)
+  in
+  let replay_one (l, models) () =
+    ignore (List.map (Replay.Engine.simulate l) models)
+  in
+  let replay_many (l, models) () =
+    ignore (Replay.Engine.simulate_many l models)
+  in
+  let replay_ctx = replay_setup () in
   [
     Test.make ~name:"simulate: minic hot loop" (Staged.stage (make_system ()));
     Test.make ~name:"compile: crc benchmark" (Staged.stage (compile_bench ()));
     Test.make ~name:"instrument: swapram build (crc)"
       (Staged.stage (instrument_bench ()));
+    Test.make ~name:"replay: simulate x96 (crc)"
+      (Staged.stage (replay_one replay_ctx));
+    Test.make ~name:"replay: simulate_many x96 (crc)"
+      (Staged.stage (replay_many replay_ctx));
   ]
 
 let run_micro () =

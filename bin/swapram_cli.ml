@@ -1139,15 +1139,22 @@ let resume_arg =
   Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"PATH" ~doc)
 
 let campaign_report_arg =
-  let doc = "Write the campaign report as schema-v6 JSON to $(docv)." in
+  let doc = "Write the campaign report as schema-v7 JSON to $(docv)." in
   Arg.(value & opt (some string) None & info [ "report" ] ~docv:"PATH" ~doc)
 
 let quiet_arg =
   let doc = "Suppress per-shard progress output on stderr." in
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc)
 
+let chunk_arg =
+  let doc =
+    "Tasks per worker pipe round trip (0 = dynamic chunk sizing; 1 disables \
+     chunking)."
+  in
+  Arg.(value & opt int 0 & info [ "chunk" ] ~doc)
+
 let campaign_cmd benchmarks systems samplers trials seed shard max_reboots
-    watchdog_scale ci_width resume jobs report quiet telemetry =
+    watchdog_scale ci_width resume jobs chunk report quiet telemetry =
   let collect parse = function
     | [] -> Ok None
     | names ->
@@ -1218,8 +1225,9 @@ let campaign_cmd benchmarks systems samplers trials seed shard max_reboots
       ]
   @@ fun () ->
   match
-    Faultinject.Campaign.run ~jobs:(resolve_jobs jobs) ~progress
-      ?progress_file:resume plan
+    Faultinject.Campaign.run ~jobs:(resolve_jobs jobs)
+      ?chunk:(if chunk > 0 then Some chunk else None)
+      ~progress ?progress_file:resume plan
   with
   | Error e -> `Error (false, e)
   | Ok outcome ->
@@ -1247,7 +1255,235 @@ let campaign_term =
       (const campaign_cmd $ campaign_benchmarks_arg $ campaign_systems_arg
      $ sampler_arg $ trials_arg $ seed_arg $ shard_arg
      $ campaign_max_reboots_arg $ watchdog_scale_arg $ ci_width_arg
-     $ resume_arg $ jobs_arg $ campaign_report_arg $ quiet_arg $ telemetry_arg))
+     $ resume_arg $ jobs_arg $ chunk_arg $ campaign_report_arg $ quiet_arg
+     $ telemetry_arg))
+
+(* --- dse ---------------------------------------------------------------- *)
+
+let dse_benchmarks_arg =
+  let doc =
+    "Benchmark in the exploration grid (repeatable; default the full suite)."
+  in
+  Arg.(value & opt_all string [] & info [ "benchmark"; "b" ] ~doc)
+
+let dse_systems_arg =
+  let doc =
+    "Caching system axis: swapram or block (repeatable; default both)."
+  in
+  Arg.(value & opt_all string [] & info [ "system"; "s" ] ~doc)
+
+let dse_budget_min_arg =
+  let doc = "Smallest SRAM budget in bytes." in
+  Arg.(value & opt int 512 & info [ "budget-min" ] ~doc)
+
+let dse_budget_max_arg =
+  let doc = "Largest SRAM budget in bytes." in
+  Arg.(value & opt int 16384 & info [ "budget-max" ] ~doc)
+
+let dse_budget_step_arg =
+  let doc = "SRAM budget step in bytes." in
+  Arg.(value & opt int 32 & info [ "budget-step" ] ~doc)
+
+let dse_policy_arg =
+  let doc =
+    "Eviction-policy axis: lru, lfu or cost (repeatable; default all three)."
+  in
+  Arg.(value & opt_all string [] & info [ "policy" ] ~doc)
+
+let dse_block_arg =
+  let doc =
+    "Block-size axis in bytes, 0 for the recorded slot size (repeatable; \
+     default 0, 256 and 512; applies to line-granular traces only)."
+  in
+  Arg.(value & opt_all int [] & info [ "block" ] ~doc)
+
+let dse_mhz_arg =
+  let doc =
+    "Clock-frequency axis in MHz: 8 or 24 (repeatable; default both)."
+  in
+  Arg.(value & opt_all int [] & info [ "mhz" ] ~doc)
+
+let dse_trace_dir_arg =
+  let doc =
+    "Directory for recorded traces (created if missing; traces whose header \
+     fingerprint matches are reused instead of re-recorded). Default: a \
+     temporary directory removed on exit."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-dir" ] ~docv:"DIR" ~doc)
+
+let dse_resume_arg =
+  let doc =
+    "Persistent memo store: finished sims are appended here as chunks \
+     complete, and a re-run only computes cells missing from the store (a \
+     warm store computes 0)."
+  in
+  Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"PATH" ~doc)
+
+let dse_report_arg =
+  let doc =
+    "Write the full schema-v7 DSE report (including host timing) to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "report" ] ~docv:"PATH" ~doc)
+
+let dse_frontier_arg =
+  let doc =
+    "Write the deterministic (slim) DSE object to $(docv) — byte-identical \
+     across serial, parallel and resumed runs."
+  in
+  Arg.(value & opt (some string) None & info [ "frontier" ] ~docv:"PATH" ~doc)
+
+let dse_cmd benchmarks systems bmin bmax bstep policies blocks mhzs seed jobs
+    chunk trace_dir resume report frontier quiet telemetry =
+  let collect parse = function
+    | [] -> Ok None
+    | names ->
+        let rec go acc = function
+          | [] -> Ok (Some (List.rev acc))
+          | n :: rest -> (
+              match parse n with
+              | Ok v -> go (v :: acc) rest
+              | Error e -> Error e)
+        in
+        go [] names
+  in
+  let* benchmarks =
+    collect
+      (fun n ->
+        match Workloads.Suite.find n with
+        | Some b -> Ok b
+        | None -> Error ("unknown benchmark " ^ n))
+      benchmarks
+  in
+  let* systems =
+    collect
+      (fun n ->
+        if n = "swapram" || n = "block" then Ok n
+        else Error ("unknown dse system " ^ n ^ " (swapram|block)"))
+      systems
+  in
+  let* policies =
+    collect
+      (fun n ->
+        match Replay.Engine.policy_of_string n with
+        | Some p -> Ok p
+        | None -> Error ("unknown policy " ^ n ^ " (lru|lfu|cost)"))
+      policies
+  in
+  let* () =
+    if bstep > 0 then Ok () else Error "--budget-step must be positive"
+  in
+  let budgets =
+    let rec go acc b =
+      if b > bmax then List.rev acc else go (b :: acc) (b + bstep)
+    in
+    go [] bmin
+  in
+  let d = Experiments.Dse.default_grid in
+  let grid =
+    {
+      Experiments.Dse.g_budgets = budgets;
+      g_policies =
+        (match policies with
+        | Some ps -> ps
+        | None -> d.Experiments.Dse.g_policies);
+      g_blocks =
+        (match blocks with
+        | [] -> d.Experiments.Dse.g_blocks
+        | bs -> List.map (fun b -> if b = 0 then None else Some b) bs);
+      g_frequencies =
+        (match mhzs with [] -> d.Experiments.Dse.g_frequencies | ms -> ms);
+    }
+  in
+  let* () = Experiments.Dse.validate_grid grid in
+  let progress =
+    if quiet then Observe.Progress.null else Observe.Progress.auto stderr
+  in
+  let jobs = resolve_jobs jobs in
+  with_telemetry ~command:"dse" telemetry
+    ~fields:
+      [
+        ("seed", Observe.Json.Int seed);
+        ("jobs", Observe.Json.Int jobs);
+        ("budgets", Observe.Json.Int (List.length grid.Experiments.Dse.g_budgets));
+      ]
+  @@ fun () ->
+  let dir, cleanup =
+    match trace_dir with
+    | Some dir ->
+        if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+        (dir, fun () -> ())
+    | None ->
+        let dir = Filename.temp_file "swapram-dse" "" in
+        Sys.remove dir;
+        Unix.mkdir dir 0o700;
+        ( dir,
+          fun () ->
+            Array.iter
+              (fun f ->
+                try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+              (Sys.readdir dir);
+            try Unix.rmdir dir with Unix.Unix_error _ -> () )
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  match
+    Experiments.Dse.record_workloads ~seed ?benchmarks ?systems ~jobs ~progress
+      ~dir ()
+  with
+  | Error e -> `Error (false, e)
+  | Ok workloads -> (
+      match
+        Experiments.Dse.run ~jobs
+          ?chunk:(if chunk > 0 then Some chunk else None)
+          ~progress ?store:resume grid workloads
+      with
+      | Error e -> `Error (false, e)
+      | Ok outcome ->
+          let open Experiments.Dse in
+          Printf.printf "workloads : %d\n" (List.length outcome.d_workloads);
+          List.iter
+            (fun f ->
+              Printf.printf "  %-24s %6d points, %4d on frontier\n"
+                f.f_workload f.f_points
+                (List.length f.f_frontier))
+            outcome.d_frontiers;
+          Printf.printf "points    : %d (%d sims: %d computed, %d cached)\n"
+            outcome.d_points_total outcome.d_sims_total outcome.d_sims_computed
+            outcome.d_sims_cached;
+          Printf.printf "global    : %d frontier points\n"
+            (List.length outcome.d_global_frontier);
+          Printf.printf "eval      : %.2f s, %.0f points/s\n" outcome.d_eval_s
+            outcome.d_points_per_s;
+          let write path json =
+            let oc = open_out path in
+            output_string oc (Observe.Json.to_string_pretty json);
+            output_char oc '\n';
+            close_out oc;
+            Printf.printf "wrote %s\n" path
+          in
+          (match report with
+          | None -> ()
+          | Some path ->
+              write path
+                (Observe.Json.Obj
+                   [
+                     ( "schema_version",
+                       Observe.Json.Int Experiments.Bench_report.schema_version
+                     );
+                     ("dse", Experiments.Dse.json grid outcome);
+                   ]));
+          (match frontier with
+          | None -> ()
+          | Some path -> write path (Experiments.Dse.json ~slim:true grid outcome));
+          `Ok ())
+
+let dse_term =
+  Term.(
+    ret
+      (const dse_cmd $ dse_benchmarks_arg $ dse_systems_arg
+     $ dse_budget_min_arg $ dse_budget_max_arg $ dse_budget_step_arg
+     $ dse_policy_arg $ dse_block_arg $ dse_mhz_arg $ seed_arg $ jobs_arg
+     $ chunk_arg $ dse_trace_dir_arg $ dse_resume_arg $ dse_report_arg
+     $ dse_frontier_arg $ quiet_arg $ telemetry_arg))
 
 let run_term =
   Term.(
@@ -1513,6 +1749,15 @@ let cmds =
             self-healing parallel workers and resumable progress \
             checkpoints")
       campaign_term;
+    Cmd.v
+      (Cmd.info "dse"
+         ~doc:
+           "Design-space exploration: replay recorded traces over a grid of \
+            SRAM budget x eviction policy x block size x frequency points \
+            and compute exact Pareto frontiers (cycles, energy, SRAM, NVM \
+            traffic), with batched replay, chunked parallel dispatch and a \
+            persistent memo store for incremental re-runs")
+      dse_term;
     Cmd.v
       (Cmd.info "timeline"
          ~doc:

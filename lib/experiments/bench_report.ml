@@ -46,7 +46,17 @@ module Json = Observe.Json
    The section refuses to render if any replay fails the bit-for-bit
    exactness check against its recording. *)
 
-let schema_version = 6
+(* Schema v7 adds the top-level "dse" object: a design-space
+   exploration over (workload x SRAM budget x eviction policy x block
+   size x frequency), rendered by {!Dse.json}. The deterministic
+   members (grid, per-workload Pareto frontiers, global frontier,
+   point/sim counts) appear in slim and full reports alike and are a
+   pure function of (seed, benchmarks) — the compare gate fails on any
+   frontier drift against the committed baseline. Full reports add the
+   host-side members (sims_computed/sims_cached memo-store provenance,
+   eval wall-clock and points-per-second throughput). *)
+
+let schema_version = 7
 
 let frequency_hz = function
   | Platform.Mhz8 -> 8_000_000
@@ -447,6 +457,35 @@ let replay_json ~seed ~frequency ~jobs benchmarks =
       ("traces", Json.List traces);
     ]
 
+(* --- v7 "dse" object: Pareto design-space exploration -------------------- *)
+
+(* The report grid: the default axes with the budget axis coarsened to
+   64 B steps — still >= 20k evaluated points over the suite, at half
+   the simulation cost of {!Dse.default_grid}. Both the slim baseline
+   and the full report use this exact grid, so the compare gate can
+   diff frontiers point-for-point. *)
+let dse_report_grid =
+  let rec budgets acc b = if b < 512 then acc else budgets (b :: acc) (b - 64) in
+  { Dse.default_grid with Dse.g_budgets = budgets [] 16384 }
+
+let dse_json ~seed ~jobs ~slim benchmarks =
+  let dir = Filename.temp_file "swapram-dse" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  match Dse.record_workloads ~seed ~benchmarks ~jobs ~dir () with
+  | Error e -> failwith ("bench report: dse recording failed: " ^ e)
+  | Ok workloads -> (
+      match Dse.run ~jobs dse_report_grid workloads with
+      | Error e -> failwith ("bench report: dse evaluation failed: " ^ e)
+      | Ok outcome -> Dse.json ~slim dse_report_grid outcome)
+
 let compute ?(seed = 1) ?benchmarks ?(frequency = Platform.Mhz24) ?(slim = false)
     ?jobs ?campaign () =
   let params = params_for frequency in
@@ -459,6 +498,9 @@ let compute ?(seed = 1) ?benchmarks ?(frequency = Platform.Mhz24) ?(slim = false
     Sweep.compute_pgo ~seed ?benchmarks ~observe:Toolchain.metrics_observe
       ~frequency ~jobs ()
   in
+  let suite =
+    match benchmarks with Some bs -> bs | None -> Workloads.Suite.all
+  in
   let host =
     (* Slim reports (the committed baseline) stay host-independent:
        no wall-clock figures, so regenerating the baseline on a
@@ -466,14 +508,16 @@ let compute ?(seed = 1) ?benchmarks ?(frequency = Platform.Mhz24) ?(slim = false
        wall-clock speedups too, so it is likewise full-report-only. *)
     if slim then []
     else
-      let suite =
-        match benchmarks with Some bs -> bs | None -> Workloads.Suite.all
-      in
       [
         ("host", host_json ~params ~seed ~frequency ~jobs suite);
         ("replay", replay_json ~seed ~frequency ~jobs suite);
       ]
   in
+  (* The "dse" object appears in slim and full reports alike: its
+     deterministic members are what the frontier-drift gate compares,
+     and [Dse.json ~slim] already strips the host-side members from
+     the slim rendering. *)
+  let dse = [ ("dse", dse_json ~seed ~jobs ~slim suite) ] in
   Json.Obj
     ([
       ("schema_version", Json.Int schema_version);
@@ -520,7 +564,7 @@ let compute ?(seed = 1) ?benchmarks ?(frequency = Platform.Mhz24) ?(slim = false
     @ (match campaign with
       | Some c -> [ ("campaign", (c : Json.t)) ]
       | None -> [])
-    @ host)
+    @ dse @ host)
 
 let write ?seed ?benchmarks ?frequency ?slim ?jobs ?campaign path =
   let json = compute ?seed ?benchmarks ?frequency ?slim ?jobs ?campaign () in
@@ -546,6 +590,11 @@ let wall_clock_keys =
     "speedup";
     "speedup_geomean";
     "speedup_min";
+    (* dse host-side members: memo-store provenance and throughput *)
+    "sims_computed";
+    "sims_cached";
+    "eval_s";
+    "points_per_s";
   ]
 
 let rec deterministic_view = function

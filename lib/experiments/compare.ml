@@ -125,6 +125,58 @@ let compare_cell ~thresholds ~bench ~system old_cell new_cell
               :: errors ))
       (findings, errors) thresholds
 
+(* Frontier-drift gate over the v7 "dse" objects. Frontiers are exact
+   and deterministic — a pure function of (seed, benchmarks, grid) —
+   so unlike the threshold-gated scalar metrics they are compared for
+   equality: any drift means the cache model, the objective model or
+   the Pareto computation changed, which must be an intentional,
+   baseline-refreshing change. Host-side members (store provenance,
+   wall clock) are stripped before comparing. *)
+let dse_errors ~old_report ~new_report =
+  match (Json.member "dse" old_report, Json.member "dse" new_report) with
+  | None, _ ->
+      (* pre-v7 baseline (or hand-trimmed): nothing to gate on *)
+      []
+  | Some _, None -> [ "dse object missing from new report" ]
+  | Some old_dse, Some new_dse ->
+      let det key dse =
+        Bench_report.deterministic_view
+          (Option.value ~default:Json.Null (Json.member key dse))
+      in
+      let member_drift key =
+        if det key old_dse = det key new_dse then []
+        else [ Printf.sprintf "dse: %s drifted from the baseline" key ]
+      in
+      let frontiers dse =
+        match Option.bind (Json.member "workloads" dse) Json.to_list with
+        | None -> []
+        | Some ws ->
+            List.filter_map
+              (fun w ->
+                match get_str w "workload" with
+                | Some name -> Some (name, w)
+                | None -> None)
+              ws
+      in
+      let old_ws = frontiers old_dse and new_ws = frontiers new_dse in
+      let frontier_errs =
+        List.concat_map
+          (fun (name, old_w) ->
+            match List.assoc_opt name new_ws with
+            | None ->
+                [ Printf.sprintf "dse: workload %s missing from new report" name ]
+            | Some new_w ->
+                if
+                  Bench_report.deterministic_view old_w
+                  = Bench_report.deterministic_view new_w
+                then []
+                else [ Printf.sprintf "dse: frontier drift for %s" name ])
+          old_ws
+      in
+      member_drift "grid" @ member_drift "points_total"
+      @ member_drift "sims_total" @ frontier_errs
+      @ member_drift "global_frontier"
+
 let compare_json ?(thresholds = default_thresholds) ~old_report ~new_report ()
     =
   let errors = ref [] in
@@ -138,6 +190,7 @@ let compare_json ?(thresholds = default_thresholds) ~old_report ~new_report ()
   | None, _ -> err "old report has no schema_version"
   | _, None -> err "new report has no schema_version"
   | Some _, Some _ -> ());
+  errors := List.rev_append (dse_errors ~old_report ~new_report) !errors;
   match (bench_assoc old_report, bench_assoc new_report) with
   | Error e, _ -> { findings = []; errors = [ "old report: " ^ e ] }
   | _, Error e -> { findings = []; errors = [ "new report: " ^ e ] }

@@ -373,3 +373,48 @@ let map_robust ?(jobs = 1) ?task_timeout ?(retries = 3) ?(backoff = 0.05)
 (* The historical strict map: any worker death fails the whole map
    (no re-execution), exactly one attempt per task. *)
 let map ?jobs ?on_event f xs = map_robust ?jobs ?on_event ~retries:0 f xs
+
+(* --- Chunked dispatch --------------------------------------------------- *)
+
+(* Dynamic policy: aim for ~4 chunks per worker so the pool can still
+   rebalance around a slow chunk, bounded above so one reply frame
+   never marshals an unbounded result list and a crashed worker never
+   forfeits more than [chunk_cap] items of progress. *)
+let chunk_cap = 256
+
+let chunk_size ?chunk ~jobs n =
+  match chunk with
+  | Some c when c > 0 -> max 1 (min c n)
+  | _ ->
+      if n <= 1 then 1
+      else
+        let workers = max 1 jobs in
+        max 1 (min chunk_cap (n / (workers * 4)))
+
+let map_chunked ?(jobs = 1) ?chunk ?task_timeout ?retries ?backoff ?on_event f
+    xs =
+  let n = List.length xs in
+  let c = chunk_size ?chunk ~jobs n in
+  if n = 0 then []
+  else if c <= 1 then
+    map_robust ~jobs ?task_timeout ?retries ?backoff ?on_event f xs
+  else
+    let arr = Array.of_list xs in
+    let nchunks = (n + c - 1) / c in
+    let chunks =
+      List.init nchunks (fun i ->
+          let lo = i * c in
+          Array.sub arr lo (min c (n - lo)))
+    in
+    Observe.Telemetry.with_span ~cat:"parallel" "map_chunked"
+      ~args:
+        [
+          ("tasks", Observe.Json.Int n);
+          ("chunk", Observe.Json.Int c);
+          ("chunks", Observe.Json.Int nchunks);
+        ]
+    @@ fun () ->
+    map_robust ~jobs ?task_timeout ?retries ?backoff ?on_event
+      (fun chunk -> Array.map f chunk)
+      chunks
+    |> List.concat_map Array.to_list

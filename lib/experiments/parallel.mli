@@ -77,3 +77,33 @@ val map_robust :
     map ends. Determinism: results are assembled by task index, so a
     completed map equals the serial [List.map] regardless of crashes,
     retries or scheduling. *)
+
+val chunk_size : ?chunk:int -> jobs:int -> int -> int
+(** The chunk width {!map_chunked} will use for [n] tasks: [chunk]
+    when given (clamped to [1..n]), otherwise a dynamic size aiming
+    for ~4 chunks per worker, capped at 256 items so one reply frame
+    stays bounded and a crashed worker forfeits bounded progress.
+    Exposed so callers that build their own chunk tasks (the DSE
+    engine groups cells by workload first) share the policy. *)
+
+val map_chunked :
+  ?jobs:int ->
+  ?chunk:int ->
+  ?task_timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  ?on_event:(event -> unit) ->
+  ('a -> 'b) ->
+  'a list ->
+  'b list
+(** {!map_robust} with chunked dispatch: tasks are grouped into
+    contiguous chunks of {!chunk_size} items and each chunk is one
+    pool task — one pipe round trip and one [Marshal] frame per chunk
+    instead of per item, which is what keeps sub-millisecond cells
+    (replay simulation points) from drowning in protocol overhead.
+    Self-healing semantics are inherited at chunk granularity: a
+    crashed worker re-queues its whole chunk, a raising task fails the
+    map. [on_event] task indices refer to chunks, not items. The
+    result equals [List.map f xs] for every chunk size, worker count
+    and crash schedule — input-order merge is preserved by the
+    index-keyed reassembly underneath. *)

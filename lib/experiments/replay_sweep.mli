@@ -23,8 +23,9 @@ type cell_result = {
   r_cell : cell;
   r_sim : Replay.Engine.sim;
   r_host_s : float;
-      (** host seconds for this cell's simulation (amortized trace
-          load excluded; see {!run.load_s}) *)
+      (** host seconds for this cell's simulation; in batched paths
+          ({!replay_cells}) this is the chunk's batch time amortized
+          per cell (trace load excluded; see {!run.load_s}) *)
 }
 
 type run = {
@@ -44,6 +45,7 @@ val grid : ?budgets:int list -> ?policies:Replay.Engine.policy list -> unit -> c
 
 val replay_cells :
   ?jobs:int ->
+  ?chunk:int ->
   ?cache:bool ->
   ?expect:Toolchain.config ->
   trace:string ->
@@ -53,8 +55,13 @@ val replay_cells :
     the trace was recorded under exactly that configuration
     ({!Toolchain.config_fingerprint}); a mismatch is an error, not a
     silent answer from the wrong recording. [jobs > 1] shards cells
-    across forked workers (each loads the trace once); results are
-    identical to a serial run. [cache:false] bypasses the memo. *)
+    across forked workers in contiguous chunks of
+    [Parallel.chunk_size] cells ([chunk] overrides the dynamic width);
+    the parent decodes the trace once with
+    {!Replay.Engine.load_cached} and workers inherit the decoded
+    statistics over fork, so no worker re-decodes. Each chunk is one
+    {!Replay.Engine.simulate_many} batch. Results are identical to a
+    serial run. [cache:false] bypasses the memo. *)
 
 val clear_cache : unit -> unit
 

@@ -404,8 +404,19 @@ let run_shard plan config cell golden ~watchdog_cycles ~cell_idx ~lo ~hi =
   done;
   !t
 
-let run ?(jobs = 1) ?task_timeout ?(progress = Progress.null) ?progress_file
-    ?chaos plan =
+let run ?(jobs = 1) ?chunk ?task_timeout ?(progress = Progress.null)
+    ?progress_file ?chaos plan =
+  (* Chunked dispatch batches several shards per pipe round trip. A
+     [task_timeout] is a per-task deadline, so when one is set and no
+     explicit chunk width was requested, stay at one shard per task —
+     otherwise a chunk of k shards would need k deadlines' worth of
+     budget and time out spuriously. *)
+  let chunk =
+    match (chunk, task_timeout) with
+    | Some c, _ -> Some c
+    | None, Some _ -> Some 1
+    | None, None -> None
+  in
   if plan.p_trials <= 0 then Error "campaign: trials must be positive"
   else if plan.p_shard_trials <= 0 then
     Error "campaign: shard size must be positive"
@@ -507,7 +518,8 @@ let run ?(jobs = 1) ?task_timeout ?(progress = Progress.null) ?progress_file
                 Observe.Telemetry.counter "campaign.shards_cached"
                   !shards_cached;
                 let computed =
-                  Parallel.map_robust ~jobs ?task_timeout ~on_event:on_pool
+                  Parallel.map_chunked ~jobs ?chunk ?task_timeout
+                    ~on_event:on_pool
                     (fun s ->
                       (match chaos with
                       | Some f -> f ~cell:cell.cl_label ~shard:s

@@ -130,6 +130,7 @@ val fingerprint : plan -> string
 
 val run :
   ?jobs:int ->
+  ?chunk:int ->
   ?task_timeout:float ->
   ?progress:Observe.Progress.sink ->
   ?progress_file:string ->
@@ -137,9 +138,13 @@ val run :
   plan ->
   (outcome, string) result
 (** Execute the campaign. [jobs <= 1] runs serially in-process;
-    higher values shard across {!Experiments.Parallel.map_robust},
-    which respawns crashed workers and re-queues their shards, so a
-    killed worker costs wall-clock time but never data.
+    higher values shard across {!Experiments.Parallel.map_chunked},
+    which batches several shards per pipe round trip ([chunk]
+    overrides the dynamic width; one shard per task whenever
+    [task_timeout] is set without an explicit [chunk], since the
+    deadline is per task) and respawns crashed workers, re-queuing
+    their chunks, so a killed worker costs wall-clock time but never
+    data. Results are identical for every chunk width.
 
     [progress_file] names an append-mode progress checkpoint: every
     finished shard's tally is persisted, and a re-run (or an extended

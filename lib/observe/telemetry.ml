@@ -171,7 +171,10 @@ let record_to_line r =
   let fields =
     match r with
     | Manifest { ts = v; fields } ->
-        [ ("t", Json.String "manifest"); ts v ] @ fields
+        (* Fields nest under their own key: splicing them at top level
+           would let a field named "t" or "ts" collide with the record
+           tags (the round-trip property found exactly that). *)
+        [ ("t", Json.String "manifest"); ts v ] @ args_field fields
     | Span_begin { ts = v; id; cat; name; args } ->
         [
           ("t", Json.String "b");
@@ -222,11 +225,17 @@ let record_of_line line =
       let ts = Int64.of_int ts in
       match str "t" with
       | Some "manifest" ->
+          (* Current lines nest fields under "args"; ledgers written
+             before that change spliced them at top level — accept
+             both so old artifacts stay readable. *)
           let fields =
-            match json with
-            | Json.Obj kvs ->
-                List.filter (fun (k, _) -> k <> "t" && k <> "ts") kvs
-            | _ -> []
+            match args with
+            | _ :: _ -> args
+            | [] -> (
+                match json with
+                | Json.Obj kvs ->
+                    List.filter (fun (k, _) -> k <> "t" && k <> "ts") kvs
+                | _ -> [])
           in
           Ok (Manifest { ts; fields })
       | Some "b" ->

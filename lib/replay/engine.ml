@@ -256,6 +256,22 @@ let stall_at l ~wait_states =
   (wait_states * (fram_read_misses l + l.fram_writes))
   + (l.header.Trace_file.contention_penalty * l.contention_events)
 
+(* Process-local loaded-trace cache. Keyed by path but *validated* by
+   content: an entry is served only while the file's size, mtime and
+   header fingerprint all still match what was loaded, so overwriting
+   a trace in place (the staleness regression) can never satisfy a
+   cached entry recorded under a different configuration. Forked
+   workers inherit the parent's cache at fork time and fill their own
+   copy lazily, which is what makes chunked sweeps decode each trace
+   once per process instead of once per task. *)
+
+type cache_sig = { cs_size : int; cs_mtime : float; cs_fingerprint : int }
+
+let load_cache : (string, cache_sig * loaded) Hashtbl.t = Hashtbl.create 8
+let load_cache_limit = 64
+
+let clear_load_cache () = Hashtbl.reset load_cache
+
 let load path =
   let accum = ref None in
   let make (h : Trace_file.header) =
@@ -339,6 +355,35 @@ let load path =
                 l.recorded_stall reconstructed
                 header.Trace_file.wait_states))
       else Ok l
+
+let load_cached path =
+  let signature () =
+    match Unix.stat path with
+    | st -> Some (st.Unix.st_size, st.Unix.st_mtime)
+    | exception Unix.Unix_error _ -> None
+  in
+  match Trace_file.read_header path with
+  | Error e -> Error (Format_error e)
+  | Ok h -> (
+      let fp = h.Trace_file.fingerprint in
+      let sg = signature () in
+      match (Hashtbl.find_opt load_cache path, sg) with
+      | Some (c, l), Some (size, mtime)
+        when c.cs_size = size && c.cs_mtime = mtime && c.cs_fingerprint = fp ->
+          Ok l
+      | _ -> (
+          match load path with
+          | Error _ as e -> e
+          | Ok l ->
+              (match sg with
+              | Some (size, mtime) ->
+                  if Hashtbl.length load_cache >= load_cache_limit then
+                    Hashtbl.reset load_cache;
+                  Hashtbl.replace load_cache path
+                    ( { cs_size = size; cs_mtime = mtime; cs_fingerprint = fp },
+                      l )
+              | None -> ());
+              Ok l))
 
 let unit_bytes l u =
   match l.header.Trace_file.granularity with
@@ -451,37 +496,77 @@ type sim = {
   s_miss_rate : float;
 }
 
-let simulate l m =
-  let block =
-    match (l.refs, m.m_block) with
-    | Line_refs _, Some b when b > 0 -> b
-    | _ -> line_bytes l
-  in
-  (* Unit ids are small dense ints (line indices of a 64 KiB address
-     space, or function ids), so residency state lives in flat arrays
-     indexed by unit — no hashing on the per-run hot path, which is
-     what keeps an eviction-heavy cell (LFU under thrash) cheap. The
-     index bound comes from [l.units]; a block-size override only
-     merges recorded units, so dividing the bound by the merge factor
-     still covers every rebucketed id. *)
-  let n =
-    match l.refs with
-    | Fn_refs _ -> l.units
-    | Line_refs _ ->
-        if l.units = 0 then 0
-        else
-          let factor = max 1 (block / line_bytes l) in
-          ((l.units - 1) / factor) + 1
-  in
-  let r_size = Array.make n 0 in
-  let r_last = Array.make n 0 in
-  let r_uses = Array.make n 0 in
-  let resident = Array.make n false in
-  let seen = Array.make n false in
-  (* Compact list of resident units for the victim scan; [res_pos]
+let sim_block l m =
+  match (l.refs, m.m_block) with
+  | Line_refs _, Some b when b > 0 -> b
+  | _ -> line_bytes l
+
+(* Unit ids are small dense ints (line indices of a 64 KiB address
+   space, or function ids), so residency state lives in flat arrays
+   indexed by unit — no hashing on the per-run hot path, which is
+   what keeps an eviction-heavy cell (LFU under thrash) cheap. The
+   index bound comes from [l.units]; a block-size override only
+   merges recorded units, so dividing the bound by the merge factor
+   still covers every rebucketed id. *)
+let sim_units l ~block =
+  match l.refs with
+  | Fn_refs _ -> l.units
+  | Line_refs _ ->
+      if l.units = 0 then 0
+      else
+        let factor = max 1 (block / line_bytes l) in
+        ((l.units - 1) / factor) + 1
+
+(* Residency state for a unit-id bound; allocated once per
+   (trace, block) group in [simulate_many] and reset between models,
+   so a batch pays the allocation and GC cost once instead of once per
+   cell. *)
+type sim_state = {
+  st_size : int array;
+  st_last : int array;
+  st_uses : int array;
+  st_resident : bool array;
+  st_seen : bool array;
+  (* Compact list of resident units for the victim scan; [st_pos]
      gives each resident unit's index for O(1) swap-removal. *)
-  let res_list = Array.make n 0 in
-  let res_pos = Array.make n (-1) in
+  st_list : int array;
+  st_pos : int array;
+}
+
+let make_state n =
+  {
+    st_size = Array.make n 0;
+    st_last = Array.make n 0;
+    st_uses = Array.make n 0;
+    st_resident = Array.make n false;
+    st_seen = Array.make n false;
+    st_list = Array.make n 0;
+    st_pos = Array.make n (-1);
+  }
+
+let reset_state st =
+  let n = Array.length st.st_size in
+  Array.fill st.st_size 0 n 0;
+  Array.fill st.st_last 0 n 0;
+  Array.fill st.st_uses 0 n 0;
+  Array.fill st.st_resident 0 n false;
+  Array.fill st.st_seen 0 n false;
+  Array.fill st.st_list 0 n 0;
+  Array.fill st.st_pos 0 n (-1)
+
+(* One cache-model pass over a run stream. [iter] feeds maximal
+   same-unit runs as [f unit bytes len]; both [simulate] (streaming
+   straight off the loaded refs) and [simulate_many] (replaying a
+   pre-bucketed stream) funnel into this single implementation, so the
+   batched path cannot drift from the reference one. *)
+let sim_core st ~budget ~policy iter =
+  let r_size = st.st_size in
+  let r_last = st.st_last in
+  let r_uses = st.st_uses in
+  let resident = st.st_resident in
+  let seen = st.st_seen in
+  let res_list = st.st_list in
+  let res_pos = st.st_pos in
   let res_cnt = ref 0 in
   let occupancy = ref 0 in
   let clock = ref 0 in
@@ -511,7 +596,7 @@ let simulate l m =
      cell, so neither policy dispatch nor bounds checks belong in the
      inner loop ([res_list] holds unit ids < [n] by construction). *)
   let victim =
-    match m.m_policy with
+    match policy with
     | Lru ->
         (* [r_last] is itself unique, so no tie-break needed. *)
         fun () ->
@@ -563,7 +648,7 @@ let simulate l m =
      miss run is one miss plus [len - 1] immediate hits — except for a
      unit larger than the whole budget, where every access of the run
      misses, exactly as the per-access loop would count. *)
-  iter_runs l ~block (fun u bytes len ->
+  iter (fun u bytes len ->
       refs := !refs + len;
       clock := !clock + len;
       if resident.(u) then begin
@@ -575,9 +660,9 @@ let simulate l m =
           seen.(u) <- true;
           incr cold
         end;
-        if bytes <= m.m_budget then begin
+        if bytes <= budget then begin
           incr misses;
-          while !occupancy + bytes > m.m_budget do
+          while !occupancy + bytes > budget do
             let k = victim () in
             remove k;
             occupancy := !occupancy - r_size.(k);
@@ -601,6 +686,97 @@ let simulate l m =
     s_miss_rate =
       (if !refs = 0 then 0.0 else float_of_int !misses /. float_of_int !refs);
   }
+
+let simulate l m =
+  let block = sim_block l m in
+  sim_core
+    (make_state (sim_units l ~block))
+    ~budget:m.m_budget ~policy:m.m_policy (iter_runs l ~block)
+
+(* Pre-bucketed run stream for a batch: [iter_runs] is walked once per
+   effective block size and the resulting (unit, bytes, len) triples
+   are materialized with adjacent same-unit runs merged. Merging is
+   exact under the run semantics above: a resident unit re-hit simply
+   extends the run (same uses, same final recency), and a non-fitting
+   unit misses once per access whether the accesses arrive as one run
+   or several. *)
+type prepared = {
+  pp_units : int array;
+  pp_bytes : int array;
+  pp_lens : int array;
+  pp_runs : int;
+}
+
+let prepare l ~block =
+  let units = vec_create () in
+  let bytes = vec_create () in
+  let lens = vec_create () in
+  let last = ref min_int in
+  iter_runs l ~block (fun u b len ->
+      if u = !last then lens.a.(lens.n - 1) <- lens.a.(lens.n - 1) + len
+      else begin
+        last := u;
+        vec_push units u;
+        vec_push bytes b;
+        vec_push lens len
+      end);
+  {
+    pp_units = vec_contents units;
+    pp_bytes = vec_contents bytes;
+    pp_lens = vec_contents lens;
+    pp_runs = units.n;
+  }
+
+let iter_prepared p f =
+  for i = 0 to p.pp_runs - 1 do
+    f
+      (Array.unsafe_get p.pp_units i)
+      (Array.unsafe_get p.pp_bytes i)
+      (Array.unsafe_get p.pp_lens i)
+  done
+
+let simulate_many l models =
+  match models with
+  | [] -> []
+  | [ m ] -> [ simulate l m ]
+  | _ ->
+      (* Group models by effective block size: each group shares one
+         pre-bucketed run stream and one state-array set, which is the
+         whole batching win — the per-model work collapses to the
+         cache-model pass itself. Results land at their input index,
+         so group iteration order never shows. *)
+      let arr = Array.of_list models in
+      let nm = Array.length arr in
+      let empty =
+        {
+          s_refs = 0;
+          s_misses = 0;
+          s_cold_misses = 0;
+          s_evictions = 0;
+          s_bytes_loaded = 0;
+          s_miss_rate = 0.0;
+        }
+      in
+      let out = Array.make nm empty in
+      let groups = Hashtbl.create 4 in
+      for i = nm - 1 downto 0 do
+        let block = sim_block l arr.(i) in
+        let cur = try Hashtbl.find groups block with Not_found -> [] in
+        Hashtbl.replace groups block (i :: cur)
+      done;
+      Hashtbl.iter
+        (fun block idxs ->
+          let p = prepare l ~block in
+          let st = make_state (sim_units l ~block) in
+          List.iter
+            (fun i ->
+              reset_state st;
+              out.(i) <-
+                sim_core st ~budget:arr.(i).m_budget ~policy:arr.(i).m_policy
+                  (iter_prepared p))
+            idxs)
+        groups;
+      Array.to_list out
 
 (* --- MRC --------------------------------------------------------------- *)
 

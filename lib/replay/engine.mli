@@ -86,6 +86,19 @@ val load : string -> (loaded, error) result
     recorded stall total must be reconstructable from the recorded
     wait states and contention events). *)
 
+val load_cached : string -> (loaded, error) result
+(** [load], backed by a process-local cache so repeated evaluations of
+    one trace decode it once per process. A cached entry is served
+    only while the file's size, mtime {e and} header fingerprint all
+    match the load-time values, so rewriting a trace in place under a
+    different recording configuration always forces a fresh decode.
+    Forked workers inherit the parent's cache at fork time, which is
+    what lets a sweep parent pre-decode a trace once for every
+    worker. *)
+
+val clear_load_cache : unit -> unit
+(** Drop every cached {!load_cached} entry (tests; memory pressure). *)
+
 val unit_bytes : loaded -> int -> int
 (** Size in bytes of cache unit [u] under the recording granularity. *)
 
@@ -149,6 +162,14 @@ val simulate : loaded -> model -> sim
     (LRU tie-break). [Lru] at budget B produces exactly
     [Observe.Reuse.predicted_misses ~budget:B] over the same stream
     (both are stack algorithms; property-tested). *)
+
+val simulate_many : loaded -> model list -> sim list
+(** Batched {!simulate}: results are returned in input order and are
+    exactly [List.map (simulate l) models] (property-tested). Models
+    are grouped by effective block size; each group shares one
+    pre-bucketed reference stream and one set of residency arrays, so
+    the per-model cost collapses to the cache-model pass itself — this
+    is the kernel the design-space explorer fans out over. *)
 
 val mrc : loaded -> Observe.Reuse.t
 (** Rebuild the exact byte-LRU reuse tracker from the reference

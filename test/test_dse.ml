@@ -1,0 +1,242 @@
+(* Design-space exploration engine: Pareto-frontier correctness as
+   QCheck2 properties (dominance, dedup, input-order invariance), the
+   batched simulate_many against one-at-a-time simulate, chunked
+   parallel dispatch against List.map, serial = parallel = chunked
+   frontier identity end-to-end, and the persistent memo store (warm
+   re-runs compute nothing; a stale trace is an error, not a silent
+   recompute). *)
+
+module Engine = Replay.Engine
+module Trace_file = Replay.Trace_file
+module Toolchain = Experiments.Toolchain
+module Parallel = Experiments.Parallel
+module Dse = Experiments.Dse
+module Json = Observe.Json
+
+(* --- Pareto-frontier properties ----------------------------------------- *)
+
+(* Small objective ranges force plenty of ties, duplicates and
+   dominance chains; point keys collide too, exercising the
+   canonical-smallest dedup tie-break. *)
+let gen_point =
+  let open QCheck2.Gen in
+  let* c = int_range 0 4 in
+  let* e = int_range 0 4 in
+  let* s = int_range 0 4 in
+  let* n = int_range 0 4 in
+  let* workload = oneofl [ "a/swapram"; "b/block" ] in
+  let* budget = int_range 0 3 in
+  let* policy = oneofl [ "lru"; "lfu" ] in
+  let+ freq = oneofl [ 8; 24 ] in
+  {
+    Dse.p_workload = workload;
+    p_budget = budget;
+    p_policy = policy;
+    p_block = 0;
+    p_frequency_mhz = freq;
+    p_obj =
+      {
+        Dse.o_cycles = c;
+        o_energy_nj = float_of_int e;
+        o_sram_bytes = s;
+        o_nvm_bytes = n;
+      };
+  }
+
+let gen_points = QCheck2.Gen.(list_size (int_range 0 40) gen_point)
+
+let prop_pareto_sound =
+  QCheck2.Test.make ~count:500 ~name:"pareto: subset, non-dominated, complete"
+    gen_points (fun ps ->
+      let front = Dse.pareto ps in
+      List.iter
+        (fun f ->
+          if not (List.mem f ps) then
+            QCheck2.Test.fail_reportf "frontier point not in the input";
+          if List.exists (fun q -> Dse.dominates q.Dse.p_obj f.Dse.p_obj) ps
+          then QCheck2.Test.fail_reportf "frontier point is dominated")
+        front;
+      (* complete: every input point is dominated by — or ties the
+         objectives of — some frontier point *)
+      List.iter
+        (fun p ->
+          if
+            not
+              (List.exists
+                 (fun f ->
+                   f.Dse.p_obj = p.Dse.p_obj
+                   || Dse.dominates f.Dse.p_obj p.Dse.p_obj)
+                 front)
+          then QCheck2.Test.fail_reportf "input point escapes the frontier")
+        ps;
+      true)
+
+let prop_pareto_dedup =
+  QCheck2.Test.make ~count:500 ~name:"pareto: objective vectors deduplicated"
+    gen_points (fun ps ->
+      let objs = List.map (fun p -> p.Dse.p_obj) (Dse.pareto ps) in
+      List.length objs = List.length (List.sort_uniq compare objs))
+
+let prop_pareto_order_invariant =
+  QCheck2.Test.make ~count:500 ~name:"pareto: invariant to input order"
+    QCheck2.Gen.(gen_points >>= fun ps -> pair (return ps) (shuffle_l ps))
+    (fun (ps, shuffled) -> Dse.pareto ps = Dse.pareto shuffled)
+
+(* --- simulate_many = List.map simulate ---------------------------------- *)
+
+let with_temp_trace f =
+  let path = Filename.temp_file "dse-test-" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let gen_model =
+  let open QCheck2.Gen in
+  let* budget = int_range 1 2048 in
+  let* policy = oneofl [ Engine.Lru; Engine.Lfu; Engine.Cost_aware ] in
+  let+ block = oneofl [ None; Some 32; Some 64; Some 256 ] in
+  { Engine.m_budget = budget; m_policy = policy; m_block = block }
+
+let prop_simulate_many_batches system =
+  QCheck2.Test.make ~count:20
+    ~name:("simulate_many = List.map simulate (" ^ system ^ ")")
+    QCheck2.Gen.(list_size (int_range 0 12) gen_model)
+    (fun models ->
+      with_temp_trace (fun trace ->
+          ignore (Test_replay.record_tiny ~system trace);
+          let l = Result.get_ok (Engine.load trace) in
+          Engine.simulate_many l models = List.map (Engine.simulate l) models))
+
+(* --- map_chunked = List.map --------------------------------------------- *)
+
+let prop_map_chunked =
+  QCheck2.Test.make ~count:15 ~name:"map_chunked = List.map (any chunk/jobs)"
+    QCheck2.Gen.(
+      triple
+        (list_size (int_range 0 30) (int_range 0 1000))
+        (int_range 1 3) (int_range 0 5))
+    (fun (xs, jobs, chunk) ->
+      let chunk = if chunk = 0 then None else Some chunk in
+      Parallel.map_chunked ~jobs ?chunk (fun x -> (x * x) + 1) xs
+      = List.map (fun x -> (x * x) + 1) xs)
+
+(* --- End-to-end: serial = parallel = chunked frontiers ------------------- *)
+
+let workload_of ~benchmark ~system trace =
+  let l = Result.get_ok (Engine.load trace) in
+  let h = l.Engine.header in
+  {
+    Dse.w_benchmark = benchmark;
+    w_system = system;
+    w_trace = trace;
+    w_fingerprint = h.Trace_file.fingerprint;
+    w_events = l.Engine.events;
+    w_line_bytes =
+      (match h.Trace_file.granularity with
+      | Trace_file.Lines n -> Some n
+      | Trace_file.Functions _ -> None);
+  }
+
+let tiny_grid =
+  {
+    Dse.g_budgets = [ 64; 128; 256; 768 ];
+    g_policies = [ Engine.Lru; Engine.Lfu; Engine.Cost_aware ];
+    g_blocks = [ None; Some 64 ];
+    g_frequencies = [ 8; 24 ];
+  }
+
+let with_tiny_workloads f =
+  with_temp_trace (fun sw_trace ->
+      with_temp_trace (fun bl_trace ->
+          ignore (Test_replay.record_tiny sw_trace);
+          ignore (Test_replay.record_tiny ~system:"block" bl_trace);
+          f
+            [
+              workload_of ~benchmark:"tiny" ~system:"swapram" sw_trace;
+              workload_of ~benchmark:"tiny" ~system:"block" bl_trace;
+            ]))
+
+let slim_json grid outcome =
+  Json.to_string_pretty (Dse.json ~slim:true grid outcome)
+
+let run_exn ?jobs ?chunk ?store workloads =
+  match Dse.run ?jobs ?chunk ?store tiny_grid workloads with
+  | Ok o -> o
+  | Error e -> Alcotest.failf "dse run: %s" e
+
+let execution_invariance_test () =
+  with_tiny_workloads (fun workloads ->
+      let serial = run_exn ~jobs:1 workloads in
+      let parallel = run_exn ~jobs:3 workloads in
+      let chunked = run_exn ~jobs:2 ~chunk:2 workloads in
+      Alcotest.(check string)
+        "parallel = serial"
+        (slim_json tiny_grid serial)
+        (slim_json tiny_grid parallel);
+      Alcotest.(check string)
+        "chunked = serial"
+        (slim_json tiny_grid serial)
+        (slim_json tiny_grid chunked);
+      Alcotest.(check bool)
+        "grid evaluated" true
+        (serial.Dse.d_points_total > 0 && serial.Dse.d_sims_total > 0))
+
+(* --- Persistent memo store ---------------------------------------------- *)
+
+let with_temp_store f =
+  let path = Filename.temp_file "dse-test-" ".memo" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let warm_store_test () =
+  with_tiny_workloads (fun workloads ->
+      with_temp_store (fun store ->
+          let cold = run_exn ~jobs:2 ~store workloads in
+          Alcotest.(check int)
+            "cold run computes everything" cold.Dse.d_sims_total
+            cold.Dse.d_sims_computed;
+          let warm = run_exn ~jobs:1 ~store workloads in
+          Alcotest.(check int) "warm run computes nothing" 0
+            warm.Dse.d_sims_computed;
+          Alcotest.(check int)
+            "warm run is fully cached" warm.Dse.d_sims_total
+            warm.Dse.d_sims_cached;
+          Alcotest.(check string)
+            "warm frontier = cold frontier"
+            (slim_json tiny_grid cold)
+            (slim_json tiny_grid warm)))
+
+(* A workload whose on-disk trace was re-recorded under a different
+   configuration no longer matches its planned fingerprint: the run
+   must refuse, not silently mix stale memo entries with fresh sims. *)
+let stale_trace_test () =
+  with_temp_trace (fun trace ->
+      ignore (Test_replay.record_tiny trace);
+      let workload = workload_of ~benchmark:"tiny" ~system:"swapram" trace in
+      let reseeded =
+        { (Test_replay.tiny_config ()) with Toolchain.seed = 2 }
+      in
+      (match Toolchain.run_recorded ~trace reseeded with
+      | Toolchain.Completed _ -> ()
+      | _ -> Alcotest.fail "re-recording failed");
+      Engine.clear_load_cache ();
+      match Dse.run ~jobs:1 tiny_grid [ workload ] with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "stale trace must be an error")
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_pareto_sound;
+    QCheck_alcotest.to_alcotest prop_pareto_dedup;
+    QCheck_alcotest.to_alcotest prop_pareto_order_invariant;
+    QCheck_alcotest.to_alcotest (prop_simulate_many_batches "swapram");
+    QCheck_alcotest.to_alcotest (prop_simulate_many_batches "block");
+    QCheck_alcotest.to_alcotest prop_map_chunked;
+    Alcotest.test_case "serial = parallel = chunked frontiers" `Quick
+      execution_invariance_test;
+    Alcotest.test_case "warm memo store computes nothing" `Quick
+      warm_store_test;
+    Alcotest.test_case "stale trace fingerprint is an error" `Quick
+      stale_trace_test;
+  ]

@@ -19,4 +19,5 @@ let () =
     ("campaign", Test_campaign.suite);
       ("engine", Test_engine.suite);
       ("replay", Test_replay.suite);
+      ("dse", Test_dse.suite);
     ]
