@@ -157,6 +157,26 @@ let micro_tests () =
   let replay_many (l, models) () =
     ignore (Replay.Engine.simulate_many l models)
   in
+  (* The budget axis alone, LRU only: per-budget cache passes against
+     the single-pass stack-distance kernel. This isolates the
+     all-budget collapse the dse engine now rides — the ladder costs
+     one (well, one per eligibility class) pass instead of 32. *)
+  let lru_budgets = List.init 32 (fun i -> 512 + (i * 256)) in
+  let replay_ladder (l, _) () =
+    ignore
+      (List.map
+         (fun b ->
+           Replay.Engine.simulate l
+             {
+               Replay.Engine.m_budget = b;
+               m_policy = Replay.Engine.Lru;
+               m_block = None;
+             })
+         lru_budgets)
+  in
+  let replay_all_budgets (l, _) () =
+    ignore (Replay.Engine.simulate_all_budgets l lru_budgets)
+  in
   let replay_ctx = replay_setup () in
   [
     Test.make ~name:"simulate: minic hot loop" (Staged.stage (make_system ()));
@@ -167,6 +187,10 @@ let micro_tests () =
       (Staged.stage (replay_one replay_ctx));
     Test.make ~name:"replay: simulate_many x96 (crc)"
       (Staged.stage (replay_many replay_ctx));
+    Test.make ~name:"replay: simulate x32 lru ladder (crc)"
+      (Staged.stage (replay_ladder replay_ctx));
+    Test.make ~name:"replay: simulate_all_budgets x32 (crc)"
+      (Staged.stage (replay_all_budgets replay_ctx));
   ]
 
 let run_micro () =

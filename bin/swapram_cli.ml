@@ -1446,9 +1446,10 @@ let dse_cmd benchmarks systems bmin bmax bstep policies blocks mhzs seed jobs
                 f.f_workload f.f_points
                 (List.length f.f_frontier))
             outcome.d_frontiers;
-          Printf.printf "points    : %d (%d sims: %d computed, %d cached)\n"
+          Printf.printf
+            "points    : %d (%d sims: %d computed, %d cached, %d collapsed)\n"
             outcome.d_points_total outcome.d_sims_total outcome.d_sims_computed
-            outcome.d_sims_cached;
+            outcome.d_sims_cached outcome.d_sims_collapsed;
           Printf.printf "global    : %d frontier points\n"
             (List.length outcome.d_global_frontier);
           Printf.printf "eval      : %.2f s, %.0f points/s\n" outcome.d_eval_s

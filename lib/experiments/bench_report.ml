@@ -53,8 +53,9 @@ module Json = Observe.Json
    point/sim counts) appear in slim and full reports alike and are a
    pure function of (seed, benchmarks) — the compare gate fails on any
    frontier drift against the committed baseline. Full reports add the
-   host-side members (sims_computed/sims_cached memo-store provenance,
-   eval wall-clock and points-per-second throughput). *)
+   host-side members (sims_computed/sims_cached/sims_collapsed
+   memo-store and stack-kernel provenance, eval wall-clock and
+   points-per-second throughput). *)
 
 let schema_version = 7
 
@@ -593,6 +594,7 @@ let wall_clock_keys =
     (* dse host-side members: memo-store provenance and throughput *)
     "sims_computed";
     "sims_cached";
+    "sims_collapsed";
     "eval_s";
     "points_per_s";
   ]

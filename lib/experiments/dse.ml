@@ -386,6 +386,9 @@ type outcome = {
   d_sims_total : int;
   d_sims_computed : int;
   d_sims_cached : int;
+  d_sims_collapsed : int;
+      (* of the computed sims, how many LRU cells the all-budget
+         stack kernel absorbed instead of an individual cache pass *)
   d_frontiers : frontier list; (* per workload, workload input order *)
   d_global_frontier : point list;
   d_eval_s : float; (* wall-clock: simulate + frontier phase *)
@@ -407,21 +410,27 @@ let effective_blocks g w =
         g.g_blocks
       |> List.sort_uniq compare
 
+(* Policy-major, then block, then budget: a workload's models form
+   contiguous same-(policy, block) budget ladders, so the contiguous
+   chunks cut for the worker pool hand [simulate_many] whole LRU
+   ladders it can collapse into single stack-kernel passes. Frontiers
+   are canonical (order-invariant), so enumeration order is free to
+   serve the batcher. *)
 let models_for g w =
   List.concat_map
-    (fun budget ->
+    (fun policy ->
       List.concat_map
-        (fun policy ->
+        (fun block ->
           List.map
-            (fun block ->
+            (fun budget ->
               {
                 Engine.m_budget = budget;
                 m_policy = policy;
                 m_block = (if block = 0 then None else Some block);
               })
-            (effective_blocks g w))
-        g.g_policies)
-    g.g_budgets
+            g.g_budgets)
+        (effective_blocks g w))
+    g.g_policies
 
 let key_of w (m : Engine.model) =
   {
@@ -558,11 +567,15 @@ let run ?jobs ?chunk ?(progress = Progress.null) ?store grid workloads =
                          { pid; state = Progress.W_timed_out; task })
                 | Parallel.Requeued _ -> ()
               in
-              (* One chunk = one [simulate_many] batch per workload
-                 segment within it. *)
+              (* One chunk = one [simulate_many_collapsed] batch per
+                 workload segment within it. The chunk's collapsed-sim
+                 count rides back through the result pipe: it is
+                 tallied inside the (possibly forked) worker, where a
+                 parent-side counter would never see it. *)
               let eval_chunk chunk =
                 let n = Array.length chunk in
                 let out = Array.make n None in
+                let ncollapsed = ref 0 in
                 let i = ref 0 in
                 while !i < n do
                   let w, _ = chunk.(!i) in
@@ -576,12 +589,12 @@ let run ?jobs ?chunk ?(progress = Progress.null) ?store grid workloads =
                   let ms =
                     List.init (!j - !i) (fun k -> snd chunk.(!i + k))
                   in
-                  List.iteri
-                    (fun k s -> out.(!i + k) <- Some s)
-                    (Engine.simulate_many l ms);
+                  let sims, collapsed = Engine.simulate_many_collapsed l ms in
+                  List.iteri (fun k s -> out.(!i + k) <- Some s) sims;
+                  ncollapsed := !ncollapsed + collapsed;
                   i := !j
                 done;
-                Array.map Option.get out
+                (Array.map Option.get out, !ncollapsed)
               in
               match
                 Observe.Telemetry.with_span ~cat:"dse" "simulate"
@@ -605,7 +618,7 @@ let run ?jobs ?chunk ?(progress = Progress.null) ?store grid workloads =
                   Error msg
               | results ->
                   List.iter2
-                    (fun chunk sims ->
+                    (fun chunk (sims, _) ->
                       Array.iteri
                         (fun k s ->
                           let w, m = chunk.(k) in
@@ -616,6 +629,11 @@ let run ?jobs ?chunk ?(progress = Progress.null) ?store grid workloads =
                           | None -> ())
                         sims)
                     tasks results;
+                  let sims_collapsed =
+                    List.fold_left (fun acc (_, c) -> acc + c) 0 results
+                  in
+                  Observe.Telemetry.counter "dse.sims_collapsed"
+                    sims_collapsed;
                   (match append with
                   | Some oc ->
                       flush oc;
@@ -678,6 +696,7 @@ let run ?jobs ?chunk ?(progress = Progress.null) ?store grid workloads =
                       d_sims_total = sims_total;
                       d_sims_computed = sims_computed;
                       d_sims_cached = sims_cached;
+                      d_sims_collapsed = sims_collapsed;
                       d_frontiers = frontiers;
                       d_global_frontier = pareto all_points;
                       d_eval_s = eval_s;
@@ -757,6 +776,7 @@ let json ?(slim = false) grid outcome =
       [
         ("sims_computed", Json.Int outcome.d_sims_computed);
         ("sims_cached", Json.Int outcome.d_sims_cached);
+        ("sims_collapsed", Json.Int outcome.d_sims_collapsed);
         ("eval_s", Json.Float outcome.d_eval_s);
         ("points_per_s", Json.Float outcome.d_points_per_s);
       ]

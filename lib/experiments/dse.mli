@@ -122,6 +122,10 @@ type outcome = {
   d_sims_total : int;
   d_sims_computed : int;  (** sims actually simulated this run *)
   d_sims_cached : int;  (** sims served from the persistent store *)
+  d_sims_collapsed : int;
+      (** of the computed sims, how many LRU cells were absorbed by
+          {!Replay.Engine.simulate_all_budgets}'s single-pass stack
+          kernel instead of costing an individual cache pass *)
   d_frontiers : frontier list;  (** per workload, workload input order *)
   d_global_frontier : point list;
       (** frontier over the union of every workload's points *)
@@ -155,6 +159,6 @@ val json : ?slim:bool -> grid -> outcome -> Observe.Json.t
 (** The schema-v7 ["dse"] report object. Deterministic members (grid,
     per-workload frontiers, global frontier, point/sim counts) are
     identical for serial, parallel and resumed runs; [slim] drops the
-    host-side members ([sims_computed], [sims_cached], [eval_s],
-    [points_per_s]), which depend on memo-store warmth and wall
-    clock. *)
+    host-side members ([sims_computed], [sims_cached],
+    [sims_collapsed], [eval_s], [points_per_s]), which depend on
+    memo-store warmth and wall clock. *)

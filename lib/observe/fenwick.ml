@@ -1,0 +1,34 @@
+(* Fenwick (binary-indexed) tree. [a.(i)] holds the sum of the
+   [i land (-i)] slots ending at [i]; the running [sum] field makes
+   [total] O(1), which matters because every stack-distance query is
+   [total - prefix (slot - 1)]. *)
+
+type t = { a : int array; n : int; mutable sum : int }
+
+let create n = { a = Array.make (n + 1) 0; n; sum = 0 }
+let capacity t = t.n
+
+let add t i delta =
+  if i < 1 || i > t.n then invalid_arg "Fenwick.add: slot out of range";
+  t.sum <- t.sum + delta;
+  let i = ref i in
+  while !i <= t.n do
+    t.a.(!i) <- t.a.(!i) + delta;
+    i := !i + (!i land - !i)
+  done
+
+let prefix t i =
+  let i = ref (min i t.n) in
+  let s = ref 0 in
+  while !i > 0 do
+    s := !s + t.a.(!i);
+    i := !i - (!i land - !i)
+  done;
+  !s
+
+let total t = t.sum
+let suffix t i = t.sum - prefix t (i - 1)
+
+let clear t =
+  Array.fill t.a 0 (t.n + 1) 0;
+  t.sum <- 0

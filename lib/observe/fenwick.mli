@@ -1,0 +1,34 @@
+(** Fenwick (binary-indexed) partial-sum tree over 1-based integer
+    slots: point update and prefix sum in O(log n).
+
+    This is the tree behind every byte-weighted stack-distance
+    computation in the repo: {!Reuse} (the live Mattson miss-ratio
+    tracker) and [Replay.Engine.simulate_all_budgets] (the single-pass
+    all-budget LRU kernel) both maintain an LRU recency stack as
+    time-ordered slots whose values are resident-unit byte sizes, so
+    "bytes touched since this unit's last access" is one suffix sum:
+    [total t - prefix t (slot - 1)]. *)
+
+type t
+
+val create : int -> t
+(** [create n] is a zero tree over slots [1..n]. *)
+
+val capacity : t -> int
+
+val add : t -> int -> int -> unit
+(** [add t i delta] adds [delta] at slot [i] (1-based). *)
+
+val prefix : t -> int -> int
+(** [prefix t i] is the sum over slots [1..i]; [prefix t 0 = 0]. *)
+
+val total : t -> int
+(** Sum over every slot; O(1). *)
+
+val suffix : t -> int -> int
+(** [suffix t i] is the sum over slots [i..n] — the byte-weighted
+    stack distance of the unit occupying slot [i] when slots are
+    recency-ordered. *)
+
+val clear : t -> unit
+(** Reset every slot to zero (O(n)). *)

@@ -1,32 +1,50 @@
 (* Exact byte-weighted LRU reuse-distance tracker.
 
    Maintains the LRU stack of cache units (functions for SwapRAM,
-   fixed-size lines for the baseline and the block cache) as an
-   MRU-first list of (unit_id, bytes). Each access computes its
-   byte-weighted stack distance: the total bytes of distinct units
-   touched since the previous access to this unit, *including the
-   unit itself* — i.e. the smallest LRU cache capacity at which this
-   access would hit. A histogram of distances then yields the exact
-   miss count for any hypothetical budget in one pass (Mattson's
-   stack algorithm): misses(B) = cold + #\{distances > B\}.
+   fixed-size lines for the baseline and the block cache) as
+   recency-ordered slots over a {!Fenwick} partial-sum tree of unit
+   byte sizes — the same tree the replay engine's single-pass
+   all-budget kernel uses. Each access computes its byte-weighted
+   stack distance: the total bytes of distinct units touched since the
+   previous access to this unit, *including the unit itself* — i.e.
+   the smallest LRU cache capacity at which this access would hit. A
+   histogram of distances then yields the exact miss count for any
+   hypothetical budget in one pass (Mattson's stack algorithm):
+   misses(B) = cold + #\{distances > B\}.
 
    The common case — repeated access to the MRU unit, e.g. straight-
-   line ifetch within one cache line — short-circuits without walking
-   the stack, so cost is paid only on unit transitions, bounded by the
-   footprint in distinct units. *)
+   line ifetch within one cache line — short-circuits without touching
+   the tree, so cost is paid only on unit transitions: O(log units)
+   each, where the old list walk was O(units). A unit transition
+   vacates the unit's old slot and claims the next higher one; when
+   slots run out the stack is compacted in place (or the arrays grown
+   if mostly live), so space stays proportional to distinct units, not
+   to transitions. *)
 
 type t = {
-  mutable stack : (int * int) list; (* MRU-first: unit_id, bytes *)
-  mutable depth_bytes : int; (* total bytes currently on the stack *)
+  mutable fen : Fenwick.t; (* slot -> bytes of the unit living there *)
+  mutable unit_at : int array; (* slot -> unit id, -1 when vacated *)
+  mutable size_at : int array; (* slot -> that unit's stacked bytes *)
+  slot_of : (int, int) Hashtbl.t; (* unit -> its live slot *)
+  mutable next : int; (* next unclaimed slot; slot order = recency *)
+  mutable top : int; (* MRU unit id; min_int when empty *)
+  mutable depth_bytes : int; (* total bytes of distinct units seen *)
   dist_hist : (int, int ref) Hashtbl.t; (* stack distance -> count *)
   mutable cold : int; (* first-touch accesses: miss at any budget *)
   mutable accesses : int;
   mutable measured_misses : int;
 }
 
+let initial_slots = 1024
+
 let create () =
   {
-    stack = [];
+    fen = Fenwick.create initial_slots;
+    unit_at = Array.make (initial_slots + 1) (-1);
+    size_at = Array.make (initial_slots + 1) 0;
+    slot_of = Hashtbl.create 64;
+    next = 1;
+    top = min_int;
     depth_bytes = 0;
     dist_hist = Hashtbl.create 64;
     cold = 0;
@@ -39,32 +57,67 @@ let record_distance t d =
   | Some r -> incr r
   | None -> Hashtbl.replace t.dist_hist d (ref 1)
 
+(* Renumber the live units into slots [1..live] (recency order
+   preserved: ascending slot = ascending recency), growing the arrays
+   only when more than half the slots are live. Amortized O(1) per
+   transition: a compaction costs O(capacity) and frees at least half
+   of it. *)
+let compact t =
+  let cap = Fenwick.capacity t.fen in
+  let live = Hashtbl.length t.slot_of in
+  let cap' = if 2 * live > cap then 2 * cap else cap in
+  let unit_at' = Array.make (cap' + 1) (-1) in
+  let size_at' = Array.make (cap' + 1) 0 in
+  let fen' = Fenwick.create cap' in
+  let j = ref 0 in
+  for s = 1 to t.next - 1 do
+    let u = t.unit_at.(s) in
+    if u >= 0 then begin
+      incr j;
+      unit_at'.(!j) <- u;
+      size_at'.(!j) <- t.size_at.(s);
+      Fenwick.add fen' !j t.size_at.(s);
+      Hashtbl.replace t.slot_of u !j
+    end
+  done;
+  t.fen <- fen';
+  t.unit_at <- unit_at';
+  t.size_at <- size_at';
+  t.next <- !j + 1
+
+let push t unit_id bytes =
+  if t.next > Fenwick.capacity t.fen then compact t;
+  let s = t.next in
+  t.next <- s + 1;
+  t.unit_at.(s) <- unit_id;
+  t.size_at.(s) <- bytes;
+  Fenwick.add t.fen s bytes;
+  Hashtbl.replace t.slot_of unit_id s;
+  t.top <- unit_id
+
 let access t ~unit_id ~bytes =
   t.accesses <- t.accesses + 1;
-  match t.stack with
-  | (u, b) :: _ when u = unit_id ->
-      (* MRU re-reference: distance is the unit's own size. *)
-      record_distance t (max b bytes)
-  | stack ->
-      (* Walk MRU-to-LRU accumulating bytes until we find the unit. *)
-      let rec split acc_bytes acc_rev = function
-        | [] -> None
-        | (u, b) :: rest when u = unit_id ->
-            Some (acc_bytes + b, List.rev_append acc_rev rest)
-        | (_, b) as e :: rest -> split (acc_bytes + b) (e :: acc_rev) rest
-      in
-      (match split 0 [] stack with
-      | Some (dist, rest) ->
-          record_distance t dist;
-          t.stack <- (unit_id, bytes) :: rest
-      | None ->
-          t.cold <- t.cold + 1;
-          t.depth_bytes <- t.depth_bytes + bytes;
-          t.stack <- (unit_id, bytes) :: stack)
+  if t.top = unit_id then
+    (* MRU re-reference: distance is the unit's own stacked size (its
+       slot is left untouched). *)
+    record_distance t (max t.size_at.(Hashtbl.find t.slot_of unit_id) bytes)
+  else
+    match Hashtbl.find_opt t.slot_of unit_id with
+    | Some s ->
+        (* Bytes of distinct units at or above this one on the stack:
+           one suffix sum instead of an MRU-to-LRU walk. *)
+        record_distance t (Fenwick.suffix t.fen s);
+        Fenwick.add t.fen s (-t.size_at.(s));
+        t.unit_at.(s) <- -1;
+        push t unit_id bytes
+    | None ->
+        t.cold <- t.cold + 1;
+        t.depth_bytes <- t.depth_bytes + bytes;
+        push t unit_id bytes
 
 let note_measured_miss t = t.measured_misses <- t.measured_misses + 1
 let accesses t = t.accesses
-let units t = List.length t.stack
+let units t = Hashtbl.length t.slot_of
 let footprint t = t.depth_bytes
 let cold_misses t = t.cold
 let measured_misses t = t.measured_misses

@@ -496,10 +496,22 @@ type sim = {
   s_miss_rate : float;
 }
 
-let sim_block l m =
-  match (l.refs, m.m_block) with
+let effective_block l block =
+  match (l.refs, block) with
   | Line_refs _, Some b when b > 0 -> b
   | _ -> line_bytes l
+
+let sim_block l m = effective_block l m.m_block
+
+let empty_sim =
+  {
+    s_refs = 0;
+    s_misses = 0;
+    s_cold_misses = 0;
+    s_evictions = 0;
+    s_bytes_loaded = 0;
+    s_miss_rate = 0.0;
+  }
 
 (* Unit ids are small dense ints (line indices of a 64 KiB address
    space, or function ids), so residency state lives in flat arrays
@@ -520,17 +532,25 @@ let sim_units l ~block =
 (* Residency state for a unit-id bound; allocated once per
    (trace, block) group in [simulate_many] and reset between models,
    so a batch pays the allocation and GC cost once instead of once per
-   cell. *)
+   cell. [st_touched] records each unit the pass marked seen (every
+   other per-unit write implies seen), so the reset clears only those
+   entries — proportional to the trace's distinct units, not the
+   unit-id bound, which matters on a small trace swept under many
+   models. The [hp_*] arrays back the lazy min-heap used for victim
+   selection: at most one entry per resident unit, so capacity [n]
+   can never overflow. *)
 type sim_state = {
   st_size : int array;
   st_last : int array;
   st_uses : int array;
   st_resident : bool array;
   st_seen : bool array;
-  (* Compact list of resident units for the victim scan; [st_pos]
-     gives each resident unit's index for O(1) swap-removal. *)
-  st_list : int array;
-  st_pos : int array;
+  st_touched : int array;
+  mutable st_ntouched : int;
+  hp_key : int array;
+  hp_last : int array;
+  hp_unit : int array;
+  mutable hp_n : int;
 }
 
 let make_state n =
@@ -540,19 +560,25 @@ let make_state n =
     st_uses = Array.make n 0;
     st_resident = Array.make n false;
     st_seen = Array.make n false;
-    st_list = Array.make n 0;
-    st_pos = Array.make n (-1);
+    st_touched = Array.make n 0;
+    st_ntouched = 0;
+    hp_key = Array.make n 0;
+    hp_last = Array.make n 0;
+    hp_unit = Array.make n 0;
+    hp_n = 0;
   }
 
 let reset_state st =
-  let n = Array.length st.st_size in
-  Array.fill st.st_size 0 n 0;
-  Array.fill st.st_last 0 n 0;
-  Array.fill st.st_uses 0 n 0;
-  Array.fill st.st_resident 0 n false;
-  Array.fill st.st_seen 0 n false;
-  Array.fill st.st_list 0 n 0;
-  Array.fill st.st_pos 0 n (-1)
+  for i = 0 to st.st_ntouched - 1 do
+    let u = Array.unsafe_get st.st_touched i in
+    st.st_size.(u) <- 0;
+    st.st_last.(u) <- 0;
+    st.st_uses.(u) <- 0;
+    st.st_resident.(u) <- false;
+    st.st_seen.(u) <- false
+  done;
+  st.st_ntouched <- 0;
+  st.hp_n <- 0
 
 (* One cache-model pass over a run stream. [iter] feeds maximal
    same-unit runs as [f unit bytes len]; both [simulate] (streaming
@@ -565,9 +591,9 @@ let sim_core st ~budget ~policy iter =
   let r_uses = st.st_uses in
   let resident = st.st_resident in
   let seen = st.st_seen in
-  let res_list = st.st_list in
-  let res_pos = st.st_pos in
-  let res_cnt = ref 0 in
+  let hp_key = st.hp_key in
+  let hp_last = st.hp_last in
+  let hp_unit = st.hp_unit in
   let occupancy = ref 0 in
   let clock = ref 0 in
   let refs = ref 0 in
@@ -575,72 +601,95 @@ let sim_core st ~budget ~policy iter =
   let cold = ref 0 in
   let evictions = ref 0 in
   let loaded = ref 0 in
-  let insert u =
-    resident.(u) <- true;
-    res_list.(!res_cnt) <- u;
-    res_pos.(u) <- !res_cnt;
-    incr res_cnt
-  in
-  let remove u =
-    resident.(u) <- false;
-    let i = res_pos.(u) in
-    let last = res_list.(!res_cnt - 1) in
-    res_list.(i) <- last;
-    res_pos.(last) <- i;
-    res_pos.(u) <- -1;
-    decr res_cnt
-  in
-  (* Eviction keys are strictly ordered ([r_last] is unique), so the
-     victim is independent of scan order. One fully specialized
-     scanner per policy: the scan runs once per miss in a thrashing
-     cell, so neither policy dispatch nor bounds checks belong in the
-     inner loop ([res_list] holds unit ids < [n] by construction). *)
-  let victim =
+  (* Eviction order is the lexicographic (metric, last-use) minimum;
+     [r_last] is unique, so the order is total and the victim matches
+     what a full linear scan with the same strict-< comparison picks —
+     scan order and heap shape never show. *)
+  let key_of =
     match policy with
-    | Lru ->
-        (* [r_last] is itself unique, so no tie-break needed. *)
-        fun () ->
-          let vkey = ref (-1) in
-          let vp = ref max_int in
-          for i = 0 to !res_cnt - 1 do
-            let k = Array.unsafe_get res_list i in
-            let p = Array.unsafe_get r_last k in
-            if p < !vp then begin
-              vp := p;
-              vkey := k
-            end
-          done;
-          !vkey
-    | Lfu ->
-        fun () ->
-          let vkey = ref (-1) in
-          let vp = ref max_int in
-          let vs = ref max_int in
-          for i = 0 to !res_cnt - 1 do
-            let k = Array.unsafe_get res_list i in
-            let p = Array.unsafe_get r_uses k in
-            if p < !vp || (p = !vp && Array.unsafe_get r_last k < !vs) then begin
-              vp := p;
-              vs := Array.unsafe_get r_last k;
-              vkey := k
-            end
-          done;
-          !vkey
+    | Lru -> fun u -> Array.unsafe_get r_last u
+    | Lfu -> fun u -> Array.unsafe_get r_uses u
     | Cost_aware ->
-        fun () ->
-          let vkey = ref (-1) in
-          let vp = ref max_int in
-          let vs = ref max_int in
-          for i = 0 to !res_cnt - 1 do
-            let k = Array.unsafe_get res_list i in
-            let p = Array.unsafe_get r_uses k * Array.unsafe_get r_size k in
-            if p < !vp || (p = !vp && Array.unsafe_get r_last k < !vs) then begin
-              vp := p;
-              vs := Array.unsafe_get r_last k;
-              vkey := k
-            end
-          done;
-          !vkey
+        fun u -> Array.unsafe_get r_uses u * Array.unsafe_get r_size u
+  in
+  (* Lazy min-heap over (key, last, unit): entries are pushed at insert
+     time and never updated on a hit, so an entry can go stale — but
+     every policy metric only grows with further use, so a stale entry
+     under-states its unit's current key. Popping therefore re-keys a
+     stale root in place and retries; the first root whose stored key
+     matches the live key is the true minimum over current keys. Each
+     hit creates at most one stale entry, so the amortized cost is
+     O(log resident) per reference instead of the old O(resident)
+     scan per eviction. *)
+  let sift_up i0 k l u =
+    let i = ref i0 in
+    let stop = ref false in
+    while (not !stop) && !i > 0 do
+      let p = (!i - 1) / 2 in
+      let pk = Array.unsafe_get hp_key p in
+      if pk > k || (pk = k && Array.unsafe_get hp_last p > l) then begin
+        hp_key.(!i) <- pk;
+        hp_last.(!i) <- Array.unsafe_get hp_last p;
+        hp_unit.(!i) <- Array.unsafe_get hp_unit p;
+        i := p
+      end
+      else stop := true
+    done;
+    hp_key.(!i) <- k;
+    hp_last.(!i) <- l;
+    hp_unit.(!i) <- u
+  in
+  (* Place (k, l, u) starting at the root and restore heap order. *)
+  let sift_down k l u =
+    let n = st.hp_n in
+    let i = ref 0 in
+    let stop = ref false in
+    while not !stop do
+      let c1 = (2 * !i) + 1 in
+      if c1 >= n then stop := true
+      else begin
+        let c2 = c1 + 1 in
+        let c =
+          if
+            c2 < n
+            && (hp_key.(c2) < hp_key.(c1)
+               || (hp_key.(c2) = hp_key.(c1) && hp_last.(c2) < hp_last.(c1)))
+          then c2
+          else c1
+        in
+        let ck = Array.unsafe_get hp_key c in
+        if ck < k || (ck = k && Array.unsafe_get hp_last c < l) then begin
+          hp_key.(!i) <- ck;
+          hp_last.(!i) <- Array.unsafe_get hp_last c;
+          hp_unit.(!i) <- Array.unsafe_get hp_unit c;
+          i := c
+        end
+        else stop := true
+      end
+    done;
+    hp_key.(!i) <- k;
+    hp_last.(!i) <- l;
+    hp_unit.(!i) <- u
+  in
+  let push k l u =
+    let n = st.hp_n in
+    st.hp_n <- n + 1;
+    sift_up n k l u
+  in
+  let rec victim () =
+    let u = hp_unit.(0) in
+    let ck = key_of u in
+    let cl = Array.unsafe_get r_last u in
+    if hp_key.(0) = ck && hp_last.(0) = cl then begin
+      let n = st.hp_n - 1 in
+      st.hp_n <- n;
+      if n > 0 then sift_down hp_key.(n) hp_last.(n) hp_unit.(n);
+      u
+    end
+    else begin
+      sift_down ck cl u;
+      victim ()
+    end
   in
   (* Run semantics are exact: within a same-unit run only the first
      access can miss (the unit is resident afterwards), so a hit run
@@ -658,22 +707,25 @@ let sim_core st ~budget ~policy iter =
       else begin
         if not seen.(u) then begin
           seen.(u) <- true;
+          st.st_touched.(st.st_ntouched) <- u;
+          st.st_ntouched <- st.st_ntouched + 1;
           incr cold
         end;
         if bytes <= budget then begin
           incr misses;
           while !occupancy + bytes > budget do
             let k = victim () in
-            remove k;
+            resident.(k) <- false;
             occupancy := !occupancy - r_size.(k);
             incr evictions
           done;
-          insert u;
+          resident.(u) <- true;
           r_size.(u) <- bytes;
           r_last.(u) <- !clock;
           r_uses.(u) <- len;
           occupancy := !occupancy + bytes;
-          loaded := !loaded + bytes
+          loaded := !loaded + bytes;
+          push (key_of u) !clock u
         end
         else misses := !misses + len
       end);
@@ -735,48 +787,344 @@ let iter_prepared p f =
       (Array.unsafe_get p.pp_lens i)
   done
 
-let simulate_many l models =
-  match models with
+(* --- Single-pass all-budget LRU simulation ------------------------------ *)
+
+(* Exact LRU results for every budget in [budgets] (sorted ascending,
+   distinct) from O(groups) passes over the run stream instead of one
+   pass per budget.
+
+   LRU with evict-until-fit keeps the resident set equal to the
+   maximal byte-fitting prefix of the recency stack *restricted to
+   eligible units* (those with bytes <= budget): a hit preserves the
+   prefix (the unit moves to the top), and a miss-insert evicts from
+   the prefix's bottom until the new top fits, with maximality
+   witnessed by the last victim. So an eligible re-access hits at
+   budget B iff its byte-weighted stack distance d — bytes of eligible
+   units at or above it on the stack, self included — satisfies
+   d <= B, which is Mattson's inclusion property, byte-weighted.
+
+   The wrinkle is eligibility: [sim_core] bypasses a unit larger than
+   the whole budget, so the *filtered* stack differs between budgets
+   separated by some unit size, and a single stack does not serve all
+   budgets. Budgets are therefore partitioned into eligibility groups
+   — split at every distinct unit size inside (min budget, max budget]
+   — and each group gets one stack pass over its shared filtered
+   stream. On real grids the distinct sizes are few (one per block
+   size for line traces, per-function sizes for SwapRAM), so hundreds
+   of budgets collapse to a handful of passes.
+
+   Within a pass, per-budget tallies use difference arrays over the
+   sorted budget index: a re-access at distance d misses exactly at
+   budgets < d (a binary-searched index range), a first touch misses
+   for the whole group, and a bypassed run misses [len] times for the
+   whole group. Evictions come from conservation — every eligible miss
+   inserts one unit, so evictions(B) = eligible misses(B) minus the
+   units resident at the end, and the end-resident count per budget is
+   one MRU-to-LRU cumulative walk with an ascending-budget pointer.
+   Cold misses are budget-independent ([sim_core] counts first touches
+   before the fit check).
+
+   Exactness relies on a unit's [bytes] being constant across the
+   stream, which [iter_runs] guarantees for both granularities. *)
+let lru_all_budgets ~units ~budgets ~nruns iter =
+  let nb = Array.length budgets in
+  if nb = 0 then [||]
+  else begin
+    (* Pre-pass: global tallies (refs; distinct units = cold misses at
+       every budget) and the distinct unit sizes that cut the budget
+       axis into eligibility groups. *)
+    let seen = Array.make (max units 1) false in
+    let refs_total = ref 0 in
+    let cold_total = ref 0 in
+    let sizes_tbl = Hashtbl.create 16 in
+    iter (fun u bytes len ->
+        refs_total := !refs_total + len;
+        if not (Array.unsafe_get seen u) then begin
+          seen.(u) <- true;
+          incr cold_total
+        end;
+        if not (Hashtbl.mem sizes_tbl bytes) then
+          Hashtbl.replace sizes_tbl bytes ());
+    let sizes =
+      List.sort compare (Hashtbl.fold (fun s () acc -> s :: acc) sizes_tbl [])
+    in
+    (* Inclusive budget-index ranges sharing one eligible-unit set. *)
+    let groups =
+      let gs = ref [] in
+      let lo = ref 0 in
+      let rest = ref sizes in
+      let drop_le b =
+        while (match !rest with s :: _ -> s <= b | [] -> false) do
+          rest := List.tl !rest
+        done
+      in
+      drop_le budgets.(0);
+      for i = 1 to nb - 1 do
+        let before = !rest in
+        drop_le budgets.(i);
+        if !rest != before then begin
+          gs := (!lo, i - 1) :: !gs;
+          lo := i
+        end
+      done;
+      List.rev ((!lo, nb - 1) :: !gs)
+    in
+    let elig_d = Array.make (nb + 1) 0 in
+    let bypass_d = Array.make (nb + 1) 0 in
+    let bytes_d = Array.make (nb + 1) 0 in
+    let resident_cnt = Array.make nb 0 in
+    let fen = Observe.Fenwick.create (nruns + 1) in
+    let slot_of = Array.make (max units 1) (-1) in
+    let slot_unit = Array.make (nruns + 2) (-1) in
+    let slot_size = Array.make (nruns + 2) 0 in
+    List.iter
+      (fun (lo, hi) ->
+        (* The group's eligibility threshold: every budget in the
+           group admits exactly the units with bytes <= t. *)
+        let t = budgets.(lo) in
+        Observe.Fenwick.clear fen;
+        Array.fill slot_of 0 (Array.length slot_of) (-1);
+        let next = ref 1 in
+        (* First budget index in [lo..hi] with budget >= d (hi + 1 when
+           none): the miss range for a re-access at distance d. *)
+        let cut d =
+          if budgets.(hi) < d then hi + 1
+          else begin
+            let a = ref lo and b = ref hi in
+            while !a < !b do
+              let m = (!a + !b) / 2 in
+              if budgets.(m) >= d then b := m else a := m + 1
+            done;
+            !a
+          end
+        in
+        iter (fun u bytes len ->
+            if bytes > t then begin
+              bypass_d.(lo) <- bypass_d.(lo) + len;
+              bypass_d.(hi + 1) <- bypass_d.(hi + 1) - len
+            end
+            else begin
+              let p = Array.unsafe_get slot_of u in
+              let miss_hi =
+                if p < 0 then hi + 1
+                else begin
+                  let d = Observe.Fenwick.suffix fen p in
+                  Observe.Fenwick.add fen p (-slot_size.(p));
+                  cut d
+                end
+              in
+              if miss_hi > lo then begin
+                elig_d.(lo) <- elig_d.(lo) + 1;
+                elig_d.(miss_hi) <- elig_d.(miss_hi) - 1;
+                bytes_d.(lo) <- bytes_d.(lo) + bytes;
+                bytes_d.(miss_hi) <- bytes_d.(miss_hi) - bytes
+              end;
+              let s = !next in
+              incr next;
+              Observe.Fenwick.add fen s bytes;
+              slot_of.(u) <- s;
+              slot_unit.(s) <- u;
+              slot_size.(s) <- bytes
+            end);
+        (* End-of-trace residents: walking the stack MRU-to-LRU while
+           advancing an ascending budget pointer finalizes each budget
+           the moment the next unit no longer fits. *)
+        let j = ref lo in
+        let cum = ref 0 in
+        let cnt = ref 0 in
+        let s = ref (!next - 1) in
+        while !s >= 1 && !j <= hi do
+          let u = slot_unit.(!s) in
+          if slot_of.(u) = !s then begin
+            let sz = slot_size.(!s) in
+            while !j <= hi && budgets.(!j) < !cum + sz do
+              resident_cnt.(!j) <- !cnt;
+              incr j
+            done;
+            cum := !cum + sz;
+            incr cnt
+          end;
+          decr s
+        done;
+        while !j <= hi do
+          resident_cnt.(!j) <- !cnt;
+          incr j
+        done)
+      groups;
+    let sims = Array.make nb empty_sim in
+    let elig = ref 0 in
+    let byp = ref 0 in
+    let byt = ref 0 in
+    for i = 0 to nb - 1 do
+      elig := !elig + elig_d.(i);
+      byp := !byp + bypass_d.(i);
+      byt := !byt + bytes_d.(i);
+      let misses = !elig + !byp in
+      sims.(i) <-
+        {
+          s_refs = !refs_total;
+          s_misses = misses;
+          s_cold_misses = !cold_total;
+          s_evictions = !elig - resident_cnt.(i);
+          s_bytes_loaded = !byt;
+          s_miss_rate =
+            (if !refs_total = 0 then 0.0
+             else float_of_int misses /. float_of_int !refs_total);
+        }
+    done;
+    sims
+  end
+
+(* Run the kernel on budgets in arbitrary order (with duplicates):
+   sort-unique for the kernel, then map each requested budget back to
+   its slot. *)
+let all_budgets_unsorted ~units ~nruns iter budgets =
+  let sorted = Array.of_list (List.sort_uniq compare budgets) in
+  let sims = lru_all_budgets ~units ~budgets:sorted ~nruns iter in
+  let idx = Hashtbl.create (Array.length sorted) in
+  Array.iteri (fun i b -> Hashtbl.replace idx b i) sorted;
+  List.map (fun b -> sims.(Hashtbl.find idx b)) budgets
+
+let simulate_all_budgets ?block l budgets =
+  match budgets with
   | [] -> []
-  | [ m ] -> [ simulate l m ]
+  | _ ->
+      let block = effective_block l block in
+      let p = prepare l ~block in
+      all_budgets_unsorted ~units:(sim_units l ~block) ~nruns:p.pp_runs
+        (fun f -> iter_prepared p f)
+        budgets
+
+(* Test hooks: the same kernels over a synthetic (unit, bytes, len)
+   run array, so properties can compare them without recording a
+   trace. *)
+let iter_run_array runs f = Array.iter (fun (u, b, len) -> f u b len) runs
+
+let simulate_runs ~units ~budget ~policy runs =
+  sim_core (make_state units) ~budget ~policy (iter_run_array runs)
+
+let simulate_runs_all_budgets ~units ~budgets runs =
+  match budgets with
+  | [] -> []
+  | _ ->
+      all_budgets_unsorted ~units ~nruns:(Array.length runs)
+        (iter_run_array runs) budgets
+
+(* Totals of the prepared stream: reference count, distinct units and
+   their summed bytes (the code footprint at this block size). A
+   budget >= footprint never evicts under any policy — every eligible
+   unit fits forever — so each distinct unit misses exactly once and
+   the whole sim has a closed form. On real grids the SRAM ladder
+   extends well past small benchmarks' footprints, so this collapses
+   the upper budget range of the LFU/Cost axes that the LRU stack
+   kernel cannot absorb. *)
+let prepared_totals ~units p =
+  let seen = Array.make (max units 1) false in
+  let refs = ref 0 in
+  let distinct = ref 0 in
+  let footprint = ref 0 in
+  iter_prepared p (fun u bytes len ->
+      refs := !refs + len;
+      if not (Array.unsafe_get seen u) then begin
+        seen.(u) <- true;
+        incr distinct;
+        footprint := !footprint + bytes
+      end);
+  (!refs, !distinct, !footprint)
+
+let simulate_many_collapsed l models =
+  match models with
+  | [] -> ([], 0)
+  | [ m ] -> ([ simulate l m ], 0)
   | _ ->
       (* Group models by effective block size: each group shares one
-         pre-bucketed run stream and one state-array set, which is the
-         whole batching win — the per-model work collapses to the
-         cache-model pass itself. Results land at their input index,
-         so group iteration order never shows. *)
+         pre-bucketed run stream, and within a group the LRU budget
+         axis collapses into the all-budget stack kernel — one pass
+         per eligibility class instead of one per budget. LFU and
+         Cost_aware (and a lone LRU model, where the kernel's pre-pass
+         would only add overhead) run the shared-state [sim_core]
+         path. Results land at their input index, so group iteration
+         order never shows. *)
       let arr = Array.of_list models in
       let nm = Array.length arr in
-      let empty =
-        {
-          s_refs = 0;
-          s_misses = 0;
-          s_cold_misses = 0;
-          s_evictions = 0;
-          s_bytes_loaded = 0;
-          s_miss_rate = 0.0;
-        }
-      in
-      let out = Array.make nm empty in
+      let out = Array.make nm empty_sim in
       let groups = Hashtbl.create 4 in
       for i = nm - 1 downto 0 do
         let block = sim_block l arr.(i) in
         let cur = try Hashtbl.find groups block with Not_found -> [] in
         Hashtbl.replace groups block (i :: cur)
       done;
+      let collapsed = ref 0 in
       Hashtbl.iter
         (fun block idxs ->
           let p = prepare l ~block in
-          let st = make_state (sim_units l ~block) in
-          List.iter
-            (fun i ->
-              reset_state st;
+          let units = sim_units l ~block in
+          let lru, rest =
+            List.partition (fun i -> arr.(i).m_policy = Lru) idxs
+          in
+          let scalar =
+            match lru with
+            | [] | [ _ ] -> idxs
+            | _ ->
+                let budgets = List.map (fun i -> arr.(i).m_budget) lru in
+                let sims =
+                  all_budgets_unsorted ~units ~nruns:p.pp_runs
+                    (fun f -> iter_prepared p f)
+                    budgets
+                in
+                List.iter2 (fun i sim -> out.(i) <- sim) lru sims;
+                collapsed := !collapsed + List.length lru;
+                rest
+          in
+          match scalar with
+          | [] -> ()
+          | [ i ] ->
               out.(i) <-
-                sim_core st ~budget:arr.(i).m_budget ~policy:arr.(i).m_policy
-                  (iter_prepared p))
-            idxs)
+                sim_core (make_state units) ~budget:arr.(i).m_budget
+                  ~policy:arr.(i).m_policy (iter_prepared p)
+          | _ ->
+              (* Budgets at or above the stream footprint never evict,
+                 so their sims are policy-independent and closed-form:
+                 each distinct unit misses exactly once. One totals
+                 pass dedupes the whole beyond-footprint tail of the
+                 LFU / Cost_aware budget axes. *)
+              let refs_total, distinct, fp = prepared_totals ~units p in
+              let beyond =
+                {
+                  s_refs = refs_total;
+                  s_misses = distinct;
+                  s_cold_misses = distinct;
+                  s_evictions = 0;
+                  s_bytes_loaded = fp;
+                  s_miss_rate =
+                    (if refs_total = 0 then 0.0
+                     else float_of_int distinct /. float_of_int refs_total);
+                }
+              in
+              let st = ref None in
+              List.iter
+                (fun i ->
+                  if arr.(i).m_budget >= fp then out.(i) <- beyond
+                  else begin
+                    let st =
+                      match !st with
+                      | Some s ->
+                          reset_state s;
+                          s
+                      | None ->
+                          let s = make_state units in
+                          st := Some s;
+                          s
+                    in
+                    out.(i) <-
+                      sim_core st ~budget:arr.(i).m_budget
+                        ~policy:arr.(i).m_policy (iter_prepared p)
+                  end)
+                scalar)
         groups;
-      Array.to_list out
+      (Array.to_list out, !collapsed)
+
+let simulate_many l models = fst (simulate_many_collapsed l models)
 
 (* --- MRC --------------------------------------------------------------- *)
 

@@ -167,9 +167,47 @@ val simulate_many : loaded -> model list -> sim list
 (** Batched {!simulate}: results are returned in input order and are
     exactly [List.map (simulate l) models] (property-tested). Models
     are grouped by effective block size; each group shares one
-    pre-bucketed reference stream and one set of residency arrays, so
-    the per-model cost collapses to the cache-model pass itself — this
-    is the kernel the design-space explorer fans out over. *)
+    pre-bucketed reference stream and one set of residency arrays, and
+    the [Lru] models of a group collapse further into
+    {!simulate_all_budgets}'s single-pass stack kernel — this is the
+    kernel the design-space explorer fans out over. *)
+
+val simulate_many_collapsed : loaded -> model list -> sim list * int
+(** {!simulate_many} plus the number of models whose budget axis was
+    collapsed into a stack-distance pass (0 when every model took an
+    individual cache pass) — the [sims_collapsed] accounting surfaced
+    by the DSE report. *)
+
+val simulate_all_budgets : ?block:int -> loaded -> int list -> sim list
+(** Exact [Lru] results for every budget at once:
+    [simulate_all_budgets ?block l budgets] equals
+    [List.map (fun b -> simulate l {m_budget = b; m_policy = Lru;
+    m_block = block}) budgets] (property-tested), but runs one
+    byte-weighted stack-distance pass per {e eligibility class} of the
+    budget list instead of one cache pass per budget. LRU's inclusion
+    property survives evict-until-fit with variable-size units (the
+    resident set is always a maximal byte-fitting recency-stack
+    prefix), so a reference's stack distance d decides hit-or-miss for
+    every budget simultaneously: miss iff d > B. Too-large-unit bypass
+    is the one budget-dependent filter, so budgets are grouped at the
+    distinct unit sizes falling inside the budget range — typically
+    one class for line traces and a handful for function traces. *)
+
+val simulate_runs :
+  units:int -> budget:int -> policy:policy -> (int * int * int) array -> sim
+(** Run the cache-model pass over a synthetic run stream of
+    [(unit, bytes, len)] triples with unit ids in [0, units). A unit's
+    [bytes] must be the same in every run mentioning it (as recorded
+    streams guarantee). Test hook: lets differential properties drive
+    {!simulate}'s kernel on arbitrary streams without recording a
+    trace. *)
+
+val simulate_runs_all_budgets :
+  units:int -> budgets:int list -> (int * int * int) array -> sim list
+(** {!simulate_all_budgets}'s kernel over a synthetic run stream;
+    equals [List.map (fun b -> simulate_runs ~units ~budget:b
+    ~policy:Lru runs) budgets] (property-tested). Same per-unit
+    constant-[bytes] requirement as {!simulate_runs}. *)
 
 val mrc : loaded -> Observe.Reuse.t
 (** Rebuild the exact byte-LRU reuse tracker from the reference

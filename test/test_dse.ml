@@ -1,10 +1,12 @@
 (* Design-space exploration engine: Pareto-frontier correctness as
    QCheck2 properties (dominance, dedup, input-order invariance), the
-   batched simulate_many against one-at-a-time simulate, chunked
-   parallel dispatch against List.map, serial = parallel = chunked
-   frontier identity end-to-end, and the persistent memo store (warm
-   re-runs compute nothing; a stale trace is an error, not a silent
-   recompute). *)
+   batched simulate_many against one-at-a-time simulate, the
+   single-pass all-budget stack kernel and the lazy-heap victim
+   selection against linear-scan references (random run streams and a
+   real Table-2 trace), chunked parallel dispatch against List.map,
+   serial = parallel = chunked frontier identity end-to-end, and the
+   persistent memo store (warm re-runs compute nothing; a stale trace
+   is an error, not a silent recompute). *)
 
 module Engine = Replay.Engine
 module Trace_file = Replay.Trace_file
@@ -106,6 +108,174 @@ let prop_simulate_many_batches system =
           ignore (Test_replay.record_tiny ~system trace);
           let l = Result.get_ok (Engine.load trace) in
           Engine.simulate_many l models = List.map (Engine.simulate l) models))
+
+(* --- Single-pass all-budget kernel and lazy-heap victim ------------------ *)
+
+(* Reference cache model: the straightforward linear victim scan over
+   the full unit range — the oracle that both the engine's lazy-heap
+   victim selection and the all-budget stack kernel must match
+   observationally. Victim = minimum (policy metric, last use); the
+   last-use clock is unique, so the order is total and no scan-order
+   tie-break can hide. *)
+let reference_sim ~units ~budget ~policy runs =
+  let n = max units 1 in
+  let r_size = Array.make n 0 in
+  let r_last = Array.make n 0 in
+  let r_uses = Array.make n 0 in
+  let resident = Array.make n false in
+  let seen = Array.make n false in
+  let occupancy = ref 0 in
+  let clock = ref 0 in
+  let refs = ref 0 in
+  let misses = ref 0 in
+  let cold = ref 0 in
+  let evictions = ref 0 in
+  let loaded = ref 0 in
+  let metric u =
+    match policy with
+    | Engine.Lru -> r_last.(u)
+    | Engine.Lfu -> r_uses.(u)
+    | Engine.Cost_aware -> r_uses.(u) * r_size.(u)
+  in
+  let victim () =
+    let best = ref (-1) in
+    for u = 0 to n - 1 do
+      if
+        resident.(u)
+        && (!best < 0
+           || metric u < metric !best
+           || (metric u = metric !best && r_last.(u) < r_last.(!best)))
+      then best := u
+    done;
+    !best
+  in
+  Array.iter
+    (fun (u, bytes, len) ->
+      refs := !refs + len;
+      clock := !clock + len;
+      if resident.(u) then begin
+        r_last.(u) <- !clock;
+        r_uses.(u) <- r_uses.(u) + len
+      end
+      else begin
+        if not seen.(u) then begin
+          seen.(u) <- true;
+          incr cold
+        end;
+        if bytes <= budget then begin
+          incr misses;
+          while !occupancy + bytes > budget do
+            let k = victim () in
+            resident.(k) <- false;
+            occupancy := !occupancy - r_size.(k);
+            incr evictions
+          done;
+          resident.(u) <- true;
+          r_size.(u) <- bytes;
+          r_last.(u) <- !clock;
+          r_uses.(u) <- len;
+          occupancy := !occupancy + bytes;
+          loaded := !loaded + bytes
+        end
+        else misses := !misses + len
+      end)
+    runs;
+  {
+    Engine.s_refs = !refs;
+    s_misses = !misses;
+    s_cold_misses = !cold;
+    s_evictions = !evictions;
+    s_bytes_loaded = !loaded;
+    s_miss_rate =
+      (if !refs = 0 then 0.0 else float_of_int !misses /. float_of_int !refs);
+  }
+
+(* Random run streams with per-unit-constant sizes (what recorded
+   traces guarantee). Small unit counts and lengths force heavy
+   eviction traffic and plenty of LFU/Cost metric ties; size and
+   budget ranges overlap so budgets straddle unit sizes, exercising
+   the bypass/eligibility-group edge of the kernel. *)
+let gen_run_stream =
+  let open QCheck2.Gen in
+  let* units = int_range 1 10 in
+  let* sizes = list_repeat units (int_range 1 64) in
+  let sizes = Array.of_list sizes in
+  let+ refs =
+    list_size (int_range 0 80) (pair (int_range 0 (units - 1)) (int_range 1 3))
+  in
+  (units, Array.of_list (List.map (fun (u, len) -> (u, sizes.(u), len)) refs))
+
+let prop_heap_victim =
+  QCheck2.Test.make ~count:400
+    ~name:"sim_core lazy-heap victim = linear-scan reference"
+    QCheck2.Gen.(
+      triple gen_run_stream
+        (oneofl [ Engine.Lru; Engine.Lfu; Engine.Cost_aware ])
+        (int_range 1 160))
+    (fun ((units, runs), policy, budget) ->
+      Engine.simulate_runs ~units ~budget ~policy runs
+      = reference_sim ~units ~budget ~policy runs)
+
+let prop_all_budgets =
+  QCheck2.Test.make ~count:400
+    ~name:"all-budgets kernel = per-budget passes (random streams)"
+    QCheck2.Gen.(
+      pair gen_run_stream (list_size (int_range 1 10) (int_range 1 200)))
+    (fun ((units, runs), budgets) ->
+      Engine.simulate_runs_all_budgets ~units ~budgets runs
+      = List.map
+          (fun budget ->
+            Engine.simulate_runs ~units ~budget ~policy:Engine.Lru runs)
+          budgets)
+
+(* The same differential on a real Table-2 trace at both granularities:
+   function-granular swapram and line-granular block cache, the latter
+   also under a block-size override (re-bucketed units). A dense
+   512-step ladder plus off-grid budgets lands on both sides of every
+   function size. *)
+let table2_all_budgets_test () =
+  let budgets =
+    List.init 32 (fun i -> 512 + (i * 512)) @ [ 700; 3333; 16384 ]
+  in
+  let config_of system =
+    let caching =
+      match system with
+      | "swapram" -> Toolchain.Swapram_cache Swapram.Config.default_options
+      | _ -> Toolchain.Block_cache Blockcache.Config.default_options
+    in
+    { (Toolchain.default_config Workloads.Suite.crc) with Toolchain.caching }
+  in
+  let check_system system blocks =
+    with_temp_trace (fun trace ->
+        match Toolchain.run_recorded ~trace (config_of system) with
+        | Toolchain.Completed _ ->
+            let l = Result.get_ok (Engine.load trace) in
+            List.iter
+              (fun block ->
+                let expected =
+                  List.map
+                    (fun b ->
+                      Engine.simulate l
+                        {
+                          Engine.m_budget = b;
+                          m_policy = Engine.Lru;
+                          m_block = block;
+                        })
+                    budgets
+                in
+                Alcotest.(check bool)
+                  (Printf.sprintf "crc/%s block=%s all-budgets = per-budget"
+                     system
+                     (match block with
+                     | None -> "recorded"
+                     | Some b -> string_of_int b))
+                  true
+                  (Engine.simulate_all_budgets ?block l budgets = expected))
+              blocks
+        | _ -> () (* does not fit this system: vacuously equivalent *))
+  in
+  check_system "swapram" [ None ];
+  check_system "block" [ None; Some 256 ]
 
 (* --- map_chunked = List.map --------------------------------------------- *)
 
@@ -232,6 +402,10 @@ let suite =
     QCheck_alcotest.to_alcotest prop_pareto_order_invariant;
     QCheck_alcotest.to_alcotest (prop_simulate_many_batches "swapram");
     QCheck_alcotest.to_alcotest (prop_simulate_many_batches "block");
+    QCheck_alcotest.to_alcotest prop_heap_victim;
+    QCheck_alcotest.to_alcotest prop_all_budgets;
+    Alcotest.test_case "all-budgets = per-budget on crc (both granularities)"
+      `Quick table2_all_budgets_test;
     QCheck_alcotest.to_alcotest prop_map_chunked;
     Alcotest.test_case "serial = parallel = chunked frontiers" `Quick
       execution_invariance_test;
